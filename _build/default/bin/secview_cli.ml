@@ -1,0 +1,384 @@
+(* secview — command-line front end for the security-view pipeline.
+
+   Specifications are given in a small sidecar syntax, one annotation
+   per line:
+
+     parent child  Y
+     parent child  N
+     parent child  [qualifier]
+     parent #PCDATA N
+
+   '#' starts a comment.  Variables ($name) in qualifiers are bound
+   with repeated --bind NAME=VALUE options. *)
+
+open Cmdliner
+
+let env_of_bindings bindings name =
+  List.assoc_opt name bindings
+
+(* ---- common options ------------------------------------------------ *)
+
+let dtd_arg =
+  let doc = "Document DTD file (<!ELEMENT ...> declarations)." in
+  Arg.(required & opt (some file) None & info [ "dtd" ] ~docv:"FILE" ~doc)
+
+let spec_arg =
+  let doc = "Access-specification file (see secview --help)." in
+  Arg.(required & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+let doc_arg =
+  let doc = "XML document file." in
+  Arg.(required & opt (some file) None & info [ "doc" ] ~docv:"FILE" ~doc)
+
+let query_arg =
+  let doc = "XPath query (fragment C)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let bind_arg =
+  let doc = "Bind a \\$variable used in qualifiers, e.g. --bind wardNo=6." in
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> Error (`Msg "expected NAME=VALUE")
+  in
+  let print ppf (k, v) = Format.fprintf ppf "%s=%s" k v in
+  Arg.(
+    value
+    & opt_all (conv (parse, print)) []
+    & info [ "bind"; "b" ] ~docv:"NAME=VALUE" ~doc)
+
+let root_arg =
+  let doc = "Root element type (default: first declared)." in
+  Arg.(value & opt (some string) None & info [ "root" ] ~docv:"NAME" ~doc)
+
+let load_dtd root path = Sdtd.Parse.of_file ?root path
+
+let setup dtd_path root spec_path =
+  let dtd = load_dtd root dtd_path in
+  let spec = Secview.Spec.of_sidecar_file dtd spec_path in
+  (dtd, spec, Secview.Derive.derive spec)
+
+let element_height doc =
+  let rec go (n : Sxml.Tree.t) =
+    match Sxml.Tree.element_children n with
+    | [] -> 1
+    | cs -> 1 + List.fold_left (fun acc c -> max acc (go c)) 0 cs
+  in
+  go doc
+
+(* ---- commands ------------------------------------------------------ *)
+
+let derive_cmd =
+  let run dtd_path root spec_path show_sigma save =
+    let _, _, view = setup dtd_path root spec_path in
+    (match save with
+    | Some path ->
+      Secview.View.save_definition view path;
+      Printf.eprintf "view definition written to %s\n" path
+    | None -> ());
+    if show_sigma then Format.printf "%a" Secview.View.pp view
+    else Format.printf "%a" Sdtd.Dtd.pp (Secview.View.dtd view)
+  in
+  let sigma_arg =
+    Arg.(
+      value & flag
+      & info [ "sigma" ]
+          ~doc:"Also print the internal σ annotations (server-side only).")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Store the full view definition (DTD + σ) for later use with \
+             --view.")
+  in
+  Cmd.v
+    (Cmd.info "derive" ~doc:"Derive a security view from a specification")
+    Term.(const run $ dtd_arg $ root_arg $ spec_arg $ sigma_arg $ save_arg)
+
+let graph_cmd =
+  let run dtd_path root spec_path =
+    let dtd = load_dtd root dtd_path in
+    match spec_path with
+    | None -> print_string (Sdtd.Graph.to_dot dtd)
+    | Some path ->
+      let spec = Secview.Spec.of_sidecar_file dtd path in
+      let annotation ~parent ~child =
+        match Secview.Spec.annotation spec ~parent ~child with
+        | Some Secview.Spec.Yes -> Some `Yes
+        | Some (Secview.Spec.Cond _) -> Some `Cond
+        | Some Secview.Spec.No -> Some `No
+        | None -> None
+      in
+      print_string
+        (Sdtd.Graph.to_dot
+           ~highlight:(Sdtd.Graph.spec_style ~annotation)
+           dtd)
+  in
+  let spec_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Render the specification in Fig. 4's style: bold = accessible, \
+             dotted = denied.")
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Render the DTD graph (optionally with a policy) as Graphviz")
+    Term.(const run $ dtd_arg $ root_arg $ spec_opt)
+
+let audit_cmd =
+  let run dtd_path root spec_path diff_path =
+    let dtd = load_dtd root dtd_path in
+    let spec = Secview.Spec.of_sidecar_file dtd spec_path in
+    match diff_path with
+    | None -> Format.printf "%a" Secview.Audit.report spec
+    | Some other ->
+      let spec' = Secview.Spec.of_sidecar_file dtd other in
+      let changes = Secview.Audit.diff spec spec' in
+      if changes = [] then print_endline "no exposure changes"
+      else
+        List.iter
+          (fun (el, change) ->
+            match change with
+            | `Gained -> Printf.printf "+ %s becomes exposed\n" el
+            | `Lost -> Printf.printf "- %s becomes hidden\n" el
+            | `Changed (_, _) -> Printf.printf "~ %s changes status\n" el)
+          changes
+  in
+  let diff_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "diff" ] ~docv:"FILE"
+          ~doc:"Compare against a second specification instead of reporting.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Analyse what a policy exposes; flag dead annotations")
+    Term.(const run $ dtd_arg $ root_arg $ spec_arg $ diff_arg)
+
+let materialize_cmd =
+  let run dtd_path root spec_path doc_path bindings =
+    let dtd, spec, view = setup dtd_path root spec_path in
+    let doc = Sxml.Parse.of_file doc_path in
+    (match Sdtd.Validate.check dtd doc with
+    | [] -> ()
+    | v :: _ ->
+      failwith
+        (Format.asprintf "document does not conform: %a" Sdtd.Validate
+         .pp_violation v));
+    let env = env_of_bindings bindings in
+    let vt = Secview.Materialize.materialize ~env ~spec ~view doc in
+    print_endline
+      (Sxml.Print.to_string ~indent:true (Secview.Materialize.to_tree vt))
+  in
+  Cmd.v
+    (Cmd.info "materialize"
+       ~doc:
+         "Materialize the view of a document (for inspection; the query \
+          pipeline never does this)")
+    Term.(const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ bind_arg)
+
+let view_arg =
+  let doc =
+    "Load a stored view definition (from 'derive --save') instead of \
+     deriving from --spec."
+  in
+  Arg.(value & opt (some file) None & info [ "view" ] ~docv:"FILE" ~doc)
+
+let spec_opt_arg =
+  let doc = "Access-specification file (or use --view)." in
+  Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+let view_of ~dtd_path ~root ~spec_path ~view_path =
+  let dtd = load_dtd root dtd_path in
+  match (view_path, spec_path) with
+  | Some path, _ -> (dtd, Secview.View.of_definition_file path)
+  | None, Some spec_path ->
+    let spec = Secview.Spec.of_sidecar_file dtd spec_path in
+    (dtd, Secview.Derive.derive spec)
+  | None, None -> failwith "either --spec or --view is required"
+
+let rewrite_cmd =
+  let run dtd_path root spec_path view_path query height optimize =
+    let dtd, view = view_of ~dtd_path ~root ~spec_path ~view_path in
+    let q = Sxpath.Parse.of_string query in
+    let pt =
+      match height with
+      | Some h -> Secview.Rewrite.rewrite_with_height view ~height:h q
+      | None -> Secview.Rewrite.rewrite view q
+    in
+    let pt = if optimize then Secview.Optimize.optimize dtd pt else pt in
+    print_endline (Sxpath.Print.to_string pt)
+  in
+  let height_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "height" ]
+          ~docv:"H"
+          ~doc:
+            "Document element-nesting height, required for recursive views \
+             (Section 4.2 unfolding).")
+  in
+  let optimize_arg =
+    Arg.(
+      value & flag
+      & info [ "optimize"; "O" ]
+          ~doc:"Optimize the rewritten query against the document DTD.")
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Rewrite a view query to an equivalent document query")
+    Term.(
+      const run $ dtd_arg $ root_arg $ spec_opt_arg $ view_arg $ query_arg
+      $ height_arg $ optimize_arg)
+
+let query_cmd =
+  let run dtd_path root spec_path doc_path query bindings approach indexed =
+    let dtd, spec, view = setup dtd_path root spec_path in
+    let doc = Sxml.Parse.of_file doc_path in
+    let env = env_of_bindings bindings in
+    let q = Sxpath.Parse.of_string query in
+    let index = if indexed then Some (Sxml.Index.build doc) else None in
+    let results =
+      match approach with
+      | `Naive ->
+        let prepared = Secview.Naive.prepare ~env spec doc in
+        let index =
+          if indexed then Some (Sxml.Index.build prepared) else None
+        in
+        Sxpath.Eval.eval ~env ?index
+          (Secview.Naive.rewrite_query ~view q)
+          prepared
+      | `Rewrite ->
+        let pt =
+          Secview.Rewrite.rewrite_with_height view
+            ~height:(element_height doc) q
+        in
+        Sxpath.Eval.eval ~env ?index pt doc
+      | `Optimize ->
+        let pt =
+          Secview.Rewrite.rewrite_with_height view
+            ~height:(element_height doc) q
+        in
+        Sxpath.Eval.eval ~env ?index (Secview.Optimize.optimize dtd pt) doc
+    in
+    List.iter (fun n -> print_endline (Sxml.Print.to_string n)) results
+  in
+  let approach_arg =
+    let doc = "Evaluation strategy: naive, rewrite or optimize." in
+    Arg.(
+      value
+      & opt
+          (enum [ ("naive", `Naive); ("rewrite", `Rewrite);
+                  ("optimize", `Optimize) ])
+          `Optimize
+      & info [ "approach" ] ~docv:"NAME" ~doc)
+  in
+  let index_arg =
+    Arg.(
+      value & flag
+      & info [ "index" ]
+          ~doc:"Build a tag index and use the descendant fast path.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Securely evaluate a view query on a document")
+    Term.(
+      const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ query_arg
+      $ bind_arg $ approach_arg $ index_arg)
+
+let optimize_cmd =
+  let run dtd_path root query =
+    let dtd = load_dtd root dtd_path in
+    let q = Sxpath.Parse.of_string query in
+    print_endline (Sxpath.Print.to_string (Secview.Optimize.optimize dtd q))
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Optimize a document query against DTD constraints")
+    Term.(const run $ dtd_arg $ root_arg $ query_arg)
+
+let annotate_cmd =
+  let run dtd_path root spec_path doc_path bindings =
+    let _, spec, _ = setup dtd_path root spec_path in
+    let doc = Sxml.Parse.of_file doc_path in
+    let env = env_of_bindings bindings in
+    let prepared = Secview.Naive.prepare ~env spec doc in
+    print_endline (Sxml.Print.to_string ~indent:true prepared)
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:
+         "Stamp @accessibility attributes on a document (the naive \
+          baseline's offline step)")
+    Term.(const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ bind_arg)
+
+let gen_cmd =
+  let run dtd_path root seed star_max depth =
+    let dtd = load_dtd root dtd_path in
+    let config =
+      {
+        Sdtd.Gen.default_config with
+        seed;
+        star_max;
+        depth_budget = depth;
+      }
+    in
+    print_endline
+      (Sxml.Print.to_string ~indent:true (Sdtd.Gen.generate ~config dtd))
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let star_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "branching" ] ~docv:"N"
+          ~doc:"Maximum branching factor for starred content.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "depth" ] ~docv:"N" ~doc:"Depth budget for recursion.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a random instance of a DTD")
+    Term.(const run $ dtd_arg $ root_arg $ seed_arg $ star_arg $ depth_arg)
+
+let validate_cmd =
+  let run dtd_path root doc_path =
+    let dtd = load_dtd root dtd_path in
+    let doc = Sxml.Parse.of_file doc_path in
+    match Sdtd.Validate.check dtd doc with
+    | [] ->
+      print_endline "valid";
+      exit 0
+    | violations ->
+      List.iter
+        (fun v -> Format.printf "%a@." Sdtd.Validate.pp_violation v)
+        violations;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check a document against a DTD")
+    Term.(const run $ dtd_arg $ root_arg $ doc_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "secview" ~version:"1.0.0"
+       ~doc:
+         "Secure XML querying with security views (Fan, Chan, Garofalakis, \
+          SIGMOD 2004)")
+    [
+      derive_cmd; graph_cmd; audit_cmd; materialize_cmd; rewrite_cmd;
+      query_cmd; optimize_cmd; annotate_cmd; gen_cmd; validate_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

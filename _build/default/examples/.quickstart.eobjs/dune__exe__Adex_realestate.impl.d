@@ -1,0 +1,1 @@
+examples/adex_realestate.ml: Format List Sdtd Secview Sxpath Unix Workload

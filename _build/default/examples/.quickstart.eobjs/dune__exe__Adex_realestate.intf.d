@@ -1,0 +1,1 @@
+examples/adex_realestate.mli:

@@ -1,0 +1,1 @@
+examples/hospital_nurse.ml: Format List Sdtd Secview String Sxml Sxpath Workload

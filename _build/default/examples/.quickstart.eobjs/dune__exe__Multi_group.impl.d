@@ -1,0 +1,1 @@
+examples/multi_group.ml: Format List Option Sdtd Secview String Sxml Sxpath Workload

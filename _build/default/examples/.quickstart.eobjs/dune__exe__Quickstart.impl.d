@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Sdtd Secview Sxml Sxpath

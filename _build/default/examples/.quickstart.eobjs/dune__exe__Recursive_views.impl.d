@@ -1,0 +1,1 @@
+examples/recursive_views.ml: Format List Sdtd Secview String Sxml Sxpath Workload

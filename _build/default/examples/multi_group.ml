@@ -1,0 +1,79 @@
+(* Multiple user groups over one document (the paper's Fig. 3 setting:
+   "multiple access control policies are possibly declared over T at
+   the same time").
+
+   One hospital document, three groups — nurses, billing clerks, and
+   researchers — each with its own specification, each getting its own
+   derived view DTD, all answered by rewriting against the same stored
+   document.  Nothing is materialized per group.
+
+   Run with: dune exec examples/multi_group.exe *)
+
+let () =
+  let dtd = Workload.Hospital.dtd in
+  let doc = Workload.Hospital.sample_document () in
+
+  (* Group 1: nurses (Example 3.1) — per-ward, no trial membership. *)
+  let nurses = Workload.Hospital.nurse_spec dtd in
+
+  (* Group 2: billing clerks — bills of every patient, but no medical
+     content: no treatment kind, no medication, no staff data. *)
+  let billing =
+    Secview.Spec.of_sidecar dtd
+      {|dept staffInfo N
+        dept clinicalTrial N
+        clinicalTrial patientInfo Y
+        patient treatment N
+        treatment trial N
+        treatment regular N
+        trial bill Y
+        regular bill Y|}
+  in
+
+  (* Group 3: researchers — clinical-trial data including tests, but
+     no patient identities and no billing. *)
+  let research =
+    Secview.Spec.of_sidecar dtd
+      {|dept patientInfo N
+        dept staffInfo N
+        patient name N
+        trial bill N
+        regular bill N|}
+  in
+
+  let groups =
+    [ ("nurses", nurses, Some (Workload.Hospital.nurse_env "6"));
+      ("billing", billing, None);
+      ("research", research, None) ]
+  in
+
+  let queries =
+    List.map Sxpath.Parse.of_string
+      [ "//patient/name"; "//bill"; "//test"; "//medication" ]
+  in
+
+  List.iter
+    (fun (name, spec, env) ->
+      let env = Option.value env ~default:(fun _ -> None) in
+      let view = Secview.Derive.derive spec in
+      Format.printf "@.=== %s: view DTD ===@.%a" name Sdtd.Dtd.pp
+        (Secview.View.dtd view);
+      List.iter
+        (fun q ->
+          let pt = Secview.Rewrite.rewrite view q in
+          let answers =
+            List.map Sxml.Tree.string_value (Sxpath.Eval.eval ~env pt doc)
+          in
+          Format.printf "  %-18s -> %s@."
+            (Sxpath.Print.to_string q)
+            (match answers with
+            | [] -> "(nothing)"
+            | vs -> String.concat ", " vs))
+        queries)
+    groups;
+
+  Format.printf
+    "@.The same document serves all three policies; each group sees only@.";
+  Format.printf
+    "its own view DTD, and every query is answered by rewriting — no@.";
+  Format.printf "materialized copies, no per-element run-time checks.@."

@@ -1,0 +1,1 @@
+lib/core/access.ml: Int Lazy List Sdtd Set Spec Sxml Sxpath

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Format Hashtbl List Option Queue Sdtd Set Spec String

@@ -1,0 +1,1 @@
+lib/core/containment.ml: Format List Sdtd Simulate Sxml Sxpath

@@ -1,0 +1,1 @@
+lib/core/containment.mli: Format Sdtd Sxml Sxpath

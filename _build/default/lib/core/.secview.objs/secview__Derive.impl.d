@@ -1,0 +1,1 @@
+lib/core/derive.ml: Hashtbl List Option Printf Sdtd Spec Sxpath View

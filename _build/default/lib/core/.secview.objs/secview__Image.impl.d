@@ -1,0 +1,1 @@
+lib/core/image.ml: Format Fun Hashtbl List Option Queue Sdtd String Sxpath

@@ -1,0 +1,1 @@
+lib/core/image.mli: Format Sdtd Sxpath

@@ -1,0 +1,1 @@
+lib/core/materialize.ml: Access Hashtbl Int List Printf Sdtd String Sxml Sxpath View

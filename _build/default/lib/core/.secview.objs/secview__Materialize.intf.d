@@ -1,0 +1,1 @@
+lib/core/materialize.mli: Spec Sxml View

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Access Sxpath View

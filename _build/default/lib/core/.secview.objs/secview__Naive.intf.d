@@ -1,0 +1,1 @@
+lib/core/naive.mli: Spec Sxml Sxpath View

@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Hashtbl Image List Option Rewrite Sdtd Simulate String Sxpath View

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Derive Hashtbl List Optimize Printf Rewrite Sdtd Spec Sxml Sxpath View

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Sdtd Spec Sxml Sxpath View

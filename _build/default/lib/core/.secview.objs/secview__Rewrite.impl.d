@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Hashtbl List Option Sdtd String Sxpath View

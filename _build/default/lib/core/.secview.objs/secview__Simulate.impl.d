@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Hashtbl Image List String

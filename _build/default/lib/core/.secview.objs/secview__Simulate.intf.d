@@ -1,0 +1,1 @@
+lib/core/simulate.mli: Image Sdtd Sxpath

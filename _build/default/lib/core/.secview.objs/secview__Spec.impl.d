@@ -1,0 +1,1 @@
+lib/core/spec.ml: Buffer Format Fun Hashtbl List Map Printf Sdtd String Sxpath

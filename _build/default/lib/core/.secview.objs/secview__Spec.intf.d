@@ -1,0 +1,1 @@
+lib/core/spec.mli: Format Sdtd Sxpath

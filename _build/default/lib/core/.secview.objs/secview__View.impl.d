@@ -1,0 +1,1 @@
+lib/core/view.ml: Buffer Format Fun List Map Printf Sdtd Set String Sxpath

@@ -1,0 +1,1 @@
+lib/core/view.mli: Format Sdtd Sxpath

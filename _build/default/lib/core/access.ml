@@ -1,0 +1,127 @@
+module IntSet = Set.Make (Int)
+
+let no_env : string -> string option = fun _ -> None
+
+let accessible_set ?(env = no_env) spec doc =
+  let result = ref IntSet.empty in
+  (* anc_ok: every conditional annotation on a strict ancestor holds.
+     parent_acc: the parent is accessible (for inheritance). *)
+  let rec visit ~parent_tag ~anc_ok ~parent_acc (node : Sxml.Tree.t) =
+    let child_key =
+      match node.desc with
+      | Sxml.Tree.Text _ -> Sdtd.Regex.pcdata
+      | Sxml.Tree.Element e -> e.tag
+    in
+    let annot =
+      match parent_tag with
+      | None -> Some Spec.Yes (* the root is Y by default *)
+      | Some parent -> Spec.annotation spec ~parent ~child:child_key
+    in
+    let self_acc, qual_ok =
+      match annot with
+      | Some Spec.Yes -> (anc_ok, true)
+      | Some Spec.No -> (false, true)
+      | Some (Spec.Cond q) ->
+        let holds = Sxpath.Eval.holds ~env q node in
+        (anc_ok && holds, holds)
+      | None -> (parent_acc, true)
+    in
+    if self_acc then result := IntSet.add node.id !result;
+    match node.desc with
+    | Sxml.Tree.Text _ -> ()
+    | Sxml.Tree.Element e ->
+      let anc_ok = anc_ok && qual_ok in
+      List.iter
+        (visit ~parent_tag:(Some e.tag) ~anc_ok ~parent_acc:self_acc)
+        e.children
+  in
+  visit ~parent_tag:None ~anc_ok:true ~parent_acc:true doc;
+  !result
+
+let accessible ?env spec doc v =
+  IntSet.mem v.Sxml.Tree.id (accessible_set ?env spec doc)
+
+(* Ancestor-qualifier truth along the path to a node: the same
+   condition accessibility itself uses. *)
+let rec anc_ok ~env spec ~parent_tag (target : Sxml.Tree.t)
+    (node : Sxml.Tree.t) =
+  (* walk down from [node] towards [target], conjoining qualifier
+     annotations; returns None when target is not in this subtree *)
+  let self_qual_ok () =
+    match parent_tag with
+    | None -> Some true
+    | Some parent -> (
+      match
+        Spec.annotation spec ~parent
+          ~child:
+            (match node.Sxml.Tree.desc with
+            | Sxml.Tree.Element e -> e.tag
+            | Sxml.Tree.Text _ -> Sdtd.Regex.pcdata)
+      with
+      | Some (Spec.Cond q) -> Some (Sxpath.Eval.holds ~env q node)
+      | _ -> Some true)
+  in
+  if node.Sxml.Tree.id = target.Sxml.Tree.id then self_qual_ok ()
+  else
+    match node.Sxml.Tree.desc with
+    | Sxml.Tree.Text _ -> None
+    | Sxml.Tree.Element e ->
+      List.fold_left
+        (fun acc child ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match
+              anc_ok ~env spec ~parent_tag:(Some e.tag) target child
+            with
+            | Some ok -> (
+              match self_qual_ok () with
+              | Some ok' -> Some (ok && ok')
+              | None -> Some ok)
+            | None -> None))
+        None e.children
+
+let accessible_attributes ?(env = no_env) ?accessible spec doc node =
+  match node.Sxml.Tree.desc with
+  | Sxml.Tree.Text _ -> []
+  | Sxml.Tree.Element e ->
+    let declared = Sdtd.Dtd.attributes (Spec.dtd spec) e.tag in
+    let set =
+      match accessible with
+      | Some set -> set
+      | None -> accessible_set ~env spec doc
+    in
+    let node_accessible = IntSet.mem node.Sxml.Tree.id set in
+    let ancestors_ok =
+      lazy (anc_ok ~env spec ~parent_tag:None node doc = Some true)
+    in
+    List.filter
+      (fun (name, _) ->
+        List.mem name declared
+        &&
+        match Spec.annotation spec ~parent:e.tag ~child:("@" ^ name) with
+        | Some Spec.Yes -> Lazy.force ancestors_ok
+        | Some (Spec.Cond _) -> false (* rejected by Spec.make *)
+        | Some Spec.No -> false
+        | None -> node_accessible)
+      e.attrs
+
+let accessible_elements ?env spec doc =
+  let set = accessible_set ?env spec doc in
+  Sxml.Tree.find_all
+    (fun n -> Sxml.Tree.is_element n && IntSet.mem n.Sxml.Tree.id set)
+    doc
+
+let annotate ?env ?(attribute = "accessibility") spec doc =
+  let set = accessible_set ?env spec doc in
+  Sxml.Tree.map_attrs
+    (fun node ->
+      let flag = if IntSet.mem node.Sxml.Tree.id set then "1" else "0" in
+      let previous =
+        match node.Sxml.Tree.desc with
+        | Sxml.Tree.Element e ->
+          List.remove_assoc attribute e.Sxml.Tree.attrs
+        | Sxml.Tree.Text _ -> []
+      in
+      (attribute, flag) :: previous)
+    doc

@@ -1,0 +1,146 @@
+type status =
+  | Accessible
+  | Conditional
+  | Hidden
+
+type exposure = {
+  element : string;
+  statuses : status list;
+}
+
+(* Abstract path-state at a node: its own accessibility status plus
+   whether any ancestor carries a qualifier (which demotes explicit Y
+   to Conditional).  Finite lattice: fixpoint by worklist. *)
+module StateSet = Set.Make (struct
+  type t = status * bool (* (status, under_condition) *)
+
+  let compare = compare
+end)
+
+let transfer spec ~parent ~child (status, under_cond) =
+  let ann = Spec.annotation spec ~parent ~child in
+  let child_under_cond =
+    under_cond || match ann with Some (Spec.Cond _) -> true | _ -> false
+  in
+  let child_status =
+    match ann with
+    | Some Spec.Yes -> if under_cond then Conditional else Accessible
+    | Some (Spec.Cond _) -> Conditional
+    | Some Spec.No -> Hidden
+    | None -> (
+      (* inherited; an inherited Accessible under a condition is still
+         Conditional *)
+      match status with
+      | Accessible -> if under_cond then Conditional else Accessible
+      | s -> s)
+  in
+  (child_status, child_under_cond)
+
+let analyse spec =
+  let dtd = Spec.dtd spec in
+  let states : (string, StateSet.t) Hashtbl.t = Hashtbl.create 32 in
+  let get name =
+    Option.value (Hashtbl.find_opt states name) ~default:StateSet.empty
+  in
+  let queue = Queue.create () in
+  let add name st =
+    let current = get name in
+    if not (StateSet.mem st current) then begin
+      Hashtbl.replace states name (StateSet.add st current);
+      Queue.add (name, st) queue
+    end
+  in
+  add (Sdtd.Dtd.root dtd) (Accessible, false);
+  while not (Queue.is_empty queue) do
+    let parent, st = Queue.pop queue in
+    List.iter
+      (fun child -> add child (transfer spec ~parent ~child st))
+      (Sdtd.Dtd.children_of dtd parent)
+  done;
+  states
+
+let statuses_of set =
+  let has s =
+    StateSet.exists (fun (status, _) -> status = s) set
+  in
+  List.filter has [ Accessible; Conditional; Hidden ]
+
+let exposures spec =
+  let states = analyse spec in
+  List.map
+    (fun element ->
+      { element; statuses = statuses_of (Option.value
+          (Hashtbl.find_opt states element) ~default:StateSet.empty) })
+    (Sdtd.Dtd.reachable (Spec.dtd spec))
+
+let hidden_types spec =
+  List.filter_map
+    (fun e ->
+      match e.statuses with [ Hidden ] -> Some e.element | _ -> None)
+    (exposures spec)
+
+let dead_annotations spec =
+  let states = analyse spec in
+  let reachable = Sdtd.Dtd.reachable (Spec.dtd spec) in
+  List.filter
+    (fun ((parent, _child), annot) ->
+      if not (List.mem parent reachable) then true
+      else
+        let parent_states =
+          Option.value (Hashtbl.find_opt states parent)
+            ~default:StateSet.empty
+        in
+        match annot with
+        | Spec.Yes ->
+          (* Y changes nothing if the parent is only ever accessible
+             outside any condition *)
+          StateSet.for_all (fun st -> st = (Accessible, false)) parent_states
+          && not (StateSet.is_empty parent_states)
+        | Spec.No ->
+          (* N changes nothing if the parent is only ever hidden *)
+          StateSet.for_all
+            (fun (status, _) -> status = Hidden)
+            parent_states
+          && not (StateSet.is_empty parent_states)
+        | Spec.Cond _ -> false)
+    (Spec.annotations spec)
+
+let diff spec1 spec2 =
+  let table spec =
+    List.map (fun e -> (e.element, e.statuses)) (exposures spec)
+  in
+  let t1 = table spec1 and t2 = table spec2 in
+  let elements =
+    List.sort_uniq compare (List.map fst t1 @ List.map fst t2)
+  in
+  List.filter_map
+    (fun el ->
+      let s1 = Option.value (List.assoc_opt el t1) ~default:[ Hidden ] in
+      let s2 = Option.value (List.assoc_opt el t2) ~default:[ Hidden ] in
+      let exposed s = List.mem Accessible s || List.mem Conditional s in
+      if s1 = s2 then None
+      else if (not (exposed s1)) && exposed s2 then Some (el, `Gained)
+      else if exposed s1 && not (exposed s2) then Some (el, `Lost)
+      else Some (el, `Changed (s1, s2)))
+    elements
+
+let status_to_string = function
+  | Accessible -> "accessible"
+  | Conditional -> "conditional"
+  | Hidden -> "hidden"
+
+let report ppf spec =
+  Format.fprintf ppf "exposure (per element type, across root-paths):@.";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %-20s %s@." e.element
+        (String.concat " / " (List.map status_to_string e.statuses)))
+    (exposures spec);
+  match dead_annotations spec with
+  | [] -> Format.fprintf ppf "no dead annotations.@."
+  | dead ->
+    Format.fprintf ppf "dead annotations (no effect on any node):@.";
+    List.iter
+      (fun ((a, b), annot) ->
+        Format.fprintf ppf "  ann(%s, %s) = %a@." a b Spec.pp_annot annot)
+      dead

@@ -1,0 +1,56 @@
+(** Schema-level policy auditing.
+
+    Accessibility in this model is context-sensitive — the same element
+    type can be exposed along one DTD path and hidden along another
+    (Section 3.2) — which makes policies easy to get subtly wrong.
+    This module computes, purely at the schema level, what a
+    specification actually exposes, for the administrator who wrote it:
+
+    - the {e exposure} of every element type: along which kinds of
+      root-paths its elements are accessible (unconditionally,
+      conditionally, or not at all);
+    - {e dead annotations} that can never change any node's
+      accessibility (typically left behind by policy edits);
+    - a diff of two policies, for reviewing a change before rollout.
+
+    The analysis abstracts qualifiers to "conditional" (their truth is
+    data-dependent); it is exact for specifications without conditions
+    and an over-approximation of exposure otherwise. *)
+
+type status =
+  | Accessible  (** some root-path exposes it unconditionally *)
+  | Conditional  (** exposed only under qualifier-guarded paths *)
+  | Hidden  (** no root-path exposes it *)
+
+type exposure = {
+  element : string;
+  statuses : status list;
+      (** all statuses realizable across root-paths, most permissive
+          first; context-sensitive types have several *)
+}
+
+val exposures : Spec.t -> exposure list
+(** One entry per reachable element type, in BFS order from the
+    root. *)
+
+val hidden_types : Spec.t -> string list
+(** Types with no exposing root-path — exactly what the derived view
+    DTD drops or dummy-renames. *)
+
+val dead_annotations : Spec.t -> ((string * string) * Spec.annot) list
+(** Annotations that cannot influence any node's accessibility: [Y] on
+    an edge whose parent is only ever unconditionally accessible, [N]
+    on an edge whose parent is only ever hidden, or any annotation on
+    an edge unreachable from the root. *)
+
+val diff :
+  Spec.t ->
+  Spec.t ->
+  (string * [ `Gained | `Lost | `Changed of status list * status list ]) list
+(** Exposure changes from the first policy to the second, per element
+    type: newly exposed ([`Gained]), newly hidden ([`Lost]), or with a
+    different status set. *)
+
+val report : Format.formatter -> Spec.t -> unit
+(** Human-readable audit: exposure table plus dead-annotation
+    warnings. *)

@@ -1,0 +1,78 @@
+let subset xs ys =
+  List.for_all (fun (x : Sxml.Tree.t) ->
+      List.exists (fun (y : Sxml.Tree.t) -> x.id = y.id) ys)
+    xs
+
+let refute ?(samples = 20) ?(seed = 0) dtd p1 p2 ~at =
+  let rec go i =
+    if i >= samples then None
+    else begin
+      let config =
+        {
+          Sdtd.Gen.default_config with
+          seed = seed + i;
+          star_min = 0;
+          star_max = 2;
+          depth_budget = 8;
+        }
+      in
+      let doc = Sdtd.Gen.generate ~config dtd in
+      let contexts =
+        Sxml.Tree.find_all (fun n -> Sxml.Tree.tag n = Some at) doc
+      in
+      let witness =
+        List.exists
+          (fun v ->
+            not (subset (Sxpath.Eval.eval p1 v) (Sxpath.Eval.eval p2 v)))
+          contexts
+      in
+      if witness then Some doc else go (i + 1)
+    end
+  in
+  go 0
+
+type stats = {
+  pairs : int;
+  refuted : int;
+  claimed : int;
+  claimed_and_refuted : int;
+  silent_unrefuted : int;
+}
+
+let measure ?(pairs = max_int) ?samples ?seed dtd ~queries =
+  let at = Sdtd.Dtd.root dtd in
+  let all_pairs =
+    List.concat_map
+      (fun p1 -> List.map (fun p2 -> (p1, p2)) queries)
+      queries
+    |> List.filteri (fun i _ -> i < pairs)
+  in
+  List.fold_left
+    (fun acc (p1, p2) ->
+      let claimed = Simulate.contained dtd p1 p2 at in
+      let refuted = refute ?samples ?seed dtd p1 p2 ~at <> None in
+      {
+        pairs = acc.pairs + 1;
+        refuted = (acc.refuted + if refuted then 1 else 0);
+        claimed = (acc.claimed + if claimed then 1 else 0);
+        claimed_and_refuted =
+          (acc.claimed_and_refuted + if claimed && refuted then 1 else 0);
+        silent_unrefuted =
+          (acc.silent_unrefuted
+          + if (not claimed) && not refuted then 1 else 0);
+      })
+    {
+      pairs = 0;
+      refuted = 0;
+      claimed = 0;
+      claimed_and_refuted = 0;
+      silent_unrefuted = 0;
+    }
+    all_pairs
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d pairs: %d instance-refuted, %d simulation-claimed (%d unsound — \
+     must be 0), %d silent-but-unrefuted (approximation gap + unlucky \
+     sampling)"
+    s.pairs s.refuted s.claimed s.claimed_and_refuted s.silent_unrefuted

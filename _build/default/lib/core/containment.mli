@@ -1,0 +1,50 @@
+(** Instance-level containment testing, used to quantify how much the
+    approximate simulation test (Proposition 5.1) gives up.
+
+    Exact XPath containment under a DTD is coNP-hard to undecidable
+    (Section 5's motivation), so there is no cheap oracle; but random
+    instances give one-sided evidence: a witness instance {e refutes}
+    containment, while surviving many instances suggests (does not
+    prove) it.  Comparing against {!Simulate.contained}:
+
+    - simulation claims containment and an instance refutes it —
+      a soundness bug (must never happen; the randomized test suite
+      checks it);
+    - simulation stays silent on pairs no instance refutes — the
+      price of approximation, measured by {!stats} and reported by
+      the benchmark harness (`--approx`). *)
+
+val refute :
+  ?samples:int ->
+  ?seed:int ->
+  Sdtd.Dtd.t ->
+  Sxpath.Ast.path ->
+  Sxpath.Ast.path ->
+  at:string ->
+  Sxml.Tree.t option
+(** [refute dtd p1 p2 ~at] searches [samples] (default 20) random
+    instances for one containing an [at]-element where [v⟦p1⟧ ⊄
+    v⟦p2⟧]; returns the witness document. *)
+
+type stats = {
+  pairs : int;  (** query pairs examined *)
+  refuted : int;  (** instance-refuted (definitely not contained) *)
+  claimed : int;  (** simulation claims containment *)
+  claimed_and_refuted : int;  (** soundness violations — must be 0 *)
+  silent_unrefuted : int;
+      (** pairs that survived every instance but simulation could not
+          confirm: the approximation gap (some of these are genuinely
+          not contained — instances just missed the witness) *)
+}
+
+val measure :
+  ?pairs:int ->
+  ?samples:int ->
+  ?seed:int ->
+  Sdtd.Dtd.t ->
+  queries:Sxpath.Ast.path list ->
+  stats
+(** Examine all ordered pairs of the given queries (truncated to
+    [pairs], default unlimited), classifying each. *)
+
+val pp_stats : Format.formatter -> stats -> unit

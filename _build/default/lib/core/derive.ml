@@ -1,0 +1,285 @@
+module R = Sdtd.Regex
+module A = Sxpath.Ast
+
+(* Occurrence context of a child inside a production, deciding whether
+   an inaccessible child's reg() can be inlined there. *)
+type ctx =
+  | In_seq
+  | In_choice
+  | In_star
+  | At_top
+
+type state = {
+  spec : Spec.t;
+  visited_acc : (string, unit) Hashtbl.t;
+  visited_inacc : (string, unit) Hashtbl.t;
+  in_progress : (string, unit) Hashtbl.t;  (* Proc_InAcc call stack *)
+  view_prods : (string, R.t) Hashtbl.t;  (* accessible types + dummies *)
+  sigma : (string * string, A.path list) Hashtbl.t;
+  reg : (string, R.t) Hashtbl.t;
+  path : (string * string, A.path list) Hashtbl.t;
+  dummy_of : (string, string) Hashtbl.t;  (* source type -> dummy label *)
+  mutable dummy_count : int;
+  mutable dummy_order : string list;
+}
+
+let add_binding table key p =
+  let previous = Option.value (Hashtbl.find_opt table key) ~default:[] in
+  if not (List.exists (A.equal_path p) previous) then
+    Hashtbl.replace table key (previous @ [ p ])
+
+let fresh_dummy st source =
+  match Hashtbl.find_opt st.dummy_of source with
+  | Some x -> x
+  | None ->
+    let taken name =
+      Sdtd.Dtd.mem (Spec.dtd st.spec) name || Hashtbl.mem st.view_prods name
+    in
+    let rec pick () =
+      st.dummy_count <- st.dummy_count + 1;
+      let name = Printf.sprintf "dummy%d" st.dummy_count in
+      if taken name then pick () else name
+    in
+    let x = pick () in
+    Hashtbl.replace st.dummy_of source x;
+    st.dummy_order <- x :: st.dummy_order;
+    x
+
+(* Can reg_b replace an occurrence of an inaccessible child in the
+   given context without breaking the production's structure?  PCDATA
+   never inlines: its extraction is tied to the hidden source node. *)
+let can_inline ctx reg_b =
+  (not (R.mentions_str reg_b))
+  &&
+  match (ctx, R.shape reg_b) with
+  | _, Some R.Shape_epsilon -> true
+  | (In_seq | At_top), Some (R.Shape_seq _) -> true
+  (* A single label counts as a concatenation, not a disjunction: the
+     paper dummy-renames reg(trial) = bill inside treatment's choice
+     (Example 3.4), so only genuine disjunctions inline there. *)
+  | (In_choice | At_top), Some (R.Shape_choice _) -> true
+  | (In_star | At_top), Some (R.Shape_seq [ _ ] | R.Shape_star _) -> true
+  | _, _ -> false
+
+let rec proc_acc st a =
+  if not (Hashtbl.mem st.visited_acc a) then begin
+    Hashtbl.add st.visited_acc a ();
+    (* Reserve the slot before recursing so recursive accessible types
+       are not re-entered. *)
+    let rg = Sdtd.Dtd.production (Spec.dtd st.spec) a in
+    let prod = transform st ~parent:a ~accessible:true At_top rg in
+    Hashtbl.replace st.view_prods a prod
+  end
+
+and proc_inacc st a =
+  if not (Hashtbl.mem st.visited_inacc a) then begin
+    Hashtbl.add st.visited_inacc a ();
+    Hashtbl.add st.in_progress a ();
+    let rg = Sdtd.Dtd.production (Spec.dtd st.spec) a in
+    let reg_a = transform st ~parent:a ~accessible:false At_top rg in
+    Hashtbl.remove st.in_progress a;
+    Hashtbl.replace st.reg a reg_a;
+    (* If the computation of reg(a) re-encountered [a], a recursive
+       dummy was created; give it its production and σ rows now. *)
+    match Hashtbl.find_opt st.dummy_of a with
+    | Some x when not (Hashtbl.mem st.view_prods x) ->
+      Hashtbl.replace st.view_prods x reg_a;
+      List.iter
+        (fun c ->
+          List.iter
+            (fun p -> add_binding st.sigma (x, c) p)
+            (Option.value (Hashtbl.find_opt st.path (a, c)) ~default:[]))
+        (R.labels reg_a)
+    | Some _ | None -> ()
+  end
+
+(* Transform the production regex of [parent], producing either the
+   view production (accessible parent, bindings into σ) or reg(parent)
+   (inaccessible parent, bindings into path). *)
+and transform st ~parent ~accessible ctx rg =
+  let bind child p =
+    let table = if accessible then st.sigma else st.path in
+    add_binding table (parent, child) p
+  in
+  match rg with
+  | R.Empty -> R.Empty
+  | R.Epsilon -> R.Epsilon
+  | R.Str ->
+    let ann =
+      Spec.annotation st.spec ~parent ~child:Sdtd.Regex.pcdata
+    in
+    let keep =
+      match (ann, accessible) with
+      | Some Spec.Yes, _ -> true
+      | Some Spec.No, _ -> false
+      | Some (Spec.Cond _), _ -> false (* rejected by Spec.make *)
+      | None, inherited -> inherited
+    in
+    if keep then R.Str else R.Epsilon
+  | R.Seq rs -> R.seq (List.map (transform st ~parent ~accessible In_seq) rs)
+  | R.Choice rs ->
+    R.choice (List.map (transform st ~parent ~accessible In_choice) rs)
+  | R.Star r -> R.star (transform st ~parent ~accessible In_star r)
+  | R.Elt b -> (
+    let ann = Spec.annotation st.spec ~parent ~child:b in
+    let child_accessible =
+      match ann with
+      | Some Spec.Yes -> `Yes
+      | Some (Spec.Cond q) -> `Cond q
+      | Some Spec.No -> `No
+      | None -> if accessible then `Yes else `No
+    in
+    match child_accessible with
+    | `Yes ->
+      bind b (A.Label b);
+      proc_acc st b;
+      R.Elt b
+    | `Cond q ->
+      bind b (A.qualify (A.Label b) q);
+      proc_acc st b;
+      R.Elt b
+    | `No ->
+      if Hashtbl.mem st.in_progress b then begin
+        (* Recursive inaccessible type: dummy-rename, production filled
+           in when proc_inacc b completes. *)
+        let x = fresh_dummy st b in
+        bind x (A.Label b);
+        R.Elt x
+      end
+      else begin
+        proc_inacc st b;
+        let reg_b = Hashtbl.find st.reg b in
+        if R.is_empty_language reg_b then R.Epsilon (* prune *)
+        else if can_inline ctx reg_b then begin
+          (* Short-cut: b's closest accessible descendants become
+             children of [parent], reached through b. *)
+          List.iter
+            (fun c ->
+              List.iter
+                (fun p -> bind c (A.slash (A.Label b) p))
+                (Option.value (Hashtbl.find_opt st.path (b, c)) ~default:[]))
+            (R.labels reg_b);
+          reg_b
+        end
+        else begin
+          let x = fresh_dummy st b in
+          bind x (A.Label b);
+          if not (Hashtbl.mem st.view_prods x) then begin
+            Hashtbl.replace st.view_prods x reg_b;
+            List.iter
+              (fun c ->
+                List.iter
+                  (fun p -> add_binding st.sigma (x, c) p)
+                  (Option.value (Hashtbl.find_opt st.path (b, c)) ~default:[]))
+              (R.labels reg_b)
+          end;
+          R.Elt x
+        end
+      end)
+
+(* Merge duplicate labels in a production: the first occurrence becomes
+   a starred occurrence, later ones vanish; σ for the label is the
+   union of all collected paths (Example 3.4's compaction). *)
+let merge_duplicates prod =
+  let count = Hashtbl.create 8 in
+  let rec tally = function
+    | R.Empty | R.Epsilon | R.Str -> ()
+    | R.Elt l ->
+      Hashtbl.replace count l
+        (1 + Option.value (Hashtbl.find_opt count l) ~default:0)
+    | R.Seq rs | R.Choice rs -> List.iter tally rs
+    | R.Star r -> tally r
+  in
+  tally prod;
+  let emitted = Hashtbl.create 8 in
+  let rec rebuild = function
+    | (R.Empty | R.Epsilon | R.Str) as r -> r
+    | R.Elt l as r ->
+      if Option.value (Hashtbl.find_opt count l) ~default:0 <= 1 then r
+      else if Hashtbl.mem emitted l then R.Epsilon
+      else begin
+        Hashtbl.add emitted l ();
+        R.star (R.Elt l)
+      end
+    | R.Seq rs -> R.seq (List.map rebuild rs)
+    | R.Choice rs -> R.choice (List.map rebuild rs)
+    | R.Star r -> R.star (rebuild r)
+  in
+  rebuild prod
+
+let derive spec =
+  let st =
+    {
+      spec;
+      visited_acc = Hashtbl.create 16;
+      visited_inacc = Hashtbl.create 16;
+      in_progress = Hashtbl.create 16;
+      view_prods = Hashtbl.create 16;
+      sigma = Hashtbl.create 32;
+      reg = Hashtbl.create 16;
+      path = Hashtbl.create 32;
+      dummy_of = Hashtbl.create 8;
+      dummy_count = 0;
+      dummy_order = [];
+    }
+  in
+  let root = Sdtd.Dtd.root (Spec.dtd spec) in
+  proc_acc st root;
+  let decls =
+    Hashtbl.fold
+      (fun name prod acc -> (name, merge_duplicates prod) :: acc)
+      st.view_prods []
+    |> List.sort compare
+  in
+  let dtd = Sdtd.Dtd.restrict_reachable (Sdtd.Dtd.create ~root decls) in
+  (* Attributes: a view type exposes the declared attributes of its
+     document source type, per the same inheritance/override rules as
+     children — unannotated attributes follow the element (visible on
+     accessible types, hidden on dummies), explicit annotations win. *)
+  let doc_dtd = Spec.dtd spec in
+  let source_of =
+    let reverse = Hashtbl.create 8 in
+    Hashtbl.iter (fun src dummy -> Hashtbl.replace reverse dummy src)
+      st.dummy_of;
+    fun view_type ->
+      match Hashtbl.find_opt reverse view_type with
+      | Some src -> (src, false)
+      | None -> (view_type, true)
+  in
+  let dtd =
+    List.fold_left
+      (fun dtd view_type ->
+        let src, element_accessible = source_of view_type in
+        let visible =
+          List.filter
+            (fun a ->
+              match
+                Spec.annotation spec ~parent:src ~child:("@" ^ a)
+              with
+              | Some Spec.Yes -> true
+              | Some (Spec.Cond _) (* rejected by Spec.make *)
+              | Some Spec.No ->
+                false
+              | None -> element_accessible)
+            (Sdtd.Dtd.attributes doc_dtd src)
+        in
+        if visible = [] then dtd
+        else Sdtd.Dtd.with_attributes dtd view_type visible)
+      dtd
+      (Sdtd.Dtd.reachable dtd)
+  in
+  let sigma =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            match Hashtbl.find_opt st.sigma (a, b) with
+            | Some paths -> Some ((a, b), A.union_all paths)
+            | None -> None)
+          (Sdtd.Dtd.children_of dtd a))
+      (Sdtd.Dtd.reachable dtd)
+  in
+  let dummies =
+    List.filter (Sdtd.Dtd.mem dtd) (List.rev st.dummy_order)
+  in
+  View.make ~dummies ~dtd ~sigma ()

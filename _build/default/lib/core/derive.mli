@@ -1,0 +1,35 @@
+(** Algorithm [derive] (Fig. 5): compute a security-view definition
+    from an access specification.
+
+    Inaccessible element types are handled three ways, mirroring the
+    paper:
+    - {e pruned} when they have no accessible descendants;
+    - {e short-cut} when the regular expression [reg(B)] describing
+      their closest accessible descendants fits the surrounding
+      production context (a concatenation inside a concatenation, a
+      disjunction inside a disjunction, a single/starred label inside a
+      star) — the descendants are then inlined as children of the
+      accessible ancestor with composed σ paths;
+    - {e dummy-renamed} otherwise, preserving the DTD structure while
+      hiding the label; inaccessible types hit recursively inside their
+      own [reg] computation are always dummy-renamed, which keeps
+      recursive structure intact (the paper's prose treatment of
+      recursive inaccessible nodes).
+
+    Deviations from the figure, documented in DESIGN.md:
+    - pruning replaces the occurrence by ε rather than deleting it, so
+      a fully-pruned disjunction branch leaves the disjunction nullable
+      instead of making materialization abort on documents that chose
+      that branch;
+    - when short-cutting makes the same child label occur several times
+      in one production, the occurrences are merged into one starred
+      occurrence whose σ is the union of the individual paths — the
+      compaction Example 3.4 applies to [dept → patientInfo¹,
+      patientInfo², staffInfo];
+    - accessible PCDATA under an inaccessible element is never inlined
+      upward (text extraction needs the source element), so such types
+      are dummy-renamed. *)
+
+val derive : Spec.t -> View.t
+(** Runs in O(|D|²) like the paper's algorithm: each element type is
+    processed at most once as accessible and once as inaccessible. *)

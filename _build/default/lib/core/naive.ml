@@ -1,0 +1,52 @@
+module A = Sxpath.Ast
+
+let attribute = "accessibility"
+
+let accessible_qual =
+  A.Eq (A.Attribute attribute, A.Const "1")
+
+(* Rule 2: child axis -> descendant axis, applied to every step of the
+   main path and of qualifier paths.  Structurally: each Label/Wildcard
+   step becomes a //-step. *)
+let rec loosen ~dummy (p : A.path) : A.path =
+  match p with
+  | A.Empty | A.Eps | A.Attribute _ -> p
+  | A.Label l -> A.Dslash (if dummy l then A.Wildcard else A.Label l)
+  | A.Wildcard -> A.Dslash A.Wildcard
+  | A.Slash (p1, p2) -> A.Slash (loosen ~dummy p1, loosen ~dummy p2)
+  | A.Dslash p1 -> A.Dslash (strip_lead ~dummy p1)
+  | A.Union (p1, p2) -> A.Union (loosen ~dummy p1, loosen ~dummy p2)
+  | A.Qualify (p1, q) -> A.Qualify (loosen ~dummy p1, loosen_qual ~dummy q)
+
+(* Under an existing //, the first step needs no extra descent. *)
+and strip_lead ~dummy (p : A.path) : A.path =
+  match p with
+  | A.Label l -> if dummy l then A.Wildcard else p
+  | A.Wildcard | A.Empty | A.Eps | A.Attribute _ -> p
+  | A.Slash (p1, p2) -> A.Slash (strip_lead ~dummy p1, loosen ~dummy p2)
+  | A.Dslash p1 -> A.Dslash (strip_lead ~dummy p1)
+  | A.Union (p1, p2) -> A.Union (strip_lead ~dummy p1, strip_lead ~dummy p2)
+  | A.Qualify (p1, q) ->
+    A.Qualify (strip_lead ~dummy p1, loosen_qual ~dummy q)
+
+and loosen_qual ~dummy (q : A.qual) : A.qual =
+  match q with
+  | A.True | A.False -> q
+  | A.Exists p -> A.Exists (loosen ~dummy p)
+  | A.Eq (p, v) -> A.Eq (loosen ~dummy p, v)
+  | A.And (a, b) -> A.And (loosen_qual ~dummy a, loosen_qual ~dummy b)
+  | A.Or (a, b) -> A.Or (loosen_qual ~dummy a, loosen_qual ~dummy b)
+  | A.Not a -> A.Not (loosen_qual ~dummy a)
+
+let rewrite_query ?view p =
+  let dummy =
+    match view with
+    | None -> fun _ -> false
+    | Some v -> fun l -> View.is_dummy v l
+  in
+  A.Qualify (loosen ~dummy p, accessible_qual)
+
+let prepare ?env spec doc = Access.annotate ?env ~attribute spec doc
+
+let eval ?env ?view p doc =
+  Sxpath.Eval.eval ?env (rewrite_query ?view p) doc

@@ -1,0 +1,37 @@
+(** Algorithm [optimize] (Fig. 10): DTD-aware XPath optimization.
+
+    Given a (document) DTD and a query, produce an equivalent query
+    that is cheaper to evaluate, by
+    - pruning steps the DTD makes impossible (non-existence),
+    - deciding qualifiers from structural constraints
+      (co-existence / exclusive / non-existence, Example 5.1),
+    - dropping union branches subsumed under the approximate
+      containment test ({!Simulate}), and
+    - expanding [//] into the precise label paths of the DTD when the
+      DTD is non-recursive (on recursive DTDs descendant steps are
+      kept as-is; unfold first if expansion is wanted).
+
+    Qualifier simplification is applied only when it is uniform over
+    every element type the qualified sub-query can reach — per-type
+    splitting would reintroduce the imprecision discussed in
+    {!Rewrite}.  All transformations preserve equivalence over every
+    instance of the DTD. *)
+
+val optimize : ?at:string -> Sdtd.Dtd.t -> Sxpath.Ast.path -> Sxpath.Ast.path
+(** [optimize dtd p]: optimized [p] for evaluation at [at]-elements
+    (default: the DTD root).  Returns ∅ when the DTD rules every
+    result out. *)
+
+val optimize_with_reach :
+  ?at:string ->
+  Sdtd.Dtd.t ->
+  Sxpath.Ast.path ->
+  Sxpath.Ast.path * string list
+(** Also expose the element types the query can reach, for tests and
+    for composing optimizations. *)
+
+val simplify_qual :
+  Sdtd.Dtd.t -> string -> Sxpath.Ast.qual -> Sxpath.Ast.qual
+(** Qualifier simplification at one element type: decided qualifiers
+    become [true()]/[false()], conjuncts subsumed by containment are
+    dropped, and embedded paths are optimized. *)

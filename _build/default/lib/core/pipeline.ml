@@ -1,0 +1,97 @@
+type group = {
+  name : string;
+  view : View.t;
+}
+
+type group_state = {
+  info : group;
+  recursive : bool;
+  cache : (Sxpath.Ast.path * int option, Sxpath.Ast.path) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type t = {
+  dtd : Sdtd.Dtd.t;
+  states : (string, group_state) Hashtbl.t;
+  order : string list;
+}
+
+let of_views dtd pairs =
+  let states = Hashtbl.create 8 in
+  List.iter
+    (fun (name, view) ->
+      if Hashtbl.mem states name then
+        invalid_arg (Printf.sprintf "Pipeline: duplicate group %S" name);
+      Hashtbl.replace states name
+        {
+          info = { name; view };
+          recursive = Sdtd.Dtd.is_recursive (View.dtd view);
+          cache = Hashtbl.create 32;
+          hits = 0;
+          misses = 0;
+        })
+    pairs;
+  { dtd; states; order = List.map fst pairs }
+
+let create ~dtd ~groups =
+  List.iter
+    (fun (_, spec) ->
+      if Sdtd.Dtd.stamp (Spec.dtd spec) <> Sdtd.Dtd.stamp dtd then
+        invalid_arg "Pipeline.create: specification over a different DTD")
+    groups;
+  of_views dtd (List.map (fun (name, spec) -> (name, Derive.derive spec)) groups)
+
+let create_with_views ~dtd ~groups = of_views dtd groups
+
+let dtd t = t.dtd
+
+let groups t =
+  List.map (fun name -> (Hashtbl.find t.states name).info) t.order
+
+let state t name =
+  match Hashtbl.find_opt t.states name with
+  | Some st -> st
+  | None -> raise Not_found
+
+let view_dtd t ~group = View.dtd (state t group).info.view
+
+let translate t ~group ?height q =
+  let st = state t group in
+  let key = (q, height) in
+  match Hashtbl.find_opt st.cache key with
+  | Some p ->
+    st.hits <- st.hits + 1;
+    p
+  | None ->
+    st.misses <- st.misses + 1;
+    let rewritten =
+      match (st.recursive, height) with
+      | true, Some h -> Rewrite.rewrite_with_height st.info.view ~height:h q
+      | true, None ->
+        raise
+          (Rewrite.Unsupported
+             "recursive view: Pipeline.translate needs ~height")
+      | false, _ -> Rewrite.rewrite st.info.view q
+    in
+    let optimized = Optimize.optimize t.dtd rewritten in
+    Hashtbl.replace st.cache key optimized;
+    optimized
+
+let element_height doc =
+  let rec go (n : Sxml.Tree.t) =
+    match Sxml.Tree.element_children n with
+    | [] -> 1
+    | cs -> 1 + List.fold_left (fun acc c -> max acc (go c)) 0 cs
+  in
+  go doc
+
+let answer t ~group ?env ?index q doc =
+  let st = state t group in
+  let height = if st.recursive then Some (element_height doc) else None in
+  let translated = translate t ~group ?height q in
+  Sxpath.Eval.eval ?env ?index translated doc
+
+let cache_stats t ~group =
+  let st = state t group in
+  (st.hits, st.misses)

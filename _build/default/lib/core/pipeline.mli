@@ -1,0 +1,55 @@
+(** The full Fig. 3 loop behind one handle.
+
+    A pipeline binds a document DTD and one access policy per user
+    group: construction derives (or loads) each group's security view
+    once; query evaluation then rewrites, optimizes and caches the
+    translated queries, so repeated queries pay translation once.
+
+    This is the module a server embeds: [create] at configuration
+    time, [answer] per request. *)
+
+type t
+
+type group = {
+  name : string;
+  view : View.t;
+}
+
+val create :
+  dtd:Sdtd.Dtd.t -> groups:(string * Spec.t) list -> t
+(** Derive a security view per group.
+    @raise Invalid_argument on duplicate group names or a specification
+    over a different DTD instance. *)
+
+val create_with_views :
+  dtd:Sdtd.Dtd.t -> groups:(string * View.t) list -> t
+(** Use stored view definitions instead of deriving. *)
+
+val dtd : t -> Sdtd.Dtd.t
+val groups : t -> group list
+val view_dtd : t -> group:string -> Sdtd.Dtd.t
+(** What to publish to that user group.  @raise Not_found. *)
+
+val translate :
+  t -> group:string -> ?height:int -> Sxpath.Ast.path -> Sxpath.Ast.path
+(** Rewritten and optimized document query for a view query (cached
+    per group and query).  [height] is required when the group's view
+    DTD is recursive — pass the document's element-nesting height; the
+    cache keys include it.
+    @raise Not_found for an unknown group;
+    @raise Rewrite.Unsupported for recursive views without [height]. *)
+
+val answer :
+  t ->
+  group:string ->
+  ?env:(string -> string option) ->
+  ?index:Sxml.Index.t ->
+  Sxpath.Ast.path ->
+  Sxml.Tree.t ->
+  Sxml.Tree.t list
+(** Translate (through the cache, computing the document height
+    automatically when the view is recursive) and evaluate at the
+    document's root element. *)
+
+val cache_stats : t -> group:string -> int * int
+(** (hits, misses) of the group's translation cache. *)

@@ -1,0 +1,1 @@
+lib/dtd/dtd.ml: Format Hashtbl List Map Option Printf Queue Regex Set String

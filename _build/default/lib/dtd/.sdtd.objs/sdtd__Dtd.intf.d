@@ -1,0 +1,1 @@
+lib/dtd/dtd.mli: Format Regex

@@ -1,0 +1,1 @@
+lib/dtd/gen.ml: Array Dtd Hashtbl List Printf Random Regex Sxml

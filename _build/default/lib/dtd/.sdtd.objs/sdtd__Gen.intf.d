@@ -1,0 +1,1 @@
+lib/dtd/gen.mli: Dtd Random Sxml

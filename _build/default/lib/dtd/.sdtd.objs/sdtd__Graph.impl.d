@@ -1,0 +1,1 @@
+lib/dtd/graph.ml: Buffer Dtd Hashtbl List Printf Regex String

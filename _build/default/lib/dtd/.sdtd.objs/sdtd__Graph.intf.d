@@ -1,0 +1,1 @@
+lib/dtd/graph.mli: Dtd

@@ -1,0 +1,1 @@
+lib/dtd/parse.ml: Dtd Fun List Option Printf Regex String

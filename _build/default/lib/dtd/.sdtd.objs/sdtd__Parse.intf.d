@@ -1,0 +1,1 @@
+lib/dtd/parse.mli: Dtd Regex

@@ -1,0 +1,1 @@
+lib/dtd/regex.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/dtd/regex.mli: Format

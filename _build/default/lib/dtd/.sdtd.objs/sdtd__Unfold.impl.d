@@ -1,0 +1,1 @@
+lib/dtd/unfold.ml: Dtd Hashtbl List Option Printf Queue Regex String

@@ -1,0 +1,1 @@
+lib/dtd/unfold.mli: Dtd

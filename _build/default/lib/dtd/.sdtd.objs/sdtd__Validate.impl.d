@@ -1,0 +1,1 @@
+lib/dtd/validate.ml: Dtd Format List Printf Regex String Sxml

@@ -1,0 +1,1 @@
+lib/dtd/validate.mli: Dtd Format Sxml

@@ -1,0 +1,254 @@
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  stamp : int;
+  root : string;
+  prods : Regex.t SMap.t;
+  attrs : string list SMap.t;  (* declared attributes per element type *)
+  order : string list;  (* declaration order, for stable printing *)
+}
+
+let next_stamp =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let create ?(attlist = []) ~root decls =
+  let prods, order =
+    List.fold_left
+      (fun (m, order) (name, rg) ->
+        if SMap.mem name m then
+          invalid_arg (Printf.sprintf "Dtd.create: duplicate type %S" name)
+        else (SMap.add name (Regex.normalize rg) m, name :: order))
+      (SMap.empty, []) decls
+  in
+  let order = List.rev order in
+  (* Implicitly declare referenced-but-undeclared types as EMPTY. *)
+  let referenced =
+    SMap.fold
+      (fun _ rg acc -> SSet.union acc (SSet.of_list (Regex.labels rg)))
+      prods SSet.empty
+  in
+  let missing =
+    SSet.elements (SSet.diff referenced (SSet.of_list (SMap.bindings prods |> List.map fst)))
+  in
+  let prods =
+    List.fold_left (fun m name -> SMap.add name Regex.Epsilon m) prods missing
+  in
+  let order = order @ missing in
+  if not (SMap.mem root prods) then
+    invalid_arg (Printf.sprintf "Dtd.create: root %S undeclared" root);
+  let attrs =
+    List.fold_left
+      (fun m (name, attr_names) ->
+        if not (SMap.mem name prods) then
+          invalid_arg
+            (Printf.sprintf "Dtd.create: attlist for undeclared type %S" name);
+        let previous = Option.value (SMap.find_opt name m) ~default:[] in
+        SMap.add name
+          (List.sort_uniq String.compare (previous @ attr_names))
+          m)
+      SMap.empty attlist
+  in
+  { stamp = next_stamp (); root; prods; attrs; order }
+
+let root d = d.root
+
+let stamp d = d.stamp
+
+let attributes d name =
+  Option.value (SMap.find_opt name d.attrs) ~default:[]
+
+let with_attributes d name attr_names =
+  if not (SMap.mem name d.prods) then
+    invalid_arg
+      (Printf.sprintf "Dtd.with_attributes: undeclared type %S" name);
+  {
+    d with
+    stamp = next_stamp ();
+    attrs = SMap.add name (List.sort_uniq String.compare attr_names) d.attrs;
+  }
+
+let element_types d =
+  d.root :: List.filter (fun name -> name <> d.root) d.order
+
+let mem d name = SMap.mem name d.prods
+
+let production d name =
+  match SMap.find_opt name d.prods with
+  | Some rg -> rg
+  | None -> raise Not_found
+
+let production_opt d name = SMap.find_opt name d.prods
+
+let children_of d name =
+  match production_opt d name with None -> [] | Some rg -> Regex.labels rg
+
+let size d =
+  let rec regex_size = function
+    | Regex.Empty | Regex.Epsilon | Regex.Str | Regex.Elt _ -> 1
+    | Regex.Seq rs | Regex.Choice rs ->
+      1 + List.fold_left (fun acc r -> acc + regex_size r) 0 rs
+    | Regex.Star r -> 1 + regex_size r
+  in
+  SMap.fold (fun _ rg acc -> acc + 1 + regex_size rg) d.prods 0
+
+let in_normal_form d =
+  SMap.for_all (fun _ rg -> Regex.shape rg <> None) d.prods
+
+let equal a b =
+  String.equal a.root b.root
+  && SMap.equal Regex.equal a.prods b.prods
+  && SMap.equal
+       (fun x y -> List.sort compare x = List.sort compare y)
+       (SMap.filter (fun _ l -> l <> []) a.attrs)
+       (SMap.filter (fun _ l -> l <> []) b.attrs)
+
+let with_production d name rg =
+  let order = if SMap.mem name d.prods then d.order else d.order @ [ name ] in
+  { d with stamp = next_stamp (); prods = SMap.add name rg d.prods; order }
+
+let reachable d =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let queue = Queue.create () in
+  Queue.add d.root queue;
+  Hashtbl.add seen d.root ();
+  while not (Queue.is_empty queue) do
+    let name = Queue.pop queue in
+    out := name :: !out;
+    List.iter
+      (fun child ->
+        if not (Hashtbl.mem seen child) then begin
+          Hashtbl.add seen child ();
+          Queue.add child queue
+        end)
+      (children_of d name)
+  done;
+  List.rev !out
+
+let restrict_reachable d =
+  let keep = SSet.of_list (reachable d) in
+  {
+    d with
+    stamp = next_stamp ();
+    prods = SMap.filter (fun name _ -> SSet.mem name keep) d.prods;
+    attrs = SMap.filter (fun name _ -> SSet.mem name keep) d.attrs;
+    order = List.filter (fun name -> SSet.mem name keep) d.order;
+  }
+
+(* Tarjan-free cycle detection: a type is recursive iff it occurs in an
+   SCC of size > 1 or has a self-loop.  DFS with colors suffices for
+   [recursive_types] via reachability: A is on a cycle iff A is
+   reachable from some child-successor of A.  We compute it directly
+   with a DFS from each type over the (small) DTD graph. *)
+let reaches d ~source ~target =
+  let seen = Hashtbl.create 16 in
+  let rec go name =
+    String.equal name target
+    || (not (Hashtbl.mem seen name))
+       && begin
+            Hashtbl.add seen name ();
+            List.exists go (children_of d name)
+          end
+  in
+  List.exists go (children_of d source)
+
+let recursive_types d =
+  List.filter (fun name -> reaches d ~source:name ~target:name) (reachable d)
+
+let is_recursive d = recursive_types d <> []
+
+let topological_order d =
+  if is_recursive d then None
+  else begin
+    (* DFS postorder reversed = parents-first topological order. *)
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    let rec go name =
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        List.iter go (children_of d name);
+        out := name :: !out
+      end
+    in
+    go d.root;
+    Some !out
+  end
+
+let min_height d name =
+  (* Fixpoint: heights start at max_int and decrease monotonically. *)
+  let heights = Hashtbl.create 16 in
+  let get n = Option.value (Hashtbl.find_opt heights n) ~default:max_int in
+  let rec regex_height rg =
+    (* Minimum over words of (max over symbols of child height);
+       [Some 0] when the empty word suffices. *)
+    match rg with
+    | Regex.Empty -> None
+    | Regex.Epsilon | Regex.Str -> Some 0
+    | Regex.Elt l -> if get l = max_int then None else Some (get l)
+    | Regex.Star _ -> Some 0
+    | Regex.Seq rs ->
+      List.fold_left
+        (fun acc r ->
+          match (acc, regex_height r) with
+          | Some a, Some b -> Some (max a b)
+          | _, None | None, _ -> None)
+        (Some 0) rs
+    | Regex.Choice rs ->
+      List.fold_left
+        (fun acc r ->
+          match (acc, regex_height r) with
+          | Some a, Some b -> Some (min a b)
+          | Some a, None -> Some a
+          | None, h -> h)
+        None rs
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    SMap.iter
+      (fun n rg ->
+        match regex_height rg with
+        | None -> ()
+        | Some h ->
+          let candidate = if h = max_int then max_int else 1 + h in
+          if candidate < get n then begin
+            Hashtbl.replace heights n candidate;
+            changed := true
+          end)
+      d.prods
+  done;
+  get name
+
+(* Star contents may still require children once iterated: Star counts
+   as height 0 because zero iterations are allowed, which is what
+   min_height needs. *)
+
+let is_consistent d =
+  List.for_all (fun name -> min_height d name < max_int) (reachable d)
+
+let pp ppf d =
+  List.iter
+    (fun name ->
+      let rg = production d name in
+      let body =
+        match rg with
+        | Regex.Epsilon -> "EMPTY"
+        | Regex.Str -> "(#PCDATA)"
+        | Regex.Seq _ | Regex.Choice _ -> Regex.to_string rg
+        | _ -> "(" ^ Regex.to_string rg ^ ")"
+      in
+      Format.fprintf ppf "<!ELEMENT %s %s>@." name body;
+      match attributes d name with
+      | [] -> ()
+      | attr_names ->
+        List.iter
+          (fun a ->
+            Format.fprintf ppf "<!ATTLIST %s %s CDATA #IMPLIED>@." name a)
+          attr_names)
+    (element_types d)
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,99 @@
+type config = {
+  seed : int;
+  star_min : int;
+  star_max : int;
+  star_for : string -> (int * int) option;
+  depth_budget : int;
+  text_for : string -> Random.State.t -> string;
+  attr_for : string -> string -> Random.State.t -> string option;
+}
+
+let vocabulary =
+  [| "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot"; "golf";
+     "hotel"; "india"; "juliet"; "kilo"; "lima"; "1"; "2"; "3"; "6"; "42" |]
+
+let default_text _element rng =
+  vocabulary.(Random.State.int rng (Array.length vocabulary))
+
+let default_config =
+  {
+    seed = 0;
+    star_min = 0;
+    star_max = 3;
+    star_for = (fun _ -> None);
+    depth_budget = 12;
+    text_for = default_text;
+    attr_for = (fun _ _ _ -> None);
+  }
+
+let generate_spec ?(config = default_config) dtd =
+  if not (Dtd.is_consistent dtd) then
+    invalid_arg "Gen.generate: inconsistent DTD (no finite instances)";
+  let rng = Random.State.make [| config.seed |] in
+  let minh = Hashtbl.create 16 in
+  let min_of name =
+    match Hashtbl.find_opt minh name with
+    | Some h -> h
+    | None ->
+      let h = Dtd.min_height dtd name in
+      Hashtbl.replace minh name h;
+      h
+  in
+  (* Minimum extra height a regex forces on its parent's subtree. *)
+  let rec regex_min rg =
+    match rg with
+    | Regex.Empty -> max_int
+    | Regex.Epsilon | Regex.Str | Regex.Star _ -> 0
+    | Regex.Elt b -> min_of b
+    | Regex.Seq rs ->
+      List.fold_left (fun acc r -> max acc (regex_min r)) 0 rs
+    | Regex.Choice rs ->
+      List.fold_left (fun acc r -> min acc (regex_min r)) max_int rs
+  in
+  let rec gen_element name budget : Sxml.Tree.spec =
+    let rg = Dtd.production dtd name in
+    let attrs =
+      List.filter_map
+        (fun a ->
+          match config.attr_for name a rng with
+          | Some v -> Some (a, v)
+          | None -> None)
+        (Dtd.attributes dtd name)
+    in
+    let children = gen_word name rg budget in
+    Sxml.Tree.elem name ~attrs:attrs children
+  and gen_word parent rg budget : Sxml.Tree.spec list =
+    match rg with
+    | Regex.Empty ->
+      invalid_arg
+        (Printf.sprintf "Gen.generate: type %S has an empty-language model"
+           parent)
+    | Regex.Epsilon -> []
+    | Regex.Str -> [ Sxml.Tree.text (config.text_for parent rng) ]
+    | Regex.Elt b -> [ gen_element b (budget - 1) ]
+    | Regex.Seq rs -> List.concat_map (fun r -> gen_word parent r budget) rs
+    | Regex.Choice rs ->
+      let viable =
+        if budget <= 1 then
+          (* Out of budget: stick to branches finishing fastest. *)
+          let best = regex_min rg in
+          List.filter (fun r -> regex_min r = best) rs
+        else List.filter (fun r -> regex_min r < max_int) rs
+      in
+      let pick = List.nth viable (Random.State.int rng (List.length viable)) in
+      gen_word parent pick budget
+    | Regex.Star r ->
+      if budget <= 1 && regex_min r > 0 then []
+      else begin
+        let lo, hi =
+          match config.star_for parent with
+          | Some range -> range
+          | None -> (config.star_min, config.star_max)
+        in
+        let n = lo + Random.State.int rng (max 1 (hi - lo + 1)) in
+        List.concat (List.init n (fun _ -> gen_word parent r budget))
+      end
+  in
+  gen_element (Dtd.root dtd) config.depth_budget
+
+let generate ?config dtd = Sxml.Tree.of_spec (generate_spec ?config dtd)

@@ -1,0 +1,262 @@
+type error = { position : int; message : string }
+
+exception Error of error
+
+let error_to_string { position; message } =
+  Printf.sprintf "DTD parse error at offset %d: %s" position message
+
+type state = { input : string; mutable pos : int }
+
+let fail st message = raise (Error { position = st.pos; message })
+
+let eof st = st.pos >= String.length st.input
+let peek st = if eof st then '\000' else st.input.[st.pos]
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = prefix
+
+let skip st n =
+  for _ = 1 to n do
+    advance st
+  done
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  let rec loop () =
+    if (not (eof st)) && is_space (peek st) then begin
+      advance st;
+      loop ()
+    end
+    else if looking_at st "<!--" then begin
+      skip st 4;
+      while (not (eof st)) && not (looking_at st "-->") do
+        advance st
+      done;
+      if eof st then fail st "unterminated comment";
+      skip st 3;
+      loop ()
+    end
+  in
+  loop ()
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = '.' || c = ':'
+
+let parse_name st =
+  if not (is_name_char (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Content-model grammar:
+     choice := seq ('|' seq)*
+     seq    := postfix (',' postfix)*
+     postfix:= atom ('*' | '+' | '?')?
+     atom   := '#PCDATA' | name | '(' choice ')' *)
+let rec parse_choice st =
+  let first = parse_seq st in
+  let rec loop acc =
+    skip_space st;
+    if peek st = '|' then begin
+      advance st;
+      loop (parse_seq st :: acc)
+    end
+    else List.rev acc
+  in
+  match loop [ first ] with [ r ] -> r | rs -> Regex.choice rs
+
+and parse_seq st =
+  let first = parse_postfix st in
+  let rec loop acc =
+    skip_space st;
+    if peek st = ',' then begin
+      advance st;
+      loop (parse_postfix st :: acc)
+    end
+    else List.rev acc
+  in
+  match loop [ first ] with [ r ] -> r | rs -> Regex.seq rs
+
+and parse_postfix st =
+  let atom = parse_atom st in
+  match peek st with
+  | '*' ->
+    advance st;
+    Regex.star atom
+  | '+' ->
+    advance st;
+    Regex.plus atom
+  | '?' ->
+    advance st;
+    Regex.opt atom
+  | _ -> atom
+
+and parse_atom st =
+  skip_space st;
+  if peek st = '(' then begin
+    advance st;
+    let inner = parse_choice st in
+    skip_space st;
+    if peek st <> ')' then fail st "expected ')'";
+    advance st;
+    inner
+  end
+  else if peek st = '#' then begin
+    advance st;
+    let name = parse_name st in
+    if String.equal name "PCDATA" then Regex.Str
+    else fail st ("unknown #-token: #" ^ name)
+  end
+  else
+    (* EMPTY/NONE inside a group are extensions matching Regex.pp's
+       output for ε and ∅ (plain DTD syntax has no inline spelling for
+       them); elements cannot take these reserved names. *)
+    match parse_name st with
+    | "EMPTY" -> Regex.Epsilon
+    | "NONE" -> Regex.Empty
+    | name -> Regex.Elt name
+
+let parse_content st =
+  skip_space st;
+  if looking_at st "EMPTY" then begin
+    skip st 5;
+    Regex.Epsilon
+  end
+  else if looking_at st "ANY" then begin
+    skip st 3;
+    Regex.Epsilon
+  end
+  else parse_choice st
+
+let regex_of_string input =
+  let st = { input; pos = 0 } in
+  let rg = parse_content st in
+  skip_space st;
+  if not (eof st) then fail st "trailing input after content model";
+  rg
+
+(* <!ATTLIST elem (name type default)*>: we keep attribute names and
+   skip types/defaults (the model only tracks which attributes
+   exist). *)
+let parse_attlist st =
+  skip_space st;
+  let element = parse_name st in
+  let names = ref [] in
+  let skip_token () =
+    skip_space st;
+    if peek st = '(' then begin
+      (* enumerated type *)
+      while (not (eof st)) && peek st <> ')' do
+        advance st
+      done;
+      if eof st then fail st "unterminated enumerated attribute type";
+      advance st
+    end
+    else if peek st = '"' || peek st = '\'' then begin
+      let quote = peek st in
+      advance st;
+      while (not (eof st)) && peek st <> quote do
+        advance st
+      done;
+      if eof st then fail st "unterminated attribute default";
+      advance st
+    end
+    else if peek st = '#' then begin
+      advance st;
+      ignore (parse_name st);
+      (* #FIXED carries a value *)
+      skip_space st;
+      if peek st = '"' || peek st = '\'' then begin
+        let quote = peek st in
+        advance st;
+        while (not (eof st)) && peek st <> quote do
+          advance st
+        done;
+        if eof st then fail st "unterminated attribute default";
+        advance st
+      end
+    end
+    else ignore (parse_name st)
+  in
+  let rec attrs () =
+    skip_space st;
+    if peek st = '>' then advance st
+    else begin
+      let name = parse_name st in
+      names := name :: !names;
+      skip_token () (* type *);
+      skip_token () (* default *);
+      attrs ()
+    end
+  in
+  attrs ();
+  (element, List.rev !names)
+
+let parse_declarations st =
+  let decls = ref [] in
+  let attlists = ref [] in
+  let rec loop () =
+    skip_space st;
+    if eof st then ()
+    else if looking_at st "<!ELEMENT" then begin
+      skip st 9;
+      skip_space st;
+      let name = parse_name st in
+      let content = parse_content st in
+      skip_space st;
+      if peek st <> '>' then fail st "expected '>' closing <!ELEMENT";
+      advance st;
+      decls := (name, content) :: !decls;
+      loop ()
+    end
+    else if looking_at st "<!ATTLIST" then begin
+      skip st 9;
+      attlists := parse_attlist st :: !attlists;
+      loop ()
+    end
+    else if looking_at st "<!ENTITY" then begin
+      while (not (eof st)) && peek st <> '>' do
+        advance st
+      done;
+      if eof st then fail st "unterminated declaration";
+      advance st;
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      while (not (eof st)) && not (looking_at st "?>") do
+        advance st
+      done;
+      if eof st then fail st "unterminated processing instruction";
+      skip st 2;
+      loop ()
+    end
+    else fail st "expected a DTD declaration"
+  in
+  loop ();
+  (List.rev !decls, List.rev !attlists)
+
+let of_string ?root input =
+  let st = { input; pos = 0 } in
+  let decls, attlist = parse_declarations st in
+  match decls with
+  | [] -> fail st "no element declarations"
+  | (first, _) :: _ ->
+    let root = Option.value root ~default:first in
+    Dtd.create ~attlist ~root decls
+
+let of_file ?root path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ?root contents

@@ -1,0 +1,23 @@
+(** Parser for DTD declaration syntax.
+
+    Accepts a sequence of [<!ELEMENT name content>] declarations where
+    [content] is [EMPTY], [ANY] (treated as ε — the substrate does not
+    model mixed wildcard content), [(#PCDATA)], or a parenthesized
+    regex over element names with [,], [|], [*], [+], [?].  [<!ATTLIST
+    ...>] declarations and comments are skipped.  The root is the first
+    declared element unless overridden. *)
+
+type error = { position : int; message : string }
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val of_string : ?root:string -> string -> Dtd.t
+(** @raise Error on malformed input.
+    @raise Invalid_argument on duplicate declarations. *)
+
+val of_file : ?root:string -> string -> Dtd.t
+
+val regex_of_string : string -> Regex.t
+(** Parse a bare content model, e.g. ["(a, (b | c)*, #PCDATA?)"]. *)

@@ -1,0 +1,173 @@
+type t =
+  | Empty
+  | Epsilon
+  | Str
+  | Elt of string
+  | Seq of t list
+  | Choice of t list
+  | Star of t
+
+let rec equal a b =
+  match (a, b) with
+  | Empty, Empty | Epsilon, Epsilon | Str, Str -> true
+  | Elt x, Elt y -> String.equal x y
+  | Seq xs, Seq ys | Choice xs, Choice ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Star x, Star y -> equal x y
+  | (Empty | Epsilon | Str | Elt _ | Seq _ | Choice _ | Star _), _ -> false
+
+let seq parts =
+  let flat =
+    List.concat_map (function Seq xs -> xs | Epsilon -> [] | r -> [ r ]) parts
+  in
+  if List.exists (fun r -> r = Empty) flat then Empty
+  else
+    match flat with
+    | [] -> Epsilon
+    | [ r ] -> r
+    | rs -> Seq rs
+
+let choice parts =
+  let flat =
+    List.concat_map (function Choice xs -> xs | Empty -> [] | r -> [ r ]) parts
+  in
+  let deduped =
+    List.fold_left
+      (fun acc r -> if List.exists (equal r) acc then acc else r :: acc)
+      [] flat
+    |> List.rev
+  in
+  match deduped with [] -> Empty | [ r ] -> r | rs -> Choice rs
+
+let star = function
+  | Empty | Epsilon -> Epsilon
+  | Star r -> Star r
+  | r -> Star r
+
+let opt r = if r = Epsilon then Epsilon else choice [ r; Epsilon ]
+
+let plus r = seq [ r; star r ]
+
+let rec normalize = function
+  | (Empty | Epsilon | Str | Elt _) as r -> r
+  | Seq rs -> seq (List.map normalize rs)
+  | Choice rs -> choice (List.map normalize rs)
+  | Star r -> star (normalize r)
+
+let labels r =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Empty | Epsilon | Str -> ()
+    | Elt l ->
+      if not (Hashtbl.mem seen l) then begin
+        Hashtbl.add seen l ();
+        out := l :: !out
+      end
+    | Seq rs | Choice rs -> List.iter go rs
+    | Star r -> go r
+  in
+  go r;
+  List.rev !out
+
+let rec mentions_str = function
+  | Str -> true
+  | Empty | Epsilon | Elt _ -> false
+  | Seq rs | Choice rs -> List.exists mentions_str rs
+  | Star r -> mentions_str r
+
+let rec nullable = function
+  | Empty | Str | Elt _ -> false
+  | Epsilon | Star _ -> true
+  | Seq rs -> List.for_all nullable rs
+  | Choice rs -> List.exists nullable rs
+
+let rec is_empty_language = function
+  | Empty -> true
+  | Epsilon | Str | Elt _ | Star _ -> false
+  | Seq rs -> List.exists is_empty_language rs
+  | Choice rs -> List.for_all is_empty_language rs
+
+let rec rename f = function
+  | (Empty | Epsilon | Str) as r -> r
+  | Elt l -> Elt (f l)
+  | Seq rs -> Seq (List.map (rename f) rs)
+  | Choice rs -> Choice (List.map (rename f) rs)
+  | Star r -> Star (rename f r)
+
+let pcdata = "#PCDATA"
+
+let rec deriv sym = function
+  | Empty | Epsilon -> Empty
+  | Str -> if String.equal sym pcdata then Epsilon else Empty
+  | Elt l -> if String.equal sym l then Epsilon else Empty
+  | Seq [] -> Empty
+  | Seq (r :: rest) ->
+    let with_head = seq (deriv sym r :: rest) in
+    if nullable r then choice [ with_head; deriv sym (seq rest) ]
+    else with_head
+  | Choice rs -> choice (List.map (deriv sym) rs)
+  | Star r as whole -> seq [ deriv sym r; whole ]
+
+let matches r word =
+  let rec go r = function
+    | [] -> nullable r
+    | sym :: rest ->
+      let r' = deriv sym r in
+      if r' = Empty then false else go r' rest
+  in
+  go r word
+
+type shape =
+  | Shape_str
+  | Shape_epsilon
+  | Shape_seq of string list
+  | Shape_choice of string list
+  | Shape_star of string
+
+let shape = function
+  | Str -> Some Shape_str
+  | Epsilon -> Some Shape_epsilon
+  | Elt l -> Some (Shape_seq [ l ])
+  | Star (Elt l) -> Some (Shape_star l)
+  | Seq rs ->
+    let as_label = function Elt l -> Some l | _ -> None in
+    let ls = List.filter_map as_label rs in
+    if List.length ls = List.length rs then Some (Shape_seq ls) else None
+  | Choice rs ->
+    let as_label = function Elt l -> Some l | _ -> None in
+    let ls = List.filter_map as_label rs in
+    if List.length ls = List.length rs then Some (Shape_choice ls) else None
+  | Empty | Star _ -> None
+
+let of_shape = function
+  | Shape_str -> Str
+  | Shape_epsilon -> Epsilon
+  | Shape_seq ls -> seq (List.map (fun l -> Elt l) ls)
+  | Shape_choice ls -> choice (List.map (fun l -> Elt l) ls)
+  | Shape_star l -> Star (Elt l)
+
+let rec pp ppf r =
+  let pp_sep sep ppf () = Format.pp_print_string ppf sep in
+  match r with
+  | Empty -> Format.pp_print_string ppf "NONE"
+  | Epsilon -> Format.pp_print_string ppf "EMPTY"
+  | Str -> Format.pp_print_string ppf "#PCDATA"
+  | Elt l -> Format.pp_print_string ppf l
+  | Seq rs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_atom)
+      rs
+  | Choice rs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(pp_sep " | ") pp_atom)
+      rs
+  | Star r -> Format.fprintf ppf "%a*" pp_atom r
+
+and pp_atom ppf r =
+  match r with
+  | Seq _ | Choice _ -> pp ppf r
+  | Star inner -> Format.fprintf ppf "%a*" pp_atom inner
+  | Empty | Epsilon | Str | Elt _ -> pp ppf r
+
+let to_string r = Format.asprintf "%a" pp r

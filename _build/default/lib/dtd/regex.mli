@@ -1,0 +1,91 @@
+(** Content-model regular expressions.
+
+    The paper (Section 2) restricts document DTDs to the normal form
+    [str | eps | B1,...,Bn | B1+...+Bn | B*] and notes that any DTD can
+    be brought to it by introducing auxiliary element types.  View DTDs
+    produced by the derivation algorithm, however, mix these shapes
+    (e.g. [patientInfo*, staffInfo] in Fig. 2), so the substrate uses
+    general regexes and exposes the normal form as a classification
+    ({!shape}). *)
+
+type t =
+  | Empty  (** the empty language, ∅ — matches no word at all *)
+  | Epsilon  (** the empty word *)
+  | Str  (** PCDATA *)
+  | Elt of string  (** an element type *)
+  | Seq of t list  (** concatenation *)
+  | Choice of t list  (** disjunction *)
+  | Star of t  (** Kleene star *)
+
+val equal : t -> t -> bool
+
+(** {2 Smart constructors}
+
+    These apply the obvious simplifications (unit and zero laws,
+    flattening of nested [Seq]/[Choice], deduplication of identical
+    [Choice] branches) so regexes built programmatically stay small. *)
+
+val seq : t list -> t
+val choice : t list -> t
+val star : t -> t
+val opt : t -> t
+(** [opt r] is [r + ε] (DTD's [r?]). *)
+
+val plus : t -> t
+(** [plus r] is [r, r*] (DTD's [r+]). *)
+
+val normalize : t -> t
+(** Rebuild a regex through the smart constructors at every depth, so
+    structurally different spellings of the same simplifications
+    compare equal ([Seq [Elt a]] vs [Elt a], …). *)
+
+(** {2 Queries} *)
+
+val labels : t -> string list
+(** Element types occurring in the regex, each once, in first-occurrence
+    order. *)
+
+val mentions_str : t -> bool
+
+val nullable : t -> bool
+(** Does the language contain the empty word? *)
+
+val is_empty_language : t -> bool
+(** Is the language empty (≠ nullable: [Empty] vs [Epsilon])? *)
+
+val rename : (string -> string) -> t -> t
+(** Rename every element-type occurrence. *)
+
+(** {2 Word membership}
+
+    Words are sequences of symbols: an element type name, or {!pcdata}
+    for a text node.  Membership is decided with Brzozowski
+    derivatives, which is linear in practice for the deterministic
+    content models DTDs require. *)
+
+val pcdata : string
+(** The reserved symbol ["#PCDATA"] standing for a text node. *)
+
+val deriv : string -> t -> t
+(** Brzozowski derivative w.r.t. one symbol. *)
+
+val matches : t -> string list -> bool
+
+(** {2 Normal-form classification (the paper's five production shapes)} *)
+
+type shape =
+  | Shape_str
+  | Shape_epsilon
+  | Shape_seq of string list  (** B1,...,Bn with n >= 1 *)
+  | Shape_choice of string list  (** B1+...+Bn with n >= 2 *)
+  | Shape_star of string
+
+val shape : t -> shape option
+(** [shape r] classifies [r] if it is in the paper's normal form. *)
+
+val of_shape : shape -> t
+
+val pp : Format.formatter -> t -> unit
+(** DTD-style syntax: [(a, b*, (c | d))], [#PCDATA], [EMPTY]. *)
+
+val to_string : t -> string

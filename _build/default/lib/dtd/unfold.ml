@@ -1,0 +1,83 @@
+let separator = '~'
+
+let mangle name level = Printf.sprintf "%s%c%d" name separator level
+
+let split name =
+  match String.rindex_opt name separator with
+  | None -> None
+  | Some i -> (
+    let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+    match int_of_string_opt suffix with
+    | Some level when level >= 1 -> Some (String.sub name 0 i, level)
+    | Some _ | None -> None)
+
+let label_of name =
+  match split name with Some (label, _) -> label | None -> name
+
+let level_of name =
+  match split name with Some (_, level) -> Some level | None -> None
+
+let unfold d ~height =
+  let minh = Hashtbl.create 16 in
+  List.iter
+    (fun name -> Hashtbl.replace minh name (Dtd.min_height d name))
+    (Dtd.reachable d);
+  List.iter
+    (fun name ->
+      if String.contains name separator then
+        invalid_arg
+          (Printf.sprintf "Unfold.unfold: type %S contains %C" name separator))
+    (Dtd.reachable d);
+  let min_of name = Option.value (Hashtbl.find_opt minh name) ~default:max_int in
+  let root_min = min_of (Dtd.root d) in
+  if height < root_min then
+    invalid_arg
+      (Printf.sprintf
+         "Unfold.unfold: height %d below the minimum instance height %d"
+         height root_min);
+  (* A child of type B at level k+1 fits iff its minimal subtree still
+     fits under the height bound. *)
+  let fits name level = level - 1 + min_of name <= height in
+  let cut level rg =
+    let rec go = function
+      | (Regex.Empty | Regex.Epsilon | Regex.Str) as r -> r
+      | Regex.Elt b ->
+        if fits b (level + 1) then Regex.Elt (mangle b (level + 1))
+        else Regex.Empty
+      | Regex.Seq rs -> Regex.seq (List.map go rs)
+      | Regex.Choice rs -> Regex.choice (List.map go rs)
+      | Regex.Star r -> (
+        match go r with
+        | Regex.Empty -> Regex.Epsilon
+        | r' -> Regex.star r')
+    in
+    go rg
+  in
+  (* BFS over reachable (type, level) pairs. *)
+  let decls = ref [] in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let enqueue name level =
+    let key = (name, level) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Queue.add key queue
+    end
+  in
+  enqueue (Dtd.root d) 1;
+  let attlist = ref [] in
+  while not (Queue.is_empty queue) do
+    let name, level = Queue.pop queue in
+    let rg = cut level (Dtd.production d name) in
+    decls := (mangle name level, rg) :: !decls;
+    (match Dtd.attributes d name with
+    | [] -> ()
+    | attrs -> attlist := (mangle name level, attrs) :: !attlist);
+    List.iter
+      (fun child ->
+        match split child with
+        | Some (base, lvl) -> enqueue base lvl
+        | None -> ())
+      (Regex.labels rg)
+  done;
+  Dtd.create ~attlist:!attlist ~root:(mangle (Dtd.root d) 1) (List.rev !decls)

@@ -1,0 +1,47 @@
+type violation = { node_id : int; element : string; message : string }
+
+let pp_violation ppf { node_id; element; message } =
+  Format.fprintf ppf "node %d <%s>: %s" node_id element message
+
+let symbol_of (node : Sxml.Tree.t) =
+  match node.desc with
+  | Sxml.Tree.Text _ -> Regex.pcdata
+  | Sxml.Tree.Element e -> e.tag
+
+let check dtd doc =
+  let violations = ref [] in
+  let report node_id element message =
+    violations := { node_id; element; message } :: !violations
+  in
+  let rec visit (node : Sxml.Tree.t) =
+    match node.desc with
+    | Sxml.Tree.Text _ -> ()
+    | Sxml.Tree.Element e ->
+      (match Dtd.production_opt dtd e.tag with
+      | None -> report node.id e.tag "element type undeclared in DTD"
+      | Some rg ->
+        let word = List.map symbol_of e.children in
+        if not (Regex.matches rg word) then
+          report node.id e.tag
+            (Printf.sprintf "children [%s] do not match content model %s"
+               (String.concat "; " word) (Regex.to_string rg));
+        let declared = Dtd.attributes dtd e.tag in
+        List.iter
+          (fun (name, _) ->
+            if not (List.mem name declared) then
+              report node.id e.tag
+                (Printf.sprintf "attribute %S is not declared" name))
+          e.attrs);
+      List.iter visit e.children
+  in
+  (match Sxml.Tree.tag doc with
+  | Some tag when String.equal tag (Dtd.root dtd) -> ()
+  | Some tag ->
+    report doc.id tag
+      (Printf.sprintf "root is <%s> but the DTD root type is <%s>" tag
+         (Dtd.root dtd))
+  | None -> report doc.id "#text" "document root is a text node");
+  visit doc;
+  List.rev !violations
+
+let conforms dtd doc = check dtd doc = []

@@ -1,0 +1,1 @@
+lib/workload/adex.ml: Sdtd Secview Sxpath

@@ -1,0 +1,1 @@
+lib/workload/adex.mli: Sdtd Secview Sxml Sxpath

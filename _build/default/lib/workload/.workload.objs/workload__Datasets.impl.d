@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Adex Printf Sxml

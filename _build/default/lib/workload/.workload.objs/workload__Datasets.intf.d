@@ -1,0 +1,1 @@
+lib/workload/datasets.mli: Sxml

@@ -1,0 +1,1 @@
+lib/workload/fig7.ml: Printf Sdtd Secview Sxml

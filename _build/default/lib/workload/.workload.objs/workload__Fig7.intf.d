@@ -1,0 +1,1 @@
+lib/workload/fig7.mli: Sdtd Secview Sxml

@@ -1,0 +1,1 @@
+lib/workload/hospital.ml: Printf Random Sdtd Secview String Sxml Sxpath

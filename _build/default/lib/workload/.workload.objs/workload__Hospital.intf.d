@@ -1,0 +1,1 @@
+lib/workload/hospital.mli: Sdtd Secview Sxml Sxpath

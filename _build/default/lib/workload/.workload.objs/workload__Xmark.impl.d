@@ -1,0 +1,1 @@
+lib/workload/xmark.ml: Array List Random Sdtd Secview Sxml Sxpath

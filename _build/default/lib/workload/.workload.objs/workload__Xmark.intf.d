@@ -1,0 +1,1 @@
+lib/workload/xmark.mli: Sdtd Secview Sxml Sxpath

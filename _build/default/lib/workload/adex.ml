@@ -1,0 +1,122 @@
+module R = Sdtd.Regex
+
+let dtd =
+  let e l = R.Elt l in
+  Sdtd.Dtd.create ~root:"adex"
+    [
+      ("adex", R.Seq [ e "head"; e "body" ]);
+      ( "head",
+        R.Seq
+          [
+            e "transaction-info";
+            R.Star (e "buyer-info");
+            R.Star (e "seller-info");
+          ] );
+      ("transaction-info", R.Seq [ e "transaction-id"; e "date" ]);
+      ( "buyer-info",
+        R.Seq [ e "company-id"; e "contact-info"; e "account-status" ] );
+      ( "contact-info",
+        R.Seq [ e "name"; e "address"; e "phone"; e "email" ] );
+      ("seller-info", R.Seq [ e "company-id"; e "contact-info" ]);
+      ("body", R.Star (e "ad-instance"));
+      ( "ad-instance",
+        R.Seq
+          [
+            e "ad-id";
+            e "start-date";
+            e "end-date";
+            e "payment";
+            R.Choice [ e "real-estate"; e "employment"; e "automotive" ];
+          ] );
+      ("real-estate", R.Choice [ e "house"; e "apartment" ]);
+      ( "house",
+        R.Seq
+          [
+            e "location";
+            e "bedrooms";
+            e "r-e.asking-price";
+            e "r-e.warranty";
+          ] );
+      ( "apartment",
+        R.Seq
+          [ e "location"; e "bedrooms"; e "r-e.rental-price"; e "r-e.unit-type" ]
+      );
+      ("location", R.Seq [ e "city"; e "state"; e "zip" ]);
+      ("employment", R.Seq [ e "job-title"; e "salary"; e "employer" ]);
+      ("automotive", R.Seq [ e "make"; e "model"; e "year"; e "price" ]);
+      ("payment", R.Seq [ e "method"; e "amount" ]);
+      ("transaction-id", R.Str);
+      ("date", R.Str);
+      ("company-id", R.Str);
+      ("account-status", R.Str);
+      ("name", R.Str);
+      ("address", R.Str);
+      ("phone", R.Str);
+      ("email", R.Str);
+      ("ad-id", R.Str);
+      ("start-date", R.Str);
+      ("end-date", R.Str);
+      ("bedrooms", R.Str);
+      ("r-e.asking-price", R.Str);
+      ("r-e.warranty", R.Str);
+      ("r-e.rental-price", R.Str);
+      ("r-e.unit-type", R.Str);
+      ("city", R.Str);
+      ("state", R.Str);
+      ("zip", R.Str);
+      ("job-title", R.Str);
+      ("salary", R.Str);
+      ("employer", R.Str);
+      ("make", R.Str);
+      ("model", R.Str);
+      ("year", R.Str);
+      ("price", R.Str);
+      ("method", R.Str);
+      ("amount", R.Str);
+    ]
+
+let spec =
+  Secview.Spec.make dtd
+    [
+      (("adex", "head"), Secview.Spec.No);
+      (("adex", "body"), Secview.Spec.No);
+      (("head", "buyer-info"), Secview.Spec.Yes);
+      (("ad-instance", "real-estate"), Secview.Spec.Yes);
+    ]
+
+let view =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some v -> v
+    | None ->
+      let v = Secview.Derive.derive spec in
+      memo := Some v;
+      v
+
+let q1 = Sxpath.Parse.of_string "//buyer-info/contact-info"
+let q2 =
+  Sxpath.Parse.of_string "//house/r-e.warranty | //apartment/r-e.warranty"
+let q3 = Sxpath.Parse.of_string "//buyer-info[//company-id and //contact-info]"
+let q4 =
+  Sxpath.Parse.of_string "//house[//r-e.asking-price and //r-e.unit-type]"
+
+let queries = [ ("Q1", q1); ("Q2", q2); ("Q3", q3); ("Q4", q4) ]
+
+let document ?(seed = 7) ~ads ~buyers () =
+  let config =
+    {
+      Sdtd.Gen.default_config with
+      seed;
+      star_for =
+        (fun parent ->
+          match parent with
+          | "body" -> Some (ads, ads)
+          | "head" -> Some ((buyers + 1) / 2, buyers)
+          (* head has two starred collections (buyers and sellers);
+             both get the same range, halving is applied above so the
+             total head size tracks [buyers]. *)
+          | _ -> None);
+    }
+  in
+  Sdtd.Gen.generate ~config dtd

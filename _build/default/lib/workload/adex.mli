@@ -1,0 +1,43 @@
+(** The Adex workload of Section 6.
+
+    The NAA Adex DTD (a proprietary classified-advertisement standard)
+    is not redistributable, so this is a faithful substitute built
+    around every element the paper names, with the structural
+    properties its experiment discussion depends on:
+
+    - [real-estate → house + apartment] is a disjunction (exclusive
+      constraint for Q4);
+    - [buyer-info → company-id, contact-info, account-status] is a
+      concatenation (co-existence constraint for Q3);
+    - [r-e.warranty] and [r-e.asking-price] occur only under [house],
+      [r-e.unit-type] only under [apartment] (non-existence constraint
+      for Q2 and Q4). *)
+
+val dtd : Sdtd.Dtd.t
+
+val spec : Secview.Spec.t
+(** The Section 6 policy: the children of the root are [N]; the
+    [buyer-info] and [real-estate] subtrees are [Y].  The user sees
+    only buyer data and real-estate ads. *)
+
+val view : unit -> Secview.View.t
+(** The derived security view (memoized). *)
+
+val q1 : Sxpath.Ast.path
+(** [//buyer-info/contact-info]. *)
+
+val q2 : Sxpath.Ast.path
+(** [//house/r-e.warranty | //apartment/r-e.warranty]. *)
+
+val q3 : Sxpath.Ast.path
+(** [//buyer-info[//company-id and //contact-info]]. *)
+
+val q4 : Sxpath.Ast.path
+(** [//house[//r-e.asking-price and //r-e.unit-type]]. *)
+
+val queries : (string * Sxpath.Ast.path) list
+(** [("Q1", q1); …]. *)
+
+val document : ?seed:int -> ads:int -> buyers:int -> unit -> Sxml.Tree.t
+(** A generated instance with roughly [ads] ad instances and [buyers]
+    buyer records (the knobs behind the D1–D4 series). *)

@@ -1,0 +1,22 @@
+type t = {
+  name : string;
+  ads : int;
+  buyers : int;
+}
+
+(* Paper sizes: 3.2, 16.7, 51.6, 77.0 MB — ratios ≈ 1 : 5.2 : 16 : 24. *)
+let series ?(scale = 60) () =
+  [
+    { name = "D1"; ads = scale; buyers = scale / 2 };
+    { name = "D2"; ads = scale * 5; buyers = scale * 5 / 2 };
+    { name = "D3"; ads = scale * 16; buyers = scale * 8 };
+    { name = "D4"; ads = scale * 24; buyers = scale * 12 };
+  ]
+
+let load ?(seed = 7) { ads; buyers; name = _ } =
+  Adex.document ~seed ~ads ~buyers ()
+
+let describe doc =
+  Printf.sprintf "%d elements, depth %d"
+    (Sxml.Tree.count_elements doc)
+    (Sxml.Tree.depth doc)

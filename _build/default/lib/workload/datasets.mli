@@ -1,0 +1,21 @@
+(** The D1–D4 document series of Table 1.
+
+    The paper generated 3.2 / 16.7 / 51.6 / 77.0 MB Adex documents by
+    varying the generator's maximum branching factor.  We preserve the
+    ≈ 1 : 5 : 16 : 24 size progression at laptop/CI scale; absolute
+    sizes are configurable through [scale] (ads per document for D1). *)
+
+type t = {
+  name : string;
+  ads : int;
+  buyers : int;
+}
+
+val series : ?scale:int -> unit -> t list
+(** Default scale 60: D1 ≈ 60 ads, D4 ≈ 1440 ads. *)
+
+val load : ?seed:int -> t -> Sxml.Tree.t
+(** Generate the document (deterministic per seed). *)
+
+val describe : Sxml.Tree.t -> string
+(** "N elements, depth d" summary used in benchmark headers. *)

@@ -1,0 +1,35 @@
+module R = Sdtd.Regex
+
+let dtd =
+  let e l = R.Elt l in
+  Sdtd.Dtd.create ~root:"r"
+    [
+      ("r", R.Seq [ e "a"; e "b" ]);
+      ("a", R.Seq [ e "b"; e "c" ]);
+      ("c", R.Star (e "a"));
+      ("b", R.Str);
+    ]
+
+let spec = Secview.Spec.make dtd [ (("r", "b"), Secview.Spec.No) ]
+
+let view =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some v -> v
+    | None ->
+      let v = Secview.Derive.derive spec in
+      memo := Some v;
+      v
+
+let document ~depth:max_level =
+  let open Sxml.Tree in
+  let depth = max_level in
+  let rec a_node level =
+    elem "a"
+      [
+        elem "b" [ text (Printf.sprintf "visible-%d" level) ];
+        elem "c" (if level >= depth then [] else [ a_node (level + 1) ]);
+      ]
+  in
+  of_spec (elem "r" [ a_node 1; elem "b" [ text "hidden" ] ])

@@ -1,0 +1,19 @@
+(** The recursive example of Fig. 7 (b)/(c): a document DTD whose
+    security view is recursive, used to exercise DTD unfolding and
+    recursive-view query rewriting (Section 4.2).
+
+    Document DTD (Fig. 7 (c)): [r → a; a → b, c; c → a*; b → str],
+    where [b] under [r]'s {e other} branch is hidden — concretely we
+    use the specification: [r → a, b] with [ann(r, b) = N] and
+    everything else accessible, so the view DTD is
+    [r → a; a → b, c; c → a*] (a graph with the a→c→a cycle), and the
+    view query [//b] must not return the hidden [b] child of [r]. *)
+
+val dtd : Sdtd.Dtd.t
+val spec : Secview.Spec.t
+val view : unit -> Secview.View.t
+
+val document : depth:int -> Sxml.Tree.t
+(** A handwritten instance whose a→c→a chain nests [depth] times, each
+    [a] carrying one visible [b] leaf, and the root carrying one hidden
+    [b] leaf. *)

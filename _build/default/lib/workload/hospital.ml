@@ -1,0 +1,154 @@
+module R = Sdtd.Regex
+
+let dtd =
+  let e l = R.Elt l in
+  Sdtd.Dtd.create ~root:"hospital"
+    [
+      ("hospital", R.Star (e "dept"));
+      ("dept", R.Seq [ e "clinicalTrial"; e "patientInfo"; e "staffInfo" ]);
+      ("clinicalTrial", R.Seq [ e "patientInfo"; e "test" ]);
+      ("patientInfo", R.Star (e "patient"));
+      ("patient", R.Seq [ e "name"; e "wardNo"; e "treatment" ]);
+      ("treatment", R.Choice [ e "trial"; e "regular" ]);
+      ("trial", R.Seq [ e "bill" ]);
+      ("regular", R.Seq [ e "bill"; e "medication" ]);
+      ("staffInfo", R.Star (e "staff"));
+      ("staff", R.Choice [ e "doctor"; e "nurse" ]);
+      ("doctor", R.Seq [ e "name"; e "specialty" ]);
+      ("nurse", R.Seq [ e "name"; e "wardNo" ]);
+      ("name", R.Str);
+      ("wardNo", R.Str);
+      ("test", R.Str);
+      ("bill", R.Str);
+      ("medication", R.Str);
+      ("specialty", R.Str);
+    ]
+
+let q1 =
+  (* [*/patient/wardNo = $wardNo] at dept *)
+  Sxpath.Parse.qual_of_string "*/patient/wardNo = $wardNo"
+
+let nurse_spec dtd =
+  Secview.Spec.make dtd
+    [
+      (("hospital", "dept"), Secview.Spec.Cond q1);
+      (("dept", "clinicalTrial"), Secview.Spec.No);
+      (("clinicalTrial", "patientInfo"), Secview.Spec.Yes);
+      (("treatment", "trial"), Secview.Spec.No);
+      (("treatment", "regular"), Secview.Spec.No);
+      (("trial", "bill"), Secview.Spec.Yes);
+      (("regular", "bill"), Secview.Spec.Yes);
+      (("regular", "medication"), Secview.Spec.Yes);
+    ]
+
+let nurse_env ward name = if String.equal name "wardNo" then Some ward else None
+
+let patient ~name ~ward ~treatment =
+  let open Sxml.Tree in
+  elem "patient"
+    [
+      elem "name" [ text name ];
+      elem "wardNo" [ text ward ];
+      elem "treatment" [ treatment ];
+    ]
+
+let trial_treatment ~bill =
+  Sxml.Tree.(elem "trial" [ elem "bill" [ text bill ] ])
+
+let regular_treatment ~bill ~medication =
+  Sxml.Tree.(
+    elem "regular"
+      [ elem "bill" [ text bill ]; elem "medication" [ text medication ] ])
+
+let dept ~ward ~trial_patients ~regular_patients ~staff =
+  let open Sxml.Tree in
+  ignore ward;
+  elem "dept"
+    [
+      elem "clinicalTrial"
+        [ elem "patientInfo" trial_patients; elem "test" [ text "blood" ] ];
+      elem "patientInfo" regular_patients;
+      elem "staffInfo" staff;
+    ]
+
+let sample_document () =
+  let open Sxml.Tree in
+  let staff6 =
+    [
+      elem "staff"
+        [
+          elem "doctor"
+            [ elem "name" [ text "Dr. Ada" ]; elem "specialty" [ text "onco" ] ];
+        ];
+      elem "staff"
+        [
+          elem "nurse"
+            [ elem "name" [ text "Nina" ]; elem "wardNo" [ text "6" ] ];
+        ];
+    ]
+  in
+  let staff7 =
+    [
+      elem "staff"
+        [
+          elem "nurse"
+            [ elem "name" [ text "Noor" ]; elem "wardNo" [ text "7" ] ];
+        ];
+    ]
+  in
+  of_spec
+    (elem "hospital"
+       [
+         dept ~ward:"6"
+           ~trial_patients:
+             [
+               patient ~name:"Alice" ~ward:"6"
+                 ~treatment:(trial_treatment ~bill:"900");
+             ]
+           ~regular_patients:
+             [
+               patient ~name:"Bob" ~ward:"6"
+                 ~treatment:(regular_treatment ~bill:"120" ~medication:"abc");
+               patient ~name:"Carol" ~ward:"6"
+                 ~treatment:(regular_treatment ~bill:"80" ~medication:"xyz");
+             ]
+           ~staff:staff6;
+         dept ~ward:"7"
+           ~trial_patients:
+             [
+               patient ~name:"Dave" ~ward:"7"
+                 ~treatment:(trial_treatment ~bill:"500");
+             ]
+           ~regular_patients:
+             [
+               patient ~name:"Eve" ~ward:"7"
+                 ~treatment:(regular_treatment ~bill:"60" ~medication:"mno");
+             ]
+           ~staff:staff7;
+       ])
+
+let generated_document ?(seed = 42) ?(scale = 8) () =
+  let config =
+    {
+      Sdtd.Gen.default_config with
+      seed;
+      star_for =
+        (fun parent ->
+          match parent with
+          | "hospital" -> Some (2, max 2 (scale / 2))
+          | "patientInfo" -> Some (1, scale)
+          | "staffInfo" -> Some (1, max 1 (scale / 2))
+          | _ -> None);
+      text_for =
+        (fun parent rng ->
+          match parent with
+          | "wardNo" -> string_of_int (Random.State.int rng 10)
+          | "name" -> Printf.sprintf "person%d" (Random.State.int rng 1000)
+          | _ -> Sdtd.Gen.default_text parent rng);
+    }
+  in
+  Sdtd.Gen.generate ~config dtd
+
+let inference_queries =
+  ( Sxpath.Parse.of_string "//dept//patientInfo/patient/name",
+    Sxpath.Parse.of_string "//dept/patientInfo/patient/name" )

@@ -1,0 +1,32 @@
+(** The paper's running example: the hospital document DTD (Fig. 1)
+    and the nurse access policy (Example 3.1 / Fig. 4).
+
+    The DTD graph, reconstructed from Fig. 1 and the prose: a hospital
+    is a list of departments; each department has clinical-trial data,
+    regular patient data and staff data; treatment is either a trial
+    or a regular treatment; staff are doctors or nurses. *)
+
+val dtd : Sdtd.Dtd.t
+
+val nurse_spec : Sdtd.Dtd.t -> Secview.Spec.t
+(** The Example 3.1 policy parameterized by [$wardNo]: nurses see only
+    departments with their ward, never learn which patients are in
+    clinical trials, and see bills/medication but not the treatment
+    kind. *)
+
+val nurse_env : string -> string -> string option
+(** [nurse_env ward]: environment binding [$wardNo] to [ward]. *)
+
+val sample_document : unit -> Sxml.Tree.t
+(** A small handwritten instance with two departments (wards "6" and
+    "7"), trial and regular patients — the document used in unit
+    tests mirroring Examples 1.1/3.3. *)
+
+val generated_document : ?seed:int -> ?scale:int -> unit -> Sxml.Tree.t
+(** A larger random instance; [scale] controls how many departments
+    and patients are generated (default 8). *)
+
+val inference_queries : Sxpath.Ast.path * Sxpath.Ast.path
+(** Example 1.1's attack pair (p1, p2): [//dept//patientInfo/patient/name]
+    and [//dept/patientInfo/patient/name], whose difference over the
+    raw document reveals exactly the clinical-trial patients. *)

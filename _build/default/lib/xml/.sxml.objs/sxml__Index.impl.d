@@ -1,0 +1,1 @@
+lib/xml/index.ml: Array Hashtbl List Option String Tree

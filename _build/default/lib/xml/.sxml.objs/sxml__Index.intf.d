@@ -1,0 +1,1 @@
+lib/xml/index.mli: Tree

@@ -1,0 +1,1 @@
+lib/xml/print.ml: Buffer Fun List String Tree

@@ -1,0 +1,1 @@
+lib/xml/print.mli: Buffer Tree

@@ -1,0 +1,82 @@
+type t = {
+  nodes : Tree.t array;  (* by identifier *)
+  extents : int array;
+  tag_table : (string, Tree.t array) Hashtbl.t;
+}
+
+let build root =
+  if root.Tree.id <> 0 then
+    invalid_arg "Index.build: expected a document root (identifier 0)";
+  let n = Tree.size root in
+  let nodes = Array.make n root in
+  let extents = Array.make n 0 in
+  let tag_lists : (string, Tree.t list ref) Hashtbl.t = Hashtbl.create 32 in
+  (* returns the last identifier of the subtree *)
+  let rec fill (node : Tree.t) =
+    if node.Tree.id >= n then
+      invalid_arg "Index.build: identifiers are not dense preorder";
+    nodes.(node.Tree.id) <- node;
+    (match Tree.tag node with
+    | Some tag ->
+      let cell =
+        match Hashtbl.find_opt tag_lists tag with
+        | Some cell -> cell
+        | None ->
+          let cell = ref [] in
+          Hashtbl.add tag_lists tag cell;
+          cell
+      in
+      cell := node :: !cell
+    | None -> ());
+    let last =
+      List.fold_left (fun _ child -> fill child) node.Tree.id
+        (Tree.children node)
+    in
+    extents.(node.Tree.id) <- last;
+    last
+  in
+  let last = fill root in
+  if last <> n - 1 then
+    invalid_arg "Index.build: identifiers are not dense preorder";
+  let tag_table = Hashtbl.create (Hashtbl.length tag_lists) in
+  Hashtbl.iter
+    (fun tag cell ->
+      Hashtbl.replace tag_table tag (Array.of_list (List.rev !cell)))
+    tag_lists;
+  { nodes; extents; tag_table }
+
+let size idx = Array.length idx.nodes
+
+let extent idx id = idx.extents.(id)
+
+let node idx id = idx.nodes.(id)
+
+let empty_array : Tree.t array = [||]
+
+let by_tag idx tag =
+  Option.value (Hashtbl.find_opt idx.tag_table tag) ~default:empty_array
+
+let tags idx =
+  List.sort String.compare
+    (Hashtbl.fold (fun tag _ acc -> tag :: acc) idx.tag_table [])
+
+(* first index in [arr] whose node id is >= [target] *)
+let lower_bound (arr : Tree.t array) target =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid).Tree.id < target then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let descendants_with_tag idx ~context tag =
+  let arr = by_tag idx tag in
+  let lo = lower_bound arr (context.Tree.id + 1) in
+  let last = extent idx context.Tree.id in
+  let out = ref [] in
+  let i = ref lo in
+  while !i < Array.length arr && arr.(!i).Tree.id <= last do
+    out := arr.(!i) :: !out;
+    incr i
+  done;
+  List.rev !out

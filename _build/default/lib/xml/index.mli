@@ -1,0 +1,41 @@
+(** Document indexes.
+
+    Because node identifiers are dense preorder positions, a subtree is
+    the contiguous identifier interval [[id, extent id]].  The index
+    materializes these extents plus a tag → nodes map, which gives the
+    evaluator a fast path for descendant steps ([//l] = the l-tagged
+    nodes whose identifier falls strictly inside a context extent,
+    found by binary search instead of a subtree scan).
+
+    An index is only meaningful for the document it was built from;
+    querying nodes of another document through it is unchecked and
+    returns garbage. *)
+
+type t
+
+val build : Tree.t -> t
+(** One O(n) pass.  The argument must be a document root (identifier
+    0, dense preorder numbering — anything {!Tree.of_spec}
+    produced). @raise Invalid_argument otherwise. *)
+
+val size : t -> int
+(** Total number of nodes indexed. *)
+
+val extent : t -> int -> int
+(** [extent idx id]: identifier of the last node in the subtree rooted
+    at [id] (the subtree is [id..extent idx id], inclusive). *)
+
+val node : t -> int -> Tree.t
+(** Node by identifier. *)
+
+val by_tag : t -> string -> Tree.t array
+(** All elements with the given tag, in document order (possibly
+    empty). *)
+
+val tags : t -> string list
+(** Distinct element tags, sorted. *)
+
+val descendants_with_tag :
+  t -> context:Tree.t -> string -> Tree.t list
+(** The l-tagged strict descendants of the context node, in document
+    order — [O(log n + answers)]. *)

@@ -1,0 +1,287 @@
+type error = { line : int; column : int; message : string }
+
+exception Error of error
+
+let error_to_string { line; column; message } =
+  Printf.sprintf "XML parse error at %d:%d: %s" line column message
+
+type state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* position of beginning of current line *)
+}
+
+let fail st message =
+  raise (Error { line = st.line; column = st.pos - st.bol + 1; message })
+
+let eof st = st.pos >= String.length st.input
+
+let peek st = if eof st then '\000' else st.input.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.input then '\000'
+  else st.input.[st.pos + 1]
+
+let advance st =
+  (if not (eof st) then
+     let c = st.input.[st.pos] in
+     if c = '\n' then begin
+       st.line <- st.line + 1;
+       st.bol <- st.pos + 1
+     end);
+  st.pos <- st.pos + 1
+
+let expect st c =
+  if peek st = c then advance st
+  else fail st (Printf.sprintf "expected %C, found %C" c (peek st))
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Decode one entity or character reference; cursor is on '&'. *)
+let parse_reference st buf =
+  advance st;
+  let start = st.pos in
+  while (not (eof st)) && peek st <> ';' do
+    advance st
+  done;
+  if eof st then fail st "unterminated entity reference";
+  let name = String.sub st.input start (st.pos - start) in
+  advance st;
+  match name with
+  | "amp" -> Buffer.add_char buf '&'
+  | "lt" -> Buffer.add_char buf '<'
+  | "gt" -> Buffer.add_char buf '>'
+  | "quot" -> Buffer.add_char buf '"'
+  | "apos" -> Buffer.add_char buf '\''
+  | _ ->
+    let decode_char code =
+      (* UTF-8 encode the code point. *)
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else if code < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+    in
+    if String.length name > 1 && name.[0] = '#' then
+      let body = String.sub name 1 (String.length name - 1) in
+      let code =
+        try
+          if String.length body > 1 && (body.[0] = 'x' || body.[0] = 'X')
+          then int_of_string ("0x" ^ String.sub body 1 (String.length body - 1))
+          else int_of_string body
+        with Failure _ -> fail st ("bad character reference: &" ^ name ^ ";")
+      in
+      if code < 0 || code > 0x10FFFF then
+        fail st ("character reference out of range: &" ^ name ^ ";")
+      else decode_char code
+    else fail st ("unknown entity: &" ^ name ^ ";")
+
+let parse_quoted st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof st then fail st "unterminated attribute value"
+    else if peek st = quote then advance st
+    else if peek st = '&' then begin
+      parse_reference st buf;
+      loop ()
+    end
+    else if peek st = '<' then fail st "'<' in attribute value"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_attrs st =
+  let rec loop acc =
+    skip_space st;
+    if is_name_start (peek st) then begin
+      let name = parse_name st in
+      skip_space st;
+      expect st '=';
+      skip_space st;
+      let value = parse_quoted st in
+      if List.mem_assoc name acc then
+        fail st ("duplicate attribute: " ^ name);
+      loop ((name, value) :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+let skip_until st target =
+  let n = String.length target in
+  let rec loop () =
+    if st.pos + n > String.length st.input then
+      fail st (Printf.sprintf "unterminated construct (expected %S)" target)
+    else if String.sub st.input st.pos n = target then
+      for _ = 1 to n do
+        advance st
+      done
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let skip_misc st =
+  (* Skip whitespace, comments, PIs, XML declaration, DOCTYPE. *)
+  let rec loop () =
+    skip_space st;
+    if peek st = '<' then
+      match peek2 st with
+      | '?' ->
+        skip_until st "?>";
+        loop ()
+      | '!' ->
+        if
+          st.pos + 4 <= String.length st.input
+          && String.sub st.input st.pos 4 = "<!--"
+        then begin
+          skip_until st "-->";
+          loop ()
+        end
+        else begin
+          (* DOCTYPE without internal subset. *)
+          skip_until st ">";
+          loop ()
+        end
+      | _ -> ()
+  in
+  loop ()
+
+let all_whitespace s =
+  let ok = ref true in
+  String.iter (fun c -> if not (is_space c) then ok := false) s;
+  !ok
+
+let rec parse_element st ~keep_whitespace : Tree.spec =
+  expect st '<';
+  let tag = parse_name st in
+  let attrs = parse_attrs st in
+  skip_space st;
+  if peek st = '/' then begin
+    advance st;
+    expect st '>';
+    Tree.elem tag ~attrs []
+  end
+  else begin
+    expect st '>';
+    let children = parse_content st ~keep_whitespace tag in
+    Tree.elem tag ~attrs children
+  end
+
+and parse_content st ~keep_whitespace tag =
+  let children = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      let s = Buffer.contents buf in
+      Buffer.clear buf;
+      if keep_whitespace || not (all_whitespace s) then
+        children := Tree.text s :: !children
+    end
+  in
+  let rec loop () =
+    if eof st then fail st ("unterminated element: " ^ tag)
+    else if peek st = '<' then
+      match peek2 st with
+      | '/' ->
+        flush_text ();
+        advance st;
+        advance st;
+        let close = parse_name st in
+        skip_space st;
+        expect st '>';
+        if close <> tag then
+          fail st
+            (Printf.sprintf "mismatched tags: <%s> closed by </%s>" tag close)
+      | '!' ->
+        if
+          st.pos + 4 <= String.length st.input
+          && String.sub st.input st.pos 4 = "<!--"
+        then begin
+          skip_until st "-->";
+          loop ()
+        end
+        else fail st "unsupported markup in content"
+      | '?' ->
+        skip_until st "?>";
+        loop ()
+      | _ ->
+        flush_text ();
+        children := parse_element st ~keep_whitespace :: !children;
+        loop ()
+    else if peek st = '&' then begin
+      parse_reference st buf;
+      loop ()
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !children
+
+let of_string ?(keep_whitespace = false) input =
+  let st = { input; pos = 0; line = 1; bol = 0 } in
+  skip_misc st;
+  if eof st then fail st "empty document";
+  let root = parse_element st ~keep_whitespace in
+  skip_misc st;
+  if not (eof st) then fail st "content after document element";
+  Tree.of_spec root
+
+let of_string_result ?keep_whitespace input =
+  match of_string ?keep_whitespace input with
+  | doc -> Ok doc
+  | exception Error e -> Error e
+
+let of_file ?keep_whitespace path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ?keep_whitespace contents

@@ -1,0 +1,24 @@
+(** A small, strict XML parser for the subset the substrate emits:
+    elements, attributes, PCDATA, comments, processing instructions and
+    an optional XML declaration / DOCTYPE line (both skipped).  The five
+    predefined entities and decimal/hex character references are
+    decoded.  Namespaces, CDATA sections and external entities are out
+    of scope.
+
+    Whitespace-only text between elements is dropped when
+    [~keep_whitespace:false] (the default), so pretty-printed output
+    round-trips. *)
+
+type error = { line : int; column : int; message : string }
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val of_string : ?keep_whitespace:bool -> string -> Tree.t
+(** Parse a complete document.  @raise Error on malformed input. *)
+
+val of_file : ?keep_whitespace:bool -> string -> Tree.t
+
+val of_string_result :
+  ?keep_whitespace:bool -> string -> (Tree.t, error) result

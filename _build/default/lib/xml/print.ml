@@ -1,0 +1,82 @@
+let escape buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | '\'' when attr -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_via ~attr s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape buf ~attr s;
+  Buffer.contents buf
+
+let escape_text s = escape_via ~attr:false s
+let escape_attr s = escape_via ~attr:true s
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      escape buf ~attr:true v;
+      Buffer.add_char buf '"')
+    attrs
+
+let element_only children = List.for_all Tree.is_element children
+
+let to_buffer ?(indent = false) buf doc =
+  let pad level =
+    if indent then begin
+      Buffer.add_char buf '\n';
+      for _ = 1 to 2 * level do
+        Buffer.add_char buf ' '
+      done
+    end
+  in
+  let rec emit level (node : Tree.t) =
+    match node.desc with
+    | Text s -> escape buf ~attr:false s
+    | Element e -> (
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.tag;
+      add_attrs buf e.attrs;
+      match e.children with
+      | [] -> Buffer.add_string buf "/>"
+      | children ->
+        Buffer.add_char buf '>';
+        (* Indent only element-only content: indenting mixed content
+           would inject whitespace into PCDATA. *)
+        let pretty = indent && element_only children in
+        List.iter
+          (fun child ->
+            if pretty then pad (level + 1);
+            emit (level + 1) child)
+          children;
+        if pretty then pad level;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf e.tag;
+        Buffer.add_char buf '>')
+  in
+  emit 0 doc
+
+let to_string ?indent doc =
+  let buf = Buffer.create 1024 in
+  to_buffer ?indent buf doc;
+  Buffer.contents buf
+
+let to_channel ?indent oc doc =
+  let buf = Buffer.create 4096 in
+  to_buffer ?indent buf doc;
+  Buffer.output_buffer oc buf
+
+let to_file ?indent path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel ?indent oc doc)

@@ -1,0 +1,23 @@
+(** XML serialization.
+
+    Produces well-formed XML 1.0 text that {!Parse} reads back to a
+    structurally equal tree.  Only the five predefined entities are
+    escaped; no namespace or doctype machinery, matching the substrate's
+    scope. *)
+
+val escape_text : string -> string
+(** Escape PCDATA ([&], [<], [>]). *)
+
+val escape_attr : string -> string
+(** Escape an attribute value for double-quoted output. *)
+
+val to_buffer : ?indent:bool -> Buffer.t -> Tree.t -> unit
+
+val to_string : ?indent:bool -> Tree.t -> string
+(** [to_string doc] serializes the document.  With [~indent:true],
+    element-only content is pretty-printed; mixed content is kept
+    verbatim so round-tripping preserves PCDATA exactly. *)
+
+val to_channel : ?indent:bool -> out_channel -> Tree.t -> unit
+
+val to_file : ?indent:bool -> string -> Tree.t -> unit

@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Array Ast Int List String Sxml

@@ -1,0 +1,1 @@
+lib/xpath/eval.mli: Ast Sxml

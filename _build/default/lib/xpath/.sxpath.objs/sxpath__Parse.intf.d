@@ -1,0 +1,1 @@
+lib/xpath/parse.mli: Ast

@@ -1,0 +1,1 @@
+lib/xpath/print.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/xpath/simplify.ml: Ast List Stdlib

@@ -1,0 +1,1 @@
+lib/xpath/simplify.mli: Ast

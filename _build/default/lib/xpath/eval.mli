@@ -1,0 +1,79 @@
+(** Set-at-a-time evaluation of the fragment over {!Sxml.Tree}
+    documents.
+
+    Following Section 2, [v⟦p⟧] is the set of nodes reachable from the
+    context node [v] via [p]; a qualifier [\[p\]] holds at [v] iff
+    [v⟦p⟧] is non-empty, and [\[p = c\]] holds iff [v⟦p⟧] contains a
+    node whose string value is [c] (we use the standard XPath
+    string-value, which subsumes the paper's text-node formulation for
+    element results).
+
+    Evaluation proceeds one query operator at a time over whole context
+    sets with deduplication at every step, so it is polynomial in
+    |query| × |document| like the evaluator of Gottlob et al. the paper
+    builds on [15] — no exponential blow-up on nested [//].
+
+    The descendant-or-self axis ranges over {e elements}: in the
+    paper's model PCDATA is "str data" attached to an element, not an
+    addressable node, and the DTD-level rewriting/optimization
+    algorithms reason about element types only.  Text is observed
+    through string values ([p = c] compares the string value of each
+    node in [v⟦p⟧]).
+
+    Two context conventions are offered:
+    - {!eval} evaluates at an (element) context node — the convention
+      of the rewriting algorithm, whose output is relative to the
+      document root element;
+    - {!eval_doc} evaluates at a virtual document node whose only child
+      is the root element, matching how absolute queries like
+      [/adex/head/…] are written. *)
+
+exception Unbound_variable of string
+
+(** All entry points take an optional {!Sxml.Index.t} built from the
+    queried document: with it, [//l/rest]-shaped descendant steps are
+    answered from the tag index by binary search over subtree extents
+    instead of scanning the subtree (the "indexed" ablation of the
+    benchmark harness).  Results are identical with and without. *)
+
+val eval :
+  ?env:(string -> string option) ->
+  ?index:Sxml.Index.t ->
+  Ast.path ->
+  Sxml.Tree.t ->
+  Sxml.Tree.t list
+(** [eval p v]: nodes reachable from context node [v], in document
+    order, duplicate-free.  @raise Unbound_variable if the query
+    contains a [$var] the environment does not bind. *)
+
+val eval_doc :
+  ?env:(string -> string option) ->
+  ?index:Sxml.Index.t ->
+  Ast.path ->
+  Sxml.Tree.t ->
+  Sxml.Tree.t list
+(** Same, with the context being the virtual document node above the
+    given root element. *)
+
+val eval_nodes :
+  ?env:(string -> string option) ->
+  ?index:Sxml.Index.t ->
+  Ast.path ->
+  Sxml.Tree.t list ->
+  Sxml.Tree.t list
+(** Set-at-a-time entry point: evaluate at every context node and
+    union the results. *)
+
+val holds :
+  ?env:(string -> string option) ->
+  ?index:Sxml.Index.t ->
+  Ast.qual ->
+  Sxml.Tree.t ->
+  bool
+(** Truth of a qualifier at a context node. *)
+
+val visited : int ref
+(** Instrumentation counter bumped once per context-node × step
+    combination the evaluator touches; the benchmark harness reads it
+    as a machine-independent work measure alongside wall-clock time.
+    Reset it yourself between measurements. *)

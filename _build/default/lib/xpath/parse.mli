@@ -1,0 +1,33 @@
+(** Parser for the fragment's concrete syntax (see {!Print}).
+
+    Grammar (union binds loosest, then slashes, then qualifiers):
+
+    {v
+    path   := seq ('|' seq)*
+    seq    := '/'? step (('/' | '//') step)*  |  '//' step (…)*
+    step   := primary '[' qual ']'*
+    primary:= name | '*' | '.' | '@' name | '#empty' | '(' path ')'
+    qual   := conj ('or' conj)*
+    conj   := atom ('and' atom)*
+    atom   := 'not' '(' qual ')' | 'true' '(' ')' | 'false' '(' ')'
+            | '(' qual ')' | path ('=' value)?
+    value  := '"'…'"' | '\''…'\'' | '$' name | number
+    v}
+
+    A single leading ['/'] is cosmetic: queries are relative to
+    whatever context node they are evaluated at (see {!Eval}).
+    Within qualifiers, [and], [or], [not], [true] and [false] are
+    reserved words. *)
+
+type error = { position : int; message : string }
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val of_string : string -> Ast.path
+(** @raise Error on malformed input. *)
+
+val of_string_result : string -> (Ast.path, error) result
+
+val qual_of_string : string -> Ast.qual

@@ -1,0 +1,80 @@
+open Ast
+
+(* Does the printed form of this path begin with a descendant axis? *)
+let rec starts_with_dslash = function
+  | Dslash _ -> true
+  | Slash (a, _) -> starts_with_dslash a
+  | Qualify (a, _) -> starts_with_dslash a
+  | Empty | Eps | Label _ | Wildcard | Attribute _ | Union _ -> false
+
+(* Precedence levels: 0 = union context (no parens needed at top),
+   1 = slash operand, 2 = qualified-step base. *)
+
+let rec pp_prec prec ppf p =
+  match p with
+  | Empty -> Format.pp_print_string ppf "#empty"
+  | Eps -> Format.pp_print_string ppf "."
+  | Label l -> Format.pp_print_string ppf l
+  | Wildcard -> Format.pp_print_string ppf "*"
+  | Attribute a -> Format.fprintf ppf "@%s" a
+  (* After '//' the grammar expects a single step, so the operand of a
+     descendant axis prints at step precedence (level 2). *)
+  | Slash (a, Dslash b) -> wrap prec 1 ppf (fun ppf ->
+      Format.fprintf ppf "%a//%a" (pp_prec 1) a (pp_prec 2) b)
+  | Slash (a, b) -> wrap prec 1 ppf (fun ppf ->
+      (* a following component whose output would begin with '//'
+         (a leading descendant axis buried in a left-nested chain)
+         must be parenthesized, or 'a/' + '//b' reads as 'a///b' *)
+      let rprec = if starts_with_dslash b then 2 else 1 in
+      Format.fprintf ppf "%a/%a" (pp_prec 1) a (pp_prec rprec) b)
+  | Dslash p -> wrap prec 1 ppf (fun ppf ->
+      Format.fprintf ppf "//%a" (pp_prec 2) p)
+  | Union (a, b) -> wrap prec 0 ppf (fun ppf ->
+      Format.fprintf ppf "%a | %a" (pp_prec 0) a (pp_prec 0) b)
+  | Qualify (p, q) -> wrap prec 2 ppf (fun ppf ->
+      Format.fprintf ppf "%a[%a]" (pp_prec 2) p pp_qual q)
+
+and wrap prec level ppf body =
+  (* Parenthesize when the construct binds looser than the context
+     requires. *)
+  if level < prec then begin
+    Format.pp_print_char ppf '(';
+    body ppf;
+    Format.pp_print_char ppf ')'
+  end
+  else body ppf
+
+(* Qualifier precedence: 0 = or, 1 = and, 2 = atom. *)
+and pp_qual ppf q = pp_qual_prec 0 ppf q
+
+and pp_qual_prec prec ppf q =
+  match q with
+  | True -> Format.pp_print_string ppf "true()"
+  | False -> Format.pp_print_string ppf "false()"
+  (* Inside a qualifier, a bare path atom cannot be a top-level union
+     ('|' would end the atom), so unions print parenthesized. *)
+  | Exists p -> pp_prec 1 ppf p
+  | Eq (p, v) -> Format.fprintf ppf "%a = %a" (pp_prec 1) p pp_value v
+  | And (a, b) ->
+    wrap_qual prec 1 ppf (fun ppf ->
+        Format.fprintf ppf "%a and %a" (pp_qual_prec 1) a (pp_qual_prec 1) b)
+  | Or (a, b) ->
+    wrap_qual prec 0 ppf (fun ppf ->
+        Format.fprintf ppf "%a or %a" (pp_qual_prec 0) a (pp_qual_prec 0) b)
+  | Not q -> Format.fprintf ppf "not(%a)" (pp_qual_prec 0) q
+
+and wrap_qual prec level ppf body =
+  if level < prec then begin
+    Format.pp_print_char ppf '(';
+    body ppf;
+    Format.pp_print_char ppf ')'
+  end
+  else body ppf
+
+and pp_value ppf = function
+  | Const c -> Format.fprintf ppf "%S" c
+  | Var v -> Format.fprintf ppf "$%s" v
+
+let pp ppf p = pp_prec 0 ppf p
+let to_string p = Format.asprintf "%a" pp p
+let qual_to_string q = Format.asprintf "%a" pp_qual q

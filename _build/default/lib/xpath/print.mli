@@ -1,0 +1,10 @@
+(** Concrete syntax for the fragment, readable back by {!Parse}.
+
+    ∅ prints as [#empty], ε as [.], union as [|], qualifiers with
+    [and]/[or]/[not(...)], and constants double-quoted.  [p1/(//p2)]
+    prints in the usual contracted form [p1//p2]. *)
+
+val pp : Format.formatter -> Ast.path -> unit
+val pp_qual : Format.formatter -> Ast.qual -> unit
+val to_string : Ast.path -> string
+val qual_to_string : Ast.qual -> string

@@ -1,0 +1,120 @@
+let rec path (p : Ast.path) : Ast.path =
+  match p with
+  | Ast.Empty | Ast.Eps | Ast.Label _ | Ast.Wildcard | Ast.Attribute _ -> p
+  | Ast.Slash (a, b) -> Ast.slash (path a) (path b)
+  | Ast.Dslash a -> Ast.dslash (path a)
+  | Ast.Union (a, b) -> Ast.union (path a) (path b)
+  | Ast.Qualify (a, q) -> Ast.qualify (path a) (qual q)
+
+and qual (q : Ast.qual) : Ast.qual =
+  match q with
+  | Ast.True | Ast.False -> q
+  | Ast.Exists p -> Ast.exists (path p)
+  | Ast.Eq (p, v) -> (
+    match path p with Ast.Empty -> Ast.False | p' -> Ast.Eq (p', v))
+  | Ast.And (a, b) -> Ast.qand (qual a) (qual b)
+  | Ast.Or (a, b) -> Ast.qor (qual a) (qual b)
+  | Ast.Not a -> Ast.qnot (qual a)
+
+let rec factor_rec (p : Ast.path) : Ast.path =
+  match p with
+  | Ast.Empty | Ast.Eps | Ast.Label _ | Ast.Wildcard | Ast.Attribute _ -> p
+  | Ast.Slash (a, b) -> Ast.slash (factor_rec a) (factor_rec b)
+  | Ast.Dslash a -> Ast.dslash (factor_rec a)
+  | Ast.Qualify (a, q) -> Ast.qualify (factor_rec a) (factor_qual q)
+  | Ast.Union _ ->
+    factor_branches (List.map factor_rec (Ast.union_branches p))
+
+and factor_qual = function
+  | (Ast.True | Ast.False) as q -> q
+  | Ast.Exists p -> Ast.exists (factor_rec p)
+  | Ast.Eq (p, v) -> Ast.Eq (factor_rec p, v)
+  | Ast.And (a, b) -> Ast.qand (factor_qual a) (factor_qual b)
+  | Ast.Or (a, b) -> Ast.qor (factor_qual a) (factor_qual b)
+  | Ast.Not q -> Ast.qnot (factor_qual q)
+
+(* Merge union branches sharing their leading step; recurse on the
+   grouped tails.  Decomposition re-associates slash chains to the
+   left, so structural deduplication catches branches that differ only
+   in associativity — without it, two spellings of the same branch
+   would regenerate each other's ε-tails forever. *)
+and factor_branches branches =
+  let branches =
+    List.fold_left
+      (fun acc b -> if List.exists (Ast.equal_path b) acc then acc else b :: acc)
+      [] branches
+    |> List.rev
+  in
+  let decompose p =
+    let rec steps = function
+      | Ast.Slash (a, b) -> steps a @ steps b
+      | q -> [ q ]
+    in
+    match steps p with
+    | [] -> (Ast.Eps, None)
+    | [ single ] -> (single, None)
+    | head :: tail -> (head, Some (Ast.seq_of tail))
+  in
+  let groups =
+    List.fold_left
+      (fun groups branch ->
+        let head, tail = decompose branch in
+        let rec insert = function
+          | [] -> [ (head, [ tail ]) ]
+          | (h, tails) :: rest when Ast.equal_path h head ->
+            (h, tail :: tails) :: rest
+          | g :: rest -> g :: insert rest
+        in
+        insert groups)
+      [] branches
+  in
+  Ast.union_all
+    (List.map
+       (fun (head, tails) ->
+         match List.rev tails with
+         | [ None ] -> head
+         | [ Some tail ] -> Ast.slash head tail
+         | tails ->
+           let tail_paths =
+             List.map (function None -> Ast.Eps | Some t -> t) tails
+           in
+           Ast.slash head (factor_branches tail_paths))
+       groups)
+
+let factor p = factor_rec (path p)
+
+let rec reassoc (p : Ast.path) : Ast.path =
+  let rec slashes = function
+    | Ast.Slash (a, b) -> slashes a @ slashes b
+    | p -> [ reassoc p ]
+  in
+  match p with
+  | Ast.Empty | Ast.Eps | Ast.Label _ | Ast.Wildcard | Ast.Attribute _ -> p
+  | Ast.Slash _ -> (
+    match slashes p with
+    | [] -> Ast.Eps
+    | first :: rest ->
+      List.fold_left (fun acc q -> Ast.Slash (acc, q)) first rest)
+  | Ast.Dslash a -> Ast.Dslash (reassoc a)
+  | Ast.Union _ -> (
+    (* sort branches: union is commutative, so canonical forms order
+       them deterministically *)
+    match
+      List.sort Stdlib.compare (List.map reassoc (Ast.union_branches p))
+    with
+    | [] -> Ast.Empty
+    | first :: rest ->
+      List.fold_left (fun acc q -> Ast.Union (acc, q)) first rest)
+  | Ast.Qualify (a, q) -> Ast.Qualify (reassoc a, reassoc_qual q)
+
+and reassoc_qual = function
+  | (Ast.True | Ast.False) as q -> q
+  | Ast.Exists p -> Ast.Exists (reassoc p)
+  | Ast.Eq (p, v) -> Ast.Eq (reassoc p, v)
+  | Ast.And (a, b) -> Ast.And (reassoc_qual a, reassoc_qual b)
+  | Ast.Or (a, b) -> Ast.Or (reassoc_qual a, reassoc_qual b)
+  | Ast.Not q -> Ast.Not (reassoc_qual q)
+
+let canonical p = reassoc (factor p)
+
+let equivalent_syntax p1 p2 = Ast.equal_path (canonical p1) (canonical p2)

@@ -1,0 +1,22 @@
+  $ secview derive --dtd hospital.dtd --spec nurse.spec
+  $ secview validate --dtd hospital.dtd --doc ward.xml
+  $ secview rewrite --dtd hospital.dtd --spec nurse.spec "//patient//bill"
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 "//patient/name"
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=7 "//patient/name"
+  $ secview rewrite --dtd hospital.dtd --spec nurse.spec "//clinicalTrial"
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 "//test"
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 "//treatment/dummy2/medication"
+  $ secview derive --dtd hospital.dtd --spec nurse.spec --save nurse.view > /dev/null
+  $ secview rewrite --dtd hospital.dtd --view nurse.view "//patient//bill"
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --approach naive "//patient/name"
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --index "//patient/name"
+  $ secview audit --dtd hospital.dtd --spec nurse.spec | head -5
+  $ secview materialize --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 | grep -c clinicalTrial
+  $ secview graph --dtd hospital.dtd | head -3

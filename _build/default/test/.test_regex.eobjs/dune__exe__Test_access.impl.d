@@ -1,0 +1,1 @@
+test/test_access.ml: Alcotest List Sdtd Secview Sxml Sxpath

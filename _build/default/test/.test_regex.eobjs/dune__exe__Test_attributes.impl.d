@@ -1,0 +1,1 @@
+test/test_attributes.ml: Alcotest List Option Sdtd Secview String Sxml Sxpath

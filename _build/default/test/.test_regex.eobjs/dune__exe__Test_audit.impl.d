@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Format List Sdtd Secview String Sxpath Workload

@@ -1,0 +1,1 @@
+test/test_containment.ml: Alcotest List Sdtd Secview Sxpath Workload

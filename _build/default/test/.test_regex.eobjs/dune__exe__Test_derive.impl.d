@@ -1,0 +1,1 @@
+test/test_derive.ml: Alcotest List Sdtd Secview String Sxpath Workload

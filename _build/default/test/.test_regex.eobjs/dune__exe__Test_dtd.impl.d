@@ -1,0 +1,1 @@
+test/test_dtd.ml: Alcotest Dtd Gen List Parse Printf Regex Sdtd String Sxml Unfold Validate Workload

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Sdtd Secview Sxml Sxpath Workload

@@ -1,0 +1,1 @@
+test/test_materialize.ml: Alcotest List Printf Sdtd Secview Sxml Sxpath Workload

@@ -1,0 +1,1 @@
+test/test_naive.ml: Alcotest List Printf Secview String Sxml Sxpath Workload

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Format Hashtbl List Printf Sdtd Secview String Sxml Sxpath Workload

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest List Sdtd Secview Sxml Sxpath Workload

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Format Fun List Printf QCheck2 QCheck_alcotest Sdtd Secview Sxml Sxpath

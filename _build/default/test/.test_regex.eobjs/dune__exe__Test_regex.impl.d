@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Format List Parse QCheck2 QCheck_alcotest Regex Sdtd String

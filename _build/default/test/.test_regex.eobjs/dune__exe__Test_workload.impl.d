@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Printf Sdtd Secview String Sxml Sxpath Workload

@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest List Printf Sdtd Secview Sxml Sxpath Workload

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Fun List Parse Print QCheck2 QCheck_alcotest String Sxml Tree

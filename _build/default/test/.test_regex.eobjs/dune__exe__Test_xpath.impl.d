@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest List Printf QCheck2 QCheck_alcotest Sxml Sxpath

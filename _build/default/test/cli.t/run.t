@@ -1,0 +1,100 @@
+The secview command line, end to end over the paper's running example.
+
+Derive the nurse view: hidden types are gone, dummies appear:
+
+  $ secview derive --dtd hospital.dtd --spec nurse.spec
+  <!ELEMENT hospital (dept*)>
+  <!ELEMENT bill (#PCDATA)>
+  <!ELEMENT dept (patientInfo*, staffInfo)>
+  <!ELEMENT doctor (name, specialty)>
+  <!ELEMENT dummy1 (bill)>
+  <!ELEMENT dummy2 (bill, medication)>
+  <!ELEMENT medication (#PCDATA)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT nurse (name, wardNo)>
+  <!ELEMENT patient (name, wardNo, treatment)>
+  <!ELEMENT patientInfo (patient*)>
+  <!ELEMENT specialty (#PCDATA)>
+  <!ELEMENT staff (doctor | nurse)>
+  <!ELEMENT staffInfo (staff*)>
+  <!ELEMENT treatment (dummy1 | dummy2)>
+  <!ELEMENT wardNo (#PCDATA)>
+
+The document validates against the document DTD:
+
+  $ secview validate --dtd hospital.dtd --doc ward.xml
+  valid
+
+Rewriting Example 4.1's query:
+
+  $ secview rewrite --dtd hospital.dtd --spec nurse.spec "//patient//bill"
+  dept[*/patient/wardNo = $wardNo]/(clinicalTrial/patientInfo | patientInfo)/patient/treatment/(regular/bill | trial/bill)
+
+Queries through the view return only authorized data; the ward binding
+selects the department:
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 "//patient/name"
+  <name>Alice</name>
+  <name>Bob</name>
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=7 "//patient/name"
+
+Hidden element types rewrite to the empty query:
+
+  $ secview rewrite --dtd hospital.dtd --spec nurse.spec "//clinicalTrial"
+  #empty
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 "//test"
+
+Dummy labels are queryable (their hidden sources are not revealed):
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 "//treatment/dummy2/medication"
+  <medication>abc</medication>
+
+A stored view definition replays without the specification:
+
+  $ secview derive --dtd hospital.dtd --spec nurse.spec --save nurse.view > /dev/null
+  view definition written to nurse.view
+  $ secview rewrite --dtd hospital.dtd --view nurse.view "//patient//bill"
+  dept[*/patient/wardNo = $wardNo]/(clinicalTrial/patientInfo | patientInfo)/patient/treatment/(regular/bill | trial/bill)
+
+The naive baseline agrees on answers (modulo strategy):
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --approach naive "//patient/name"
+  <name accessibility="1">Alice</name>
+  <name accessibility="1">Bob</name>
+
+The tag-index fast path returns the same answers:
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --index "//patient/name"
+  <name>Alice</name>
+  <name>Bob</name>
+
+Policy audit over the specification:
+
+  $ secview audit --dtd hospital.dtd --spec nurse.spec | head -5
+  exposure (per element type, across root-paths):
+    hospital             accessible
+    dept                 conditional
+    clinicalTrial        hidden
+    patientInfo          conditional
+
+The materialized view (inspection only) hides trial membership:
+
+  $ secview materialize --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 | grep -c clinicalTrial
+  0
+  [1]
+
+Graphviz rendering of the DTD graph:
+
+  $ secview graph --dtd hospital.dtd | head -3
+  digraph dtd {
+    rankdir=TB;
+    node [shape=box, fontsize=10];

@@ -1,0 +1,215 @@
+(* Policy auditing and stored view definitions. *)
+
+module Audit = Secview.Audit
+module Spec = Secview.Spec
+module View = Secview.View
+module R = Sdtd.Regex
+
+let e l = R.Elt l
+
+let statuses spec element =
+  let exp =
+    List.find (fun x -> x.Audit.element = element) (Audit.exposures spec)
+  in
+  exp.Audit.statuses
+
+let test_hospital_exposures () =
+  let spec = Workload.Hospital.nurse_spec Workload.Hospital.dtd in
+  Alcotest.(check bool) "root accessible" true
+    (statuses spec "hospital" = [ Audit.Accessible ]);
+  Alcotest.(check bool) "dept conditional" true
+    (statuses spec "dept" = [ Audit.Conditional ]);
+  Alcotest.(check bool) "clinicalTrial hidden" true
+    (statuses spec "clinicalTrial" = [ Audit.Hidden ]);
+  (* patientInfo is conditionally exposed (under dept, and re-exposed
+     under the hidden clinicalTrial) — never hidden *)
+  Alcotest.(check bool) "patientInfo conditional" true
+    (statuses spec "patientInfo" = [ Audit.Conditional ])
+
+let test_context_sensitive_exposure () =
+  (* c is accessible under a, hidden under b: both statuses appear. *)
+  let dtd =
+    Sdtd.Dtd.create ~root:"r"
+      [ ("r", R.Seq [ e "a"; e "b" ]); ("a", e "c"); ("b", e "c");
+        ("c", R.Str) ]
+  in
+  let spec = Spec.make dtd [ (("b", "c"), Spec.No) ] in
+  Alcotest.(check bool) "c is both accessible and hidden" true
+    (statuses spec "c" = [ Audit.Accessible; Audit.Hidden ])
+
+let test_hidden_types_match_derive () =
+  let spec = Workload.Hospital.nurse_spec Workload.Hospital.dtd in
+  let hidden = Audit.hidden_types spec in
+  Alcotest.(check (list string)) "the four hidden types"
+    [ "clinicalTrial"; "regular"; "test"; "trial" ]
+    (List.sort compare hidden);
+  (* audit-hidden types never appear in the derived view DTD *)
+  let view_dtd = View.dtd (Secview.Derive.derive spec) in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (t ^ " not in view") false (Sdtd.Dtd.mem view_dtd t))
+    hidden
+
+let test_dead_annotations () =
+  let dtd =
+    Sdtd.Dtd.create ~root:"r"
+      [ ("r", R.Seq [ e "a"; e "b" ]); ("a", e "c"); ("b", R.Str);
+        ("c", R.Str) ]
+  in
+  (* Y on (a, c): a is only ever accessible -> dead.
+     N on (r, b): genuinely hides -> live. *)
+  let spec =
+    Spec.make dtd [ (("a", "c"), Spec.Yes); (("r", "b"), Spec.No) ]
+  in
+  let dead = Audit.dead_annotations spec in
+  Alcotest.(check int) "one dead annotation" 1 (List.length dead);
+  Alcotest.(check bool) "it is the redundant Y" true
+    (match dead with
+    | [ ((a, c), Spec.Yes) ] -> a = "a" && c = "c"
+    | _ -> false)
+
+let test_live_y_under_hidden_parent () =
+  let dtd =
+    Sdtd.Dtd.create ~root:"r" [ ("r", e "a"); ("a", e "c"); ("c", R.Str) ]
+  in
+  let spec =
+    Spec.make dtd [ (("r", "a"), Spec.No); (("a", "c"), Spec.Yes) ]
+  in
+  Alcotest.(check int) "re-exposing Y is not dead" 0
+    (List.length (Audit.dead_annotations spec))
+
+let test_diff () =
+  let dtd = Workload.Hospital.dtd in
+  let before = Workload.Hospital.nurse_spec dtd in
+  let after =
+    (* a loosened policy: clinical trials become visible *)
+    Spec.make dtd
+      [
+        (("treatment", "trial"), Spec.No);
+        (("treatment", "regular"), Spec.No);
+        (("trial", "bill"), Spec.Yes);
+        (("regular", "bill"), Spec.Yes);
+        (("regular", "medication"), Spec.Yes);
+      ]
+  in
+  let changes = Audit.diff before after in
+  Alcotest.(check bool) "clinicalTrial gained" true
+    (List.mem_assoc "clinicalTrial" changes
+    && List.assoc "clinicalTrial" changes = `Gained);
+  Alcotest.(check bool) "test gained" true
+    (List.mem_assoc "test" changes && List.assoc "test" changes = `Gained);
+  Alcotest.(check bool) "trial unchanged-hidden, not reported" true
+    (not (List.mem_assoc "trial" changes));
+  Alcotest.(check bool) "dept status changed (conditional -> accessible)"
+    true
+    (match List.assoc_opt "dept" changes with
+    | Some (`Changed _) -> true
+    | _ -> false)
+
+let test_diff_reflexive () =
+  let spec = Workload.Hospital.nurse_spec Workload.Hospital.dtd in
+  Alcotest.(check int) "no changes against itself" 0
+    (List.length (Audit.diff spec spec))
+
+let test_report_renders () =
+  let spec = Workload.Hospital.nurse_spec Workload.Hospital.dtd in
+  let s = Format.asprintf "%a" Audit.report spec in
+  Alcotest.(check bool) "non-empty report" true (String.length s > 100)
+
+(* --- stored view definitions ---------------------------------------- *)
+
+let roundtrip view =
+  View.of_definition (View.to_definition view)
+
+let views_equal v1 v2 =
+  Sdtd.Dtd.equal (View.dtd v1) (View.dtd v2)
+  && List.sort compare (View.dummies v1)
+     = List.sort compare (View.dummies v2)
+  && List.for_all
+       (fun a ->
+         List.for_all
+           (fun b ->
+             Sxpath.Simplify.equivalent_syntax
+               (View.sigma_exn v1 ~parent:a ~child:b)
+               (View.sigma_exn v2 ~parent:a ~child:b))
+           (Sdtd.Dtd.children_of (View.dtd v1) a))
+       (Sdtd.Dtd.reachable (View.dtd v1))
+
+let test_view_roundtrip_hospital () =
+  let view =
+    Secview.Derive.derive (Workload.Hospital.nurse_spec Workload.Hospital.dtd)
+  in
+  Alcotest.(check bool) "hospital view roundtrips" true
+    (views_equal view (roundtrip view))
+
+let test_view_roundtrip_adex_xmark () =
+  Alcotest.(check bool) "adex view roundtrips" true
+    (views_equal (Workload.Adex.view ()) (roundtrip (Workload.Adex.view ())));
+  Alcotest.(check bool) "xmark view roundtrips" true
+    (views_equal (Workload.Xmark.view ())
+       (roundtrip (Workload.Xmark.view ())))
+
+let test_view_definition_errors () =
+  Alcotest.(check bool) "garbage line" true
+    (match View.of_definition "@root r\nnot a line\n" with
+    | exception Failure _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad sigma" true
+    (match
+       View.of_definition
+         "@root r\n<!ELEMENT r (a)>\n<!ELEMENT a EMPTY>\n@sigma r a := [[[\n"
+     with
+    | exception Failure _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "missing sigma rejected by View.make" true
+    (match
+       View.of_definition "@root r\n<!ELEMENT r (a)>\n<!ELEMENT a EMPTY>\n"
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_rewrite_through_reloaded_view () =
+  let view =
+    Secview.Derive.derive (Workload.Hospital.nurse_spec Workload.Hospital.dtd)
+  in
+  let reloaded = roundtrip view in
+  let q = Sxpath.Parse.of_string "//patient//bill" in
+  Alcotest.(check string) "same rewriting"
+    (Sxpath.Print.to_string (Secview.Rewrite.rewrite view q))
+    (Sxpath.Print.to_string (Secview.Rewrite.rewrite reloaded q))
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "exposure",
+        [
+          Alcotest.test_case "hospital" `Quick test_hospital_exposures;
+          Alcotest.test_case "context-sensitive" `Quick
+            test_context_sensitive_exposure;
+          Alcotest.test_case "hidden types match derive" `Quick
+            test_hidden_types_match_derive;
+        ] );
+      ( "dead-annotations",
+        [
+          Alcotest.test_case "redundant Y" `Quick test_dead_annotations;
+          Alcotest.test_case "re-exposing Y is live" `Quick
+            test_live_y_under_hidden_parent;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "loosened policy" `Quick test_diff;
+          Alcotest.test_case "reflexive" `Quick test_diff_reflexive;
+          Alcotest.test_case "report renders" `Quick test_report_renders;
+        ] );
+      ( "stored-views",
+        [
+          Alcotest.test_case "hospital roundtrip" `Quick
+            test_view_roundtrip_hospital;
+          Alcotest.test_case "adex/xmark roundtrip" `Quick
+            test_view_roundtrip_adex_xmark;
+          Alcotest.test_case "malformed definitions" `Quick
+            test_view_definition_errors;
+          Alcotest.test_case "rewriting through reload" `Quick
+            test_rewrite_through_reloaded_view;
+        ] );
+    ]

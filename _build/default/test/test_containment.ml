@@ -1,0 +1,115 @@
+(* Instance-level containment testing and the sidecar specification
+   format. *)
+
+module C = Secview.Containment
+module Spec = Secview.Spec
+
+let parse = Sxpath.Parse.of_string
+
+let test_refute_finds_witness () =
+  let dtd = Workload.Hospital.dtd in
+  (* //patient is not contained in //patient[treatment/trial]: any
+     instance with a regular patient refutes. *)
+  match
+    C.refute dtd (parse "//patient")
+      (parse "//patient[treatment/trial]")
+      ~at:"hospital"
+  with
+  | Some doc ->
+    Alcotest.(check bool) "witness conforms" true
+      (Sdtd.Validate.conforms dtd doc)
+  | None -> Alcotest.fail "expected a witness"
+
+let test_refute_respects_containment () =
+  let dtd = Workload.Hospital.dtd in
+  Alcotest.(check bool) "no witness against a true containment" true
+    (C.refute dtd
+       (parse "//patient[treatment/trial]")
+       (parse "//patient") ~at:"hospital"
+    = None)
+
+let test_measure_soundness () =
+  let dtd = Workload.Hospital.dtd in
+  let stats =
+    C.measure ~samples:8 dtd
+      ~queries:
+        (List.map parse
+           [ "//patient"; "//patient/name"; "//name"; "//bill"; "//*[bill]" ])
+  in
+  Alcotest.(check int) "pairs" 25 stats.C.pairs;
+  Alcotest.(check int) "no unsound claims" 0 stats.C.claimed_and_refuted;
+  Alcotest.(check bool) "self-containments detected" true (stats.C.claimed >= 5)
+
+let test_sidecar_roundtrip () =
+  let dtd = Workload.Hospital.dtd in
+  let spec = Workload.Hospital.nurse_spec dtd in
+  let text = Spec.to_sidecar spec in
+  let spec' = Spec.of_sidecar dtd text in
+  Alcotest.(check int) "same number of annotations"
+    (List.length (Spec.annotations spec))
+    (List.length (Spec.annotations spec'));
+  List.iter2
+    (fun ((a, b), an) ((a', b'), an') ->
+      Alcotest.(check string) "parent" a a';
+      Alcotest.(check string) "child" b b';
+      Alcotest.(check bool) "annotation equal" true (an = an'))
+    (Spec.annotations spec)
+    (Spec.annotations spec')
+
+let test_sidecar_comments_and_pcdata () =
+  let dtd =
+    Sdtd.Dtd.create ~root:"r"
+      [ ("r", Sdtd.Regex.Elt "x"); ("x", Sdtd.Regex.Str) ]
+  in
+  let spec =
+    Spec.of_sidecar dtd
+      "# full-line comment\n\
+       \n\
+       r x Y # trailing comment\n\
+       x #PCDATA N\n"
+  in
+  Alcotest.(check int) "two annotations" 2
+    (List.length (Spec.annotations spec));
+  Alcotest.(check bool) "PCDATA annotation recorded" true
+    (Spec.annotation spec ~parent:"x" ~child:Sdtd.Regex.pcdata = Some Spec.No)
+
+let test_sidecar_errors () =
+  let dtd =
+    Sdtd.Dtd.create ~root:"r"
+      [ ("r", Sdtd.Regex.Elt "x"); ("x", Sdtd.Regex.Str) ]
+  in
+  Alcotest.(check bool) "bad annotation value" true
+    (match Spec.of_sidecar dtd "r x MAYBE\n" with
+    | exception Failure _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad qualifier" true
+    (match Spec.of_sidecar dtd "r x [///]\n" with
+    | exception Failure _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "missing fields" true
+    (match Spec.of_sidecar dtd "r\n" with
+    | exception Failure _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "non-edge rejected" true
+    (match Spec.of_sidecar dtd "x r N\n" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "containment"
+    [
+      ( "instance-refutation",
+        [
+          Alcotest.test_case "finds witnesses" `Quick test_refute_finds_witness;
+          Alcotest.test_case "respects containment" `Quick
+            test_refute_respects_containment;
+          Alcotest.test_case "measure soundness" `Quick test_measure_soundness;
+        ] );
+      ( "sidecar",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sidecar_roundtrip;
+          Alcotest.test_case "comments and PCDATA" `Quick
+            test_sidecar_comments_and_pcdata;
+          Alcotest.test_case "errors" `Quick test_sidecar_errors;
+        ] );
+    ]

@@ -1,0 +1,304 @@
+(* Algorithm derive: the hospital example of the paper (Fig. 2 /
+   Examples 3.2, 3.4), the Adex view of Section 6, and targeted cases
+   for pruning, short-cutting, dummy-renaming and recursion. *)
+
+module R = Sdtd.Regex
+module Spec = Secview.Spec
+module View = Secview.View
+module Derive = Secview.Derive
+
+let e l = R.Elt l
+(* compare modulo associativity of '/' and '|' *)
+let path_t = Alcotest.testable Sxpath.Print.pp Sxpath.Simplify.equivalent_syntax
+let regex_t = Alcotest.testable R.pp R.equal
+
+let parse = Sxpath.Parse.of_string
+
+let prod view name = Sdtd.Dtd.production (View.dtd view) name
+let sigma view a b = View.sigma_exn view ~parent:a ~child:b
+
+(* ---- the hospital / nurse view (Fig. 2) --------------------------- *)
+
+let nurse_view () =
+  Derive.derive (Workload.Hospital.nurse_spec Workload.Hospital.dtd)
+
+let test_hospital_root_production () =
+  let v = nurse_view () in
+  Alcotest.check regex_t "hospital -> dept*" (R.Star (e "dept"))
+    (prod v "hospital");
+  Alcotest.check path_t "sigma(hospital, dept) keeps the qualifier"
+    (parse "dept[*/patient/wardNo = $wardNo]")
+    (sigma v "hospital" "dept")
+
+let test_hospital_dept_shortcut () =
+  let v = nurse_view () in
+  (* clinicalTrial is short-cut; duplicate patientInfo occurrences are
+     compacted into a star (Example 3.4). *)
+  Alcotest.check regex_t "dept -> patientInfo*, staffInfo"
+    (R.Seq [ R.Star (e "patientInfo"); e "staffInfo" ])
+    (prod v "dept");
+  Alcotest.check path_t "sigma(dept, patientInfo) is the union of paths"
+    (parse "clinicalTrial/patientInfo | patientInfo")
+    (sigma v "dept" "patientInfo");
+  Alcotest.check path_t "sigma(dept, staffInfo) is trivial"
+    (parse "staffInfo")
+    (sigma v "dept" "staffInfo")
+
+let test_hospital_dummies () =
+  let v = nurse_view () in
+  Alcotest.(check (list string)) "two dummies" [ "dummy1"; "dummy2" ]
+    (List.sort compare (View.dummies v));
+  Alcotest.(check bool) "dummy1 is flagged" true (View.is_dummy v "dummy1");
+  Alcotest.(check bool) "dept is not" false (View.is_dummy v "dept");
+  (* treatment -> dummy1 + dummy2 with hidden labels trial/regular. *)
+  Alcotest.check regex_t "treatment -> dummy1 | dummy2"
+    (R.Choice [ e "dummy1"; e "dummy2" ])
+    (prod v "treatment");
+  let d1 = sigma v "treatment" "dummy1" in
+  let d2 = sigma v "treatment" "dummy2" in
+  Alcotest.(check bool) "dummies map to trial and regular" true
+    (List.sort compare
+       [ Sxpath.Print.to_string d1; Sxpath.Print.to_string d2 ]
+    = [ "regular"; "trial" ]);
+  (* and the dummy productions expose only bill / bill,medication *)
+  let trial_dummy =
+    if Sxpath.Print.to_string d1 = "trial" then "dummy1" else "dummy2"
+  in
+  let regular_dummy = if trial_dummy = "dummy1" then "dummy2" else "dummy1" in
+  Alcotest.check regex_t "trial dummy -> bill" (e "bill")
+    (prod v trial_dummy);
+  Alcotest.check regex_t "regular dummy -> bill, medication"
+    (R.Seq [ e "bill"; e "medication" ])
+    (prod v regular_dummy)
+
+let test_hospital_hides_secret_types () =
+  let v = nurse_view () in
+  List.iter
+    (fun hidden ->
+      Alcotest.(check bool)
+        (hidden ^ " absent from the view DTD")
+        false
+        (Sdtd.Dtd.mem (View.dtd v) hidden))
+    [ "clinicalTrial"; "trial"; "regular"; "test" ]
+
+let test_hospital_untouched_region () =
+  let v = nurse_view () in
+  Alcotest.check regex_t "staff unchanged"
+    (R.Choice [ e "doctor"; e "nurse" ])
+    (prod v "staff");
+  Alcotest.check path_t "identity sigma" (parse "doctor")
+    (sigma v "staff" "doctor")
+
+(* ---- the Adex view (Section 6) ------------------------------------ *)
+
+let test_adex_view_structure () =
+  let v = Workload.Adex.view () in
+  let dtd = View.dtd v in
+  List.iter
+    (fun hidden ->
+      Alcotest.(check bool) (hidden ^ " hidden") false (Sdtd.Dtd.mem dtd hidden))
+    [ "head"; "body"; "ad-instance"; "employment"; "automotive";
+      "seller-info"; "transaction-info" ];
+  List.iter
+    (fun visible ->
+      Alcotest.(check bool) (visible ^ " visible") true
+        (Sdtd.Dtd.mem dtd visible))
+    [ "adex"; "buyer-info"; "contact-info"; "real-estate"; "house";
+      "apartment" ];
+  (* buyer-info and real-estate are reached through dummies whose σ
+     paths go through the hidden head/body structure. *)
+  let buyer_parent =
+    List.find
+      (fun a -> List.mem "buyer-info" (Sdtd.Dtd.children_of dtd a))
+      (Sdtd.Dtd.reachable dtd)
+  in
+  Alcotest.(check bool) "buyer-info hangs under a dummy" true
+    (View.is_dummy v buyer_parent)
+
+(* ---- targeted behaviours ------------------------------------------ *)
+
+let mk_dtd prods = Sdtd.Dtd.create ~root:"r" prods
+
+let test_prune_whole_subtree () =
+  (* b has no accessible descendants: it disappears; the sequence
+     keeps the surviving parts. *)
+  let dtd =
+    mk_dtd
+      [ ("r", R.Seq [ e "a"; e "b" ]); ("a", R.Str); ("b", R.Seq [ e "c" ]);
+        ("c", R.Str) ]
+  in
+  let spec = Spec.make dtd [ (("r", "b"), Spec.No) ] in
+  let v = Derive.derive spec in
+  Alcotest.check regex_t "r -> a" (e "a") (prod v "r");
+  Alcotest.(check bool) "b gone" false (Sdtd.Dtd.mem (View.dtd v) "b");
+  Alcotest.(check bool) "c gone" false (Sdtd.Dtd.mem (View.dtd v) "c")
+
+let test_prune_choice_branch_leaves_option () =
+  (* r -> a + b with b pruned: the choice becomes nullable rather than
+     forcing an abort on documents that chose b. *)
+  let dtd =
+    mk_dtd
+      [ ("r", R.Choice [ e "a"; e "b" ]); ("a", R.Str); ("b", R.Str) ]
+  in
+  let spec =
+    Spec.make dtd
+      [ (("r", "b"), Spec.No); (("b", R.pcdata), Spec.No) ]
+  in
+  let v = Derive.derive spec in
+  Alcotest.check regex_t "r -> a | eps"
+    (R.Choice [ e "a"; R.Epsilon ])
+    (prod v "r")
+
+let test_shortcut_chain () =
+  (* r -> a; a -> b; b -> c: hiding a and b shortcuts both levels. *)
+  let dtd =
+    mk_dtd [ ("r", e "a"); ("a", e "b"); ("b", e "c"); ("c", R.Str) ]
+  in
+  let spec =
+    Spec.make dtd
+      [ (("r", "a"), Spec.No); (("b", "c"), Spec.Yes) ]
+  in
+  let v = Derive.derive spec in
+  Alcotest.check regex_t "r -> c" (e "c") (prod v "r");
+  Alcotest.check path_t "sigma composes the hidden path" (parse "a/b/c")
+    (sigma v "r" "c")
+
+let test_shortcut_preserves_conditions () =
+  (* conditionally accessible child below a hidden node keeps its
+     qualifier in σ. *)
+  let dtd = mk_dtd [ ("r", e "a"); ("a", e "b"); ("b", R.Str) ] in
+  let q = Sxpath.Parse.qual_of_string "b = \"ok\"" in
+  let spec =
+    Spec.make dtd [ (("r", "a"), Spec.No); (("a", "b"), Spec.Cond q) ]
+  in
+  let v = Derive.derive spec in
+  Alcotest.check path_t "qualifier kept" (parse "a/b[b = \"ok\"]")
+    (sigma v "r" "b")
+
+let test_dummy_for_str_content () =
+  (* accessible PCDATA under a hidden element cannot be inlined: the
+     hidden element is dummy-renamed instead. *)
+  let dtd = mk_dtd [ ("r", e "a"); ("a", R.Str) ] in
+  let spec =
+    Spec.make dtd
+      [ (("r", "a"), Spec.No); (("a", R.pcdata), Spec.Yes) ]
+  in
+  let v = Derive.derive spec in
+  match Sdtd.Dtd.children_of (View.dtd v) "r" with
+  | [ d ] ->
+    Alcotest.(check bool) "child is a dummy" true (View.is_dummy v d);
+    Alcotest.check regex_t "dummy exposes the text" R.Str (prod v d);
+    Alcotest.check path_t "dummy maps to a" (parse "a") (sigma v "r" d)
+  | other ->
+    Alcotest.failf "expected one dummy child, got [%s]"
+      (String.concat "; " other)
+
+let test_recursive_inaccessible_dummy () =
+  (* a hidden recursive type keeps its recursive structure behind a
+     dummy (Section 3.4's prose case). *)
+  let dtd =
+    mk_dtd
+      [
+        ("r", e "a");
+        ("a", R.Seq [ e "v"; R.Choice [ e "a"; R.Epsilon ] ]);
+        ("v", R.Str);
+      ]
+  in
+  let spec = Spec.make dtd [ (("r", "a"), Spec.No); (("a", "v"), Spec.Yes) ] in
+  let v = Derive.derive spec in
+  let view_dtd = View.dtd v in
+  Alcotest.(check bool) "view is recursive" true
+    (Sdtd.Dtd.is_recursive view_dtd);
+  (* the hidden recursive type becomes a self-referential dummy whose
+     production exposes v and the recursion *)
+  (match Sdtd.Dtd.children_of view_dtd "r" with
+  | [ dummy ] ->
+    Alcotest.(check bool) "child of r is a dummy" true (View.is_dummy v dummy);
+    let kids = Sdtd.Dtd.children_of view_dtd dummy in
+    Alcotest.(check bool) "v exposed under the dummy" true
+      (List.mem "v" kids);
+    Alcotest.(check bool) "dummy refers to itself" true (List.mem dummy kids);
+    Alcotest.check path_t "sigma into the dummy" (parse "a")
+      (sigma v "r" dummy);
+    Alcotest.check path_t "recursive sigma" (parse "a")
+      (sigma v dummy dummy)
+  | other ->
+    Alcotest.failf "expected a single dummy child of r, got [%s]"
+      (String.concat "; " other))
+
+let test_recursive_accessible_passthrough () =
+  let dtd =
+    mk_dtd
+      [ ("r", e "a"); ("a", R.Choice [ e "a"; e "v" ]); ("v", R.Str) ]
+  in
+  let spec = Spec.make dtd [] in
+  let v = Derive.derive spec in
+  Alcotest.(check bool) "fully accessible recursive view" true
+    (Sdtd.Dtd.is_recursive (View.dtd v));
+  Alcotest.check regex_t "a unchanged"
+    (R.Choice [ e "a"; e "v" ])
+    (prod v "a")
+
+let test_identity_when_all_accessible () =
+  let dtd = Workload.Hospital.dtd in
+  let v = Derive.derive (Spec.make dtd []) in
+  Alcotest.(check bool) "view DTD equals the document DTD" true
+    (Sdtd.Dtd.equal (View.dtd v) (Sdtd.Dtd.restrict_reachable dtd));
+  Alcotest.check path_t "identity sigma" (parse "dept")
+    (sigma v "hospital" "dept")
+
+let test_view_make_validation () =
+  let dtd = mk_dtd [ ("r", e "a"); ("a", R.Str) ] in
+  Alcotest.(check bool) "missing sigma rejected" true
+    (match View.make ~dtd ~sigma:[] () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "non-edge sigma rejected" true
+    (match
+       View.make ~dtd
+         ~sigma:
+           [ (("r", "a"), parse "a"); (("a", "zz"), parse "zz") ]
+         ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "derive"
+    [
+      ( "hospital",
+        [
+          Alcotest.test_case "root production" `Quick
+            test_hospital_root_production;
+          Alcotest.test_case "dept short-cut + compaction" `Quick
+            test_hospital_dept_shortcut;
+          Alcotest.test_case "treatment dummies" `Quick test_hospital_dummies;
+          Alcotest.test_case "secret types hidden" `Quick
+            test_hospital_hides_secret_types;
+          Alcotest.test_case "untouched region" `Quick
+            test_hospital_untouched_region;
+        ] );
+      ( "adex",
+        [ Alcotest.test_case "view structure" `Quick test_adex_view_structure ]
+      );
+      ( "cases",
+        [
+          Alcotest.test_case "prune whole subtree" `Quick
+            test_prune_whole_subtree;
+          Alcotest.test_case "pruned choice branch leaves an option" `Quick
+            test_prune_choice_branch_leaves_option;
+          Alcotest.test_case "short-cut chain" `Quick test_shortcut_chain;
+          Alcotest.test_case "short-cut keeps qualifiers" `Quick
+            test_shortcut_preserves_conditions;
+          Alcotest.test_case "dummy for PCDATA content" `Quick
+            test_dummy_for_str_content;
+          Alcotest.test_case "recursive inaccessible dummy" `Quick
+            test_recursive_inaccessible_dummy;
+          Alcotest.test_case "recursive accessible passthrough" `Quick
+            test_recursive_accessible_passthrough;
+          Alcotest.test_case "identity on all-accessible" `Quick
+            test_identity_when_all_accessible;
+        ] );
+      ( "view-construction",
+        [ Alcotest.test_case "validation" `Quick test_view_make_validation ] );
+    ]

@@ -1,0 +1,361 @@
+(* DTD model: construction, graph queries, recursion, min-height,
+   declaration-syntax parsing, validation, unfolding. *)
+
+open Sdtd
+
+let e l = Regex.Elt l
+
+let simple =
+  Dtd.create ~root:"r"
+    [
+      ("r", Regex.Seq [ e "a"; e "b" ]);
+      ("a", Regex.Star (e "c"));
+      ("b", Regex.Choice [ e "c"; e "d" ]);
+      ("c", Regex.Str);
+      ("d", Regex.Epsilon);
+    ]
+
+let recursive =
+  Dtd.create ~root:"r"
+    [
+      ("r", e "a");
+      ("a", Regex.Choice [ e "b"; Regex.Seq [ e "b"; e "a" ] ]);
+      ("b", Regex.Str);
+    ]
+
+let test_create_implicit_decl () =
+  let d = Dtd.create ~root:"r" [ ("r", e "ghost") ] in
+  Alcotest.(check bool) "ghost implicitly declared" true (Dtd.mem d "ghost");
+  Alcotest.(check bool) "ghost has epsilon production" true
+    (Regex.equal (Dtd.production d "ghost") Regex.Epsilon)
+
+let test_create_duplicate_rejected () =
+  Alcotest.check_raises "duplicate declaration"
+    (Invalid_argument "Dtd.create: duplicate type \"r\"") (fun () ->
+      ignore (Dtd.create ~root:"r" [ ("r", e "a"); ("r", e "b") ]))
+
+let test_create_unknown_root () =
+  Alcotest.check_raises "unknown root"
+    (Invalid_argument "Dtd.create: root \"z\" undeclared") (fun () ->
+      ignore (Dtd.create ~root:"z" [ ("r", e "a") ]))
+
+let test_children_of () =
+  Alcotest.(check (list string)) "children of r" [ "a"; "b" ]
+    (Dtd.children_of simple "r");
+  Alcotest.(check (list string)) "children of c (leaf)" []
+    (Dtd.children_of simple "c")
+
+let test_reachable () =
+  let d =
+    Dtd.create ~root:"r" [ ("r", e "a"); ("a", Regex.Str); ("orphan", e "a") ]
+  in
+  Alcotest.(check (list string)) "orphan excluded" [ "r"; "a" ]
+    (Dtd.reachable d);
+  let d' = Dtd.restrict_reachable d in
+  Alcotest.(check bool) "orphan dropped" false (Dtd.mem d' "orphan")
+
+let test_recursion_detection () =
+  Alcotest.(check bool) "simple not recursive" false (Dtd.is_recursive simple);
+  Alcotest.(check bool) "recursive detected" true (Dtd.is_recursive recursive);
+  Alcotest.(check (list string)) "only a on a cycle" [ "a" ]
+    (Dtd.recursive_types recursive)
+
+let test_topological_order () =
+  (match Dtd.topological_order simple with
+  | None -> Alcotest.fail "expected a topological order"
+  | Some order ->
+    let pos x =
+      let rec go i = function
+        | [] -> Alcotest.failf "%s missing from order" x
+        | y :: _ when String.equal x y -> i
+        | _ :: rest -> go (i + 1) rest
+      in
+      go 0 order
+    in
+    List.iter
+      (fun (parent, child) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s before %s" parent child)
+          true
+          (pos parent < pos child))
+      [ ("r", "a"); ("r", "b"); ("a", "c"); ("b", "c"); ("b", "d") ]);
+  Alcotest.(check bool) "recursive DTD has no topo order" true
+    (Dtd.topological_order recursive = None)
+
+let test_min_height () =
+  Alcotest.(check int) "leaf" 1 (Dtd.min_height simple "c");
+  Alcotest.(check int) "a: star can be empty" 1 (Dtd.min_height simple "a");
+  Alcotest.(check int) "b: choice of leaves" 2 (Dtd.min_height simple "b");
+  Alcotest.(check int) "r" 3 (Dtd.min_height simple "r");
+  (* recursive: a -> b | (b, a): min via the b branch *)
+  Alcotest.(check int) "recursive a" 2 (Dtd.min_height recursive "a");
+  Alcotest.(check int) "recursive r" 3 (Dtd.min_height recursive "r")
+
+let test_consistency () =
+  Alcotest.(check bool) "simple consistent" true (Dtd.is_consistent simple);
+  let bad =
+    Dtd.create ~root:"r" [ ("r", e "a"); ("a", e "a") ]
+    (* a needs an infinite tree *)
+  in
+  Alcotest.(check bool) "a -> a inconsistent" false (Dtd.is_consistent bad)
+
+let test_size_counts () =
+  Alcotest.(check bool) "size grows with productions" true
+    (Dtd.size simple > 5)
+
+let test_parse_declarations () =
+  let d =
+    Parse.of_string
+      {|<!ELEMENT r (a, b*)>
+        <!-- a comment -->
+        <!ELEMENT a (#PCDATA)>
+        <!ATTLIST a id CDATA #REQUIRED>
+        <!ELEMENT b (c | d)+>
+        <!ELEMENT c EMPTY>
+        <!ELEMENT d ANY>|}
+  in
+  Alcotest.(check string) "root" "r" (Dtd.root d);
+  Alcotest.(check bool) "r production" true
+    (Regex.equal (Dtd.production d "r")
+       (Regex.Seq [ e "a"; Regex.Star (e "b") ]));
+  Alcotest.(check bool) "b production is plus of choice" true
+    (Regex.equal (Dtd.production d "b")
+       (Regex.Seq
+          [
+            Regex.Choice [ e "c"; e "d" ];
+            Regex.Star (Regex.Choice [ e "c"; e "d" ]);
+          ]));
+  Alcotest.(check bool) "a is PCDATA" true
+    (Regex.equal (Dtd.production d "a") Regex.Str)
+
+let test_parse_optional () =
+  let d = Parse.of_string "<!ELEMENT r (a?, b)>" in
+  Alcotest.(check bool) "a? becomes a|eps" true
+    (Regex.equal (Dtd.production d "r")
+       (Regex.Seq [ Regex.Choice [ e "a"; Regex.Epsilon ]; e "b" ]))
+
+let test_parse_error () =
+  (match Parse.of_string "<!ELEMENT r (a" with
+  | exception Parse.Error _ -> ()
+  | _ -> Alcotest.fail "expected a parse error");
+  match Parse.of_string "" with
+  | exception Parse.Error _ -> ()
+  | _ -> Alcotest.fail "expected a parse error on empty input"
+
+let test_print_parse_roundtrip () =
+  let printed = Dtd.to_string simple in
+  let reparsed = Parse.of_string printed in
+  Alcotest.(check bool) "roundtrip equal" true (Dtd.equal simple reparsed)
+
+let test_hospital_roundtrip () =
+  let printed = Dtd.to_string Workload.Hospital.dtd in
+  let reparsed = Parse.of_string ~root:"hospital" printed in
+  Alcotest.(check bool) "hospital DTD roundtrips" true
+    (Dtd.equal Workload.Hospital.dtd reparsed)
+
+let test_validate_accepts () =
+  let doc =
+    Sxml.Tree.(
+      of_spec
+        (elem "r"
+           [ elem "a" []; elem "b" [ elem "c" [ text "hi" ] ] ]))
+  in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun v -> v.Validate.message) (Validate.check simple doc))
+
+let test_validate_rejects_bad_children () =
+  let doc =
+    Sxml.Tree.(of_spec (elem "r" [ elem "b" [ elem "c" [] ]; elem "a" [] ]))
+  in
+  (* b before a violates r -> a, b; also c under b must have text. *)
+  Alcotest.(check bool) "violations found" true
+    (Validate.check simple doc <> [])
+
+let test_validate_rejects_wrong_root () =
+  let doc = Sxml.Tree.(of_spec (elem "a" [])) in
+  Alcotest.(check bool) "root mismatch" true (Validate.check simple doc <> [])
+
+let test_validate_rejects_undeclared () =
+  let doc = Sxml.Tree.(of_spec (elem "r" [ elem "a" []; elem "zz" [] ])) in
+  Alcotest.(check bool) "undeclared element" true
+    (List.exists
+       (fun v -> v.Validate.element = "zz")
+       (Validate.check simple doc))
+
+let test_unfold_names () =
+  Alcotest.(check string) "mangle" "a~3" (Unfold.mangle "a" 3);
+  Alcotest.(check string) "label_of" "a" (Unfold.label_of "a~3");
+  Alcotest.(check string) "label_of plain" "a" (Unfold.label_of "a");
+  Alcotest.(check (option int)) "level_of" (Some 3) (Unfold.level_of "a~3");
+  Alcotest.(check (option int)) "level_of plain" None (Unfold.level_of "a")
+
+let test_unfold_basic () =
+  let u = Unfold.unfold recursive ~height:4 in
+  Alcotest.(check bool) "unfolded is a DAG" false (Dtd.is_recursive u);
+  Alcotest.(check string) "root is r~1" "r~1" (Dtd.root u);
+  (* r~1 -> a~2; a~2 -> b~3 | (b~3, a~3); a~3 at the height limit
+     loses its recursive branch: a~4 would need height 5. *)
+  Alcotest.(check bool) "a~3 exists" true (Dtd.mem u "a~3");
+  Alcotest.(check bool) "a~4 cut off" false (Dtd.mem u "a~4");
+  Alcotest.(check bool) "a~3 production is just b~4" true
+    (Regex.equal (Dtd.production u "a~3") (e "b~4"))
+
+let test_unfold_accepts_bounded_instances () =
+  (* An instance of height h conforms to the unfolding at height h
+     after relabeling with levels. *)
+  let doc =
+    Sxml.Tree.(
+      of_spec
+        (elem "r"
+           [
+             elem "a"
+               [ elem "b" [ text "x" ]; elem "a" [ elem "b" [ text "y" ] ] ];
+           ]))
+  in
+  Alcotest.(check bool) "instance conforms to original" true
+    (Validate.conforms recursive doc);
+  let u = Unfold.unfold recursive ~height:4 in
+  (* relabel by depth *)
+  let rec relabel level (spec : Sxml.Tree.spec) =
+    match spec with
+    | Sxml.Tree.E (tag, attrs, children) ->
+      Sxml.Tree.E
+        (Unfold.mangle tag level, attrs, List.map (relabel (level + 1)) children)
+    | Sxml.Tree.T _ -> spec
+  in
+  let relabeled = Sxml.Tree.of_spec (relabel 1 (Sxml.Tree.to_spec doc)) in
+  Alcotest.(check (list string)) "relabelled instance conforms to unfolding"
+    []
+    (List.map (fun v -> v.Validate.message) (Validate.check u relabeled))
+
+let test_unfold_too_small () =
+  Alcotest.(check bool) "height below min raises" true
+    (match Unfold.unfold recursive ~height:2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_unfold_gen_instances_conform () =
+  (* Generated instances of the unfolding, stripped of level suffixes,
+     conform to the original recursive DTD. *)
+  let u = Unfold.unfold recursive ~height:6 in
+  let doc = Gen.generate ~config:{ Gen.default_config with seed = 3 } u in
+  let strip (spec : Sxml.Tree.spec) =
+    let rec go = function
+      | Sxml.Tree.E (tag, attrs, children) ->
+        Sxml.Tree.E (Unfold.label_of tag, attrs, List.map go children)
+      | Sxml.Tree.T _ as t -> t
+    in
+    go spec
+  in
+  let stripped = Sxml.Tree.of_spec (strip (Sxml.Tree.to_spec doc)) in
+  Alcotest.(check bool) "stripped instance conforms" true
+    (Validate.conforms recursive stripped)
+
+let test_gen_conforms () =
+  List.iter
+    (fun seed ->
+      let doc = Gen.generate ~config:{ Gen.default_config with seed } simple in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d conforms" seed)
+        true
+        (Validate.conforms simple doc))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_gen_deterministic () =
+  let d1 = Gen.generate simple and d2 = Gen.generate simple in
+  Alcotest.(check bool) "same seed, same document" true
+    (Sxml.Tree.equal_structure d1 d2)
+
+let test_gen_recursive_terminates () =
+  let doc =
+    Gen.generate
+      ~config:{ Gen.default_config with seed = 9; depth_budget = 5 }
+      recursive
+  in
+  Alcotest.(check bool) "conforms" true (Validate.conforms recursive doc);
+  Alcotest.(check bool) "bounded depth" true (Sxml.Tree.depth doc < 64)
+
+let test_gen_star_for () =
+  let config =
+    {
+      Gen.default_config with
+      star_for = (fun p -> if String.equal p "a" then Some (5, 5) else None);
+    }
+  in
+  let doc = Gen.generate ~config simple in
+  let cs = Sxml.Tree.find_all (fun n -> Sxml.Tree.tag n = Some "c") doc in
+  (* a -> c*: exactly 5 c's under a, plus possibly one under b. *)
+  Alcotest.(check bool) "a has 5 c children" true (List.length cs >= 5)
+
+let test_gen_inconsistent_rejected () =
+  let bad = Dtd.create ~root:"r" [ ("r", e "a"); ("a", e "a") ] in
+  Alcotest.(check bool) "raises" true
+    (match Gen.generate bad with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "dtd"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "implicit declarations" `Quick
+            test_create_implicit_decl;
+          Alcotest.test_case "duplicates rejected" `Quick
+            test_create_duplicate_rejected;
+          Alcotest.test_case "unknown root rejected" `Quick
+            test_create_unknown_root;
+          Alcotest.test_case "children_of" `Quick test_children_of;
+          Alcotest.test_case "reachable/restrict" `Quick test_reachable;
+          Alcotest.test_case "size" `Quick test_size_counts;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "recursion detection" `Quick
+            test_recursion_detection;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "min_height" `Quick test_min_height;
+          Alcotest.test_case "consistency" `Quick test_consistency;
+        ] );
+      ( "syntax",
+        [
+          Alcotest.test_case "parse declarations" `Quick
+            test_parse_declarations;
+          Alcotest.test_case "optional content" `Quick test_parse_optional;
+          Alcotest.test_case "parse errors" `Quick test_parse_error;
+          Alcotest.test_case "print/parse roundtrip" `Quick
+            test_print_parse_roundtrip;
+          Alcotest.test_case "hospital roundtrip" `Quick
+            test_hospital_roundtrip;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "accepts conforming" `Quick test_validate_accepts;
+          Alcotest.test_case "rejects bad children" `Quick
+            test_validate_rejects_bad_children;
+          Alcotest.test_case "rejects wrong root" `Quick
+            test_validate_rejects_wrong_root;
+          Alcotest.test_case "rejects undeclared" `Quick
+            test_validate_rejects_undeclared;
+        ] );
+      ( "unfolding",
+        [
+          Alcotest.test_case "name mangling" `Quick test_unfold_names;
+          Alcotest.test_case "basic unfolding" `Quick test_unfold_basic;
+          Alcotest.test_case "bounded instances conform" `Quick
+            test_unfold_accepts_bounded_instances;
+          Alcotest.test_case "height too small" `Quick test_unfold_too_small;
+          Alcotest.test_case "generated instances strip back" `Quick
+            test_unfold_gen_instances_conform;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "conforms across seeds" `Quick test_gen_conforms;
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "recursive terminates" `Quick
+            test_gen_recursive_terminates;
+          Alcotest.test_case "star_for override" `Quick test_gen_star_for;
+          Alcotest.test_case "inconsistent rejected" `Quick
+            test_gen_inconsistent_rejected;
+        ] );
+    ]

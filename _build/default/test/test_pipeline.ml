@@ -1,0 +1,134 @@
+(* The Pipeline façade: multi-group setup, translation caching,
+   recursive-view handling, stored-view loading. *)
+
+module Pipeline = Secview.Pipeline
+module Spec = Secview.Spec
+
+let parse = Sxpath.Parse.of_string
+
+let hospital_pipeline () =
+  let dtd = Workload.Hospital.dtd in
+  let nurses = Workload.Hospital.nurse_spec dtd in
+  let billing =
+    Spec.of_sidecar dtd
+      "dept staffInfo N\ndept clinicalTrial N\nclinicalTrial patientInfo Y\n"
+  in
+  Pipeline.create ~dtd ~groups:[ ("nurses", nurses); ("billing", billing) ]
+
+let test_groups () =
+  let p = hospital_pipeline () in
+  Alcotest.(check (list string)) "groups in order"
+    [ "nurses"; "billing" ]
+    (List.map (fun g -> g.Pipeline.name) (Pipeline.groups p));
+  Alcotest.(check bool) "nurse view DTD hides clinicalTrial" false
+    (Sdtd.Dtd.mem (Pipeline.view_dtd p ~group:"nurses") "clinicalTrial");
+  Alcotest.(check bool) "unknown group raises" true
+    (match Pipeline.view_dtd p ~group:"zz" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_rejects_foreign_spec () =
+  let dtd = Workload.Hospital.dtd in
+  let other_dtd = Workload.Adex.dtd in
+  Alcotest.(check bool) "spec over another DTD rejected" true
+    (match
+       Pipeline.create ~dtd
+         ~groups:[ ("x", Workload.Adex.spec) ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ ->
+      ignore other_dtd;
+      false)
+
+let test_translation_and_cache () =
+  let p = hospital_pipeline () in
+  let q = parse "//patient//bill" in
+  let t1 = Pipeline.translate p ~group:"nurses" q in
+  let t2 = Pipeline.translate p ~group:"nurses" q in
+  Alcotest.(check bool) "same translation" true (Sxpath.Ast.equal_path t1 t2);
+  let hits, misses = Pipeline.cache_stats p ~group:"nurses" in
+  Alcotest.(check int) "one miss" 1 misses;
+  Alcotest.(check int) "one hit" 1 hits;
+  (* groups have independent caches *)
+  let hits', _ = Pipeline.cache_stats p ~group:"billing" in
+  Alcotest.(check int) "billing untouched" 0 hits'
+
+let test_answers_match_manual_pipeline () =
+  let dtd = Workload.Hospital.dtd in
+  let spec = Workload.Hospital.nurse_spec dtd in
+  let p = Pipeline.create ~dtd ~groups:[ ("nurses", spec) ] in
+  let doc = Workload.Hospital.sample_document () in
+  let env = Workload.Hospital.nurse_env "6" in
+  let q = parse "//patient/name" in
+  let via_pipeline =
+    List.map Sxml.Tree.string_value (Pipeline.answer p ~group:"nurses" ~env q doc)
+  in
+  let manual =
+    let view = Secview.Derive.derive spec in
+    let pt = Secview.Optimize.optimize dtd (Secview.Rewrite.rewrite view q) in
+    List.map Sxml.Tree.string_value (Sxpath.Eval.eval ~env pt doc)
+  in
+  Alcotest.(check (list string)) "pipeline = manual" manual via_pipeline
+
+let test_recursive_group () =
+  let dtd = Workload.Xmark.dtd in
+  let p = Pipeline.create ~dtd ~groups:[ ("buyers", Workload.Xmark.spec) ] in
+  let doc = Workload.Xmark.document ~seed:3 ~scale:3 () in
+  (* answer computes the height itself *)
+  let names = Pipeline.answer p ~group:"buyers" (parse "//person/name") doc in
+  Alcotest.(check bool) "answers arrive" true (names <> []);
+  (* translate without a height must refuse on a recursive view *)
+  Alcotest.(check bool) "translate needs height" true
+    (match Pipeline.translate p ~group:"buyers" (parse "//name") with
+    | exception Secview.Rewrite.Unsupported _ -> true
+    | _ -> false);
+  (* different heights are cached separately *)
+  ignore (Pipeline.translate p ~group:"buyers" ~height:5 (parse "//name"));
+  ignore (Pipeline.translate p ~group:"buyers" ~height:7 (parse "//name"));
+  let _, misses = Pipeline.cache_stats p ~group:"buyers" in
+  Alcotest.(check bool) "separate cache entries per height" true (misses >= 3)
+
+let test_with_stored_views () =
+  let dtd = Workload.Hospital.dtd in
+  let spec = Workload.Hospital.nurse_spec dtd in
+  let view = Secview.Derive.derive spec in
+  let reloaded =
+    Secview.View.of_definition (Secview.View.to_definition view)
+  in
+  let p = Pipeline.create_with_views ~dtd ~groups:[ ("nurses", reloaded) ] in
+  let doc = Workload.Hospital.sample_document () in
+  let env = Workload.Hospital.nurse_env "6" in
+  Alcotest.(check int) "stored view answers" 3
+    (List.length
+       (Pipeline.answer p ~group:"nurses" ~env (parse "//patient/name") doc))
+
+let test_indexed_answers () =
+  let dtd = Workload.Adex.dtd in
+  let p = Pipeline.create ~dtd ~groups:[ ("re", Workload.Adex.spec) ] in
+  let doc = Workload.Adex.document ~ads:10 ~buyers:5 () in
+  let idx = Sxml.Index.build doc in
+  let q = Workload.Adex.q1 in
+  Alcotest.(check int) "indexed = plain"
+    (List.length (Pipeline.answer p ~group:"re" q doc))
+    (List.length (Pipeline.answer p ~group:"re" ~index:idx q doc))
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "setup",
+        [
+          Alcotest.test_case "groups" `Quick test_groups;
+          Alcotest.test_case "foreign specs rejected" `Quick
+            test_rejects_foreign_spec;
+          Alcotest.test_case "stored views" `Quick test_with_stored_views;
+        ] );
+      ( "answering",
+        [
+          Alcotest.test_case "translation cache" `Quick
+            test_translation_and_cache;
+          Alcotest.test_case "matches manual pipeline" `Quick
+            test_answers_match_manual_pipeline;
+          Alcotest.test_case "recursive group" `Quick test_recursive_group;
+          Alcotest.test_case "indexed answers" `Quick test_indexed_answers;
+        ] );
+    ]

@@ -1,0 +1,337 @@
+(* End-to-end randomized properties over random DTDs, access
+   specifications, documents and queries:
+
+   - derived views are sound and complete w.r.t. node accessibility
+     (Theorem 3.2's characterization, checked against the
+     materialization semantics);
+   - query rewriting is equivalent to querying the materialized view
+     (Theorem 4.1, in the precise mode);
+   - DTD-aware optimization preserves query answers;
+   - the approximate containment test is sound on instances
+     (Proposition 5.1). *)
+
+module A = Sxpath.Ast
+module R = Sdtd.Regex
+module Spec = Secview.Spec
+module View = Secview.View
+module Derive = Secview.Derive
+module Rewrite = Secview.Rewrite
+module Optimize = Secview.Optimize
+module Simulate = Secview.Simulate
+module Materialize = Secview.Materialize
+module Access = Secview.Access
+
+let type_name i = Printf.sprintf "t%d" i
+
+(* Random normal-form DTDs, generated as DAGs (type i only references
+   types > i) with PCDATA leaves, so they are always consistent. *)
+let gen_dtd : Sdtd.Dtd.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 4 9 in
+  let production i =
+    if i >= n - 1 then return R.Str
+    else
+      let deeper = int_range (i + 1) (n - 1) in
+      let child = map (fun j -> R.Elt (type_name j)) deeper in
+      oneof
+        [
+          return R.Str;
+          map R.star child;
+          (let* k = int_range 1 3 in
+           let* cs = list_repeat k child in
+           return (R.seq cs));
+          (let* k = int_range 2 3 in
+           let* cs = list_repeat k child in
+           match R.choice cs with
+           | R.Choice _ as c -> return c
+           | single -> return single);
+        ]
+  in
+  let* prods =
+    flatten_l (List.init n (fun i -> map (fun p -> (type_name i, p)) (production i)))
+  in
+  return (Sdtd.Dtd.restrict_reachable (Sdtd.Dtd.create ~root:"t0" prods))
+
+(* Random access specification over a DTD's edges. *)
+let gen_spec dtd : Spec.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let edges =
+    List.concat_map
+      (fun a -> List.map (fun b -> (a, b)) (Sdtd.Dtd.children_of dtd a))
+      (Sdtd.Dtd.reachable dtd)
+  in
+  let annot (a, _b) =
+    let qual =
+      let labels = Sdtd.Dtd.children_of dtd a in
+      let candidates = if labels = [] then [ "zz" ] else labels in
+      oneof
+        [
+          map (fun l -> Spec.Cond (A.Exists (A.Label l))) (oneofl candidates);
+          map
+            (fun l -> Spec.Cond (A.Eq (A.Label l, A.Const "alpha")))
+            (oneofl candidates);
+        ]
+    in
+    oneof [ return Spec.Yes; return Spec.No; return Spec.No; qual ]
+  in
+  let* chosen =
+    flatten_l
+      (List.filter_map
+         (fun edge ->
+           Some
+             (let* keep = bool in
+              if keep then map (fun an -> Some (edge, an)) (annot edge)
+              else return None))
+         edges)
+  in
+  return (Spec.make dtd (List.filter_map Fun.id chosen))
+
+let gen_doc dtd : Sxml.Tree.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* seed = int_bound 10_000 in
+  return
+    (Sdtd.Gen.generate
+       ~config:
+         {
+           Sdtd.Gen.default_config with
+           seed;
+           star_min = 0;
+           star_max = 2;
+           depth_budget = 8;
+         }
+       dtd)
+
+(* Random fragment-C query over a label vocabulary.  Bounded size:
+   rewriting distributes over union targets, so huge random queries
+   make the equivalence check itself the bottleneck without testing
+   anything new. *)
+let gen_query labels : A.path QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let label = oneofl labels in
+  (int_range 1 10 >>= fun size -> return size) >>= fix (fun self size ->
+      if size <= 1 then
+        oneof
+          [ map (fun l -> A.Label l) label; return A.Eps; return A.Wildcard ]
+      else
+        oneof
+          [
+            map (fun l -> A.Label l) label;
+            return A.Wildcard;
+            map2 (fun a b -> A.Slash (a, b)) (self (size / 2)) (self (size / 2));
+            map (fun a -> A.Dslash a) (self (size - 1));
+            map2 (fun a b -> A.Union (a, b)) (self (size / 2)) (self (size / 2));
+            map2
+              (fun a q -> A.Qualify (a, q))
+              (self (size / 2))
+              (oneof
+                 [
+                   map (fun p -> A.Exists p) (self (size / 2));
+                   map (fun p -> A.Not (A.Exists p)) (self (size / 2));
+                   map (fun p -> A.Eq (p, A.Const "alpha")) (self (size / 2));
+                 ]);
+          ])
+
+let element_height doc =
+  let rec go (n : Sxml.Tree.t) =
+    match Sxml.Tree.element_children n with
+    | [] -> 1
+    | cs -> 1 + List.fold_left (fun acc c -> max acc (go c)) 0 cs
+  in
+  go doc
+
+let ids nodes = List.map (fun (n : Sxml.Tree.t) -> n.Sxml.Tree.id) nodes
+
+(* ------------------------------------------------------------------ *)
+
+let gen_scenario =
+  let open QCheck2.Gen in
+  let* dtd = gen_dtd in
+  let* spec = gen_spec dtd in
+  let* doc = gen_doc dtd in
+  return (dtd, spec, doc)
+
+let print_scenario (dtd, spec, _doc) =
+  Format.asprintf "DTD:@.%a@.Spec:@.%a@." Sdtd.Dtd.pp dtd Spec.pp spec
+
+let prop_derive_sound_complete =
+  QCheck2.Test.make ~name:"derive: sound and complete views" ~count:150
+    ~print:print_scenario gen_scenario (fun (_dtd, spec, doc) ->
+      let view = Derive.derive spec in
+      match Materialize.materialize ~spec ~view doc with
+      | exception Materialize.Abort _ ->
+        (* Theorem 3.2: derive yields a sound and complete view iff one
+           exists; aborting runs are outside that guarantee. *)
+        QCheck2.assume_fail ()
+      | vt ->
+        let tree = Materialize.to_tree vt in
+        let conforms = Sdtd.Validate.conforms (View.dtd view) tree in
+        let accessible = Access.accessible_set spec doc in
+        let sources = Materialize.element_sources vt in
+        let non_dummy =
+          List.filter_map
+            (fun (l, id) -> if View.is_dummy view l then None else Some id)
+            sources
+          |> List.sort_uniq compare
+        in
+        let expected =
+          List.filter_map
+            (fun (n : Sxml.Tree.t) ->
+              if Sxml.Tree.is_element n && Access.IntSet.mem n.id accessible
+              then Some n.id
+              else None)
+            (Sxml.Tree.descendants_or_self doc)
+        in
+        conforms && non_dummy = expected)
+
+let gen_scenario_with_query =
+  let open QCheck2.Gen in
+  let* dtd, spec, doc = gen_scenario in
+  let view = Derive.derive spec in
+  let labels = Sdtd.Dtd.reachable (View.dtd view) in
+  let labels = List.map Sdtd.Unfold.label_of labels in
+  let* q = gen_query (List.sort_uniq compare labels) in
+  return (dtd, spec, doc, q)
+
+let print_scenario_q (dtd, spec, _doc, q) =
+  print_scenario (dtd, spec, _doc)
+  ^ "Query: " ^ Sxpath.Print.to_string q
+
+let prop_rewrite_equivalent =
+  QCheck2.Test.make ~name:"rewrite: p(T_v) = p_t(T)" ~count:300
+    ~print:print_scenario_q gen_scenario_with_query
+    (fun (_dtd, spec, doc, q) ->
+      let view = Derive.derive spec in
+      match Materialize.materialize ~spec ~view doc with
+      | exception Materialize.Abort _ -> QCheck2.assume_fail ()
+      | vt ->
+        let height = element_height doc in
+        let pt = Rewrite.rewrite_with_height view ~height q in
+        let direct = ids (Sxpath.Eval.eval pt doc) in
+        let tree, source_of = Materialize.to_tree_with_sources vt in
+        let via_view =
+          List.filter_map
+            (fun (n : Sxml.Tree.t) -> source_of n.id)
+            (Sxpath.Eval.eval q tree)
+          |> List.sort_uniq compare
+        in
+        direct = via_view)
+
+let gen_doc_query =
+  let open QCheck2.Gen in
+  let* dtd = gen_dtd in
+  let* doc = gen_doc dtd in
+  let* q = gen_query (Sdtd.Dtd.reachable dtd) in
+  return (dtd, doc, q)
+
+let print_doc_query (dtd, _doc, q) =
+  Format.asprintf "DTD:@.%a@.Query: %a" Sdtd.Dtd.pp dtd Sxpath.Print.pp q
+
+let prop_optimize_equivalent =
+  QCheck2.Test.make ~name:"optimize preserves answers" ~count:300
+    ~print:print_doc_query gen_doc_query (fun (dtd, doc, q) ->
+      let po = Optimize.optimize dtd q in
+      ids (Sxpath.Eval.eval q doc) = ids (Sxpath.Eval.eval po doc))
+
+let gen_containment =
+  let open QCheck2.Gen in
+  let* dtd = gen_dtd in
+  let* doc = gen_doc dtd in
+  let labels = Sdtd.Dtd.reachable dtd in
+  let* q1 = gen_query labels in
+  let* q2 = gen_query labels in
+  return (dtd, doc, q1, q2)
+
+let prop_containment_sound =
+  QCheck2.Test.make ~name:"simulation containment is sound" ~count:300
+    ~print:(fun (dtd, _doc, q1, q2) ->
+      Format.asprintf "DTD:@.%a@.p1 = %a@.p2 = %a" Sdtd.Dtd.pp dtd
+        Sxpath.Print.pp q1 Sxpath.Print.pp q2)
+    gen_containment
+    (fun (dtd, doc, q1, q2) ->
+      QCheck2.assume (Simulate.contained dtd q1 q2 (Sdtd.Dtd.root dtd));
+      let s1 = ids (Sxpath.Eval.eval q1 doc) in
+      let s2 = ids (Sxpath.Eval.eval q2 doc) in
+      List.for_all (fun x -> List.mem x s2) s1)
+
+let prop_rewrite_output_is_secure =
+  (* Every node a rewritten query returns is either accessible or the
+     source of a dummy element of the view — dummies are part of what
+     the view exposes (with their labels hidden), so wildcard and
+     dummy-label steps legitimately reach their hidden source nodes. *)
+  QCheck2.Test.make
+    ~name:"rewritten queries return only view-exposed nodes" ~count:300
+    ~print:print_scenario_q gen_scenario_with_query
+    (fun (_dtd, spec, doc, q) ->
+      let view = Derive.derive spec in
+      match Materialize.materialize ~spec ~view doc with
+      | exception Materialize.Abort _ -> QCheck2.assume_fail ()
+      | vt ->
+        let height = element_height doc in
+        let pt = Rewrite.rewrite_with_height view ~height q in
+        let accessible = Access.accessible_set spec doc in
+        let dummy_sources =
+          List.filter_map
+            (fun (l, id) -> if View.is_dummy view l then Some id else None)
+            (Materialize.element_sources vt)
+        in
+        List.for_all
+          (fun (n : Sxml.Tree.t) ->
+            Access.IntSet.mem n.id accessible
+            || List.mem n.id dummy_sources)
+          (Sxpath.Eval.eval pt doc))
+
+let prop_view_definition_roundtrip =
+  QCheck2.Test.make ~name:"view definitions roundtrip through text"
+    ~count:150 ~print:print_scenario gen_scenario (fun (_dtd, spec, _doc) ->
+      let view = Derive.derive spec in
+      let reloaded = View.of_definition (View.to_definition view) in
+      Sdtd.Dtd.equal (View.dtd view) (View.dtd reloaded)
+      && List.sort compare (View.dummies view)
+         = List.sort compare (View.dummies reloaded)
+      && List.for_all
+           (fun a ->
+             List.for_all
+               (fun b ->
+                 Sxpath.Simplify.equivalent_syntax
+                   (View.sigma_exn view ~parent:a ~child:b)
+                   (View.sigma_exn reloaded ~parent:a ~child:b))
+               (Sdtd.Dtd.children_of (View.dtd view) a))
+           (Sdtd.Dtd.reachable (View.dtd view)))
+
+let prop_audit_hidden_matches_view =
+  QCheck2.Test.make
+    ~name:"audit-hidden types are absent from the derived view DTD"
+    ~count:150 ~print:print_scenario gen_scenario (fun (_dtd, spec, _doc) ->
+      let view = Derive.derive spec in
+      let view_dtd = View.dtd view in
+      List.for_all
+        (fun t -> not (Sdtd.Dtd.mem view_dtd t))
+        (Secview.Audit.hidden_types spec))
+
+let prop_indexed_rewrite_equivalent =
+  QCheck2.Test.make
+    ~name:"indexed evaluation agrees on rewritten queries" ~count:150
+    ~print:print_scenario_q gen_scenario_with_query
+    (fun (_dtd, spec, doc, q) ->
+      let view = Derive.derive spec in
+      let height = element_height doc in
+      let pt = Rewrite.rewrite_with_height view ~height q in
+      let idx = Sxml.Index.build doc in
+      ids (Sxpath.Eval.eval pt doc) = ids (Sxpath.Eval.eval ~index:idx pt doc))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "end-to-end",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_derive_sound_complete;
+            prop_rewrite_equivalent;
+            prop_optimize_equivalent;
+            prop_containment_sound;
+            prop_rewrite_output_is_secure;
+            prop_view_definition_roundtrip;
+            prop_audit_hidden_matches_view;
+            prop_indexed_rewrite_equivalent;
+          ] );
+    ]

@@ -1,0 +1,282 @@
+(* Content-model regexes: smart constructors, language predicates,
+   derivative-based matching, normal-form classification. *)
+
+open Sdtd
+
+let e l = Regex.Elt l
+
+let check_regex = Alcotest.testable Regex.pp Regex.equal
+
+let test_seq_flattens () =
+  Alcotest.check check_regex "nested seqs flatten"
+    (Regex.Seq [ e "a"; e "b"; e "c" ])
+    (Regex.seq [ Regex.seq [ e "a"; e "b" ]; e "c" ])
+
+let test_seq_drops_epsilon () =
+  Alcotest.check check_regex "epsilon vanishes in seq" (e "a")
+    (Regex.seq [ Regex.Epsilon; e "a"; Regex.Epsilon ])
+
+let test_seq_empty_absorbs () =
+  Alcotest.check check_regex "empty absorbs seq" Regex.Empty
+    (Regex.seq [ e "a"; Regex.Empty; e "b" ])
+
+let test_seq_of_nothing_is_epsilon () =
+  Alcotest.check check_regex "empty seq is epsilon" Regex.Epsilon
+    (Regex.seq [])
+
+let test_choice_flattens () =
+  Alcotest.check check_regex "nested choices flatten"
+    (Regex.Choice [ e "a"; e "b"; e "c" ])
+    (Regex.choice [ Regex.choice [ e "a"; e "b" ]; e "c" ])
+
+let test_choice_dedups () =
+  Alcotest.check check_regex "duplicate branches dedup" (e "a")
+    (Regex.choice [ e "a"; e "a" ])
+
+let test_choice_drops_empty () =
+  Alcotest.check check_regex "empty branch dropped"
+    (Regex.Choice [ e "a"; e "b" ])
+    (Regex.choice [ e "a"; Regex.Empty; e "b" ])
+
+let test_choice_of_nothing () =
+  Alcotest.check check_regex "empty choice is the empty language"
+    Regex.Empty (Regex.choice [])
+
+let test_star_idempotent () =
+  Alcotest.check check_regex "star of star collapses"
+    (Regex.Star (e "a"))
+    (Regex.star (Regex.star (e "a")))
+
+let test_star_of_epsilon () =
+  Alcotest.check check_regex "star of epsilon is epsilon" Regex.Epsilon
+    (Regex.star Regex.Epsilon)
+
+let test_opt () =
+  Alcotest.check check_regex "opt builds a nullable choice"
+    (Regex.Choice [ e "a"; Regex.Epsilon ])
+    (Regex.opt (e "a"))
+
+let test_plus () =
+  Alcotest.check check_regex "plus builds a, a*"
+    (Regex.Seq [ e "a"; Regex.Star (e "a") ])
+    (Regex.plus (e "a"))
+
+let test_labels_order_and_dedup () =
+  Alcotest.(check (list string))
+    "labels in first-occurrence order"
+    [ "a"; "b"; "c" ]
+    (Regex.labels (Regex.Seq [ e "a"; e "b"; e "a"; Regex.Star (e "c") ]))
+
+let test_nullable () =
+  Alcotest.(check bool) "star nullable" true (Regex.nullable (Regex.Star (e "a")));
+  Alcotest.(check bool) "label not nullable" false (Regex.nullable (e "a"));
+  Alcotest.(check bool) "seq with star not nullable" false
+    (Regex.nullable (Regex.Seq [ e "a"; Regex.Star (e "b") ]));
+  Alcotest.(check bool) "choice with epsilon nullable" true
+    (Regex.nullable (Regex.Choice [ e "a"; Regex.Epsilon ]));
+  Alcotest.(check bool) "empty not nullable" false (Regex.nullable Regex.Empty)
+
+let test_is_empty_language () =
+  Alcotest.(check bool) "Empty" true (Regex.is_empty_language Regex.Empty);
+  Alcotest.(check bool) "epsilon is not empty-language" false
+    (Regex.is_empty_language Regex.Epsilon);
+  Alcotest.(check bool) "seq containing Empty" true
+    (Regex.is_empty_language (Regex.Seq [ e "a"; Regex.Empty ]));
+  Alcotest.(check bool) "choice of Empties" true
+    (Regex.is_empty_language (Regex.Choice [ Regex.Empty; Regex.Empty ]))
+
+let matches r w = Regex.matches r w
+
+let test_matches_seq () =
+  let r = Regex.Seq [ e "a"; e "b" ] in
+  Alcotest.(check bool) "ab" true (matches r [ "a"; "b" ]);
+  Alcotest.(check bool) "a" false (matches r [ "a" ]);
+  Alcotest.(check bool) "ba" false (matches r [ "b"; "a" ]);
+  Alcotest.(check bool) "abb" false (matches r [ "a"; "b"; "b" ])
+
+let test_matches_choice () =
+  let r = Regex.Choice [ e "a"; e "b" ] in
+  Alcotest.(check bool) "a" true (matches r [ "a" ]);
+  Alcotest.(check bool) "b" true (matches r [ "b" ]);
+  Alcotest.(check bool) "ab" false (matches r [ "a"; "b" ]);
+  Alcotest.(check bool) "empty" false (matches r [])
+
+let test_matches_star () =
+  let r = Regex.Star (e "a") in
+  Alcotest.(check bool) "empty" true (matches r []);
+  Alcotest.(check bool) "aaa" true (matches r [ "a"; "a"; "a" ]);
+  Alcotest.(check bool) "ab" false (matches r [ "a"; "b" ])
+
+let test_matches_str () =
+  Alcotest.(check bool) "pcdata" true (matches Regex.Str [ Regex.pcdata ]);
+  Alcotest.(check bool) "element against str" false
+    (matches Regex.Str [ "a" ]);
+  Alcotest.(check bool) "no text" false (matches Regex.Str [])
+
+let test_matches_mixed () =
+  (* (a*, b | c) — star inside seq with trailing choice *)
+  let r = Regex.Seq [ Regex.Star (e "a"); Regex.Choice [ e "b"; e "c" ] ] in
+  Alcotest.(check bool) "b" true (matches r [ "b" ]);
+  Alcotest.(check bool) "aac" true (matches r [ "a"; "a"; "c" ]);
+  Alcotest.(check bool) "aa" false (matches r [ "a"; "a" ]);
+  Alcotest.(check bool) "bc" false (matches r [ "b"; "c" ])
+
+let test_matches_empty_language () =
+  Alcotest.(check bool) "Empty matches nothing, not even []" false
+    (matches Regex.Empty [])
+
+let test_deriv () =
+  Alcotest.check check_regex "d/da (a,b) = b" (e "b")
+    (Regex.deriv "a" (Regex.Seq [ e "a"; e "b" ]));
+  Alcotest.check check_regex "d/db (a,b) = empty" Regex.Empty
+    (Regex.deriv "b" (Regex.Seq [ e "a"; e "b" ]));
+  Alcotest.check check_regex "d/da a* = a*"
+    (Regex.Star (e "a"))
+    (Regex.deriv "a" (Regex.Star (e "a")))
+
+let test_deriv_nullable_head () =
+  (* (a*, b): deriving by b must skip the nullable head. *)
+  let r = Regex.Seq [ Regex.Star (e "a"); e "b" ] in
+  Alcotest.check check_regex "d/db (a*, b) = eps" Regex.Epsilon
+    (Regex.deriv "b" r)
+
+let test_shape () =
+  let shape_t =
+    Alcotest.testable
+      (fun ppf -> function
+        | None -> Format.pp_print_string ppf "None"
+        | Some s -> Regex.pp ppf (Regex.of_shape s))
+      ( = )
+  in
+  Alcotest.check shape_t "str" (Some Regex.Shape_str) (Regex.shape Regex.Str);
+  Alcotest.check shape_t "epsilon" (Some Regex.Shape_epsilon)
+    (Regex.shape Regex.Epsilon);
+  Alcotest.check shape_t "single label = seq of one"
+    (Some (Regex.Shape_seq [ "a" ]))
+    (Regex.shape (e "a"));
+  Alcotest.check shape_t "seq"
+    (Some (Regex.Shape_seq [ "a"; "b" ]))
+    (Regex.shape (Regex.Seq [ e "a"; e "b" ]));
+  Alcotest.check shape_t "choice"
+    (Some (Regex.Shape_choice [ "a"; "b" ]))
+    (Regex.shape (Regex.Choice [ e "a"; e "b" ]));
+  Alcotest.check shape_t "star" (Some (Regex.Shape_star "a"))
+    (Regex.shape (Regex.Star (e "a")));
+  Alcotest.check shape_t "star in seq is not normal form" None
+    (Regex.shape (Regex.Seq [ Regex.Star (e "a"); e "b" ]));
+  Alcotest.check shape_t "epsilon in choice is not normal form" None
+    (Regex.shape (Regex.Choice [ e "a"; Regex.Epsilon ]))
+
+let test_rename () =
+  Alcotest.check check_regex "rename labels"
+    (Regex.Seq [ e "A"; Regex.Star (e "B") ])
+    (Regex.rename String.uppercase_ascii
+       (Regex.Seq [ e "a"; Regex.Star (e "b") ]))
+
+let test_print_parse_roundtrip () =
+  let cases =
+    [
+      Regex.Seq [ e "a"; e "b"; e "c" ];
+      Regex.Choice [ e "a"; e "b" ];
+      Regex.Star (e "a");
+      Regex.Seq [ Regex.Star (e "a"); Regex.Choice [ e "b"; e "c" ] ];
+      Regex.Str;
+      Regex.Epsilon;
+      Regex.Seq [ e "a"; Regex.Star (Regex.Choice [ e "b"; e "c" ]) ];
+    ]
+  in
+  List.iter
+    (fun r ->
+      let printed = Regex.to_string r in
+      let reparsed = Parse.regex_of_string printed in
+      Alcotest.check check_regex printed r reparsed)
+    cases
+
+(* Property: derivative-based matching agrees with a brute-force
+   membership check on small words. *)
+let gen_regex =
+  let open QCheck2.Gen in
+  let label = oneofl [ "a"; "b"; "c" ] in
+  sized @@ fix (fun self n ->
+      if n <= 1 then
+        oneof [ map (fun l -> Regex.Elt l) label; return Regex.Epsilon;
+                return Regex.Str ]
+      else
+        oneof
+          [
+            map (fun l -> Regex.Elt l) label;
+            map Regex.star (self (n / 2));
+            map2 (fun a b -> Regex.seq [ a; b ]) (self (n / 2)) (self (n / 2));
+            map2 (fun a b -> Regex.choice [ a; b ]) (self (n / 2)) (self (n / 2));
+          ])
+
+let prop_deriv_consistent =
+  QCheck2.Test.make ~name:"deriv: matches(r, s::w) = matches(deriv s r, w)"
+    ~count:200
+    QCheck2.Gen.(
+      triple gen_regex (oneofl [ "a"; "b"; "c"; Sdtd.Regex.pcdata ])
+        (small_list (oneofl [ "a"; "b"; "c" ])))
+    (fun (r, s, w) ->
+      Regex.matches r (s :: w) = Regex.matches (Regex.deriv s r) w)
+
+let prop_nullable_matches_empty =
+  QCheck2.Test.make ~name:"nullable r = matches r []" ~count:200 gen_regex
+    (fun r -> Regex.nullable r = Regex.matches r [])
+
+let prop_print_parse =
+  QCheck2.Test.make ~name:"print/parse roundtrip" ~print:Regex.to_string ~count:200 gen_regex
+    (fun r ->
+      let r = Regex.seq [ r ] in
+      (* normalize via smart constructor *)
+      match Parse.regex_of_string (Regex.to_string r) with
+      | r' -> Regex.equal r r'
+      | exception Parse.Error _ -> false)
+
+let () =
+  Alcotest.run "regex"
+    [
+      ( "smart-constructors",
+        [
+          Alcotest.test_case "seq flattens" `Quick test_seq_flattens;
+          Alcotest.test_case "seq drops epsilon" `Quick test_seq_drops_epsilon;
+          Alcotest.test_case "seq absorbs empty" `Quick test_seq_empty_absorbs;
+          Alcotest.test_case "seq [] = eps" `Quick test_seq_of_nothing_is_epsilon;
+          Alcotest.test_case "choice flattens" `Quick test_choice_flattens;
+          Alcotest.test_case "choice dedups" `Quick test_choice_dedups;
+          Alcotest.test_case "choice drops empty" `Quick test_choice_drops_empty;
+          Alcotest.test_case "choice [] = none" `Quick test_choice_of_nothing;
+          Alcotest.test_case "star idempotent" `Quick test_star_idempotent;
+          Alcotest.test_case "star eps" `Quick test_star_of_epsilon;
+          Alcotest.test_case "opt" `Quick test_opt;
+          Alcotest.test_case "plus" `Quick test_plus;
+        ] );
+      ( "predicates",
+        [
+          Alcotest.test_case "labels" `Quick test_labels_order_and_dedup;
+          Alcotest.test_case "nullable" `Quick test_nullable;
+          Alcotest.test_case "is_empty_language" `Quick test_is_empty_language;
+          Alcotest.test_case "rename" `Quick test_rename;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "seq words" `Quick test_matches_seq;
+          Alcotest.test_case "choice words" `Quick test_matches_choice;
+          Alcotest.test_case "star words" `Quick test_matches_star;
+          Alcotest.test_case "str words" `Quick test_matches_str;
+          Alcotest.test_case "mixed model" `Quick test_matches_mixed;
+          Alcotest.test_case "empty language" `Quick test_matches_empty_language;
+          Alcotest.test_case "derivatives" `Quick test_deriv;
+          Alcotest.test_case "deriv skips nullable head" `Quick
+            test_deriv_nullable_head;
+        ] );
+      ( "shapes-and-syntax",
+        [
+          Alcotest.test_case "shape classification" `Quick test_shape;
+          Alcotest.test_case "print/parse cases" `Quick
+            test_print_parse_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_deriv_consistent; prop_nullable_matches_empty;
+            prop_print_parse ] );
+    ]

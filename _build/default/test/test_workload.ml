@@ -1,0 +1,127 @@
+(* Workload sanity: the hospital and Adex fixtures themselves, the
+   dataset series, and the Fig. 7 recursive fixture. *)
+
+let test_hospital_dtd_wellformed () =
+  let dtd = Workload.Hospital.dtd in
+  Alcotest.(check bool) "in normal form" true (Sdtd.Dtd.in_normal_form dtd);
+  Alcotest.(check bool) "consistent" true (Sdtd.Dtd.is_consistent dtd);
+  Alcotest.(check bool) "not recursive" false (Sdtd.Dtd.is_recursive dtd)
+
+let test_hospital_sample_conforms () =
+  Alcotest.(check (list string)) "sample conforms" []
+    (List.map
+       (fun v -> v.Sdtd.Validate.message)
+       (Sdtd.Validate.check Workload.Hospital.dtd
+          (Workload.Hospital.sample_document ())))
+
+let test_hospital_generated_conforms () =
+  List.iter
+    (fun seed ->
+      let doc = Workload.Hospital.generated_document ~seed ~scale:5 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d conforms" seed)
+        true
+        (Sdtd.Validate.conforms Workload.Hospital.dtd doc))
+    [ 0; 7; 42 ]
+
+let test_hospital_spec_variables () =
+  let spec = Workload.Hospital.nurse_spec Workload.Hospital.dtd in
+  Alcotest.(check (list string)) "parameterized by wardNo" [ "wardNo" ]
+    (Secview.Spec.variables spec)
+
+let test_adex_dtd_wellformed () =
+  let dtd = Workload.Adex.dtd in
+  Alcotest.(check bool) "consistent" true (Sdtd.Dtd.is_consistent dtd);
+  Alcotest.(check bool) "not recursive" false (Sdtd.Dtd.is_recursive dtd);
+  (* the three structural properties Table 1's discussion needs *)
+  Alcotest.(check (list string)) "real-estate is exclusive"
+    [ "house"; "apartment" ]
+    (Sdtd.Dtd.children_of dtd "real-estate");
+  Alcotest.(check bool) "warranty only under house" true
+    (List.mem "r-e.warranty" (Sdtd.Dtd.children_of dtd "house")
+    && not (List.mem "r-e.warranty" (Sdtd.Dtd.children_of dtd "apartment")));
+  Alcotest.(check bool) "unit-type only under apartment" true
+    (List.mem "r-e.unit-type" (Sdtd.Dtd.children_of dtd "apartment")
+    && not (List.mem "r-e.unit-type" (Sdtd.Dtd.children_of dtd "house")))
+
+let test_adex_document_scales () =
+  let d1 = Workload.Adex.document ~ads:5 ~buyers:3 () in
+  let d2 = Workload.Adex.document ~ads:25 ~buyers:15 () in
+  Alcotest.(check bool) "conforms" true
+    (Sdtd.Validate.conforms Workload.Adex.dtd d1);
+  Alcotest.(check bool) "bigger knobs, bigger document" true
+    (Sxml.Tree.count_elements d2 > 2 * Sxml.Tree.count_elements d1)
+
+let test_dataset_series () =
+  let series = Workload.Datasets.series ~scale:4 () in
+  Alcotest.(check (list string)) "names"
+    [ "D1"; "D2"; "D3"; "D4" ]
+    (List.map (fun d -> d.Workload.Datasets.name) series);
+  let sizes =
+    List.map
+      (fun d -> Sxml.Tree.count_elements (Workload.Datasets.load d))
+      series
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sizes increase: %s"
+       (String.concat ", " (List.map string_of_int sizes)))
+    true (increasing sizes);
+  (* the paper's 1 : 5 : 16 : 24 progression, loosely *)
+  (match sizes with
+  | [ s1; _; _; s4 ] ->
+    Alcotest.(check bool) "D4 is an order of magnitude larger than D1" true
+      (s4 > 10 * s1)
+  | _ -> Alcotest.fail "expected four datasets");
+  Alcotest.(check bool) "deterministic" true
+    (Sxml.Tree.equal_structure
+       (Workload.Datasets.load (List.hd series))
+       (Workload.Datasets.load (List.hd series)))
+
+let test_fig7_fixture () =
+  Alcotest.(check bool) "document DTD not recursive... but the view is" true
+    (Sdtd.Dtd.is_recursive (Secview.View.dtd (Workload.Fig7.view ())));
+  let doc = Workload.Fig7.document ~depth:4 in
+  Alcotest.(check bool) "document conforms" true
+    (Sdtd.Validate.conforms Workload.Fig7.dtd doc)
+
+let test_queries_parse_to_expected_strings () =
+  List.iter
+    (fun (q, expected) ->
+      Alcotest.(check string) expected expected (Sxpath.Print.to_string q))
+    [
+      (Workload.Adex.q1, "//buyer-info/contact-info");
+      (Workload.Adex.q2, "//house/r-e.warranty | //apartment/r-e.warranty");
+      (Workload.Adex.q3, "//buyer-info[//company-id and //contact-info]");
+      (Workload.Adex.q4, "//house[//r-e.asking-price and //r-e.unit-type]");
+    ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "hospital",
+        [
+          Alcotest.test_case "DTD wellformed" `Quick
+            test_hospital_dtd_wellformed;
+          Alcotest.test_case "sample conforms" `Quick
+            test_hospital_sample_conforms;
+          Alcotest.test_case "generated conforms" `Quick
+            test_hospital_generated_conforms;
+          Alcotest.test_case "spec variables" `Quick
+            test_hospital_spec_variables;
+        ] );
+      ( "adex",
+        [
+          Alcotest.test_case "DTD wellformed" `Quick test_adex_dtd_wellformed;
+          Alcotest.test_case "documents scale" `Quick
+            test_adex_document_scales;
+          Alcotest.test_case "dataset series" `Quick test_dataset_series;
+          Alcotest.test_case "query strings" `Quick
+            test_queries_parse_to_expected_strings;
+        ] );
+      ( "fig7",
+        [ Alcotest.test_case "fixture" `Quick test_fig7_fixture ] );
+    ]
