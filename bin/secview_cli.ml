@@ -241,7 +241,8 @@ let rewrite_cmd =
       $ height_arg $ optimize_arg)
 
 let query_cmd =
-  let run dtd_path root spec_path doc_path query bindings approach indexed =
+  let run dtd_path root spec_path doc_path query bindings approach indexed
+      stats strict =
     let dtd, spec, view = setup dtd_path root spec_path in
     let doc = Sxml.Parse.of_file doc_path in
     let env = env_of_bindings bindings in
@@ -264,11 +265,22 @@ let query_cmd =
         in
         Sxpath.Eval.eval ~env ?index pt doc
       | `Optimize ->
-        let pt =
-          Secview.Rewrite.rewrite_with_height view
-            ~height:(element_height doc) q
+        (* the full Fig. 3 loop: rewrite + optimize through the
+           pipeline's translation cache *)
+        let pipe =
+          Secview.Pipeline.create ~strict dtd ~groups:[ ("user", spec) ]
         in
-        Sxpath.Eval.eval ~env ?index (Secview.Optimize.optimize dtd pt) doc
+        let answers =
+          Secview.Pipeline.answer pipe ~group:"user" ~env ?index q doc
+        in
+        if stats then begin
+          let hits, misses =
+            Secview.Pipeline.cache_stats pipe ~group:"user"
+          in
+          Printf.eprintf "translation cache: %d hit(s), %d miss(es)\n" hits
+            misses
+        end;
+        answers
     in
     List.iter (fun n -> print_endline (Sxml.Print.to_string n)) results
   in
@@ -288,11 +300,63 @@ let query_cmd =
       & info [ "index" ]
           ~doc:"Build a tag index and use the descendant fast path.")
   in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Report the pipeline's translation-cache statistics on stderr \
+             (optimize approach only).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Refuse to run when the policy or its derived view has lint \
+             errors (optimize approach only).")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Securely evaluate a view query on a document")
     Term.(
       const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ query_arg
-      $ bind_arg $ approach_arg $ index_arg)
+      $ bind_arg $ approach_arg $ index_arg $ stats_arg $ strict_arg)
+
+let lint_cmd =
+  let run dtd_path root spec_path view_path machine queries =
+    let dtd = load_dtd root dtd_path in
+    let spec = Option.map (Secview.Spec.of_sidecar_file dtd) spec_path in
+    let view = Option.map Secview.View.of_definition_file view_path in
+    let queries = List.map (fun q -> (q, Sxpath.Parse.of_string q)) queries in
+    let ds = Sanalysis.Lint.check_all ~dtd ?spec ?view ~queries () in
+    if machine then
+      List.iter
+        (fun d -> print_endline (Sanalysis.Diagnostic.to_line d))
+        (Sanalysis.Diagnostic.by_severity ds)
+    else if ds = [] then print_endline "no diagnostics"
+    else Format.printf "%a" Sanalysis.Diagnostic.pp_report ds;
+    exit (if Sanalysis.Diagnostic.has_errors ds then 1 else 0)
+  in
+  let machine_arg =
+    Arg.(
+      value & flag
+      & info [ "machine" ]
+          ~doc:
+            "One tab-separated record per diagnostic \
+             (CODE, SEVERITY, SUBJECT, MESSAGE) instead of prose.")
+  in
+  let queries_arg =
+    let doc = "View queries to lint against the view DTD." in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse a policy, a stored view and/or view queries; \
+          exit 1 on any error-severity diagnostic")
+    Term.(
+      const run $ dtd_arg $ root_arg $ spec_opt_arg $ view_arg $ machine_arg
+      $ queries_arg)
 
 let optimize_cmd =
   let run dtd_path root query =
@@ -377,8 +441,17 @@ let main =
          "Secure XML querying with security views (Fan, Chan, Garofalakis, \
           SIGMOD 2004)")
     [
-      derive_cmd; graph_cmd; audit_cmd; materialize_cmd; rewrite_cmd;
-      query_cmd; optimize_cmd; annotate_cmd; gen_cmd; validate_cmd;
+      derive_cmd; graph_cmd; audit_cmd; lint_cmd; materialize_cmd;
+      rewrite_cmd; query_cmd; optimize_cmd; annotate_cmd; gen_cmd;
+      validate_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  match Cmd.eval ~catch:false main with
+  | code -> exit code
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+    Printf.eprintf "secview: %s\n" msg;
+    exit 2
+  | exception Secview.Rewrite.Unsupported msg ->
+    Printf.eprintf "secview: unsupported query: %s\n" msg;
+    exit 2

@@ -1,0 +1,70 @@
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type subject =
+  | Annotation of string * string
+  | Element of string
+  | Sigma of string * string
+  | Query of string
+  | General
+
+type t = {
+  code : string;
+  severity : severity;
+  subject : subject;
+  message : string;
+}
+
+let make ~code ~severity ?(subject = General) message =
+  { code; severity; subject; message }
+
+let severity_label : severity -> string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let subject_label = function
+  | Annotation (a, b) -> Printf.sprintf "ann(%s, %s)" a b
+  | Element a -> Printf.sprintf "element %s" a
+  | Sigma (a, b) -> Printf.sprintf "sigma(%s, %s)" a b
+  | Query q -> Printf.sprintf "query %s" q
+  | General -> ""
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let rank : severity -> int = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let by_severity ds =
+  List.stable_sort (fun d1 d2 -> compare (rank d1.severity) (rank d2.severity)) ds
+
+let count ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let pp ppf d =
+  match subject_label d.subject with
+  | "" -> Format.fprintf ppf "%s[%s] %s" (severity_label d.severity) d.code d.message
+  | subject ->
+    Format.fprintf ppf "%s[%s] %s: %s"
+      (severity_label d.severity)
+      d.code subject d.message
+
+let to_line d =
+  Printf.sprintf "%s\t%s\t%s\t%s" d.code (severity_label d.severity)
+    (subject_label d.subject) d.message
+
+let pp_report ppf ds =
+  match ds with
+  | [] -> ()
+  | ds ->
+    List.iter (fun d -> Format.fprintf ppf "%a@." pp d) (by_severity ds);
+    let e, w, i = count ds in
+    Format.fprintf ppf "%d error(s), %d warning(s), %d info(s)@." e w i

@@ -1,0 +1,380 @@
+module A = Sxpath.Ast
+module D = Diagnostic
+
+(* ------------------------------------------------------------------ *)
+(* A schema-level path walker shared by every checker: step through a
+   query over the DTD graph, tracking the set of element types the
+   context can be, and surface the steps that kill every context.
+   Attribute steps yield the pseudo-type "@name" (they terminate
+   element navigation, like in the rewriting algorithm's tables);
+   unfold level suffixes are stripped before label matching so the
+   walker also works on unfolded view DTDs. *)
+
+type step_issue =
+  | Dead_step of A.path * string list  (* step, context types tried *)
+  | Undeclared_attribute of string * string list
+
+let dedup = List.sort_uniq String.compare
+
+let label_matches l child = String.equal (Sdtd.Unfold.label_of child) l
+
+let rec reach ~issue ~qual_hook dtd ctxs (p : A.path) : string list =
+  let children c =
+    if Sdtd.Dtd.mem dtd c then Sdtd.Dtd.children_of dtd c else []
+  in
+  match p with
+  | A.Empty -> []
+  | A.Eps -> ctxs
+  | A.Label l ->
+    let nexts =
+      dedup (List.concat_map (fun c -> List.filter (label_matches l) (children c)) ctxs)
+    in
+    if nexts = [] && ctxs <> [] then issue (Dead_step (p, ctxs));
+    nexts
+  | A.Wildcard ->
+    let nexts = dedup (List.concat_map children ctxs) in
+    if nexts = [] && ctxs <> [] then issue (Dead_step (p, ctxs));
+    nexts
+  | A.Attribute at ->
+    let carriers =
+      List.filter
+        (fun c -> Sdtd.Dtd.mem dtd c && List.mem at (Sdtd.Dtd.attributes dtd c))
+        ctxs
+    in
+    if carriers = [] then begin
+      if ctxs <> [] then issue (Undeclared_attribute (at, ctxs));
+      []
+    end
+    else [ "@" ^ at ]
+  | A.Slash (p1, p2) ->
+    reach ~issue ~qual_hook dtd (reach ~issue ~qual_hook dtd ctxs p1) p2
+  | A.Dslash p1 ->
+    let closure =
+      dedup
+        (List.concat_map
+           (fun c ->
+             if Sdtd.Dtd.mem dtd c then
+               Secview.Image.descendant_or_self_types dtd c
+             else [])
+           ctxs)
+    in
+    reach ~issue ~qual_hook dtd closure p1
+  | A.Union (p1, p2) ->
+    dedup
+      (reach ~issue ~qual_hook dtd ctxs p1 @ reach ~issue ~qual_hook dtd ctxs p2)
+  | A.Qualify (p1, q) ->
+    let base = reach ~issue ~qual_hook dtd ctxs p1 in
+    if base = [] then [] else qual_hook base q
+
+(* Walk every path embedded in a qualifier (atoms of [Exists]/[Eq],
+   through the boolean connectives, including nested qualifiers),
+   reporting reference problems through [issue]. *)
+let rec walk_qual ~issue dtd ctxs (q : A.qual) =
+  let hook cs q' =
+    walk_qual ~issue dtd cs q';
+    cs
+  in
+  match q with
+  | A.True | A.False -> ()
+  | A.Exists p | A.Eq (p, _) -> ignore (reach ~issue ~qual_hook:hook dtd ctxs p)
+  | A.And (q1, q2) | A.Or (q1, q2) ->
+    walk_qual ~issue dtd ctxs q1;
+    walk_qual ~issue dtd ctxs q2
+  | A.Not q1 -> walk_qual ~issue dtd ctxs q1
+
+let silent_reach dtd ctxs p =
+  reach ~issue:(fun _ -> ()) ~qual_hook:(fun cs _ -> cs) dtd ctxs p
+
+let comma = String.concat ", "
+
+let dead_step_message dtd (step, at) =
+  let stxt = Sxpath.Print.to_string step in
+  match step with
+  | A.Label l when not (Sdtd.Dtd.mem dtd l) ->
+    Printf.sprintf "step %s: %s is not an element type of the DTD" stxt l
+  | _ -> Printf.sprintf "step %s can never match under %s" stxt (comma at)
+
+(* ------------------------------------------------------------------ *)
+(* Policy lints (SV001-SV004)                                          *)
+
+let check_spec spec =
+  let dtd = Secview.Spec.dtd spec in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  (* SV001: dead annotations, promoted from the schema auditor *)
+  List.iter
+    (fun ((a, b), ann) ->
+      add
+        (D.make ~code:"SV001" ~severity:D.Warning ~subject:(D.Annotation (a, b))
+           (Format.asprintf
+              "annotation %a can never change any node's accessibility"
+              Secview.Spec.pp_annot ann)))
+    (Secview.Audit.dead_annotations spec);
+  (* SV002/SV003: qualifier references, checked at the annotated child
+     (where the qualifier is evaluated) *)
+  List.iter
+    (fun ((a, b), ann) ->
+      match ann with
+      | Secview.Spec.Yes | Secview.Spec.No -> ()
+      | Secview.Spec.Cond q ->
+        let issue = function
+          | Undeclared_attribute (attr, at) ->
+            add
+              (D.make ~code:"SV002" ~severity:D.Error
+                 ~subject:(D.Annotation (a, b))
+                 (Printf.sprintf
+                    "qualifier references attribute @%s, which is declared on \
+                     none of %s"
+                    attr (comma at)))
+          | Dead_step (step, at) ->
+            add
+              (D.make ~code:"SV003" ~severity:D.Error
+                 ~subject:(D.Annotation (a, b))
+                 (Printf.sprintf "qualifier %s"
+                    (dead_step_message dtd (step, at))))
+        in
+        walk_qual ~issue dtd [ b ] q)
+    (Secview.Spec.annotations spec);
+  (* SV004: hidden element types that still grant access below
+     themselves -- a common intentional pattern (expose a subtree under
+     a hidden wrapper), surfaced for review rather than flagged *)
+  let hidden = Secview.Audit.hidden_types spec in
+  List.iter
+    (fun ((a, b), ann) ->
+      match ann with
+      | (Secview.Spec.Yes | Secview.Spec.Cond _) when List.mem a hidden ->
+        add
+          (D.make ~code:"SV004" ~severity:D.Info ~subject:(D.Element a)
+             (Printf.sprintf
+                "hidden on every root-path, yet ann(%s, %s) grants access \
+                 below it (verify this re-exposure is intended)"
+                a b))
+      | _ -> ())
+    (Secview.Spec.annotations spec);
+  List.rev !ds
+
+(* ------------------------------------------------------------------ *)
+(* View lints (SV101-SV103)                                            *)
+
+(* Source element types per view type: the document types a view
+   element's source node can have, propagated from σ(root) = root
+   through every σ edge to a fixpoint (recursive view DTDs converge
+   because type sets only grow). *)
+let source_types ~dtd view =
+  let vdtd = Secview.View.dtd view in
+  let srcs : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let get v = Option.value (Hashtbl.find_opt srcs v) ~default:[] in
+  Hashtbl.replace srcs (Sdtd.Dtd.root vdtd) [ Sdtd.Dtd.root dtd ];
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            match Secview.View.sigma view ~parent:a ~child:b with
+            | None -> ()
+            | Some sg ->
+              let r = silent_reach dtd (get a) sg in
+              let merged = dedup (r @ get b) in
+              if merged <> get b then begin
+                Hashtbl.replace srcs b merged;
+                changed := true
+              end)
+          (Sdtd.Dtd.children_of vdtd a))
+      (Sdtd.Dtd.reachable vdtd)
+  done;
+  get
+
+let check_view ~dtd view =
+  let vdtd = Secview.View.dtd view in
+  let srcs = source_types ~dtd view in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          match Secview.View.sigma view ~parent:a ~child:b with
+          | None -> ()
+          | Some sg ->
+            let sctx = srcs a in
+            if sctx <> [] then begin
+              let deads = ref [] in
+              let issue = function
+                | Dead_step (s, at) -> deads := (s, at) :: !deads
+                | Undeclared_attribute (attr, at) ->
+                  add
+                    (D.make ~code:"SV103" ~severity:D.Error
+                       ~subject:(D.Sigma (a, b))
+                       (Printf.sprintf
+                          "references attribute @%s, declared on none of %s"
+                          attr (comma at)))
+              in
+              let qual_issue = function
+                | Dead_step (s, at) ->
+                  add
+                    (D.make ~code:"SV103" ~severity:D.Error
+                       ~subject:(D.Sigma (a, b))
+                       (Printf.sprintf "qualifier %s"
+                          (dead_step_message dtd (s, at))))
+                | Undeclared_attribute (attr, at) ->
+                  add
+                    (D.make ~code:"SV103" ~severity:D.Error
+                       ~subject:(D.Sigma (a, b))
+                       (Printf.sprintf
+                          "qualifier references attribute @%s, declared on \
+                           none of %s"
+                          attr (comma at)))
+              in
+              let qual_hook cs q =
+                walk_qual ~issue:qual_issue dtd cs q;
+                cs
+              in
+              let r = reach ~issue ~qual_hook dtd sctx sg in
+              (* a σ step that matches nothing is drift from the DTD,
+                 whether it kills the whole extraction or only one
+                 branch of it *)
+              (match List.rev !deads with
+              | [] ->
+                if r = [] then
+                  add
+                    (D.make ~code:"SV101" ~severity:D.Error
+                       ~subject:(D.Sigma (a, b))
+                       (Printf.sprintf
+                          "path %s matches nothing in the document DTD \
+                           (evaluated at %s)"
+                          (Sxpath.Print.to_string sg)
+                          (comma sctx)))
+              | deads ->
+                List.iter
+                  (fun d ->
+                    add
+                      (D.make ~code:"SV101" ~severity:D.Error
+                         ~subject:(D.Sigma (a, b))
+                         (Printf.sprintf "path %s: %s"
+                            (Sxpath.Print.to_string sg)
+                            (dead_step_message dtd d))))
+                  deads);
+              if r <> [] && not (Secview.View.is_dummy view b) then begin
+                let want = Sdtd.Unfold.label_of b in
+                let foreign =
+                  List.filter
+                    (fun t ->
+                      (not (label_matches want t))
+                      && not (String.length t > 0 && t.[0] = '@'))
+                    r
+                in
+                if foreign <> [] then
+                  add
+                    (D.make ~code:"SV102" ~severity:D.Error
+                       ~subject:(D.Sigma (a, b))
+                       (Printf.sprintf
+                          "path %s lands on %s, not on %s elements"
+                          (Sxpath.Print.to_string sg)
+                          (comma foreign) want))
+              end
+            end)
+        (Sdtd.Dtd.children_of vdtd a))
+    (Sdtd.Dtd.reachable vdtd);
+  List.rev !ds
+
+(* ------------------------------------------------------------------ *)
+(* Query lints (SV201-SV205)                                           *)
+
+let check_query ?name vdtd q =
+  let label = Option.value name ~default:(Sxpath.Print.to_string q) in
+  let subject = D.Query label in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let deads = ref [] in
+  let issue = function
+    | Dead_step (s, at) -> deads := (s, at) :: !deads
+    | Undeclared_attribute (attr, at) ->
+      add
+        (D.make ~code:"SV205" ~severity:D.Error ~subject
+           (Printf.sprintf
+              "attribute @%s is not declared on %s in the view DTD; \
+               rewriting translates this step to the empty query"
+              attr (comma at)))
+  in
+  let qual_hook ctxs qq =
+    (* reference problems inside the qualifier (attributes only: dead
+       qualifier paths are subsumed by the vacuity decision below) *)
+    walk_qual
+      ~issue:(function Undeclared_attribute _ as i -> issue i | Dead_step _ -> ())
+      vdtd ctxs qq;
+    let verdict b =
+      if Sdtd.Dtd.mem vdtd b then Secview.Image.bool_of_qual vdtd qq b
+      else `Unknown
+    in
+    let verdicts = List.map verdict ctxs in
+    let qtxt = Sxpath.Print.qual_to_string qq in
+    if List.for_all (( = ) `True) verdicts then
+      add
+        (D.make ~code:"SV203" ~severity:D.Info ~subject
+           (Printf.sprintf
+              "qualifier [%s] holds at every %s by DTD constraints \
+               (redundant; the optimizer drops it)"
+              qtxt (comma ctxs)));
+    if List.for_all (( = ) `False) verdicts then
+      add
+        (D.make ~code:"SV204" ~severity:D.Warning ~subject
+           (Printf.sprintf
+              "qualifier [%s] fails at every %s by DTD constraints \
+               (this step can never select anything)"
+              qtxt (comma ctxs)));
+    List.filter (fun b -> verdict b <> `False) ctxs
+  in
+  let r = reach ~issue ~qual_hook vdtd [ Sdtd.Dtd.root vdtd ] q in
+  if r = [] then begin
+    let detail =
+      match List.rev !deads with
+      | d :: _ -> ": " ^ dead_step_message vdtd d
+      | [] -> ""
+    in
+    add
+      (D.make ~code:"SV201" ~severity:D.Warning ~subject
+         (Printf.sprintf
+            "provably empty on every instance of the view DTD%s" detail))
+  end
+  else
+    List.iter
+      (fun d ->
+        add
+          (D.make ~code:"SV202" ~severity:D.Info ~subject
+             (Printf.sprintf "%s (dead branch; the optimizer prunes it)"
+                (dead_step_message vdtd d))))
+      (List.rev !deads);
+  List.rev !ds
+
+(* ------------------------------------------------------------------ *)
+
+let check_all ~dtd ?spec ?view ?(queries = []) () =
+  let spec_ds = match spec with Some s -> check_spec s | None -> [] in
+  let the_view =
+    match (view, spec) with
+    | Some v, _ -> Some v
+    | None, Some s -> Some (Secview.Derive.derive s)
+    | None, None -> None
+  in
+  let view_ds =
+    match the_view with Some v -> check_view ~dtd v | None -> []
+  in
+  let qdtd =
+    match the_view with Some v -> Secview.View.dtd v | None -> dtd
+  in
+  let query_ds =
+    List.concat_map (fun (n, q) -> check_query ~name:n qdtd q) queries
+  in
+  spec_ds @ view_ds @ query_ds
+
+(* Register the strict validation gate Pipeline.create/?strict uses:
+   linking this library arms strict mode. *)
+let () =
+  Secview.Pipeline.set_strict_gate (fun ~dtd ?spec view ->
+      let ds =
+        (match spec with Some s -> check_spec s | None -> [])
+        @ check_view ~dtd view
+      in
+      List.map (Format.asprintf "%a" D.pp) (D.errors ds))

@@ -17,6 +17,32 @@ type t = {
   order : string list;
 }
 
+let strict_gate :
+    (dtd:Sdtd.Dtd.t -> ?spec:Spec.t -> View.t -> string list) option ref =
+  ref None
+
+let set_strict_gate f = strict_gate := Some f
+
+(* [pairs]: (group, view, policy if we have one). *)
+let run_strict_gate dtd pairs =
+  match !strict_gate with
+  | None ->
+    invalid_arg
+      "Pipeline: ?strict requires the static-analysis gate; link the \
+       analysis sublibrary (Sanalysis.Lint) or drop ~strict:true"
+  | Some gate ->
+    let errors =
+      List.concat_map
+        (fun (name, view, spec) ->
+          List.map
+            (fun e -> Printf.sprintf "group %S: %s" name e)
+            (gate ~dtd ?spec view))
+        pairs
+    in
+    if errors <> [] then
+      invalid_arg
+        ("Pipeline: strict validation failed:\n" ^ String.concat "\n" errors)
+
 let of_views dtd pairs =
   let states = Hashtbl.create 8 in
   List.iter
@@ -34,15 +60,25 @@ let of_views dtd pairs =
     pairs;
   { dtd; states; order = List.map fst pairs }
 
-let create ~dtd ~groups =
+let create ?(strict = false) dtd ~groups =
   List.iter
     (fun (_, spec) ->
       if Sdtd.Dtd.stamp (Spec.dtd spec) <> Sdtd.Dtd.stamp dtd then
         invalid_arg "Pipeline.create: specification over a different DTD")
     groups;
-  of_views dtd (List.map (fun (name, spec) -> (name, Derive.derive spec)) groups)
+  let derived =
+    List.map (fun (name, spec) -> (name, Derive.derive spec, spec)) groups
+  in
+  if strict then
+    run_strict_gate dtd
+      (List.map (fun (name, view, spec) -> (name, view, Some spec)) derived);
+  of_views dtd (List.map (fun (name, view, _) -> (name, view)) derived)
 
-let create_with_views ~dtd ~groups = of_views dtd groups
+let create_with_views ?(strict = false) dtd ~groups =
+  if strict then
+    run_strict_gate dtd
+      (List.map (fun (name, view) -> (name, view, None)) groups);
+  of_views dtd groups
 
 let dtd t = t.dtd
 

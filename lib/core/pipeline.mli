@@ -16,14 +16,30 @@ type group = {
 }
 
 val create :
-  dtd:Sdtd.Dtd.t -> groups:(string * Spec.t) list -> t
-(** Derive a security view per group.
-    @raise Invalid_argument on duplicate group names or a specification
-    over a different DTD instance. *)
+  ?strict:bool -> Sdtd.Dtd.t -> groups:(string * Spec.t) list -> t
+(** Derive a security view per group.  With [~strict:true] every
+    group's policy and derived view must pass the registered
+    static-analysis gate (see {!set_strict_gate}) before the pipeline
+    is handed out — configuration errors surface here instead of at
+    query time.
+    @raise Invalid_argument on duplicate group names, a specification
+    over a different DTD instance, or (strict mode) lint errors. *)
 
 val create_with_views :
-  dtd:Sdtd.Dtd.t -> groups:(string * View.t) list -> t
-(** Use stored view definitions instead of deriving. *)
+  ?strict:bool -> Sdtd.Dtd.t -> groups:(string * View.t) list -> t
+(** Use stored view definitions instead of deriving.  [~strict:true]
+    validates each stored view against the document DTD through the
+    gate — the defense against view definitions that drifted from the
+    DTD they were derived for. *)
+
+val set_strict_gate :
+  (dtd:Sdtd.Dtd.t -> ?spec:Spec.t -> View.t -> string list) -> unit
+(** Install the validation gate strict construction runs per group:
+    given the document DTD, the group's view and (for {!create}) its
+    policy, return the rendered errors — an empty list means the group
+    is clean.  The analysis sublibrary ([Sanalysis.Lint]) registers
+    its diagnostics engine here when linked; [?strict] without a
+    registered gate raises [Invalid_argument]. *)
 
 val dtd : t -> Sdtd.Dtd.t
 val groups : t -> group list

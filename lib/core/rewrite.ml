@@ -10,7 +10,6 @@ exception Unsupported of string
 type graph = {
   view : View.t;
   dtd : Sdtd.Dtd.t;
-  nodes : string list;
   topo : string list;  (* reachable nodes, parents-first *)
 }
 
@@ -21,7 +20,7 @@ let graph_of view =
     raise
       (Unsupported
          "recursive view DTD: unfold it first (use rewrite_with_height)")
-  | Some topo -> { view; dtd; nodes = Sdtd.Dtd.reachable dtd; topo }
+  | Some topo -> { view; dtd; topo }
 
 let children g a = Sdtd.Dtd.children_of g.dtd a
 let sigma g a b = View.sigma_exn g.view ~parent:a ~child:b

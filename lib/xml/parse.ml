@@ -5,6 +5,9 @@ exception Error of error
 let error_to_string { line; column; message } =
   Printf.sprintf "XML parse error at %d:%d: %s" line column message
 
+(* defined before [state] so the record labels are unambiguous *)
+let mk_error line column message = { line; column; message }
+
 type state = {
   input : string;
   mutable pos : int;
@@ -12,8 +15,8 @@ type state = {
   mutable bol : int;  (* position of beginning of current line *)
 }
 
-let fail st message =
-  raise (Error { line = st.line; column = st.pos - st.bol + 1; message })
+let fail (st : state) message =
+  raise (Error (mk_error st.line (st.pos - st.bol + 1) message))
 
 let eof st = st.pos >= String.length st.input
 

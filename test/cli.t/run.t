@@ -98,3 +98,62 @@ Graphviz rendering of the DTD graph:
   digraph dtd {
     rankdir=TB;
     node [shape=box, fontsize=10];
+
+Audit can diff two policies over the same DTD:
+
+  $ secview audit --dtd hospital.dtd --spec nurse.spec --diff bad.spec
+  ~ bill changes status
+  ~ medication changes status
+  ~ name changes status
+  ~ patient changes status
+  ~ patientInfo changes status
+  + regular becomes exposed
+  ~ treatment changes status
+  + trial becomes exposed
+  ~ wardNo changes status
+
+Query statistics expose the rewrite-cache behaviour:
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --stats "//patient/name"
+  <name>Alice</name>
+  <name>Bob</name>
+  translation cache: 0 hit(s), 1 miss(es)
+
+Linting the shipped policy is clean (informational notes only):
+
+  $ secview lint --dtd hospital.dtd --spec nurse.spec "//patient/name" "//patient//bill"
+  info[SV004] element clinicalTrial: hidden on every root-path, yet ann(clinicalTrial, patientInfo) grants access below it (verify this re-exposure is intended)
+  info[SV004] element trial: hidden on every root-path, yet ann(trial, bill) grants access below it (verify this re-exposure is intended)
+  info[SV004] element regular: hidden on every root-path, yet ann(regular, bill) grants access below it (verify this re-exposure is intended)
+  info[SV004] element regular: hidden on every root-path, yet ann(regular, medication) grants access below it (verify this re-exposure is intended)
+  0 error(s), 0 warning(s), 4 info(s)
+
+A policy whose qualifier names an attribute nobody declares is an error:
+
+  $ secview lint --dtd hospital.dtd --spec bad.spec 2>&1 | grep 'error\['
+  error[SV002] ann(hospital, dept): qualifier references attribute @ward, which is declared on none of dept
+  error[SV103] sigma(hospital, dept): qualifier references attribute @ward, declared on none of dept
+  $ secview lint --dtd hospital.dtd --spec bad.spec > /dev/null
+  [1]
+
+A stored view whose extraction path went stale is an error (machine form):
+
+  $ secview lint --dtd hospital.dtd --view stale.view --machine
+  SV101	error	sigma(dept, patientInfo)	path clinicalTrials/patientInfo | patientInfo: step clinicalTrials: clinicalTrials is not an element type of the DTD
+  [1]
+
+A query for a type the view hides is provably empty -- a warning, not an
+error, since the rewriting still answers it (with nothing):
+
+  $ secview lint --dtd hospital.dtd --spec nurse.spec "//clinicalTrial" | head -1
+  warning[SV201] query //clinicalTrial: provably empty on every instance of the view DTD: step clinicalTrial: clinicalTrial is not an element type of the DTD
+
+The strict pipeline gate refuses to build over a broken policy:
+
+  $ secview query --dtd hospital.dtd --spec bad.spec --doc ward.xml \
+  >   --strict "//patient/name"
+  secview: Pipeline: strict validation failed:
+  group "user": error[SV002] ann(hospital, dept): qualifier references attribute @ward, which is declared on none of dept
+  group "user": error[SV103] sigma(hospital, dept): qualifier references attribute @ward, declared on none of dept
+  [2]

@@ -2,7 +2,6 @@
    accessibility filtering, and agreement with the view-based pipeline
    on the workloads where its unique-element-name assumption holds. *)
 
-module A = Sxpath.Ast
 module Naive = Secview.Naive
 module Derive = Secview.Derive
 module Rewrite = Secview.Rewrite

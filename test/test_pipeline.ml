@@ -13,7 +13,7 @@ let hospital_pipeline () =
     Spec.of_sidecar dtd
       "dept staffInfo N\ndept clinicalTrial N\nclinicalTrial patientInfo Y\n"
   in
-  Pipeline.create ~dtd ~groups:[ ("nurses", nurses); ("billing", billing) ]
+  Pipeline.create dtd ~groups:[ ("nurses", nurses); ("billing", billing) ]
 
 let test_groups () =
   let p = hospital_pipeline () in
@@ -32,7 +32,7 @@ let test_rejects_foreign_spec () =
   let other_dtd = Workload.Adex.dtd in
   Alcotest.(check bool) "spec over another DTD rejected" true
     (match
-       Pipeline.create ~dtd
+       Pipeline.create dtd
          ~groups:[ ("x", Workload.Adex.spec) ]
      with
     | exception Invalid_argument _ -> true
@@ -56,7 +56,7 @@ let test_translation_and_cache () =
 let test_answers_match_manual_pipeline () =
   let dtd = Workload.Hospital.dtd in
   let spec = Workload.Hospital.nurse_spec dtd in
-  let p = Pipeline.create ~dtd ~groups:[ ("nurses", spec) ] in
+  let p = Pipeline.create dtd ~groups:[ ("nurses", spec) ] in
   let doc = Workload.Hospital.sample_document () in
   let env = Workload.Hospital.nurse_env "6" in
   let q = parse "//patient/name" in
@@ -72,7 +72,7 @@ let test_answers_match_manual_pipeline () =
 
 let test_recursive_group () =
   let dtd = Workload.Xmark.dtd in
-  let p = Pipeline.create ~dtd ~groups:[ ("buyers", Workload.Xmark.spec) ] in
+  let p = Pipeline.create dtd ~groups:[ ("buyers", Workload.Xmark.spec) ] in
   let doc = Workload.Xmark.document ~seed:3 ~scale:3 () in
   (* answer computes the height itself *)
   let names = Pipeline.answer p ~group:"buyers" (parse "//person/name") doc in
@@ -95,7 +95,7 @@ let test_with_stored_views () =
   let reloaded =
     Secview.View.of_definition (Secview.View.to_definition view)
   in
-  let p = Pipeline.create_with_views ~dtd ~groups:[ ("nurses", reloaded) ] in
+  let p = Pipeline.create_with_views dtd ~groups:[ ("nurses", reloaded) ] in
   let doc = Workload.Hospital.sample_document () in
   let env = Workload.Hospital.nurse_env "6" in
   Alcotest.(check int) "stored view answers" 3
@@ -104,7 +104,7 @@ let test_with_stored_views () =
 
 let test_indexed_answers () =
   let dtd = Workload.Adex.dtd in
-  let p = Pipeline.create ~dtd ~groups:[ ("re", Workload.Adex.spec) ] in
+  let p = Pipeline.create dtd ~groups:[ ("re", Workload.Adex.spec) ] in
   let doc = Workload.Adex.document ~ads:10 ~buyers:5 () in
   let idx = Sxml.Index.build doc in
   let q = Workload.Adex.q1 in

@@ -323,7 +323,7 @@ let () =
   Alcotest.run "properties"
     [
       ( "end-to-end",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_derive_sound_complete;
             prop_rewrite_equivalent;

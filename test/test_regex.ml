@@ -276,7 +276,7 @@ let () =
             test_print_parse_roundtrip;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_deriv_consistent; prop_nullable_matches_empty;
             prop_print_parse ] );
     ]

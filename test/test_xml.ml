@@ -228,6 +228,6 @@ let () =
           Alcotest.test_case "error positions" `Quick test_error_position;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_roundtrip; prop_ids_preorder ] );
     ]

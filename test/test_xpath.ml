@@ -490,7 +490,7 @@ let () =
             test_eval_doc_descendants;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_simplify_preserves; prop_print_parse; prop_eval_sorted_dedup ]
       );
     ]
