@@ -13,7 +13,12 @@
      complexity claims, measured with Bechamel.
 
    Usage: dune exec bench/main.exe [-- --table1|--forms|--ablations]
-                                   [-- --scale N] [-- --quick] *)
+                                   [-- --scale N] [-- --quick]
+                                   [-- --json [--out FILE]]
+
+   --json writes the Table 1 measurements (per-stage min/median/p95
+   breakdowns for Q1-Q4 x D1-D4) to BENCH_PR2.json (or --out FILE),
+   the machine-readable perf trajectory consumed by later PRs. *)
 
 module A = Sxpath.Ast
 module R = Sdtd.Regex
@@ -23,21 +28,49 @@ let time_once f =
   let result = f () in
   (result, Unix.gettimeofday () -. t0)
 
-(* median wall-time of [reps] runs (after one warmup) *)
-let measure ?(reps = 5) f =
+(* Wall-time distribution of [reps] runs (after one warmup): a bare
+   median hides scheduler noise; min is the contention-free floor and
+   p95 the tail the server story cares about. *)
+type stats = {
+  t_min : float;
+  t_median : float;
+  t_p95 : float;
+}
+
+let measure_stats ?(reps = 5) f =
   ignore (f ());
   let times =
-    List.init reps (fun _ ->
+    Array.init reps (fun _ ->
         let _, dt = time_once f in
         dt)
   in
-  let sorted = List.sort compare times in
-  List.nth sorted (reps / 2)
+  Array.sort compare times;
+  {
+    t_min = times.(0);
+    t_median = Sobs.Metrics.percentile times 50.;
+    t_p95 = Sobs.Metrics.percentile times 95.;
+  }
+
+let measure ?reps f = (measure_stats ?reps f).t_median
+
+let stats_ms_json s =
+  Sobs.Json.Obj
+    [
+      ("min", Sobs.Json.Float (1000. *. s.t_min));
+      ("median", Sobs.Json.Float (1000. *. s.t_median));
+      ("p95", Sobs.Json.Float (1000. *. s.t_p95));
+    ]
+
+(* machine-independent work measure: evaluator context×step visits *)
+let visited_during f =
+  let v0 = !Sxpath.Eval.visited in
+  ignore (f ());
+  !Sxpath.Eval.visited - v0
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 
-let table1 ~scale ~reps () =
+let table1 ?(json_out = None) ~scale ~reps () =
   let dtd = Workload.Adex.dtd in
   let spec = Workload.Adex.spec in
   let view = Workload.Adex.view () in
@@ -49,6 +82,7 @@ let table1 ~scale ~reps () =
   Printf.printf "%-6s %-4s %9s | %10s %10s %10s | %8s %8s\n" "Query" "Data"
     "elements" "Naive" "Rewrite" "Optimize" "N/R" "R/O";
   Printf.printf "%s\n" (String.make 78 '-');
+  let rows = ref [] in
   let datasets = Workload.Datasets.series ~scale () in
   List.iter
     (fun ds ->
@@ -57,8 +91,16 @@ let table1 ~scale ~reps () =
       let prepared = Secview.Naive.prepare spec doc in
       List.iter
         (fun (qname, q) ->
+          (* translation stages, measured separately so the results
+             file carries the full per-stage breakdown *)
+          let s_rewrite =
+            measure_stats ~reps (fun () -> Secview.Rewrite.rewrite view q)
+          in
           let naive_q = Secview.Naive.rewrite_query ~view q in
           let rewritten = Secview.Rewrite.rewrite view q in
+          let s_optimize =
+            measure_stats ~reps (fun () -> Secview.Optimize.optimize dtd rewritten)
+          in
           let optimized = Secview.Optimize.optimize dtd rewritten in
           let count p d = List.length (Sxpath.Eval.eval p d) in
           let n_naive = count naive_q prepared in
@@ -69,13 +111,18 @@ let table1 ~scale ~reps () =
               "!! approaches disagree on %s/%s: naive %d rewrite %d \
                optimize %d\n"
               qname ds.Workload.Datasets.name n_naive n_rw n_opt;
-          let t_naive =
-            measure ~reps (fun () -> Sxpath.Eval.eval naive_q prepared)
+          let s_naive =
+            measure_stats ~reps (fun () -> Sxpath.Eval.eval naive_q prepared)
           in
-          let t_rw = measure ~reps (fun () -> Sxpath.Eval.eval rewritten doc) in
-          let t_opt =
-            measure ~reps (fun () -> Sxpath.Eval.eval optimized doc)
+          let s_rw =
+            measure_stats ~reps (fun () -> Sxpath.Eval.eval rewritten doc)
           in
+          let s_opt =
+            measure_stats ~reps (fun () -> Sxpath.Eval.eval optimized doc)
+          in
+          let t_naive = s_naive.t_median
+          and t_rw = s_rw.t_median
+          and t_opt = s_opt.t_median in
           let ratio a b =
             if b > 1e-9 then Printf.sprintf "%7.1fx" (a /. b) else "      -"
           in
@@ -83,14 +130,70 @@ let table1 ~scale ~reps () =
             "%-6s %-4s %9d | %10.3f %10.3f %10.3f | %s %s\n" qname
             ds.Workload.Datasets.name elements (1000. *. t_naive)
             (1000. *. t_rw) (1000. *. t_opt) (ratio t_naive t_rw)
-            (ratio t_rw t_opt))
+            (ratio t_rw t_opt);
+          if json_out <> None then
+            rows :=
+              Sobs.Json.Obj
+                [
+                  ("query", Sobs.Json.String qname);
+                  ("dataset", Sobs.Json.String ds.Workload.Datasets.name);
+                  ("elements", Sobs.Json.Int elements);
+                  ("results", Sobs.Json.Int n_opt);
+                  ( "stages_ms",
+                    Sobs.Json.Obj
+                      [
+                        ("rewrite", stats_ms_json s_rewrite);
+                        ("optimize", stats_ms_json s_optimize);
+                      ] );
+                  ( "eval_ms",
+                    Sobs.Json.Obj
+                      [
+                        ("naive", stats_ms_json s_naive);
+                        ("rewrite", stats_ms_json s_rw);
+                        ("optimize", stats_ms_json s_opt);
+                      ] );
+                  ( "visited",
+                    Sobs.Json.Obj
+                      [
+                        ( "naive",
+                          Sobs.Json.Int
+                            (visited_during (fun () ->
+                                 Sxpath.Eval.eval naive_q prepared)) );
+                        ( "rewrite",
+                          Sobs.Json.Int
+                            (visited_during (fun () ->
+                                 Sxpath.Eval.eval rewritten doc)) );
+                        ( "optimize",
+                          Sobs.Json.Int
+                            (visited_during (fun () ->
+                                 Sxpath.Eval.eval optimized doc)) );
+                      ] );
+                ]
+              :: !rows)
         Workload.Adex.queries;
       Printf.printf "%s\n" (String.make 78 '-'))
     datasets;
   Printf.printf
     "(N/R = naive/rewrite speedup; R/O = rewrite/optimize speedup.\n\
     \ '-' entries of the paper's table correspond to queries the\n\
-    \ optimizer leaves unchanged: Q1 and Q2 here, where R/O stays ~1.)\n\n"
+    \ optimizer leaves unchanged: Q1 and Q2 here, where R/O stays ~1.)\n\n";
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Sobs.Json.Obj
+        [
+          ("bench", Sobs.Json.String "table1");
+          ("scale", Sobs.Json.Int scale);
+          ("reps", Sobs.Json.Int reps);
+          ("rows", Sobs.Json.List (List.rev !rows));
+        ]
+    in
+    let oc = open_out path in
+    Sobs.Json.to_channel oc doc;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(machine-readable results written to %s)\n\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Query forms (Section 6 prose)                                       *)
@@ -419,13 +522,23 @@ let () =
     find args
   in
   let reps = if has "--quick" then 3 else 5 in
+  let json_out =
+    if not (has "--json") then None
+    else
+      let rec find = function
+        | "--out" :: v :: _ -> Some v
+        | _ :: rest -> find rest
+        | [] -> Some "BENCH_PR2.json"
+      in
+      find args
+  in
   let all =
     not
       (has "--table1" || has "--forms" || has "--ablations" || has "--approx"
-     || has "--index" || has "--xmark")
+     || has "--index" || has "--xmark" || has "--json")
   in
   if all || has "--forms" then forms ();
-  if all || has "--table1" then table1 ~scale ~reps ();
+  if all || has "--table1" || has "--json" then table1 ~json_out ~scale ~reps ();
   if all || has "--ablations" then ablations ~quick:(has "--quick") ();
   if all || has "--index" then index_ablation ~scale:(scale / 4) ~reps ();
   if all || has "--xmark" then xmark_bench ~reps ();

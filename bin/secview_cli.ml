@@ -240,13 +240,25 @@ let rewrite_cmd =
       const run $ dtd_arg $ root_arg $ spec_opt_arg $ view_arg $ query_arg
       $ height_arg $ optimize_arg)
 
+(* An audit-log path of "-" means stderr, so audit records, lint
+   diagnostics and trace output can be collected from one stream. *)
+let open_audit_log ?tracer = function
+  | "-" -> Sobs.Audit_log.create ?tracer Sobs.Audit_log.Stderr
+  | path -> Sobs.Audit_log.open_file ?tracer path
+
 let query_cmd =
-  let run dtd_path root spec_path doc_path query bindings approach indexed
-      stats strict =
+  let run dtd_path root spec_path doc_path queries bindings approach indexed
+      stats strict trace metrics audit_log =
+    if queries = [] then failwith "query: at least one QUERY is required";
+    let observing = trace || metrics || audit_log <> None in
+    let registry = Sobs.Metrics.create () in
+    let tracer = Sobs.Tracer.create ~metrics:registry () in
+    if observing then Sobs.Tracer.install tracer;
+    let alog = Option.map (open_audit_log ~tracer) audit_log in
     let dtd, spec, view = setup dtd_path root spec_path in
     let doc = Sxml.Parse.of_file doc_path in
     let env = env_of_bindings bindings in
-    let q = Sxpath.Parse.of_string query in
+    let qs = List.map Sxpath.Parse.of_string queries in
     let index = if indexed then Some (Sxml.Index.build doc) else None in
     let results =
       match approach with
@@ -255,34 +267,52 @@ let query_cmd =
         let index =
           if indexed then Some (Sxml.Index.build prepared) else None
         in
-        Sxpath.Eval.eval ~env ?index
-          (Secview.Naive.rewrite_query ~view q)
-          prepared
+        List.concat_map
+          (fun q ->
+            Sxpath.Eval.eval ~env ?index
+              (Secview.Naive.rewrite_query ~view q)
+              prepared)
+          qs
       | `Rewrite ->
-        let pt =
-          Secview.Rewrite.rewrite_with_height view
-            ~height:(element_height doc) q
-        in
-        Sxpath.Eval.eval ~env ?index pt doc
+        let height = element_height doc in
+        List.concat_map
+          (fun q ->
+            let pt = Secview.Rewrite.rewrite_with_height view ~height q in
+            Sxpath.Eval.eval ~env ?index pt doc)
+          qs
       | `Optimize ->
         (* the full Fig. 3 loop: rewrite + optimize through the
            pipeline's translation cache *)
         let pipe =
-          Secview.Pipeline.create ~strict dtd ~groups:[ ("user", spec) ]
+          try Secview.Pipeline.create ~strict dtd ~groups:[ ("user", spec) ]
+          with Invalid_argument msg as e ->
+            Option.iter
+              (fun a ->
+                Sobs.Audit_log.log_note a ~kind:"strict_gate" msg;
+                Sobs.Audit_log.close a)
+              alog;
+            raise e
         in
+        Option.iter Sobs.Audit_log.install alog;
         let answers =
-          Secview.Pipeline.answer pipe ~group:"user" ~env ?index q doc
+          List.concat_map
+            (fun q -> Secview.Pipeline.answer pipe ~group:"user" ~env ?index q doc)
+            qs
         in
-        if stats then begin
-          let hits, misses =
-            Secview.Pipeline.cache_stats pipe ~group:"user"
-          in
-          Printf.eprintf "translation cache: %d hit(s), %d miss(es)\n" hits
-            misses
-        end;
+        if stats then
+          List.iter
+            (fun (g, (hits, misses)) ->
+              Printf.eprintf "translation cache[%s]: %d hit(s), %d miss(es)\n"
+                g hits misses)
+            (Secview.Pipeline.stats pipe);
         answers
     in
-    List.iter (fun n -> print_endline (Sxml.Print.to_string n)) results
+    List.iter (fun n -> print_endline (Sxml.Print.to_string n)) results;
+    if trace then Format.eprintf "%a%!" Sobs.Tracer.pp tracer;
+    if metrics then Format.eprintf "%a%!" Sobs.Metrics.pp registry;
+    Option.iter Sobs.Audit_log.close alog;
+    if observing then Sobs.Tracer.uninstall ();
+    Sobs.Audit_log.uninstall ()
   in
   let approach_arg =
     let doc = "Evaluation strategy: naive, rewrite or optimize." in
@@ -316,19 +346,110 @@ let query_cmd =
             "Refuse to run when the policy or its derived view has lint \
              errors (optimize approach only).")
   in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record pipeline stage spans (derive, rewrite, optimize, eval, \
+             ...) and print the span tree with timings on stderr.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Collect counters and per-stage latency series for this run and \
+             print the registry on stderr.")
+  in
+  let audit_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL audit record per pipeline request to $(docv) \
+             ('-' for stderr); optimize approach only.")
+  in
+  let queries_arg =
+    let doc = "View queries to answer, in order." in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
   Cmd.v
-    (Cmd.info "query" ~doc:"Securely evaluate a view query on a document")
+    (Cmd.info "query" ~doc:"Securely evaluate view queries on a document")
     Term.(
-      const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ query_arg
-      $ bind_arg $ approach_arg $ index_arg $ stats_arg $ strict_arg)
+      const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ queries_arg
+      $ bind_arg $ approach_arg $ index_arg $ stats_arg $ strict_arg
+      $ trace_arg $ metrics_arg $ audit_log_arg)
+
+let metrics_cmd =
+  let run dtd_path root spec_path doc_path bindings repeat json queries =
+    if queries = [] then failwith "metrics: at least one QUERY is required";
+    let registry = Sobs.Metrics.create () in
+    let tracer = Sobs.Tracer.create ~metrics:registry () in
+    Sobs.Tracer.install tracer;
+    let dtd = load_dtd root dtd_path in
+    let spec = Secview.Spec.of_sidecar_file dtd spec_path in
+    let pipe = Secview.Pipeline.create dtd ~groups:[ ("user", spec) ] in
+    let doc = Sxml.Parse.of_file doc_path in
+    let env = env_of_bindings bindings in
+    List.iter
+      (fun qs ->
+        let q = Sxpath.Parse.of_string qs in
+        for _ = 1 to repeat do
+          ignore (Secview.Pipeline.answer pipe ~group:"user" ~env q doc)
+        done)
+      queries;
+    Sobs.Tracer.uninstall ();
+    if json then
+      print_endline (Sobs.Json.to_string (Sobs.Metrics.to_json registry))
+    else Format.printf "%a%!" Sobs.Metrics.pp registry
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Answer each query $(docv) times, so the translation cache's \
+             steady-state behaviour shows up in the counters.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Dump the registry as JSON instead of text.")
+  in
+  let queries_arg =
+    let doc = "View queries to drive the pipeline with." in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run queries through the full pipeline and dump the metrics \
+          registry (counters + per-stage latency percentiles)")
+    Term.(
+      const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ bind_arg
+      $ repeat_arg $ json_arg $ queries_arg)
 
 let lint_cmd =
-  let run dtd_path root spec_path view_path machine queries =
+  let run dtd_path root spec_path view_path machine audit_log queries =
     let dtd = load_dtd root dtd_path in
     let spec = Option.map (Secview.Spec.of_sidecar_file dtd) spec_path in
     let view = Option.map Secview.View.of_definition_file view_path in
     let queries = List.map (fun q -> (q, Sxpath.Parse.of_string q)) queries in
     let ds = Sanalysis.Lint.check_all ~dtd ?spec ?view ~queries () in
+    (match audit_log with
+    | None -> ()
+    | Some path ->
+      let alog = open_audit_log path in
+      List.iter
+        (fun (d : Sanalysis.Diagnostic.t) ->
+          Sobs.Audit_log.log_diagnostic alog ~code:d.code
+            ~severity:(Sanalysis.Diagnostic.severity_label d.severity)
+            ~subject:(Sanalysis.Diagnostic.subject_label d.subject)
+            d.message)
+        (Sanalysis.Diagnostic.by_severity ds);
+      Sobs.Audit_log.close alog);
     if machine then
       List.iter
         (fun d -> print_endline (Sanalysis.Diagnostic.to_line d))
@@ -345,6 +466,16 @@ let lint_cmd =
             "One tab-separated record per diagnostic \
              (CODE, SEVERITY, SUBJECT, MESSAGE) instead of prose.")
   in
+  let audit_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-log" ] ~docv:"FILE"
+          ~doc:
+            "Also append the diagnostics as JSONL records to $(docv) ('-' \
+             for stderr) — the same stream format the query audit log \
+             uses.")
+  in
   let queries_arg =
     let doc = "View queries to lint against the view DTD." in
     Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
@@ -356,7 +487,7 @@ let lint_cmd =
           exit 1 on any error-severity diagnostic")
     Term.(
       const run $ dtd_arg $ root_arg $ spec_opt_arg $ view_arg $ machine_arg
-      $ queries_arg)
+      $ audit_log_arg $ queries_arg)
 
 let optimize_cmd =
   let run dtd_path root query =
@@ -442,8 +573,8 @@ let main =
           SIGMOD 2004)")
     [
       derive_cmd; graph_cmd; audit_cmd; lint_cmd; materialize_cmd;
-      rewrite_cmd; query_cmd; optimize_cmd; annotate_cmd; gen_cmd;
-      validate_cmd;
+      metrics_cmd; rewrite_cmd; query_cmd; optimize_cmd; annotate_cmd;
+      gen_cmd; validate_cmd;
     ]
 
 let () =

@@ -208,6 +208,7 @@ let merge_duplicates prod =
   rebuild prod
 
 let derive spec =
+  Trace.span "derive" @@ fun () ->
   let st =
     {
       spec;

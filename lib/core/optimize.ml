@@ -262,6 +262,7 @@ and implies ctx b q1 q2 =
   | _ -> false
 
 let optimize_with_reach ?at dtd p =
+  Trace.span "optimize" @@ fun () ->
   let ctx = make_ctx dtd in
   let a = Option.value at ~default:(Sdtd.Dtd.root dtd) in
   let e = go ctx p a in

@@ -15,6 +15,7 @@ type t = {
   dtd : Sdtd.Dtd.t;
   states : (string, group_state) Hashtbl.t;
   order : string list;
+  mutable height_memo : (Sxml.Tree.t * int) option;
 }
 
 let strict_gate :
@@ -58,7 +59,7 @@ let of_views dtd pairs =
           misses = 0;
         })
     pairs;
-  { dtd; states; order = List.map fst pairs }
+  { dtd; states; order = List.map fst pairs; height_memo = None }
 
 let create ?(strict = false) dtd ~groups =
   List.iter
@@ -98,19 +99,24 @@ let translate t ~group ?height q =
   match Hashtbl.find_opt st.cache key with
   | Some p ->
     st.hits <- st.hits + 1;
+    if Trace.enabled () then Trace.count ("pipeline.cache.hit." ^ group) 1;
     p
   | None ->
     st.misses <- st.misses + 1;
-    let rewritten =
-      match (st.recursive, height) with
-      | true, Some h -> Rewrite.rewrite_with_height st.info.view ~height:h q
-      | true, None ->
-        raise
-          (Rewrite.Unsupported
-             "recursive view: Pipeline.translate needs ~height")
-      | false, _ -> Rewrite.rewrite st.info.view q
+    if Trace.enabled () then Trace.count ("pipeline.cache.miss." ^ group) 1;
+    let optimized =
+      Trace.span "translate" @@ fun () ->
+      let rewritten =
+        match (st.recursive, height) with
+        | true, Some h -> Rewrite.rewrite_with_height st.info.view ~height:h q
+        | true, None ->
+          raise
+            (Rewrite.Unsupported
+               "recursive view: Pipeline.translate needs ~height")
+        | false, _ -> Rewrite.rewrite st.info.view q
+      in
+      Optimize.optimize t.dtd rewritten
     in
-    let optimized = Optimize.optimize t.dtd rewritten in
     Hashtbl.replace st.cache key optimized;
     optimized
 
@@ -122,12 +128,68 @@ let element_height doc =
   in
   go doc
 
-let answer t ~group ?env ?index q doc =
+(* One-slot memo keyed by physical document identity: a server answers
+   bursts of queries over the same loaded document, and the height is
+   a full-tree walk — the dominant per-request cost for recursive
+   views once the translation cache is warm. *)
+let doc_height t doc =
+  match t.height_memo with
+  | Some (d, h) when d == doc ->
+    if Trace.enabled () then Trace.count "pipeline.height.memo_hit" 1;
+    h
+  | _ ->
+    let h = Trace.span "height" (fun () -> element_height doc) in
+    if Trace.enabled () then Trace.count "pipeline.height.computed" 1;
+    t.height_memo <- Some (doc, h);
+    h
+
+let request_height t st ?height doc =
+  if not st.recursive then None
+  else
+    match height with Some _ -> height | None -> Some (doc_height t doc)
+
+let answer_observed t st ~group ?env ?index ?height q doc =
+  Trace.span "answer" @@ fun () ->
+  let height = request_height t st ?height doc in
+  let cache_hit = Hashtbl.mem st.cache (q, height) in
+  let finish translated results error =
+    Trace.audit { Trace.group; query = q; translated; cache_hit; height;
+                  results; error }
+  in
+  match translate t ~group ?height q with
+  | exception e ->
+    if Trace.audit_enabled () then finish None 0 (Some (Printexc.to_string e));
+    raise e
+  | translated -> (
+    let v0 = !Sxpath.Eval.visited in
+    match Trace.span "eval" (fun () -> Sxpath.Eval.eval ?env ?index translated doc)
+    with
+    | exception e ->
+      Trace.value "eval.visited" (!Sxpath.Eval.visited - v0);
+      if Trace.audit_enabled () then
+        finish (Some translated) 0 (Some (Printexc.to_string e));
+      raise e
+    | results ->
+      Trace.value "eval.visited" (!Sxpath.Eval.visited - v0);
+      if Trace.audit_enabled () then
+        finish (Some translated) (List.length results) None;
+      results)
+
+let answer t ~group ?env ?index ?height q doc =
   let st = state t group in
-  let height = if st.recursive then Some (element_height doc) else None in
-  let translated = translate t ~group ?height q in
-  Sxpath.Eval.eval ?env ?index translated doc
+  if Trace.enabled () || Trace.audit_enabled () then
+    answer_observed t st ~group ?env ?index ?height q doc
+  else
+    let height = request_height t st ?height doc in
+    Sxpath.Eval.eval ?env ?index (translate t ~group ?height q) doc
 
 let cache_stats t ~group =
   let st = state t group in
   (st.hits, st.misses)
+
+let stats t =
+  List.map
+    (fun name ->
+      let st = Hashtbl.find t.states name in
+      (name, (st.hits, st.misses)))
+    t.order

@@ -60,12 +60,22 @@ val answer :
   group:string ->
   ?env:(string -> string option) ->
   ?index:Sxml.Index.t ->
+  ?height:int ->
   Sxpath.Ast.path ->
   Sxml.Tree.t ->
   Sxml.Tree.t list
-(** Translate (through the cache, computing the document height
-    automatically when the view is recursive) and evaluate at the
-    document's root element. *)
+(** Translate (through the cache) and evaluate at the document's root
+    element.  When the group's view is recursive the unfolding height
+    is taken from [height] if supplied, otherwise computed from the
+    document and memoized per document (physical identity, one slot) —
+    repeated queries over the same loaded document skip the full-tree
+    height walk.  With an observability probe installed
+    (see {!Trace}), the call is wrapped in spans and, when an audit
+    hook is installed, emits one {!Trace.audit_event}. *)
 
 val cache_stats : t -> group:string -> int * int
 (** (hits, misses) of the group's translation cache. *)
+
+val stats : t -> (string * (int * int)) list
+(** Translation-cache (hits, misses) for {e every} group, in
+    construction order. *)

@@ -259,12 +259,15 @@ let targets ?mode view p =
     (rw dp p (Sdtd.Dtd.root dp.g.dtd))
 
 let rewrite ?mode view p =
+  Trace.span "rewrite" @@ fun () ->
   let dp = make_dp ?mode view in
   let entry = rw dp p (Sdtd.Dtd.root dp.g.dtd) in
   Sxpath.Simplify.factor (A.union_all (List.map snd entry))
 
 let rewrite_with_height ?mode view ~height p =
-  rewrite ?mode (View.unfolded view ~height) p
+  if Trace.enabled () then Trace.value "rewrite.unfold_height" height;
+  let unfolded = Trace.span "unfold" (fun () -> View.unfolded view ~height) in
+  rewrite ?mode unfolded p
 
 let recrw view a =
   let dp = make_dp view in

@@ -1,0 +1,65 @@
+type span_id = int
+
+type probe = {
+  enter : string -> span_id;
+  leave : span_id -> unit;
+  count : string -> int -> unit;
+  value : string -> int -> unit;
+}
+
+let null =
+  {
+    enter = (fun _ -> 0);
+    leave = (fun _ -> ());
+    count = (fun _ _ -> ());
+    value = (fun _ _ -> ());
+  }
+
+let probe = ref null
+
+let set_probe p = probe := p
+let clear_probe () = probe := null
+
+(* Physical equality: installing a structurally-null probe still
+   counts as enabled, which is what a recording probe wants. *)
+let enabled () = !probe != null
+
+let span name f =
+  let p = !probe in
+  if p == null then f ()
+  else begin
+    let id = p.enter name in
+    match f () with
+    | v ->
+      p.leave id;
+      v
+    | exception e ->
+      p.leave id;
+      raise e
+  end
+
+let count name n =
+  let p = !probe in
+  if p != null then p.count name n
+
+let value name v =
+  let p = !probe in
+  if p != null then p.value name v
+
+type audit_event = {
+  group : string;
+  query : Sxpath.Ast.path;
+  translated : Sxpath.Ast.path option;
+  cache_hit : bool;
+  height : int option;
+  results : int;
+  error : string option;
+}
+
+let audit_hook : (audit_event -> unit) option ref = ref None
+
+let set_audit f = audit_hook := Some f
+let clear_audit () = audit_hook := None
+let audit_enabled () = !audit_hook <> None
+
+let audit ev = match !audit_hook with None -> () | Some f -> f ev

@@ -1,0 +1,59 @@
+(** Per-request security audit log: one JSON record per line (JSONL).
+
+    An access-control system owes its administrators an account of
+    what was asked and what was answered.  Each {!Secview.Trace}
+    audit event — one per {!Secview.Pipeline.answer} call — becomes a
+    record carrying the requesting group, the view query as asked,
+    the document query actually evaluated, the translation-cache
+    outcome, the unfolding height (recursive views), the result
+    count, the error if the request raised, and (when a {!Tracer} is
+    attached) the stage timings attributed to that request.
+
+    The same stream also carries static-analysis diagnostics
+    ({!log_diagnostic}: [secview lint] and the strict construction
+    gate route through here), so audit and lint output can be
+    collected from one place.  Record schemas, discriminated by the
+    ["type"] field:
+
+    {v
+    {"type":"query","ts_ns":…,"group":…,"query":…,"translated":…,
+     "cache":"hit"|"miss","height":N|null,"results":N,"error":S|null,
+     "stages_ms":{"eval":…, …}}          (stages_ms only with a tracer)
+    {"type":"diagnostic","ts_ns":…,"code":…,"severity":…,"subject":…,
+     "message":…}
+    {"type":"note","ts_ns":…,"kind":…,"message":…}
+    v}
+
+    Timestamps are readings of the log's clock (monotonic by default:
+    an arbitrary epoch, deterministic under {!Clock.fake}). *)
+
+type sink =
+  | Null  (** drop every record (hook installed, output discarded) *)
+  | Stderr
+  | Channel of out_channel
+  | Buffer of Buffer.t  (** for tests *)
+
+type t
+
+val create : ?clock:Clock.t -> ?tracer:Tracer.t -> sink -> t
+(** With [tracer], each query record carries ["stages_ms"]: the
+    per-stage totals of the spans completed since the previous
+    record. *)
+
+val open_file : ?clock:Clock.t -> ?tracer:Tracer.t -> string -> t
+(** Append-mode file sink; {!close} flushes and closes it. *)
+
+val close : t -> unit
+(** Flush; close the channel iff {!open_file} opened it. *)
+
+val install : t -> unit
+(** Register as the {!Secview.Trace} audit hook.  Pending tracer
+    spans (e.g. from pipeline construction) are drained first so the
+    first query record only carries its own stages. *)
+
+val uninstall : unit -> unit
+
+val log_event : t -> Secview.Trace.audit_event -> unit
+val log_diagnostic :
+  t -> code:string -> severity:string -> subject:string -> string -> unit
+val log_note : t -> kind:string -> string -> unit

@@ -1,0 +1,12 @@
+type t = unit -> int64
+
+let monotonic : t = Monotonic_clock.now
+
+let fake ?(start = 0L) ?(step = 1_000_000L) () : t =
+  let now = ref start in
+  fun () ->
+    let v = !now in
+    now := Int64.add v step;
+    v
+
+let ms start stop = Int64.to_float (Int64.sub stop start) /. 1e6

@@ -1,0 +1,24 @@
+(** Clocks for the observability layer.
+
+    A clock is a function returning nanoseconds.  The default is the
+    host's monotonic clock ([CLOCK_MONOTONIC] via bechamel's stub —
+    the only preinstalled binding), so span durations are immune to
+    wall-clock adjustments; its absolute value is an arbitrary epoch,
+    meaningful only as differences.
+
+    Tests use {!fake}: a deterministic clock that advances by a fixed
+    step on every read, making every recorded duration and timestamp
+    reproducible. *)
+
+type t = unit -> int64
+(** Current time in nanoseconds. *)
+
+val monotonic : t
+
+val fake : ?start:int64 -> ?step:int64 -> unit -> t
+(** [fake ()] starts at [start] (default [0L]) and advances by [step]
+    (default [1_000_000L] = 1ms) on each call, returning the
+    pre-advance value. *)
+
+val ms : int64 -> int64 -> float
+(** [ms start stop]: elapsed milliseconds. *)

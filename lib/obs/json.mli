@@ -1,0 +1,21 @@
+(** A minimal JSON value and serializer.
+
+    Just enough for the metrics dump, the bench results file and the
+    audit log — no parser, no dependency.  Serialization is
+    deterministic: object fields are emitted in construction order,
+    floats with ["%.6g"] (integral floats print without a fraction,
+    which keeps golden tests and diffs stable). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with full string escaping. *)
+
+val to_channel : out_channel -> t -> unit

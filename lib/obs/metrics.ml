@@ -1,0 +1,131 @@
+type series = {
+  mutable data : float array;
+  mutable len : int;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, series) Hashtbl.t;
+}
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let create () = { counters = Hashtbl.create 16; series = Hashtbl.create 16 }
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.series
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let observe t name v =
+  let s =
+    match Hashtbl.find_opt t.series name with
+    | Some s -> s
+    | None ->
+      let s = { data = Array.make 64 0.; len = 0 } in
+      Hashtbl.replace t.series name s;
+      s
+  in
+  if s.len = Array.length s.data then begin
+    let bigger = Array.make (2 * s.len) 0. in
+    Array.blit s.data 0 bigger 0 s.len;
+    s.data <- bigger
+  end;
+  s.data.(s.len) <- v;
+  s.len <- s.len + 1
+
+(* Nearest-rank on a sorted array: the ⌈q/100·n⌉-th smallest. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (q /. 100. *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let summarize s =
+  if s.len = 0 then None
+  else begin
+    let sorted = Array.sub s.data 0 s.len in
+    Array.sort compare sorted;
+    let total = Array.fold_left ( +. ) 0. sorted in
+    Some
+      {
+        count = s.len;
+        min = sorted.(0);
+        max = sorted.(s.len - 1);
+        mean = total /. float_of_int s.len;
+        p50 = percentile sorted 50.;
+        p90 = percentile sorted 90.;
+        p95 = percentile sorted 95.;
+        p99 = percentile sorted 99.;
+      }
+  end
+
+let summary t name =
+  match Hashtbl.find_opt t.series name with
+  | Some s -> summarize s
+  | None -> None
+
+let sorted_bindings tbl =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let counters t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.counters)
+
+let summaries t =
+  List.filter_map
+    (fun (k, s) -> Option.map (fun sum -> (k, sum)) (summarize s))
+    (sorted_bindings t.series)
+
+let pp ppf t =
+  let cs = counters t and ss = summaries t in
+  if cs <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-40s %d@." k v) cs
+  end;
+  if ss <> [] then begin
+    Format.fprintf ppf "series (count/min/mean/p50/p95/max):@.";
+    List.iter
+      (fun (k, s) ->
+        Format.fprintf ppf "  %-40s %6d %10.3f %10.3f %10.3f %10.3f %10.3f@."
+          k s.count s.min s.mean s.p50 s.p95 s.max)
+      ss
+  end
+
+let summary_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ("mean", Json.Float s.mean);
+      ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90);
+      ("p95", Json.Float s.p95);
+      ("p99", Json.Float s.p99);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+      ( "series",
+        Json.Obj (List.map (fun (k, s) -> (k, summary_json s)) (summaries t))
+      );
+    ]

@@ -1,0 +1,55 @@
+(** A metrics registry: named counters and latency/size distributions.
+
+    Counters are monotonically increasing integers (translation-cache
+    hits and misses per group, height-memo hits, …); series collect
+    individual observations (per-stage durations in milliseconds,
+    unfolding heights, evaluator nodes visited) and summarize as
+    count/min/max/mean and nearest-rank percentiles.
+
+    A registry is plain mutable state with no global registration: the
+    CLI and tests create one per run and hand it to a {!Tracer}.
+    Rendering is offered both human-readable ({!pp}) and
+    machine-readable ({!to_json}). *)
+
+type t
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val incr : ?by:int -> t -> string -> unit
+val counter : t -> string -> int
+(** Current value; [0] for a counter never incremented. *)
+
+val observe : t -> string -> float -> unit
+(** Record one observation under [name]. *)
+
+val summary : t -> string -> summary option
+(** [None] for a series with no observations. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val summaries : t -> (string * summary) list
+(** All series, sorted by name. *)
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile of a {e sorted} non-empty array;
+    [percentile a 50.] is the median.  Exposed for the bench
+    harness. *)
+
+val pp : Format.formatter -> t -> unit
+(** Two sections, [counters] and [series]; prints nothing for an
+    empty registry. *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,121 @@
+type span = {
+  name : string;
+  seq : int;
+  depth : int;
+  start_ns : int64;
+  stop_ns : int64;
+}
+
+type active = {
+  id : int;
+  aname : string;
+  adepth : int;
+  astart : int64;
+}
+
+type t = {
+  clock : Clock.t;
+  metrics : Metrics.t option;
+  mutable stack : active list;
+  mutable completed : span list;  (* reverse completion order *)
+  mutable next_id : int;
+  mutable drained : int;  (* completed spans already handed out *)
+}
+
+let create ?(clock = Clock.monotonic) ?metrics () =
+  { clock; metrics; stack = []; completed = []; next_id = 0; drained = 0 }
+
+let finish t frame =
+  let stop = t.clock () in
+  let sp =
+    {
+      name = frame.aname;
+      seq = frame.id;
+      depth = frame.adepth;
+      start_ns = frame.astart;
+      stop_ns = stop;
+    }
+  in
+  t.completed <- sp :: t.completed;
+  match t.metrics with
+  | Some m -> Metrics.observe m ("stage." ^ sp.name) (Clock.ms sp.start_ns stop)
+  | None -> ()
+
+let probe t =
+  {
+    Secview.Trace.enter =
+      (fun name ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        t.stack <-
+          { id; aname = name; adepth = List.length t.stack;
+            astart = t.clock () }
+          :: t.stack;
+        id);
+    leave =
+      (fun id ->
+        (* Pop to (and including) the matching frame; intervening
+           frames — a [leave] skipped by an exception path — are
+           closed at the same instant. *)
+        let rec pop = function
+          | frame :: rest ->
+            finish t frame;
+            if frame.id = id then t.stack <- rest else pop rest
+          | [] -> t.stack <- []
+        in
+        if List.exists (fun f -> f.id = id) t.stack then pop t.stack);
+    count =
+      (fun name n ->
+        match t.metrics with
+        | Some m -> Metrics.incr ~by:n m name
+        | None -> ());
+    value =
+      (fun name v ->
+        match t.metrics with
+        | Some m -> Metrics.observe m name (float_of_int v)
+        | None -> ());
+  }
+
+let install t = Secview.Trace.set_probe (probe t)
+let uninstall () = Secview.Trace.clear_probe ()
+
+let spans t =
+  List.sort (fun a b -> Int.compare a.seq b.seq) t.completed
+
+let reset t =
+  t.stack <- [];
+  t.completed <- [];
+  t.next_id <- 0;
+  t.drained <- 0
+
+let drain_new t =
+  let all = List.rev t.completed in
+  let n = List.length all in
+  let fresh = List.filteri (fun i _ -> i >= t.drained) all in
+  t.drained <- n;
+  fresh
+
+let stage_totals spans =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun sp ->
+      let d = Clock.ms sp.start_ns sp.stop_ns in
+      match Hashtbl.find_opt tbl sp.name with
+      | Some r -> r := !r +. d
+      | None -> Hashtbl.replace tbl sp.name (ref d))
+    spans;
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [])
+
+let pp ppf t =
+  let sps = spans t in
+  Format.fprintf ppf "trace (%d span(s)):@." (List.length sps);
+  List.iter
+    (fun sp ->
+      Format.fprintf ppf "  %s%-*s %10.3fms@."
+        (String.make (2 * sp.depth) ' ')
+        (24 - (2 * sp.depth))
+        sp.name
+        (Clock.ms sp.start_ns sp.stop_ns))
+    sps

@@ -1,0 +1,49 @@
+(** Span recorder: the observability side of {!Secview.Trace}.
+
+    A tracer implements the core probe interface with a monotonic (or
+    fake) clock: [enter]/[leave] events become nested {!span}s,
+    [count]/[value] events feed the attached {!Metrics} registry
+    (span durations are also recorded there, as series named
+    [stage.<name>], in milliseconds).
+
+    Install one with {!install} and the instrumented pipeline stages
+    ([derive], [rewrite], [unfold], [optimize], [translate], [height],
+    [eval], [answer]) start recording; {!uninstall} restores the null
+    probe and the zero-overhead default. *)
+
+type span = {
+  name : string;
+  seq : int;  (** start order: [seq] of an outer span < its inner spans *)
+  depth : int;  (** nesting depth at entry, outermost = 0 *)
+  start_ns : int64;
+  stop_ns : int64;
+}
+
+type t
+
+val create : ?clock:Clock.t -> ?metrics:Metrics.t -> unit -> t
+(** Default clock: {!Clock.monotonic}.  Without [metrics], only spans
+    are recorded. *)
+
+val probe : t -> Secview.Trace.probe
+
+val install : t -> unit
+(** [Secview.Trace.set_probe (probe t)]. *)
+
+val uninstall : unit -> unit
+
+val spans : t -> span list
+(** Completed spans in start order. *)
+
+val reset : t -> unit
+
+val drain_new : t -> span list
+(** Spans completed since the previous [drain_new] (or since
+    creation/reset), in completion order — the audit log uses this to
+    attribute stage timings to the request that just finished. *)
+
+val stage_totals : span list -> (string * float) list
+(** Total duration in milliseconds per span name, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented span tree with durations. *)

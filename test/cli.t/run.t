@@ -112,13 +112,13 @@ Audit can diff two policies over the same DTD:
   + trial becomes exposed
   ~ wardNo changes status
 
-Query statistics expose the rewrite-cache behaviour:
+Query statistics expose the rewrite-cache behaviour, per group:
 
   $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
   >   --bind wardNo=6 --stats "//patient/name"
   <name>Alice</name>
   <name>Bob</name>
-  translation cache: 0 hit(s), 1 miss(es)
+  translation cache[user]: 0 hit(s), 1 miss(es)
 
 Linting the shipped policy is clean (informational notes only):
 

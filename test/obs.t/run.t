@@ -1,0 +1,104 @@
+Observability: tracing, metrics and the security audit log.
+
+Timings vary run to run; sed pins them before comparison.
+
+A traced query prints the span tree of the request to stderr — pipeline
+construction (derive), then the answer with its translation and
+evaluation stages nested inside:
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --trace "//patient/name" 2>&1 | sed -E 's/ *[0-9]+\.[0-9]+ms/ _/'
+  <name>Alice</name>
+  <name>Bob</name>
+  trace (7 span(s)):
+    derive _
+    derive _
+    answer _
+      translate _
+        rewrite _
+        optimize _
+      eval _
+
+The metrics dump carries the cache counters and per-stage latency
+series; counter values are deterministic, durations are not:
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --metrics "//patient/name" 2>&1 \
+  >   | sed -E 's/ +[0-9]+\.[0-9]{3}/ _/g'
+  <name>Alice</name>
+  <name>Bob</name>
+  counters:
+    pipeline.cache.miss.user                 1
+  series (count/min/mean/p50/p95/max):
+    eval.visited                                  1 _ _ _ _ _
+    stage.answer                                  1 _ _ _ _ _
+    stage.derive                                  2 _ _ _ _ _
+    stage.eval                                    1 _ _ _ _ _
+    stage.optimize                                1 _ _ _ _ _
+    stage.rewrite                                 1 _ _ _ _ _
+    stage.translate                               1 _ _ _ _ _
+
+The metrics subcommand replays a workload and dumps the registry;
+repeated queries hit the translation cache:
+
+  $ secview metrics --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --repeat 3 "//patient/name" "//patient//bill" 2>/dev/null \
+  >   | sed -n '/counters/,/series/p' | head -4
+  counters:
+    pipeline.cache.hit.user                  4
+    pipeline.cache.miss.user                 2
+  series (count/min/mean/p50/p95/max):
+
+Machine-readable form (every number pinned):
+
+  $ secview metrics --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --json "//patient/name" 2>/dev/null \
+  >   | sed -E 's/[0-9]+(\.[0-9]+)?/N/g' | tr ',' '\n' | head -5
+  {"counters":{"pipeline.cache.hit.user":N
+  "pipeline.cache.miss.user":N}
+  "series":{"eval.visited":{"count":N
+  "min":N
+  "max":N
+
+The audit log records one JSONL line per answered request — who asked
+what, what actually ran against the document, what came back, and the
+stage timings attributed to that request:
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --audit-log audit.jsonl "//patient/name" "//clinicalTrial"
+  <name>Alice</name>
+  <name>Bob</name>
+  $ sed -E 's/"ts_ns":[0-9]+/"ts_ns":_/; s/,"stages_ms":\{[^}]*\}//' audit.jsonl
+  {"type":"query","ts_ns":_,"group":"user","query":"//patient/name","translated":"dept[patientInfo/patient/wardNo = $wardNo]/(clinicalTrial/patientInfo | patientInfo)/patient/name","cache":"miss","height":null,"results":2,"error":null}
+  {"type":"query","ts_ns":_,"group":"user","query":"//clinicalTrial","translated":"#empty","cache":"miss","height":null,"results":0,"error":null}
+
+The second identical query below is served from the translation cache,
+so no rewrite stage appears in its record:
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --audit-log audit2.jsonl \
+  >   "//patient/name" "//patient/name" > /dev/null
+  $ tr ',' '\n' < audit2.jsonl | grep -cE '"rewrite"'
+  1
+  $ tr ',' '\n' < audit2.jsonl | grep -E '"cache"'
+  "cache":"miss"
+  "cache":"hit"
+
+Lint diagnostics flow through the same sink:
+
+  $ secview lint --dtd hospital.dtd --spec bad.spec --audit-log lint.jsonl > /dev/null
+  [1]
+  $ sed -E 's/"ts_ns":[0-9]+/"ts_ns":_/' lint.jsonl
+  {"type":"diagnostic","ts_ns":_,"code":"SV002","severity":"error","subject":"ann(hospital, dept)","message":"qualifier references attribute @ward, which is declared on none of dept"}
+  {"type":"diagnostic","ts_ns":_,"code":"SV103","severity":"error","subject":"sigma(hospital, dept)","message":"qualifier references attribute @ward, declared on none of dept"}
+
+So does the strict construction gate when it refuses a broken policy:
+
+  $ secview query --dtd hospital.dtd --spec bad.spec --doc ward.xml \
+  >   --strict --audit-log gate.jsonl "//patient/name"
+  secview: Pipeline: strict validation failed:
+  group "user": error[SV002] ann(hospital, dept): qualifier references attribute @ward, which is declared on none of dept
+  group "user": error[SV103] sigma(hospital, dept): qualifier references attribute @ward, declared on none of dept
+  [2]
+  $ sed -E 's/"ts_ns":[0-9]+/"ts_ns":_/; s/"message":.*/"message":.../' gate.jsonl
+  {"type":"note","ts_ns":_,"kind":"strict_gate","message":...

@@ -1,0 +1,326 @@
+(* The observability layer: probe spine (Secview.Trace), span recorder,
+   metrics registry, JSONL audit log — and the zero-overhead-when-
+   disabled guarantee the null probe makes. *)
+
+module Trace = Secview.Trace
+module Clock = Sobs.Clock
+module Json = Sobs.Json
+module Metrics = Sobs.Metrics
+module Tracer = Sobs.Tracer
+module Audit_log = Sobs.Audit_log
+
+let parse = Sxpath.Parse.of_string
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_contains what hay needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s contains %s" what needle)
+    true (contains hay needle)
+
+(* Every test leaves the global hooks clean. *)
+let with_probe tracer f =
+  Tracer.install tracer;
+  Fun.protect ~finally:Tracer.uninstall f
+
+(* --- span recording ------------------------------------------------- *)
+
+let test_span_nesting () =
+  (* fake clock: read k returns k ms (in ns); reads happen at enter and
+     leave of each span, innermost leaves first *)
+  let tracer = Tracer.create ~clock:(Clock.fake ()) () in
+  let r =
+    with_probe tracer (fun () ->
+        Trace.span "outer" (fun () ->
+            ignore (Trace.span "inner1" (fun () -> 1));
+            Trace.span "inner2" (fun () -> 2)))
+  in
+  Alcotest.(check int) "span returns the thunk's value" 2 r;
+  let spans = Tracer.spans tracer in
+  Alcotest.(check (list string))
+    "start order" [ "outer"; "inner1"; "inner2" ]
+    (List.map (fun s -> s.Tracer.name) spans);
+  Alcotest.(check (list int))
+    "nesting depths" [ 0; 1; 1 ]
+    (List.map (fun s -> s.Tracer.depth) spans);
+  let durations =
+    List.map (fun s -> Clock.ms s.Tracer.start_ns s.Tracer.stop_ns) spans
+  in
+  (* reads: enter outer (0), enter inner1 (1), leave inner1 (2),
+     enter inner2 (3), leave inner2 (4), leave outer (5) *)
+  Alcotest.(check (list (float 1e-9)))
+    "durations from the fake clock" [ 5.; 1.; 1. ] durations
+
+let test_span_closes_on_exception () =
+  let tracer = Tracer.create ~clock:(Clock.fake ()) () in
+  (try
+     with_probe tracer (fun () ->
+         Trace.span "boom" (fun () -> failwith "no"))
+   with Failure _ -> ());
+  match Tracer.spans tracer with
+  | [ s ] ->
+    Alcotest.(check string) "span recorded despite raise" "boom" s.Tracer.name
+  | spans ->
+    Alcotest.failf "expected exactly one span, got %d" (List.length spans)
+
+let test_span_feeds_metrics () =
+  let metrics = Metrics.create () in
+  let tracer = Tracer.create ~clock:(Clock.fake ()) ~metrics () in
+  with_probe tracer (fun () ->
+      Trace.span "stage1" (fun () -> ());
+      Trace.count "c" 2;
+      Trace.count "c" 3;
+      Trace.value "v" 7);
+  Alcotest.(check int) "counter accumulates" 5 (Metrics.counter metrics "c");
+  (match Metrics.summary metrics "stage.stage1" with
+  | Some s ->
+    Alcotest.(check int) "one duration recorded" 1 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "1ms from the fake clock" 1. s.Metrics.p50
+  | None -> Alcotest.fail "stage duration series missing");
+  match Metrics.summary metrics "v" with
+  | Some s -> Alcotest.(check (float 1e-9)) "value observed" 7. s.Metrics.p50
+  | None -> Alcotest.fail "value series missing"
+
+(* --- metrics math --------------------------------------------------- *)
+
+let test_histogram_math () =
+  let m = Metrics.create () in
+  for i = 1 to 100 do
+    Metrics.observe m "lat" (float_of_int i)
+  done;
+  match Metrics.summary m "lat" with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+    Alcotest.(check int) "count" 100 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "min" 1. s.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max" 100. s.Metrics.max;
+    Alcotest.(check (float 1e-9)) "mean" 50.5 s.Metrics.mean;
+    Alcotest.(check (float 1e-9)) "p50" 50. s.Metrics.p50;
+    Alcotest.(check (float 1e-9)) "p90" 90. s.Metrics.p90;
+    Alcotest.(check (float 1e-9)) "p95" 95. s.Metrics.p95;
+    Alcotest.(check (float 1e-9)) "p99" 99. s.Metrics.p99
+
+let test_histogram_edges () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "empty series" true (Metrics.summary m "x" = None);
+  Metrics.observe m "x" 42.;
+  (match Metrics.summary m "x" with
+  | Some s ->
+    Alcotest.(check (float 1e-9)) "single obs p50" 42. s.Metrics.p50;
+    Alcotest.(check (float 1e-9)) "single obs p99" 42. s.Metrics.p99
+  | None -> Alcotest.fail "summary missing");
+  Alcotest.(check int) "missing counter is 0" 0 (Metrics.counter m "nope")
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.incr m "hits";
+  Metrics.incr ~by:2 m "hits";
+  List.iter (Metrics.observe m "lat") [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check string) "registry JSON"
+    ({|{"counters":{"hits":3},"series":{"lat":{"count":4,"min":1,"max":4,|}
+    ^ {|"mean":2.5,"p50":2,"p90":4,"p95":4,"p99":4}}}|})
+    (Json.to_string (Metrics.to_json m))
+
+let test_json_escaping () =
+  Alcotest.(check string) "strings are escaped"
+    {|{"a\"b":"line\nbreak\tand\\slash"}|}
+    (Json.to_string
+       (Json.Obj [ ("a\"b", Json.String "line\nbreak\tand\\slash") ]))
+
+(* --- audit log ------------------------------------------------------ *)
+
+let test_audit_golden () =
+  let buf = Buffer.create 256 in
+  let log = Audit_log.create ~clock:(Clock.fake ()) (Audit_log.Buffer buf) in
+  let q = parse "//patient/name" in
+  let pt = parse "dept/patientInfo/patient/name" in
+  Audit_log.log_event log
+    {
+      Trace.group = "nurses";
+      query = q;
+      translated = Some pt;
+      cache_hit = false;
+      height = None;
+      results = 2;
+      error = None;
+    };
+  Audit_log.log_diagnostic log ~code:"SV002" ~severity:"error"
+    ~subject:"ann(hospital, dept)" "undeclared attribute @ward";
+  Audit_log.log_note log ~kind:"strict_gate" "validation failed";
+  let expected =
+    Printf.sprintf
+      {|{"type":"query","ts_ns":0,"group":"nurses","query":"%s","translated":"%s","cache":"miss","height":null,"results":2,"error":null}|}
+      (Sxpath.Print.to_string q)
+      (Sxpath.Print.to_string pt)
+    ^ "\n"
+    ^ {|{"type":"diagnostic","ts_ns":1000000,"code":"SV002","severity":"error","subject":"ann(hospital, dept)","message":"undeclared attribute @ward"}|}
+    ^ "\n"
+    ^ {|{"type":"note","ts_ns":2000000,"kind":"strict_gate","message":"validation failed"}|}
+    ^ "\n"
+  in
+  Alcotest.(check string) "JSONL stream" expected (Buffer.contents buf)
+
+(* --- the instrumented pipeline -------------------------------------- *)
+
+let fig7_pipeline () =
+  Secview.Pipeline.create Workload.Fig7.dtd
+    ~groups:[ ("u", Workload.Fig7.spec) ]
+
+let test_pipeline_spans_and_audit () =
+  let metrics = Metrics.create () in
+  let tracer = Tracer.create ~metrics () in
+  let buf = Buffer.create 256 in
+  let log = Audit_log.create ~tracer (Audit_log.Buffer buf) in
+  let doc = Workload.Fig7.document ~depth:3 in
+  let q = parse "//b" in
+  with_probe tracer (fun () ->
+      let pipe = fig7_pipeline () in
+      Audit_log.install log;
+      Fun.protect ~finally:Audit_log.uninstall (fun () ->
+          let r1 = Secview.Pipeline.answer pipe ~group:"u" q doc in
+          let r2 = Secview.Pipeline.answer pipe ~group:"u" q doc in
+          Alcotest.(check int) "same answers" (List.length r1)
+            (List.length r2)));
+  let names = List.map (fun s -> s.Tracer.name) (Tracer.spans tracer) in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        (stage ^ " span recorded") true (List.mem stage names))
+    [ "derive"; "answer"; "height"; "translate"; "unfold"; "rewrite";
+      "optimize"; "eval" ];
+  (* second call: translation cache hit, height memo hit *)
+  Alcotest.(check int) "cache miss counted" 1
+    (Metrics.counter metrics "pipeline.cache.miss.u");
+  Alcotest.(check int) "cache hit counted" 1
+    (Metrics.counter metrics "pipeline.cache.hit.u");
+  Alcotest.(check int) "height computed once" 1
+    (Metrics.counter metrics "pipeline.height.computed");
+  Alcotest.(check int) "height memo hit on the second request" 1
+    (Metrics.counter metrics "pipeline.height.memo_hit");
+  (match Metrics.summary metrics "eval.visited" with
+  | Some s -> Alcotest.(check int) "visited recorded per request" 2 s.Metrics.count
+  | None -> Alcotest.fail "eval.visited series missing");
+  let lines = String.split_on_char '\n' (String.trim (Buffer.contents buf)) in
+  Alcotest.(check int) "one audit record per answer" 2 (List.length lines);
+  let first = List.nth lines 0 and second = List.nth lines 1 in
+  check_contains "first record" first {|"type":"query"|};
+  check_contains "first record" first {|"group":"u"|};
+  check_contains "first record" first {|"cache":"miss"|};
+  check_contains "first record" first {|"stages_ms"|};
+  check_contains "first record" first {|"rewrite"|};
+  check_contains "second record" second {|"cache":"hit"|};
+  (* the cached request did not rewrite again *)
+  Alcotest.(check bool) "no rewrite stage in the cached request" false
+    (contains second {|"rewrite"|})
+
+let test_height_memo_invalidation_and_override () =
+  let metrics = Metrics.create () in
+  let tracer = Tracer.create ~metrics () in
+  let doc1 = Workload.Fig7.document ~depth:3 in
+  let doc2 = Workload.Fig7.document ~depth:4 in
+  let q = parse "//b" in
+  with_probe tracer (fun () ->
+      let pipe = fig7_pipeline () in
+      ignore (Secview.Pipeline.answer pipe ~group:"u" q doc1);
+      ignore (Secview.Pipeline.answer pipe ~group:"u" q doc2);
+      ignore (Secview.Pipeline.answer pipe ~group:"u" q doc2);
+      (* caller-supplied height bypasses the memo entirely *)
+      ignore (Secview.Pipeline.answer pipe ~group:"u" ~height:9 q doc1));
+  Alcotest.(check int) "recomputed when the document changes" 2
+    (Metrics.counter metrics "pipeline.height.computed");
+  Alcotest.(check int) "memoized across same-document requests" 1
+    (Metrics.counter metrics "pipeline.height.memo_hit")
+
+let test_pipeline_stats () =
+  let dtd = Workload.Hospital.dtd in
+  let spec = Workload.Hospital.nurse_spec dtd in
+  let pipe =
+    Secview.Pipeline.create dtd
+      ~groups:[ ("nurses", spec); ("billing", spec) ]
+  in
+  let doc = Workload.Hospital.sample_document () in
+  let env = Workload.Hospital.nurse_env "6" in
+  ignore (Secview.Pipeline.answer pipe ~group:"nurses" ~env (parse "//name") doc);
+  ignore (Secview.Pipeline.answer pipe ~group:"nurses" ~env (parse "//name") doc);
+  ignore (Secview.Pipeline.answer pipe ~group:"billing" ~env (parse "//bill") doc);
+  Alcotest.(check (list (pair string (pair int int))))
+    "per-group stats in construction order"
+    [ ("nurses", (1, 1)); ("billing", (0, 1)) ]
+    (Secview.Pipeline.stats pipe)
+
+(* --- the zero-overhead default -------------------------------------- *)
+
+let forty_two () = 42 (* non-capturing: statically allocated closure *)
+
+let test_null_probe_no_allocation () =
+  Trace.clear_probe ();
+  Trace.clear_audit ();
+  Alcotest.(check bool) "probe disabled" false (Trace.enabled ());
+  Alcotest.(check bool) "audit disabled" false (Trace.audit_enabled ());
+  (* warm up so nothing lazy allocates inside the window *)
+  ignore (Trace.span "warm" forty_two);
+  Trace.count "warm" 1;
+  Trace.value "warm" 1;
+  let n = 100_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    ignore (Trace.span "stage" forty_two);
+    Trace.count "counter" 1;
+    Trace.value "series" 1
+  done;
+  let w1 = Gc.minor_words () in
+  (* one word of slack per ~1000 iterations absorbs the Gc.minor_words
+     float boxing itself; any per-call allocation would cost >= n words *)
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation-free (delta %.0f words for %d calls)"
+       (w1 -. w0) n)
+    true
+    (w1 -. w0 < 128.)
+
+let test_probe_toggling () =
+  let tracer = Tracer.create ~clock:(Clock.fake ()) () in
+  Tracer.install tracer;
+  Alcotest.(check bool) "enabled after install" true (Trace.enabled ());
+  Tracer.uninstall ();
+  Alcotest.(check bool) "disabled after uninstall" false (Trace.enabled ());
+  ignore (Trace.span "ignored" forty_two);
+  Alcotest.(check int) "no spans recorded when uninstalled" 0
+    (List.length (Tracer.spans tracer))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "closes on exception" `Quick
+            test_span_closes_on_exception;
+          Alcotest.test_case "feeds metrics" `Quick test_span_feeds_metrics;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram math" `Quick test_histogram_math;
+          Alcotest.test_case "edge cases" `Quick test_histogram_edges;
+          Alcotest.test_case "json rendering" `Quick test_metrics_json;
+          Alcotest.test_case "json escaping" `Quick test_json_escaping;
+        ] );
+      ( "audit",
+        [ Alcotest.test_case "jsonl golden" `Quick test_audit_golden ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "spans, counters and audit records" `Quick
+            test_pipeline_spans_and_audit;
+          Alcotest.test_case "height memo" `Quick
+            test_height_memo_invalidation_and_override;
+          Alcotest.test_case "aggregate stats" `Quick test_pipeline_stats;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "null probe allocates nothing" `Quick
+            test_null_probe_no_allocation;
+          Alcotest.test_case "install/uninstall" `Quick test_probe_toggling;
+        ] );
+    ]
