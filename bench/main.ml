@@ -14,11 +14,20 @@
 
    Usage: dune exec bench/main.exe [-- --table1|--forms|--ablations]
                                    [-- --scale N] [-- --quick]
-                                   [-- --json [--out FILE]]
+                                   [-- --json [--out FILE]] [-- --label L]
+                                   [-- --serve [--clients N]]
 
    --json writes the Table 1 measurements (per-stage min/median/p95
    breakdowns for Q1-Q4 x D1-D4) to BENCH_PR2.json (or --out FILE),
-   the machine-readable perf trajectory consumed by later PRs. *)
+   the machine-readable perf trajectory consumed by later PRs.
+
+   --serve is the server benchmark: a closed loop of --clients
+   concurrent clients replaying Q1-Q4 against D1-D4 over a Unix
+   socket, split across two user groups, every reply byte-compared
+   to the single-threaded Pipeline.answer baseline.  Writes
+   throughput and per-group p50/p95/p99 to BENCH_PR3.json (or --out
+   FILE).  --label stamps the results file with a run label (a
+   machine nickname without leaking hostnames into the repo). *)
 
 module A = Sxpath.Ast
 module R = Sdtd.Regex
@@ -70,7 +79,18 @@ let visited_during f =
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 
-let table1 ?(json_out = None) ~scale ~reps () =
+(* run metadata stamped into every BENCH_*.json so the perf
+   trajectory across PRs stays comparable *)
+let meta_json ~label ~scale ~reps extra =
+  Sobs.Json.Obj
+    ([
+       ("label", Sobs.Json.String label);
+       ("scale", Sobs.Json.Int scale);
+       ("reps", Sobs.Json.Int reps);
+     ]
+    @ extra)
+
+let table1 ?(json_out = None) ~label ~scale ~reps () =
   let dtd = Workload.Adex.dtd in
   let spec = Workload.Adex.spec in
   let view = Workload.Adex.view () in
@@ -184,6 +204,7 @@ let table1 ?(json_out = None) ~scale ~reps () =
       Sobs.Json.Obj
         [
           ("bench", Sobs.Json.String "table1");
+          ("meta", meta_json ~label ~scale ~reps []);
           ("scale", Sobs.Json.Int scale);
           ("reps", Sobs.Json.Int reps);
           ("rows", Sobs.Json.List (List.rev !rows));
@@ -509,6 +530,202 @@ let approx () =
      (instance sampling can miss witnesses, so the true loss is lower).\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Server benchmark: closed-loop concurrent clients over a Unix       *)
+(* socket, every reply byte-compared to the single-threaded baseline  *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let connect_retry path =
+  let give_up = Unix.gettimeofday () +. 5. in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
+      when Unix.gettimeofday () < give_up ->
+      Unix.close fd;
+      Thread.delay 0.02;
+      go ()
+  in
+  go ()
+
+let serve_bench ~label ~scale ~reps ~clients ~out () =
+  let dtd = Workload.Adex.dtd in
+  (* two user groups: the paper's real-estate policy and an
+     everything-accessible one, so per-group accounting has two
+     distinct translation caches and latency series to show *)
+  let groups =
+    [ ("re", Workload.Adex.spec); ("all", Secview.Spec.make dtd []) ]
+  in
+  let docs =
+    List.map
+      (fun ds -> (ds.Workload.Datasets.name, Workload.Datasets.load ds))
+      (Workload.Datasets.series ~scale ())
+  in
+  Printf.printf "## Server bench: %d clients x %d reps, Q1-Q4 x D1-D4, \
+                 groups re+all\n\n" clients reps;
+  (* the byte-exact expected reply for every (group, query, dataset)
+     cell, computed single-threaded before the server exists *)
+  let reference = Secview.Pipeline.create dtd ~groups in
+  let expected =
+    List.concat_map
+      (fun (g, _) ->
+        List.concat_map
+          (fun (qname, q) ->
+            List.map
+              (fun (dname, doc) ->
+                let answers =
+                  Secview.Pipeline.answer reference ~group:g q doc
+                in
+                ( (g, qname, dname),
+                  String.concat "\n"
+                    (List.map (fun n -> Sxml.Print.to_string n) answers) ))
+              docs)
+          Workload.Adex.queries)
+      groups
+  in
+  let catalog = Secview.Catalog.create () in
+  List.iter
+    (fun (n, d) -> ignore (Secview.Catalog.add catalog ~name:n d))
+    docs;
+  let pipeline = Secview.Pipeline.create ~catalog dtd ~groups in
+  let workers = 4 in
+  let config = { Sserver.Server.default_config with workers } in
+  let server = Sserver.Server.create ~config pipeline in
+  let sock = Filename.temp_file "secview-bench" ".sock" in
+  Sys.remove sock;
+  let server_thread =
+    Thread.create
+      (fun () ->
+        Sserver.Server.serve server [ Sserver.Server.Unix_socket sock ])
+      ()
+  in
+  let wrong = Atomic.make 0 in
+  let merge_lock = Mutex.create () in
+  let latencies : (string, float list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter (fun (g, _) -> Hashtbl.replace latencies g (ref [])) groups;
+  let client i () =
+    let g, _ = List.nth groups (i mod List.length groups) in
+    let fd = connect_retry sock in
+    let ic = Unix.in_channel_of_descr fd in
+    let send j = write_all fd (Sobs.Json.to_string j ^ "\n") in
+    send (Sserver.Protocol.hello ~peer:(Printf.sprintf "bench-%d" i) g);
+    ignore (input_line ic);
+    let mine = ref [] in
+    for _ = 1 to reps do
+      List.iter
+        (fun (qname, q) ->
+          List.iter
+            (fun (dname, _) ->
+              let t0 = Unix.gettimeofday () in
+              send
+                (Sserver.Protocol.query_json ~doc:dname
+                   (Sxpath.Print.to_string q));
+              let line = input_line ic in
+              mine := (Unix.gettimeofday () -. t0) :: !mine;
+              let got =
+                match Sobs.Json.of_string line with
+                | Ok j -> (
+                  match Sobs.Json.member "results" j with
+                  | Some (Sobs.Json.List rs) ->
+                    Some
+                      (String.concat "\n"
+                         (List.filter_map Sobs.Json.to_string_opt rs))
+                  | _ -> None)
+                | Error _ -> None
+              in
+              match got with
+              | Some s when String.equal s (List.assoc (g, qname, dname) expected)
+                -> ()
+              | _ -> Atomic.incr wrong)
+            docs)
+        Workload.Adex.queries
+    done;
+    Unix.close fd;
+    Mutex.protect merge_lock (fun () ->
+        let acc = Hashtbl.find latencies g in
+        acc := !mine @ !acc)
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun i -> Thread.create (client i) ()) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  (* drain: one more connection asks for shutdown, then join *)
+  let fd = connect_retry sock in
+  write_all fd (Sobs.Json.to_string (Sserver.Protocol.simple "shutdown") ^ "\n");
+  ignore (input_line (Unix.in_channel_of_descr fd));
+  Unix.close fd;
+  Thread.join server_thread;
+  let requests =
+    clients * reps * List.length Workload.Adex.queries * List.length docs
+  in
+  let group_stats =
+    List.map
+      (fun (g, _) ->
+        let times = Array.of_list !(Hashtbl.find latencies g) in
+        Array.sort compare times;
+        let pct p =
+          if Array.length times = 0 then 0.
+          else 1000. *. Sobs.Metrics.percentile times p
+        in
+        (g, Array.length times, pct 50., pct 95., pct 99.))
+      groups
+  in
+  Printf.printf "requests   %d (wrong: %d)\n" requests (Atomic.get wrong);
+  Printf.printf "wall       %.2f s\n" wall;
+  Printf.printf "throughput %.0f req/s\n\n" (float_of_int requests /. wall);
+  List.iter
+    (fun (g, n, p50, p95, p99) ->
+      Printf.printf
+        "group %-4s  %6d req | p50 %8.3f ms  p95 %8.3f ms  p99 %8.3f ms\n" g
+        n p50 p95 p99)
+    group_stats;
+  if Atomic.get wrong > 0 then
+    Printf.printf "\n!! %d replies differed from the single-threaded baseline\n"
+      (Atomic.get wrong);
+  let doc =
+    Sobs.Json.Obj
+      [
+        ("bench", Sobs.Json.String "serve");
+        ( "meta",
+          meta_json ~label ~scale ~reps
+            [
+              ("clients", Sobs.Json.Int clients);
+              ("workers", Sobs.Json.Int workers);
+            ] );
+        ("requests", Sobs.Json.Int requests);
+        ("wrong", Sobs.Json.Int (Atomic.get wrong));
+        ("wall_s", Sobs.Json.Float wall);
+        ("throughput_rps", Sobs.Json.Float (float_of_int requests /. wall));
+        ( "groups",
+          Sobs.Json.Obj
+            (List.map
+               (fun (g, n, p50, p95, p99) ->
+                 ( g,
+                   Sobs.Json.Obj
+                     [
+                       ("count", Sobs.Json.Int n);
+                       ("p50_ms", Sobs.Json.Float p50);
+                       ("p95_ms", Sobs.Json.Float p95);
+                       ("p99_ms", Sobs.Json.Float p99);
+                     ] ))
+               group_stats) );
+      ]
+  in
+  let oc = open_out out in
+  Sobs.Json.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n(machine-readable results written to %s)\n\n" out;
+  if Atomic.get wrong > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -522,24 +739,33 @@ let () =
     find args
   in
   let reps = if has "--quick" then 3 else 5 in
+  let flag_value flag default =
+    let rec find = function
+      | f :: v :: _ when f = flag -> v
+      | _ :: rest -> find rest
+      | [] -> default
+    in
+    find args
+  in
+  let label = flag_value "--label" "dev" in
+  let clients = int_of_string (flag_value "--clients" "32") in
   let json_out =
     if not (has "--json") then None
-    else
-      let rec find = function
-        | "--out" :: v :: _ -> Some v
-        | _ :: rest -> find rest
-        | [] -> Some "BENCH_PR2.json"
-      in
-      find args
+    else Some (flag_value "--out" "BENCH_PR2.json")
   in
   let all =
     not
       (has "--table1" || has "--forms" || has "--ablations" || has "--approx"
-     || has "--index" || has "--xmark" || has "--json")
+     || has "--index" || has "--xmark" || has "--json" || has "--serve")
   in
   if all || has "--forms" then forms ();
-  if all || has "--table1" || has "--json" then table1 ~json_out ~scale ~reps ();
+  if all || has "--table1" || has "--json" then
+    table1 ~json_out ~label ~scale ~reps ();
   if all || has "--ablations" then ablations ~quick:(has "--quick") ();
   if all || has "--index" then index_ablation ~scale:(scale / 4) ~reps ();
   if all || has "--xmark" then xmark_bench ~reps ();
-  if all || has "--approx" then approx ()
+  if all || has "--approx" then approx ();
+  if has "--serve" then
+    serve_bench ~label ~scale ~reps ~clients
+      ~out:(flag_value "--out" "BENCH_PR3.json")
+      ()

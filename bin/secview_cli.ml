@@ -248,7 +248,7 @@ let open_audit_log ?tracer = function
 
 let query_cmd =
   let run dtd_path root spec_path doc_path queries bindings approach indexed
-      stats strict trace metrics audit_log =
+      stats strict timeout trace metrics audit_log =
     if queries = [] then failwith "query: at least one QUERY is required";
     let observing = trace || metrics || audit_log <> None in
     let registry = Sobs.Metrics.create () in
@@ -260,7 +260,22 @@ let query_cmd =
     let env = env_of_bindings bindings in
     let qs = List.map Sxpath.Parse.of_string queries in
     let index = if indexed then Some (Sxml.Index.build doc) else None in
+    (* the server's per-request deadline machinery, applied to the
+       whole evaluation; exit 3 on expiry (after flushing the audit
+       log, so the trail records what was asked before the cutoff) *)
+    let guarded compute =
+      match timeout with
+      | None -> compute ()
+      | Some seconds -> (
+        match Sserver.Deadline.run ~seconds compute with
+        | Ok r -> r
+        | Error `Timeout ->
+          Option.iter Sobs.Audit_log.close alog;
+          Printf.eprintf "secview: query timed out after %gs\n" seconds;
+          exit 3)
+    in
     let results =
+      guarded @@ fun () ->
       match approach with
       | `Naive ->
         let prepared = Secview.Naive.prepare ~env spec doc in
@@ -346,6 +361,16 @@ let query_cmd =
             "Refuse to run when the policy or its derived view has lint \
              errors (optimize approach only).")
   in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Abandon the evaluation after $(docv) seconds and exit with \
+             status 3 (the server's per-request deadline machinery, applied \
+             to one-shot runs).")
+  in
   let trace_arg =
     Arg.(
       value & flag
@@ -380,7 +405,7 @@ let query_cmd =
     Term.(
       const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ queries_arg
       $ bind_arg $ approach_arg $ index_arg $ stats_arg $ strict_arg
-      $ trace_arg $ metrics_arg $ audit_log_arg)
+      $ timeout_arg $ trace_arg $ metrics_arg $ audit_log_arg)
 
 let metrics_cmd =
   let run dtd_path root spec_path doc_path bindings repeat json queries =
@@ -565,6 +590,336 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Check a document against a DTD")
     Term.(const run $ dtd_arg $ root_arg $ doc_arg)
 
+(* ---- server and client --------------------------------------------- *)
+
+let pair_conv ~what =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> Error (`Msg ("expected " ^ what))
+  in
+  let print ppf (k, v) = Format.fprintf ppf "%s=%s" k v in
+  Arg.conv (parse, print)
+
+let socket_arg =
+  let doc = "Listen on (or connect to) a Unix-domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Listen on (or connect to) TCP port $(docv)." in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "Host for --tcp (default: loopback)." in
+  Arg.(value & opt string "" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let serve_cmd =
+  let run dtd_path root spec_path group_specs docs socket tcp host workers
+      queue deadline audit_log debug strict preload =
+    let dtd = load_dtd root dtd_path in
+    let named =
+      (match spec_path with Some p -> [ ("user", p) ] | None -> [])
+      @ group_specs
+    in
+    if named = [] then
+      failwith "serve: provide --spec FILE and/or --group NAME=SPECFILE";
+    let groups =
+      List.map (fun (g, p) -> (g, Secview.Spec.of_sidecar_file dtd p)) named
+    in
+    if docs = [] then
+      failwith "serve: at least one --doc NAME=FILE is required";
+    let catalog = Secview.Catalog.create () in
+    List.iter
+      (fun (n, p) -> ignore (Secview.Catalog.add_file catalog ~name:n p))
+      docs;
+    if preload then
+      List.iter
+        (fun e -> ignore (Secview.Catalog.doc e))
+        (Secview.Catalog.entries catalog);
+    let pipe = Secview.Pipeline.create ~strict ~catalog dtd ~groups in
+    let alog = Option.map (fun p -> open_audit_log p) audit_log in
+    let config =
+      { Sserver.Server.workers; queue_capacity = queue; deadline; debug }
+    in
+    let server = Sserver.Server.create ~config ?audit:alog pipe in
+    let listeners =
+      (match socket with
+      | Some p -> [ Sserver.Server.Unix_socket p ]
+      | None -> [])
+      @
+      match tcp with Some p -> [ Sserver.Server.Tcp (host, p) ] | None -> []
+    in
+    if listeners = [] then
+      failwith "serve: provide --socket PATH and/or --tcp PORT";
+    Sserver.Server.install_sigint server;
+    List.iter
+      (function
+        | Sserver.Server.Unix_socket p ->
+          Printf.eprintf "secview: listening on %s\n%!" p
+        | Sserver.Server.Tcp (h, p) ->
+          Printf.eprintf "secview: listening on %s:%d\n%!"
+            (if h = "" then "127.0.0.1" else h)
+            p)
+      listeners;
+    Sserver.Server.serve server listeners;
+    Printf.eprintf "secview: drained\n%!"
+  in
+  let group_arg =
+    let doc =
+      "Serve user group $(i,NAME) with the access specification in \
+       $(i,SPECFILE) (repeatable; --spec FILE is shorthand for \
+       --group user=FILE)."
+    in
+    Arg.(
+      value
+      & opt_all (pair_conv ~what:"NAME=SPECFILE") []
+      & info [ "group" ] ~docv:"NAME=SPECFILE" ~doc)
+  in
+  let docs_arg =
+    let doc =
+      "Add document $(i,FILE) to the catalog as $(i,NAME) (repeatable; \
+       parsed lazily on first query unless --preload)."
+    in
+    Arg.(
+      value
+      & opt_all (pair_conv ~what:"NAME=FILE") []
+      & info [ "doc" ] ~docv:"NAME=FILE" ~doc)
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Sserver.Server.default_config.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker-pool size.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int Sserver.Server.default_config.queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: requests beyond $(docv) waiting are \
+             answered 'overloaded' immediately.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Per-request deadline (queue wait included); expired requests \
+             are answered 'timeout'.")
+  in
+  let audit_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL record per admitted query to $(docv) ('-' for \
+             stderr), flushed before the server exits.")
+  in
+  let debug_arg =
+    Arg.(
+      value & flag
+      & info [ "debug" ]
+          ~doc:"Honour the 'sleep' test command (never in production).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Refuse to start when any group's policy has lint errors.")
+  in
+  let preload_arg =
+    Arg.(
+      value & flag
+      & info [ "preload" ]
+          ~doc:"Parse every catalog document before accepting connections.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent secure-query server (line-delimited JSON over \
+          Unix-domain and/or TCP sockets; SIGINT drains gracefully)")
+    Term.(
+      const run $ dtd_arg $ root_arg $ spec_opt_arg $ group_arg $ docs_arg
+      $ socket_arg $ tcp_arg $ host_arg $ workers_arg $ queue_arg
+      $ deadline_arg $ audit_log_arg $ debug_arg $ strict_arg $ preload_arg)
+
+let client_cmd =
+  let run socket tcp host wait group peer doc_name bindings indexed ping
+      do_stats shutdown raws queries =
+    let addr =
+      match (socket, tcp) with
+      | Some path, None -> Unix.ADDR_UNIX path
+      | None, Some port ->
+        let inet =
+          if host = "" then Unix.inet_addr_loopback
+          else
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        Unix.ADDR_INET (inet, port)
+      | _ -> failwith "client: provide exactly one of --socket or --tcp"
+    in
+    let give_up = Sserver.Deadline.now () +. wait in
+    let rec connect () =
+      let fd =
+        Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+      in
+      match Unix.connect fd addr with
+      | () -> fd
+      | exception
+          Unix.Unix_error
+            ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ETIMEDOUT), _, _)
+        when Sserver.Deadline.now () < give_up ->
+        Unix.close fd;
+        Thread.delay 0.05;
+        connect ()
+    in
+    let fd = connect () in
+    let ic = Unix.in_channel_of_descr fd in
+    let send_line line =
+      let b = Bytes.of_string (line ^ "\n") in
+      let rec go off =
+        if off < Bytes.length b then
+          go (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      go 0
+    in
+    let send j = send_line (Sobs.Json.to_string j) in
+    let recv () =
+      let line = input_line ic in
+      match Sobs.Json.of_string line with
+      | Ok j -> (line, j)
+      | Error e -> failwith (Printf.sprintf "client: bad reply (%s): %s" e line)
+    in
+    let failed = ref false in
+    let check_ok what (line, j) =
+      match Sobs.Json.member "ok" j with
+      | Some (Sobs.Json.Bool true) -> true
+      | _ ->
+        failed := true;
+        Printf.eprintf "secview: %s failed: %s\n" what line;
+        false
+    in
+    if ping then begin
+      send (Sserver.Protocol.simple "ping");
+      if check_ok "ping" (recv ()) then print_endline "pong"
+    end;
+    (* raw lines go out verbatim and the reply is echoed verbatim —
+       the escape hatch for demonstrating protocol errors *)
+    List.iter
+      (fun raw ->
+        send_line raw;
+        print_endline (input_line ic))
+      raws;
+    (match group with
+    | Some g ->
+      send (Sserver.Protocol.hello ?peer g);
+      ignore (check_ok "hello" (recv ()))
+    | None -> ());
+    List.iter
+      (fun q ->
+        send
+          (Sserver.Protocol.query_json ?doc:doc_name ~bind:bindings
+             ~use_index:indexed q);
+        let (_, j) as r = recv () in
+        if check_ok (Printf.sprintf "query %S" q) r then
+          match Sobs.Json.member "results" j with
+          | Some (Sobs.Json.List rs) ->
+            List.iter
+              (fun r ->
+                Option.iter print_endline (Sobs.Json.to_string_opt r))
+              rs
+          | _ -> ())
+      queries;
+    if do_stats then begin
+      send (Sserver.Protocol.simple "stats");
+      let line, _ = recv () in
+      print_endline line
+    end;
+    if shutdown then begin
+      send (Sserver.Protocol.simple "shutdown");
+      ignore (check_ok "shutdown" (recv ()))
+    end;
+    close_in_noerr ic;
+    if !failed then exit 1
+  in
+  let wait_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "wait" ] ~docv:"SECS"
+          ~doc:
+            "Retry the connection for up to $(docv) seconds (for scripts \
+             that just started the server).")
+  in
+  let group_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "group" ] ~docv:"NAME"
+          ~doc:"Bind the session to user group $(docv) before querying.")
+  in
+  let peer_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "peer" ] ~docv:"NAME"
+          ~doc:"Self-reported peer label for the server's audit log.")
+  in
+  let doc_name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "doc" ] ~docv:"NAME"
+          ~doc:
+            "Query catalog document $(docv) (optional when the server holds \
+             exactly one).")
+  in
+  let index_arg =
+    Arg.(
+      value & flag
+      & info [ "index" ] ~doc:"Ask the server to evaluate with a tag index.")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Check liveness first.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the server's statistics object after the queries.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the server to drain, last.")
+  in
+  let send_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "send" ] ~docv:"LINE"
+          ~doc:
+            "Send $(docv) verbatim and echo the reply verbatim \
+             (repeatable; for exercising the wire protocol directly).")
+  in
+  let queries_arg =
+    let doc = "View queries to answer, in order." in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running secview server (exit 1 if any request is \
+          refused)")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ host_arg $ wait_arg $ group_arg
+      $ peer_arg $ doc_name_arg $ bind_arg $ index_arg $ ping_arg $ stats_arg
+      $ shutdown_arg $ send_arg $ queries_arg)
+
 let main =
   Cmd.group
     (Cmd.info "secview" ~version:"1.0.0"
@@ -574,7 +929,7 @@ let main =
     [
       derive_cmd; graph_cmd; audit_cmd; lint_cmd; materialize_cmd;
       metrics_cmd; rewrite_cmd; query_cmd; optimize_cmd; annotate_cmd;
-      gen_cmd; validate_cmd;
+      gen_cmd; validate_cmd; serve_cmd; client_cmd;
     ]
 
 let () =

@@ -1,0 +1,128 @@
+type source =
+  | Loaded of Sxml.Tree.t
+  | File of string
+
+type entry = {
+  name : string option;
+  elock : Mutex.t;
+  mutable source : source;
+  mutable height : int option;
+  mutable index : Sxml.Index.t option;
+}
+
+type t = {
+  lock : Mutex.t;
+  named : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* registration order, newest first *)
+  mutable interned : entry list;  (* anonymous, newest first *)
+  intern_capacity : int;
+  height_walks : int Atomic.t;
+}
+
+let create ?(intern_capacity = 64) () =
+  {
+    lock = Mutex.create ();
+    named = Hashtbl.create 8;
+    order = [];
+    interned = [];
+    intern_capacity = max 1 intern_capacity;
+    height_walks = Atomic.make 0;
+  }
+
+let make_entry ?name source =
+  { name; elock = Mutex.create (); source; height = None; index = None }
+
+let register t ~name entry =
+  Mutex.protect t.lock (fun () ->
+      if not (Hashtbl.mem t.named name) then t.order <- name :: t.order;
+      Hashtbl.replace t.named name entry);
+  entry
+
+let add t ~name doc = register t ~name (make_entry ~name (Loaded doc))
+let add_file t ~name path = register t ~name (make_entry ~name (File path))
+
+let find t name =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.named name)
+
+let names t = Mutex.protect t.lock (fun () -> List.rev t.order)
+
+let name e = e.name
+
+let doc e =
+  Mutex.protect e.elock (fun () ->
+      match e.source with
+      | Loaded d -> d
+      | File path ->
+        let d = Sxml.Parse.of_file path in
+        e.source <- Loaded d;
+        d)
+
+let element_height doc =
+  let rec go (n : Sxml.Tree.t) =
+    match Sxml.Tree.element_children n with
+    | [] -> 1
+    | cs -> 1 + List.fold_left (fun acc c -> max acc (go c)) 0 cs
+  in
+  go doc
+
+let memoized_height e = Mutex.protect e.elock (fun () -> e.height)
+
+let height t e =
+  let d = doc e in
+  Mutex.protect e.elock (fun () ->
+      match e.height with
+      | Some h -> h
+      | None ->
+        let h = element_height d in
+        Atomic.incr t.height_walks;
+        e.height <- Some h;
+        h)
+
+let index e =
+  let d = doc e in
+  Mutex.protect e.elock (fun () ->
+      match e.index with
+      | Some i -> i
+      | None ->
+        let i = Sxml.Index.build d in
+        e.index <- Some i;
+        i)
+
+(* Interning looks the document up by physical identity: the named
+   table first (a server answers requests over catalog documents it
+   loaded itself), then the bounded anonymous list.  The bound keeps a
+   caller that streams throwaway documents through [Pipeline.answer]
+   from leaking entries; eviction drops the oldest. *)
+let intern t d =
+  let is_loaded e =
+    (* no lock: [source] only ever steps File -> Loaded, and a racing
+       reader that misses the update just falls through to a fresh
+       anonymous entry with the same memoized-height semantics *)
+    match e.source with Loaded d' -> d' == d | File _ -> false
+  in
+  Mutex.protect t.lock (fun () ->
+      let named =
+        Hashtbl.fold
+          (fun _ e acc -> if acc = None && is_loaded e then Some e else acc)
+          t.named None
+      in
+      match named with
+      | Some e -> e
+      | None -> (
+        match List.find_opt is_loaded t.interned with
+        | Some e -> e
+        | None ->
+          let e = make_entry (Loaded d) in
+          let kept =
+            if List.length t.interned >= t.intern_capacity then
+              List.filteri (fun i _ -> i < t.intern_capacity - 1) t.interned
+            else t.interned
+          in
+          t.interned <- e :: kept;
+          e))
+
+let height_walks t = Atomic.get t.height_walks
+
+let entries t =
+  Mutex.protect t.lock (fun () ->
+      List.rev_map (fun n -> Hashtbl.find t.named n) t.order)

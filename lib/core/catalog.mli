@@ -1,0 +1,63 @@
+(** A catalog of documents a server answers queries over.
+
+    Each entry memoizes the per-document facts the query pipeline
+    needs repeatedly but that cost a full tree walk to compute: the
+    element-nesting height (the unfolding bound for recursive views,
+    {!Pipeline.answer}) and the tag index ({!Sxml.Index}).  Entries
+    are either {e named} — registered up front from a loaded tree or
+    lazily from a file path, the server's document namespace — or
+    {e interned}: looked up by physical identity when a bare tree
+    reaches [Pipeline.answer], so alternating queries over several
+    loaded documents never recompute heights (the single-slot memo
+    this replaces thrashed on exactly that pattern).
+
+    All operations are thread-safe; memoized values are computed at
+    most once per entry.  Interned (anonymous) entries are bounded
+    ([intern_capacity], default 64, oldest evicted) so streaming
+    throwaway documents through a pipeline cannot leak memory. *)
+
+type t
+type entry
+
+val create : ?intern_capacity:int -> unit -> t
+
+val add : t -> name:string -> Sxml.Tree.t -> entry
+(** Register (or replace) a named, already-loaded document. *)
+
+val add_file : t -> name:string -> string -> entry
+(** Register a named document parsed from the file on first use.
+    Parse errors ({!Sxml.Parse.Error}, [Sys_error]) surface at that
+    first use, not here. *)
+
+val find : t -> string -> entry option
+val names : t -> string list
+(** Registration order. *)
+
+val entries : t -> entry list
+
+val name : entry -> string option
+(** [None] for interned entries. *)
+
+val doc : entry -> Sxml.Tree.t
+(** The document; parses file-backed entries on first call. *)
+
+val height : t -> entry -> int
+(** Element-nesting height, computed once and memoized. *)
+
+val memoized_height : entry -> int option
+(** The memo without forcing a computation (probe for observability
+    call sites that count memo hits vs walks). *)
+
+val index : entry -> Sxml.Index.t
+(** Tag index, built once and memoized. *)
+
+val intern : t -> Sxml.Tree.t -> entry
+(** Find-or-create the entry for a loaded tree by physical identity. *)
+
+val height_walks : t -> int
+(** How many full-tree height walks this catalog has performed —
+    the memo's effectiveness measure ([answers - walks] were served
+    from memo). *)
+
+val element_height : Sxml.Tree.t -> int
+(** The raw walk (exposed for callers that bypass the catalog). *)

@@ -6,6 +6,7 @@ type group = {
 type group_state = {
   info : group;
   recursive : bool;
+  lock : Mutex.t;  (* guards [cache], [hits], [misses] *)
   cache : (Sxpath.Ast.path * int option, Sxpath.Ast.path) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
@@ -13,9 +14,10 @@ type group_state = {
 
 type t = {
   dtd : Sdtd.Dtd.t;
-  states : (string, group_state) Hashtbl.t;
+  states : (string, group_state) Hashtbl.t;  (* read-only after create *)
   order : string list;
-  mutable height_memo : (Sxml.Tree.t * int) option;
+  catalog : Catalog.t;
+  translate_lock : Mutex.t;
 }
 
 let strict_gate :
@@ -44,7 +46,7 @@ let run_strict_gate dtd pairs =
       invalid_arg
         ("Pipeline: strict validation failed:\n" ^ String.concat "\n" errors)
 
-let of_views dtd pairs =
+let of_views ?catalog dtd pairs =
   let states = Hashtbl.create 8 in
   List.iter
     (fun (name, view) ->
@@ -54,14 +56,24 @@ let of_views dtd pairs =
         {
           info = { name; view };
           recursive = Sdtd.Dtd.is_recursive (View.dtd view);
+          lock = Mutex.create ();
           cache = Hashtbl.create 32;
           hits = 0;
           misses = 0;
         })
     pairs;
-  { dtd; states; order = List.map fst pairs; height_memo = None }
+  let catalog =
+    match catalog with Some c -> c | None -> Catalog.create ()
+  in
+  {
+    dtd;
+    states;
+    order = List.map fst pairs;
+    catalog;
+    translate_lock = Mutex.create ();
+  }
 
-let create ?(strict = false) dtd ~groups =
+let create ?(strict = false) ?catalog dtd ~groups =
   List.iter
     (fun (_, spec) ->
       if Sdtd.Dtd.stamp (Spec.dtd spec) <> Sdtd.Dtd.stamp dtd then
@@ -73,15 +85,16 @@ let create ?(strict = false) dtd ~groups =
   if strict then
     run_strict_gate dtd
       (List.map (fun (name, view, spec) -> (name, view, Some spec)) derived);
-  of_views dtd (List.map (fun (name, view, _) -> (name, view)) derived)
+  of_views ?catalog dtd (List.map (fun (name, view, _) -> (name, view)) derived)
 
-let create_with_views ?(strict = false) dtd ~groups =
+let create_with_views ?(strict = false) ?catalog dtd ~groups =
   if strict then
     run_strict_gate dtd
       (List.map (fun (name, view) -> (name, view, None)) groups);
-  of_views dtd groups
+  of_views ?catalog dtd groups
 
 let dtd t = t.dtd
+let catalog t = t.catalog
 
 let groups t =
   List.map (fun name -> (Hashtbl.find t.states name).info) t.order
@@ -93,54 +106,68 @@ let state t name =
 
 let view_dtd t ~group = View.dtd (state t group).info.view
 
+(* Translation under contention: the per-group lock only covers cache
+   lookups and counters, so warm requests from many threads never
+   serialize on translation work.  A miss computes outside that lock
+   but inside the pipeline-wide [translate_lock]: rewrite/optimize
+   lean on Optimize's schema-analysis machinery (Image), whose memo
+   tables and node budget are process-global and not thread-safe, so
+   cold translations are serialized — they are schema-sized (µs–ms)
+   while evaluation, which runs fully concurrently, is data-sized.
+   Exactly one of hits/misses is bumped per call, so per-group
+   hits + misses always equals calls issued. *)
 let translate t ~group ?height q =
   let st = state t group in
   let key = (q, height) in
-  match Hashtbl.find_opt st.cache key with
+  let cached =
+    Mutex.protect st.lock (fun () ->
+        match Hashtbl.find_opt st.cache key with
+        | Some p ->
+          st.hits <- st.hits + 1;
+          Some p
+        | None ->
+          st.misses <- st.misses + 1;
+          None)
+  in
+  match cached with
   | Some p ->
-    st.hits <- st.hits + 1;
     if Trace.enabled () then Trace.count ("pipeline.cache.hit." ^ group) 1;
     p
   | None ->
-    st.misses <- st.misses + 1;
     if Trace.enabled () then Trace.count ("pipeline.cache.miss." ^ group) 1;
-    let optimized =
-      Trace.span "translate" @@ fun () ->
-      let rewritten =
-        match (st.recursive, height) with
-        | true, Some h -> Rewrite.rewrite_with_height st.info.view ~height:h q
-        | true, None ->
-          raise
-            (Rewrite.Unsupported
-               "recursive view: Pipeline.translate needs ~height")
-        | false, _ -> Rewrite.rewrite st.info.view q
-      in
-      Optimize.optimize t.dtd rewritten
-    in
-    Hashtbl.replace st.cache key optimized;
-    optimized
+    Mutex.protect t.translate_lock (fun () ->
+        (* another thread may have translated this key while we waited *)
+        match Mutex.protect st.lock (fun () -> Hashtbl.find_opt st.cache key)
+        with
+        | Some p -> p
+        | None ->
+          let optimized =
+            Trace.span "translate" @@ fun () ->
+            let rewritten =
+              match (st.recursive, height) with
+              | true, Some h ->
+                Rewrite.rewrite_with_height st.info.view ~height:h q
+              | true, None ->
+                raise
+                  (Rewrite.Unsupported
+                     "recursive view: Pipeline.translate needs ~height")
+              | false, _ -> Rewrite.rewrite st.info.view q
+            in
+            Optimize.optimize t.dtd rewritten
+          in
+          Mutex.protect st.lock (fun () ->
+              Hashtbl.replace st.cache key optimized);
+          optimized)
 
-let element_height doc =
-  let rec go (n : Sxml.Tree.t) =
-    match Sxml.Tree.element_children n with
-    | [] -> 1
-    | cs -> 1 + List.fold_left (fun acc c -> max acc (go c)) 0 cs
-  in
-  go doc
-
-(* One-slot memo keyed by physical document identity: a server answers
-   bursts of queries over the same loaded document, and the height is
-   a full-tree walk — the dominant per-request cost for recursive
-   views once the translation cache is warm. *)
 let doc_height t doc =
-  match t.height_memo with
-  | Some (d, h) when d == doc ->
+  let entry = Catalog.intern t.catalog doc in
+  match Catalog.memoized_height entry with
+  | Some h ->
     if Trace.enabled () then Trace.count "pipeline.height.memo_hit" 1;
     h
-  | _ ->
-    let h = Trace.span "height" (fun () -> element_height doc) in
+  | None ->
+    let h = Trace.span "height" (fun () -> Catalog.height t.catalog entry) in
     if Trace.enabled () then Trace.count "pipeline.height.computed" 1;
-    t.height_memo <- Some (doc, h);
     h
 
 let request_height t st ?height doc =
@@ -148,10 +175,12 @@ let request_height t st ?height doc =
   else
     match height with Some _ -> height | None -> Some (doc_height t doc)
 
+let cached_mem st key = Mutex.protect st.lock (fun () -> Hashtbl.mem st.cache key)
+
 let answer_observed t st ~group ?env ?index ?height q doc =
   Trace.span "answer" @@ fun () ->
   let height = request_height t st ?height doc in
-  let cache_hit = Hashtbl.mem st.cache (q, height) in
+  let cache_hit = cached_mem st (q, height) in
   let finish translated results error =
     Trace.audit { Trace.group; query = q; translated; cache_hit; height;
                   results; error }
@@ -185,11 +214,11 @@ let answer t ~group ?env ?index ?height q doc =
 
 let cache_stats t ~group =
   let st = state t group in
-  (st.hits, st.misses)
+  Mutex.protect st.lock (fun () -> (st.hits, st.misses))
 
 let stats t =
   List.map
     (fun name ->
       let st = Hashtbl.find t.states name in
-      (name, (st.hits, st.misses)))
+      (name, Mutex.protect st.lock (fun () -> (st.hits, st.misses))))
     t.order

@@ -6,7 +6,14 @@
     translated queries, so repeated queries pay translation once.
 
     This is the module a server embeds: [create] at configuration
-    time, [answer] per request. *)
+    time, [answer] per request — concurrently from as many threads as
+    the server runs.  The per-group translation cache and its
+    hit/miss counters are mutex-protected (exactly one of hit/miss is
+    counted per call, so per-group [hits + misses] equals calls
+    issued); cold translations additionally serialize on one
+    pipeline-wide lock because the optimizer's schema-analysis memo
+    tables ({!Image}) are process-global.  Evaluation — the data-sized
+    cost — runs without any pipeline lock. *)
 
 type t
 
@@ -16,17 +23,28 @@ type group = {
 }
 
 val create :
-  ?strict:bool -> Sdtd.Dtd.t -> groups:(string * Spec.t) list -> t
+  ?strict:bool ->
+  ?catalog:Catalog.t ->
+  Sdtd.Dtd.t ->
+  groups:(string * Spec.t) list ->
+  t
 (** Derive a security view per group.  With [~strict:true] every
     group's policy and derived view must pass the registered
     static-analysis gate (see {!set_strict_gate}) before the pipeline
     is handed out — configuration errors surface here instead of at
-    query time.
+    query time.  [catalog] is the document catalog [answer] memoizes
+    per-document heights in; pass the server's catalog so documents
+    registered there share their memo with the pipeline (default: a
+    fresh private catalog).
     @raise Invalid_argument on duplicate group names, a specification
     over a different DTD instance, or (strict mode) lint errors. *)
 
 val create_with_views :
-  ?strict:bool -> Sdtd.Dtd.t -> groups:(string * View.t) list -> t
+  ?strict:bool ->
+  ?catalog:Catalog.t ->
+  Sdtd.Dtd.t ->
+  groups:(string * View.t) list ->
+  t
 (** Use stored view definitions instead of deriving.  [~strict:true]
     validates each stored view against the document DTD through the
     gate — the defense against view definitions that drifted from the
@@ -42,6 +60,10 @@ val set_strict_gate :
     registered gate raises [Invalid_argument]. *)
 
 val dtd : t -> Sdtd.Dtd.t
+
+val catalog : t -> Catalog.t
+(** The catalog [answer] resolves documents against. *)
+
 val groups : t -> group list
 val view_dtd : t -> group:string -> Sdtd.Dtd.t
 (** What to publish to that user group.  @raise Not_found. *)
@@ -66,12 +88,13 @@ val answer :
   Sxml.Tree.t list
 (** Translate (through the cache) and evaluate at the document's root
     element.  When the group's view is recursive the unfolding height
-    is taken from [height] if supplied, otherwise computed from the
-    document and memoized per document (physical identity, one slot) —
-    repeated queries over the same loaded document skip the full-tree
-    height walk.  With an observability probe installed
-    (see {!Trace}), the call is wrapped in spans and, when an audit
-    hook is installed, emits one {!Trace.audit_event}. *)
+    is taken from [height] if supplied, otherwise resolved through the
+    pipeline's document {!Catalog}: the tree is interned by physical
+    identity and its height computed once per catalog entry — queries
+    alternating over any number of loaded documents never recompute a
+    height.  With an observability probe installed (see {!Trace}),
+    the call is wrapped in spans and, when an audit hook is
+    installed, emits one {!Trace.audit_event}. *)
 
 val cache_stats : t -> group:string -> int * int
 (** (hits, misses) of the group's translation cache. *)

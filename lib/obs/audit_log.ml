@@ -82,6 +82,24 @@ let log_diagnostic t ~code ~severity ~subject message =
            ("message", Json.String message);
          ]))
 
+let log_request t ~session ~peer ~group ~doc ~query ~status ~results
+    ~latency_ms ?error () =
+  emit t
+    (Json.Obj
+       (base t "request"
+       @ [
+           ("session", Json.Int session);
+           ("peer", Json.String peer);
+           ("group", Json.String group);
+           ("doc", Json.String doc);
+           ("query", Json.String query);
+           ("status", Json.String status);
+           ("results", Json.Int results);
+           ("latency_ms", Json.Float latency_ms);
+           ( "error",
+             match error with Some e -> Json.String e | None -> Json.Null );
+         ]))
+
 let log_note t ~kind message =
   emit t
     (Json.Obj

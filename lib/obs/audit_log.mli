@@ -22,7 +22,17 @@
     {"type":"diagnostic","ts_ns":…,"code":…,"severity":…,"subject":…,
      "message":…}
     {"type":"note","ts_ns":…,"kind":…,"message":…}
+    {"type":"request","ts_ns":…,"session":N,"peer":…,"group":…,"doc":…,
+     "query":…,"status":"ok"|"error"|"timeout"|"late","results":N,
+     "latency_ms":F,"error":S|null}
     v}
+
+    ["request"] records are the server's ([Sserver.Server]): one per
+    admitted query, stamped with the session's group and peer — the
+    who-asked-what trail a multi-user deployment owes its
+    administrators.  The writer serializes concurrent [log_*] calls
+    itself (the server holds one observability lock); this module
+    performs no locking.
 
     Timestamps are readings of the log's clock (monotonic by default:
     an arbitrary epoch, deterministic under {!Clock.fake}). *)
@@ -57,3 +67,19 @@ val log_event : t -> Secview.Trace.audit_event -> unit
 val log_diagnostic :
   t -> code:string -> severity:string -> subject:string -> string -> unit
 val log_note : t -> kind:string -> string -> unit
+
+val log_request :
+  t ->
+  session:int ->
+  peer:string ->
+  group:string ->
+  doc:string ->
+  query:string ->
+  status:string ->
+  results:int ->
+  latency_ms:float ->
+  ?error:string ->
+  unit ->
+  unit
+(** One server-side ["request"] record ([status] ∈ ok/error/timeout/
+    late; [latency_ms] includes queue wait). *)

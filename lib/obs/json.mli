@@ -1,10 +1,14 @@
-(** A minimal JSON value and serializer.
+(** A minimal JSON value, serializer and parser.
 
-    Just enough for the metrics dump, the bench results file and the
-    audit log — no parser, no dependency.  Serialization is
-    deterministic: object fields are emitted in construction order,
-    floats with ["%.6g"] (integral floats print without a fraction,
-    which keeps golden tests and diffs stable). *)
+    Just enough for the metrics dump, the bench results file, the
+    audit log and the server's line-delimited protocol — no
+    dependency.  Serialization is deterministic: object fields are
+    emitted in construction order, floats with ["%.6g"] (integral
+    floats print without a fraction, which keeps golden tests and
+    diffs stable).  The parser accepts standard JSON: numbers without
+    a fraction or exponent that fit in [int] become [Int], everything
+    else numeric becomes [Float]; [\u] escapes (including surrogate
+    pairs) decode to UTF-8. *)
 
 type t =
   | Null
@@ -19,3 +23,23 @@ val to_string : t -> string
 (** Compact (single-line) rendering with full string escaping. *)
 
 val to_channel : out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value (leading/trailing whitespace
+    allowed; anything else after the value is an error).  The error
+    string carries the byte offset. *)
+
+(** {1 Accessors}
+
+    Structure-probing helpers for protocol decoding; all total. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** [Int]s widen to float. *)
+
+val to_bool_opt : t -> bool option

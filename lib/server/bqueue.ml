@@ -1,0 +1,44 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity = max 1 capacity;
+    closed = false;
+  }
+
+let try_push t x =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.items >= t.capacity then `Full
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let pop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.items && not t.closed do
+    Condition.wait t.nonempty t.lock
+  done;
+  let item = if Queue.is_empty t.items then None else Some (Queue.pop t.items) in
+  Mutex.unlock t.lock;
+  item
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = Mutex.protect t.lock (fun () -> Queue.length t.items)
+
+let is_closed t = Mutex.protect t.lock (fun () -> t.closed)

@@ -1,0 +1,26 @@
+(** A bounded multi-producer multi-consumer queue — the server's
+    admission-control point.
+
+    Producers never block: {!try_push} either admits the item or
+    reports [`Full]/[`Closed] immediately, so a connection thread can
+    answer [overloaded] instead of buffering without bound.
+    Consumers block in {!pop} until an item arrives or the queue is
+    closed {e and} drained — closing is how graceful drain tells the
+    worker pool "finish what is queued, then exit". *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+val pop : 'a t -> 'a option
+(** Blocks.  [None] means closed and fully drained; remaining items
+    of a closed queue are still delivered first. *)
+
+val close : 'a t -> unit
+(** Idempotent; wakes every blocked consumer. *)
+
+val length : 'a t -> int
+val is_closed : 'a t -> bool

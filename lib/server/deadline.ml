@@ -1,0 +1,62 @@
+let now () = Int64.to_float (Sobs.Clock.monotonic ()) /. 1e9
+
+type 'a cell = {
+  lock : Mutex.t;
+  filled : Condition.t;
+  mutable value : 'a option;
+}
+
+let cell () =
+  { lock = Mutex.create (); filled = Condition.create (); value = None }
+
+let fill c v =
+  Mutex.protect c.lock (fun () ->
+      match c.value with
+      | Some _ -> false
+      | None ->
+        c.value <- Some v;
+        Condition.broadcast c.filled;
+        true)
+
+let peek c = Mutex.protect c.lock (fun () -> c.value)
+
+(* [Condition] has no timed wait in the stdlib, so the bounded wait
+   polls: 1ms ticks keep timeout precision well under any deadline a
+   server would configure while costing nothing measurable next to
+   query evaluation. *)
+let await ?deadline_at c =
+  match deadline_at with
+  | None ->
+    Mutex.lock c.lock;
+    while c.value = None do
+      Condition.wait c.filled c.lock
+    done;
+    let v = c.value in
+    Mutex.unlock c.lock;
+    v
+  | Some t ->
+    let rec go () =
+      match peek c with
+      | Some _ as v -> v
+      | None ->
+        if now () >= t then None
+        else begin
+          Thread.delay 0.001;
+          go ()
+        end
+    in
+    go ()
+
+let run ~seconds f =
+  let c = cell () in
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        let r = match f () with v -> Ok v | exception e -> Error e in
+        ignore (fill c r))
+      ()
+  in
+  match await ~deadline_at:(now () +. seconds) c with
+  | Some (Ok v) -> Ok v
+  | Some (Error e) -> raise e
+  | None -> Error `Timeout

@@ -1,0 +1,35 @@
+(** Per-request deadlines: single-assignment reply cells with bounded
+    waits, and a one-shot wall-clock guard built on them.
+
+    A worker executes a request and {!fill}s its cell; the connection
+    thread {!await}s the cell up to the request's deadline.  Whoever
+    loses the race learns so: [fill] reports whether its value won,
+    and a [None] from a bounded [await] means the deadline passed
+    first.  OCaml threads cannot be killed, so a timed-out
+    computation keeps running to completion in the background — the
+    deadline bounds the {e response}, and the server accounts the
+    stale result as "late" when it eventually lands. *)
+
+val now : unit -> float
+(** Monotonic seconds (arbitrary epoch) — the clock all deadlines are
+    expressed in. *)
+
+type 'a cell
+
+val cell : unit -> 'a cell
+
+val fill : 'a cell -> 'a -> bool
+(** First fill wins and returns [true]; later fills are dropped. *)
+
+val peek : 'a cell -> 'a option
+
+val await : ?deadline_at:float -> 'a cell -> 'a option
+(** Block until the cell is filled.  With [deadline_at] (absolute,
+    {!now}'s clock), give up and return [None] once it passes. *)
+
+val run : seconds:float -> (unit -> 'a) -> ('a, [ `Timeout ]) result
+(** Run [f] in a fresh thread with a relative deadline — the guard
+    behind [secview query --timeout].  Re-raises [f]'s exception if
+    it fails within the deadline; on [Error `Timeout] the underlying
+    thread is abandoned (it still runs to completion, but its result
+    is discarded — callers exiting the process lose nothing). *)

@@ -1,0 +1,112 @@
+module J = Sobs.Json
+
+type query = {
+  doc : string option;
+  text : string;
+  bind : (string * string) list;
+  use_index : bool;
+}
+
+type request =
+  | Hello of {
+      group : string;
+      peer : string option;
+    }
+  | Query of query
+  | Stats
+  | Ping
+  | Shutdown
+  | Sleep of float
+
+(* error codes (the protocol's closed vocabulary) *)
+let bad_request = "bad_request"
+let unknown_group = "unknown_group"
+let no_session = "no_session"
+let unknown_document = "unknown_document"
+let overloaded = "overloaded"
+let draining = "draining"
+let timeout = "timeout"
+let query_error = "query_error"
+
+let ok fields = J.Obj (("ok", J.Bool true) :: fields)
+
+let error ~code msg =
+  J.Obj
+    [ ("ok", J.Bool false); ("code", J.String code); ("error", J.String msg) ]
+
+let field name obj = J.member name obj
+
+let string_field name obj = Option.bind (field name obj) J.to_string_opt
+
+let request_of_line line =
+  match J.of_string line with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok (J.Obj _ as obj) -> (
+    match string_field "cmd" obj with
+    | None -> Error "missing string field \"cmd\""
+    | Some "hello" -> (
+      match string_field "group" obj with
+      | Some group -> Ok (Hello { group; peer = string_field "peer" obj })
+      | None -> Error "hello: missing string field \"group\"")
+    | Some "query" -> (
+      match string_field "query" obj with
+      | None -> Error "query: missing string field \"query\""
+      | Some text -> (
+        let bind =
+          match field "bind" obj with
+          | None -> Ok []
+          | Some (J.Obj fields) ->
+            List.fold_left
+              (fun acc (k, v) ->
+                match (acc, J.to_string_opt v) with
+                | Error _, _ -> acc
+                | Ok bs, Some s -> Ok ((k, s) :: bs)
+                | Ok _, None ->
+                  Error
+                    (Printf.sprintf "query: binding %S must be a string" k))
+              (Ok []) fields
+          | Some _ -> Error "query: \"bind\" must be an object of strings"
+        in
+        match bind with
+        | Error e -> Error e
+        | Ok bind -> (
+          match field "index" obj with
+          | Some j when J.to_bool_opt j = None ->
+            Error "\"index\" must be a boolean"
+          | index ->
+            let use_index =
+              match Option.bind index J.to_bool_opt with
+              | Some b -> b
+              | None -> false
+            in
+            Ok
+              (Query
+                 { doc = string_field "doc" obj; text; bind = List.rev bind;
+                   use_index }))))
+    | Some "stats" -> Ok Stats
+    | Some "ping" -> Ok Ping
+    | Some "shutdown" -> Ok Shutdown
+    | Some "sleep" -> (
+      match Option.bind (field "ms" obj) J.to_float_opt with
+      | Some ms when ms >= 0. -> Ok (Sleep (ms /. 1000.))
+      | Some _ -> Error "sleep: \"ms\" must be non-negative"
+      | None -> Error "sleep: missing numeric field \"ms\"")
+    | Some cmd -> Error (Printf.sprintf "unknown command %S" cmd))
+  | Ok _ -> Error "request must be a JSON object"
+
+let hello ?peer group =
+  J.Obj
+    (("cmd", J.String "hello")
+     :: ("group", J.String group)
+     :: (match peer with Some p -> [ ("peer", J.String p) ] | None -> []))
+
+let query_json ?doc ?(bind = []) ?(use_index = false) text =
+  J.Obj
+    (("cmd", J.String "query")
+     :: ("query", J.String text)
+     :: (match doc with Some d -> [ ("doc", J.String d) ] | None -> [])
+    @ (if bind = [] then []
+       else [ ("bind", J.Obj (List.map (fun (k, v) -> (k, J.String v)) bind)) ])
+    @ if use_index then [ ("index", J.Bool true) ] else [])
+
+let simple cmd = J.Obj [ ("cmd", J.String cmd) ]

@@ -1,0 +1,69 @@
+(** The server's wire protocol: one JSON object per line, both ways.
+
+    Requests, discriminated by ["cmd"]:
+
+    {v
+    {"cmd":"hello","group":G,"peer":P?}          bind the session to a group
+    {"cmd":"query","query":Q,"doc":D?,           answer a view query
+     "bind":{name:value,…}?,"index":B?}
+    {"cmd":"stats"}                              server statistics
+    {"cmd":"ping"}                               liveness
+    {"cmd":"shutdown"}                           reply, then drain
+    {"cmd":"sleep","ms":N}                       debug servers only
+    v}
+
+    Replies always carry ["ok"]: [{"ok":true,…}] on success,
+    [{"ok":false,"code":C,"error":MSG}] on failure, where [code] is
+    one of the constants below — [overloaded] is the admission-control
+    reply and means "try again", not "goodbye". *)
+
+type query = {
+  doc : string option;  (** catalog name; optional iff one document *)
+  text : string;  (** the view query, fragment-C XPath *)
+  bind : (string * string) list;  (** [$variable] bindings *)
+  use_index : bool;  (** evaluate with the document's tag index *)
+}
+
+type request =
+  | Hello of {
+      group : string;
+      peer : string option;
+    }
+  | Query of query
+  | Stats
+  | Ping
+  | Shutdown
+  | Sleep of float  (** seconds; only honoured by [--debug] servers *)
+
+val request_of_line : string -> (request, string) result
+(** Decode one line.  The error string is human-readable and becomes
+    the [bad_request] reply's message. *)
+
+(** {1 Error codes} *)
+
+val bad_request : string
+val unknown_group : string
+val no_session : string
+val unknown_document : string
+val overloaded : string
+val draining : string
+val timeout : string
+val query_error : string
+
+(** {1 Reply and request builders} *)
+
+val ok : (string * Sobs.Json.t) list -> Sobs.Json.t
+(** [{"ok":true}] plus the given fields. *)
+
+val error : code:string -> string -> Sobs.Json.t
+
+val hello : ?peer:string -> string -> Sobs.Json.t
+val query_json :
+  ?doc:string ->
+  ?bind:(string * string) list ->
+  ?use_index:bool ->
+  string ->
+  Sobs.Json.t
+
+val simple : string -> Sobs.Json.t
+(** [{"cmd":CMD}] — for [stats], [ping], [shutdown]. *)

@@ -1,0 +1,491 @@
+module J = Sobs.Json
+module Pipeline = Secview.Pipeline
+module Catalog = Secview.Catalog
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  deadline : float option;
+  debug : bool;
+}
+
+let default_config =
+  { workers = 4; queue_capacity = 64; deadline = None; debug = false }
+
+type listener =
+  | Unix_socket of string
+  | Tcp of string * int
+
+type session = {
+  sid : int;
+  mutable group : string option;
+  mutable peer : string;
+}
+
+type work =
+  | Answer of Protocol.query
+  | Nap of float
+
+type job = {
+  jsession : session;
+  jgroup : string;
+  work : work;
+  submitted : float;
+  deadline_at : float option;
+  cell : J.t Deadline.cell;
+}
+
+type t = {
+  config : config;
+  pipeline : Pipeline.t;
+  catalog : Catalog.t;
+  queue : job Bqueue.t;
+  metrics : Sobs.Metrics.t;
+  obs_lock : Mutex.t;  (* serializes metrics updates and audit writes *)
+  audit : Sobs.Audit_log.t option;
+  stopping : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  started : float;
+  next_sid : int Atomic.t;
+  conn_lock : Mutex.t;
+  mutable conns : Thread.t list;
+}
+
+let create ?(config = default_config) ?audit ?metrics pipeline =
+  let wake_r, wake_w = Unix.pipe () in
+  {
+    config = { config with workers = max 1 config.workers };
+    pipeline;
+    catalog = Pipeline.catalog pipeline;
+    queue = Bqueue.create ~capacity:config.queue_capacity;
+    metrics = (match metrics with Some m -> m | None -> Sobs.Metrics.create ());
+    obs_lock = Mutex.create ();
+    audit;
+    stopping = Atomic.make false;
+    wake_r;
+    wake_w;
+    started = Deadline.now ();
+    next_sid = Atomic.make 1;
+    conn_lock = Mutex.create ();
+    conns = [];
+  }
+
+let metrics t = t.metrics
+
+let count ?(by = 1) t name =
+  Mutex.protect t.obs_lock (fun () -> Sobs.Metrics.incr ~by t.metrics name)
+
+let observe t name v =
+  Mutex.protect t.obs_lock (fun () -> Sobs.Metrics.observe t.metrics name v)
+
+let audit_request t ~session ~peer ~group ~doc ~query ~status ~results
+    ~latency_ms ?error () =
+  match t.audit with
+  | None -> ()
+  | Some log ->
+    Mutex.protect t.obs_lock (fun () ->
+        Sobs.Audit_log.log_request log ~session ~peer ~group ~doc ~query
+          ~status ~results ~latency_ms ?error ())
+
+let draining t = Atomic.get t.stopping
+
+let wake t = ignore (try Unix.write t.wake_w (Bytes.of_string "!") 0 1 with _ -> 0)
+
+(* Safe from a signal handler: one atomic store and one pipe write. *)
+let request_drain t =
+  Atomic.set t.stopping true;
+  wake t
+
+let install_sigint t =
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> request_drain t))
+
+(* ---- request execution (worker side) ------------------------------- *)
+
+let group_names t =
+  List.map (fun g -> g.Pipeline.name) (Pipeline.groups t.pipeline)
+
+let resolve_document t = function
+  | Some name -> (
+    match Catalog.find t.catalog name with
+    | Some entry -> Ok entry
+    | None ->
+      Error
+        ( Protocol.unknown_document,
+          Printf.sprintf "unknown document %S (have: %s)" name
+            (String.concat ", " (Catalog.names t.catalog)) ))
+  | None -> (
+    match Catalog.names t.catalog with
+    | [ only ] -> Ok (Option.get (Catalog.find t.catalog only))
+    | _ ->
+      Error
+        ( Protocol.unknown_document,
+          "more than one document in the catalog; pass \"doc\"" ))
+
+let answer_query t ~group (q : Protocol.query) =
+  match resolve_document t q.doc with
+  | Error _ as e -> e
+  | Ok entry -> (
+    match Sxpath.Parse.of_string_result q.text with
+    | Error e ->
+      Error
+        ( Protocol.query_error,
+          Printf.sprintf "parse error at %d: %s" e.Sxpath.Parse.position
+            e.Sxpath.Parse.message )
+    | Ok path -> (
+      let env name = List.assoc_opt name q.bind in
+      match
+        let doc = Catalog.doc entry in
+        let index = if q.use_index then Some (Catalog.index entry) else None in
+        Pipeline.answer t.pipeline ~group ~env ?index path doc
+      with
+      | results ->
+        Ok (List.map (fun n -> Sxml.Print.to_string n) results)
+      | exception Secview.Rewrite.Unsupported msg ->
+        Error (Protocol.query_error, "unsupported query: " ^ msg)
+      | exception Sxml.Parse.Error e ->
+        Error
+          ( Protocol.query_error,
+            "document failed to parse: " ^ Sxml.Parse.error_to_string e )
+      | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+        Error (Protocol.query_error, msg)
+      | exception exn ->
+        (* anything else the evaluator can raise (unbound variable,
+           missing group entry, ...): the request failed, the worker
+           must survive *)
+        Error (Protocol.query_error, Printexc.to_string exn)))
+
+let doc_label t (q : Protocol.query) =
+  match q.doc with
+  | Some d -> d
+  | None -> (
+    (* the single-document default: audit the name it resolved to *)
+    match Catalog.names t.catalog with [ n ] -> n | _ -> "-")
+
+let run_job t job =
+  let latency () = 1000. *. (Deadline.now () -. job.submitted) in
+  let log ~status ~results ?error ~latency_ms () =
+    match job.work with
+    | Nap _ -> ()
+    | Answer q ->
+      audit_request t ~session:job.jsession.sid ~peer:job.jsession.peer
+        ~group:job.jgroup ~doc:(doc_label t q) ~query:q.text ~status ~results
+        ~latency_ms ?error ()
+  in
+  let expired =
+    match job.deadline_at with
+    | Some d -> Deadline.now () > d
+    | None -> false
+  in
+  if expired || Deadline.peek job.cell <> None then begin
+    (* the connection thread answered [timeout] (or will, immediately):
+       don't burn a worker on a reply nobody is waiting for *)
+    ignore
+      (Deadline.fill job.cell
+         (Protocol.error ~code:Protocol.timeout "deadline exceeded in queue"));
+    count t "server.expired_in_queue";
+    log ~status:"timeout" ~results:0 ~error:"deadline exceeded in queue"
+      ~latency_ms:(latency ()) ()
+  end
+  else
+    let reply, status, results, error =
+      match job.work with
+      | Nap s ->
+        Thread.delay s;
+        (Protocol.ok [ ("slept_ms", J.Float (1000. *. s)) ], "ok", 0, None)
+      | Answer q -> (
+        match answer_query t ~group:job.jgroup q with
+        | Ok results ->
+          ( Protocol.ok
+              [
+                ("results", J.List (List.map (fun s -> J.String s) results));
+                ("count", J.Int (List.length results));
+              ],
+            "ok",
+            List.length results,
+            None )
+        | Error (code, msg) ->
+          (Protocol.error ~code msg, "error", 0, Some msg))
+    in
+    let won = Deadline.fill job.cell reply in
+    let latency_ms = latency () in
+    let status = if won then status else "late" in
+    count t ("server.done." ^ status);
+    observe t ("server.latency_ms." ^ job.jgroup) latency_ms;
+    log ~status ~results ?error ~latency_ms ()
+
+let rec worker_loop t =
+  match Bqueue.pop t.queue with
+  | None -> ()
+  | Some job ->
+    (try run_job t job
+     with exn ->
+       (* last line of defense: a worker that dies strands every
+          queued request, so fill the cell and keep looping *)
+       ignore
+         (Deadline.fill job.cell
+            (Protocol.error ~code:Protocol.query_error
+               ("internal error: " ^ Printexc.to_string exn)));
+       count t "server.done.internal_error");
+    worker_loop t
+
+(* ---- connection handling ------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let send fd json = write_all fd (J.to_string json ^ "\n")
+
+let stats_json t =
+  let counters, latencies =
+    Mutex.protect t.obs_lock (fun () ->
+        let prefix = "server.latency_ms." in
+        let latencies =
+          List.filter_map
+            (fun (name, _) ->
+              if String.starts_with ~prefix name then
+                let group =
+                  String.sub name (String.length prefix)
+                    (String.length name - String.length prefix)
+                in
+                Option.map
+                  (fun (s : Sobs.Metrics.summary) -> (group, s))
+                  (Sobs.Metrics.summary t.metrics name)
+              else None)
+            (Sobs.Metrics.summaries t.metrics)
+        in
+        (Sobs.Metrics.counters t.metrics, latencies))
+  in
+  Protocol.ok
+    [
+      ("uptime_s", J.Float (Deadline.now () -. t.started));
+      ("workers", J.Int t.config.workers);
+      ( "queue",
+        J.Obj
+          [
+            ("length", J.Int (Bqueue.length t.queue));
+            ("capacity", J.Int t.config.queue_capacity);
+          ] );
+      ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) counters));
+      ( "latency_ms",
+        J.Obj
+          (List.map
+             (fun (group, (s : Sobs.Metrics.summary)) ->
+               ( group,
+                 J.Obj
+                   [
+                     ("count", J.Int s.count);
+                     ("p50", J.Float s.p50);
+                     ("p95", J.Float s.p95);
+                     ("p99", J.Float s.p99);
+                   ] ))
+             latencies) );
+      ( "cache",
+        J.Obj
+          (List.map
+             (fun (group, (hits, misses)) ->
+               ( group,
+                 J.Obj [ ("hits", J.Int hits); ("misses", J.Int misses) ] ))
+             (Pipeline.stats t.pipeline)) );
+      ( "documents",
+        J.List (List.map (fun n -> J.String n) (Catalog.names t.catalog)) );
+    ]
+
+let submit t sess fd work =
+  if draining t then
+    send fd (Protocol.error ~code:Protocol.draining "server is draining")
+  else begin
+    let submitted = Deadline.now () in
+    let job =
+      {
+        jsession = sess;
+        jgroup = (match sess.group with Some g -> g | None -> "-");
+        work;
+        submitted;
+        deadline_at = Option.map (fun s -> submitted +. s) t.config.deadline;
+        cell = Deadline.cell ();
+      }
+    in
+    match Bqueue.try_push t.queue job with
+    | `Full ->
+      count t "server.rejected.overloaded";
+      send fd
+        (Protocol.error ~code:Protocol.overloaded
+           (Printf.sprintf "request queue is full (%d deep)"
+              t.config.queue_capacity))
+    | `Closed ->
+      count t "server.rejected.draining";
+      send fd (Protocol.error ~code:Protocol.draining "server is draining")
+    | `Ok -> (
+      count t "server.accepted";
+      match Deadline.await ?deadline_at:job.deadline_at job.cell with
+      | Some reply -> send fd reply
+      | None ->
+        let timed_out =
+          Deadline.fill job.cell
+            (Protocol.error ~code:Protocol.timeout "deadline exceeded")
+        in
+        if timed_out then count t "server.timeout";
+        send fd
+          (Protocol.error ~code:Protocol.timeout
+             (Printf.sprintf "deadline of %gs exceeded"
+                (Option.value t.config.deadline ~default:0.))))
+  end
+
+let handle_line t sess fd line =
+  match Protocol.request_of_line line with
+  | Error msg ->
+    count t "server.rejected.bad_request";
+    send fd (Protocol.error ~code:Protocol.bad_request msg)
+  | Ok (Hello { group; peer }) ->
+    if List.mem group (group_names t) then begin
+      sess.group <- Some group;
+      (match peer with Some p -> sess.peer <- p | None -> ());
+      count t "server.sessions";
+      send fd
+        (Protocol.ok
+           [ ("session", J.Int sess.sid); ("group", J.String group) ])
+    end
+    else begin
+      count t "server.rejected.unknown_group";
+      send fd
+        (Protocol.error ~code:Protocol.unknown_group
+           (Printf.sprintf "unknown group %S (have: %s)" group
+              (String.concat ", " (group_names t))))
+    end
+  | Ok Ping -> send fd (Protocol.ok [ ("pong", J.Bool true) ])
+  | Ok Stats -> send fd (stats_json t)
+  | Ok Shutdown ->
+    send fd (Protocol.ok [ ("draining", J.Bool true) ]);
+    request_drain t
+  | Ok (Sleep _) when not t.config.debug ->
+    send fd
+      (Protocol.error ~code:Protocol.bad_request
+         "sleep is only available on --debug servers")
+  | Ok (Sleep s) -> submit t sess fd (Nap s)
+  | Ok (Query q) -> (
+    match sess.group with
+    | None ->
+      count t "server.rejected.no_session";
+      send fd
+        (Protocol.error ~code:Protocol.no_session
+           "no session: send {\"cmd\":\"hello\",\"group\":…} first")
+    | Some _ -> submit t sess fd (Answer q))
+
+let conn_loop t fd peer =
+  let sess =
+    { sid = Atomic.fetch_and_add t.next_sid 1; group = None; peer }
+  in
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  let alive = ref true in
+  (try
+     while !alive && not (draining t) do
+       match Unix.select [ fd ] [] [] 0.2 with
+       | [], _, _ -> ()
+       | _ ->
+         let n =
+           try Unix.read fd chunk 0 (Bytes.length chunk)
+           with Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) -> 0
+         in
+         if n = 0 then alive := false
+         else begin
+           Buffer.add_subbytes buf chunk 0 n;
+           (* split off and handle every complete line *)
+           let data = Buffer.contents buf in
+           Buffer.clear buf;
+           let rec lines start =
+             match String.index_from_opt data start '\n' with
+             | None ->
+               Buffer.add_substring buf data start
+                 (String.length data - start)
+             | Some nl ->
+               let line = String.sub data start (nl - start) in
+               let line =
+                 (* tolerate CRLF clients (telnet, socat -t) *)
+                 if String.length line > 0 && line.[String.length line - 1] = '\r'
+                 then String.sub line 0 (String.length line - 1)
+                 else line
+               in
+               if String.trim line <> "" then handle_line t sess fd line;
+               lines (nl + 1)
+           in
+           lines 0
+         end
+     done
+   with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- listeners and lifecycle --------------------------------------- *)
+
+let sockaddr_label = function
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (a, p) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+
+let open_listener = function
+  | Unix_socket path ->
+    if Sys.file_exists path then Sys.remove path;
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    Unix.bind fd (ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | Tcp (host, port) ->
+    let addr =
+      if host = "" then Unix.inet_addr_loopback
+      else Unix.inet_addr_of_string host
+    in
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt fd SO_REUSEADDR true;
+    Unix.bind fd (ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    fd
+
+let acceptor_loop t lfd =
+  while not (draining t) do
+    match Unix.select [ lfd; t.wake_r ] [] [] 1.0 with
+    | rs, _, _ ->
+      if List.mem lfd rs && not (draining t) then begin
+        match Unix.accept lfd with
+        | cfd, addr ->
+          count t "server.connections";
+          let th =
+            Thread.create (fun () -> conn_loop t cfd (sockaddr_label addr)) ()
+          in
+          Mutex.protect t.conn_lock (fun () -> t.conns <- th :: t.conns)
+        | exception Unix.Unix_error _ -> ()
+      end
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+let serve t listeners =
+  if listeners = [] then invalid_arg "Server.serve: no listeners";
+  let lfds = List.map open_listener listeners in
+  let acceptors = List.map (fun lfd -> Thread.create (acceptor_loop t) lfd) lfds in
+  let workers =
+    List.init t.config.workers (fun _ -> Thread.create (fun () -> worker_loop t) ())
+  in
+  (* drain sequence: acceptors exit on the stop flag (stop accepting),
+     the queue closes (finish what is admitted, reject the rest),
+     workers drain it and exit, connection threads notice the flag and
+     hang up, and finally the audit log is flushed. *)
+  List.iter Thread.join acceptors;
+  List.iter
+    (fun (lfd, l) ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      match l with
+      | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+      | Tcp _ -> ())
+    (List.combine lfds listeners);
+  Bqueue.close t.queue;
+  List.iter Thread.join workers;
+  let conns = Mutex.protect t.conn_lock (fun () -> t.conns) in
+  List.iter Thread.join conns;
+  (match t.audit with Some log -> Sobs.Audit_log.close log | None -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()

@@ -1,0 +1,81 @@
+(** The concurrent secure-query server: the paper's Fig. 3
+    client/server architecture as a long-lived daemon.
+
+    One server wraps one {!Secview.Pipeline} (a document DTD plus one
+    security view per user group) and a {!Secview.Catalog} of named
+    documents, and speaks {!Protocol} — line-delimited JSON — over any
+    number of Unix-domain and TCP listeners.
+
+    {b Threading model.}  One acceptor thread per listener, one
+    thread per connection, and a fixed pool of [workers] threads
+    behind one bounded queue ({!Bqueue}).  A connection thread only
+    parses, enforces the session handshake, and performs {e admission
+    control}: if the queue is full the client gets an [overloaded]
+    reply immediately — the server never buffers without bound.
+    Workers run admitted requests through [Pipeline.answer] (safe
+    under concurrency, see {!Secview.Pipeline}) and fill the
+    request's reply cell; the connection thread awaits it up to the
+    per-request [deadline] and answers [timeout] if the cell stays
+    empty — the computation itself is not killed (OCaml threads
+    cannot be), so a stale result is accounted as [late] when it
+    lands.  Requests whose deadline expired while still queued are
+    answered [timeout] without burning a worker.
+
+    {b Observability.}  Counters ([server.accepted],
+    [server.rejected.*], [server.timeout], [server.done.*]) and
+    per-group latency series ([server.latency_ms.<group>], queue wait
+    included) feed the server's {!Sobs.Metrics} registry — the
+    [stats] command renders them — and every admitted query writes
+    one {!Sobs.Audit_log} ["request"] record stamped with the
+    session's group and peer.  All of it behind one lock, so sinks
+    need no thread-safety of their own.
+
+    {b Drain.}  [shutdown] (after replying) and SIGINT (via
+    {!install_sigint}) both {!request_drain}: stop accepting, let
+    workers finish everything already admitted, answer [draining] to
+    everything else, hang up, flush and close the audit log, return
+    from {!serve}.  *)
+
+type config = {
+  workers : int;  (** worker-pool size (≥ 1) *)
+  queue_capacity : int;  (** admission-control bound (≥ 1) *)
+  deadline : float option;  (** per-request seconds, queue wait included *)
+  debug : bool;  (** honour the [sleep] test command *)
+}
+
+val default_config : config
+(** 4 workers, queue of 64, no deadline, no debug. *)
+
+type listener =
+  | Unix_socket of string  (** path; replaced if present, removed on drain *)
+  | Tcp of string * int  (** host ([""] = loopback) and port *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?audit:Sobs.Audit_log.t ->
+  ?metrics:Sobs.Metrics.t ->
+  Secview.Pipeline.t ->
+  t
+(** The catalog is the pipeline's ({!Secview.Pipeline.catalog}):
+    register documents there.  [audit] is closed (hence flushed) when
+    {!serve} drains. *)
+
+val serve : t -> listener list -> unit
+(** Bind the listeners and block until a drain completes.  Call from
+    the main thread (or a dedicated one — tests do).
+    @raise Invalid_argument on an empty listener list;
+    @raise Unix.Unix_error if a listener cannot bind. *)
+
+val request_drain : t -> unit
+(** Begin graceful drain; idempotent, callable from any thread and
+    from a signal handler (one atomic store + one pipe write). *)
+
+val install_sigint : t -> unit
+(** Route SIGINT to {!request_drain}, making [Ctrl-C] a graceful
+    drain with exit status 0. *)
+
+val metrics : t -> Sobs.Metrics.t
+(** The registry the counters and latency series land in (shared
+    with the caller when passed to {!create}). *)

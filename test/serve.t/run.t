@@ -1,0 +1,48 @@
+The query server over a Unix-domain socket: start it in the
+background, drive it with the bundled client, then drain it.
+
+  $ secview serve --dtd hospital.dtd --spec nurse.spec \
+  >   --doc ward=ward.xml --socket ./sv.sock \
+  >   --audit-log audit.jsonl 2>serve.log &
+  $ secview client --socket ./sv.sock --wait 5 --ping
+  pong
+
+A session binds to a user group first; queries then run through the
+secure pipeline (rewrite + optimize against the nurse view), with
+qualifier variables bound per request:
+
+  $ secview client --socket ./sv.sock --group user --peer cram \
+  >   --bind wardNo=6 '//patient/name'
+  <name>Alice</name>
+  <name>Bob</name>
+
+Querying without a session is refused, and the client reports it:
+
+  $ secview client --socket ./sv.sock '//patient/name'
+  secview: query "//patient/name" failed: {"ok":false,"code":"no_session","error":"no session: send {\"cmd\":\"hello\",\"group\":…} first"}
+  [1]
+
+Protocol errors are structured replies, never hangups (--send ships a
+raw line and echoes the raw reply):
+
+  $ secview client --socket ./sv.sock --send 'not json'
+  {"ok":false,"code":"bad_request","error":"invalid JSON: at offset 0: expected null"}
+  $ secview client --socket ./sv.sock --send '{"cmd":"hello","group":"nosuch"}'
+  {"ok":false,"code":"unknown_group","error":"unknown group \"nosuch\" (have: user)"}
+
+Graceful drain: shutdown is acknowledged, the server finishes and
+exits 0, the socket is removed, and the audit log holds exactly one
+record per admitted query — the ward query above, nothing for the
+refused ones:
+
+  $ secview client --socket ./sv.sock --shutdown
+  $ wait
+  $ cat serve.log
+  secview: listening on ./sv.sock
+  secview: drained
+  $ test -e sv.sock || echo socket removed
+  socket removed
+  $ grep -c '"type":"request"' audit.jsonl
+  1
+  $ grep -o '"status":"[a-z]*"' audit.jsonl | sort | uniq -c | sed 's/^ *//'
+  1 "status":"ok"

@@ -1,0 +1,531 @@
+(* The concurrent query server: protocol decoding, the bounded queue,
+   deadlines, the document catalog, pipeline thread-safety, and full
+   over-the-socket round trips including overload, timeout and drain. *)
+
+module J = Sobs.Json
+module Protocol = Sserver.Protocol
+module Server = Sserver.Server
+module Bqueue = Sserver.Bqueue
+module Deadline = Sserver.Deadline
+module Catalog = Secview.Catalog
+module Pipeline = Secview.Pipeline
+
+(* ---- JSON parser --------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      J.Null; J.Bool true; J.Int 42; J.Int (-7); J.Float 1.5;
+      J.String "plain"; J.String "esc \"q\" \\ / \n \t \r";
+      J.List [ J.Int 1; J.String "two"; J.Null ];
+      J.Obj
+        [
+          ("a", J.Int 1);
+          ("nested", J.Obj [ ("xs", J.List [ J.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match J.of_string (J.to_string v) with
+      | Ok v' ->
+        Alcotest.(check string)
+          "round trip" (J.to_string v) (J.to_string v')
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    cases
+
+let test_json_errors () =
+  let bad = [ ""; "nul"; "{"; "[1,]"; "{\"a\":}"; "1 2"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    bad;
+  (match J.of_string " {\"k\": [1, 2.5, \"\\u00e9\"]} " with
+  | Ok (J.Obj [ ("k", J.List [ J.Int 1; J.Float 2.5; J.String "\xc3\xa9" ]) ])
+    -> ()
+  | Ok other -> Alcotest.failf "unexpected shape: %s" (J.to_string other)
+  | Error e -> Alcotest.failf "parse failed: %s" e)
+
+(* ---- protocol ------------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  (match Protocol.request_of_line (J.to_string (Protocol.hello ~peer:"p" "g"))
+   with
+  | Ok (Protocol.Hello { group = "g"; peer = Some "p" }) -> ()
+  | _ -> Alcotest.fail "hello did not round trip");
+  (match
+     Protocol.request_of_line
+       (J.to_string
+          (Protocol.query_json ~doc:"d" ~bind:[ ("x", "1") ] ~use_index:true
+             "//a"))
+   with
+  | Ok (Protocol.Query { doc = Some "d"; text = "//a"; bind = [ ("x", "1") ];
+                         use_index = true }) -> ()
+  | _ -> Alcotest.fail "query did not round trip");
+  List.iter
+    (fun (cmd, want) ->
+      match Protocol.request_of_line (J.to_string (Protocol.simple cmd)) with
+      | Ok got when got = want -> ()
+      | _ -> Alcotest.failf "%s did not round trip" cmd)
+    [ ("stats", Protocol.Stats); ("ping", Protocol.Ping);
+      ("shutdown", Protocol.Shutdown) ]
+
+let test_protocol_rejects () =
+  let bad =
+    [
+      "not json";
+      "{\"no\":\"cmd\"}";
+      "{\"cmd\":\"frob\"}";
+      "{\"cmd\":\"hello\"}";
+      "{\"cmd\":\"hello\",\"group\":7}";
+      "{\"cmd\":\"query\"}";
+      "{\"cmd\":\"query\",\"query\":\"//a\",\"bind\":[1]}";
+      "{\"cmd\":\"query\",\"query\":\"//a\",\"index\":\"yes\"}";
+      "{\"cmd\":\"sleep\",\"ms\":-5}";
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Protocol.request_of_line line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    bad
+
+(* ---- bounded queue -------------------------------------------------- *)
+
+let test_bqueue () =
+  let q = Bqueue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Bqueue.try_push q 1 = `Ok);
+  Alcotest.(check bool) "push 2" true (Bqueue.try_push q 2 = `Ok);
+  Alcotest.(check bool) "push 3 full" true (Bqueue.try_push q 3 = `Full);
+  Alcotest.(check int) "length" 2 (Bqueue.length q);
+  Alcotest.(check (option int)) "pop fifo" (Some 1) (Bqueue.pop q);
+  Bqueue.close q;
+  Alcotest.(check bool) "push closed" true (Bqueue.try_push q 4 = `Closed);
+  Alcotest.(check (option int)) "drains after close" (Some 2) (Bqueue.pop q);
+  Alcotest.(check (option int)) "then empty" None (Bqueue.pop q)
+
+let test_bqueue_threads () =
+  let q = Bqueue.create ~capacity:4 in
+  let popped = Atomic.make 0 in
+  let consumers =
+    List.init 3 (fun _ ->
+        Thread.create
+          (fun () ->
+            let rec go () =
+              match Bqueue.pop q with
+              | Some _ ->
+                Atomic.incr popped;
+                go ()
+              | None -> ()
+            in
+            go ())
+          ())
+  in
+  let pushed = ref 0 in
+  for i = 1 to 200 do
+    let rec push () =
+      match Bqueue.try_push q i with
+      | `Ok -> incr pushed
+      | `Full ->
+        Thread.yield ();
+        push ()
+      | `Closed -> Alcotest.fail "closed early"
+    in
+    push ()
+  done;
+  Bqueue.close q;
+  List.iter Thread.join consumers;
+  Alcotest.(check int) "all items popped" !pushed (Atomic.get popped)
+
+(* ---- deadlines ------------------------------------------------------ *)
+
+let test_deadline_cell () =
+  let c = Deadline.cell () in
+  Alcotest.(check bool) "first fill wins" true (Deadline.fill c 1);
+  Alcotest.(check bool) "second fill loses" false (Deadline.fill c 2);
+  Alcotest.(check (option int)) "value is first" (Some 1) (Deadline.peek c);
+  Alcotest.(check (option int)) "await filled" (Some 1)
+    (Deadline.await ~deadline_at:(Deadline.now () +. 1.) c);
+  let empty = Deadline.cell () in
+  Alcotest.(check (option int)) "await empty times out" None
+    (Deadline.await ~deadline_at:(Deadline.now () +. 0.02) empty)
+
+let test_deadline_run () =
+  (match Deadline.run ~seconds:1. (fun () -> 7) with
+  | Ok 7 -> ()
+  | _ -> Alcotest.fail "fast call should complete");
+  (match
+     Deadline.run ~seconds:0.02 (fun () ->
+         Thread.delay 0.3;
+         0)
+   with
+  | Error `Timeout -> ()
+  | Ok _ -> Alcotest.fail "slow call should time out");
+  match Deadline.run ~seconds:1. (fun () -> failwith "boom") with
+  | exception Failure msg when msg = "boom" -> ()
+  | _ -> Alcotest.fail "exceptions should re-raise"
+
+(* ---- catalog -------------------------------------------------------- *)
+
+let tree s = Sxml.Parse.of_string s
+
+let test_catalog_names () =
+  let c = Catalog.create () in
+  let e = Catalog.add c ~name:"a" (tree "<a><b/></a>") in
+  ignore (Catalog.add c ~name:"b" (tree "<x/>"));
+  Alcotest.(check (list string)) "names in order" [ "a"; "b" ]
+    (Catalog.names c);
+  Alcotest.(check bool) "find" true
+    (match Catalog.find c "a" with Some x -> x == e | None -> false);
+  Alcotest.(check bool) "missing" true (Catalog.find c "zz" = None);
+  Alcotest.(check int) "height" 2 (Catalog.height c e);
+  Alcotest.(check (option int)) "memoized" (Some 2) (Catalog.memoized_height e)
+
+let test_catalog_intern () =
+  let c = Catalog.create ~intern_capacity:2 () in
+  let d1 = tree "<a><b/></a>" and d2 = tree "<a/>" and d3 = tree "<a/>" in
+  let e1 = Catalog.intern c d1 in
+  Alcotest.(check bool) "same tree, same entry" true
+    (Catalog.intern c d1 == e1);
+  ignore (Catalog.height c e1);
+  ignore (Catalog.intern c d2);
+  ignore (Catalog.intern c d3);
+  (* capacity 2: d1's anonymous entry was evicted, so re-interning
+     recomputes the height *)
+  let walks_before = Catalog.height_walks c in
+  ignore (Catalog.height c (Catalog.intern c d1));
+  Alcotest.(check bool) "evicted entry recomputes" true
+    (Catalog.height_walks c > walks_before);
+  (* named entries never evict *)
+  let named = Catalog.add c ~name:"n" d2 in
+  Alcotest.(check bool) "named tree interns to named entry" true
+    (Catalog.intern c d2 == named)
+
+let test_catalog_height_once_concurrently () =
+  let c = Catalog.create () in
+  let e = Catalog.add c ~name:"d" (tree "<a><b><c/></b><b/></a>") in
+  let results = Array.make 8 0 in
+  let threads =
+    List.init 8 (fun i ->
+        Thread.create (fun () -> results.(i) <- Catalog.height c e) ())
+  in
+  List.iter Thread.join threads;
+  Array.iter (fun h -> Alcotest.(check int) "height" 3 h) results;
+  Alcotest.(check int) "one walk for 8 concurrent callers" 1
+    (Catalog.height_walks c)
+
+(* ---- pipeline thread-safety ----------------------------------------- *)
+
+let adex_groups () =
+  [
+    ("re", Workload.Adex.spec);
+    ("all", Secview.Spec.make Workload.Adex.dtd []);
+  ]
+
+let adex_docs () =
+  List.filteri
+    (fun i _ -> i < 2)
+    (List.map
+       (fun ds -> Workload.Datasets.load ds)
+       (Workload.Datasets.series ~scale:2 ()))
+
+let test_pipeline_hammer () =
+  let dtd = Workload.Adex.dtd in
+  let groups = adex_groups () in
+  let docs = adex_docs () in
+  let cells =
+    List.concat_map
+      (fun (g, _) ->
+        List.concat_map
+          (fun (_, q) -> List.map (fun d -> (g, q, d)) docs)
+          Workload.Adex.queries)
+      groups
+  in
+  let render ns =
+    String.concat "\n" (List.map (fun n -> Sxml.Print.to_string n) ns)
+  in
+  let reference = Pipeline.create dtd ~groups in
+  let expected =
+    List.map
+      (fun (g, q, d) -> render (Pipeline.answer reference ~group:g q d))
+      cells
+  in
+  let pipe = Pipeline.create dtd ~groups in
+  let wrong = Atomic.make 0 in
+  let n_threads = 8 and iters = 10 in
+  let worker () =
+    for _ = 1 to iters do
+      List.iter2
+        (fun (g, q, d) want ->
+          if not (String.equal (render (Pipeline.answer pipe ~group:g q d)) want)
+          then Atomic.incr wrong)
+        cells expected
+    done
+  in
+  let threads = List.init n_threads (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no wrong answers under contention" 0
+    (Atomic.get wrong);
+  (* per group: every answer call translates exactly once, so hits +
+     misses must equal the calls issued, and the cache must have
+     warmed up (misses well below calls) *)
+  let calls_per_group =
+    n_threads * iters * List.length Workload.Adex.queries * List.length docs
+  in
+  List.iter
+    (fun (g, (hits, misses)) ->
+      Alcotest.(check int)
+        (Printf.sprintf "hits+misses accounted for (%s)" g)
+        calls_per_group (hits + misses);
+      Alcotest.(check bool)
+        (Printf.sprintf "cache warmed (%s)" g)
+        true
+        (misses < calls_per_group && hits > 0))
+    (Pipeline.stats pipe)
+
+(* ---- the server over a real socket ---------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let connect path =
+  let give_up = Deadline.now () +. 5. in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> (fd, Unix.in_channel_of_descr fd)
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
+      when Deadline.now () < give_up ->
+      Unix.close fd;
+      Thread.delay 0.02;
+      go ()
+  in
+  go ()
+
+let send fd json = write_all fd (J.to_string json ^ "\n")
+let send_raw fd line = write_all fd (line ^ "\n")
+
+let recv ic =
+  match J.of_string (input_line ic) with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparsable reply: %s" e
+
+let reply_ok j =
+  match J.member "ok" j with Some (J.Bool b) -> b | _ -> false
+
+let reply_code j =
+  match J.member "code" j with Some (J.String c) -> Some c | _ -> None
+
+let check_code what want j =
+  if reply_ok j then Alcotest.failf "%s unexpectedly succeeded" what;
+  Alcotest.(check (option string)) what (Some want) (reply_code j)
+
+let with_server ?config ?audit ~docs () k =
+  let dtd = Workload.Adex.dtd in
+  let catalog = Catalog.create () in
+  List.iter (fun (n, d) -> ignore (Catalog.add catalog ~name:n d)) docs;
+  let pipe = Pipeline.create ~catalog dtd ~groups:(adex_groups ()) in
+  let server = Server.create ?config ?audit pipe in
+  let path = Filename.temp_file "secview-test" ".sock" in
+  Sys.remove path;
+  let th =
+    Thread.create (fun () -> Server.serve server [ Server.Unix_socket path ]) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* idempotent: tests that already drained just re-request *)
+      Server.request_drain server;
+      Thread.join th)
+    (fun () -> k server path)
+
+let test_server_roundtrips () =
+  let doc = List.hd (adex_docs ()) in
+  with_server ~docs:[ ("d1", doc) ] () @@ fun _server path ->
+  let fd, ic = connect path in
+  send fd (Protocol.simple "ping");
+  Alcotest.(check bool) "pong" true (reply_ok (recv ic));
+  (* queries before hello are refused *)
+  send fd (Protocol.query_json "//house");
+  check_code "no session" Protocol.no_session (recv ic);
+  send fd (Protocol.hello ~peer:"tests" "nosuch");
+  check_code "unknown group" Protocol.unknown_group (recv ic);
+  send_raw fd "this is not json";
+  check_code "bad json" Protocol.bad_request (recv ic);
+  send fd (Protocol.hello ~peer:"tests" "re");
+  let j = recv ic in
+  Alcotest.(check bool) "hello ok" true (reply_ok j);
+  Alcotest.(check bool) "session id" true (J.member "session" j <> None);
+  (* the answer matches the single-threaded pipeline byte for byte *)
+  let expected =
+    let reference =
+      Pipeline.create Workload.Adex.dtd ~groups:(adex_groups ())
+    in
+    List.map
+      (fun n -> Sxml.Print.to_string n)
+      (Pipeline.answer reference ~group:"re"
+         (Sxpath.Parse.of_string "//house") doc)
+  in
+  send fd (Protocol.query_json ~doc:"d1" "//house");
+  let j = recv ic in
+  Alcotest.(check bool) "query ok" true (reply_ok j);
+  (match J.member "results" j with
+  | Some (J.List rs) ->
+    Alcotest.(check (list string))
+      "byte-identical to Pipeline.answer" expected
+      (List.filter_map J.to_string_opt rs)
+  | _ -> Alcotest.fail "no results field");
+  send fd (Protocol.query_json ~doc:"zz" "//house");
+  check_code "unknown document" Protocol.unknown_document (recv ic);
+  send fd (Protocol.query_json ~doc:"d1" "//house[");
+  check_code "query parse error" Protocol.query_error (recv ic);
+  send fd (Protocol.simple "stats");
+  let j = recv ic in
+  Alcotest.(check bool) "stats ok" true (reply_ok j);
+  Alcotest.(check bool) "stats counters" true (J.member "counters" j <> None);
+  (* a plain server refuses the debug sleep command *)
+  send_raw fd "{\"cmd\":\"sleep\",\"ms\":1}";
+  check_code "sleep needs debug" Protocol.bad_request (recv ic);
+  Unix.close fd
+
+let test_server_overload () =
+  let config =
+    { Server.default_config with workers = 1; queue_capacity = 1; debug = true }
+  in
+  with_server ~config ~docs:[ ("d1", List.hd (adex_docs ())) ] ()
+  @@ fun _server path ->
+  let c1, ic1 = connect path in
+  let c2, ic2 = connect path in
+  let c3, ic3 = connect path in
+  (* c1 occupies the only worker, c2 fills the only queue slot, c3
+     must be turned away immediately — not enqueued, not hung *)
+  send_raw c1 "{\"cmd\":\"sleep\",\"ms\":400}";
+  Thread.delay 0.1;
+  send_raw c2 "{\"cmd\":\"sleep\",\"ms\":10}";
+  Thread.delay 0.1;
+  let t0 = Deadline.now () in
+  send_raw c3 "{\"cmd\":\"sleep\",\"ms\":10}";
+  let j3 = recv ic3 in
+  let waited = Deadline.now () -. t0 in
+  check_code "third request refused" Protocol.overloaded j3;
+  Alcotest.(check bool) "refused immediately, not queued" true (waited < 0.25);
+  Alcotest.(check bool) "first completes" true (reply_ok (recv ic1));
+  Alcotest.(check bool) "queued one completes" true (reply_ok (recv ic2));
+  List.iter Unix.close [ c1; c2; c3 ]
+
+let test_server_timeout () =
+  let config =
+    { Server.default_config with workers = 1; deadline = Some 0.05;
+      debug = true }
+  in
+  with_server ~config ~docs:[ ("d1", List.hd (adex_docs ())) ] ()
+  @@ fun _server path ->
+  let fd, ic = connect path in
+  send_raw fd "{\"cmd\":\"sleep\",\"ms\":300}";
+  check_code "deadline exceeded" Protocol.timeout (recv ic);
+  Unix.close fd
+
+let check_audit buf queries =
+  let lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  let requests =
+    List.filter_map
+      (fun l ->
+        match J.of_string l with
+        | Ok j when J.member "type" j = Some (J.String "request") -> Some j
+        | Ok _ -> None
+        | Error e -> Alcotest.failf "orphan/partial audit line %S: %s" l e)
+      lines
+  in
+  Alcotest.(check int) "one audit record per admitted query"
+    (List.length queries) (List.length requests);
+  List.iter
+    (fun j ->
+      Alcotest.(check (option string))
+        "group stamped" (Some "re")
+        (Option.bind (J.member "group" j) J.to_string_opt);
+      Alcotest.(check (option string))
+        "peer stamped" (Some "audit-test")
+        (Option.bind (J.member "peer" j) J.to_string_opt);
+      Alcotest.(check (option string))
+        "status ok" (Some "ok")
+        (Option.bind (J.member "status" j) J.to_string_opt))
+    requests
+
+let test_server_drain_audit () =
+  let buf = Buffer.create 512 in
+  let audit = Sobs.Audit_log.create (Sobs.Audit_log.Buffer buf) in
+  let doc = List.hd (adex_docs ()) in
+  let queries = [ "//house"; "//apartment"; "//house/location" ] in
+  with_server ~audit ~docs:[ ("d1", doc) ] () (fun _server path ->
+      let fd, ic = connect path in
+      send fd (Protocol.hello ~peer:"audit-test" "re");
+      Alcotest.(check bool) "hello" true (reply_ok (recv ic));
+      List.iter
+        (fun q ->
+          send fd (Protocol.query_json ~doc:"d1" q);
+          Alcotest.(check bool) q true (reply_ok (recv ic)))
+        queries;
+      send fd (Protocol.simple "shutdown");
+      Alcotest.(check bool) "shutdown acknowledged" true (reply_ok (recv ic));
+      Unix.close fd);
+  (* with_server joined the server thread on the way out, so the
+     audit buffer is complete: every admitted query has its record *)
+  check_audit buf queries
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trips" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_json_errors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "round trips" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "rejects bad requests" `Quick
+            test_protocol_rejects;
+        ] );
+      ( "bqueue",
+        [
+          Alcotest.test_case "bounded fifo" `Quick test_bqueue;
+          Alcotest.test_case "concurrent producers/consumers" `Quick
+            test_bqueue_threads;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "first fill wins" `Quick test_deadline_cell;
+          Alcotest.test_case "run with timeout" `Quick test_deadline_run;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "named entries" `Quick test_catalog_names;
+          Alcotest.test_case "interning + eviction" `Quick test_catalog_intern;
+          Alcotest.test_case "height computed once" `Quick
+            test_catalog_height_once_concurrently;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "hammer: determinism + stats" `Slow
+            test_pipeline_hammer;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "round trips" `Quick test_server_roundtrips;
+          Alcotest.test_case "overload" `Quick test_server_overload;
+          Alcotest.test_case "deadline" `Quick test_server_timeout;
+          Alcotest.test_case "drain flushes audit" `Quick
+            test_server_drain_audit;
+        ] );
+    ]
