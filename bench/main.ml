@@ -15,7 +15,7 @@
    Usage: dune exec bench/main.exe [-- --table1|--forms|--ablations]
                                    [-- --scale N] [-- --quick]
                                    [-- --json [--out FILE]] [-- --label L]
-                                   [-- --serve [--clients N]]
+                                   [-- --serve [--clients N]] [-- --engines]
 
    --json writes the Table 1 measurements (per-stage min/median/p95
    breakdowns for Q1-Q4 x D1-D4) to BENCH_PR2.json (or --out FILE),
@@ -27,10 +27,18 @@
    to the single-threaded Pipeline.answer baseline.  Writes
    throughput and per-group p50/p95/p99 to BENCH_PR3.json (or --out
    FILE).  --label stamps the results file with a run label (a
-   machine nickname without leaking hostnames into the repo). *)
+   machine nickname without leaking hostnames into the repo).
+
+   --engines is the PR 4 ablation: the compiled-plan executor vs the
+   set-at-a-time interpreter on Q1-Q4 x D1-D4, answers byte-compared,
+   written to BENCH_PR4.json (or --out FILE). *)
 
 module A = Sxpath.Ast
 module R = Sdtd.Regex
+
+(* all interpreter runs below go through the Ctx API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
 
 let time_once f =
   let t0 = Unix.gettimeofday () in
@@ -122,7 +130,7 @@ let table1 ?(json_out = None) ~label ~scale ~reps () =
             measure_stats ~reps (fun () -> Secview.Optimize.optimize dtd rewritten)
           in
           let optimized = Secview.Optimize.optimize dtd rewritten in
-          let count p d = List.length (Sxpath.Eval.eval p d) in
+          let count p d = List.length (eval p d) in
           let n_naive = count naive_q prepared in
           let n_rw = count rewritten doc in
           let n_opt = count optimized doc in
@@ -132,13 +140,13 @@ let table1 ?(json_out = None) ~label ~scale ~reps () =
                optimize %d\n"
               qname ds.Workload.Datasets.name n_naive n_rw n_opt;
           let s_naive =
-            measure_stats ~reps (fun () -> Sxpath.Eval.eval naive_q prepared)
+            measure_stats ~reps (fun () -> eval naive_q prepared)
           in
           let s_rw =
-            measure_stats ~reps (fun () -> Sxpath.Eval.eval rewritten doc)
+            measure_stats ~reps (fun () -> eval rewritten doc)
           in
           let s_opt =
-            measure_stats ~reps (fun () -> Sxpath.Eval.eval optimized doc)
+            measure_stats ~reps (fun () -> eval optimized doc)
           in
           let t_naive = s_naive.t_median
           and t_rw = s_rw.t_median
@@ -178,15 +186,15 @@ let table1 ?(json_out = None) ~label ~scale ~reps () =
                         ( "naive",
                           Sobs.Json.Int
                             (visited_during (fun () ->
-                                 Sxpath.Eval.eval naive_q prepared)) );
+                                 eval naive_q prepared)) );
                         ( "rewrite",
                           Sobs.Json.Int
                             (visited_during (fun () ->
-                                 Sxpath.Eval.eval rewritten doc)) );
+                                 eval rewritten doc)) );
                         ( "optimize",
                           Sobs.Json.Int
                             (visited_during (fun () ->
-                                 Sxpath.Eval.eval optimized doc)) );
+                                 eval optimized doc)) );
                       ] );
                 ]
               :: !rows)
@@ -436,18 +444,18 @@ let index_ablation ~scale ~reps () =
   List.iter
     (fun (name, q) ->
       let pt = Secview.Rewrite.rewrite view q in
-      let t_scan = measure ~reps (fun () -> Sxpath.Eval.eval pt doc) in
+      let t_scan = measure ~reps (fun () -> eval pt doc) in
       let t_idx =
-        measure ~reps (fun () -> Sxpath.Eval.eval ~index:idx pt doc)
+        measure ~reps (fun () -> eval ~index:idx pt doc)
       in
       (* the naive loosened form benefits far more: it is all
          descendant steps *)
       let naive_q = Secview.Naive.rewrite_query ~view q in
       let prepared = Secview.Naive.prepare Workload.Adex.spec doc in
       let pidx = Sxml.Index.build prepared in
-      let tn_scan = measure ~reps (fun () -> Sxpath.Eval.eval naive_q prepared) in
+      let tn_scan = measure ~reps (fun () -> eval naive_q prepared) in
       let tn_idx =
-        measure ~reps (fun () -> Sxpath.Eval.eval ~index:pidx naive_q prepared)
+        measure ~reps (fun () -> eval ~index:pidx naive_q prepared)
       in
       let spd a b = if b > 1e-9 then Printf.sprintf "%7.1fx" (a /. b) else "      -" in
       Printf.printf "%-6s | %10.3f %10.3f | %s   (naive: %.1f -> %.1f ms, %s)\n"
@@ -480,10 +488,10 @@ let xmark_bench ~reps () =
       let naive_q = Secview.Naive.rewrite_query ~view q in
       let rewritten = Secview.Rewrite.rewrite_with_height view ~height q in
       let optimized = Secview.Optimize.optimize dtd rewritten in
-      let n = List.length (Sxpath.Eval.eval rewritten doc) in
-      let t_naive = measure ~reps (fun () -> Sxpath.Eval.eval naive_q prepared) in
-      let t_rw = measure ~reps (fun () -> Sxpath.Eval.eval rewritten doc) in
-      let t_opt = measure ~reps (fun () -> Sxpath.Eval.eval optimized doc) in
+      let n = List.length (eval rewritten doc) in
+      let t_naive = measure ~reps (fun () -> eval naive_q prepared) in
+      let t_rw = measure ~reps (fun () -> eval rewritten doc) in
+      let t_opt = measure ~reps (fun () -> eval optimized doc) in
       Printf.printf "%-6s %8d | %10.3f %10.3f %10.3f\n" name n
         (1000. *. t_naive) (1000. *. t_rw) (1000. *. t_opt))
     Workload.Xmark.queries;
@@ -581,7 +589,7 @@ let serve_bench ~label ~scale ~reps ~clients ~out () =
             List.map
               (fun (dname, doc) ->
                 let answers =
-                  Secview.Pipeline.answer reference ~group:g q doc
+                  Secview.Pipeline.answer_exn reference ~group:g q doc
                 in
                 ( (g, qname, dname),
                   String.concat "\n"
@@ -726,6 +734,110 @@ let serve_bench ~label ~scale ~reps ~clients ~out () =
   if Atomic.get wrong > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Engine ablation: the PR 4 physical-plan executor vs the            *)
+(* interpreter, same translated queries, byte-compared answers        *)
+
+let engines_bench ~label ~scale ~reps ~out () =
+  let dtd = Workload.Adex.dtd in
+  let groups = [ ("re", Workload.Adex.spec) ] in
+  Printf.printf
+    "## Engine ablation: interpreter vs compiled plans (times in ms)\n\n\
+     Same pipeline, same translated queries; both engines get the\n\
+     document's tag/extent index, so the delta is plan execution\n\
+     (binary-searched interval joins) vs the set-at-a-time\n\
+     interpreter.  Answers are byte-compared per cell.\n\n";
+  Printf.printf "%-6s %-4s %9s %8s | %10s %10s | %8s\n" "Query" "Data"
+    "elements" "results" "Interp" "Plan" "I/P";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let catalog = Secview.Catalog.create () in
+  let pipe = Secview.Pipeline.create ~catalog dtd ~groups in
+  let rows = ref [] in
+  let mismatches = ref 0 in
+  List.iter
+    (fun ds ->
+      let doc = Workload.Datasets.load ds in
+      let elements = Sxml.Tree.count_elements doc in
+      let index = Sxml.Index.build doc in
+      List.iter
+        (fun (qname, q) ->
+          let run engine () =
+            Secview.Pipeline.answer_exn pipe ~group:"re" ~engine ~index q doc
+          in
+          let render ns =
+            String.concat "\n" (List.map (fun n -> Sxml.Print.to_string n) ns)
+          in
+          let a_interp = render (run Secview.Pipeline.Interp ()) in
+          let a_plan = render (run Secview.Pipeline.Plan ()) in
+          let identical = String.equal a_interp a_plan in
+          if not identical then begin
+            incr mismatches;
+            Printf.printf "!! engines disagree on %s/%s\n" qname
+              ds.Workload.Datasets.name
+          end;
+          let s_interp =
+            measure_stats ~reps (run Secview.Pipeline.Interp)
+          in
+          let s_plan = measure_stats ~reps (run Secview.Pipeline.Plan) in
+          let ratio a b =
+            if b > 1e-9 then Printf.sprintf "%7.1fx" (a /. b) else "      -"
+          in
+          let results =
+            List.length (run Secview.Pipeline.Plan ())
+          in
+          Printf.printf "%-6s %-4s %9d %8d | %10.3f %10.3f | %s\n" qname
+            ds.Workload.Datasets.name elements results
+            (1000. *. s_interp.t_median) (1000. *. s_plan.t_median)
+            (ratio s_interp.t_median s_plan.t_median);
+          rows :=
+            Sobs.Json.Obj
+              [
+                ("query", Sobs.Json.String qname);
+                ("dataset", Sobs.Json.String ds.Workload.Datasets.name);
+                ("elements", Sobs.Json.Int elements);
+                ("results", Sobs.Json.Int results);
+                ("identical", Sobs.Json.Bool identical);
+                ( "eval_ms",
+                  Sobs.Json.Obj
+                    [
+                      ("interp", stats_ms_json s_interp);
+                      ("plan", stats_ms_json s_plan);
+                    ] );
+              ]
+            :: !rows)
+        Workload.Adex.queries;
+      Printf.printf "%s\n" (String.make 66 '-'))
+    (Workload.Datasets.series ~scale ());
+  let stats = Secview.Pipeline.cache_stats pipe ~group:"re" in
+  Printf.printf
+    "plan cache: %d hit(s) %d miss(es), %d compiled, %d fallback(s)\n\n"
+    stats.Secview.Pipeline.plan_hits stats.Secview.Pipeline.plan_misses
+    stats.Secview.Pipeline.plan_compiles stats.Secview.Pipeline.plan_fallbacks;
+  let doc =
+    Sobs.Json.Obj
+      [
+        ("bench", Sobs.Json.String "engines");
+        ("meta", meta_json ~label ~scale ~reps []);
+        ("mismatches", Sobs.Json.Int !mismatches);
+        ( "plan_cache",
+          Sobs.Json.Obj
+            [
+              ("hits", Sobs.Json.Int stats.Secview.Pipeline.plan_hits);
+              ("misses", Sobs.Json.Int stats.Secview.Pipeline.plan_misses);
+              ("compiles", Sobs.Json.Int stats.Secview.Pipeline.plan_compiles);
+              ( "fallbacks",
+                Sobs.Json.Int stats.Secview.Pipeline.plan_fallbacks );
+            ] );
+        ("rows", Sobs.Json.List (List.rev !rows));
+      ]
+  in
+  let oc = open_out out in
+  Sobs.Json.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(machine-readable results written to %s)\n\n" out;
+  if !mismatches > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -756,7 +868,8 @@ let () =
   let all =
     not
       (has "--table1" || has "--forms" || has "--ablations" || has "--approx"
-     || has "--index" || has "--xmark" || has "--json" || has "--serve")
+     || has "--index" || has "--xmark" || has "--json" || has "--serve"
+     || has "--engines")
   in
   if all || has "--forms" then forms ();
   if all || has "--table1" || has "--json" then
@@ -765,6 +878,10 @@ let () =
   if all || has "--index" then index_ablation ~scale:(scale / 4) ~reps ();
   if all || has "--xmark" then xmark_bench ~reps ();
   if all || has "--approx" then approx ();
+  if has "--engines" then
+    engines_bench ~label ~scale ~reps
+      ~out:(flag_value "--out" "BENCH_PR4.json")
+      ();
   if has "--serve" then
     serve_bench ~label ~scale ~reps ~clients
       ~out:(flag_value "--out" "BENCH_PR3.json")

@@ -246,9 +246,25 @@ let open_audit_log ?tracer = function
   | "-" -> Sobs.Audit_log.create ?tracer Sobs.Audit_log.Stderr
   | path -> Sobs.Audit_log.open_file ?tracer path
 
+let engine_arg =
+  let doc =
+    "Execution engine for translated queries: $(b,plan) compiles them to \
+     physical plans over the preorder index (falling back to the \
+     interpreter outside the plan fragment, see lint SV301), $(b,interp) \
+     always runs the set-at-a-time interpreter.  Answers are identical."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("interp", Secview.Pipeline.Interp);
+             ("plan", Secview.Pipeline.Plan) ])
+        Secview.Pipeline.Plan
+    & info [ "engine" ] ~docv:"NAME" ~doc)
+
 let query_cmd =
-  let run dtd_path root spec_path doc_path queries bindings approach indexed
-      stats strict timeout trace metrics audit_log =
+  let run dtd_path root spec_path doc_path queries bindings approach engine
+      indexed stats strict timeout trace metrics audit_log =
     if queries = [] then failwith "query: at least one QUERY is required";
     let observing = trace || metrics || audit_log <> None in
     let registry = Sobs.Metrics.create () in
@@ -282,18 +298,18 @@ let query_cmd =
         let index =
           if indexed then Some (Sxml.Index.build prepared) else None
         in
+        let ctx = Sxpath.Eval.Ctx.make ~env ?index ~root:prepared () in
         List.concat_map
           (fun q ->
-            Sxpath.Eval.eval ~env ?index
-              (Secview.Naive.rewrite_query ~view q)
-              prepared)
+            Sxpath.Eval.run ctx (Secview.Naive.rewrite_query ~view q))
           qs
       | `Rewrite ->
         let height = element_height doc in
+        let ctx = Sxpath.Eval.Ctx.make ~env ?index ~root:doc () in
         List.concat_map
           (fun q ->
             let pt = Secview.Rewrite.rewrite_with_height view ~height q in
-            Sxpath.Eval.eval ~env ?index pt doc)
+            Sxpath.Eval.run ctx pt)
           qs
       | `Optimize ->
         (* the full Fig. 3 loop: rewrite + optimize through the
@@ -311,14 +327,21 @@ let query_cmd =
         Option.iter Sobs.Audit_log.install alog;
         let answers =
           List.concat_map
-            (fun q -> Secview.Pipeline.answer pipe ~group:"user" ~env ?index q doc)
+            (fun q ->
+              Secview.Pipeline.answer_exn pipe ~group:"user" ~engine ~env
+                ?index q doc)
             qs
         in
         if stats then
           List.iter
-            (fun (g, (hits, misses)) ->
-              Printf.eprintf "translation cache[%s]: %d hit(s), %d miss(es)\n"
-                g hits misses)
+            (fun (g, s) ->
+              Printf.eprintf
+                "cache[%s]: translation %d hit(s) %d miss(es); plans %d \
+                 hit(s) %d miss(es), %d compiled, %d fallback(s)\n"
+                g s.Secview.Pipeline.hits s.Secview.Pipeline.misses
+                s.Secview.Pipeline.plan_hits s.Secview.Pipeline.plan_misses
+                s.Secview.Pipeline.plan_compiles
+                s.Secview.Pipeline.plan_fallbacks)
             (Secview.Pipeline.stats pipe);
         answers
     in
@@ -350,8 +373,8 @@ let query_cmd =
       value & flag
       & info [ "stats" ]
           ~doc:
-            "Report the pipeline's translation-cache statistics on stderr \
-             (optimize approach only).")
+            "Report the pipeline's translation- and plan-cache statistics \
+             on stderr (optimize approach only).")
   in
   let strict_arg =
     Arg.(
@@ -404,11 +427,12 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Securely evaluate view queries on a document")
     Term.(
       const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ queries_arg
-      $ bind_arg $ approach_arg $ index_arg $ stats_arg $ strict_arg
-      $ timeout_arg $ trace_arg $ metrics_arg $ audit_log_arg)
+      $ bind_arg $ approach_arg $ engine_arg $ index_arg $ stats_arg
+      $ strict_arg $ timeout_arg $ trace_arg $ metrics_arg $ audit_log_arg)
 
 let metrics_cmd =
-  let run dtd_path root spec_path doc_path bindings repeat json queries =
+  let run dtd_path root spec_path doc_path bindings engine repeat json
+      queries =
     if queries = [] then failwith "metrics: at least one QUERY is required";
     let registry = Sobs.Metrics.create () in
     let tracer = Sobs.Tracer.create ~metrics:registry () in
@@ -422,7 +446,9 @@ let metrics_cmd =
       (fun qs ->
         let q = Sxpath.Parse.of_string qs in
         for _ = 1 to repeat do
-          ignore (Secview.Pipeline.answer pipe ~group:"user" ~env q doc)
+          ignore
+            (Secview.Pipeline.answer_exn pipe ~group:"user" ~engine ~env q
+               doc)
         done)
       queries;
     Sobs.Tracer.uninstall ();
@@ -454,7 +480,7 @@ let metrics_cmd =
           registry (counters + per-stage latency percentiles)")
     Term.(
       const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ bind_arg
-      $ repeat_arg $ json_arg $ queries_arg)
+      $ engine_arg $ repeat_arg $ json_arg $ queries_arg)
 
 let lint_cmd =
   let run dtd_path root spec_path view_path machine audit_log queries =
@@ -616,7 +642,7 @@ let host_arg =
 
 let serve_cmd =
   let run dtd_path root spec_path group_specs docs socket tcp host workers
-      queue deadline audit_log debug strict preload =
+      queue deadline engine audit_log debug strict preload =
     let dtd = load_dtd root dtd_path in
     let named =
       (match spec_path with Some p -> [ ("user", p) ] | None -> [])
@@ -640,7 +666,8 @@ let serve_cmd =
     let pipe = Secview.Pipeline.create ~strict ~catalog dtd ~groups in
     let alog = Option.map (fun p -> open_audit_log p) audit_log in
     let config =
-      { Sserver.Server.workers; queue_capacity = queue; deadline; debug }
+      { Sserver.Server.workers; queue_capacity = queue; deadline; debug;
+        engine }
     in
     let server = Sserver.Server.create ~config ?audit:alog pipe in
     let listeners =
@@ -745,7 +772,8 @@ let serve_cmd =
     Term.(
       const run $ dtd_arg $ root_arg $ spec_opt_arg $ group_arg $ docs_arg
       $ socket_arg $ tcp_arg $ host_arg $ workers_arg $ queue_arg
-      $ deadline_arg $ audit_log_arg $ debug_arg $ strict_arg $ preload_arg)
+      $ deadline_arg $ engine_arg $ audit_log_arg $ debug_arg $ strict_arg
+      $ preload_arg)
 
 let client_cmd =
   let run socket tcp host wait group peer doc_name bindings indexed ping
@@ -935,6 +963,9 @@ let main =
 let () =
   match Cmd.eval ~catch:false main with
   | code -> exit code
+  | exception Secview.Error.E e ->
+    Printf.eprintf "secview: %s\n" (Secview.Error.to_string e);
+    exit (Secview.Error.exit_code e)
   | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
     Printf.eprintf "secview: %s\n" msg;
     exit 2

@@ -41,11 +41,17 @@ let () =
       Format.printf "  rewritten form %a@." Sxpath.Print.pp rewritten;
       Format.printf "  optimized form %a@." Sxpath.Print.pp optimized;
       let r_naive, w_naive, t_naive =
-        work (fun () -> Sxpath.Eval.eval naive_q prepared)
+        work (fun () ->
+            Sxpath.Eval.run
+              (Sxpath.Eval.Ctx.make ~root:prepared ())
+              naive_q)
       in
-      let r_rw, w_rw, t_rw = work (fun () -> Sxpath.Eval.eval rewritten doc) in
+      let r_rw, w_rw, t_rw =
+        work (fun () -> Sxpath.Eval.run (Sxpath.Eval.Ctx.make ~root:doc ()) rewritten)
+      in
       let r_opt, w_opt, t_opt =
-        work (fun () -> Sxpath.Eval.eval optimized doc)
+        work (fun () ->
+            Sxpath.Eval.run (Sxpath.Eval.Ctx.make ~root:doc ()) optimized)
       in
       Format.printf
         "  naive    : %4d results  %8d nodes visited  %7.2f ms@."

@@ -26,7 +26,8 @@ let () =
   section "The inference attack of Example 1.1";
   let p1, p2 = Workload.Hospital.inference_queries in
   let names p doc =
-    List.map Sxml.Tree.string_value (Sxpath.Eval.eval ~env p doc)
+    List.map Sxml.Tree.string_value
+      (Sxpath.Eval.run (Sxpath.Eval.Ctx.make ~env ~root:doc ()) p)
   in
   Format.printf
     "If nurses could query the raw document with the full DTD:@.";
@@ -62,7 +63,7 @@ let () =
   Format.printf "  rewritten : %a@." Sxpath.Print.pp pt;
   List.iter
     (fun n -> Format.printf "  -> bill %s@." (Sxml.Tree.string_value n))
-    (Sxpath.Eval.eval ~env pt doc);
+    (Sxpath.Eval.run (Sxpath.Eval.Ctx.make ~env ~root:doc ()) pt);
 
   section "Dummies hide labels but keep structure";
   let q = Sxpath.Parse.of_string "//treatment/*" in

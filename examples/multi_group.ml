@@ -62,7 +62,8 @@ let () =
         (fun q ->
           let pt = Secview.Rewrite.rewrite view q in
           let answers =
-            List.map Sxml.Tree.string_value (Sxpath.Eval.eval ~env pt doc)
+            List.map Sxml.Tree.string_value
+              (Sxpath.Eval.run (Sxpath.Eval.Ctx.make ~env ~root:doc ()) pt)
           in
           Format.printf "  %-18s -> %s@."
             (Sxpath.Print.to_string q)

@@ -59,7 +59,7 @@ let () =
     Format.printf "optimized  %a@." Sxpath.Print.pp optimized;
     List.iter
       (fun node -> Format.printf "  -> %a@." Sxml.Tree.pp node)
-      (Sxpath.Eval.eval optimized doc)
+      (Sxpath.Eval.run (Sxpath.Eval.Ctx.make ~root:doc ()) optimized)
   in
   run "//product/name";
   run "//product[price = \"35\"]";

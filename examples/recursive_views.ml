@@ -39,7 +39,7 @@ let () =
       let q = Sxpath.Parse.of_string "//b" in
       let pt = Secview.Rewrite.rewrite_with_height view ~height:h q in
       Format.printf "//b rewrites to: %a@." Sxpath.Print.pp pt;
-      let results = Sxpath.Eval.eval pt doc in
+      let results = Sxpath.Eval.run (Sxpath.Eval.Ctx.make ~root:doc ()) pt in
       Format.printf "results: %s@."
         (String.concat ", " (List.map Sxml.Tree.string_value results));
       (* the hidden b child of the root never appears *)

@@ -346,6 +346,24 @@ let check_query ?name vdtd q =
              (Printf.sprintf "%s (dead branch; the optimizer prunes it)"
                 (dead_step_message vdtd d))))
       (List.rev !deads);
+  (* SV30x: execution-engine notes (the plan compiler is static, so
+     its fallbacks are too) *)
+  (match Splan.Compile.compile q with
+  | Ok _ -> ()
+  | Error reason ->
+    add
+      (D.make ~code:"SV301" ~severity:D.Info ~subject
+         (Printf.sprintf
+            "outside the plan engine's fragment (%s); evaluation falls \
+             back to the interpreter"
+            reason)));
+  if r <> [] && List.for_all (fun ty -> String.length ty > 0 && ty.[0] = '@') r
+  then
+    add
+      (D.make ~code:"SV302" ~severity:D.Warning ~subject
+         "the query yields only attribute values, which top-level \
+          evaluation drops (only [p] and [p = c] qualifiers observe \
+          them) — the answer is always the empty node set");
   List.rev !ds
 
 (* ------------------------------------------------------------------ *)

@@ -29,6 +29,13 @@
       SV204 warning  qualifier vacuously false under DTD constraints
       SV205 error    attribute step undeclared in the view DTD
                      (rewriting silently translates it to ∅)
+
+    Execution engine
+      SV301 info     outside the plan engine's fragment (descendant
+                     step with no single-label head); the plan engine
+                     falls back to the interpreter
+      SV302 warning  query yields only attribute values, which
+                     top-level evaluation drops
     v} *)
 
 val check_spec : Secview.Spec.t -> Diagnostic.t list
@@ -44,8 +51,9 @@ val check_view : dtd:Sdtd.Dtd.t -> Secview.View.t -> Diagnostic.t list
 
 val check_query :
   ?name:string -> Sdtd.Dtd.t -> Sxpath.Ast.path -> Diagnostic.t list
-(** Query lints (SV201–SV205) against a (view) DTD.  [name] labels
-    the diagnostics' subject; default: the printed query. *)
+(** Query lints (SV201–SV205, SV301–SV302) against a (view) DTD.
+    [name] labels the diagnostics' subject; default: the printed
+    query. *)
 
 val check_all :
   dtd:Sdtd.Dtd.t ->

@@ -3,6 +3,7 @@ module IntSet = Set.Make (Int)
 let no_env : string -> string option = fun _ -> None
 
 let accessible_set ?(env = no_env) spec doc =
+  let ctx = Sxpath.Eval.Ctx.make ~env ~root:doc () in
   let result = ref IntSet.empty in
   (* anc_ok: every conditional annotation on a strict ancestor holds.
      parent_acc: the parent is accessible (for inheritance). *)
@@ -22,7 +23,7 @@ let accessible_set ?(env = no_env) spec doc =
       | Some Spec.Yes -> (anc_ok, true)
       | Some Spec.No -> (false, true)
       | Some (Spec.Cond q) ->
-        let holds = Sxpath.Eval.holds ~env q node in
+        let holds = Sxpath.Eval.check ctx q node in
         (anc_ok && holds, holds)
       | None -> (parent_acc, true)
     in
@@ -58,7 +59,8 @@ let rec anc_ok ~env spec ~parent_tag (target : Sxml.Tree.t)
             | Sxml.Tree.Element e -> e.tag
             | Sxml.Tree.Text _ -> Sdtd.Regex.pcdata)
       with
-      | Some (Spec.Cond q) -> Some (Sxpath.Eval.holds ~env q node)
+      | Some (Spec.Cond q) ->
+        Some (Sxpath.Eval.check (Sxpath.Eval.Ctx.make ~env ~root:node ()) q node)
       | _ -> Some true)
   in
   if node.Sxml.Tree.id = target.Sxml.Tree.id then self_qual_ok ()

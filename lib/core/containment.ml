@@ -23,7 +23,9 @@ let refute ?(samples = 20) ?(seed = 0) dtd p1 p2 ~at =
       let witness =
         List.exists
           (fun v ->
-            not (subset (Sxpath.Eval.eval p1 v) (Sxpath.Eval.eval p2 v)))
+            let ctx = Sxpath.Eval.Ctx.make ~root:v () in
+            not
+              (subset (Sxpath.Eval.run ctx p1) (Sxpath.Eval.run ctx p2)))
           contexts
       in
       if witness then Some doc else go (i + 1)

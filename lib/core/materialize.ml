@@ -31,7 +31,9 @@ let materialize ?env ~spec ~view doc =
       List.concat_map
         (fun b ->
           let q = View.sigma_exn view ~parent:vlabel ~child:b in
-          let extracted = Sxpath.Eval.eval ?env q source in
+          let extracted =
+            Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ~root:source ()) q
+          in
           let kept =
             if View.is_dummy view b then extracted
             else List.filter is_accessible extracted

@@ -49,4 +49,6 @@ let rewrite_query ?view p =
 let prepare ?env spec doc = Access.annotate ?env ~attribute spec doc
 
 let eval ?env ?view p doc =
-  Sxpath.Eval.eval ?env (rewrite_query ?view p) doc
+  Sxpath.Eval.run
+    (Sxpath.Eval.Ctx.make ?env ~root:doc ())
+    (rewrite_query ?view p)

@@ -3,13 +3,43 @@ type group = {
   view : View.t;
 }
 
+type engine =
+  | Interp
+  | Plan
+
+(* Cached translation entry: the rewritten+optimized query plus the
+   lazily compiled physical plan for it.  [plan] is guarded by the
+   owning group's lock. *)
+type plan_state =
+  | Unplanned
+  | Planned of Splan.Compile.t
+  | Fallback of string  (* compile refusal reason; use the interpreter *)
+
+type centry = {
+  translated : Sxpath.Ast.path;
+  mutable plan : plan_state;
+}
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  plan_hits : int;
+  plan_misses : int;
+  plan_compiles : int;
+  plan_fallbacks : int;
+}
+
 type group_state = {
   info : group;
   recursive : bool;
-  lock : Mutex.t;  (* guards [cache], [hits], [misses] *)
-  cache : (Sxpath.Ast.path * int option, Sxpath.Ast.path) Hashtbl.t;
+  lock : Mutex.t;  (* guards [cache] (incl. entry plans) and counters *)
+  cache : (Sxpath.Ast.path * int option, centry) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable plan_compiles : int;
+  mutable plan_fallbacks : int;
 }
 
 type t = {
@@ -60,6 +90,10 @@ let of_views ?catalog dtd pairs =
           cache = Hashtbl.create 32;
           hits = 0;
           misses = 0;
+          plan_hits = 0;
+          plan_misses = 0;
+          plan_compiles = 0;
+          plan_fallbacks = 0;
         })
     pairs;
   let catalog =
@@ -116,30 +150,29 @@ let view_dtd t ~group = View.dtd (state t group).info.view
    while evaluation, which runs fully concurrently, is data-sized.
    Exactly one of hits/misses is bumped per call, so per-group
    hits + misses always equals calls issued. *)
-let translate t ~group ?height q =
-  let st = state t group in
+let translate_entry t st ~group ?height q =
   let key = (q, height) in
   let cached =
     Mutex.protect st.lock (fun () ->
         match Hashtbl.find_opt st.cache key with
-        | Some p ->
+        | Some ce ->
           st.hits <- st.hits + 1;
-          Some p
+          Some ce
         | None ->
           st.misses <- st.misses + 1;
           None)
   in
   match cached with
-  | Some p ->
+  | Some ce ->
     if Trace.enabled () then Trace.count ("pipeline.cache.hit." ^ group) 1;
-    p
+    ce
   | None ->
     if Trace.enabled () then Trace.count ("pipeline.cache.miss." ^ group) 1;
     Mutex.protect t.translate_lock (fun () ->
         (* another thread may have translated this key while we waited *)
         match Mutex.protect st.lock (fun () -> Hashtbl.find_opt st.cache key)
         with
-        | Some p -> p
+        | Some ce -> ce
         | None ->
           let optimized =
             Trace.span "translate" @@ fun () ->
@@ -155,9 +188,55 @@ let translate t ~group ?height q =
             in
             Optimize.optimize t.dtd rewritten
           in
-          Mutex.protect st.lock (fun () ->
-              Hashtbl.replace st.cache key optimized);
-          optimized)
+          let ce = { translated = optimized; plan = Unplanned } in
+          Mutex.protect st.lock (fun () -> Hashtbl.replace st.cache key ce);
+          ce)
+
+let translate t ~group ?height q =
+  (translate_entry t (state t group) ~group ?height q).translated
+
+(* The physical plan for a cached translation, compiled at most once
+   per entry (same hit/miss discipline as translation: exactly one of
+   plan_hits/plan_misses per lookup).  Compilation is pure and
+   AST-sized, so a race between two cold threads at worst compiles
+   twice and counts one compile. *)
+let plan_of st ~group ce =
+  let cached =
+    Mutex.protect st.lock (fun () ->
+        match ce.plan with
+        | Unplanned ->
+          st.plan_misses <- st.plan_misses + 1;
+          None
+        | Planned p ->
+          st.plan_hits <- st.plan_hits + 1;
+          Some (Ok p)
+        | Fallback reason ->
+          st.plan_hits <- st.plan_hits + 1;
+          Some (Error reason))
+  in
+  match cached with
+  | Some r ->
+    if Trace.enabled () then Trace.count ("pipeline.plan.hit." ^ group) 1;
+    r
+  | None ->
+    if Trace.enabled () then Trace.count ("pipeline.plan.miss." ^ group) 1;
+    let compiled =
+      Trace.span "plan" (fun () -> Splan.Compile.compile ce.translated)
+    in
+    Mutex.protect st.lock (fun () ->
+        match ce.plan with
+        | Planned p -> Ok p
+        | Fallback reason -> Error reason
+        | Unplanned -> (
+          match compiled with
+          | Ok p ->
+            ce.plan <- Planned p;
+            st.plan_compiles <- st.plan_compiles + 1;
+            Ok p
+          | Error reason ->
+            ce.plan <- Fallback reason;
+            st.plan_fallbacks <- st.plan_fallbacks + 1;
+            Error reason))
 
 let doc_height t doc =
   let entry = Catalog.intern t.catalog doc in
@@ -177,7 +256,34 @@ let request_height t st ?height doc =
 
 let cached_mem st key = Mutex.protect st.lock (fun () -> Hashtbl.mem st.cache key)
 
-let answer_observed t st ~group ?env ?index ?height q doc =
+(* The index the plan engine executes over: the caller's if given,
+   else the catalog's memoized one.  A context that is not a document
+   root cannot be indexed — the engine falls back to the interpreter
+   (only reachable through direct library use; the CLI and server
+   always answer at document roots). *)
+let exec_index t ?index (doc : Sxml.Tree.t) =
+  match index with
+  | Some _ -> index
+  | None ->
+    if doc.Sxml.Tree.id = 0 then
+      Some (Catalog.index (Catalog.intern t.catalog doc))
+    else None
+
+let interp ?env ?index translated doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) translated
+
+let run_engine t st ~group ~engine ?env ?index ce doc =
+  match engine with
+  | Interp -> fun () -> interp ?env ?index ce.translated doc
+  | Plan -> (
+    match exec_index t ?index doc with
+    | None -> fun () -> interp ?env ?index ce.translated doc
+    | Some idx -> (
+      match plan_of st ~group ce with
+      | Ok compiled -> fun () -> Splan.Exec.run compiled ~index:idx ?env doc
+      | Error _ -> fun () -> interp ?env ~index:idx ce.translated doc))
+
+let answer_observed t st ~group ~engine ?env ?index ?height q doc =
   Trace.span "answer" @@ fun () ->
   let height = request_height t st ?height doc in
   let cache_hit = cached_mem st (q, height) in
@@ -185,40 +291,62 @@ let answer_observed t st ~group ?env ?index ?height q doc =
     Trace.audit { Trace.group; query = q; translated; cache_hit; height;
                   results; error }
   in
-  match translate t ~group ?height q with
+  match translate_entry t st ~group ?height q with
   | exception e ->
     if Trace.audit_enabled () then finish None 0 (Some (Printexc.to_string e));
     raise e
-  | translated -> (
-    let v0 = !Sxpath.Eval.visited in
-    match Trace.span "eval" (fun () -> Sxpath.Eval.eval ?env ?index translated doc)
+  | ce -> (
+    let v0 = !Sxpath.Eval.visited + !Splan.Exec.visited in
+    match
+      let runner = run_engine t st ~group ~engine ?env ?index ce doc in
+      Trace.span "eval" runner
     with
     | exception e ->
-      Trace.value "eval.visited" (!Sxpath.Eval.visited - v0);
+      Trace.value "eval.visited"
+        (!Sxpath.Eval.visited + !Splan.Exec.visited - v0);
       if Trace.audit_enabled () then
-        finish (Some translated) 0 (Some (Printexc.to_string e));
+        finish (Some ce.translated) 0 (Some (Printexc.to_string e));
       raise e
     | results ->
-      Trace.value "eval.visited" (!Sxpath.Eval.visited - v0);
+      Trace.value "eval.visited"
+        (!Sxpath.Eval.visited + !Splan.Exec.visited - v0);
       if Trace.audit_enabled () then
-        finish (Some translated) (List.length results) None;
+        finish (Some ce.translated) (List.length results) None;
       results)
 
-let answer t ~group ?env ?index ?height q doc =
-  let st = state t group in
-  if Trace.enabled () || Trace.audit_enabled () then
-    answer_observed t st ~group ?env ?index ?height q doc
-  else
-    let height = request_height t st ?height doc in
-    Sxpath.Eval.eval ?env ?index (translate t ~group ?height q) doc
+let answer t ~group ?(engine = Plan) ?env ?index ?height q doc =
+  match state t group with
+  | exception Not_found ->
+    Error (Error.Unknown_group { group; known = t.order })
+  | st -> (
+    match
+      if Trace.enabled () || Trace.audit_enabled () then
+        answer_observed t st ~group ~engine ?env ?index ?height q doc
+      else
+        let height = request_height t st ?height doc in
+        let ce = translate_entry t st ~group ?height q in
+        (run_engine t st ~group ~engine ?env ?index ce doc) ()
+    with
+    | results -> Ok results
+    | exception Rewrite.Unsupported msg -> Error (Error.Unsupported msg)
+    | exception Sxpath.Eval.Unbound_variable name ->
+      Error (Error.Unbound_variable name))
+
+let answer_exn t ~group ?engine ?env ?index ?height q doc =
+  match answer t ~group ?engine ?env ?index ?height q doc with
+  | Ok results -> results
+  | Error e -> raise (Error.E e)
 
 let cache_stats t ~group =
   let st = state t group in
-  Mutex.protect st.lock (fun () -> (st.hits, st.misses))
+  Mutex.protect st.lock (fun () ->
+      {
+        hits = st.hits;
+        misses = st.misses;
+        plan_hits = st.plan_hits;
+        plan_misses = st.plan_misses;
+        plan_compiles = st.plan_compiles;
+        plan_fallbacks = st.plan_fallbacks;
+      })
 
-let stats t =
-  List.map
-    (fun name ->
-      let st = Hashtbl.find t.states name in
-      (name, Mutex.protect st.lock (fun () -> (st.hits, st.misses))))
-    t.order
+let stats t = List.map (fun name -> (name, cache_stats t ~group:name)) t.order

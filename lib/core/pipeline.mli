@@ -2,24 +2,50 @@
 
     A pipeline binds a document DTD and one access policy per user
     group: construction derives (or loads) each group's security view
-    once; query evaluation then rewrites, optimizes and caches the
-    translated queries, so repeated queries pay translation once.
+    once; query evaluation then rewrites, optimizes, {e compiles} and
+    caches the translated queries, so repeated queries pay translation
+    and plan compilation once.
 
     This is the module a server embeds: [create] at configuration
     time, [answer] per request — concurrently from as many threads as
-    the server runs.  The per-group translation cache and its
-    hit/miss counters are mutex-protected (exactly one of hit/miss is
-    counted per call, so per-group [hits + misses] equals calls
-    issued); cold translations additionally serialize on one
-    pipeline-wide lock because the optimizer's schema-analysis memo
-    tables ({!Image}) are process-global.  Evaluation — the data-sized
-    cost — runs without any pipeline lock. *)
+    the server runs.  The per-group caches (translation + physical
+    plan) and their counters share one mutex per group (exactly one of
+    hit/miss is counted per lookup, so per-group [hits + misses]
+    equals calls issued); cold translations additionally serialize on
+    one pipeline-wide lock because the optimizer's schema-analysis
+    memo tables ({!Image}) are process-global.  Evaluation — the
+    data-sized cost — runs without any pipeline lock. *)
 
 type t
 
 type group = {
   name : string;
   view : View.t;
+}
+
+(** How {!answer} executes the translated query:
+    - [Plan] (the default) compiles it to a physical plan
+      ([Splan]) run over the document's tag/extent index; the plan is
+      cached next to the translation.  Queries the compiler refuses
+      (descendant steps with no single-label head — see lint SV301)
+      fall back to the interpreter transparently.
+    - [Interp] is the set-at-a-time interpreter
+      ({!Sxpath.Eval.run}); answers are byte-identical. *)
+type engine =
+  | Interp
+  | Plan
+
+(** Per-group cache counters, one lookup = one hit or miss in each
+    cache the request consulted.  [plan_compiles + plan_fallbacks]
+    equals the number of distinct translated queries the plan engine
+    saw; fallbacks stay fallbacks (the reason is cached too). *)
+type cache_stats = {
+  hits : int;  (** translation cache hits *)
+  misses : int;  (** translation cache misses *)
+  plan_hits : int;  (** plan cache hits (incl. cached fallbacks) *)
+  plan_misses : int;  (** plan cache misses *)
+  plan_compiles : int;  (** successful plan compilations *)
+  plan_fallbacks : int;  (** compile refusals → interpreter *)
 }
 
 val create :
@@ -33,9 +59,9 @@ val create :
     static-analysis gate (see {!set_strict_gate}) before the pipeline
     is handed out — configuration errors surface here instead of at
     query time.  [catalog] is the document catalog [answer] memoizes
-    per-document heights in; pass the server's catalog so documents
-    registered there share their memo with the pipeline (default: a
-    fresh private catalog).
+    per-document heights and indexes in; pass the server's catalog so
+    documents registered there share their memo with the pipeline
+    (default: a fresh private catalog).
     @raise Invalid_argument on duplicate group names, a specification
     over a different DTD instance, or (strict mode) lint errors. *)
 
@@ -80,25 +106,44 @@ val translate :
 val answer :
   t ->
   group:string ->
+  ?engine:engine ->
+  ?env:(string -> string option) ->
+  ?index:Sxml.Index.t ->
+  ?height:int ->
+  Sxpath.Ast.path ->
+  Sxml.Tree.t ->
+  (Sxml.Tree.t list, Error.t) result
+(** Translate (through the cache) and evaluate at the document's root
+    element with the chosen [engine] (default {!Plan}).  When the
+    group's view is recursive the unfolding height is taken from
+    [height] if supplied, otherwise resolved through the pipeline's
+    document {!Catalog}: the tree is interned by physical identity and
+    its height and index computed once per catalog entry — queries
+    alternating over any number of loaded documents never recompute
+    either.  With an observability probe installed (see {!Trace}),
+    the call is wrapped in spans and, when an audit hook is installed,
+    emits one {!Trace.audit_event}.
+
+    Failures come back as {!Error.t} values instead of mixed
+    exceptions: [Unknown_group], [Unsupported] (recursive view without
+    a resolvable height, out-of-fragment rewrite) and
+    [Unbound_variable].  Exceptions that indicate caller bugs
+    (e.g. an index over the wrong document) still raise. *)
+
+val answer_exn :
+  t ->
+  group:string ->
+  ?engine:engine ->
   ?env:(string -> string option) ->
   ?index:Sxml.Index.t ->
   ?height:int ->
   Sxpath.Ast.path ->
   Sxml.Tree.t ->
   Sxml.Tree.t list
-(** Translate (through the cache) and evaluate at the document's root
-    element.  When the group's view is recursive the unfolding height
-    is taken from [height] if supplied, otherwise resolved through the
-    pipeline's document {!Catalog}: the tree is interned by physical
-    identity and its height computed once per catalog entry — queries
-    alternating over any number of loaded documents never recompute a
-    height.  With an observability probe installed (see {!Trace}),
-    the call is wrapped in spans and, when an audit hook is
-    installed, emits one {!Trace.audit_event}. *)
+(** [answer], raising {!Error.E} instead of returning [Error]. *)
 
-val cache_stats : t -> group:string -> int * int
-(** (hits, misses) of the group's translation cache. *)
+val cache_stats : t -> group:string -> cache_stats
+(** The group's cache counters (one consistent snapshot). *)
 
-val stats : t -> (string * (int * int)) list
-(** Translation-cache (hits, misses) for {e every} group, in
-    construction order. *)
+val stats : t -> (string * cache_stats) list
+(** {!cache_stats} for {e every} group, in construction order. *)

@@ -1,0 +1,41 @@
+(** Plan execution over sorted dense-preorder id arrays.
+
+    Contexts and results are strictly ascending, duplicate-free id
+    arrays over one {!Sxml.Index.t}; descendant steps are answered by
+    binary search into the per-tag id arrays against subtree extents
+    (an interval join), qualifier probes walk node-at-a-time with
+    short-circuit existence checks.
+
+    Results are order- and duplicate-identical to
+    {!Sxpath.Eval.run}: both produce document order, and the executor
+    deduplicates by construction where the interpreter sorts.  The
+    one observable difference is error laziness: a short-circuited
+    probe may skip a qualifier branch the interpreter would have
+    evaluated, so an [Unbound_variable] the interpreter raises from
+    such a branch may not be raised here.  When both succeed the
+    answers are byte-identical. *)
+
+val run :
+  Compile.t ->
+  index:Sxml.Index.t ->
+  ?env:(string -> string option) ->
+  Sxml.Tree.t ->
+  Sxml.Tree.t list
+(** [run compiled ~index v]: nodes reachable from context node [v]
+    (a node of the indexed document), in document order,
+    duplicate-free.  @raise Sxpath.Eval.Unbound_variable like the
+    interpreter (modulo the laziness caveat above). *)
+
+val run_ids :
+  Compile.t ->
+  index:Sxml.Index.t ->
+  ?env:(string -> string option) ->
+  int array ->
+  int array
+(** Same, set-at-a-time over raw ids: the context array must be
+    strictly ascending and duplicate-free. *)
+
+val visited : int ref
+(** Work counter, same contract as {!Sxpath.Eval.visited}: bumped per
+    context-node × operator touch.  Reset it yourself between
+    measurements. *)

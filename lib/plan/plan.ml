@@ -1,0 +1,42 @@
+(* Physical-plan operator tree for the fragment.  One constructor per
+   physical operator, not per AST form: descendant steps only exist in
+   the label-headed shape the executor can answer with a binary-search
+   interval join, and [$var] references are compiled to slots into the
+   plan's variable table. *)
+
+type value =
+  | Const of string
+  | Slot of int  (* index into {!Compile.vars} *)
+
+type pred =
+  | True
+  | False
+  | Exists of t
+  | Eq of t * value
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and t =
+  | Nothing  (* the empty query #empty *)
+  | Self  (* ε *)
+  | Child of string  (* child step l *)
+  | Child_any  (* child step * *)
+  | Attr of string  (* attribute step @a: string values, no nodes *)
+  | Seq of t * t  (* p1/p2 *)
+  | Desc of string * t  (* //l then continuation: interval join *)
+  | Branch of t * t  (* p1 ∪ p2: sorted merge *)
+  | Filter of t * pred  (* p[q]: per-node probe with short-circuit *)
+
+let rec size = function
+  | Nothing | Self | Child _ | Child_any | Attr _ -> 1
+  | Seq (a, b) | Branch (a, b) -> 1 + size a + size b
+  | Desc (_, k) -> 1 + size k
+  | Filter (p, q) -> 1 + size p + size_pred q
+
+and size_pred = function
+  | True | False -> 1
+  | Exists p -> 1 + size p
+  | Eq (p, _) -> 1 + size p
+  | And (a, b) | Or (a, b) -> 1 + size_pred a + size_pred b
+  | Not a -> 1 + size_pred a

@@ -18,6 +18,8 @@ type request =
   | Shutdown
   | Sleep of float
 
+let version = 1
+
 (* error codes (the protocol's closed vocabulary) *)
 let bad_request = "bad_request"
 let unknown_group = "unknown_group"
@@ -28,11 +30,19 @@ let draining = "draining"
 let timeout = "timeout"
 let query_error = "query_error"
 
-let ok fields = J.Obj (("ok", J.Bool true) :: fields)
+let ok fields = J.Obj (("ok", J.Bool true) :: ("v", J.Int version) :: fields)
 
 let error ~code msg =
   J.Obj
-    [ ("ok", J.Bool false); ("code", J.String code); ("error", J.String msg) ]
+    [
+      ("ok", J.Bool false);
+      ("v", J.Int version);
+      ("code", J.String code);
+      ("error", J.String msg);
+    ]
+
+let error_of (e : Secview.Error.t) =
+  error ~code:(Secview.Error.to_code e) (Secview.Error.to_string e)
 
 let field name obj = J.member name obj
 
@@ -41,6 +51,12 @@ let string_field name obj = Option.bind (field name obj) J.to_string_opt
 let request_of_line line =
   match J.of_string line with
   | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok (J.Obj _ as obj) when
+      (match field "v" obj with None | Some (J.Int 1) -> false | Some _ -> true)
+    ->
+    Error
+      (Printf.sprintf "unsupported protocol version (this server speaks \"v\":%d)"
+         version)
   | Ok (J.Obj _ as obj) -> (
     match string_field "cmd" obj with
     | None -> Error "missing string field \"cmd\""

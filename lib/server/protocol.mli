@@ -12,8 +12,9 @@
     {"cmd":"sleep","ms":N}                       debug servers only
     v}
 
-    Replies always carry ["ok"]: [{"ok":true,…}] on success,
-    [{"ok":false,"code":C,"error":MSG}] on failure, where [code] is
+    Replies always carry ["ok"] and the protocol version ["v"]:
+    [{"ok":true,"v":1,…}] on success,
+    [{"ok":false,"v":1,"code":C,"error":MSG}] on failure, where [code] is
     one of the constants below — [overloaded] is the admission-control
     reply and means "try again", not "goodbye". *)
 
@@ -39,6 +40,12 @@ val request_of_line : string -> (request, string) result
 (** Decode one line.  The error string is human-readable and becomes
     the [bad_request] reply's message. *)
 
+val version : int
+(** The protocol version, 1.  Every reply carries it as ["v"];
+    requests may carry ["v"] too, and a value other than the server's
+    version is refused as [bad_request] (a missing ["v"] is accepted
+    as "current"). *)
+
 (** {1 Error codes} *)
 
 val bad_request : string
@@ -53,9 +60,13 @@ val query_error : string
 (** {1 Reply and request builders} *)
 
 val ok : (string * Sobs.Json.t) list -> Sobs.Json.t
-(** [{"ok":true}] plus the given fields. *)
+(** [{"ok":true,"v":1}] plus the given fields. *)
 
 val error : code:string -> string -> Sobs.Json.t
+
+val error_of : Secview.Error.t -> Sobs.Json.t
+(** Error reply for a typed engine error: the code is
+    {!Secview.Error.to_code}, the message {!Secview.Error.to_string}. *)
 
 val hello : ?peer:string -> string -> Sobs.Json.t
 val query_json :

@@ -7,10 +7,17 @@ type config = {
   queue_capacity : int;
   deadline : float option;
   debug : bool;
+  engine : Pipeline.engine;
 }
 
 let default_config =
-  { workers = 4; queue_capacity = 64; deadline = None; debug = false }
+  {
+    workers = 4;
+    queue_capacity = 64;
+    deadline = None;
+    debug = false;
+    engine = Pipeline.Plan;
+  }
 
 type listener =
   | Unix_socket of string
@@ -111,17 +118,15 @@ let resolve_document t = function
     | Some entry -> Ok entry
     | None ->
       Error
-        ( Protocol.unknown_document,
-          Printf.sprintf "unknown document %S (have: %s)" name
-            (String.concat ", " (Catalog.names t.catalog)) ))
+        (Secview.Error.Unknown_doc
+           { doc = Some name; known = Catalog.names t.catalog }))
   | None -> (
     match Catalog.names t.catalog with
     | [ only ] -> Ok (Option.get (Catalog.find t.catalog only))
-    | _ ->
-      Error
-        ( Protocol.unknown_document,
-          "more than one document in the catalog; pass \"doc\"" ))
+    | known -> Error (Secview.Error.Unknown_doc { doc = None; known }))
 
+(* Failures come back as [Secview.Error.t]: the reply code and message
+   are [Protocol.error_of]'s one mapping instead of per-site strings. *)
 let answer_query t ~group (q : Protocol.query) =
   match resolve_document t q.doc with
   | Error _ as e -> e
@@ -129,31 +134,28 @@ let answer_query t ~group (q : Protocol.query) =
     match Sxpath.Parse.of_string_result q.text with
     | Error e ->
       Error
-        ( Protocol.query_error,
-          Printf.sprintf "parse error at %d: %s" e.Sxpath.Parse.position
-            e.Sxpath.Parse.message )
+        (Secview.Error.Parse_error
+           { position = e.Sxpath.Parse.position; message = e.Sxpath.Parse.message })
     | Ok path -> (
       let env name = List.assoc_opt name q.bind in
       match
         let doc = Catalog.doc entry in
         let index = if q.use_index then Some (Catalog.index entry) else None in
-        Pipeline.answer t.pipeline ~group ~env ?index path doc
+        Pipeline.answer t.pipeline ~group ~engine:t.config.engine ~env ?index
+          path doc
       with
-      | results ->
-        Ok (List.map (fun n -> Sxml.Print.to_string n) results)
-      | exception Secview.Rewrite.Unsupported msg ->
-        Error (Protocol.query_error, "unsupported query: " ^ msg)
+      | Ok results -> Ok (List.map (fun n -> Sxml.Print.to_string n) results)
+      | Error _ as e -> e
       | exception Sxml.Parse.Error e ->
         Error
-          ( Protocol.query_error,
-            "document failed to parse: " ^ Sxml.Parse.error_to_string e )
+          (Secview.Error.Internal
+             ("document failed to parse: " ^ Sxml.Parse.error_to_string e))
       | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
-        Error (Protocol.query_error, msg)
+        Error (Secview.Error.Internal msg)
       | exception exn ->
-        (* anything else the evaluator can raise (unbound variable,
-           missing group entry, ...): the request failed, the worker
-           must survive *)
-        Error (Protocol.query_error, Printexc.to_string exn)))
+        (* anything else the evaluator can raise: the request failed,
+           the worker must survive *)
+        Error (Secview.Error.Internal (Printexc.to_string exn))))
 
 let doc_label t (q : Protocol.query) =
   match q.doc with
@@ -182,7 +184,7 @@ let run_job t job =
        don't burn a worker on a reply nobody is waiting for *)
     ignore
       (Deadline.fill job.cell
-         (Protocol.error ~code:Protocol.timeout "deadline exceeded in queue"));
+         (Protocol.error_of (Secview.Error.Timeout "deadline exceeded in queue")));
     count t "server.expired_in_queue";
     log ~status:"timeout" ~results:0 ~error:"deadline exceeded in queue"
       ~latency_ms:(latency ()) ()
@@ -204,8 +206,8 @@ let run_job t job =
             "ok",
             List.length results,
             None )
-        | Error (code, msg) ->
-          (Protocol.error ~code msg, "error", 0, Some msg))
+        | Error e ->
+          (Protocol.error_of e, "error", 0, Some (Secview.Error.to_string e)))
     in
     let won = Deadline.fill job.cell reply in
     let latency_ms = latency () in
@@ -224,8 +226,9 @@ let rec worker_loop t =
           queued request, so fill the cell and keep looping *)
        ignore
          (Deadline.fill job.cell
-            (Protocol.error ~code:Protocol.query_error
-               ("internal error: " ^ Printexc.to_string exn)));
+            (Protocol.error_of
+               (Secview.Error.Internal
+                  ("internal error: " ^ Printexc.to_string exn))));
        count t "server.done.internal_error");
     worker_loop t
 
@@ -288,9 +291,17 @@ let stats_json t =
       ( "cache",
         J.Obj
           (List.map
-             (fun (group, (hits, misses)) ->
+             (fun (group, (cs : Pipeline.cache_stats)) ->
                ( group,
-                 J.Obj [ ("hits", J.Int hits); ("misses", J.Int misses) ] ))
+                 J.Obj
+                   [
+                     ("hits", J.Int cs.Pipeline.hits);
+                     ("misses", J.Int cs.Pipeline.misses);
+                     ("plan_hits", J.Int cs.Pipeline.plan_hits);
+                     ("plan_misses", J.Int cs.Pipeline.plan_misses);
+                     ("plan_compiles", J.Int cs.Pipeline.plan_compiles);
+                     ("plan_fallbacks", J.Int cs.Pipeline.plan_fallbacks);
+                   ] ))
              (Pipeline.stats t.pipeline)) );
       ( "documents",
         J.List (List.map (fun n -> J.String n) (Catalog.names t.catalog)) );
@@ -298,7 +309,7 @@ let stats_json t =
 
 let submit t sess fd work =
   if draining t then
-    send fd (Protocol.error ~code:Protocol.draining "server is draining")
+    send fd (Protocol.error_of Secview.Error.Draining)
   else begin
     let submitted = Deadline.now () in
     let job =
@@ -315,12 +326,13 @@ let submit t sess fd work =
     | `Full ->
       count t "server.rejected.overloaded";
       send fd
-        (Protocol.error ~code:Protocol.overloaded
-           (Printf.sprintf "request queue is full (%d deep)"
-              t.config.queue_capacity))
+        (Protocol.error_of
+           (Secview.Error.Overloaded
+              (Printf.sprintf "request queue is full (%d deep)"
+                 t.config.queue_capacity)))
     | `Closed ->
       count t "server.rejected.draining";
-      send fd (Protocol.error ~code:Protocol.draining "server is draining")
+      send fd (Protocol.error_of Secview.Error.Draining)
     | `Ok -> (
       count t "server.accepted";
       match Deadline.await ?deadline_at:job.deadline_at job.cell with
@@ -328,20 +340,21 @@ let submit t sess fd work =
       | None ->
         let timed_out =
           Deadline.fill job.cell
-            (Protocol.error ~code:Protocol.timeout "deadline exceeded")
+            (Protocol.error_of (Secview.Error.Timeout "deadline exceeded"))
         in
         if timed_out then count t "server.timeout";
         send fd
-          (Protocol.error ~code:Protocol.timeout
-             (Printf.sprintf "deadline of %gs exceeded"
-                (Option.value t.config.deadline ~default:0.))))
+          (Protocol.error_of
+             (Secview.Error.Timeout
+                (Printf.sprintf "deadline of %gs exceeded"
+                   (Option.value t.config.deadline ~default:0.)))))
   end
 
 let handle_line t sess fd line =
   match Protocol.request_of_line line with
   | Error msg ->
     count t "server.rejected.bad_request";
-    send fd (Protocol.error ~code:Protocol.bad_request msg)
+    send fd (Protocol.error_of (Secview.Error.Bad_request msg))
   | Ok (Hello { group; peer }) ->
     if List.mem group (group_names t) then begin
       sess.group <- Some group;
@@ -354,9 +367,8 @@ let handle_line t sess fd line =
     else begin
       count t "server.rejected.unknown_group";
       send fd
-        (Protocol.error ~code:Protocol.unknown_group
-           (Printf.sprintf "unknown group %S (have: %s)" group
-              (String.concat ", " (group_names t))))
+        (Protocol.error_of
+           (Secview.Error.Unknown_group { group; known = group_names t }))
     end
   | Ok Ping -> send fd (Protocol.ok [ ("pong", J.Bool true) ])
   | Ok Stats -> send fd (stats_json t)
@@ -365,16 +377,14 @@ let handle_line t sess fd line =
     request_drain t
   | Ok (Sleep _) when not t.config.debug ->
     send fd
-      (Protocol.error ~code:Protocol.bad_request
-         "sleep is only available on --debug servers")
+      (Protocol.error_of
+         (Secview.Error.Bad_request "sleep is only available on --debug servers"))
   | Ok (Sleep s) -> submit t sess fd (Nap s)
   | Ok (Query q) -> (
     match sess.group with
     | None ->
       count t "server.rejected.no_session";
-      send fd
-        (Protocol.error ~code:Protocol.no_session
-           "no session: send {\"cmd\":\"hello\",\"group\":…} first")
+      send fd (Protocol.error_of Secview.Error.No_session)
     | Some _ -> submit t sess fd (Answer q))
 
 let conn_loop t fd peer =

@@ -41,10 +41,12 @@ type config = {
   queue_capacity : int;  (** admission-control bound (≥ 1) *)
   deadline : float option;  (** per-request seconds, queue wait included *)
   debug : bool;  (** honour the [sleep] test command *)
+  engine : Secview.Pipeline.engine;
+      (** how workers execute translated queries (default [Plan]) *)
 }
 
 val default_config : config
-(** 4 workers, queue of 64, no deadline, no debug. *)
+(** 4 workers, queue of 64, no deadline, no debug, plan engine. *)
 
 type listener =
   | Unix_socket of string  (** path; replaced if present, removed on drain *)

@@ -2,6 +2,7 @@ type t = {
   nodes : Tree.t array;  (* by identifier *)
   extents : int array;
   tag_table : (string, Tree.t array) Hashtbl.t;
+  tag_ids_table : (string, int array) Hashtbl.t;
 }
 
 let build root =
@@ -43,7 +44,13 @@ let build root =
     (fun tag cell ->
       Hashtbl.replace tag_table tag (Array.of_list (List.rev !cell)))
     tag_lists;
-  { nodes; extents; tag_table }
+  let tag_ids_table = Hashtbl.create (Hashtbl.length tag_table) in
+  Hashtbl.iter
+    (fun tag arr ->
+      Hashtbl.replace tag_ids_table tag
+        (Array.map (fun node -> node.Tree.id) arr))
+    tag_table;
+  { nodes; extents; tag_table; tag_ids_table }
 
 let size idx = Array.length idx.nodes
 
@@ -55,6 +62,11 @@ let empty_array : Tree.t array = [||]
 
 let by_tag idx tag =
   Option.value (Hashtbl.find_opt idx.tag_table tag) ~default:empty_array
+
+let empty_ids : int array = [||]
+
+let tag_ids idx tag =
+  Option.value (Hashtbl.find_opt idx.tag_ids_table tag) ~default:empty_ids
 
 let tags idx =
   List.sort String.compare

@@ -32,6 +32,12 @@ val by_tag : t -> string -> Tree.t array
 (** All elements with the given tag, in document order (possibly
     empty). *)
 
+val tag_ids : t -> string -> int array
+(** Identifiers of all elements with the given tag, strictly
+    ascending (document order).  The array is owned by the index: do
+    not mutate it.  This is the form plan executors binary-search for
+    interval joins against {!extent}. *)
+
 val tags : t -> string list
 (** Distinct element tags, sorted. *)
 

@@ -196,17 +196,47 @@ let no_env : string -> string option = fun _ -> None
 let nodes_of_items items =
   List.filter_map (function Node n -> Some n | Docnode _ -> None) items
 
-let eval ?(env = no_env) ?index p v =
-  nodes_of_items (eval_result { env; index } p [ Node v ]).nodes
+module Ctx = struct
+  type t = {
+    cfg : cfg;
+    root : Sxml.Tree.t;
+    start : item;
+  }
 
-let eval_doc ?(env = no_env) ?index p root =
-  nodes_of_items (eval_result { env; index } p [ Docnode root ]).nodes
+  let make ?(env = no_env) ?index ?(at = `Root) ~root () =
+    let start =
+      match at with `Root -> Node root | `Document -> Docnode root
+    in
+    { cfg = { env; index }; root; start }
 
-let eval_nodes ?(env = no_env) ?index p vs =
+  let root t = t.root
+
+  let env t = t.cfg.env
+
+  let index t = t.cfg.index
+end
+
+let run ctx p =
+  nodes_of_items (eval_result ctx.Ctx.cfg p [ ctx.Ctx.start ]).nodes
+
+let run_nodes ctx p vs =
   nodes_of_items
-    (eval_result { env; index } p
+    (eval_result ctx.Ctx.cfg p
        (sort_dedup_items (List.map (fun v -> Node v) vs)))
       .nodes
 
+let check ctx q v = eval_qual ctx.Ctx.cfg q (Node v)
+
+let eval ?(env = no_env) ?index p v =
+  run (Ctx.make ~env ?index ~root:v ()) p
+
+let eval_doc ?(env = no_env) ?index p root =
+  run (Ctx.make ~env ?index ~at:`Document ~root ()) p
+
+let eval_nodes ?(env = no_env) ?index p vs =
+  match vs with
+  | [] -> []
+  | v :: _ -> run_nodes (Ctx.make ~env ?index ~root:v ()) p vs
+
 let holds ?(env = no_env) ?index q v =
-  eval_qual { env; index } q (Node v)
+  check (Ctx.make ~env ?index ~root:v ()) q v

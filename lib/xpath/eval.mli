@@ -20,21 +20,63 @@
     through string values ([p = c] compares the string value of each
     node in [v⟦p⟧]).
 
-    Two context conventions are offered:
-    - {!eval} evaluates at an (element) context node — the convention
-      of the rewriting algorithm, whose output is relative to the
-      document root element;
-    - {!eval_doc} evaluates at a virtual document node whose only child
-      is the root element, matching how absolute queries like
-      [/adex/head/…] are written. *)
+    The single entry point is {!run} over a {!Ctx.t}, which fixes the
+    variable environment, the optional tag index and the context
+    convention once; the legacy [eval]/[eval_doc]/[eval_nodes]/[holds]
+    quartet survives as deprecated wrappers. *)
 
 exception Unbound_variable of string
 
-(** All entry points take an optional {!Sxml.Index.t} built from the
-    queried document: with it, [//l/rest]-shaped descendant steps are
-    answered from the tag index by binary search over subtree extents
-    instead of scanning the subtree (the "indexed" ablation of the
-    benchmark harness).  Results are identical with and without. *)
+(** Evaluation contexts.  A context packages everything that is fixed
+    across evaluations of one document: the [$var] environment, an
+    optional {!Sxml.Index.t} built from the queried document (with it,
+    [//l/rest]-shaped descendant steps are answered from the tag index
+    by binary search over subtree extents instead of scanning the
+    subtree; results are identical with and without), and the context
+    convention:
+    - [`Root] (default) evaluates at the root element itself — the
+      convention of the rewriting algorithm, whose output is relative
+      to the document root element;
+    - [`Document] evaluates at a virtual document node whose only
+      child is the root element, matching how absolute queries like
+      [/adex/head/…] are written. *)
+module Ctx : sig
+  type t
+
+  val make :
+    ?env:(string -> string option) ->
+    ?index:Sxml.Index.t ->
+    ?at:[ `Root | `Document ] ->
+    root:Sxml.Tree.t ->
+    unit ->
+    t
+  (** [make ~root ()] — context at [root], no bindings, no index. *)
+
+  val root : t -> Sxml.Tree.t
+  (** The context root passed to {!make}. *)
+
+  val env : t -> string -> string option
+  (** The variable environment (total: unbound names give [None]). *)
+
+  val index : t -> Sxml.Index.t option
+  (** The tag index, if one was supplied. *)
+end
+
+val run : Ctx.t -> Ast.path -> Sxml.Tree.t list
+(** [run ctx p]: nodes reachable from the context node of [ctx] via
+    [p], in document order, duplicate-free.  @raise Unbound_variable
+    if the query contains a [$var] the environment does not bind (the
+    check is lazy: only qualifiers that are actually evaluated
+    resolve their variables). *)
+
+val run_nodes : Ctx.t -> Ast.path -> Sxml.Tree.t list -> Sxml.Tree.t list
+(** [run_nodes ctx p vs]: evaluate at every node of [vs] (same
+    document as the context root) and union the results.  The
+    context's [at] convention is ignored — the given nodes {e are}
+    the context set. *)
+
+val check : Ctx.t -> Ast.qual -> Sxml.Tree.t -> bool
+(** [check ctx q v]: truth of qualifier [q] at node [v]. *)
 
 val eval :
   ?env:(string -> string option) ->
@@ -42,9 +84,8 @@ val eval :
   Ast.path ->
   Sxml.Tree.t ->
   Sxml.Tree.t list
-(** [eval p v]: nodes reachable from context node [v], in document
-    order, duplicate-free.  @raise Unbound_variable if the query
-    contains a [$var] the environment does not bind. *)
+[@@deprecated "use Eval.run (Eval.Ctx.make ~root ()) instead"]
+(** [eval p v] = [run (Ctx.make ?env ?index ~root:v ()) p]. *)
 
 val eval_doc :
   ?env:(string -> string option) ->
@@ -52,8 +93,8 @@ val eval_doc :
   Ast.path ->
   Sxml.Tree.t ->
   Sxml.Tree.t list
-(** Same, with the context being the virtual document node above the
-    given root element. *)
+[@@deprecated "use Eval.run with Ctx.make ~at:`Document instead"]
+(** [eval_doc p root] = [run (Ctx.make ~at:`Document ~root ()) p]. *)
 
 val eval_nodes :
   ?env:(string -> string option) ->
@@ -61,8 +102,8 @@ val eval_nodes :
   Ast.path ->
   Sxml.Tree.t list ->
   Sxml.Tree.t list
-(** Set-at-a-time entry point: evaluate at every context node and
-    union the results. *)
+[@@deprecated "use Eval.run_nodes instead"]
+(** [eval_nodes p vs] = [run_nodes ctx p vs]. *)
 
 val holds :
   ?env:(string -> string option) ->
@@ -70,7 +111,8 @@ val holds :
   Ast.qual ->
   Sxml.Tree.t ->
   bool
-(** Truth of a qualifier at a context node. *)
+[@@deprecated "use Eval.check instead"]
+(** [holds q v] = [check ctx q v]. *)
 
 val visited : int ref
 (** Instrumentation counter bumped once per context-node × step

@@ -118,7 +118,7 @@ Query statistics expose the rewrite-cache behaviour, per group:
   >   --bind wardNo=6 --stats "//patient/name"
   <name>Alice</name>
   <name>Bob</name>
-  translation cache[user]: 0 hit(s), 1 miss(es)
+  cache[user]: translation 0 hit(s) 1 miss(es); plans 0 hit(s) 1 miss(es), 1 compiled, 0 fallback(s)
 
 Linting the shipped policy is clean (informational notes only):
 

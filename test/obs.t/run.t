@@ -10,13 +10,14 @@ evaluation stages nested inside:
   >   --bind wardNo=6 --trace "//patient/name" 2>&1 | sed -E 's/ *[0-9]+\.[0-9]+ms/ _/'
   <name>Alice</name>
   <name>Bob</name>
-  trace (7 span(s)):
+  trace (8 span(s)):
     derive _
     derive _
     answer _
       translate _
         rewrite _
         optimize _
+      plan _
       eval _
 
 The metrics dump carries the cache counters and per-stage latency
@@ -29,12 +30,14 @@ series; counter values are deterministic, durations are not:
   <name>Bob</name>
   counters:
     pipeline.cache.miss.user                 1
+    pipeline.plan.miss.user                  1
   series (count/min/mean/p50/p95/max):
     eval.visited                                  1 _ _ _ _ _
     stage.answer                                  1 _ _ _ _ _
     stage.derive                                  2 _ _ _ _ _
     stage.eval                                    1 _ _ _ _ _
     stage.optimize                                1 _ _ _ _ _
+    stage.plan                                    1 _ _ _ _ _
     stage.rewrite                                 1 _ _ _ _ _
     stage.translate                               1 _ _ _ _ _
 
@@ -47,7 +50,7 @@ repeated queries hit the translation cache:
   counters:
     pipeline.cache.hit.user                  4
     pipeline.cache.miss.user                 2
-  series (count/min/mean/p50/p95/max):
+    pipeline.plan.hit.user                   4
 
 Machine-readable form (every number pinned):
 
@@ -55,10 +58,10 @@ Machine-readable form (every number pinned):
   >   --bind wardNo=6 --json "//patient/name" 2>/dev/null \
   >   | sed -E 's/[0-9]+(\.[0-9]+)?/N/g' | tr ',' '\n' | head -5
   {"counters":{"pipeline.cache.hit.user":N
-  "pipeline.cache.miss.user":N}
+  "pipeline.cache.miss.user":N
+  "pipeline.plan.hit.user":N
+  "pipeline.plan.miss.user":N}
   "series":{"eval.visited":{"count":N
-  "min":N
-  "max":N
 
 The audit log records one JSONL line per answered request — who asked
 what, what actually ran against the document, what came back, and the

@@ -19,16 +19,16 @@ qualifier variables bound per request:
 Querying without a session is refused, and the client reports it:
 
   $ secview client --socket ./sv.sock '//patient/name'
-  secview: query "//patient/name" failed: {"ok":false,"code":"no_session","error":"no session: send {\"cmd\":\"hello\",\"group\":…} first"}
+  secview: query "//patient/name" failed: {"ok":false,"v":1,"code":"no_session","error":"no session: send {\"cmd\":\"hello\",\"group\":…} first"}
   [1]
 
 Protocol errors are structured replies, never hangups (--send ships a
 raw line and echoes the raw reply):
 
   $ secview client --socket ./sv.sock --send 'not json'
-  {"ok":false,"code":"bad_request","error":"invalid JSON: at offset 0: expected null"}
+  {"ok":false,"v":1,"code":"bad_request","error":"invalid JSON: at offset 0: expected null"}
   $ secview client --socket ./sv.sock --send '{"cmd":"hello","group":"nosuch"}'
-  {"ok":false,"code":"unknown_group","error":"unknown group \"nosuch\" (have: user)"}
+  {"ok":false,"v":1,"code":"unknown_group","error":"unknown group \"nosuch\" (have: user)"}
 
 Graceful drain: shutdown is acknowledged, the server finishes and
 exits 0, the socket is removed, and the audit log holds exactly one

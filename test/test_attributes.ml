@@ -10,6 +10,10 @@ module Derive = Secview.Derive
 module Materialize = Secview.Materialize
 module Access = Secview.Access
 
+(* deprecated-free shim over the Ctx evaluation API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
+
 let e l = R.Elt l
 let parse = Sxpath.Parse.of_string
 let path_t = Alcotest.testable Sxpath.Print.pp Sxpath.Simplify.equivalent_syntax
@@ -106,7 +110,7 @@ let test_spec_attribute_edges () =
 
 let test_accessible_attributes () =
   let d = doc () in
-  let records = Sxpath.Eval.eval (parse "record") d in
+  let records = eval (parse "record") d in
   List.iter
     (fun r ->
       Alcotest.(check (list (pair string string)))
@@ -122,7 +126,7 @@ let test_explicit_y_attribute_on_hidden_element () =
       [ (("db", "record"), Spec.No); (("record", "@owner"), Spec.Yes) ]
   in
   let d = doc () in
-  let r = List.hd (Sxpath.Eval.eval (parse "record") d) in
+  let r = List.hd (eval (parse "record") d) in
   Alcotest.(check (list string)) "owner exposed, id hidden with the element"
     [ "owner" ]
     (List.map fst (Access.accessible_attributes spec' d r))
@@ -138,7 +142,7 @@ let test_materialize_attributes () =
   let view = Derive.derive spec in
   let vt = Materialize.materialize ~spec ~view (doc ()) in
   let tree = Materialize.to_tree vt in
-  let records = Sxpath.Eval.eval (parse "record") tree in
+  let records = eval (parse "record") tree in
   Alcotest.(check (list (option string))) "ids kept"
     [ Some "r1"; Some "r2" ]
     (List.map (fun r -> Sxml.Tree.attr r "id") records);
@@ -167,14 +171,14 @@ let test_rewrite_attribute_evaluation () =
   let pt = Secview.Rewrite.rewrite view (parse "record[@id = \"r2\"]/note") in
   Alcotest.(check (list string)) "selects through the visible attribute"
     [ "salut" ]
-    (List.map Sxml.Tree.string_value (Sxpath.Eval.eval pt d));
+    (List.map Sxml.Tree.string_value (eval pt d));
   (* a query over the materialized view agrees *)
   let vt = Materialize.materialize ~spec ~view d in
   let tree = Materialize.to_tree vt in
   Alcotest.(check (list string)) "same through the view"
     [ "salut" ]
     (List.map Sxml.Tree.string_value
-       (Sxpath.Eval.eval (parse "record[@id = \"r2\"]/note") tree))
+       (eval (parse "record[@id = \"r2\"]/note") tree))
 
 let test_optimize_attribute_decisions () =
   (* [@zz] is undeclared on record: decided false from the DTD *)
@@ -194,7 +198,7 @@ let test_gen_attributes () =
   let d = Sdtd.Gen.generate ~config dtd in
   Alcotest.(check bool) "generated documents conform" true
     (Sdtd.Validate.conforms dtd d);
-  let records = Sxpath.Eval.eval (parse "record") d in
+  let records = eval (parse "record") d in
   List.iter
     (fun r ->
       Alcotest.(check (option string)) "id generated" (Some "generated")

@@ -2,6 +2,10 @@
 
 module A = Sxpath.Ast
 
+(* deprecated-free shim over the Ctx evaluation API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
+
 let parse = Sxpath.Parse.of_string
 
 let doc () =
@@ -62,9 +66,9 @@ let test_indexed_eval_equivalence () =
   List.iter
     (fun q ->
       let p = parse q in
-      let plain = List.map (fun n -> n.Sxml.Tree.id) (Sxpath.Eval.eval p d) in
+      let plain = List.map (fun n -> n.Sxml.Tree.id) (eval p d) in
       let fast =
-        List.map (fun n -> n.Sxml.Tree.id) (Sxpath.Eval.eval ~index:idx p d)
+        List.map (fun n -> n.Sxml.Tree.id) (eval ~index:idx p d)
       in
       Alcotest.(check (list int)) ("indexed = plain on " ^ q) plain fast)
     [
@@ -80,12 +84,12 @@ let test_indexed_eval_on_workload () =
     (fun (name, q) ->
       let pt = Secview.Rewrite.rewrite view q in
       let plain =
-        List.map (fun n -> n.Sxml.Tree.id) (Sxpath.Eval.eval pt doc)
+        List.map (fun n -> n.Sxml.Tree.id) (eval pt doc)
       in
       let fast =
         List.map
           (fun n -> n.Sxml.Tree.id)
-          (Sxpath.Eval.eval ~index:idx pt doc)
+          (eval ~index:idx pt doc)
       in
       Alcotest.(check (list int)) ("adex " ^ name) plain fast;
       (* the naive loosened forms hit the fast path hard *)
@@ -93,12 +97,12 @@ let test_indexed_eval_on_workload () =
       let prepared = Secview.Naive.prepare Workload.Adex.spec doc in
       let pidx = Sxml.Index.build prepared in
       let plain_n =
-        List.map (fun n -> n.Sxml.Tree.id) (Sxpath.Eval.eval naive_q prepared)
+        List.map (fun n -> n.Sxml.Tree.id) (eval naive_q prepared)
       in
       let fast_n =
         List.map
           (fun n -> n.Sxml.Tree.id)
-          (Sxpath.Eval.eval ~index:pidx naive_q prepared)
+          (eval ~index:pidx naive_q prepared)
       in
       Alcotest.(check (list int)) ("naive " ^ name) plain_n fast_n)
     Workload.Adex.queries
@@ -112,8 +116,8 @@ let test_fast_path_does_less_work () =
     ignore (f ());
     !Sxpath.Eval.visited
   in
-  let scan = work (fun () -> Sxpath.Eval.eval q doc) in
-  let fast = work (fun () -> Sxpath.Eval.eval ~index:idx q doc) in
+  let scan = work (fun () -> eval q doc) in
+  let fast = work (fun () -> eval ~index:idx q doc) in
   Alcotest.(check bool)
     (Printf.sprintf "index %d << scan %d" fast scan)
     true
@@ -155,10 +159,10 @@ let prop_indexed_equivalence =
     gen_case
     (fun (doc, q) ->
       let idx = Sxml.Index.build doc in
-      List.map (fun n -> n.Sxml.Tree.id) (Sxpath.Eval.eval q doc)
+      List.map (fun n -> n.Sxml.Tree.id) (eval q doc)
       = List.map
           (fun n -> n.Sxml.Tree.id)
-          (Sxpath.Eval.eval ~index:idx q doc))
+          (eval ~index:idx q doc))
 
 let () =
   Alcotest.run "index"

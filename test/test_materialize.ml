@@ -9,6 +9,10 @@ module Derive = Secview.Derive
 module Access = Secview.Access
 module Materialize = Secview.Materialize
 
+(* deprecated-free shim over the Ctx evaluation API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
+
 let e l = R.Elt l
 
 let hospital_setup () =
@@ -66,10 +70,10 @@ let test_ward_filtering () =
   let vt = Materialize.materialize ~env ~spec ~view doc in
   let tree = Materialize.to_tree vt in
   Alcotest.(check int) "one dept" 1
-    (List.length (Sxpath.Eval.eval (Sxpath.Parse.of_string "dept") tree));
+    (List.length (eval (Sxpath.Parse.of_string "dept") tree));
   let names =
     List.map Sxml.Tree.string_value
-      (Sxpath.Eval.eval
+      (eval
          (Sxpath.Parse.of_string "//patient/name")
          tree)
   in
@@ -84,10 +88,10 @@ let test_trial_membership_hidden () =
   let tree = Materialize.to_tree vt in
   Alcotest.(check int) "clinicalTrial absent" 0
     (List.length
-       (Sxpath.Eval.eval (Sxpath.Parse.of_string "//clinicalTrial") tree));
+       (eval (Sxpath.Parse.of_string "//clinicalTrial") tree));
   Alcotest.(check int) "two patientInfo siblings" 2
     (List.length
-       (Sxpath.Eval.eval (Sxpath.Parse.of_string "dept/patientInfo") tree))
+       (eval (Sxpath.Parse.of_string "dept/patientInfo") tree))
 
 let test_document_order_preserved () =
   let spec, view, env, doc = hospital_setup () in
@@ -101,13 +105,13 @@ let test_document_order_preserved () =
   Alcotest.(check (list string)) "bills in document order"
     [ "900"; "120"; "80" ]
     (List.map Sxml.Tree.string_value
-       (Sxpath.Eval.eval (Sxpath.Parse.of_string "//bill") tree))
+       (eval (Sxpath.Parse.of_string "//bill") tree))
 
 let test_to_tree_with_sources () =
   let spec, view, env, doc = hospital_setup () in
   let vt = Materialize.materialize ~env ~spec ~view doc in
   let tree, source_of = Materialize.to_tree_with_sources vt in
-  let names = Sxpath.Eval.eval (Sxpath.Parse.of_string "//patient/name") tree in
+  let names = eval (Sxpath.Parse.of_string "//patient/name") tree in
   List.iter
     (fun n ->
       match source_of n.Sxml.Tree.id with

@@ -6,6 +6,10 @@ module Naive = Secview.Naive
 module Derive = Secview.Derive
 module Rewrite = Secview.Rewrite
 
+(* deprecated-free shim over the Ctx evaluation API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
+
 let parse = Sxpath.Parse.of_string
 
 let test_rewrite_rules () =
@@ -71,7 +75,7 @@ let test_agrees_with_rewrite_on_hospital () =
       let rewrite_ids =
         List.map
           (fun n -> n.Sxml.Tree.id)
-          (Sxpath.Eval.eval ~env (Rewrite.rewrite view p) doc)
+          (eval ~env (Rewrite.rewrite view p) doc)
       in
       Alcotest.(check (list int)) ("agree on " ^ q) rewrite_ids naive_ids)
     [
@@ -94,7 +98,7 @@ let test_agrees_on_adex () =
       let rewrite_ids =
         List.map
           (fun n -> n.Sxml.Tree.id)
-          (Sxpath.Eval.eval (Rewrite.rewrite view q) doc)
+          (eval (Rewrite.rewrite view q) doc)
       in
       Alcotest.(check (list int)) ("agree on " ^ name) rewrite_ids naive_ids)
     Workload.Adex.queries
@@ -114,7 +118,7 @@ let test_does_more_work () =
   let naive_work = work (fun () -> Naive.eval ~view q prepared) in
   let rewrite_work =
     let pt = Rewrite.rewrite view q in
-    work (fun () -> Sxpath.Eval.eval pt doc)
+    work (fun () -> eval pt doc)
   in
   Alcotest.(check bool)
     (Printf.sprintf "naive %d >> rewrite %d" naive_work rewrite_work)

@@ -180,8 +180,8 @@ let test_pipeline_spans_and_audit () =
       let pipe = fig7_pipeline () in
       Audit_log.install log;
       Fun.protect ~finally:Audit_log.uninstall (fun () ->
-          let r1 = Secview.Pipeline.answer pipe ~group:"u" q doc in
-          let r2 = Secview.Pipeline.answer pipe ~group:"u" q doc in
+          let r1 = Secview.Pipeline.answer_exn pipe ~group:"u" q doc in
+          let r2 = Secview.Pipeline.answer_exn pipe ~group:"u" q doc in
           Alcotest.(check int) "same answers" (List.length r1)
             (List.length r2)));
   let names = List.map (fun s -> s.Tracer.name) (Tracer.spans tracer) in
@@ -190,7 +190,7 @@ let test_pipeline_spans_and_audit () =
       Alcotest.(check bool)
         (stage ^ " span recorded") true (List.mem stage names))
     [ "derive"; "answer"; "height"; "translate"; "unfold"; "rewrite";
-      "optimize"; "eval" ];
+      "optimize"; "plan"; "eval" ];
   (* second call: translation cache hit, height memo hit *)
   Alcotest.(check int) "cache miss counted" 1
     (Metrics.counter metrics "pipeline.cache.miss.u");
@@ -246,10 +246,23 @@ let test_pipeline_stats () =
   ignore (Secview.Pipeline.answer pipe ~group:"nurses" ~env (parse "//name") doc);
   ignore (Secview.Pipeline.answer pipe ~group:"nurses" ~env (parse "//name") doc);
   ignore (Secview.Pipeline.answer pipe ~group:"billing" ~env (parse "//bill") doc);
-  Alcotest.(check (list (pair string (pair int int))))
-    "per-group stats in construction order"
-    [ ("nurses", (1, 1)); ("billing", (0, 1)) ]
-    (Secview.Pipeline.stats pipe)
+  let per_group = Secview.Pipeline.stats pipe in
+  Alcotest.(check (list string))
+    "per-group stats in construction order" [ "nurses"; "billing" ]
+    (List.map fst per_group);
+  let open Secview.Pipeline in
+  let nurses = List.assoc "nurses" per_group in
+  let billing = List.assoc "billing" per_group in
+  Alcotest.(check (pair int int)) "nurses translation counters" (1, 1)
+    (nurses.hits, nurses.misses);
+  Alcotest.(check (pair int int)) "billing translation counters" (0, 1)
+    (billing.hits, billing.misses);
+  (* the default engine compiles one plan per distinct translation *)
+  Alcotest.(check (pair int int)) "nurses plan counters" (1, 1)
+    (nurses.plan_hits, nurses.plan_misses);
+  Alcotest.(check int) "nurses plans compiled" 1 nurses.plan_compiles;
+  Alcotest.(check (pair int int)) "billing plan counters" (0, 1)
+    (billing.plan_hits, billing.plan_misses)
 
 (* --- the zero-overhead default -------------------------------------- *)
 

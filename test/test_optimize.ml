@@ -9,6 +9,10 @@ module Image = Secview.Image
 module Simulate = Secview.Simulate
 module Optimize = Secview.Optimize
 
+(* deprecated-free shim over the Ctx evaluation API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
+
 let e l = R.Elt l
 let parse = Sxpath.Parse.of_string
 let path_t = Alcotest.testable Sxpath.Print.pp Sxpath.Simplify.equivalent_syntax
@@ -139,7 +143,7 @@ let test_containment_soundness_on_instances () =
                 let set p =
                   List.map
                     (fun n -> n.Sxml.Tree.id)
-                    (Sxpath.Eval.eval p doc)
+                    (eval p doc)
                 in
                 let s1 = set q1 and s2 = set q2 in
                 Alcotest.(check bool)
@@ -214,7 +218,7 @@ let test_optimize_preserves_hospital_answers () =
       let p = parse q in
       let po = Optimize.optimize dtd p in
       let ids p =
-        List.map (fun n -> n.Sxml.Tree.id) (Sxpath.Eval.eval p doc)
+        List.map (fun n -> n.Sxml.Tree.id) (eval p doc)
       in
       Alcotest.(check (list int)) ("equivalent: " ^ q) (ids p) (ids po))
     [
@@ -312,7 +316,7 @@ let test_xmark_optimize_equivalence () =
       let p = parse q in
       let po = Optimize.optimize dtd p in
       let ids p =
-        List.map (fun (n : Sxml.Tree.t) -> n.id) (Sxpath.Eval.eval p doc)
+        List.map (fun (n : Sxml.Tree.t) -> n.id) (eval p doc)
       in
       Alcotest.(check (list int)) ("xmark equivalent: " ^ q) (ids p) (ids po))
     [
@@ -352,7 +356,7 @@ let test_optimize_idempotent_semantically () =
       let p1 = Optimize.optimize dtd (parse q) in
       let p2 = Optimize.optimize dtd p1 in
       let ids p =
-        List.map (fun (n : Sxml.Tree.t) -> n.id) (Sxpath.Eval.eval p doc)
+        List.map (fun (n : Sxml.Tree.t) -> n.id) (eval p doc)
       in
       Alcotest.(check (list int)) ("idempotent on " ^ q) (ids p1) (ids p2))
     [ "//patient[name]"; "//dept//bill"; "//staff/* | //patient" ]

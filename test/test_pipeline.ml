@@ -4,6 +4,10 @@
 module Pipeline = Secview.Pipeline
 module Spec = Secview.Spec
 
+(* deprecated-free shim over the Ctx evaluation API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
+
 let parse = Sxpath.Parse.of_string
 
 let hospital_pipeline () =
@@ -46,12 +50,15 @@ let test_translation_and_cache () =
   let t1 = Pipeline.translate p ~group:"nurses" q in
   let t2 = Pipeline.translate p ~group:"nurses" q in
   Alcotest.(check bool) "same translation" true (Sxpath.Ast.equal_path t1 t2);
-  let hits, misses = Pipeline.cache_stats p ~group:"nurses" in
-  Alcotest.(check int) "one miss" 1 misses;
-  Alcotest.(check int) "one hit" 1 hits;
+  let s = Pipeline.cache_stats p ~group:"nurses" in
+  Alcotest.(check int) "one miss" 1 s.Pipeline.misses;
+  Alcotest.(check int) "one hit" 1 s.Pipeline.hits;
+  (* translate alone never touches the plan cache *)
+  Alcotest.(check int) "no plan lookups" 0
+    (s.Pipeline.plan_hits + s.Pipeline.plan_misses);
   (* groups have independent caches *)
-  let hits', _ = Pipeline.cache_stats p ~group:"billing" in
-  Alcotest.(check int) "billing untouched" 0 hits'
+  let s' = Pipeline.cache_stats p ~group:"billing" in
+  Alcotest.(check int) "billing untouched" 0 s'.Pipeline.hits
 
 let test_answers_match_manual_pipeline () =
   let dtd = Workload.Hospital.dtd in
@@ -61,12 +68,13 @@ let test_answers_match_manual_pipeline () =
   let env = Workload.Hospital.nurse_env "6" in
   let q = parse "//patient/name" in
   let via_pipeline =
-    List.map Sxml.Tree.string_value (Pipeline.answer p ~group:"nurses" ~env q doc)
+    List.map Sxml.Tree.string_value
+      (Pipeline.answer_exn p ~group:"nurses" ~env q doc)
   in
   let manual =
     let view = Secview.Derive.derive spec in
     let pt = Secview.Optimize.optimize dtd (Secview.Rewrite.rewrite view q) in
-    List.map Sxml.Tree.string_value (Sxpath.Eval.eval ~env pt doc)
+    List.map Sxml.Tree.string_value (eval ~env pt doc)
   in
   Alcotest.(check (list string)) "pipeline = manual" manual via_pipeline
 
@@ -75,7 +83,7 @@ let test_recursive_group () =
   let p = Pipeline.create dtd ~groups:[ ("buyers", Workload.Xmark.spec) ] in
   let doc = Workload.Xmark.document ~seed:3 ~scale:3 () in
   (* answer computes the height itself *)
-  let names = Pipeline.answer p ~group:"buyers" (parse "//person/name") doc in
+  let names = Pipeline.answer_exn p ~group:"buyers" (parse "//person/name") doc in
   Alcotest.(check bool) "answers arrive" true (names <> []);
   (* translate without a height must refuse on a recursive view *)
   Alcotest.(check bool) "translate needs height" true
@@ -85,8 +93,9 @@ let test_recursive_group () =
   (* different heights are cached separately *)
   ignore (Pipeline.translate p ~group:"buyers" ~height:5 (parse "//name"));
   ignore (Pipeline.translate p ~group:"buyers" ~height:7 (parse "//name"));
-  let _, misses = Pipeline.cache_stats p ~group:"buyers" in
-  Alcotest.(check bool) "separate cache entries per height" true (misses >= 3)
+  let s = Pipeline.cache_stats p ~group:"buyers" in
+  Alcotest.(check bool) "separate cache entries per height" true
+    (s.Pipeline.misses >= 3)
 
 let test_with_stored_views () =
   let dtd = Workload.Hospital.dtd in
@@ -100,7 +109,7 @@ let test_with_stored_views () =
   let env = Workload.Hospital.nurse_env "6" in
   Alcotest.(check int) "stored view answers" 3
     (List.length
-       (Pipeline.answer p ~group:"nurses" ~env (parse "//patient/name") doc))
+       (Pipeline.answer_exn p ~group:"nurses" ~env (parse "//patient/name") doc))
 
 let test_indexed_answers () =
   let dtd = Workload.Adex.dtd in
@@ -109,8 +118,8 @@ let test_indexed_answers () =
   let idx = Sxml.Index.build doc in
   let q = Workload.Adex.q1 in
   Alcotest.(check int) "indexed = plain"
-    (List.length (Pipeline.answer p ~group:"re" q doc))
-    (List.length (Pipeline.answer p ~group:"re" ~index:idx q doc))
+    (List.length (Pipeline.answer_exn p ~group:"re" q doc))
+    (List.length (Pipeline.answer_exn p ~group:"re" ~index:idx q doc))
 
 let () =
   Alcotest.run "pipeline"

@@ -21,6 +21,10 @@ module Simulate = Secview.Simulate
 module Materialize = Secview.Materialize
 module Access = Secview.Access
 
+(* deprecated-free shim over the Ctx evaluation API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
+
 let type_name i = Printf.sprintf "t%d" i
 
 (* Random normal-form DTDs, generated as DAGs (type i only references
@@ -206,12 +210,12 @@ let prop_rewrite_equivalent =
       | vt ->
         let height = element_height doc in
         let pt = Rewrite.rewrite_with_height view ~height q in
-        let direct = ids (Sxpath.Eval.eval pt doc) in
+        let direct = ids (eval pt doc) in
         let tree, source_of = Materialize.to_tree_with_sources vt in
         let via_view =
           List.filter_map
             (fun (n : Sxml.Tree.t) -> source_of n.id)
-            (Sxpath.Eval.eval q tree)
+            (eval q tree)
           |> List.sort_uniq compare
         in
         direct = via_view)
@@ -230,7 +234,7 @@ let prop_optimize_equivalent =
   QCheck2.Test.make ~name:"optimize preserves answers" ~count:300
     ~print:print_doc_query gen_doc_query (fun (dtd, doc, q) ->
       let po = Optimize.optimize dtd q in
-      ids (Sxpath.Eval.eval q doc) = ids (Sxpath.Eval.eval po doc))
+      ids (eval q doc) = ids (eval po doc))
 
 let gen_containment =
   let open QCheck2.Gen in
@@ -249,8 +253,8 @@ let prop_containment_sound =
     gen_containment
     (fun (dtd, doc, q1, q2) ->
       QCheck2.assume (Simulate.contained dtd q1 q2 (Sdtd.Dtd.root dtd));
-      let s1 = ids (Sxpath.Eval.eval q1 doc) in
-      let s2 = ids (Sxpath.Eval.eval q2 doc) in
+      let s1 = ids (eval q1 doc) in
+      let s2 = ids (eval q2 doc) in
       List.for_all (fun x -> List.mem x s2) s1)
 
 let prop_rewrite_output_is_secure =
@@ -278,7 +282,7 @@ let prop_rewrite_output_is_secure =
           (fun (n : Sxml.Tree.t) ->
             Access.IntSet.mem n.id accessible
             || List.mem n.id dummy_sources)
-          (Sxpath.Eval.eval pt doc))
+          (eval pt doc))
 
 let prop_view_definition_roundtrip =
   QCheck2.Test.make ~name:"view definitions roundtrip through text"
@@ -317,7 +321,7 @@ let prop_indexed_rewrite_equivalent =
       let height = element_height doc in
       let pt = Rewrite.rewrite_with_height view ~height q in
       let idx = Sxml.Index.build doc in
-      ids (Sxpath.Eval.eval pt doc) = ids (Sxpath.Eval.eval ~index:idx pt doc))
+      ids (eval pt doc) = ids (eval ~index:idx pt doc))
 
 let () =
   Alcotest.run "properties"

@@ -10,6 +10,10 @@ module Derive = Secview.Derive
 module Rewrite = Secview.Rewrite
 module Materialize = Secview.Materialize
 
+(* deprecated-free shim over the Ctx evaluation API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
+
 let e l = R.Elt l
 let parse = Sxpath.Parse.of_string
 let path_t = Alcotest.testable Sxpath.Print.pp Sxpath.Simplify.equivalent_syntax
@@ -24,14 +28,14 @@ let check_equivalent ?(env = fun _ -> None) ~spec ~view query doc =
   let direct =
     List.map
       (fun n -> n.Sxml.Tree.id)
-      (Sxpath.Eval.eval ~env pt doc)
+      (eval ~env pt doc)
   in
   let vt = Materialize.materialize ~env ~spec ~view doc in
   let tree, source_of = Materialize.to_tree_with_sources vt in
   let via_view =
     List.filter_map
       (fun n -> source_of n.Sxml.Tree.id)
-      (Sxpath.Eval.eval ~env query tree)
+      (eval ~env query tree)
     |> List.sort_uniq compare
   in
   Alcotest.(check (list int))
@@ -207,7 +211,7 @@ let test_inference_attack_blocked () =
   let doc = Workload.Hospital.sample_document () in
   let p1, p2 = Workload.Hospital.inference_queries in
   (* Over the raw document the difference reveals the trial patient. *)
-  let names p = List.map Sxml.Tree.string_value (Sxpath.Eval.eval ~env p doc) in
+  let names p = List.map Sxml.Tree.string_value (eval ~env p doc) in
   let diff =
     List.filter (fun n -> not (List.mem n (names p2))) (names p1)
   in
@@ -217,7 +221,7 @@ let test_inference_attack_blocked () =
      answers coincide: the difference is empty. *)
   let eval_rw p =
     List.map Sxml.Tree.string_value
-      (Sxpath.Eval.eval ~env (Rewrite.rewrite view p) doc)
+      (eval ~env (Rewrite.rewrite view p) doc)
   in
   let r1 = eval_rw p1 and r2 = eval_rw p2 in
   Alcotest.(check (list string)) "view answers coincide" r2 r1
@@ -240,7 +244,7 @@ let test_recursive_unfolding () =
     (parse "a/b | a/c/a/b | a/c/a/c/a/b")
     pt;
   let values =
-    List.map Sxml.Tree.string_value (Sxpath.Eval.eval pt doc)
+    List.map Sxml.Tree.string_value (eval pt doc)
   in
   Alcotest.(check (list string)) "hidden b excluded"
     [ "visible-1"; "visible-2"; "visible-3" ]
@@ -256,7 +260,7 @@ let test_recursive_depths () =
       Alcotest.(check int)
         (Printf.sprintf "depth %d: all visible b's" depth)
         depth
-        (List.length (Sxpath.Eval.eval pt doc)))
+        (List.length (eval pt doc)))
     [ 1; 2; 4; 6 ]
 
 (* ---- paper mode vs precise mode ------------------------------------ *)
@@ -293,7 +297,7 @@ let test_paper_mode_leak_documented () =
   let q = parse "(a | b)/c" in
   let coarse = Rewrite.rewrite ~mode:`Paper view q in
   let leak =
-    List.map Sxml.Tree.string_value (Sxpath.Eval.eval coarse doc)
+    List.map Sxml.Tree.string_value (eval coarse doc)
   in
   Alcotest.(check (list string)) "published algorithm over-returns"
     [ "public"; "secret" ] leak
@@ -302,7 +306,7 @@ let test_precise_mode_no_leak () =
   let spec, view, doc = leak_setup () in
   let q = parse "(a | b)/c" in
   let precise = Rewrite.rewrite view q in
-  let safe = List.map Sxml.Tree.string_value (Sxpath.Eval.eval precise doc) in
+  let safe = List.map Sxml.Tree.string_value (eval precise doc) in
   Alcotest.(check (list string)) "precise mode returns only accessible data"
     [ "public" ] safe;
   check_equivalent ~spec ~view q doc
@@ -316,7 +320,7 @@ let test_modes_agree_on_paper_examples () =
       let doc = Workload.Hospital.sample_document () in
       let env = Workload.Hospital.nurse_env "6" in
       let ids p =
-        List.map (fun n -> n.Sxml.Tree.id) (Sxpath.Eval.eval ~env p doc)
+        List.map (fun n -> n.Sxml.Tree.id) (eval ~env p doc)
       in
       Alcotest.(check (list int)) ("modes agree on " ^ q) (ids a) (ids b))
     [ "//patient//bill"; "//name"; "//treatment/*"; "dept/patientInfo" ]
@@ -351,7 +355,7 @@ let test_adex_modes_agree () =
       let a = Rewrite.rewrite ~mode:`Paper view q in
       let b = Rewrite.rewrite ~mode:`Precise view q in
       let ids p =
-        List.map (fun (n : Sxml.Tree.t) -> n.id) (Sxpath.Eval.eval p doc)
+        List.map (fun (n : Sxml.Tree.t) -> n.id) (eval p doc)
       in
       Alcotest.(check (list int)) ("adex modes agree on " ^ name) (ids a)
         (ids b))
@@ -422,12 +426,12 @@ let test_xmark_rewrite_equivalence_via_view_tree () =
       let q = parse q in
       let pt = Rewrite.rewrite_with_height view ~height q in
       let direct =
-        List.map (fun (n : Sxml.Tree.t) -> n.id) (Sxpath.Eval.eval pt doc)
+        List.map (fun (n : Sxml.Tree.t) -> n.id) (eval pt doc)
       in
       let via =
         List.filter_map
           (fun (n : Sxml.Tree.t) -> source_of n.id)
-          (Sxpath.Eval.eval q tree)
+          (eval q tree)
         |> List.sort_uniq compare
       in
       Alcotest.(check (list int))

@@ -250,7 +250,7 @@ let test_pipeline_hammer () =
   let reference = Pipeline.create dtd ~groups in
   let expected =
     List.map
-      (fun (g, q, d) -> render (Pipeline.answer reference ~group:g q d))
+      (fun (g, q, d) -> render (Pipeline.answer_exn reference ~group:g q d))
       cells
   in
   let pipe = Pipeline.create dtd ~groups in
@@ -260,7 +260,8 @@ let test_pipeline_hammer () =
     for _ = 1 to iters do
       List.iter2
         (fun (g, q, d) want ->
-          if not (String.equal (render (Pipeline.answer pipe ~group:g q d)) want)
+          if not
+               (String.equal (render (Pipeline.answer_exn pipe ~group:g q d)) want)
           then Atomic.incr wrong)
         cells expected
     done
@@ -276,14 +277,24 @@ let test_pipeline_hammer () =
     n_threads * iters * List.length Workload.Adex.queries * List.length docs
   in
   List.iter
-    (fun (g, (hits, misses)) ->
+    (fun (g, s) ->
+      let open Pipeline in
       Alcotest.(check int)
         (Printf.sprintf "hits+misses accounted for (%s)" g)
-        calls_per_group (hits + misses);
+        calls_per_group (s.hits + s.misses);
       Alcotest.(check bool)
         (Printf.sprintf "cache warmed (%s)" g)
         true
-        (misses < calls_per_group && hits > 0))
+        (s.misses < calls_per_group && s.hits > 0);
+      (* the default engine consults the plan cache on every call *)
+      Alcotest.(check int)
+        (Printf.sprintf "plan lookups accounted for (%s)" g)
+        calls_per_group
+        (s.plan_hits + s.plan_misses);
+      Alcotest.(check bool)
+        (Printf.sprintf "plan cache warmed (%s)" g)
+        true
+        (s.plan_misses < calls_per_group && s.plan_hits > 0))
     (Pipeline.stats pipe)
 
 (* ---- the server over a real socket ---------------------------------- *)
@@ -370,7 +381,7 @@ let test_server_roundtrips () =
     in
     List.map
       (fun n -> Sxml.Print.to_string n)
-      (Pipeline.answer reference ~group:"re"
+      (Pipeline.answer_exn reference ~group:"re"
          (Sxpath.Parse.of_string "//house") doc)
   in
   send fd (Protocol.query_json ~doc:"d1" "//house");

@@ -7,6 +7,10 @@ module Rewrite = Secview.Rewrite
 module Materialize = Secview.Materialize
 module Access = Secview.Access
 
+(* deprecated-free shim over the Ctx evaluation API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
+
 let parse = Sxpath.Parse.of_string
 
 let test_dtd_shape () =
@@ -80,14 +84,14 @@ let check_equivalent ~spec ~view q doc =
   let height = Workload.Xmark.element_height doc in
   let pt = Rewrite.rewrite_with_height view ~height q in
   let direct =
-    List.map (fun (n : Sxml.Tree.t) -> n.id) (Sxpath.Eval.eval pt doc)
+    List.map (fun (n : Sxml.Tree.t) -> n.id) (eval pt doc)
   in
   let vt = Materialize.materialize ~spec ~view doc in
   let tree, source_of = Materialize.to_tree_with_sources vt in
   let via_view =
     List.filter_map
       (fun (n : Sxml.Tree.t) -> source_of n.id)
-      (Sxpath.Eval.eval q tree)
+      (eval q tree)
     |> List.sort_uniq compare
   in
   Alcotest.(check (list int))
@@ -113,11 +117,11 @@ let test_recursive_descent_bounded_by_height () =
     List.filter
       (fun (n : Sxml.Tree.t) ->
         Sxml.Tree.tag n = Some "text")
-      (Sxpath.Eval.eval (parse "//listitem//text") doc)
+      (eval (parse "//listitem//text") doc)
   in
   Alcotest.(check int) "all nested texts found"
     (List.length expected)
-    (List.length (Sxpath.Eval.eval pt doc))
+    (List.length (eval pt doc))
 
 let test_hidden_data_unreachable () =
   let view = Workload.Xmark.view () in
@@ -129,7 +133,7 @@ let test_hidden_data_unreachable () =
         (q ^ " rewrites to nothing")
         0
         (List.length
-           (Sxpath.Eval.eval
+           (eval
               (Rewrite.rewrite_with_height view ~height (parse q))
               doc)))
     [ "//creditcard"; "//income"; "//payment"; "//closed-auction/buyer" ]
@@ -140,7 +144,7 @@ let test_conditional_address_rule () =
   let doc = Workload.Xmark.document ~seed:13 ~scale:8 () in
   let height = Workload.Xmark.element_height doc in
   let pt = Rewrite.rewrite_with_height view ~height (parse "//address") in
-  let results = Sxpath.Eval.eval pt doc in
+  let results = eval pt doc in
   Alcotest.(check bool) "some US addresses in a big enough document" true
     (results <> []);
   List.iter
@@ -148,7 +152,7 @@ let test_conditional_address_rule () =
       Alcotest.(check bool) "only US addresses" true
         (List.exists
            (fun c -> Sxml.Tree.string_value c = "US")
-           (Sxpath.Eval.eval (parse "country") n)))
+           (eval (parse "country") n)))
     results;
   ignore spec
 

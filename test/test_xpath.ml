@@ -3,6 +3,20 @@
 
 module A = Sxpath.Ast
 
+(* deprecated-free shims over the Ctx evaluation API *)
+let eval ?env ?index p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) p
+
+let eval_doc p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ~at:`Document ~root:doc ()) p
+
+let eval_nodes p nodes =
+  match nodes with
+  | [] -> []
+  | n :: _ -> Sxpath.Eval.run_nodes (Sxpath.Eval.Ctx.make ~root:n ()) p nodes
+
+let holds q doc = Sxpath.Eval.check (Sxpath.Eval.Ctx.make ~root:doc ()) q doc
+
 let path_t = Alcotest.testable Sxpath.Print.pp A.equal_path
 
 let parse = Sxpath.Parse.of_string
@@ -175,7 +189,7 @@ let doc () =
          ]))
 
 let strings p d =
-  List.map Sxml.Tree.string_value (Sxpath.Eval.eval p d)
+  List.map Sxml.Tree.string_value (eval p d)
 
 let test_eval_child_steps () =
   let d = doc () in
@@ -198,7 +212,7 @@ let test_eval_descendant () =
 
 let test_eval_dedup_and_order () =
   let d = doc () in
-  let results = Sxpath.Eval.eval (parse "//b | a/b | //c/b") d in
+  let results = eval (parse "//b | a/b | //c/b") d in
   let ids = List.map (fun n -> n.Sxml.Tree.id) results in
   Alcotest.(check (list int)) "sorted, no duplicates"
     (List.sort_uniq compare ids) ids;
@@ -216,39 +230,39 @@ let test_eval_qualifiers () =
     [ "one"; "three" ]
     (strings (parse "a[c or b = \"three\"]/b") d);
   Alcotest.(check int) "attribute qualifier" 1
-    (List.length (Sxpath.Eval.eval (parse "//c[@acc = \"1\"]") d));
+    (List.length (eval (parse "//c[@acc = \"1\"]") d));
   Alcotest.(check int) "attribute existence" 1
-    (List.length (Sxpath.Eval.eval (parse "//c[@acc]") d));
+    (List.length (eval (parse "//c[@acc]") d));
   Alcotest.(check int) "attribute mismatch" 0
-    (List.length (Sxpath.Eval.eval (parse "//c[@acc = \"0\"]") d))
+    (List.length (eval (parse "//c[@acc = \"0\"]") d))
 
 let test_eval_eps_and_empty () =
   let d = doc () in
   Alcotest.(check int) "eps is the context node" 1
-    (List.length (Sxpath.Eval.eval A.Eps d));
+    (List.length (eval A.Eps d));
   Alcotest.(check int) "empty returns nothing" 0
-    (List.length (Sxpath.Eval.eval A.Empty d));
+    (List.length (eval A.Empty d));
   Alcotest.(check int) "// alone returns all elements (text is str data)"
     (Sxml.Tree.count_elements d)
-    (List.length (Sxpath.Eval.eval (parse "//.") d))
+    (List.length (eval (parse "//.") d))
 
 let test_eval_doc_vs_node () =
   let d = doc () in
   (* At the root element, "r" looks for r children: none.  At the
      document node, "r" is the root itself. *)
   Alcotest.(check int) "r at root element" 0
-    (List.length (Sxpath.Eval.eval (parse "r") d));
+    (List.length (eval (parse "r") d));
   Alcotest.(check int) "r at document node" 1
-    (List.length (Sxpath.Eval.eval_doc (parse "r") d))
+    (List.length (eval_doc (parse "r") d))
 
 let test_eval_env () =
   let d = doc () in
   let env n = if n = "x" then Some "one" else None in
   Alcotest.(check (list string)) "variable bound" [ "one" ]
     (List.map Sxml.Tree.string_value
-       (Sxpath.Eval.eval ~env (parse "a[b = $x]/b") d));
+       (eval ~env (parse "a[b = $x]/b") d));
   Alcotest.(check bool) "unbound variable raises" true
-    (match Sxpath.Eval.eval (parse "a[b = $x]") d with
+    (match eval (parse "a[b = $x]") d with
     | exception Sxpath.Eval.Unbound_variable "x" -> true
     | _ -> false)
 
@@ -257,14 +271,14 @@ let test_eval_equality_on_elements () =
      formulation. *)
   let d = doc () in
   Alcotest.(check int) "d = leaf" 1
-    (List.length (Sxpath.Eval.eval (parse ".[d = \"leaf\"]") d))
+    (List.length (eval (parse ".[d = \"leaf\"]") d))
 
 let test_holds () =
   let d = doc () in
   Alcotest.(check bool) "holds" true
-    (Sxpath.Eval.holds (Sxpath.Parse.qual_of_string "a/b") d);
+    (holds (Sxpath.Parse.qual_of_string "a/b") d);
   Alcotest.(check bool) "fails" false
-    (Sxpath.Eval.holds (Sxpath.Parse.qual_of_string "zz") d)
+    (holds (Sxpath.Parse.qual_of_string "zz") d)
 
 (* --- simplifier ----------------------------------------------------- *)
 
@@ -309,7 +323,7 @@ let gen_path =
                  ]);
           ])
 
-let ids p d = List.map (fun n -> n.Sxml.Tree.id) (Sxpath.Eval.eval p d)
+let ids p d = List.map (fun n -> n.Sxml.Tree.id) (eval p d)
 
 let prop_simplify_preserves =
   QCheck2.Test.make ~name:"simplify preserves evaluation" ~count:300 gen_path
@@ -393,9 +407,9 @@ let test_print_parse_tricky_shapes () =
 
 let test_eval_nodes_set_at_a_time () =
   let d = doc () in
-  let contexts = Sxpath.Eval.eval (parse "a") d in
+  let contexts = eval (parse "a") d in
   Alcotest.(check int) "two a contexts" 2 (List.length contexts);
-  let all_bs = Sxpath.Eval.eval_nodes (parse "b") contexts in
+  let all_bs = eval_nodes (parse "b") contexts in
   Alcotest.(check (list string)) "direct b children of both"
     [ "one"; "three" ]
     (List.map Sxml.Tree.string_value all_bs)
@@ -404,7 +418,7 @@ let test_eval_doc_descendants () =
   let d = doc () in
   Alcotest.(check int) "//. from the document node counts all elements"
     (Sxml.Tree.count_elements d)
-    (List.length (Sxpath.Eval.eval_doc (parse "//.") d))
+    (List.length (eval_doc (parse "//.") d))
 
 let canon_path_t =
   Alcotest.testable Sxpath.Print.pp Sxpath.Simplify.equivalent_syntax
