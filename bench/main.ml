@@ -52,6 +52,7 @@ type stats = {
   t_min : float;
   t_median : float;
   t_p95 : float;
+  t_samples : float array;  (** sorted, seconds — kept for the JSON dump *)
 }
 
 let measure_stats ?(reps = 5) f =
@@ -66,16 +67,38 @@ let measure_stats ?(reps = 5) f =
     t_min = times.(0);
     t_median = Sobs.Metrics.percentile times 50.;
     t_p95 = Sobs.Metrics.percentile times 95.;
+    t_samples = times;
   }
 
 let measure ?reps f = (measure_stats ?reps f).t_median
 
+(* Point estimates plus the explicit-bucket histogram ([le] in ms,
+   cumulative counts — the OpenMetrics shape): cross-PR tooling can
+   difference whole distributions, not just three quantiles. *)
 let stats_ms_json s =
+  let reg = Sobs.Metrics.create () in
+  Array.iter
+    (fun dt -> Sobs.Metrics.observe reg "t" (1000. *. dt))
+    s.t_samples;
+  let buckets =
+    List.map
+      (fun (le, n) ->
+        Sobs.Json.Obj [ ("le", Sobs.Json.Float le); ("n", Sobs.Json.Int n) ])
+      (Sobs.Metrics.buckets reg "t")
+    @ [
+        Sobs.Json.Obj
+          [
+            ("le", Sobs.Json.String "+Inf");
+            ("n", Sobs.Json.Int (Array.length s.t_samples));
+          ];
+      ]
+  in
   Sobs.Json.Obj
     [
       ("min", Sobs.Json.Float (1000. *. s.t_min));
       ("median", Sobs.Json.Float (1000. *. s.t_median));
       ("p95", Sobs.Json.Float (1000. *. s.t_p95));
+      ("buckets", Sobs.Json.List buckets);
     ]
 
 (* machine-independent work measure: evaluator context×step visits *)

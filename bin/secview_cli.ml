@@ -52,6 +52,37 @@ let root_arg =
   let doc = "Root element type (default: first declared)." in
   Arg.(value & opt (some string) None & info [ "root" ] ~docv:"NAME" ~doc)
 
+let pair_conv ~what =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> Error (`Msg ("expected " ^ what))
+  in
+  let print ppf (k, v) = Format.fprintf ppf "%s=%s" k v in
+  Arg.conv (parse, print)
+
+let group_specs_arg =
+  let doc =
+    "Define user group $(i,NAME) by the access specification in \
+     $(i,SPECFILE) (repeatable; --spec FILE is shorthand for \
+     --group user=FILE)."
+  in
+  Arg.(
+    value
+    & opt_all (pair_conv ~what:"NAME=SPECFILE") []
+    & info [ "group" ] ~docv:"NAME=SPECFILE" ~doc)
+
+(* groups from --spec (shorthand for user=FILE) plus repeated --group *)
+let named_groups ~cmd dtd spec_path group_specs =
+  let named =
+    (match spec_path with Some p -> [ ("user", p) ] | None -> [])
+    @ group_specs
+  in
+  if named = [] then
+    failwith (cmd ^ ": provide --spec FILE and/or --group NAME=SPECFILE");
+  List.map (fun (g, p) -> (g, Secview.Spec.of_sidecar_file dtd p)) named
+
 let load_dtd root path = Sdtd.Parse.of_file ?root path
 
 let setup dtd_path root spec_path =
@@ -264,13 +295,26 @@ let engine_arg =
 
 let query_cmd =
   let run dtd_path root spec_path doc_path queries bindings approach engine
-      indexed stats strict timeout trace metrics audit_log =
+      indexed stats strict timeout trace trace_out metrics slow_ms audit_log =
     if queries = [] then failwith "query: at least one QUERY is required";
-    let observing = trace || metrics || audit_log <> None in
+    let observing =
+      trace || metrics || trace_out <> None || slow_ms <> None
+      || audit_log <> None
+    in
     let registry = Sobs.Metrics.create () in
     let tracer = Sobs.Tracer.create ~metrics:registry () in
     if observing then Sobs.Tracer.install tracer;
     let alog = Option.map (open_audit_log ~tracer) audit_log in
+    (* slow-query records ride the audit log when there is one and a
+       private stderr stream otherwise — --slow-ms alone should not
+       force full request auditing on *)
+    let slow_log, slow_owned =
+      match (slow_ms, alog) with
+      | None, _ -> (None, false)
+      | Some _, Some a -> (Some a, false)
+      | Some _, None ->
+        (Some (Sobs.Audit_log.create Sobs.Audit_log.Stderr), true)
+    in
     let dtd, spec, view = setup dtd_path root spec_path in
     let doc = Sxml.Parse.of_file doc_path in
     let env = env_of_bindings bindings in
@@ -327,10 +371,28 @@ let query_cmd =
         Option.iter Sobs.Audit_log.install alog;
         let answers =
           List.concat_map
-            (fun q ->
-              Secview.Pipeline.answer_exn pipe ~group:"user" ~engine ~env
-                ?index q doc)
-            qs
+            (fun (qtext, q) ->
+              let t0 = Sserver.Deadline.now () in
+              let m = Sobs.Tracer.mark tracer in
+              match
+                Secview.Pipeline.answer_outcome pipe ~group:"user" ~engine
+                  ~counts:(slow_ms <> None) ~env ?index q doc
+              with
+              | Error e -> raise (Secview.Error.E e)
+              | Ok o ->
+                let latency_ms = 1000. *. (Sserver.Deadline.now () -. t0) in
+                (match (slow_ms, slow_log) with
+                | Some thr, Some sl when latency_ms > thr ->
+                  Sobs.Audit_log.log_slow_query sl ~group:"user" ~query:qtext
+                    ~translated:
+                      (Sxpath.Print.to_string o.Secview.Pipeline.o_translated)
+                    ~latency_ms ~threshold_ms:thr
+                    ~stages:
+                      (Sobs.Tracer.stage_totals (Sobs.Tracer.since tracer m))
+                    ~counts:o.Secview.Pipeline.o_counts ()
+                | _ -> ());
+                o.Secview.Pipeline.o_results)
+            (List.combine queries qs)
         in
         if stats then
           List.iter
@@ -348,6 +410,12 @@ let query_cmd =
     List.iter (fun n -> print_endline (Sxml.Print.to_string n)) results;
     if trace then Format.eprintf "%a%!" Sobs.Tracer.pp tracer;
     if metrics then Format.eprintf "%a%!" Sobs.Metrics.pp registry;
+    Option.iter
+      (fun path ->
+        Sobs.Export.write_chrome_trace path (Sobs.Tracer.spans tracer))
+      trace_out;
+    if slow_owned then
+      Option.iter Sobs.Audit_log.close slow_log;
     Option.iter Sobs.Audit_log.close alog;
     if observing then Sobs.Tracer.uninstall ();
     Sobs.Audit_log.uninstall ()
@@ -410,6 +478,26 @@ let query_cmd =
             "Collect counters and per-stage latency series for this run and \
              print the registry on stderr.")
   in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the recorded spans as Chrome trace_event JSON to $(docv) \
+             — load it in chrome://tracing or Perfetto.")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Emit a JSONL slow_query record (translated query, stage \
+             timings, plan operator counts) for every query slower than \
+             $(docv) milliseconds, to --audit-log's stream or stderr; \
+             optimize approach only.")
+  in
   let audit_log_arg =
     Arg.(
       value
@@ -428,59 +516,97 @@ let query_cmd =
     Term.(
       const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ queries_arg
       $ bind_arg $ approach_arg $ engine_arg $ index_arg $ stats_arg
-      $ strict_arg $ timeout_arg $ trace_arg $ metrics_arg $ audit_log_arg)
+      $ strict_arg $ timeout_arg $ trace_arg $ trace_out_arg $ metrics_arg
+      $ slow_ms_arg $ audit_log_arg)
 
-let metrics_cmd =
-  let run dtd_path root spec_path doc_path bindings engine repeat json
-      queries =
-    if queries = [] then failwith "metrics: at least one QUERY is required";
-    let registry = Sobs.Metrics.create () in
-    let tracer = Sobs.Tracer.create ~metrics:registry () in
-    Sobs.Tracer.install tracer;
+let explain_cmd =
+  let run dtd_path root spec_path group_specs doc_path bindings json group
+      query =
     let dtd = load_dtd root dtd_path in
-    let spec = Secview.Spec.of_sidecar_file dtd spec_path in
-    let pipe = Secview.Pipeline.create dtd ~groups:[ ("user", spec) ] in
+    let groups = named_groups ~cmd:"explain" dtd spec_path group_specs in
+    let pipe = Secview.Pipeline.create dtd ~groups in
     let doc = Sxml.Parse.of_file doc_path in
     let env = env_of_bindings bindings in
-    List.iter
-      (fun qs ->
-        let q = Sxpath.Parse.of_string qs in
-        for _ = 1 to repeat do
-          ignore
-            (Secview.Pipeline.answer_exn pipe ~group:"user" ~engine ~env q
-               doc)
-        done)
-      queries;
-    Sobs.Tracer.uninstall ();
-    if json then
-      print_endline (Sobs.Json.to_string (Sobs.Metrics.to_json registry))
-    else Format.printf "%a%!" Sobs.Metrics.pp registry
+    let q = Sxpath.Parse.of_string query in
+    match Secview.Pipeline.explain pipe ~group ~env q doc with
+    | Error e -> raise (Secview.Error.E e)
+    | Ok x ->
+      let engine_name =
+        if x.Secview.Pipeline.x_plan <> None then "plan" else "interp"
+      in
+      let translated =
+        Sxpath.Print.to_string x.Secview.Pipeline.x_translated
+      in
+      if json then
+        let j =
+          Sobs.Json.Obj
+            [
+              ("query", Sobs.Json.String query);
+              ("translated", Sobs.Json.String translated);
+              ("engine", Sobs.Json.String engine_name);
+              ( "height",
+                match x.Secview.Pipeline.x_height with
+                | Some h -> Sobs.Json.Int h
+                | None -> Sobs.Json.Null );
+              ( "fallback",
+                match x.Secview.Pipeline.x_fallback with
+                | Some r -> Sobs.Json.String r
+                | None -> Sobs.Json.Null );
+              ("results", Sobs.Json.Int x.Secview.Pipeline.x_results);
+              ( "plan",
+                match x.Secview.Pipeline.x_plan with
+                | Some (compiled, stats) ->
+                  Sserver.Protocol.explain_json
+                    (Splan.Explain.of_compiled compiled stats)
+                | None -> Sobs.Json.Null );
+            ]
+        in
+        print_endline (Sobs.Json.to_string j)
+      else begin
+        Printf.printf "query:      %s\n" query;
+        Printf.printf "translated: %s\n" translated;
+        (match x.Secview.Pipeline.x_height with
+        | Some h -> Printf.printf "height:     %d\n" h
+        | None -> ());
+        Printf.printf "engine:     %s\n" engine_name;
+        (match x.Secview.Pipeline.x_fallback with
+        | Some r -> Printf.printf "fallback:   %s\n" r
+        | None -> ());
+        Printf.printf "results:    %d\n" x.Secview.Pipeline.x_results;
+        match x.Secview.Pipeline.x_plan with
+        | Some (compiled, stats) ->
+          print_newline ();
+          Format.printf "%a%!" Splan.Explain.pp
+            (Splan.Explain.of_compiled compiled stats)
+        | None -> ()
+      end
   in
-  let repeat_arg =
-    Arg.(
-      value & opt int 2
-      & info [ "repeat" ] ~docv:"N"
-          ~doc:
-            "Answer each query $(docv) times, so the translation cache's \
-             steady-state behaviour shows up in the counters.")
+  let group_pos_arg =
+    let doc = "User group whose security view answers the query." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"GROUP" ~doc)
+  in
+  let query_pos_arg =
+    let doc = "View query (fragment C) to explain." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc)
   in
   let json_arg =
     Arg.(
       value & flag
-      & info [ "json" ] ~doc:"Dump the registry as JSON instead of text.")
-  in
-  let queries_arg =
-    let doc = "View queries to drive the pipeline with." in
-    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: one JSON object with the plan tree \
+             nested under \"plan\" (the server's explain reply, minus the \
+             envelope).")
   in
   Cmd.v
-    (Cmd.info "metrics"
+    (Cmd.info "explain"
        ~doc:
-         "Run queries through the full pipeline and dump the metrics \
-          registry (counters + per-stage latency percentiles)")
+         "Translate a view query, run it once, and show the physical plan \
+          with per-operator work counters (or the interpreter-fallback \
+          reason)")
     Term.(
-      const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ bind_arg
-      $ engine_arg $ repeat_arg $ json_arg $ queries_arg)
+      const run $ dtd_arg $ root_arg $ spec_opt_arg $ group_specs_arg
+      $ doc_arg $ bind_arg $ json_arg $ group_pos_arg $ query_pos_arg)
 
 let lint_cmd =
   let run dtd_path root spec_path view_path machine audit_log queries =
@@ -618,16 +744,6 @@ let validate_cmd =
 
 (* ---- server and client --------------------------------------------- *)
 
-let pair_conv ~what =
-  let parse s =
-    match String.index_opt s '=' with
-    | Some i ->
-      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
-    | None -> Error (`Msg ("expected " ^ what))
-  in
-  let print ppf (k, v) = Format.fprintf ppf "%s=%s" k v in
-  Arg.conv (parse, print)
-
 let socket_arg =
   let doc = "Listen on (or connect to) a Unix-domain socket at $(docv)." in
   Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
@@ -642,17 +758,10 @@ let host_arg =
 
 let serve_cmd =
   let run dtd_path root spec_path group_specs docs socket tcp host workers
-      queue deadline engine audit_log debug strict preload =
+      queue deadline engine audit_log debug strict preload slow_ms
+      metrics_port =
     let dtd = load_dtd root dtd_path in
-    let named =
-      (match spec_path with Some p -> [ ("user", p) ] | None -> [])
-      @ group_specs
-    in
-    if named = [] then
-      failwith "serve: provide --spec FILE and/or --group NAME=SPECFILE";
-    let groups =
-      List.map (fun (g, p) -> (g, Secview.Spec.of_sidecar_file dtd p)) named
-    in
+    let groups = named_groups ~cmd:"serve" dtd spec_path group_specs in
     if docs = [] then
       failwith "serve: at least one --doc NAME=FILE is required";
     let catalog = Secview.Catalog.create () in
@@ -664,18 +773,48 @@ let serve_cmd =
         (fun e -> ignore (Secview.Catalog.doc e))
         (Secview.Catalog.entries catalog);
     let pipe = Secview.Pipeline.create ~strict ~catalog dtd ~groups in
-    let alog = Option.map (fun p -> open_audit_log p) audit_log in
+    (* one registry for everything a scrape should see; the tracer
+       (installed only when something consumes stage timings) feeds the
+       per-stage latency series into it *)
+    let registry = Sobs.Metrics.create () in
+    let tracer =
+      if slow_ms <> None || metrics_port <> None then begin
+        let tr =
+          Sobs.Tracer.create ~metrics:registry ~retain:false ()
+        in
+        Sobs.Tracer.install tr;
+        Some tr
+      end
+      else None
+    in
+    let alog =
+      match (audit_log, slow_ms) with
+      | Some p, _ -> Some (open_audit_log p)
+      | None, Some _ ->
+        (* a slow-query threshold without a log would observe and then
+           say nothing: default the trail to stderr *)
+        Some (Sobs.Audit_log.create Sobs.Audit_log.Stderr)
+      | None, None -> None
+    in
     let config =
       { Sserver.Server.workers; queue_capacity = queue; deadline; debug;
-        engine }
+        engine; slow_ms }
     in
-    let server = Sserver.Server.create ~config ?audit:alog pipe in
+    let server =
+      Sserver.Server.create ~config ?audit:alog ~metrics:registry ?tracer
+        pipe
+    in
     let listeners =
       (match socket with
       | Some p -> [ Sserver.Server.Unix_socket p ]
       | None -> [])
+      @ (match tcp with
+        | Some p -> [ Sserver.Server.Tcp (host, p) ]
+        | None -> [])
       @
-      match tcp with Some p -> [ Sserver.Server.Tcp (host, p) ] | None -> []
+      match metrics_port with
+      | Some p -> [ Sserver.Server.Metrics_http (host, p) ]
+      | None -> []
     in
     if listeners = [] then
       failwith "serve: provide --socket PATH and/or --tcp PORT";
@@ -687,21 +826,15 @@ let serve_cmd =
         | Sserver.Server.Tcp (h, p) ->
           Printf.eprintf "secview: listening on %s:%d\n%!"
             (if h = "" then "127.0.0.1" else h)
+            p
+        | Sserver.Server.Metrics_http (h, p) ->
+          Printf.eprintf "secview: metrics on http://%s:%d/metrics\n%!"
+            (if h = "" then "127.0.0.1" else h)
             p)
       listeners;
     Sserver.Server.serve server listeners;
+    (match tracer with Some _ -> Sobs.Tracer.uninstall () | None -> ());
     Printf.eprintf "secview: drained\n%!"
-  in
-  let group_arg =
-    let doc =
-      "Serve user group $(i,NAME) with the access specification in \
-       $(i,SPECFILE) (repeatable; --spec FILE is shorthand for \
-       --group user=FILE)."
-    in
-    Arg.(
-      value
-      & opt_all (pair_conv ~what:"NAME=SPECFILE") []
-      & info [ "group" ] ~docv:"NAME=SPECFILE" ~doc)
   in
   let docs_arg =
     let doc =
@@ -764,16 +897,37 @@ let serve_cmd =
       & info [ "preload" ]
           ~doc:"Parse every catalog document before accepting connections.")
   in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Write a slow_query audit record (translated query, per-stage \
+             timings, plan operator counts) for every answered query slower \
+             than $(docv) milliseconds, queue wait included; defaults the \
+             audit log to stderr when --audit-log is not given.")
+  in
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Also expose the metrics registry as OpenMetrics text over HTTP \
+             on $(docv) (GET /metrics; same host as --host) for Prometheus \
+             scrapes or 'secview metrics --scrape'.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the concurrent secure-query server (line-delimited JSON over \
           Unix-domain and/or TCP sockets; SIGINT drains gracefully)")
     Term.(
-      const run $ dtd_arg $ root_arg $ spec_opt_arg $ group_arg $ docs_arg
-      $ socket_arg $ tcp_arg $ host_arg $ workers_arg $ queue_arg
+      const run $ dtd_arg $ root_arg $ spec_opt_arg $ group_specs_arg
+      $ docs_arg $ socket_arg $ tcp_arg $ host_arg $ workers_arg $ queue_arg
       $ deadline_arg $ engine_arg $ audit_log_arg $ debug_arg $ strict_arg
-      $ preload_arg)
+      $ preload_arg $ slow_ms_arg $ metrics_port_arg)
 
 let client_cmd =
   let run socket tcp host wait group peer doc_name bindings indexed ping
@@ -948,6 +1102,245 @@ let client_cmd =
       $ peer_arg $ doc_name_arg $ bind_arg $ index_arg $ ping_arg $ stats_arg
       $ shutdown_arg $ send_arg $ queries_arg)
 
+let metrics_cmd =
+  let inet_of host =
+    if host = "" then Unix.inet_addr_loopback
+    else
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let write_all fd s =
+    let b = Bytes.of_string s in
+    let rec go off =
+      if off < Bytes.length b then
+        go (off + Unix.write fd b off (Bytes.length b - off))
+    in
+    go 0
+  in
+  (* one GET /metrics over plain HTTP/1.0 — no curl dependency *)
+  let http_scrape target =
+    let host, port =
+      match String.rindex_opt target ':' with
+      | Some i -> (
+        ( String.sub target 0 i,
+          match
+            int_of_string_opt
+              (String.sub target (i + 1) (String.length target - i - 1))
+          with
+          | Some p -> p
+          | None -> failwith "metrics: --scrape expects HOST:PORT" ))
+      | None -> failwith "metrics: --scrape expects HOST:PORT"
+    in
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (ADDR_INET (inet_of host, port));
+        write_all fd
+          (Printf.sprintf "GET /metrics HTTP/1.0\r\nHost: %s\r\n\r\n" host);
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec slurp () =
+          let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            Buffer.add_subbytes buf chunk 0 n;
+            slurp ()
+          end
+        in
+        slurp ();
+        let response = Buffer.contents buf in
+        let body =
+          let rec split i =
+            if i + 3 >= String.length response then response
+            else if String.sub response i 4 = "\r\n\r\n" then
+              String.sub response (i + 4) (String.length response - i - 4)
+            else split (i + 1)
+          in
+          split 0
+        in
+        let status =
+          match String.index_opt response '\n' with
+          | Some i -> String.trim (String.sub response 0 i)
+          | None -> response
+        in
+        if
+          String.length status < 12
+          || String.sub status 9 3 <> "200"
+        then failwith (Printf.sprintf "metrics: scrape failed: %s" status);
+        body)
+  in
+  (* the server's [metrics] verb over one throwaway connection *)
+  let remote_metrics addr field =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    let ic = Unix.in_channel_of_descr fd in
+    Fun.protect
+      ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+      (fun () ->
+        Unix.connect fd addr;
+        write_all fd
+          (Sobs.Json.to_string (Sserver.Protocol.simple "metrics") ^ "\n");
+        let line = input_line ic in
+        match field with
+        | None -> line ^ "\n"
+        | Some f -> (
+          match
+            Result.to_option (Sobs.Json.of_string line)
+            |> Fun.flip Option.bind (Sobs.Json.member f)
+            |> Fun.flip Option.bind Sobs.Json.to_string_opt
+          with
+          | Some s -> s
+          | None -> failwith ("metrics: request failed: " ^ line)))
+  in
+  let run dtd_path root spec_path doc_path bindings engine repeat json
+      openmetrics socket tcp host scrape watch iterations queries =
+    let remote = scrape <> None || socket <> None || tcp <> None in
+    if watch <> None && not remote then
+      failwith "metrics: --watch needs --socket, --tcp or --scrape";
+    if remote then begin
+      let fetch =
+        match scrape with
+        | Some target -> fun () -> http_scrape target
+        | None ->
+          let addr =
+            match (socket, tcp) with
+            | Some path, None -> Unix.ADDR_UNIX path
+            | None, Some port -> Unix.ADDR_INET (inet_of host, port)
+            | _ -> failwith "metrics: provide exactly one of --socket or --tcp"
+          in
+          let field =
+            if json then None
+            else if openmetrics then Some "openmetrics"
+            else Some "text"
+          in
+          fun () -> remote_metrics addr field
+      in
+      let rounds =
+        match watch with
+        | None -> 1
+        | Some _ -> if iterations > 0 then iterations else max_int
+      in
+      (* clear + reprint, but only on a real terminal: piped output
+         (cram tests, shell captures) gets plain concatenation *)
+      let clear = watch <> None && Unix.isatty Unix.stdout in
+      for i = 1 to rounds do
+        if clear then print_string "\027[2J\027[H";
+        print_string (fetch ());
+        flush stdout;
+        if i < rounds then
+          match watch with Some s -> Thread.delay s | None -> ()
+      done
+    end
+    else begin
+      let need what = function
+        | Some v -> v
+        | None ->
+          failwith
+            (Printf.sprintf
+               "metrics: --%s is required unless --socket, --tcp or \
+                --scrape is given"
+               what)
+      in
+      if queries = [] then failwith "metrics: at least one QUERY is required";
+      let registry = Sobs.Metrics.create () in
+      let tracer = Sobs.Tracer.create ~metrics:registry () in
+      Sobs.Tracer.install tracer;
+      let dtd = load_dtd root (need "dtd" dtd_path) in
+      let spec = Secview.Spec.of_sidecar_file dtd (need "spec" spec_path) in
+      let pipe = Secview.Pipeline.create dtd ~groups:[ ("user", spec) ] in
+      let doc = Sxml.Parse.of_file (need "doc" doc_path) in
+      let env = env_of_bindings bindings in
+      List.iter
+        (fun qs ->
+          let q = Sxpath.Parse.of_string qs in
+          for _ = 1 to repeat do
+            ignore
+              (Secview.Pipeline.answer_exn pipe ~group:"user" ~engine ~env q
+                 doc)
+          done)
+        queries;
+      Sobs.Tracer.uninstall ();
+      if openmetrics then print_string (Sobs.Export.openmetrics registry)
+      else if json then
+        print_endline (Sobs.Json.to_string (Sobs.Metrics.to_json registry))
+      else Format.printf "%a%!" Sobs.Metrics.pp registry
+    end
+  in
+  let dtd_opt_arg =
+    let doc = "Document DTD file (local mode)." in
+    Arg.(value & opt (some file) None & info [ "dtd" ] ~docv:"FILE" ~doc)
+  in
+  let spec_local_arg =
+    let doc = "Access-specification file (local mode)." in
+    Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc)
+  in
+  let doc_opt_arg =
+    let doc = "XML document file (local mode)." in
+    Arg.(value & opt (some file) None & info [ "doc" ] ~docv:"FILE" ~doc)
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Answer each query $(docv) times, so the translation cache's \
+             steady-state behaviour shows up in the counters.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Dump the registry as JSON instead of text (remote: echo the \
+             server's raw metrics reply).")
+  in
+  let openmetrics_arg =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Render the registry as OpenMetrics text exposition instead — \
+             exactly what a GET /metrics scrape returns.")
+  in
+  let scrape_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scrape" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Fetch http://$(docv)/metrics from a server started with \
+             --metrics-port and print the body (a curl-free scrape).")
+  in
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECS"
+          ~doc:
+            "Refresh every $(docv) seconds (remote modes only); clears the \
+             screen between refreshes when stdout is a terminal.")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop --watch after $(docv) refreshes (0 = until killed).")
+  in
+  let queries_arg =
+    let doc = "View queries to drive the pipeline with (local mode)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Dump a metrics registry: drive queries through a local pipeline, \
+          ask a running server (--socket/--tcp, optionally --watch), or \
+          scrape its HTTP endpoint (--scrape)")
+    Term.(
+      const run $ dtd_opt_arg $ root_arg $ spec_local_arg $ doc_opt_arg
+      $ bind_arg $ engine_arg $ repeat_arg $ json_arg $ openmetrics_arg
+      $ socket_arg $ tcp_arg $ host_arg $ scrape_arg $ watch_arg
+      $ iterations_arg $ queries_arg)
+
 let main =
   Cmd.group
     (Cmd.info "secview" ~version:"1.0.0"
@@ -956,8 +1349,8 @@ let main =
           SIGMOD 2004)")
     [
       derive_cmd; graph_cmd; audit_cmd; lint_cmd; materialize_cmd;
-      metrics_cmd; rewrite_cmd; query_cmd; optimize_cmd; annotate_cmd;
-      gen_cmd; validate_cmd; serve_cmd; client_cmd;
+      metrics_cmd; rewrite_cmd; query_cmd; explain_cmd; optimize_cmd;
+      annotate_cmd; gen_cmd; validate_cmd; serve_cmd; client_cmd;
     ]
 
 let () =

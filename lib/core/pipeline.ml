@@ -272,18 +272,29 @@ let exec_index t ?index (doc : Sxml.Tree.t) =
 let interp ?env ?index translated doc =
   Sxpath.Eval.run (Sxpath.Eval.Ctx.make ?env ?index ~root:doc ()) translated
 
-let run_engine t st ~group ~engine ?env ?index ce doc =
+(* Pick the engine that will actually run: (engine used, per-operator
+   stats when the plan engine runs and the caller asked, thunk).
+   [want_stats] keeps the hot path allocation-free — counters are only
+   sized and threaded through when an outcome consumer asked. *)
+let run_engine t st ~group ~engine ~want_stats ?env ?index ce doc =
   match engine with
-  | Interp -> fun () -> interp ?env ?index ce.translated doc
+  | Interp -> (Interp, None, fun () -> interp ?env ?index ce.translated doc)
   | Plan -> (
     match exec_index t ?index doc with
-    | None -> fun () -> interp ?env ?index ce.translated doc
+    | None -> (Interp, None, fun () -> interp ?env ?index ce.translated doc)
     | Some idx -> (
       match plan_of st ~group ce with
-      | Ok compiled -> fun () -> Splan.Exec.run compiled ~index:idx ?env doc
-      | Error _ -> fun () -> interp ?env ~index:idx ce.translated doc))
+      | Ok compiled ->
+        let stats =
+          if want_stats then Some (Splan.Exec.Stats.for_plan compiled)
+          else None
+        in
+        (Plan, stats,
+         fun () -> Splan.Exec.run ?stats compiled ~index:idx ?env doc)
+      | Error _ ->
+        (Interp, None, fun () -> interp ?env ~index:idx ce.translated doc)))
 
-let answer_observed t st ~group ~engine ?env ?index ?height q doc =
+let answer_observed t st ~group ~engine ~want_stats ?env ?index ?height q doc =
   Trace.span "answer" @@ fun () ->
   let height = request_height t st ?height doc in
   let cache_hit = cached_mem st (q, height) in
@@ -297,10 +308,10 @@ let answer_observed t st ~group ~engine ?env ?index ?height q doc =
     raise e
   | ce -> (
     let v0 = !Sxpath.Eval.visited + !Splan.Exec.visited in
-    match
-      let runner = run_engine t st ~group ~engine ?env ?index ce doc in
-      Trace.span "eval" runner
-    with
+    let used, stats, thunk =
+      run_engine t st ~group ~engine ~want_stats ?env ?index ce doc
+    in
+    match Trace.span "eval" thunk with
     | exception e ->
       Trace.value "eval.visited"
         (!Sxpath.Eval.visited + !Splan.Exec.visited - v0);
@@ -312,22 +323,101 @@ let answer_observed t st ~group ~engine ?env ?index ?height q doc =
         (!Sxpath.Eval.visited + !Splan.Exec.visited - v0);
       if Trace.audit_enabled () then
         finish (Some ce.translated) (List.length results) None;
-      results)
+      (results, ce, used, stats))
 
-let answer t ~group ?(engine = Plan) ?env ?index ?height q doc =
+type outcome = {
+  o_results : Sxml.Tree.t list;
+  o_translated : Sxpath.Ast.path;
+  o_engine : engine;
+  o_counts : (string * int) list;
+}
+
+let answer_outcome t ~group ?(engine = Plan) ?(counts = false) ?env ?index
+    ?height q doc =
   match state t group with
   | exception Not_found ->
     Error (Error.Unknown_group { group; known = t.order })
   | st -> (
     match
       if Trace.enabled () || Trace.audit_enabled () then
-        answer_observed t st ~group ~engine ?env ?index ?height q doc
+        answer_observed t st ~group ~engine ~want_stats:counts ?env ?index
+          ?height q doc
       else
         let height = request_height t st ?height doc in
         let ce = translate_entry t st ~group ?height q in
-        (run_engine t st ~group ~engine ?env ?index ce doc) ()
+        let used, stats, thunk =
+          run_engine t st ~group ~engine ~want_stats:counts ?env ?index ce doc
+        in
+        (thunk (), ce, used, stats)
     with
-    | results -> Ok results
+    | results, ce, used, stats ->
+      Ok
+        {
+          o_results = results;
+          o_translated = ce.translated;
+          o_engine = used;
+          o_counts =
+            (match stats with
+            | Some s -> Splan.Exec.Stats.totals s
+            | None -> []);
+        }
+    | exception Rewrite.Unsupported msg -> Error (Error.Unsupported msg)
+    | exception Sxpath.Eval.Unbound_variable name ->
+      Error (Error.Unbound_variable name))
+
+let answer t ~group ?engine ?env ?index ?height q doc =
+  Result.map
+    (fun o -> o.o_results)
+    (answer_outcome t ~group ?engine ?env ?index ?height q doc)
+
+type explanation = {
+  x_translated : Sxpath.Ast.path;
+  x_height : int option;
+  x_plan : (Splan.Compile.t * Splan.Exec.Stats.t) option;
+  x_fallback : string option;
+  x_results : int;
+}
+
+(* EXPLAIN: run the request once, preferring the plan engine with
+   per-operator counters; report why when the interpreter had to
+   answer instead.  Uses the same caches as [answer], so explaining a
+   query warms it.  The audit hook does not fire — an explanation is
+   operator introspection, not a data answer (results are counted,
+   not returned). *)
+let explain t ~group ?env ?index ?height q doc =
+  match state t group with
+  | exception Not_found ->
+    Error (Error.Unknown_group { group; known = t.order })
+  | st -> (
+    match
+      let height = request_height t st ?height doc in
+      let ce = translate_entry t st ~group ?height q in
+      match exec_index t ?index doc with
+      | None ->
+        let results = interp ?env ?index ce.translated doc in
+        ( ce.translated, height, None,
+          Some "context is not an indexed document root",
+          List.length results )
+      | Some idx -> (
+        match plan_of st ~group ce with
+        | Error reason ->
+          let results = interp ?env ~index:idx ce.translated doc in
+          (ce.translated, height, None, Some reason, List.length results)
+        | Ok compiled ->
+          let stats = Splan.Exec.Stats.for_plan compiled in
+          let results = Splan.Exec.run ~stats compiled ~index:idx ?env doc in
+          ( ce.translated, height, Some (compiled, stats), None,
+            List.length results ))
+    with
+    | translated, height, plan, fallback, results ->
+      Ok
+        {
+          x_translated = translated;
+          x_height = height;
+          x_plan = plan;
+          x_fallback = fallback;
+          x_results = results;
+        }
     | exception Rewrite.Unsupported msg -> Error (Error.Unsupported msg)
     | exception Sxpath.Eval.Unbound_variable name ->
       Error (Error.Unbound_variable name))

@@ -142,6 +142,64 @@ val answer_exn :
   Sxml.Tree.t list
 (** [answer], raising {!Error.E} instead of returning [Error]. *)
 
+(** What {!answer_outcome} adds over the bare result list: the
+    document query that ran, the engine that actually executed it
+    ([o_engine = Interp] for a plan-engine request means a fallback),
+    and — with [~counts:true] and the plan engine — the operator work
+    totals ({!Splan.Exec.Stats.totals}: [scanned]/[probes]/[joined]/
+    [rows]; [[]] otherwise).  Slow-query records are built from
+    this. *)
+type outcome = {
+  o_results : Sxml.Tree.t list;
+  o_translated : Sxpath.Ast.path;
+  o_engine : engine;
+  o_counts : (string * int) list;
+}
+
+val answer_outcome :
+  t ->
+  group:string ->
+  ?engine:engine ->
+  ?counts:bool ->
+  ?env:(string -> string option) ->
+  ?index:Sxml.Index.t ->
+  ?height:int ->
+  Sxpath.Ast.path ->
+  Sxml.Tree.t ->
+  (outcome, Error.t) result
+(** Exactly {!answer} — same caches, spans, audit event — but
+    returning the request's {!outcome}.  [counts] (default [false])
+    allocates and fills per-operator counters when the plan engine
+    runs; the default keeps the hot path identical to {!answer}. *)
+
+(** One EXPLAINed request: the translated query, the resolved
+    unfolding height (recursive views), the compiled plan with its
+    per-operator counters when the plan engine answered — render with
+    {!Splan.Explain.of_compiled} — or the fallback reason when the
+    interpreter had to ([x_plan = None]), and the result count. *)
+type explanation = {
+  x_translated : Sxpath.Ast.path;
+  x_height : int option;
+  x_plan : (Splan.Compile.t * Splan.Exec.Stats.t) option;
+  x_fallback : string option;
+  x_results : int;
+}
+
+val explain :
+  t ->
+  group:string ->
+  ?env:(string -> string option) ->
+  ?index:Sxml.Index.t ->
+  ?height:int ->
+  Sxpath.Ast.path ->
+  Sxml.Tree.t ->
+  (explanation, Error.t) result
+(** Run the query once, preferring the plan engine and collecting
+    {!Splan.Exec.Stats} per operator.  Shares {!answer}'s translation
+    and plan caches (explaining a query warms them) but does not emit
+    an audit event — results are counted, not returned.  Errors as in
+    {!answer}. *)
+
 val cache_stats : t -> group:string -> cache_stats
 (** The group's cache counters (one consistent snapshot). *)
 

@@ -30,7 +30,7 @@ type probe = {
       (** Start a span named after a pipeline stage; returns a token
           [leave] must be called with.  Stage names in use: ["answer"],
           ["height"], ["translate"], ["rewrite"], ["unfold"],
-          ["optimize"], ["derive"], ["eval"]. *)
+          ["optimize"], ["plan"], ["derive"], ["eval"]. *)
   leave : span_id -> unit;
   count : string -> int -> unit;  (** Add to a named counter. *)
   value : string -> int -> unit;

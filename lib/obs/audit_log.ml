@@ -100,6 +100,35 @@ let log_request t ~session ~peer ~group ~doc ~query ~status ~results
              match error with Some e -> Json.String e | None -> Json.Null );
          ]))
 
+let log_slow_query t ~group ~query ?translated ~latency_ms ~threshold_ms
+    ~stages ~counts ?session ?peer ?doc () =
+  let opt f = function Some v -> f v | None -> Json.Null in
+  let ctx =
+    List.concat
+      [
+        (match session with
+        | Some s -> [ ("session", Json.Int s) ]
+        | None -> []);
+        (match peer with Some p -> [ ("peer", Json.String p) ] | None -> []);
+        (match doc with Some d -> [ ("doc", Json.String d) ] | None -> []);
+      ]
+  in
+  emit t
+    (Json.Obj
+       (base t "slow_query" @ ctx
+       @ [
+           ("group", Json.String group);
+           ("query", Json.String query);
+           ("translated", opt (fun s -> Json.String s) translated);
+           ("latency_ms", Json.Float latency_ms);
+           ("threshold_ms", Json.Float threshold_ms);
+           ( "stages_ms",
+             Json.Obj
+               (List.map (fun (name, ms) -> (name, Json.Float ms)) stages) );
+           ( "op_counts",
+             Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counts) );
+         ]))
+
 let log_note t ~kind message =
   emit t
     (Json.Obj

@@ -25,6 +25,9 @@
     {"type":"request","ts_ns":…,"session":N,"peer":…,"group":…,"doc":…,
      "query":…,"status":"ok"|"error"|"timeout"|"late","results":N,
      "latency_ms":F,"error":S|null}
+    {"type":"slow_query","ts_ns":…,["session":N,"peer":…,"doc":…,]
+     "group":…,"query":…,"translated":S|null,"latency_ms":F,
+     "threshold_ms":F,"stages_ms":{…},"op_counts":{"scanned":N,…}}
     v}
 
     ["request"] records are the server's ([Sserver.Server]): one per
@@ -83,3 +86,25 @@ val log_request :
   unit
 (** One server-side ["request"] record ([status] ∈ ok/error/timeout/
     late; [latency_ms] includes queue wait). *)
+
+val log_slow_query :
+  t ->
+  group:string ->
+  query:string ->
+  ?translated:string ->
+  latency_ms:float ->
+  threshold_ms:float ->
+  stages:(string * float) list ->
+  counts:(string * int) list ->
+  ?session:int ->
+  ?peer:string ->
+  ?doc:string ->
+  unit ->
+  unit
+(** One ["slow_query"] record — emitted by [query --slow-ms] and
+    [serve --slow-ms] for any request over threshold.  [stages] are
+    per-stage millisecond totals (see {!Tracer.stage_totals}) of the
+    spans belonging to this request only; [counts] are the plan
+    engine's operator totals (empty for the interpreter).  The
+    optional [session]/[peer]/[doc] triple is the server's request
+    context. *)

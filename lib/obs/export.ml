@@ -1,0 +1,81 @@
+let sanitize name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  "secview_" ^ mapped
+
+let fstr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let openmetrics m =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s;
+                                   Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      line "# TYPE %s counter" n;
+      line "%s_total %d" n v)
+    (Metrics.counters m);
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (fstr v))
+    (Metrics.gauges m);
+  List.iter
+    (fun (name, (s : Metrics.summary)) ->
+      let n = sanitize name in
+      line "# TYPE %s histogram" n;
+      List.iter
+        (fun (le, cum) -> line "%s_bucket{le=\"%s\"} %d" n (fstr le) cum)
+        (Metrics.buckets m name);
+      line "%s_bucket{le=\"+Inf\"} %d" n s.count;
+      line "%s_sum %s" n (fstr s.sum);
+      line "%s_count %d" n s.count)
+    (Metrics.summaries m);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let chrome_trace spans =
+  let events =
+    List.map
+      (fun (sp : Tracer.span) ->
+        Json.Obj
+          [
+            ("name", Json.String sp.name);
+            ("cat", Json.String "secview");
+            ("ph", Json.String "X");
+            ("ts", Json.Float (us_of_ns sp.start_ns));
+            ("dur", Json.Float (us_of_ns (Int64.sub sp.stop_ns sp.start_ns)));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int sp.tid);
+            ( "args",
+              Json.Obj
+                [
+                  ("seq", Json.Int sp.seq);
+                  ("trace_id", Json.Int sp.trace_id);
+                  ("depth", Json.Int sp.depth);
+                ] );
+          ])
+      spans
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome_trace path spans =
+  let oc = open_out path in
+  output_string oc (Json.to_string (chrome_trace spans));
+  output_char oc '\n';
+  close_out oc

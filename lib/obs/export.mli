@@ -1,0 +1,28 @@
+(** Exporters: the in-process registry and tracer, rendered in the
+    two formats the outside world actually speaks.
+
+    {!openmetrics} renders a {!Metrics} registry as OpenMetrics /
+    Prometheus text exposition: counters (with the [_total] suffix),
+    gauges, and each series as a histogram — cumulative
+    [_bucket{le="…"}] lines straight from {!Metrics.buckets}, an
+    explicit [+Inf] bucket, [_sum] and [_count], terminated by
+    [# EOF].  Metric names are prefixed [secview_] and sanitized to
+    [[A-Za-z0-9_]].  This is what the server's [GET /metrics] endpoint
+    returns.
+
+    {!chrome_trace} renders completed {!Tracer} spans as Chrome
+    [trace_event] JSON ("X" complete events, microsecond timestamps,
+    one row per recording thread) loadable in [chrome://tracing] or
+    Perfetto; [secview query --trace-out FILE] writes it via
+    {!write_chrome_trace}. *)
+
+val sanitize : string -> string
+(** [secview_] + the name with every character outside
+    [[A-Za-z0-9_]] replaced by [_]. *)
+
+val openmetrics : Metrics.t -> string
+
+val chrome_trace : Tracer.span list -> Json.t
+
+val write_chrome_trace : string -> Tracer.span list -> unit
+(** Write [chrome_trace spans] to a file (truncating). *)

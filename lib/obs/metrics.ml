@@ -1,15 +1,25 @@
-type series = {
-  mutable data : float array;
-  mutable len : int;
+(* Fixed-bucket histograms rather than raw observation arrays: the
+   same buckets back both the human percentile dump and the
+   OpenMetrics exposition (Export), so the two can never drift. *)
+
+type hist = {
+  bounds : float array;  (* ascending finite upper bounds, frozen at creation *)
+  counts : int array;    (* per-bucket (not cumulative); last slot is +Inf *)
+  mutable sum : float;
+  mutable n : int;
+  mutable minv : float;
+  mutable maxv : float;
 }
 
 type t = {
   counters : (string, int ref) Hashtbl.t;
-  series : (string, series) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  series : (string, hist) Hashtbl.t;
 }
 
 type summary = {
   count : int;
+  sum : float;
   min : float;
   max : float;
   mean : float;
@@ -19,10 +29,24 @@ type summary = {
   p99 : float;
 }
 
-let create () = { counters = Hashtbl.create 16; series = Hashtbl.create 16 }
+(* Roughly logarithmic, sized for millisecond latencies but wide
+   enough for counts (eval.visited) and sub-ms stages. *)
+let default_buckets =
+  [|
+    0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.;
+    100.; 250.; 500.; 1000.; 2500.; 5000.; 10000.;
+  |]
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    series = Hashtbl.create 16;
+  }
 
 let reset t =
   Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
   Hashtbl.reset t.series
 
 let incr ?(by = 1) t name =
@@ -33,52 +57,97 @@ let incr ?(by = 1) t name =
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
-let observe t name v =
-  let s =
-    match Hashtbl.find_opt t.series name with
-    | Some s -> s
-    | None ->
-      let s = { data = Array.make 64 0.; len = 0 } in
-      Hashtbl.replace t.series name s;
-      s
-  in
-  if s.len = Array.length s.data then begin
-    let bigger = Array.make (2 * s.len) 0. in
-    Array.blit s.data 0 bigger 0 s.len;
-    s.data <- bigger
-  end;
-  s.data.(s.len) <- v;
-  s.len <- s.len + 1
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
 
-(* Nearest-rank on a sorted array: the ⌈q/100·n⌉-th smallest. *)
+let gauge t name =
+  Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+let observe ?buckets t name v =
+  let h =
+    match Hashtbl.find_opt t.series name with
+    | Some h -> h
+    | None ->
+      let bounds =
+        match buckets with Some b -> Array.copy b | None -> default_buckets
+      in
+      let h =
+        {
+          bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          sum = 0.;
+          n = 0;
+          minv = infinity;
+          maxv = neg_infinity;
+        }
+      in
+      Hashtbl.replace t.series name h;
+      h
+  in
+  let k = Array.length h.bounds in
+  let rec slot i = if i >= k || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1;
+  if v < h.minv then h.minv <- v;
+  if v > h.maxv then h.maxv <- v
+
+(* Nearest-rank on a sorted array: the ⌈q/100·n⌉-th smallest.  Kept
+   for callers (bench) that hold raw samples. *)
 let percentile sorted q =
   let n = Array.length sorted in
   let rank = int_of_float (ceil (q /. 100. *. float_of_int n)) in
   sorted.(max 0 (min (n - 1) (rank - 1)))
 
-let summarize s =
-  if s.len = 0 then None
-  else begin
-    let sorted = Array.sub s.data 0 s.len in
-    Array.sort compare sorted;
-    let total = Array.fold_left ( +. ) 0. sorted in
+(* Bucket-derived nearest-rank estimate: the upper bound of the bucket
+   holding the ⌈q/100·n⌉-th observation, clamped to the exact observed
+   [min, max] so single-observation and at-bound series stay sharp. *)
+let hist_percentile h q =
+  let rank = max 1 (int_of_float (ceil (q /. 100. *. float_of_int h.n))) in
+  let k = Array.length h.bounds in
+  let rec go i cum =
+    if i >= k then h.maxv
+    else
+      let cum = cum + h.counts.(i) in
+      if cum >= rank then h.bounds.(i) else go (i + 1) cum
+  in
+  Float.max h.minv (Float.min (go 0 0) h.maxv)
+
+let summarize h =
+  if h.n = 0 then None
+  else
     Some
       {
-        count = s.len;
-        min = sorted.(0);
-        max = sorted.(s.len - 1);
-        mean = total /. float_of_int s.len;
-        p50 = percentile sorted 50.;
-        p90 = percentile sorted 90.;
-        p95 = percentile sorted 95.;
-        p99 = percentile sorted 99.;
+        count = h.n;
+        sum = h.sum;
+        min = h.minv;
+        max = h.maxv;
+        mean = h.sum /. float_of_int h.n;
+        p50 = hist_percentile h 50.;
+        p90 = hist_percentile h 90.;
+        p95 = hist_percentile h 95.;
+        p99 = hist_percentile h 99.;
       }
-  end
 
 let summary t name =
   match Hashtbl.find_opt t.series name with
-  | Some s -> summarize s
+  | Some h -> summarize h
   | None -> None
+
+let buckets t name =
+  match Hashtbl.find_opt t.series name with
+  | None -> []
+  | Some h ->
+    let cum = ref 0 in
+    Array.to_list
+      (Array.mapi
+         (fun i le ->
+           cum := !cum + h.counts.(i);
+           (le, !cum))
+         h.bounds)
 
 let sorted_bindings tbl =
   List.sort
@@ -86,17 +155,22 @@ let sorted_bindings tbl =
     (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let counters t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.counters)
+let gauges t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.gauges)
 
 let summaries t =
   List.filter_map
-    (fun (k, s) -> Option.map (fun sum -> (k, sum)) (summarize s))
+    (fun (k, h) -> Option.map (fun sum -> (k, sum)) (summarize h))
     (sorted_bindings t.series)
 
 let pp ppf t =
-  let cs = counters t and ss = summaries t in
+  let cs = counters t and gs = gauges t and ss = summaries t in
   if cs <> [] then begin
     Format.fprintf ppf "counters:@.";
     List.iter (fun (k, v) -> Format.fprintf ppf "  %-40s %d@." k v) cs
+  end;
+  if gs <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-40s %.3f@." k v) gs
   end;
   if ss <> [] then begin
     Format.fprintf ppf "series (count/min/mean/p50/p95/max):@.";
@@ -111,6 +185,7 @@ let summary_json s =
   Json.Obj
     [
       ("count", Json.Int s.count);
+      ("sum", Json.Float s.sum);
       ("min", Json.Float s.min);
       ("max", Json.Float s.max);
       ("mean", Json.Float s.mean);
@@ -121,11 +196,16 @@ let summary_json s =
     ]
 
 let to_json t =
+  let gs = gauges t in
   Json.Obj
-    [
-      ( "counters",
-        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
-      ( "series",
-        Json.Obj (List.map (fun (k, s) -> (k, summary_json s)) (summaries t))
-      );
-    ]
+    ([
+       ( "counters",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+       ( "series",
+         Json.Obj (List.map (fun (k, s) -> (k, summary_json s)) (summaries t))
+       );
+     ]
+    @
+    if gs = [] then []
+    else [ ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) gs)) ]
+    )

@@ -1,20 +1,29 @@
-(** A metrics registry: named counters and latency/size distributions.
+(** A metrics registry: named counters, gauges and fixed-bucket
+    histograms.
 
     Counters are monotonically increasing integers (translation-cache
-    hits and misses per group, height-memo hits, …); series collect
-    individual observations (per-stage durations in milliseconds,
-    unfolding heights, evaluator nodes visited) and summarize as
-    count/min/max/mean and nearest-rank percentiles.
+    hits and misses per group, …); gauges are instantaneous values set
+    by the owner on read (queue depth, heap words); series are
+    histograms over a fixed bucket ladder, collected per observation
+    (per-stage durations in milliseconds, evaluator nodes visited).
 
-    A registry is plain mutable state with no global registration: the
-    CLI and tests create one per run and hand it to a {!Tracer}.
-    Rendering is offered both human-readable ({!pp}) and
-    machine-readable ({!to_json}). *)
+    The bucket ladder is the {e single} source of truth: the
+    percentiles in {!summary} are nearest-rank estimates read from the
+    cumulative buckets (clamped to the exact observed min/max), and
+    {!Export.openmetrics} exposes the same buckets as a Prometheus
+    histogram — so the human dump and the scraped series can never
+    disagree.
+
+    A registry is plain mutable state with no global registration and
+    no internal locking: the CLI and tests create one per run and hand
+    it to a {!Tracer}; the server serializes access with its own
+    mutex. *)
 
 type t
 
 type summary = {
   count : int;
+  sum : float;
   min : float;
   max : float;
   mean : float;
@@ -31,14 +40,34 @@ val incr : ?by:int -> t -> string -> unit
 val counter : t -> string -> int
 (** Current value; [0] for a counter never incremented. *)
 
-val observe : t -> string -> float -> unit
-(** Record one observation under [name]. *)
+val set_gauge : t -> string -> float -> unit
+(** Set (creating if needed) an instantaneous value. *)
+
+val gauge : t -> string -> float option
+
+val default_buckets : float array
+(** The default upper-bound ladder: 20 roughly logarithmic bounds from
+    0.005 to 10000, sized for millisecond latencies. *)
+
+val observe : ?buckets:float array -> t -> string -> float -> unit
+(** Record one observation under [name].  [buckets] (ascending finite
+    upper bounds; defaults to {!default_buckets}) takes effect only on
+    the observation that creates the series and is ignored after. *)
 
 val summary : t -> string -> summary option
-(** [None] for a series with no observations. *)
+(** [None] for a series with no observations.  [min]/[max]/[mean]/[sum]
+    are exact; percentiles are bucket upper-bound estimates. *)
+
+val buckets : t -> string -> (float * int) list
+(** [(le, cumulative count)] per finite bound, ascending; the implicit
+    [+Inf] bucket equals [summary.count].  [[]] for an unknown
+    series. *)
 
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
+
+val gauges : t -> (string * float) list
+(** All gauges, sorted by name. *)
 
 val summaries : t -> (string * summary) list
 (** All series, sorted by name. *)
@@ -46,10 +75,10 @@ val summaries : t -> (string * summary) list
 val percentile : float array -> float -> float
 (** Nearest-rank percentile of a {e sorted} non-empty array;
     [percentile a 50.] is the median.  Exposed for the bench
-    harness. *)
+    harness, which keeps raw samples. *)
 
 val pp : Format.formatter -> t -> unit
-(** Two sections, [counters] and [series]; prints nothing for an
+(** Sections [counters], [gauges] and [series]; prints nothing for an
     empty registry. *)
 
 val to_json : t -> Json.t

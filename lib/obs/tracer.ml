@@ -2,6 +2,8 @@ type span = {
   name : string;
   seq : int;
   depth : int;
+  tid : int;
+  trace_id : int;
   start_ns : int64;
   stop_ns : int64;
 }
@@ -11,32 +13,66 @@ type active = {
   aname : string;
   adepth : int;
   astart : int64;
+  atrace : int;
+}
+
+(* Per-thread recording state: each thread has its own span stack and
+   completed list, so concurrent requests (server workers) never
+   interleave frames, and [drain_new]/[since] attribute spans to the
+   requests of the calling thread only. *)
+type tstate = {
+  mutable stack : active list;
+  mutable completed : span list;  (* reverse completion order *)
+  mutable drained : int;  (* completed spans already handed out *)
+  mutable cur_trace : int;  (* trace id of the open root span *)
 }
 
 type t = {
   clock : Clock.t;
   metrics : Metrics.t option;
-  mutable stack : active list;
-  mutable completed : span list;  (* reverse completion order *)
+  retain : bool;
+  lock : Mutex.t;
+  threads : (int, tstate) Hashtbl.t;
   mutable next_id : int;
-  mutable drained : int;  (* completed spans already handed out *)
+  mutable next_trace : int;
 }
 
-let create ?(clock = Clock.monotonic) ?metrics () =
-  { clock; metrics; stack = []; completed = []; next_id = 0; drained = 0 }
+let create ?(clock = Clock.monotonic) ?metrics ?(retain = true) ?lock () =
+  {
+    clock;
+    metrics;
+    retain;
+    lock = (match lock with Some m -> m | None -> Mutex.create ());
+    threads = Hashtbl.create 8;
+    next_id = 0;
+    next_trace = 0;
+  }
 
-let finish t frame =
+let lock t = t.lock
+
+let state t =
+  let tid = Thread.id (Thread.self ()) in
+  match Hashtbl.find_opt t.threads tid with
+  | Some ts -> (tid, ts)
+  | None ->
+    let ts = { stack = []; completed = []; drained = 0; cur_trace = 0 } in
+    Hashtbl.replace t.threads tid ts;
+    (tid, ts)
+
+let finish t tid ts frame =
   let stop = t.clock () in
   let sp =
     {
       name = frame.aname;
       seq = frame.id;
       depth = frame.adepth;
+      tid;
+      trace_id = frame.atrace;
       start_ns = frame.astart;
       stop_ns = stop;
     }
   in
-  t.completed <- sp :: t.completed;
+  ts.completed <- sp :: ts.completed;
   match t.metrics with
   | Some m -> Metrics.observe m ("stage." ^ sp.name) (Clock.ms sp.start_ns stop)
   | None -> ()
@@ -45,55 +81,81 @@ let probe t =
   {
     Secview.Trace.enter =
       (fun name ->
-        let id = t.next_id in
-        t.next_id <- id + 1;
-        t.stack <-
-          { id; aname = name; adepth = List.length t.stack;
-            astart = t.clock () }
-          :: t.stack;
-        id);
+        Mutex.protect t.lock (fun () ->
+            let _, ts = state t in
+            if ts.stack = [] then begin
+              ts.cur_trace <- t.next_trace;
+              t.next_trace <- t.next_trace + 1
+            end;
+            let id = t.next_id in
+            t.next_id <- id + 1;
+            ts.stack <-
+              { id; aname = name; adepth = List.length ts.stack;
+                astart = t.clock (); atrace = ts.cur_trace }
+              :: ts.stack;
+            id));
     leave =
       (fun id ->
-        (* Pop to (and including) the matching frame; intervening
-           frames — a [leave] skipped by an exception path — are
-           closed at the same instant. *)
-        let rec pop = function
-          | frame :: rest ->
-            finish t frame;
-            if frame.id = id then t.stack <- rest else pop rest
-          | [] -> t.stack <- []
-        in
-        if List.exists (fun f -> f.id = id) t.stack then pop t.stack);
+        Mutex.protect t.lock (fun () ->
+            let tid, ts = state t in
+            (* Pop to (and including) the matching frame; intervening
+               frames — a [leave] skipped by an exception path — are
+               closed at the same instant. *)
+            let rec pop = function
+              | frame :: rest ->
+                finish t tid ts frame;
+                if frame.id = id then ts.stack <- rest else pop rest
+              | [] -> ts.stack <- []
+            in
+            if List.exists (fun f -> f.id = id) ts.stack then pop ts.stack));
     count =
       (fun name n ->
         match t.metrics with
-        | Some m -> Metrics.incr ~by:n m name
+        | Some m -> Mutex.protect t.lock (fun () -> Metrics.incr ~by:n m name)
         | None -> ());
     value =
       (fun name v ->
         match t.metrics with
-        | Some m -> Metrics.observe m name (float_of_int v)
+        | Some m ->
+          Mutex.protect t.lock (fun () ->
+              Metrics.observe m name (float_of_int v))
         | None -> ());
   }
 
 let install t = Secview.Trace.set_probe (probe t)
 let uninstall () = Secview.Trace.clear_probe ()
 
+let by_seq a b = Int.compare a.seq b.seq
+
 let spans t =
-  List.sort (fun a b -> Int.compare a.seq b.seq) t.completed
+  Mutex.protect t.lock (fun () ->
+      List.sort by_seq
+        (Hashtbl.fold (fun _ ts acc -> ts.completed @ acc) t.threads []))
 
 let reset t =
-  t.stack <- [];
-  t.completed <- [];
-  t.next_id <- 0;
-  t.drained <- 0
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.threads;
+      t.next_id <- 0;
+      t.next_trace <- 0)
 
 let drain_new t =
-  let all = List.rev t.completed in
-  let n = List.length all in
-  let fresh = List.filteri (fun i _ -> i >= t.drained) all in
-  t.drained <- n;
-  fresh
+  Mutex.protect t.lock (fun () ->
+      let _, ts = state t in
+      let all = List.rev ts.completed in
+      let fresh = List.filteri (fun i _ -> i >= ts.drained) all in
+      if t.retain then ts.drained <- List.length all
+      else begin
+        ts.completed <- [];
+        ts.drained <- 0
+      end;
+      fresh)
+
+let mark t = Mutex.protect t.lock (fun () -> t.next_id)
+
+let since t m =
+  Mutex.protect t.lock (fun () ->
+      let _, ts = state t in
+      List.sort by_seq (List.filter (fun sp -> sp.seq >= m) ts.completed))
 
 let stage_totals spans =
   let tbl = Hashtbl.create 8 in

@@ -6,24 +6,41 @@
     (span durations are also recorded there, as series named
     [stage.<name>], in milliseconds).
 
+    Recording is {e per thread}: each thread keeps its own span stack
+    and completed list, and every root span (one per request in the
+    server) is stamped with a fresh [trace_id].  {!drain_new} and
+    {!since} read only the calling thread's spans, so concurrent
+    workers never mix each other's stages into one audit record.
+
     Install one with {!install} and the instrumented pipeline stages
     ([derive], [rewrite], [unfold], [optimize], [translate], [height],
-    [eval], [answer]) start recording; {!uninstall} restores the null
-    probe and the zero-overhead default. *)
+    [plan], [eval], [answer]) start recording; {!uninstall} restores
+    the null probe and the zero-overhead default. *)
 
 type span = {
   name : string;
   seq : int;  (** start order: [seq] of an outer span < its inner spans *)
   depth : int;  (** nesting depth at entry, outermost = 0 *)
+  tid : int;  (** {!Thread.id} of the recording thread *)
+  trace_id : int;  (** request scope: shared by a root span and its children *)
   start_ns : int64;
   stop_ns : int64;
 }
 
 type t
 
-val create : ?clock:Clock.t -> ?metrics:Metrics.t -> unit -> t
+val create :
+  ?clock:Clock.t -> ?metrics:Metrics.t -> ?retain:bool -> ?lock:Mutex.t ->
+  unit -> t
 (** Default clock: {!Clock.monotonic}.  Without [metrics], only spans
-    are recorded. *)
+    are recorded.  [retain] (default [true]) keeps drained spans for
+    {!spans}/{!pp}; the server passes [~retain:false] so a long-lived
+    tracer's memory stays bounded.  [lock] lets an embedder share its
+    own mutex (the server passes the one that also guards the metrics
+    registry); by default the tracer creates a private one. *)
+
+val lock : t -> Mutex.t
+(** The mutex guarding this tracer (and its metrics observations). *)
 
 val probe : t -> Secview.Trace.probe
 
@@ -33,14 +50,25 @@ val install : t -> unit
 val uninstall : unit -> unit
 
 val spans : t -> span list
-(** Completed spans in start order. *)
+(** Completed spans of all threads, in start order. *)
 
 val reset : t -> unit
 
 val drain_new : t -> span list
-(** Spans completed since the previous [drain_new] (or since
-    creation/reset), in completion order — the audit log uses this to
-    attribute stage timings to the request that just finished. *)
+(** The calling thread's spans completed since its previous
+    [drain_new] (or since creation/reset), in completion order — the
+    audit log uses this to attribute stage timings to the request that
+    just finished on this thread.  With [~retain:false] the drained
+    spans are also discarded. *)
+
+val mark : t -> int
+(** A watermark for {!since}: the next span sequence number. *)
+
+val since : t -> int -> span list
+(** The calling thread's completed spans with [seq >=] the given
+    {!mark}, in start order.  Non-destructive — unlike {!drain_new} it
+    does not move the drain watermark, so a slow-query probe can peek
+    at a request's stages without stealing them from the audit log. *)
 
 val stage_totals : span list -> (string * float) list
 (** Total duration in milliseconds per span name, sorted by name. *)

@@ -15,7 +15,44 @@
     such a branch may not be raised here.  When both succeed the
     answers are byte-identical. *)
 
+(** Per-operator work counters for one (or several accumulated) runs.
+
+    One slot per plan node, numbered in preorder by {!Plan.size}: node
+    [i]'s first child is [i + 1], its second [i + 1 + size first];
+    predicate subtrees are numbered inline ({!Plan.size_pred}).  The
+    root's [emitted] slot is the query's result count.
+
+    - [scanned]: candidate nodes examined — children tested by child
+      steps, tag-slice entries walked by descendant joins, base nodes
+      tested by filters, attribute lookups, qualifier evaluations at
+      [Exists]/[Eq] nodes;
+    - [probes]: binary searches into per-tag id arrays;
+    - [joined]: context extents actually interval-joined by a
+      descendant step (contexts skipped as already covered are not
+      counted);
+    - [emitted]: ids the operator produced (set-at-a-time path only;
+      short-circuit qualifier probes produce booleans, not rows). *)
+module Stats : sig
+  type t = {
+    scanned : int array;
+    probes : int array;
+    joined : int array;
+    emitted : int array;
+  }
+
+  val create : int -> t
+  (** [create n]: all-zero counters for a plan of [n] nodes. *)
+
+  val for_plan : Compile.t -> t
+  (** Sized by {!Plan.size} of the compiled plan. *)
+
+  val totals : t -> (string * int) list
+  (** [scanned]/[probes]/[joined] summed over all operators, plus
+      [rows] = the root's emitted count. *)
+end
+
 val run :
+  ?stats:Stats.t ->
   Compile.t ->
   index:Sxml.Index.t ->
   ?env:(string -> string option) ->
@@ -23,10 +60,13 @@ val run :
   Sxml.Tree.t list
 (** [run compiled ~index v]: nodes reachable from context node [v]
     (a node of the indexed document), in document order,
-    duplicate-free.  @raise Sxpath.Eval.Unbound_variable like the
+    duplicate-free.  [stats] (see {!Stats}) accumulates per-operator
+    work counters; execution is identical without it.
+    @raise Sxpath.Eval.Unbound_variable like the
     interpreter (modulo the laziness caveat above). *)
 
 val run_ids :
+  ?stats:Stats.t ->
   Compile.t ->
   index:Sxml.Index.t ->
   ?env:(string -> string option) ->

@@ -1,0 +1,78 @@
+type node = {
+  op : string;
+  arg : string option;
+  counts : (string * int) list;
+  children : node list;
+}
+
+let of_compiled compiled (s : Exec.Stats.t) =
+  let vars = Compile.vars compiled in
+  let value = function
+    | Plan.Const c -> "\"" ^ c ^ "\""
+    | Plan.Slot i -> "$" ^ vars.(i)
+  in
+  let counts_at ~emitted id =
+    List.concat
+      [
+        (if s.scanned.(id) > 0 then [ ("scanned", s.scanned.(id)) ] else []);
+        (if s.probes.(id) > 0 then [ ("probes", s.probes.(id)) ] else []);
+        (if s.joined.(id) > 0 then [ ("joined", s.joined.(id)) ] else []);
+        (if emitted then [ ("emitted", s.emitted.(id)) ] else []);
+      ]
+  in
+  (* Mirrors the executor's preorder numbering exactly (see
+     {!Exec.Stats}), so each rendered node shows its own slot. *)
+  let rec plan_node id (p : Plan.t) =
+    let mk op ?arg children =
+      { op; arg; counts = counts_at ~emitted:true id; children }
+    in
+    match p with
+    | Plan.Nothing -> mk "nothing" []
+    | Plan.Self -> mk "self" []
+    | Plan.Child l -> mk "child" ~arg:l []
+    | Plan.Child_any -> mk "child" ~arg:"*" []
+    | Plan.Attr a -> mk "attr" ~arg:("@" ^ a) []
+    | Plan.Seq (a, b) ->
+      mk "seq" [ plan_node (id + 1) a; plan_node (id + 1 + Plan.size a) b ]
+    | Plan.Desc (l, k) -> mk "desc" ~arg:l [ plan_node (id + 1) k ]
+    | Plan.Branch (a, b) ->
+      mk "union" [ plan_node (id + 1) a; plan_node (id + 1 + Plan.size a) b ]
+    | Plan.Filter (p', q) ->
+      mk "filter"
+        [ plan_node (id + 1) p'; pred_node (id + 1 + Plan.size p') q ]
+  and pred_node id (q : Plan.pred) =
+    let mk op ?arg children =
+      { op; arg; counts = counts_at ~emitted:false id; children }
+    in
+    match q with
+    | Plan.True -> mk "true" []
+    | Plan.False -> mk "false" []
+    | Plan.Exists p -> mk "exists" [ plan_node (id + 1) p ]
+    | Plan.Eq (p, v) -> mk "eq" ~arg:(value v) [ plan_node (id + 1) p ]
+    | Plan.And (a, b) ->
+      mk "and"
+        [ pred_node (id + 1) a; pred_node (id + 1 + Plan.size_pred a) b ]
+    | Plan.Or (a, b) ->
+      mk "or"
+        [ pred_node (id + 1) a; pred_node (id + 1 + Plan.size_pred a) b ]
+    | Plan.Not a -> mk "not" [ pred_node (id + 1) a ]
+  in
+  plan_node 0 (Compile.plan compiled)
+
+let label n =
+  match n.arg with Some a -> n.op ^ "(" ^ a ^ ")" | None -> n.op
+
+let rec pp_at ppf depth n =
+  let counts =
+    String.concat " "
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) n.counts)
+  in
+  let indent = String.make (2 * depth) ' ' in
+  if counts = "" then Format.fprintf ppf "%s%s@." indent (label n)
+  else
+    Format.fprintf ppf "%s%-*s %s@." indent
+      (max 1 (30 - (2 * depth)))
+      (label n) counts;
+  List.iter (pp_at ppf (depth + 1)) n.children
+
+let pp ppf n = pp_at ppf 0 n

@@ -13,7 +13,9 @@ type request =
       peer : string option;
     }
   | Query of query
+  | Explain of query
   | Stats
+  | Metrics
   | Ping
   | Shutdown
   | Sleep of float
@@ -64,9 +66,10 @@ let request_of_line line =
       match string_field "group" obj with
       | Some group -> Ok (Hello { group; peer = string_field "peer" obj })
       | None -> Error "hello: missing string field \"group\"")
-    | Some "query" -> (
+    | Some ("query" | "explain") -> (
+      let cmd = Option.get (string_field "cmd" obj) in
       match string_field "query" obj with
-      | None -> Error "query: missing string field \"query\""
+      | None -> Error (cmd ^ ": missing string field \"query\"")
       | Some text -> (
         let bind =
           match field "bind" obj with
@@ -79,9 +82,10 @@ let request_of_line line =
                 | Ok bs, Some s -> Ok ((k, s) :: bs)
                 | Ok _, None ->
                   Error
-                    (Printf.sprintf "query: binding %S must be a string" k))
+                    (Printf.sprintf "%s: binding %S must be a string" cmd k))
               (Ok []) fields
-          | Some _ -> Error "query: \"bind\" must be an object of strings"
+          | Some _ ->
+            Error (cmd ^ ": \"bind\" must be an object of strings")
         in
         match bind with
         | Error e -> Error e
@@ -95,11 +99,13 @@ let request_of_line line =
               | Some b -> b
               | None -> false
             in
-            Ok
-              (Query
-                 { doc = string_field "doc" obj; text; bind = List.rev bind;
-                   use_index }))))
+            let q =
+              { doc = string_field "doc" obj; text; bind = List.rev bind;
+                use_index }
+            in
+            Ok (if cmd = "explain" then Explain q else Query q))))
     | Some "stats" -> Ok Stats
+    | Some "metrics" -> Ok Metrics
     | Some "ping" -> Ok Ping
     | Some "shutdown" -> Ok Shutdown
     | Some "sleep" -> (
@@ -126,3 +132,16 @@ let query_json ?doc ?(bind = []) ?(use_index = false) text =
     @ if use_index then [ ("index", J.Bool true) ] else [])
 
 let simple cmd = J.Obj [ ("cmd", J.String cmd) ]
+
+let rec explain_json (n : Splan.Explain.node) =
+  J.Obj
+    (("op", J.String n.op)
+     :: (match n.arg with Some a -> [ ("arg", J.String a) ] | None -> [])
+    @ [
+        ( "counts",
+          J.Obj (List.map (fun (k, v) -> (k, J.Int v)) n.counts) );
+      ]
+    @
+    if n.children = [] then []
+    else [ ("children", J.List (List.map explain_json n.children)) ])
+

@@ -6,7 +6,10 @@
     {"cmd":"hello","group":G,"peer":P?}          bind the session to a group
     {"cmd":"query","query":Q,"doc":D?,           answer a view query
      "bind":{name:value,…}?,"index":B?}
+    {"cmd":"explain","query":Q,"doc":D?,         EXPLAIN instead of answer
+     "bind":{name:value,…}?}                     (same fields as query)
     {"cmd":"stats"}                              server statistics
+    {"cmd":"metrics"}                            metrics dump + OpenMetrics
     {"cmd":"ping"}                               liveness
     {"cmd":"shutdown"}                           reply, then drain
     {"cmd":"sleep","ms":N}                       debug servers only
@@ -31,7 +34,9 @@ type request =
       peer : string option;
     }
   | Query of query
+  | Explain of query  (** same shape as a query; answered with a plan tree *)
   | Stats
+  | Metrics
   | Ping
   | Shutdown
   | Sleep of float  (** seconds; only honoured by [--debug] servers *)
@@ -77,4 +82,9 @@ val query_json :
   Sobs.Json.t
 
 val simple : string -> Sobs.Json.t
-(** [{"cmd":CMD}] — for [stats], [ping], [shutdown]. *)
+(** [{"cmd":CMD}] — for [stats], [metrics], [ping], [shutdown]. *)
+
+val explain_json : Splan.Explain.node -> Sobs.Json.t
+(** A {!Splan.Explain} tree as JSON: [op], [arg] (when present),
+    [counts] as an object, [children] (when non-empty).  Shared by the
+    [explain] server verb and [secview explain --json]. *)

@@ -8,6 +8,7 @@ type config = {
   deadline : float option;
   debug : bool;
   engine : Pipeline.engine;
+  slow_ms : float option;
 }
 
 let default_config =
@@ -17,11 +18,13 @@ let default_config =
     deadline = None;
     debug = false;
     engine = Pipeline.Plan;
+    slow_ms = None;
   }
 
 type listener =
   | Unix_socket of string
   | Tcp of string * int
+  | Metrics_http of string * int
 
 type session = {
   sid : int;
@@ -31,6 +34,7 @@ type session = {
 
 type work =
   | Answer of Protocol.query
+  | Explain_query of Protocol.query
   | Nap of float
 
 type job = {
@@ -50,16 +54,19 @@ type t = {
   metrics : Sobs.Metrics.t;
   obs_lock : Mutex.t;  (* serializes metrics updates and audit writes *)
   audit : Sobs.Audit_log.t option;
+  tracer : Sobs.Tracer.t option;
   stopping : bool Atomic.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   started : float;
   next_sid : int Atomic.t;
+  live_conns : int Atomic.t;
+  busy_workers : int Atomic.t;
   conn_lock : Mutex.t;
   mutable conns : Thread.t list;
 }
 
-let create ?(config = default_config) ?audit ?metrics pipeline =
+let create ?(config = default_config) ?audit ?metrics ?tracer pipeline =
   let wake_r, wake_w = Unix.pipe () in
   {
     config = { config with workers = max 1 config.workers };
@@ -67,13 +74,22 @@ let create ?(config = default_config) ?audit ?metrics pipeline =
     catalog = Pipeline.catalog pipeline;
     queue = Bqueue.create ~capacity:config.queue_capacity;
     metrics = (match metrics with Some m -> m | None -> Sobs.Metrics.create ());
-    obs_lock = Mutex.create ();
+    (* With a tracer, share its mutex: worker threads feed stage
+       observations into the registry from inside tracer callbacks, so
+       one lock must guard both or the registry races. *)
+    obs_lock =
+      (match tracer with
+      | Some tr -> Sobs.Tracer.lock tr
+      | None -> Mutex.create ());
     audit;
+    tracer;
     stopping = Atomic.make false;
     wake_r;
     wake_w;
     started = Deadline.now ();
     next_sid = Atomic.make 1;
+    live_conns = Atomic.make 0;
+    busy_workers = Atomic.make 0;
     conn_lock = Mutex.create ();
     conns = [];
   }
@@ -94,6 +110,44 @@ let audit_request t ~session ~peer ~group ~doc ~query ~status ~results
     Mutex.protect t.obs_lock (fun () ->
         Sobs.Audit_log.log_request log ~session ~peer ~group ~doc ~query
           ~status ~results ~latency_ms ?error ())
+
+(* Runtime gauges, sampled on every scrape/metrics verb rather than on
+   a timer: the values are cheap to read and a scraper only cares
+   about the instant it asked. *)
+let sample_gauges t =
+  let g = Gc.quick_stat () in
+  let set = Sobs.Metrics.set_gauge t.metrics in
+  set "server.queue.depth" (float_of_int (Bqueue.length t.queue));
+  set "server.queue.capacity" (float_of_int t.config.queue_capacity);
+  set "server.connections.live" (float_of_int (Atomic.get t.live_conns));
+  set "server.workers.busy" (float_of_int (Atomic.get t.busy_workers));
+  set "server.workers.total" (float_of_int t.config.workers);
+  set "server.uptime_s" (Deadline.now () -. t.started);
+  set "gc.heap_words" (float_of_int g.Gc.heap_words);
+  set "gc.minor_words" g.Gc.minor_words;
+  set "gc.major_collections" (float_of_int g.Gc.major_collections)
+
+let openmetrics t =
+  Mutex.protect t.obs_lock (fun () ->
+      sample_gauges t;
+      Sobs.Export.openmetrics t.metrics)
+
+let metrics_reply t =
+  let om = openmetrics t in
+  let text =
+    Mutex.protect t.obs_lock (fun () ->
+        Format.asprintf "%a" Sobs.Metrics.pp t.metrics)
+  in
+  Protocol.ok [ ("openmetrics", J.String om); ("text", J.String text) ]
+
+let audit_slow t ~session ~peer ~group ~doc ~query ?translated ~latency_ms
+    ~threshold_ms ~stages ~counts () =
+  match t.audit with
+  | None -> ()
+  | Some log ->
+    Mutex.protect t.obs_lock (fun () ->
+        Sobs.Audit_log.log_slow_query log ~group ~query ?translated
+          ~latency_ms ~threshold_ms ~stages ~counts ~session ~peer ~doc ())
 
 let draining t = Atomic.get t.stopping
 
@@ -126,8 +180,10 @@ let resolve_document t = function
     | known -> Error (Secview.Error.Unknown_doc { doc = None; known }))
 
 (* Failures come back as [Secview.Error.t]: the reply code and message
-   are [Protocol.error_of]'s one mapping instead of per-site strings. *)
-let answer_query t ~group (q : Protocol.query) =
+   are [Protocol.error_of]'s one mapping instead of per-site strings.
+   [parsed_request] shares document resolution and query parsing
+   between answer and explain. *)
+let parsed_request t (q : Protocol.query) k =
   match resolve_document t q.doc with
   | Error _ as e -> e
   | Ok entry -> (
@@ -137,15 +193,8 @@ let answer_query t ~group (q : Protocol.query) =
         (Secview.Error.Parse_error
            { position = e.Sxpath.Parse.position; message = e.Sxpath.Parse.message })
     | Ok path -> (
-      let env name = List.assoc_opt name q.bind in
-      match
-        let doc = Catalog.doc entry in
-        let index = if q.use_index then Some (Catalog.index entry) else None in
-        Pipeline.answer t.pipeline ~group ~engine:t.config.engine ~env ?index
-          path doc
-      with
-      | Ok results -> Ok (List.map (fun n -> Sxml.Print.to_string n) results)
-      | Error _ as e -> e
+      match k entry path with
+      | (Ok _ | Error _) as r -> r
       | exception Sxml.Parse.Error e ->
         Error
           (Secview.Error.Internal
@@ -156,6 +205,57 @@ let answer_query t ~group (q : Protocol.query) =
         (* anything else the evaluator can raise: the request failed,
            the worker must survive *)
         Error (Secview.Error.Internal (Printexc.to_string exn))))
+
+(* Ok: (rendered results, translated query, plan operator counts).
+   Counts are only collected when the slow-query log could use them. *)
+let answer_query t ~group (q : Protocol.query) =
+  parsed_request t q (fun entry path ->
+      let env name = List.assoc_opt name q.bind in
+      let doc = Catalog.doc entry in
+      let index = if q.use_index then Some (Catalog.index entry) else None in
+      match
+        Pipeline.answer_outcome t.pipeline ~group ~engine:t.config.engine
+          ~counts:(t.config.slow_ms <> None) ~env ?index path doc
+      with
+      | Ok o ->
+        Ok
+          ( List.map (fun n -> Sxml.Print.to_string n) o.Pipeline.o_results,
+            Sxpath.Print.to_string o.Pipeline.o_translated,
+            o.Pipeline.o_counts )
+      | Error _ as e -> e)
+
+let explain_query t ~group (q : Protocol.query) =
+  parsed_request t q (fun entry path ->
+      let env name = List.assoc_opt name q.bind in
+      match Pipeline.explain t.pipeline ~group ~env path (Catalog.doc entry)
+      with
+      | Error _ as e -> e
+      | Ok x ->
+        Ok
+          (Protocol.ok
+             [
+               ("query", J.String q.text);
+               ( "translated",
+                 J.String (Sxpath.Print.to_string x.Pipeline.x_translated) );
+               ( "engine",
+                 J.String
+                   (if x.Pipeline.x_plan <> None then "plan" else "interp") );
+               ( "height",
+                 match x.Pipeline.x_height with
+                 | Some h -> J.Int h
+                 | None -> J.Null );
+               ( "fallback",
+                 match x.Pipeline.x_fallback with
+                 | Some r -> J.String r
+                 | None -> J.Null );
+               ("results", J.Int x.Pipeline.x_results);
+               ( "plan",
+                 match x.Pipeline.x_plan with
+                 | Some (compiled, stats) ->
+                   Protocol.explain_json
+                     (Splan.Explain.of_compiled compiled stats)
+                 | None -> J.Null );
+             ]))
 
 let doc_label t (q : Protocol.query) =
   match q.doc with
@@ -169,7 +269,7 @@ let run_job t job =
   let log ~status ~results ?error ~latency_ms () =
     match job.work with
     | Nap _ -> ()
-    | Answer q ->
+    | Answer q | Explain_query q ->
       audit_request t ~session:job.jsession.sid ~peer:job.jsession.peer
         ~group:job.jgroup ~doc:(doc_label t q) ~query:q.text ~status ~results
         ~latency_ms ?error ()
@@ -189,15 +289,29 @@ let run_job t job =
     log ~status:"timeout" ~results:0 ~error:"deadline exceeded in queue"
       ~latency_ms:(latency ()) ()
   end
-  else
-    let reply, status, results, error =
+  else begin
+    (* watermark before the work: [since] then reads exactly the spans
+       this thread recorded for this request (per-thread attribution) *)
+    let mark =
+      match (t.tracer, t.config.slow_ms, job.work) with
+      | Some tr, Some _, Answer _ -> Some (Sobs.Tracer.mark tr)
+      | _ -> None
+    in
+    let reply, status, results, error, slow_info =
       match job.work with
       | Nap s ->
         Thread.delay s;
-        (Protocol.ok [ ("slept_ms", J.Float (1000. *. s)) ], "ok", 0, None)
+        (Protocol.ok [ ("slept_ms", J.Float (1000. *. s)) ], "ok", 0, None,
+         None)
+      | Explain_query q -> (
+        match explain_query t ~group:job.jgroup q with
+        | Ok reply -> (reply, "ok", 0, None, None)
+        | Error e ->
+          ( Protocol.error_of e, "error", 0,
+            Some (Secview.Error.to_string e), None ))
       | Answer q -> (
         match answer_query t ~group:job.jgroup q with
-        | Ok results ->
+        | Ok (results, translated, counts) ->
           ( Protocol.ok
               [
                 ("results", J.List (List.map (fun s -> J.String s) results));
@@ -205,22 +319,50 @@ let run_job t job =
               ],
             "ok",
             List.length results,
-            None )
+            None,
+            Some (q, Some translated, counts) )
         | Error e ->
-          (Protocol.error_of e, "error", 0, Some (Secview.Error.to_string e)))
+          ( Protocol.error_of e, "error", 0,
+            Some (Secview.Error.to_string e), Some (q, None, []) ))
     in
     let won = Deadline.fill job.cell reply in
     let latency_ms = latency () in
     let status = if won then status else "late" in
     count t ("server.done." ^ status);
     observe t ("server.latency_ms." ^ job.jgroup) latency_ms;
-    log ~status ~results ?error ~latency_ms ()
+    (match (t.config.slow_ms, slow_info) with
+    | Some thr, Some (q, translated, counts) when latency_ms > thr ->
+      let stages =
+        match (t.tracer, mark) with
+        | Some tr, Some m ->
+          Sobs.Tracer.stage_totals (Sobs.Tracer.since tr m)
+        | _ -> []
+      in
+      count t "server.slow_query";
+      audit_slow t ~session:job.jsession.sid ~peer:job.jsession.peer
+        ~group:job.jgroup ~doc:(doc_label t q) ~query:q.text ?translated
+        ~latency_ms ~threshold_ms:thr ~stages ~counts ()
+    | _ -> ());
+    log ~status ~results ?error ~latency_ms ();
+    (* keep a ~retain:false tracer's memory bounded: this thread's
+       completed spans have served their purpose.  (The server's audit
+       log must NOT itself hold this tracer — its drain would re-enter
+       the shared lock under [audit_request]; stage timings reach the
+       log through the slow-query record instead.) *)
+    (match t.tracer with
+    | Some tr -> ignore (Sobs.Tracer.drain_new tr)
+    | None -> ())
+  end
 
 let rec worker_loop t =
   match Bqueue.pop t.queue with
   | None -> ()
   | Some job ->
-    (try run_job t job
+    Atomic.incr t.busy_workers;
+    (try
+       Fun.protect
+         ~finally:(fun () -> Atomic.decr t.busy_workers)
+         (fun () -> run_job t job)
      with exn ->
        (* last line of defense: a worker that dies strands every
           queued request, so fill the cell and keep looping *)
@@ -372,6 +514,7 @@ let handle_line t sess fd line =
     end
   | Ok Ping -> send fd (Protocol.ok [ ("pong", J.Bool true) ])
   | Ok Stats -> send fd (stats_json t)
+  | Ok Metrics -> send fd (metrics_reply t)
   | Ok Shutdown ->
     send fd (Protocol.ok [ ("draining", J.Bool true) ]);
     request_drain t
@@ -386,6 +529,12 @@ let handle_line t sess fd line =
       count t "server.rejected.no_session";
       send fd (Protocol.error_of Secview.Error.No_session)
     | Some _ -> submit t sess fd (Answer q))
+  | Ok (Explain q) -> (
+    match sess.group with
+    | None ->
+      count t "server.rejected.no_session";
+      send fd (Protocol.error_of Secview.Error.No_session)
+    | Some _ -> submit t sess fd (Explain_query q))
 
 let conn_loop t fd peer =
   let sess =
@@ -431,6 +580,77 @@ let conn_loop t fd peer =
    with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* ---- the /metrics HTTP responder ----------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* A deliberately tiny HTTP/1.0 server: read the request head (bounded
+   in size and time), answer [GET /metrics] with the OpenMetrics
+   exposition, everything else with 404, close.  One short-lived
+   thread per scrape — the same model as the line-protocol
+   connections, with none of their session state. *)
+let http_conn t fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let give_up = Deadline.now () +. 5. in
+  let rec read_head () =
+    let s = Buffer.contents buf in
+    if contains s "\r\n\r\n" || contains s "\n\n" then Some s
+    else if Buffer.length buf > 8192 || Deadline.now () > give_up then None
+    else
+      match Unix.select [ fd ] [] [] 1.0 with
+      | [], _, _ -> read_head ()
+      | _ ->
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then if contains s "\n" then Some s else None
+        else begin
+          Buffer.add_subbytes buf chunk 0 n;
+          read_head ()
+        end
+  in
+  (try
+     match read_head () with
+     | None -> ()
+     | Some head ->
+       let line =
+         match String.index_opt head '\n' with
+         | Some i -> String.sub head 0 i
+         | None -> head
+       in
+       let line = String.trim line in
+       let respond ~status ~ctype body =
+         write_all fd
+           (Printf.sprintf
+              "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+               Connection: close\r\n\r\n%s"
+              status ctype (String.length body) body)
+       in
+       (match String.split_on_char ' ' line with
+       | [ "GET"; target; _ ] | [ "GET"; target ] ->
+         let path =
+           match String.index_opt target '?' with
+           | Some i -> String.sub target 0 i
+           | None -> target
+         in
+         if path = "/metrics" then begin
+           count t "server.http.scrapes";
+           respond ~status:"200 OK"
+             ~ctype:
+               "application/openmetrics-text; version=1.0.0; charset=utf-8"
+             (openmetrics t)
+         end
+         else begin
+           count t "server.http.not_found";
+           respond ~status:"404 Not Found" ~ctype:"text/plain" "not found\n"
+         end
+       | _ ->
+         respond ~status:"400 Bad Request" ~ctype:"text/plain" "bad request\n")
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
 (* ---- listeners and lifecycle --------------------------------------- *)
 
 let sockaddr_label = function
@@ -445,7 +665,7 @@ let open_listener = function
     Unix.bind fd (ADDR_UNIX path);
     Unix.listen fd 64;
     fd
-  | Tcp (host, port) ->
+  | Tcp (host, port) | Metrics_http (host, port) ->
     let addr =
       if host = "" then Unix.inet_addr_loopback
       else Unix.inet_addr_of_string host
@@ -456,7 +676,11 @@ let open_listener = function
     Unix.listen fd 64;
     fd
 
-let acceptor_loop t lfd =
+let listener_kind = function
+  | Unix_socket _ | Tcp _ -> `Lines
+  | Metrics_http _ -> `Http
+
+let acceptor_loop t kind lfd =
   while not (draining t) do
     match Unix.select [ lfd; t.wake_r ] [] [] 1.0 with
     | rs, _, _ ->
@@ -464,9 +688,16 @@ let acceptor_loop t lfd =
         match Unix.accept lfd with
         | cfd, addr ->
           count t "server.connections";
-          let th =
-            Thread.create (fun () -> conn_loop t cfd (sockaddr_label addr)) ()
+          let handle () =
+            Atomic.incr t.live_conns;
+            Fun.protect
+              ~finally:(fun () -> Atomic.decr t.live_conns)
+              (fun () ->
+                match kind with
+                | `Lines -> conn_loop t cfd (sockaddr_label addr)
+                | `Http -> http_conn t cfd)
           in
+          let th = Thread.create handle () in
           Mutex.protect t.conn_lock (fun () -> t.conns <- th :: t.conns)
         | exception Unix.Unix_error _ -> ()
       end
@@ -476,7 +707,11 @@ let acceptor_loop t lfd =
 let serve t listeners =
   if listeners = [] then invalid_arg "Server.serve: no listeners";
   let lfds = List.map open_listener listeners in
-  let acceptors = List.map (fun lfd -> Thread.create (acceptor_loop t) lfd) lfds in
+  let acceptors =
+    List.map2
+      (fun l lfd -> Thread.create (acceptor_loop t (listener_kind l)) lfd)
+      listeners lfds
+  in
   let workers =
     List.init t.config.workers (fun _ -> Thread.create (fun () -> worker_loop t) ())
   in
@@ -490,7 +725,7 @@ let serve t listeners =
       (try Unix.close lfd with Unix.Unix_error _ -> ());
       match l with
       | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
-      | Tcp _ -> ())
+      | Tcp _ | Metrics_http _ -> ())
     (List.combine lfds listeners);
   Bqueue.close t.queue;
   List.iter Thread.join workers;

@@ -25,10 +25,22 @@
     [server.rejected.*], [server.timeout], [server.done.*]) and
     per-group latency series ([server.latency_ms.<group>], queue wait
     included) feed the server's {!Sobs.Metrics} registry — the
-    [stats] command renders them — and every admitted query writes
-    one {!Sobs.Audit_log} ["request"] record stamped with the
-    session's group and peer.  All of it behind one lock, so sinks
-    need no thread-safety of their own.
+    [stats] and [metrics] commands render them — and every admitted
+    query writes one {!Sobs.Audit_log} ["request"] record stamped
+    with the session's group and peer.  All of it behind one lock, so
+    sinks need no thread-safety of their own.  A {!Metrics_http}
+    listener additionally exposes the registry over HTTP as
+    OpenMetrics text ([GET /metrics], see {!Sobs.Export}); runtime
+    gauges — queue depth/capacity, live connections, busy workers,
+    uptime, GC heap figures — are sampled at scrape time.
+
+    {b Slow queries.}  With [slow_ms = Some t] every answered query
+    slower than [t] milliseconds (queue wait included) also writes a
+    ["slow_query"] audit record carrying the translated query, the
+    plan's per-operator work totals, and — when the server was
+    created with a [tracer] — per-stage wall-clock totals attributed
+    to exactly that request (the worker thread watermarks the tracer
+    before running it).
 
     {b Drain.}  [shutdown] (after replying) and SIGINT (via
     {!install_sigint}) both {!request_drain}: stop accepting, let
@@ -43,14 +55,22 @@ type config = {
   debug : bool;  (** honour the [sleep] test command *)
   engine : Secview.Pipeline.engine;
       (** how workers execute translated queries (default [Plan]) *)
+  slow_ms : float option;
+      (** audit queries slower than this many milliseconds (default
+          [None] = off); implies collecting plan operator counts *)
 }
 
 val default_config : config
-(** 4 workers, queue of 64, no deadline, no debug, plan engine. *)
+(** 4 workers, queue of 64, no deadline, no debug, plan engine, no
+    slow-query log. *)
 
 type listener =
   | Unix_socket of string  (** path; replaced if present, removed on drain *)
   | Tcp of string * int  (** host ([""] = loopback) and port *)
+  | Metrics_http of string * int
+      (** an HTTP/1.0 scrape endpoint: [GET /metrics] answers the
+          OpenMetrics exposition of the server's registry; every
+          other path is 404.  Host as for {!Tcp}. *)
 
 type t
 
@@ -58,11 +78,19 @@ val create :
   ?config:config ->
   ?audit:Sobs.Audit_log.t ->
   ?metrics:Sobs.Metrics.t ->
+  ?tracer:Sobs.Tracer.t ->
   Secview.Pipeline.t ->
   t
 (** The catalog is the pipeline's ({!Secview.Pipeline.catalog}):
     register documents there.  [audit] is closed (hence flushed) when
-    {!serve} drains. *)
+    {!serve} drains.  [tracer] enables per-stage timings in
+    slow-query records; it must be the process's installed tracer
+    (see {!Sobs.Tracer.install}) and the server adopts its lock as
+    the observability lock, so tracer callbacks and server counters
+    serialize on one mutex — create it with [~retain:false] so span
+    memory stays bounded, and do {e not} also attach it to [audit]
+    (the log's own drain would re-enter the shared lock; stage
+    timings reach the log through slow-query records instead). *)
 
 val serve : t -> listener list -> unit
 (** Bind the listeners and block until a drain completes.  Call from
@@ -81,3 +109,9 @@ val install_sigint : t -> unit
 val metrics : t -> Sobs.Metrics.t
 (** The registry the counters and latency series land in (shared
     with the caller when passed to {!create}). *)
+
+val openmetrics : t -> string
+(** The OpenMetrics exposition a {!Metrics_http} scrape returns:
+    runtime gauges sampled now, then {!Sobs.Export.openmetrics} of
+    the registry.  Exposed for embedders running their own HTTP
+    stack. *)

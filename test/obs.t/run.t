@@ -105,3 +105,115 @@ So does the strict construction gate when it refuses a broken policy:
   [2]
   $ sed -E 's/"ts_ns":[0-9]+/"ts_ns":_/; s/"message":.*/"message":.../' gate.jsonl
   {"type":"note","ts_ns":_,"kind":"strict_gate","message":...
+
+Plan EXPLAIN: translate the query once, run it, and print the operator
+tree with per-operator work counters; the root's emitted count equals
+the number of answers:
+
+  $ secview explain --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 user '//patient/name' | sed '/^$/d'
+  query:      //patient/name
+  translated: dept[patientInfo/patient/wardNo = $wardNo]/(clinicalTrial/patientInfo | patientInfo)/patient/name
+  engine:     plan
+  results:    2
+  seq                            emitted=2
+    seq                          emitted=2
+      seq                        emitted=2
+        filter                   scanned=1 emitted=1
+          child(dept)            scanned=1 emitted=1
+          eq($wardNo)            scanned=1
+            seq                  emitted=0
+              seq                emitted=0
+                child(patientInfo) scanned=2 emitted=0
+                child(patient)   scanned=1 emitted=0
+              child(wardNo)      scanned=2 emitted=0
+        union                    emitted=2
+          seq                    emitted=1
+            child(clinicalTrial) scanned=3 emitted=1
+            child(patientInfo)   scanned=2 emitted=1
+          child(patientInfo)     scanned=3 emitted=1
+      child(patient)             scanned=2 emitted=2
+    child(name)                  scanned=6 emitted=2
+
+The JSON form nests the same tree under "plan":
+
+  $ secview explain --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --json user '//patient/name' \
+  >   | tr ',' '\n' | grep -cE '"op":'
+  18
+
+Chrome trace export: --trace-out writes the recorded spans as
+trace_event JSON for chrome://tracing or Perfetto:
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --trace-out trace.json "//patient/name" > /dev/null
+  $ grep -c '"traceEvents"' trace.json
+  1
+  $ grep -o '"name":"answer"' trace.json
+  "name":"answer"
+
+The slow-query log: with --slow-ms every query over threshold writes a
+slow_query record (translated query, stage timings, operator counts)
+to the audit stream, or stderr without one; a generous threshold stays
+silent:
+
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --slow-ms 0 "//patient/name" 2>&1 >/dev/null \
+  >   | sed -E 's/"ts_ns":[0-9]+/"ts_ns":_/; s/"latency_ms":[0-9.e+-]+/"latency_ms":_/; s/"stages_ms":\{[^}]*\}/"stages_ms":{_}/'
+  {"type":"slow_query","ts_ns":_,"group":"user","query":"//patient/name","translated":"dept[patientInfo/patient/wardNo = $wardNo]/(clinicalTrial/patientInfo | patientInfo)/patient/name","latency_ms":_,"threshold_ms":0,"stages_ms":{_},"op_counts":{"scanned":24,"probes":0,"joined":0,"rows":2}}
+  $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 --slow-ms 100000 "//patient/name" 2>&1 >/dev/null | wc -l
+  0
+
+A served pipeline exports the same telemetry: an OpenMetrics endpoint
+on --metrics-port, the metrics protocol verb, and slow-query records
+in the audit log:
+
+  $ secview serve --dtd hospital.dtd --spec nurse.spec \
+  >   --doc ward=ward.xml --socket ./m.sock --metrics-port 17393 \
+  >   --slow-ms 0 --audit-log maudit.jsonl 2>mserve.log &
+  $ secview client --socket ./m.sock --wait 5 --group user \
+  >   --bind wardNo=6 '//patient/name'
+  <name>Alice</name>
+  <name>Bob</name>
+
+A scrape needs no curl: counters render first, then gauges (queue
+depth, live connections, GC figures), then one histogram per latency
+series with cumulative buckets:
+
+  $ secview metrics --scrape 127.0.0.1:17393 \
+  >   | grep -E '^# TYPE secview_server_accepted|^# TYPE secview_server_queue_depth|^# EOF'
+  # TYPE secview_server_accepted counter
+  # TYPE secview_server_queue_depth gauge
+  # EOF
+  $ secview metrics --scrape 127.0.0.1:17393 \
+  >   | grep -c 'secview_server_latency_ms_user_bucket'
+  21
+
+The metrics verb answers the same registry over the query socket;
+--watch reprints it (twice here, then stops):
+
+  $ secview metrics --socket ./m.sock | sed -n '1p;/gauges:/p'
+  counters:
+  gauges:
+  $ secview metrics --socket ./m.sock --watch 0.1 --iterations 2 \
+  >   | grep -c 'counters:'
+  2
+
+The explain verb serves plan trees to sessions, same as the CLI:
+
+  $ secview client --socket ./m.sock \
+  >   --send '{"cmd":"hello","group":"user"}' \
+  >   --send '{"cmd":"explain","query":"//patient/name","bind":{"wardNo":"6"}}' \
+  >   | tail -1 | grep -o '"engine":"plan"' 
+  "engine":"plan"
+
+Drain; the audit log holds the slow-query record next to the request
+record it annotates:
+
+  $ secview client --socket ./m.sock --shutdown
+  $ wait
+  $ grep -c '"type":"slow_query"' maudit.jsonl
+  1
+  $ grep -c '"type":"request"' maudit.jsonl
+  2

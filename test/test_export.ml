@@ -1,0 +1,344 @@
+(* Telemetry export: the OpenMetrics exposition, Chrome trace JSON,
+   plan EXPLAIN operator counters, slow-query records, and the
+   server's HTTP scrape endpoint. *)
+
+module Metrics = Sobs.Metrics
+module Tracer = Sobs.Tracer
+module Clock = Sobs.Clock
+module Export = Sobs.Export
+module Json = Sobs.Json
+module Audit_log = Sobs.Audit_log
+module Server = Sserver.Server
+module Pipeline = Secview.Pipeline
+
+(* ---- OpenMetrics --------------------------------------------------- *)
+
+let test_sanitize () =
+  Alcotest.(check string)
+    "dots become underscores" "secview_server_latency_ms_user"
+    (Export.sanitize "server.latency_ms.user");
+  Alcotest.(check string)
+    "already clean" "secview_requests" (Export.sanitize "requests")
+
+let test_openmetrics_golden () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:3 m "req";
+  Metrics.set_gauge m "queue.depth" 2.;
+  List.iter (Metrics.observe ~buckets:[| 1.; 5. |] m "lat") [ 0.5; 2.; 10. ];
+  let expected =
+    "# TYPE secview_req counter\n" ^ "secview_req_total 3\n"
+    ^ "# TYPE secview_queue_depth gauge\n" ^ "secview_queue_depth 2\n"
+    ^ "# TYPE secview_lat histogram\n"
+    ^ "secview_lat_bucket{le=\"1\"} 1\n"
+    ^ "secview_lat_bucket{le=\"5\"} 2\n"
+    ^ "secview_lat_bucket{le=\"+Inf\"} 3\n"
+    ^ "secview_lat_sum 12.5\n" ^ "secview_lat_count 3\n" ^ "# EOF\n"
+  in
+  Alcotest.(check string) "exposition" expected (Export.openmetrics m)
+
+(* Cumulative bucket counts must never decrease, the +Inf bucket must
+   equal _count — the invariants Prometheus clients rely on. *)
+let check_histograms_monotone body =
+  let lines = String.split_on_char '\n' body in
+  let bucket_count line =
+    match String.index_opt line '}' with
+    | Some i when String.length line > i + 1 ->
+      int_of_string_opt
+        (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+    | _ -> None
+  in
+  let histograms = Hashtbl.create 4 in
+  List.iter
+    (fun line ->
+      match String.index_opt line '{' with
+      | Some i when
+          String.length line > 7
+          && String.sub line (i - 7) 7 = "_bucket" -> (
+        let name = String.sub line 0 (i - 7) in
+        match bucket_count line with
+        | Some n ->
+          let prev = try Hashtbl.find histograms name with Not_found -> [] in
+          Hashtbl.replace histograms name (n :: prev)
+        | None -> Alcotest.failf "unparseable bucket line: %s" line)
+      | _ -> ())
+    lines;
+  Alcotest.(check bool)
+    "at least one histogram" true
+    (Hashtbl.length histograms > 0);
+  Hashtbl.iter
+    (fun name counts ->
+      let counts = List.rev counts in
+      let rec monotone = function
+        | a :: (b :: _ as rest) ->
+          if a > b then
+            Alcotest.failf "%s buckets not cumulative: %d > %d" name a b;
+          monotone rest
+        | _ -> ()
+      in
+      monotone counts;
+      (* the last bucket is +Inf and must equal the _count line *)
+      let count_line =
+        List.find_opt (String.starts_with ~prefix:(name ^ "_count ")) lines
+      in
+      match (count_line, List.rev counts) with
+      | Some l, last :: _ ->
+        let n =
+          int_of_string
+            (String.trim
+               (String.sub l
+                  (String.length name + 7)
+                  (String.length l - String.length name - 7)))
+        in
+        Alcotest.(check int) (name ^ " +Inf = count") n last
+      | _ -> Alcotest.failf "%s has no _count line" name)
+    histograms
+
+let test_openmetrics_monotone () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "lat") [ 0.3; 7.; 80.; 999.; 123456. ];
+  List.iter (Metrics.observe m "visited") [ 1.; 1.; 2.; 40. ];
+  let body = Export.openmetrics m in
+  check_histograms_monotone body;
+  Alcotest.(check bool)
+    "terminated" true
+    (String.length body >= 6
+    && String.sub body (String.length body - 6) 6 = "# EOF\n")
+
+(* ---- Chrome trace -------------------------------------------------- *)
+
+let test_chrome_trace_roundtrip () =
+  let tr = Tracer.create ~clock:(Clock.fake ()) () in
+  Tracer.install tr;
+  Secview.Trace.span "answer" (fun () ->
+      Secview.Trace.span "eval" (fun () -> ()));
+  Tracer.uninstall ();
+  let spans = Tracer.spans tr in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  match Json.of_string (Json.to_string (Export.chrome_trace spans)) with
+  | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  | Ok j -> (
+    (match Json.member "displayTimeUnit" j with
+    | Some (Json.String "ms") -> ()
+    | _ -> Alcotest.fail "displayTimeUnit missing");
+    match Json.member "traceEvents" j with
+    | Some (Json.List evs) ->
+      Alcotest.(check int) "two events" 2 (List.length evs);
+      List.iter
+        (fun ev ->
+          (match Json.member "ph" ev with
+          | Some (Json.String "X") -> ()
+          | _ -> Alcotest.fail "ph must be X (complete event)");
+          (match Json.member "cat" ev with
+          | Some (Json.String "secview") -> ()
+          | _ -> Alcotest.fail "cat must be secview");
+          let num name =
+            match Json.member name ev with
+            | Some (Json.Float f) -> f
+            | Some (Json.Int i) -> float_of_int i
+            | _ -> Alcotest.failf "%s missing" name
+          in
+          ignore (num "ts");
+          (* fake clock: 1ms per read, so every span lasts >= 1000us *)
+          Alcotest.(check bool) "positive duration" true (num "dur" >= 1000.))
+        evs;
+      (* both spans belong to one request: same trace_id, outer first *)
+      let arg name ev =
+        match Json.member "args" ev with
+        | Some a -> (
+          match Json.member name a with
+          | Some (Json.Int i) -> i
+          | _ -> Alcotest.failf "args.%s missing" name)
+        | None -> Alcotest.fail "args missing"
+      in
+      let outer = List.hd evs and inner = List.nth evs 1 in
+      Alcotest.(check int)
+        "same trace" (arg "trace_id" outer) (arg "trace_id" inner);
+      Alcotest.(check int) "outer depth" 0 (arg "depth" outer);
+      Alcotest.(check int) "inner depth" 1 (arg "depth" inner)
+    | _ -> Alcotest.fail "traceEvents missing")
+
+(* ---- EXPLAIN counters ---------------------------------------------- *)
+
+(* The acceptance invariant: the root operator's rows-emitted equals
+   the number of answers, for every Adex query over a range of
+   document sizes, with no interpreter fallback. *)
+let test_explain_counts () =
+  let pipe =
+    Pipeline.create Workload.Adex.dtd
+      ~groups:[ ("user", Workload.Adex.spec) ]
+  in
+  List.iter
+    (fun (ads, buyers) ->
+      let doc = Workload.Adex.document ~ads ~buyers () in
+      List.iter
+        (fun (name, q) ->
+          let label = Printf.sprintf "%s ads=%d" name ads in
+          let expected =
+            match Pipeline.answer pipe ~group:"user" q doc with
+            | Ok rs -> List.length rs
+            | Error e -> Alcotest.failf "%s: %s" label (Secview.Error.to_string e)
+          in
+          match Pipeline.explain pipe ~group:"user" q doc with
+          | Error e -> Alcotest.failf "%s: %s" label (Secview.Error.to_string e)
+          | Ok x -> (
+            Alcotest.(check int) (label ^ " results") expected
+              x.Pipeline.x_results;
+            Alcotest.(check bool)
+              (label ^ " no fallback") true
+              (x.Pipeline.x_fallback = None);
+            match x.Pipeline.x_plan with
+            | None -> Alcotest.failf "%s: no plan" label
+            | Some (compiled, stats) ->
+              let totals = Splan.Exec.Stats.totals stats in
+              Alcotest.(check int) (label ^ " rows") expected
+                (List.assoc "rows" totals);
+              (* the rendered tree mirrors the compiled plan *)
+              let node = Splan.Explain.of_compiled compiled stats in
+              Alcotest.(check int) (label ^ " root emitted") expected
+                (List.assoc "emitted" node.Splan.Explain.counts)))
+        Workload.Adex.queries)
+    [ (2, 2); (6, 4); (12, 8) ]
+
+(* ---- slow-query records -------------------------------------------- *)
+
+let test_slow_query_record () =
+  let buf = Buffer.create 256 in
+  let log = Audit_log.create ~clock:(Clock.fake ()) (Audit_log.Buffer buf) in
+  Audit_log.log_slow_query log ~group:"user" ~query:"//a" ~translated:"b/a"
+    ~latency_ms:12.5 ~threshold_ms:10.
+    ~stages:[ ("eval", 9.25); ("translate", 1.5) ]
+    ~counts:[ ("scanned", 7); ("rows", 2) ]
+    ();
+  Audit_log.log_slow_query log ~group:"g" ~query:"//b" ~latency_ms:3.
+    ~threshold_ms:1. ~stages:[] ~counts:[] ~session:4 ~peer:"unix" ~doc:"d"
+    ();
+  Audit_log.close log;
+  let expected =
+    {|{"type":"slow_query","ts_ns":0,"group":"user","query":"//a","translated":"b/a","latency_ms":12.5,"threshold_ms":10,"stages_ms":{"eval":9.25,"translate":1.5},"op_counts":{"scanned":7,"rows":2}}|}
+    ^ "\n"
+    ^ {|{"type":"slow_query","ts_ns":1000000,"session":4,"peer":"unix","doc":"d","group":"g","query":"//b","translated":null,"latency_ms":3,"threshold_ms":1,"stages_ms":{},"op_counts":{}}|}
+    ^ "\n"
+  in
+  Alcotest.(check string) "JSONL records" expected (Buffer.contents buf)
+
+(* ---- the HTTP scrape endpoint -------------------------------------- *)
+
+let scrape_port = 17917
+
+let http_get port path =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec connect tries =
+        match
+          Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port))
+        with
+        | () -> ()
+        | exception Unix.Unix_error (ECONNREFUSED, _, _) when tries > 0 ->
+          Thread.delay 0.05;
+          connect (tries - 1)
+      in
+      connect 100;
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      let b = Bytes.of_string req in
+      ignore (Unix.write fd b 0 (Bytes.length b));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec slurp () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          slurp ()
+        end
+      in
+      slurp ();
+      Buffer.contents buf)
+
+let split_response resp =
+  let rec find i =
+    if i + 3 >= String.length resp then (resp, "")
+    else if String.sub resp i 4 = "\r\n\r\n" then
+      ( String.sub resp 0 i,
+        String.sub resp (i + 4) (String.length resp - i - 4) )
+    else find (i + 1)
+  in
+  find 0
+
+let test_http_scrape () =
+  let pipe =
+    Pipeline.create Workload.Fig7.dtd ~groups:[ ("u", Workload.Fig7.spec) ]
+  in
+  let server = Server.create pipe in
+  (* a served query would land here; prime the latency series directly
+     so the scrape carries a histogram without a full client session *)
+  List.iter
+    (Metrics.observe (Server.metrics server) "server.latency_ms.u")
+    [ 0.4; 2.; 31. ];
+  let th =
+    Thread.create
+      (fun () -> Server.serve server [ Server.Metrics_http ("", scrape_port) ])
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_drain server;
+      Thread.join th)
+    (fun () ->
+      let resp = http_get scrape_port "/metrics" in
+      let head, body = split_response resp in
+      Alcotest.(check bool)
+        "200 OK" true
+        (String.starts_with ~prefix:"HTTP/1.0 200" head);
+      Alcotest.(check bool)
+        "openmetrics content type" true
+        (let lower = String.lowercase_ascii head in
+         let needle = "application/openmetrics-text" in
+         let rec has i =
+           i + String.length needle <= String.length lower
+           && (String.sub lower i (String.length needle) = needle
+              || has (i + 1))
+         in
+         has 0);
+      let has_line prefix =
+        List.exists
+          (String.starts_with ~prefix)
+          (String.split_on_char '\n' body)
+      in
+      Alcotest.(check bool)
+        "scrape counter" true
+        (has_line "secview_server_http_scrapes_total");
+      Alcotest.(check bool)
+        "queue depth gauge" true
+        (has_line "secview_server_queue_depth");
+      Alcotest.(check bool) "eof" true (has_line "# EOF");
+      check_histograms_monotone body;
+      (* anything else is 404 *)
+      let head404, _ = split_response (http_get scrape_port "/favicon.ico") in
+      Alcotest.(check bool)
+        "404 elsewhere" true
+        (String.starts_with ~prefix:"HTTP/1.0 404" head404))
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "openmetrics",
+        [
+          Alcotest.test_case "sanitize" `Quick test_sanitize;
+          Alcotest.test_case "golden exposition" `Quick
+            test_openmetrics_golden;
+          Alcotest.test_case "cumulative buckets" `Quick
+            test_openmetrics_monotone;
+        ] );
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "round trip" `Quick test_chrome_trace_roundtrip;
+        ] );
+      ( "explain",
+        [ Alcotest.test_case "operator counters" `Quick test_explain_counts ]
+      );
+      ( "slow-query",
+        [ Alcotest.test_case "jsonl golden" `Quick test_slow_query_record ] );
+      ( "http",
+        [ Alcotest.test_case "GET /metrics" `Quick test_http_scrape ] );
+    ]

@@ -98,10 +98,14 @@ let test_histogram_math () =
     Alcotest.(check (float 1e-9)) "min" 1. s.Metrics.min;
     Alcotest.(check (float 1e-9)) "max" 100. s.Metrics.max;
     Alcotest.(check (float 1e-9)) "mean" 50.5 s.Metrics.mean;
+    (* percentiles are bucket upper-bound estimates now that summaries
+       and the OpenMetrics exposition derive from the same explicit
+       buckets: 1..100 under the default ladder lands p50 in the
+       le=50 bucket and the upper tail in le=100 *)
     Alcotest.(check (float 1e-9)) "p50" 50. s.Metrics.p50;
-    Alcotest.(check (float 1e-9)) "p90" 90. s.Metrics.p90;
-    Alcotest.(check (float 1e-9)) "p95" 95. s.Metrics.p95;
-    Alcotest.(check (float 1e-9)) "p99" 99. s.Metrics.p99
+    Alcotest.(check (float 1e-9)) "p90" 100. s.Metrics.p90;
+    Alcotest.(check (float 1e-9)) "p95" 100. s.Metrics.p95;
+    Alcotest.(check (float 1e-9)) "p99" 100. s.Metrics.p99
 
 let test_histogram_edges () =
   let m = Metrics.create () in
@@ -120,8 +124,8 @@ let test_metrics_json () =
   Metrics.incr ~by:2 m "hits";
   List.iter (Metrics.observe m "lat") [ 1.; 2.; 3.; 4. ];
   Alcotest.(check string) "registry JSON"
-    ({|{"counters":{"hits":3},"series":{"lat":{"count":4,"min":1,"max":4,|}
-    ^ {|"mean":2.5,"p50":2,"p90":4,"p95":4,"p99":4}}}|})
+    ({|{"counters":{"hits":3},"series":{"lat":{"count":4,"sum":10,"min":1,|}
+    ^ {|"max":4,"mean":2.5,"p50":2.5,"p90":4,"p95":4,"p99":4}}}|})
     (Json.to_string (Metrics.to_json m))
 
 let test_json_escaping () =
