@@ -16,6 +16,7 @@
                                    [-- --scale N] [-- --quick]
                                    [-- --json [--out FILE]] [-- --label L]
                                    [-- --serve [--clients N]] [-- --engines]
+                                   [-- --analyze]
 
    --json writes the Table 1 measurements (per-stage min/median/p95
    breakdowns for Q1-Q4 x D1-D4) to BENCH_PR2.json (or --out FILE),
@@ -31,7 +32,12 @@
 
    --engines is the PR 4 ablation: the compiled-plan executor vs the
    set-at-a-time interpreter on Q1-Q4 x D1-D4, answers byte-compared,
-   written to BENCH_PR4.json (or --out FILE). *)
+   written to BENCH_PR4.json (or --out FILE).
+
+   --analyze is the PR 6 study: pairwise fleet-analysis cost over
+   2/8/32 generated groups, plus an A/B of the server's admission
+   fast path on a denied-heavy query mix, written to BENCH_PR6.json
+   (or --out FILE). *)
 
 module A = Sxpath.Ast
 module R = Sdtd.Regex
@@ -861,6 +867,201 @@ let engines_bench ~label ~scale ~reps ~out () =
   if !mismatches > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* PR 6: the semantic analyzer's cost, and what the server's          *)
+(* admission fast path buys on a denied-heavy query mix               *)
+
+let analyze_bench ~label ~reps ~out () =
+  let dtd = Workload.Hospital.dtd in
+  (* a fleet of distinct groups: toggle 5 annotation slots of a
+     variable-free nurse-like policy — every subset is a valid access
+     specification over the hospital DTD, so 32 bit patterns give 32
+     genuinely different accessible regions *)
+  let trial_depts = Sxpath.Parse.qual_of_string "*/patient/treatment/trial" in
+  let slots =
+    [|
+      (("hospital", "dept"), Secview.Spec.Cond trial_depts);
+      (("dept", "clinicalTrial"), Secview.Spec.No);
+      (("clinicalTrial", "patientInfo"), Secview.Spec.Yes);
+      (("treatment", "trial"), Secview.Spec.No);
+      (("treatment", "regular"), Secview.Spec.No);
+    |]
+  in
+  let group i =
+    let annots =
+      List.filteri (fun b _ -> (i lsr b) land 1 = 1) (Array.to_list slots)
+    in
+    ( Printf.sprintf "g%02d" i,
+      Secview.Derive.derive (Secview.Spec.make dtd annots) )
+  in
+  Printf.printf "## Analyzer bench: pairwise fleet analysis, %d reps\n\n" reps;
+  let fleet_cells =
+    List.map
+      (fun n ->
+        let views = List.init n group in
+        (* the warmup inside measure_stats fills Image's
+           process-global memo tables: the measured medians are the
+           steady-state cost a long-lived server pays *)
+        let s =
+          measure_stats ~reps (fun () -> Sanalysis.Semantic.fleet dtd views)
+        in
+        let pairs = n * (n - 1) / 2 in
+        Printf.printf
+          "groups %2d  (%3d pairs): median %8.2f ms  (%.3f ms/pair)\n" n pairs
+          (1000. *. s.t_median)
+          (1000. *. s.t_median /. float_of_int pairs);
+        (n, pairs, s))
+      [ 2; 8; 32 ]
+  in
+  (* ---- serve A/B: admission fast path on a denied-heavy mix ------- *)
+  (* 4 provably-empty queries to 1 real one — the mix of a client
+     population probing for structure its view hides *)
+  let mix =
+    [
+      ("denied", "//test");
+      ("denied", "//clinicalTrial");
+      ("denied", "//trial");
+      ("denied", "//medication/name");
+      ("eval", "//patient/name");
+    ]
+  in
+  let kinds = [ "denied"; "eval" ] in
+  let clients = 8 in
+  let rounds = 25 * reps in
+  let serve_mix ~admission =
+    let catalog = Secview.Catalog.create () in
+    let doc = Workload.Hospital.generated_document ~seed:7 ~scale:40 () in
+    ignore (Secview.Catalog.add catalog ~name:"ward" doc);
+    let pipeline =
+      Secview.Pipeline.create ~catalog dtd
+        ~groups:[ ("nurse", Workload.Hospital.nurse_spec dtd) ]
+    in
+    let config =
+      { Sserver.Server.default_config with workers = 4; admission }
+    in
+    let server = Sserver.Server.create ~config pipeline in
+    let sock = Filename.temp_file "secview-bench" ".sock" in
+    Sys.remove sock;
+    let server_thread =
+      Thread.create
+        (fun () ->
+          Sserver.Server.serve server [ Sserver.Server.Unix_socket sock ])
+        ()
+    in
+    let lock = Mutex.create () in
+    let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 2 in
+    List.iter (fun k -> Hashtbl.replace samples k (ref [])) kinds;
+    let client i () =
+      let fd = connect_retry sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let send j = write_all fd (Sobs.Json.to_string j ^ "\n") in
+      send (Sserver.Protocol.hello ~peer:(Printf.sprintf "ab-%d" i) "nurse");
+      ignore (input_line ic);
+      let mine = Hashtbl.create 2 in
+      List.iter (fun k -> Hashtbl.replace mine k (ref [])) kinds;
+      for _ = 1 to rounds do
+        List.iter
+          (fun (kind, q) ->
+            let t0 = Unix.gettimeofday () in
+            send
+              (Sserver.Protocol.query_json ~doc:"ward"
+                 ~bind:[ ("wardNo", "6") ] q);
+            ignore (input_line ic);
+            let dt = Unix.gettimeofday () -. t0 in
+            let acc = Hashtbl.find mine kind in
+            acc := dt :: !acc)
+          mix
+      done;
+      Unix.close fd;
+      Mutex.protect lock (fun () ->
+          List.iter
+            (fun k ->
+              let acc = Hashtbl.find samples k in
+              acc := !(Hashtbl.find mine k) @ !acc)
+            kinds)
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun i -> Thread.create (client i) ()) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let fd = connect_retry sock in
+    write_all fd
+      (Sobs.Json.to_string (Sserver.Protocol.simple "shutdown") ^ "\n");
+    ignore (input_line (Unix.in_channel_of_descr fd));
+    Unix.close fd;
+    Thread.join server_thread;
+    let requests = clients * rounds * List.length mix in
+    let pct kind p =
+      let times = Array.of_list !(Hashtbl.find samples kind) in
+      Array.sort compare times;
+      if Array.length times = 0 then 0.
+      else 1000. *. Sobs.Metrics.percentile times p
+    in
+    (requests, wall, pct)
+  in
+  Printf.printf
+    "\n## Admission fast path A/B: %d clients, 4 denied : 1 eval mix\n\n"
+    clients;
+  let ab =
+    List.map
+      (fun admission ->
+        let requests, wall, pct = serve_mix ~admission in
+        Printf.printf
+          "admission %-3s  %6d req in %6.2f s (%7.0f req/s) | denied p50 \
+           %7.3f ms p95 %7.3f ms | eval p50 %7.3f ms\n"
+          (if admission then "on" else "off")
+          requests wall
+          (float_of_int requests /. wall)
+          (pct "denied" 50.) (pct "denied" 95.) (pct "eval" 50.);
+        (admission, requests, wall, pct))
+      [ true; false ]
+  in
+  let doc =
+    Sobs.Json.Obj
+      [
+        ("bench", Sobs.Json.String "analyze");
+        ( "meta",
+          meta_json ~label ~scale:40 ~reps
+            [
+              ("clients", Sobs.Json.Int clients);
+              ("rounds", Sobs.Json.Int rounds);
+            ] );
+        ( "fleet",
+          Sobs.Json.List
+            (List.map
+               (fun (n, pairs, s) ->
+                 Sobs.Json.Obj
+                   [
+                     ("groups", Sobs.Json.Int n);
+                     ("pairs", Sobs.Json.Int pairs);
+                     ("ms", stats_ms_json s);
+                   ])
+               fleet_cells) );
+        ( "admission",
+          Sobs.Json.Obj
+            (List.map
+               (fun (admission, requests, wall, pct) ->
+                 ( (if admission then "on" else "off"),
+                   Sobs.Json.Obj
+                     [
+                       ("requests", Sobs.Json.Int requests);
+                       ("wall_s", Sobs.Json.Float wall);
+                       ( "throughput_rps",
+                         Sobs.Json.Float (float_of_int requests /. wall) );
+                       ("denied_p50_ms", Sobs.Json.Float (pct "denied" 50.));
+                       ("denied_p95_ms", Sobs.Json.Float (pct "denied" 95.));
+                       ("eval_p50_ms", Sobs.Json.Float (pct "eval" 50.));
+                       ("eval_p95_ms", Sobs.Json.Float (pct "eval" 95.));
+                     ] ))
+               ab) );
+      ]
+  in
+  let oc = open_out out in
+  Sobs.Json.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n(machine-readable results written to %s)\n\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -892,7 +1093,7 @@ let () =
     not
       (has "--table1" || has "--forms" || has "--ablations" || has "--approx"
      || has "--index" || has "--xmark" || has "--json" || has "--serve"
-     || has "--engines")
+     || has "--engines" || has "--analyze")
   in
   if all || has "--forms" then forms ();
   if all || has "--table1" || has "--json" then
@@ -908,4 +1109,8 @@ let () =
   if has "--serve" then
     serve_bench ~label ~scale ~reps ~clients
       ~out:(flag_value "--out" "BENCH_PR3.json")
+      ();
+  if has "--analyze" then
+    analyze_bench ~label ~reps
+      ~out:(flag_value "--out" "BENCH_PR6.json")
       ()

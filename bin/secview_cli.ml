@@ -537,11 +537,19 @@ let explain_cmd =
       let translated =
         Sxpath.Print.to_string x.Secview.Pipeline.x_translated
       in
+      let admission_name =
+        Secview.Pipeline.admission_label x.Secview.Pipeline.x_admission
+      in
       if json then
         let j =
           Sobs.Json.Obj
             [
               ("query", Sobs.Json.String query);
+              ("admission", Sobs.Json.String admission_name);
+              ( "witness",
+                match x.Secview.Pipeline.x_admission with
+                | Secview.Pipeline.Denied_empty w -> Sobs.Json.String w
+                | _ -> Sobs.Json.Null );
               ("translated", Sobs.Json.String translated);
               ("engine", Sobs.Json.String engine_name);
               ( "height",
@@ -564,6 +572,10 @@ let explain_cmd =
         print_endline (Sobs.Json.to_string j)
       else begin
         Printf.printf "query:      %s\n" query;
+        (match x.Secview.Pipeline.x_admission with
+        | Secview.Pipeline.Denied_empty w ->
+          Printf.printf "admission:  denied — %s\n" w
+        | _ -> Printf.printf "admission:  %s\n" admission_name);
         Printf.printf "translated: %s\n" translated;
         (match x.Secview.Pipeline.x_height with
         | Some h -> Printf.printf "height:     %d\n" h
@@ -666,6 +678,204 @@ let lint_cmd =
       const run $ dtd_arg $ root_arg $ spec_opt_arg $ view_arg $ machine_arg
       $ audit_log_arg $ queries_arg)
 
+let analyze_cmd =
+  let run dtd_path root spec_path group_specs fleet json machine audit_log
+      queries =
+    let dtd = load_dtd root dtd_path in
+    let named = named_groups ~cmd:"analyze" dtd spec_path group_specs in
+    let groups =
+      List.map (fun (g, spec) -> (g, Secview.Derive.derive spec)) named
+    in
+    let queries =
+      List.map (fun q -> (q, Sxpath.Parse.of_string q)) queries
+    in
+    let multi = List.length groups > 1 in
+    (* leakage diagnostics are per group: carry the group name in the
+       message when several groups are analyzed together *)
+    let tag g (d : Sanalysis.Diagnostic.t) =
+      if multi then
+        {
+          d with
+          Sanalysis.Diagnostic.message = Printf.sprintf "[%s] %s" g d.message;
+        }
+      else d
+    in
+    let leakage =
+      List.concat_map
+        (fun (g, v) ->
+          List.map (tag g) (Sanalysis.Semantic.check_leakage ~dtd v))
+        groups
+    in
+    let comparisons =
+      if fleet then Sanalysis.Semantic.fleet dtd groups else []
+    in
+    let ds = leakage @ Sanalysis.Semantic.fleet_diagnostics comparisons in
+    let verdicts =
+      List.concat_map
+        (fun (g, v) ->
+          let vdtd = Secview.View.dtd v in
+          List.map
+            (fun (qt, q) -> (g, qt, Sanalysis.Semantic.admission vdtd q))
+            queries)
+        groups
+    in
+    (match audit_log with
+    | None -> ()
+    | Some path ->
+      let alog = open_audit_log path in
+      List.iter
+        (fun (d : Sanalysis.Diagnostic.t) ->
+          Sobs.Audit_log.log_diagnostic alog ~code:d.code
+            ~severity:(Sanalysis.Diagnostic.severity_label d.severity)
+            ~subject:(Sanalysis.Diagnostic.subject_label d.subject)
+            d.message)
+        (Sanalysis.Diagnostic.by_severity ds);
+      Sobs.Audit_log.close alog);
+    if json then begin
+      let relation_json (c : Sanalysis.Semantic.comparison) =
+        Sobs.Json.Obj
+          ([
+             ("left", Sobs.Json.String c.cmp_left);
+             ("right", Sobs.Json.String c.cmp_right);
+             ( "relation",
+               Sobs.Json.String
+                 (Sanalysis.Semantic.relation_label c.cmp_relation) );
+             ( "overlap",
+               match c.cmp_overlap with
+               | Some l -> Sobs.Json.String l
+               | None -> Sobs.Json.Null );
+           ]
+          @
+          match c.cmp_relation with
+          | Sanalysis.Semantic.Unknown why ->
+            [ ("note", Sobs.Json.String why) ]
+          | _ -> [])
+      in
+      let diag_json (d : Sanalysis.Diagnostic.t) =
+        Sobs.Json.Obj
+          [
+            ("code", Sobs.Json.String d.code);
+            ( "severity",
+              Sobs.Json.String
+                (Sanalysis.Diagnostic.severity_label d.severity) );
+            ( "subject",
+              Sobs.Json.String (Sanalysis.Diagnostic.subject_label d.subject)
+            );
+            ("message", Sobs.Json.String d.message);
+          ]
+      in
+      let verdict_json (g, qt, v) =
+        Sobs.Json.Obj
+          [
+            ("group", Sobs.Json.String g);
+            ("query", Sobs.Json.String qt);
+            ( "verdict",
+              Sobs.Json.String (Secview.Pipeline.admission_label v) );
+            ( "witness",
+              match v with
+              | Secview.Pipeline.Denied_empty w -> Sobs.Json.String w
+              | _ -> Sobs.Json.Null );
+          ]
+      in
+      print_endline
+        (Sobs.Json.to_string
+           (Sobs.Json.Obj
+              [
+                ( "groups",
+                  Sobs.Json.List
+                    (List.map (fun (g, _) -> Sobs.Json.String g) groups) );
+                ( "comparisons",
+                  Sobs.Json.List (List.map relation_json comparisons) );
+                ( "diagnostics",
+                  Sobs.Json.List
+                    (List.map diag_json (Sanalysis.Diagnostic.by_severity ds))
+                );
+                ("admission", Sobs.Json.List (List.map verdict_json verdicts));
+              ]))
+    end
+    else begin
+      List.iter
+        (fun (c : Sanalysis.Semantic.comparison) ->
+          Printf.printf "compare %s vs %s: %s%s\n" c.cmp_left c.cmp_right
+            (Sanalysis.Semantic.relation_label c.cmp_relation)
+            (match c.cmp_relation with
+            | Sanalysis.Semantic.Unknown why -> Printf.sprintf " (%s)" why
+            | Sanalysis.Semantic.Overlapping -> (
+              match c.cmp_overlap with
+              | Some l -> Printf.sprintf " (both reach %s)" l
+              | None -> "")
+            | _ -> ""))
+        comparisons;
+      List.iter
+        (fun (g, qt, v) ->
+          Printf.printf "admission [%s] %s: %s\n" g qt
+            (match v with
+            | Secview.Pipeline.Denied_empty w -> "denied — " ^ w
+            | Secview.Pipeline.Trivial -> "trivial"
+            | Secview.Pipeline.Needs_eval -> "eval"))
+        verdicts;
+      if machine then
+        List.iter
+          (fun d -> print_endline (Sanalysis.Diagnostic.to_line d))
+          (Sanalysis.Diagnostic.by_severity ds)
+      else if ds = [] then print_endline "no diagnostics"
+      else Format.printf "%a" Sanalysis.Diagnostic.pp_report ds
+    end;
+    exit (if Sanalysis.Diagnostic.has_errors ds then 1 else 0)
+  in
+  let fleet_arg =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "Compare every pair of groups' accessible regions: SV401 marks \
+             equivalent (merge-candidate) policies, SV402 role-hierarchy \
+             subsumption, SV403 incomparable-but-overlapping ones.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "One JSON object with the comparisons, diagnostics and \
+             per-query admission verdicts.")
+  in
+  let machine_arg =
+    Arg.(
+      value & flag
+      & info [ "machine" ]
+          ~doc:
+            "One tab-separated record per diagnostic \
+             (CODE, SEVERITY, SUBJECT, MESSAGE) instead of prose.")
+  in
+  let audit_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-log" ] ~docv:"FILE"
+          ~doc:
+            "Also append the diagnostics as JSONL records to $(docv) ('-' \
+             for stderr) — the same stream format the query audit log \
+             uses.")
+  in
+  let queries_arg =
+    let doc =
+      "View queries to classify statically against each group's view DTD \
+       (denied/trivial/eval)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Semantic policy analysis: cross-group subsumption (--fleet), \
+          leakage of never-populatable view structure, and static \
+          admission verdicts for queries; exit 1 on any error-severity \
+          diagnostic")
+    Term.(
+      const run $ dtd_arg $ root_arg $ spec_opt_arg $ group_specs_arg
+      $ fleet_arg $ json_arg $ machine_arg $ audit_log_arg $ queries_arg)
+
 let optimize_cmd =
   let run dtd_path root query =
     let dtd = load_dtd root dtd_path in
@@ -759,7 +969,7 @@ let host_arg =
 let serve_cmd =
   let run dtd_path root spec_path group_specs docs socket tcp host workers
       queue deadline engine audit_log debug strict preload slow_ms
-      metrics_port =
+      metrics_port no_admission =
     let dtd = load_dtd root dtd_path in
     let groups = named_groups ~cmd:"serve" dtd spec_path group_specs in
     if docs = [] then
@@ -798,7 +1008,7 @@ let serve_cmd =
     in
     let config =
       { Sserver.Server.workers; queue_capacity = queue; deadline; debug;
-        engine; slow_ms }
+        engine; slow_ms; admission = not no_admission }
     in
     let server =
       Sserver.Server.create ~config ?audit:alog ~metrics:registry ?tracer
@@ -918,6 +1128,16 @@ let serve_cmd =
              on $(docv) (GET /metrics; same host as --host) for Prometheus \
              scrapes or 'secview metrics --scrape'.")
   in
+  let no_admission_arg =
+    Arg.(
+      value & flag
+      & info [ "no-admission" ]
+          ~doc:
+            "Disable the static admission fast path: by default, queries \
+             the analyzer proves empty against the group's view DTD are \
+             answered with the empty result set on the connection thread, \
+             without queueing, planning or touching the document.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -927,7 +1147,7 @@ let serve_cmd =
       const run $ dtd_arg $ root_arg $ spec_opt_arg $ group_specs_arg
       $ docs_arg $ socket_arg $ tcp_arg $ host_arg $ workers_arg $ queue_arg
       $ deadline_arg $ engine_arg $ audit_log_arg $ debug_arg $ strict_arg
-      $ preload_arg $ slow_ms_arg $ metrics_port_arg)
+      $ preload_arg $ slow_ms_arg $ metrics_port_arg $ no_admission_arg)
 
 let client_cmd =
   let run socket tcp host wait group peer doc_name bindings indexed ping
@@ -1348,9 +1568,10 @@ let main =
          "Secure XML querying with security views (Fan, Chan, Garofalakis, \
           SIGMOD 2004)")
     [
-      derive_cmd; graph_cmd; audit_cmd; lint_cmd; materialize_cmd;
-      metrics_cmd; rewrite_cmd; query_cmd; explain_cmd; optimize_cmd;
-      annotate_cmd; gen_cmd; validate_cmd; serve_cmd; client_cmd;
+      analyze_cmd; derive_cmd; graph_cmd; audit_cmd; lint_cmd;
+      materialize_cmd; metrics_cmd; rewrite_cmd; query_cmd; explain_cmd;
+      optimize_cmd; annotate_cmd; gen_cmd; validate_cmd; serve_cmd;
+      client_cmd;
     ]
 
 let () =

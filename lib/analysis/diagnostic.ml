@@ -8,6 +8,7 @@ type subject =
   | Element of string
   | Sigma of string * string
   | Query of string
+  | Groups of string * string
   | General
 
 type t = {
@@ -30,6 +31,7 @@ let subject_label = function
   | Element a -> Printf.sprintf "element %s" a
   | Sigma (a, b) -> Printf.sprintf "sigma(%s, %s)" a b
   | Query q -> Printf.sprintf "query %s" q
+  | Groups (a, b) -> Printf.sprintf "groups(%s, %s)" a b
   | General -> ""
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds

@@ -18,6 +18,8 @@ type subject =
   | Element of string  (** an element type of a DTD *)
   | Sigma of string * string  (** a view annotation [σ(parent, child)] *)
   | Query of string  (** a query, by name or by its printed form *)
+  | Groups of string * string
+      (** a pair of user groups, for cross-group comparisons *)
   | General
 
 type t = {
@@ -33,7 +35,8 @@ val severity_label : severity -> string
 (** ["error"], ["warning"], ["info"]. *)
 
 val subject_label : subject -> string
-(** [ann(a, b)], [element a], [sigma(a, b)], [query q], or [""]. *)
+(** [ann(a, b)], [element a], [sigma(a, b)], [query q],
+    [groups(a, b)], or [""]. *)
 
 val errors : t list -> t list
 val has_errors : t list -> bool

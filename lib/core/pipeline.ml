@@ -29,17 +29,32 @@ type cache_stats = {
   plan_fallbacks : int;
 }
 
+type admission =
+  | Denied_empty of string
+  | Trivial
+  | Needs_eval
+
+type admission_stats = {
+  denied : int;
+  trivial : int;
+  eval : int;
+}
+
 type group_state = {
   info : group;
   recursive : bool;
   lock : Mutex.t;  (* guards [cache] (incl. entry plans) and counters *)
   cache : (Sxpath.Ast.path * int option, centry) Hashtbl.t;
+  admission_cache : (Sxpath.Ast.path, admission) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
   mutable plan_hits : int;
   mutable plan_misses : int;
   mutable plan_compiles : int;
   mutable plan_fallbacks : int;
+  mutable adm_denied : int;
+  mutable adm_trivial : int;
+  mutable adm_eval : int;
 }
 
 type t = {
@@ -55,6 +70,21 @@ let strict_gate :
   ref None
 
 let set_strict_gate f = strict_gate := Some f
+
+(* The admission analyzer is registered by the analysis sublibrary
+   (Sanalysis.Semantic) the same way the strict gate is: lib/core
+   cannot depend on lib/analysis, so classification degrades to
+   [Needs_eval] when that library is not linked. *)
+let admission_analyzer :
+    (Sdtd.Dtd.t -> Sxpath.Ast.path -> admission) option ref =
+  ref None
+
+let set_admission_analyzer f = admission_analyzer := Some f
+
+let admission_label = function
+  | Denied_empty _ -> "denied"
+  | Trivial -> "trivial"
+  | Needs_eval -> "eval"
 
 (* [pairs]: (group, view, policy if we have one). *)
 let run_strict_gate dtd pairs =
@@ -88,12 +118,16 @@ let of_views ?catalog dtd pairs =
           recursive = Sdtd.Dtd.is_recursive (View.dtd view);
           lock = Mutex.create ();
           cache = Hashtbl.create 32;
+          admission_cache = Hashtbl.create 32;
           hits = 0;
           misses = 0;
           plan_hits = 0;
           plan_misses = 0;
           plan_compiles = 0;
           plan_fallbacks = 0;
+          adm_denied = 0;
+          adm_trivial = 0;
+          adm_eval = 0;
         })
     pairs;
   let catalog =
@@ -195,12 +229,60 @@ let translate_entry t st ~group ?height q =
 let translate t ~group ?height q =
   (translate_entry t (state t group) ~group ?height q).translated
 
+(* Static admission: decide the (group, query) pair from the view DTD
+   alone — no document, no rewriting.  Cached per group and query
+   (the verdict depends only on the view DTD, not on heights or
+   documents); the analyzer itself runs under [translate_lock] because
+   it leans on the same process-global Image memo tables the optimizer
+   does.  Counters are bumped per call, not per distinct query, so
+   they measure request traffic like the server's. *)
+let classify_state t st q =
+  let verdict =
+    match
+      Mutex.protect st.lock (fun () -> Hashtbl.find_opt st.admission_cache q)
+    with
+    | Some v -> v
+    | None ->
+      let v =
+        match !admission_analyzer with
+        | None -> Needs_eval
+        | Some analyze ->
+          Trace.span "admission" @@ fun () ->
+          Mutex.protect t.translate_lock (fun () ->
+              analyze (View.dtd st.info.view) q)
+      in
+      Mutex.protect st.lock (fun () ->
+          match Hashtbl.find_opt st.admission_cache q with
+          | Some v -> v
+          | None ->
+            Hashtbl.replace st.admission_cache q v;
+            v)
+  in
+  Mutex.protect st.lock (fun () ->
+      match verdict with
+      | Denied_empty _ -> st.adm_denied <- st.adm_denied + 1
+      | Trivial -> st.adm_trivial <- st.adm_trivial + 1
+      | Needs_eval -> st.adm_eval <- st.adm_eval + 1);
+  Trace.count ("pipeline.admission." ^ admission_label verdict) 1;
+  verdict
+
+let classify t ~group q =
+  match state t group with
+  | exception Not_found ->
+    Error (Error.Unknown_group { group; known = t.order })
+  | st -> Ok (classify_state t st q)
+
+let admission_stats t ~group =
+  let st = state t group in
+  Mutex.protect st.lock (fun () ->
+      { denied = st.adm_denied; trivial = st.adm_trivial; eval = st.adm_eval })
+
 (* The physical plan for a cached translation, compiled at most once
    per entry (same hit/miss discipline as translation: exactly one of
    plan_hits/plan_misses per lookup).  Compilation is pure and
    AST-sized, so a race between two cold threads at worst compiles
    twice and counts one compile. *)
-let plan_of st ~group ce =
+let plan_of t st ~group ce =
   let cached =
     Mutex.protect st.lock (fun () ->
         match ce.plan with
@@ -221,7 +303,31 @@ let plan_of st ~group ce =
   | None ->
     if Trace.enabled () then Trace.count ("pipeline.plan.miss." ^ group) 1;
     let compiled =
-      Trace.span "plan" (fun () -> Splan.Compile.compile ce.translated)
+      Trace.span "plan" (fun () ->
+          (* With the admission analyzer linked, statically-empty
+             top-level union branches of the translated document query
+             are dropped before lowering (the verdict is over the
+             document DTD here — the query is past rewriting).  The
+             analyzer shares Image's process-global memos, hence the
+             translate lock. *)
+          match
+            (!admission_analyzer, Sxpath.Ast.union_branches ce.translated)
+          with
+          | None, _ | _, ([] | [ _ ]) ->
+            (* nothing to prune on a single branch: the provably-empty
+               whole-query case is [classify]'s job, before planning *)
+            Splan.Compile.compile ce.translated
+          | Some analyze, branches ->
+            let dead =
+              Mutex.protect t.translate_lock (fun () ->
+                  List.filter
+                    (fun b ->
+                      match analyze t.dtd b with
+                      | Denied_empty _ -> true
+                      | Trivial | Needs_eval -> false)
+                    branches)
+            in
+            Splan.Compile.compile ~prune:dead ce.translated)
     in
     Mutex.protect st.lock (fun () ->
         match ce.plan with
@@ -283,7 +389,7 @@ let run_engine t st ~group ~engine ~want_stats ?env ?index ce doc =
     match exec_index t ?index doc with
     | None -> (Interp, None, fun () -> interp ?env ?index ce.translated doc)
     | Some idx -> (
-      match plan_of st ~group ce with
+      match plan_of t st ~group ce with
       | Ok compiled ->
         let stats =
           if want_stats then Some (Splan.Exec.Stats.for_plan compiled)
@@ -371,6 +477,7 @@ let answer t ~group ?engine ?env ?index ?height q doc =
     (answer_outcome t ~group ?engine ?env ?index ?height q doc)
 
 type explanation = {
+  x_admission : admission;
   x_translated : Sxpath.Ast.path;
   x_height : int option;
   x_plan : (Splan.Compile.t * Splan.Exec.Stats.t) option;
@@ -389,6 +496,7 @@ let explain t ~group ?env ?index ?height q doc =
   | exception Not_found ->
     Error (Error.Unknown_group { group; known = t.order })
   | st -> (
+    let admission = classify_state t st q in
     match
       let height = request_height t st ?height doc in
       let ce = translate_entry t st ~group ?height q in
@@ -399,7 +507,7 @@ let explain t ~group ?env ?index ?height q doc =
           Some "context is not an indexed document root",
           List.length results )
       | Some idx -> (
-        match plan_of st ~group ce with
+        match plan_of t st ~group ce with
         | Error reason ->
           let results = interp ?env ~index:idx ce.translated doc in
           (ce.translated, height, None, Some reason, List.length results)
@@ -412,6 +520,7 @@ let explain t ~group ?env ?index ?height q doc =
     | translated, height, plan, fallback, results ->
       Ok
         {
+          x_admission = admission;
           x_translated = translated;
           x_height = height;
           x_plan = plan;

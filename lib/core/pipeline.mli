@@ -94,6 +94,59 @@ val groups : t -> group list
 val view_dtd : t -> group:string -> Sdtd.Dtd.t
 (** What to publish to that user group.  @raise Not_found. *)
 
+(** Static admission verdict for a (group, query) pair, decided from
+    the group's view DTD alone — no document is touched:
+    - [Denied_empty]: provably empty on {e every} instance of the view
+      DTD (the payload is a witness explanation naming the step or
+      qualifier that kills the query) — a server can answer the empty
+      node set without queueing, planning or evaluating anything;
+    - [Trivial]: the query is answerable from the view DTD alone
+      (e.g. it asks for the view root itself);
+    - [Needs_eval]: everything else — evaluation must run.
+    The verdicts are conservative in the sound direction: a
+    [Denied_empty]/[Trivial] claim is a proof, [Needs_eval] claims
+    nothing. *)
+type admission =
+  | Denied_empty of string
+  | Trivial
+  | Needs_eval
+
+val set_admission_analyzer :
+  (Sdtd.Dtd.t -> Sxpath.Ast.path -> admission) -> unit
+(** Install the analyzer {!classify} consults (the registration
+    pattern of {!set_strict_gate}: [Sanalysis.Semantic] registers
+    itself when linked).  Without one, {!classify} answers
+    [Needs_eval] for everything.  The analyzer is called with the
+    group's view DTD under the pipeline's translation lock (it shares
+    {!Image}'s process-global memo tables), and additionally with the
+    {e document} DTD on translated queries when compiling plans — see
+    {!Splan.Compile}'s branch pruning. *)
+
+val admission_label : admission -> string
+(** ["denied"], ["trivial"], ["eval"] — the stable spelling used in
+    counter names and wire replies. *)
+
+val classify :
+  t -> group:string -> Sxpath.Ast.path -> (admission, Error.t) result
+(** Classify a view query for a group.  Verdicts are cached per group
+    and query (they depend only on the view DTD); every call bumps the
+    group's admission counters and the
+    [pipeline.admission.{denied,trivial,eval}] trace counters, and a
+    cold classification runs inside a ["admission"] trace span.
+    [Error Unknown_group] for an unknown group. *)
+
+(** Per-group admission verdict counters, one bump per {!classify}
+    call (cached verdicts count too — the counters measure request
+    traffic, not distinct queries). *)
+type admission_stats = {
+  denied : int;
+  trivial : int;
+  eval : int;
+}
+
+val admission_stats : t -> group:string -> admission_stats
+(** The group's admission counters.  @raise Not_found. *)
+
 val translate :
   t -> group:string -> ?height:int -> Sxpath.Ast.path -> Sxpath.Ast.path
 (** Rewritten and optimized document query for a view query (cached
@@ -172,12 +225,16 @@ val answer_outcome :
     allocates and fills per-operator counters when the plan engine
     runs; the default keeps the hot path identical to {!answer}. *)
 
-(** One EXPLAINed request: the translated query, the resolved
-    unfolding height (recursive views), the compiled plan with its
-    per-operator counters when the plan engine answered — render with
+(** One EXPLAINed request: the admission verdict ({!classify}'s, from
+    the same cache), the translated query, the resolved unfolding
+    height (recursive views), the compiled plan with its per-operator
+    counters when the plan engine answered — render with
     {!Splan.Explain.of_compiled} — or the fallback reason when the
-    interpreter had to ([x_plan = None]), and the result count. *)
+    interpreter had to ([x_plan = None]), and the result count.  A
+    [Denied_empty] query is still run (explain shows what evaluation
+    would do; the count is provably 0). *)
 type explanation = {
+  x_admission : admission;
   x_translated : Sxpath.Ast.path;
   x_height : int option;
   x_plan : (Splan.Compile.t * Splan.Exec.Stats.t) option;

@@ -14,6 +14,7 @@ type request =
     }
   | Query of query
   | Explain of query
+  | Analyze of query
   | Stats
   | Metrics
   | Ping
@@ -66,7 +67,7 @@ let request_of_line line =
       match string_field "group" obj with
       | Some group -> Ok (Hello { group; peer = string_field "peer" obj })
       | None -> Error "hello: missing string field \"group\"")
-    | Some ("query" | "explain") -> (
+    | Some ("query" | "explain" | "analyze") -> (
       let cmd = Option.get (string_field "cmd" obj) in
       match string_field "query" obj with
       | None -> Error (cmd ^ ": missing string field \"query\"")
@@ -103,7 +104,11 @@ let request_of_line line =
               { doc = string_field "doc" obj; text; bind = List.rev bind;
                 use_index }
             in
-            Ok (if cmd = "explain" then Explain q else Query q))))
+            Ok
+              (match cmd with
+              | "explain" -> Explain q
+              | "analyze" -> Analyze q
+              | _ -> Query q))))
     | Some "stats" -> Ok Stats
     | Some "metrics" -> Ok Metrics
     | Some "ping" -> Ok Ping

@@ -8,6 +8,7 @@
      "bind":{name:value,…}?,"index":B?}
     {"cmd":"explain","query":Q,"doc":D?,         EXPLAIN instead of answer
      "bind":{name:value,…}?}                     (same fields as query)
+    {"cmd":"analyze","query":Q}                  static admission verdict only
     {"cmd":"stats"}                              server statistics
     {"cmd":"metrics"}                            metrics dump + OpenMetrics
     {"cmd":"ping"}                               liveness
@@ -35,6 +36,10 @@ type request =
     }
   | Query of query
   | Explain of query  (** same shape as a query; answered with a plan tree *)
+  | Analyze of query
+      (** same shape as a query; answered with the static admission
+          verdict ({!Secview.Pipeline.classify}) — no document is
+          touched, no evaluation runs *)
   | Stats
   | Metrics
   | Ping

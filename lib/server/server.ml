@@ -9,6 +9,7 @@ type config = {
   debug : bool;
   engine : Pipeline.engine;
   slow_ms : float option;
+  admission : bool;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     debug = false;
     engine = Pipeline.Plan;
     slow_ms = None;
+    admission = true;
   }
 
 type listener =
@@ -235,6 +237,8 @@ let explain_query t ~group (q : Protocol.query) =
           (Protocol.ok
              [
                ("query", J.String q.text);
+               ( "admission",
+                 J.String (Pipeline.admission_label x.Pipeline.x_admission) );
                ( "translated",
                  J.String (Sxpath.Print.to_string x.Pipeline.x_translated) );
                ( "engine",
@@ -445,9 +449,54 @@ let stats_json t =
                      ("plan_fallbacks", J.Int cs.Pipeline.plan_fallbacks);
                    ] ))
              (Pipeline.stats t.pipeline)) );
+      ( "admission",
+        J.Obj
+          (List.map
+             (fun (g : Pipeline.group) ->
+               let a =
+                 Pipeline.admission_stats t.pipeline ~group:g.Pipeline.name
+               in
+               ( g.Pipeline.name,
+                 J.Obj
+                   [
+                     ("denied", J.Int a.Pipeline.denied);
+                     ("trivial", J.Int a.Pipeline.trivial);
+                     ("eval", J.Int a.Pipeline.eval);
+                   ] ))
+             (Pipeline.groups t.pipeline)) );
       ( "documents",
         J.List (List.map (fun n -> J.String n) (Catalog.names t.catalog)) );
     ]
+
+(* The admission fast path: answer a provably-empty query on the
+   connection thread — no queue slot, no plan, no document touched.
+   The reply is byte-identical to what a worker would send for an
+   empty result set.  Only fires when the request would otherwise
+   succeed (document resolves, query parses): errors must keep coming
+   from the one [Protocol.error_of] mapping in the worker path.
+   Returns [true] when the request was answered here. *)
+let admission_fast_path t sess fd group (q : Protocol.query) =
+  t.config.admission
+  &&
+  match resolve_document t q.doc with
+  | Error _ -> false
+  | Ok _ -> (
+    match Sxpath.Parse.of_string_result q.text with
+    | Error _ -> false
+    | Ok path -> (
+      let started = Deadline.now () in
+      match Pipeline.classify t.pipeline ~group path with
+      | Ok (Pipeline.Denied_empty witness) ->
+        count t "server.admission.denied";
+        send fd (Protocol.ok [ ("results", J.List []); ("count", J.Int 0) ]);
+        audit_request t ~session:sess.sid ~peer:sess.peer ~group
+          ~doc:(doc_label t q) ~query:q.text ~status:"denied_empty"
+          ~results:0
+          ~latency_ms:(1000. *. (Deadline.now () -. started))
+          ~error:witness ();
+        true
+      | Ok (Pipeline.Trivial | Pipeline.Needs_eval) | Error _ -> false
+      | exception _ -> false))
 
 let submit t sess fd work =
   if draining t then
@@ -528,7 +577,42 @@ let handle_line t sess fd line =
     | None ->
       count t "server.rejected.no_session";
       send fd (Protocol.error_of Secview.Error.No_session)
-    | Some _ -> submit t sess fd (Answer q))
+    | Some group ->
+      if not (admission_fast_path t sess fd group q) then
+        submit t sess fd (Answer q))
+  | Ok (Analyze q) -> (
+    match sess.group with
+    | None ->
+      count t "server.rejected.no_session";
+      send fd (Protocol.error_of Secview.Error.No_session)
+    | Some group -> (
+      (* classification is schema-level and cached: answer on the
+         connection thread, like [stats] *)
+      match Sxpath.Parse.of_string_result q.text with
+      | Error e ->
+        send fd
+          (Protocol.error_of
+             (Secview.Error.Parse_error
+                {
+                  position = e.Sxpath.Parse.position;
+                  message = e.Sxpath.Parse.message;
+                }))
+      | Ok path -> (
+        match Pipeline.classify t.pipeline ~group path with
+        | Error e -> send fd (Protocol.error_of e)
+        | Ok verdict ->
+          count t "server.admission.analyze";
+          send fd
+            (Protocol.ok
+               [
+                 ("query", J.String q.text);
+                 ( "admission",
+                   J.String (Pipeline.admission_label verdict) );
+                 ( "witness",
+                   match verdict with
+                   | Pipeline.Denied_empty w -> J.String w
+                   | Pipeline.Trivial | Pipeline.Needs_eval -> J.Null );
+               ]))))
   | Ok (Explain q) -> (
     match sess.group with
     | None ->

@@ -58,11 +58,20 @@ type config = {
   slow_ms : float option;
       (** audit queries slower than this many milliseconds (default
           [None] = off); implies collecting plan operator counts *)
+  admission : bool;
+      (** answer provably-empty queries ({!Secview.Pipeline.classify}
+          says [Denied_empty]) on the connection thread with the empty
+          result set — byte-identical to the worker's reply — without
+          queueing, planning or touching the document.  Counted as
+          [server.admission.denied]; audited with status
+          [denied_empty] and the witness explanation.  Default [on];
+          only effective when the admission analyzer is linked
+          ([Sanalysis.Semantic]). *)
 }
 
 val default_config : config
 (** 4 workers, queue of 64, no deadline, no debug, plan engine, no
-    slow-query log. *)
+    slow-query log, admission fast path on. *)
 
 type listener =
   | Unix_socket of string  (** path; replaced if present, removed on drain *)

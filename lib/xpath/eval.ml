@@ -226,17 +226,3 @@ let run_nodes ctx p vs =
       .nodes
 
 let check ctx q v = eval_qual ctx.Ctx.cfg q (Node v)
-
-let eval ?(env = no_env) ?index p v =
-  run (Ctx.make ~env ?index ~root:v ()) p
-
-let eval_doc ?(env = no_env) ?index p root =
-  run (Ctx.make ~env ?index ~at:`Document ~root ()) p
-
-let eval_nodes ?(env = no_env) ?index p vs =
-  match vs with
-  | [] -> []
-  | v :: _ -> run_nodes (Ctx.make ~env ?index ~root:v ()) p vs
-
-let holds ?(env = no_env) ?index q v =
-  check (Ctx.make ~env ?index ~root:v ()) q v

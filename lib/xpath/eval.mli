@@ -22,8 +22,7 @@
 
     The single entry point is {!run} over a {!Ctx.t}, which fixes the
     variable environment, the optional tag index and the context
-    convention once; the legacy [eval]/[eval_doc]/[eval_nodes]/[holds]
-    quartet survives as deprecated wrappers. *)
+    convention once. *)
 
 exception Unbound_variable of string
 
@@ -77,42 +76,6 @@ val run_nodes : Ctx.t -> Ast.path -> Sxml.Tree.t list -> Sxml.Tree.t list
 
 val check : Ctx.t -> Ast.qual -> Sxml.Tree.t -> bool
 (** [check ctx q v]: truth of qualifier [q] at node [v]. *)
-
-val eval :
-  ?env:(string -> string option) ->
-  ?index:Sxml.Index.t ->
-  Ast.path ->
-  Sxml.Tree.t ->
-  Sxml.Tree.t list
-[@@deprecated "use Eval.run (Eval.Ctx.make ~root ()) instead"]
-(** [eval p v] = [run (Ctx.make ?env ?index ~root:v ()) p]. *)
-
-val eval_doc :
-  ?env:(string -> string option) ->
-  ?index:Sxml.Index.t ->
-  Ast.path ->
-  Sxml.Tree.t ->
-  Sxml.Tree.t list
-[@@deprecated "use Eval.run with Ctx.make ~at:`Document instead"]
-(** [eval_doc p root] = [run (Ctx.make ~at:`Document ~root ()) p]. *)
-
-val eval_nodes :
-  ?env:(string -> string option) ->
-  ?index:Sxml.Index.t ->
-  Ast.path ->
-  Sxml.Tree.t list ->
-  Sxml.Tree.t list
-[@@deprecated "use Eval.run_nodes instead"]
-(** [eval_nodes p vs] = [run_nodes ctx p vs]. *)
-
-val holds :
-  ?env:(string -> string option) ->
-  ?index:Sxml.Index.t ->
-  Ast.qual ->
-  Sxml.Tree.t ->
-  bool
-[@@deprecated "use Eval.check instead"]
-(** [holds q v] = [check ctx q v]. *)
 
 val visited : int ref
 (** Instrumentation counter bumped once per context-node × step

@@ -157,3 +157,58 @@ The strict pipeline gate refuses to build over a broken policy:
   group "user": error[SV002] ann(hospital, dept): qualifier references attribute @ward, which is declared on none of dept
   group "user": error[SV103] sigma(hospital, dept): qualifier references attribute @ward, declared on none of dept
   [2]
+
+Semantic analysis: static admission classifies queries against the
+view DTD alone -- denied means provably empty on every instance:
+
+  $ secview analyze --dtd hospital.dtd --spec nurse.spec \
+  >   "//patient/name" "//test" "//medication/name"
+  admission [user] //patient/name: eval
+  admission [user] //test: denied — step test: test is not an element type of the DTD
+  admission [user] //medication/name: denied — step name can never match under medication
+  no diagnostics
+
+Cross-group comparison: the junior profile (no medication grant) is
+subsumed by the nurse policy, and a reordered copy of the same policy
+is flagged as a merge candidate:
+
+  $ secview analyze --dtd hospital.dtd --fleet \
+  >   --group nurse=nurse.spec --group nurse2=nurse2.spec \
+  >   --group junior=junior.spec
+  compare nurse vs nurse2: equivalent
+  compare nurse vs junior: subsumes
+  compare nurse2 vs junior: subsumes
+  warning[SV401] groups(nurse, nurse2): the groups expose the same accessible region on every instance — merge candidates (one view definition can serve both)
+  info[SV402] groups(junior, nurse): every node accessible to junior is accessible to nurse — a role-hierarchy edge (nurse subsumes junior)
+  info[SV402] groups(junior, nurse2): every node accessible to junior is accessible to nurse2 — a role-hierarchy edge (nurse2 subsumes junior)
+  0 error(s), 1 warning(s), 2 info(s)
+
+A view that advertises structure no instance can populate is a leak
+(the qualifier requires a bill under #PCDATA test):
+
+  $ secview analyze --dtd hospital.dtd --spec leak.spec
+  warning[SV410] element clinicalTrial: declared by the view DTD but unpopulatable: every σ path into clinicalTrial from a populatable parent matches nothing under the document DTD's constraints — exposed structure leaks the shape of hidden data
+  0 error(s), 1 warning(s), 0 info(s)
+
+The same analysis as one JSON object, and as tab-separated records:
+
+  $ secview analyze --dtd hospital.dtd --spec leak.spec --json "//clinicalTrial"
+  {"groups":["user"],"comparisons":[],"diagnostics":[{"code":"SV410","severity":"warning","subject":"element clinicalTrial","message":"declared by the view DTD but unpopulatable: every σ path into clinicalTrial from a populatable parent matches nothing under the document DTD's constraints — exposed structure leaks the shape of hidden data"}],"admission":[{"group":"user","query":"//clinicalTrial","verdict":"eval","witness":null}]}
+
+  $ secview analyze --dtd hospital.dtd --spec leak.spec --machine
+  SV410	warning	element clinicalTrial	declared by the view DTD but unpopulatable: every σ path into clinicalTrial from a populatable parent matches nothing under the document DTD's constraints — exposed structure leaks the shape of hidden data
+
+Diagnostics can stream to the audit log, same format as lint:
+
+  $ secview analyze --dtd hospital.dtd --spec leak.spec --audit-log leak.jsonl
+  warning[SV410] element clinicalTrial: declared by the view DTD but unpopulatable: every σ path into clinicalTrial from a populatable parent matches nothing under the document DTD's constraints — exposed structure leaks the shape of hidden data
+  0 error(s), 1 warning(s), 0 info(s)
+  $ grep -c '"type":"diagnostic"' leak.jsonl
+  1
+
+The explain command now carries the admission verdict:
+
+  $ secview explain --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   user "//test" | head -2
+  query:      //test
+  admission:  denied — step test: test is not an element type of the DTD

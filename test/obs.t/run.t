@@ -113,6 +113,7 @@ the number of answers:
   $ secview explain --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
   >   --bind wardNo=6 user '//patient/name' | sed '/^$/d'
   query:      //patient/name
+  admission:  eval
   translated: dept[patientInfo/patient/wardNo = $wardNo]/(clinicalTrial/patientInfo | patientInfo)/patient/name
   engine:     plan
   results:    2

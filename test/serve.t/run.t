@@ -46,3 +46,62 @@ refused ones:
   1
   $ grep -o '"status":"[a-z]*"' audit.jsonl | sort | uniq -c | sed 's/^ *//'
   1 "status":"ok"
+
+Static admission: a query the analyzer proves empty against the view
+DTD is answered on the connection thread -- no worker, no plan, no
+document touched -- and audited as denied_empty:
+
+  $ secview serve --dtd hospital.dtd --spec nurse.spec \
+  >   --doc ward=ward.xml --socket ./sv2.sock \
+  >   --audit-log audit2.jsonl 2>serve2.log &
+  $ secview client --socket ./sv2.sock --wait 5 --group user \
+  >   --bind wardNo=6 '//test' '//patient/name'
+  <name>Alice</name>
+  <name>Bob</name>
+
+The raw reply for a denied query is the worker's empty reply, byte
+for byte:
+
+  $ secview client --socket ./sv2.sock \
+  >   --send '{"cmd":"hello","group":"user"}' \
+  >   --send '{"cmd":"query","query":"//test"}'
+  {"ok":true,"v":1,"session":2,"group":"user"}
+  {"ok":true,"v":1,"results":[],"count":0}
+
+The analyze verb returns the verdict (and witness) over the wire:
+
+  $ secview client --socket ./sv2.sock \
+  >   --send '{"cmd":"hello","group":"user"}' \
+  >   --send '{"cmd":"analyze","query":"//clinicalTrial"}' \
+  >   --send '{"cmd":"analyze","query":"//patient/name"}'
+  {"ok":true,"v":1,"session":3,"group":"user"}
+  {"ok":true,"v":1,"query":"//clinicalTrial","admission":"denied","witness":"step clinicalTrial: clinicalTrial is not an element type of the DTD"}
+  {"ok":true,"v":1,"query":"//patient/name","admission":"eval","witness":null}
+
+The stats command counts fast-path denials and per-group verdicts:
+
+  $ secview client --socket ./sv2.sock --stats \
+  >   | grep -o '"server.admission.denied":[0-9]*'
+  "server.admission.denied":2
+  $ secview client --socket ./sv2.sock --stats \
+  >   | grep -o '"admission":{[^}]*}'
+  "admission":{"user":{"denied":3,"trivial":0,"eval":2}
+
+  $ secview client --socket ./sv2.sock --shutdown
+  $ wait
+  $ grep -o '"status":"[a-z_]*"' audit2.jsonl | sort | uniq -c | sed 's/^ *//'
+  2 "status":"denied_empty"
+  1 "status":"ok"
+
+With --no-admission the same denied query takes the worker path and
+produces the identical reply:
+
+  $ secview serve --dtd hospital.dtd --spec nurse.spec --no-admission \
+  >   --doc ward=ward.xml --socket ./sv3.sock 2>serve3.log &
+  $ secview client --socket ./sv3.sock --wait 5 \
+  >   --send '{"cmd":"hello","group":"user"}' \
+  >   --send '{"cmd":"query","query":"//test"}'
+  {"ok":true,"v":1,"session":1,"group":"user"}
+  {"ok":true,"v":1,"results":[],"count":0}
+  $ secview client --socket ./sv3.sock --shutdown
+  $ wait

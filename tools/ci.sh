@@ -1,0 +1,31 @@
+#!/bin/sh
+# The repo gate: build (warnings are errors, see the dune env stanza),
+# run every test suite, then turn the static analyzers on the repo's
+# own example policies.  `lint` exits 1 on any error-severity
+# diagnostic; `analyze` does the same, so a policy drift that the
+# semantic layer can prove wrong fails CI here.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+secview() { dune exec --no-build bin/secview_cli.exe -- "$@"; }
+POL=examples/policies
+
+echo "== lint example policies"
+for spec in "$POL"/*.spec; do
+  echo "-- lint $spec"
+  secview lint --dtd "$POL/hospital.dtd" --spec "$spec"
+done
+
+echo "== analyze example policy fleet"
+secview analyze --dtd "$POL/hospital.dtd" --fleet \
+  --group nurse="$POL/nurse.spec" \
+  --group nurse2="$POL/nurse2.spec" \
+  --group junior="$POL/junior.spec"
+
+echo "== ci.sh: all green"
