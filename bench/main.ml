@@ -1062,6 +1062,212 @@ let analyze_bench ~label ~reps ~out () =
   Printf.printf "\n(machine-readable results written to %s)\n\n" out
 
 (* ------------------------------------------------------------------ *)
+(* PR 7: what attaching the observability spine (request spans, the
+   flight recorder, a capture sink) costs on the serve hot path, and
+   how a local replay of the captured workload compares to the live
+   latencies it recorded *)
+
+let pr7_bench ~label ~reps ~out () =
+  let dtd = Workload.Hospital.dtd in
+  let scale = 40 in
+  let mix = [ "//patient/name"; "//patient/wardNo"; "//patient" ] in
+  let clients = 8 in
+  let rounds = 25 * reps in
+  let fresh_pipeline () =
+    let catalog = Secview.Catalog.create () in
+    let doc = Workload.Hospital.generated_document ~seed:7 ~scale () in
+    ignore (Secview.Catalog.add catalog ~name:"ward" doc);
+    ( Secview.Pipeline.create ~catalog dtd
+        ~groups:[ ("nurse", Workload.Hospital.nurse_spec dtd) ],
+      doc )
+  in
+  (* the same closed-loop mix against two servers: bare, and with the
+     full observability spine attached — per-request span trees, a
+     256-entry flight recorder, and a capture file recording every
+     answered query *)
+  let serve_mix ~observed =
+    let pipeline, _ = fresh_pipeline () in
+    let config = { Sserver.Server.default_config with workers = 4 } in
+    let capture_path =
+      if observed then Some (Filename.temp_file "secview-pr7" ".jsonl")
+      else None
+    in
+    let tracer =
+      if observed then begin
+        let tr = Sobs.Tracer.create ~retain:false () in
+        Sobs.Tracer.install tr;
+        Some tr
+      end
+      else None
+    in
+    let recorder =
+      if observed then Some (Sobs.Recorder.create ~capacity:256) else None
+    in
+    let cap = Option.map Sobs.Capture.open_file capture_path in
+    let server =
+      Sserver.Server.create ~config ?tracer ?recorder ?capture:cap pipeline
+    in
+    let sock = Filename.temp_file "secview-bench" ".sock" in
+    Sys.remove sock;
+    let server_thread =
+      Thread.create
+        (fun () ->
+          Sserver.Server.serve server [ Sserver.Server.Unix_socket sock ])
+        ()
+    in
+    let lock = Mutex.create () in
+    let samples = ref [] in
+    let client i () =
+      let fd = connect_retry sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let send j = write_all fd (Sobs.Json.to_string j ^ "\n") in
+      send (Sserver.Protocol.hello ~peer:(Printf.sprintf "pr7-%d" i) "nurse");
+      ignore (input_line ic);
+      let mine = ref [] in
+      for _ = 1 to rounds do
+        List.iter
+          (fun q ->
+            let t0 = Unix.gettimeofday () in
+            send
+              (Sserver.Protocol.query_json ~doc:"ward"
+                 ~bind:[ ("wardNo", "6") ] q);
+            ignore (input_line ic);
+            mine := (Unix.gettimeofday () -. t0) :: !mine)
+          mix
+      done;
+      Unix.close fd;
+      Mutex.protect lock (fun () -> samples := !mine @ !samples)
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun i -> Thread.create (client i) ()) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let fd = connect_retry sock in
+    write_all fd
+      (Sobs.Json.to_string (Sserver.Protocol.simple "shutdown") ^ "\n");
+    ignore (input_line (Unix.in_channel_of_descr fd));
+    Unix.close fd;
+    Thread.join server_thread;
+    (match tracer with Some _ -> Sobs.Tracer.uninstall () | None -> ());
+    let requests = clients * rounds * List.length mix in
+    let times = Array.of_list !samples in
+    Array.sort compare times;
+    let pct p = 1000. *. Sobs.Metrics.percentile times p in
+    (requests, wall, pct, capture_path)
+  in
+  Printf.printf
+    "## Flight recorder A/B: %d clients, %d rounds, %d-query mix (serve)\n\n"
+    clients rounds (List.length mix);
+  let side observed =
+    let requests, wall, pct, capture_path = serve_mix ~observed in
+    Printf.printf
+      "recorder %-3s  %6d req in %6.2f s (%7.0f req/s) | p50 %7.3f ms  p95 \
+       %7.3f ms  p99 %7.3f ms\n"
+      (if observed then "on" else "off")
+      requests wall
+      (float_of_int requests /. wall)
+      (pct 50.) (pct 95.) (pct 99.);
+    (requests, wall, pct, capture_path)
+  in
+  let off = side false in
+  let on = side true in
+  let side_json (requests, wall, pct, _) =
+    Sobs.Json.Obj
+      [
+        ("requests", Sobs.Json.Int requests);
+        ("wall_s", Sobs.Json.Float wall);
+        ("throughput_rps", Sobs.Json.Float (float_of_int requests /. wall));
+        ("p50_ms", Sobs.Json.Float (pct 50.));
+        ("p95_ms", Sobs.Json.Float (pct 95.));
+        ("p99_ms", Sobs.Json.Float (pct 99.));
+      ]
+  in
+  (* ---- replay-vs-live: re-execute the observed run's capture ------ *)
+  let records =
+    match on with
+    | _, _, _, Some path -> (
+      match Sobs.Capture.read_file path with
+      | Ok rs ->
+        Sys.remove path;
+        rs
+      | Error e -> failwith (Printf.sprintf "pr7: %s" e))
+    | _ -> []
+  in
+  let pipe, doc = fresh_pipeline () in
+  let mismatches = ref 0 in
+  let cap_ms = ref [] and rep_ms = ref [] in
+  List.iter
+    (fun (r : Sobs.Capture.record) ->
+      let engine =
+        match Secview.Pipeline.engine_of_string r.c_engine with
+        | Some e -> e
+        | None -> failwith ("pr7: unknown engine " ^ r.c_engine)
+      in
+      let q = Sxpath.Parse.of_string r.c_query in
+      let env name = List.assoc_opt name r.c_bind in
+      let t0 = Unix.gettimeofday () in
+      let nodes =
+        Secview.Pipeline.answer_exn pipe ~group:r.c_group ~engine ~env q doc
+      in
+      let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+      let rendered = List.map (fun n -> Sxml.Print.to_string n) nodes in
+      if Sobs.Capture.digest rendered <> r.c_digest then incr mismatches;
+      cap_ms := r.c_latency_ms :: !cap_ms;
+      rep_ms := ms :: !rep_ms)
+    records;
+  let pct l p =
+    let a = Array.of_list !l in
+    Array.sort compare a;
+    if Array.length a = 0 then 0. else Sobs.Metrics.percentile a p
+  in
+  Printf.printf
+    "\n\
+     ## Replay vs live: %d captured record(s), %d digest mismatch(es)\n\n\
+     live     p50 %7.3f ms  p95 %7.3f ms\n\
+     replayed p50 %7.3f ms  p95 %7.3f ms  (local pipeline, no socket, \
+     no queueing)\n"
+    (List.length records) !mismatches (pct cap_ms 50.) (pct cap_ms 95.)
+    (pct rep_ms 50.) (pct rep_ms 95.);
+  let doc_json =
+    Sobs.Json.Obj
+      [
+        ("bench", Sobs.Json.String "pr7");
+        ( "meta",
+          meta_json ~label ~scale ~reps
+            [
+              ("clients", Sobs.Json.Int clients);
+              ("rounds", Sobs.Json.Int rounds);
+            ] );
+        ( "recorder",
+          Sobs.Json.Obj [ ("off", side_json off); ("on", side_json on) ] );
+        ( "replay",
+          Sobs.Json.Obj
+            [
+              ("records", Sobs.Json.Int (List.length records));
+              ("mismatches", Sobs.Json.Int !mismatches);
+              ( "captured",
+                Sobs.Json.Obj
+                  [
+                    ("p50_ms", Sobs.Json.Float (pct cap_ms 50.));
+                    ("p95_ms", Sobs.Json.Float (pct cap_ms 95.));
+                  ] );
+              ( "replayed",
+                Sobs.Json.Obj
+                  [
+                    ("p50_ms", Sobs.Json.Float (pct rep_ms 50.));
+                    ("p95_ms", Sobs.Json.Float (pct rep_ms 95.));
+                  ] );
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  Sobs.Json.to_channel oc doc_json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n(machine-readable results written to %s)\n\n" out;
+  if !mismatches > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -1093,7 +1299,7 @@ let () =
     not
       (has "--table1" || has "--forms" || has "--ablations" || has "--approx"
      || has "--index" || has "--xmark" || has "--json" || has "--serve"
-     || has "--engines" || has "--analyze")
+     || has "--engines" || has "--analyze" || has "--pr7")
   in
   if all || has "--forms" then forms ();
   if all || has "--table1" || has "--json" then
@@ -1113,4 +1319,8 @@ let () =
   if has "--analyze" then
     analyze_bench ~label ~reps
       ~out:(flag_value "--out" "BENCH_PR6.json")
+      ();
+  if has "--pr7" then
+    pr7_bench ~label ~reps
+      ~out:(flag_value "--out" "BENCH_PR7.json")
       ()

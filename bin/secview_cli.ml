@@ -295,7 +295,8 @@ let engine_arg =
 
 let query_cmd =
   let run dtd_path root spec_path doc_path queries bindings approach engine
-      indexed stats strict timeout trace trace_out metrics slow_ms audit_log =
+      indexed stats strict timeout trace trace_out metrics slow_ms audit_log
+      capture =
     if queries = [] then failwith "query: at least one QUERY is required";
     let observing =
       trace || metrics || trace_out <> None || slow_ms <> None
@@ -369,31 +370,67 @@ let query_cmd =
             raise e
         in
         Option.iter Sobs.Audit_log.install alog;
+        let cap = Option.map Sobs.Capture.open_file capture in
+        (* each query is one correlated request: a stable rid (q1, q2,
+           …) ties the reply, the slow-query record and any capture
+           record together, and — when spans are needed — the query
+           runs inside a "request" root span so its stages form one
+           hierarchy (Tracer.with_request) *)
+        let nq = ref 0 in
         let answers =
           List.concat_map
             (fun (qtext, q) ->
+              incr nq;
+              let rid = Printf.sprintf "q%d" !nq in
               let t0 = Sserver.Deadline.now () in
-              let m = Sobs.Tracer.mark tracer in
-              match
+              let answer () =
                 Secview.Pipeline.answer_outcome pipe ~group:"user" ~engine
                   ~counts:(slow_ms <> None) ~env ?index q doc
-              with
+              in
+              let outcome, spans =
+                if slow_ms <> None then Sobs.Tracer.with_request tracer answer
+                else (answer (), [])
+              in
+              match outcome with
               | Error e -> raise (Secview.Error.E e)
               | Ok o ->
                 let latency_ms = 1000. *. (Sserver.Deadline.now () -. t0) in
                 (match (slow_ms, slow_log) with
                 | Some thr, Some sl when latency_ms > thr ->
-                  Sobs.Audit_log.log_slow_query sl ~group:"user" ~query:qtext
+                  Sobs.Audit_log.log_slow_query sl ~rid ~group:"user"
+                    ~query:qtext
                     ~translated:
                       (Sxpath.Print.to_string o.Secview.Pipeline.o_translated)
                     ~latency_ms ~threshold_ms:thr
-                    ~stages:
-                      (Sobs.Tracer.stage_totals (Sobs.Tracer.since tracer m))
+                    ~stages:(Sobs.Tracer.stage_totals spans)
                     ~counts:o.Secview.Pipeline.o_counts ()
                 | _ -> ());
+                Option.iter
+                  (fun c ->
+                    let rendered =
+                      List.map
+                        (fun n -> Sxml.Print.to_string n)
+                        o.Secview.Pipeline.o_results
+                    in
+                    Sobs.Capture.write c
+                      {
+                        Sobs.Capture.c_rid = rid;
+                        c_group = "user";
+                        c_doc = None;
+                        c_query = qtext;
+                        c_bind = bindings;
+                        c_index = indexed;
+                        c_engine = Secview.Pipeline.engine_label engine;
+                        c_status = "ok";
+                        c_results = List.length rendered;
+                        c_digest = Sobs.Capture.digest rendered;
+                        c_latency_ms = latency_ms;
+                      })
+                  cap;
                 o.Secview.Pipeline.o_results)
             (List.combine queries qs)
         in
+        Option.iter Sobs.Capture.close cap;
         if stats then
           List.iter
             (fun (g, s) ->
@@ -511,13 +548,23 @@ let query_cmd =
     let doc = "View queries to answer, in order." in
     Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
   in
+  let capture_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "capture" ] ~docv:"FILE"
+          ~doc:
+            "Write one replayable JSONL record per query (rid, group, query, \
+             engine, answer digest, latency) to $(docv) — feed it to \
+             $(b,secview replay); optimize approach only.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Securely evaluate view queries on a document")
     Term.(
       const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ queries_arg
       $ bind_arg $ approach_arg $ engine_arg $ index_arg $ stats_arg
       $ strict_arg $ timeout_arg $ trace_arg $ trace_out_arg $ metrics_arg
-      $ slow_ms_arg $ audit_log_arg)
+      $ slow_ms_arg $ audit_log_arg $ capture_arg)
 
 let explain_cmd =
   let run dtd_path root spec_path group_specs doc_path bindings json group
@@ -969,7 +1016,7 @@ let host_arg =
 let serve_cmd =
   let run dtd_path root spec_path group_specs docs socket tcp host workers
       queue deadline engine audit_log debug strict preload slow_ms
-      metrics_port no_admission =
+      metrics_port no_admission flight flight_snapshot capture =
     let dtd = load_dtd root dtd_path in
     let groups = named_groups ~cmd:"serve" dtd spec_path group_specs in
     if docs = [] then
@@ -988,7 +1035,7 @@ let serve_cmd =
        per-stage latency series into it *)
     let registry = Sobs.Metrics.create () in
     let tracer =
-      if slow_ms <> None || metrics_port <> None then begin
+      if slow_ms <> None || metrics_port <> None || flight > 0 then begin
         let tr =
           Sobs.Tracer.create ~metrics:registry ~retain:false ()
         in
@@ -997,6 +1044,13 @@ let serve_cmd =
       end
       else None
     in
+    let recorder =
+      if flight > 0 then Some (Sobs.Recorder.create ~capacity:flight)
+      else None
+    in
+    if flight <= 0 && flight_snapshot <> None then
+      failwith "serve: --flight-snapshot requires --flight N";
+    let cap = Option.map Sobs.Capture.open_file capture in
     let alog =
       match (audit_log, slow_ms) with
       | Some p, _ -> Some (open_audit_log p)
@@ -1012,7 +1066,7 @@ let serve_cmd =
     in
     let server =
       Sserver.Server.create ~config ?audit:alog ~metrics:registry ?tracer
-        pipe
+        ?recorder ?flight_snapshot ?capture:cap pipe
     in
     let listeners =
       (match socket with
@@ -1138,6 +1192,38 @@ let serve_cmd =
              answered with the empty result set on the connection thread, \
              without queueing, planning or touching the document.")
   in
+  let flight_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "flight" ] ~docv:"N"
+          ~doc:
+            "Keep an in-memory flight recorder of the last $(docv) completed \
+             requests (rid, principal, query, doc version, engine, span \
+             tree, operator counts, answer digest, outcome) — dump it with \
+             the session-less 'flight' verb or $(b,secview flight).  0 \
+             disables it (the default; a disabled recorder costs nothing on \
+             the request path).")
+  in
+  let flight_snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Dump the flight-recorder ring to $(docv) (overwriting) whenever \
+             a request ends in error, timeout or late, or over the --slow-ms \
+             threshold; requires --flight.")
+  in
+  let capture_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "capture" ] ~docv:"FILE"
+          ~doc:
+            "Write one replayable JSONL record per answered query (rid, \
+             group, query, engine, answer digest, latency) to $(docv) — \
+             feed it to $(b,secview replay).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1147,7 +1233,8 @@ let serve_cmd =
       const run $ dtd_arg $ root_arg $ spec_opt_arg $ group_specs_arg
       $ docs_arg $ socket_arg $ tcp_arg $ host_arg $ workers_arg $ queue_arg
       $ deadline_arg $ engine_arg $ audit_log_arg $ debug_arg $ strict_arg
-      $ preload_arg $ slow_ms_arg $ metrics_port_arg $ no_admission_arg)
+      $ preload_arg $ slow_ms_arg $ metrics_port_arg $ no_admission_arg
+      $ flight_arg $ flight_snapshot_arg $ capture_arg)
 
 let client_cmd =
   let run socket tcp host wait group peer doc_name bindings indexed ping
@@ -1321,6 +1408,437 @@ let client_cmd =
       const run $ socket_arg $ tcp_arg $ host_arg $ wait_arg $ group_arg
       $ peer_arg $ doc_name_arg $ bind_arg $ index_arg $ ping_arg $ stats_arg
       $ shutdown_arg $ send_arg $ queries_arg)
+
+(* ---- flight recorder and replay ------------------------------------ *)
+
+(* shared one-shot connection plumbing for the flight/replay commands *)
+let remote_addr ~cmd socket tcp host =
+  match (socket, tcp) with
+  | Some path, None -> Unix.ADDR_UNIX path
+  | None, Some port ->
+    let inet =
+      if host = "" then Unix.inet_addr_loopback
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    Unix.ADDR_INET (inet, port)
+  | _ -> failwith (cmd ^ ": provide exactly one of --socket or --tcp")
+
+let connect_retry ~wait addr =
+  let give_up = Sserver.Deadline.now () +. wait in
+  let rec connect () =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ETIMEDOUT), _, _)
+      when Sserver.Deadline.now () < give_up ->
+      Unix.close fd;
+      Thread.delay 0.05;
+      connect ()
+  in
+  connect ()
+
+let fd_send_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let wait_retry_arg ~cmd =
+  Arg.(
+    value & opt float 0.
+    & info [ "wait" ] ~docv:"SECS"
+        ~doc:
+          (Printf.sprintf
+             "Retry the connection for up to $(docv) seconds (for scripts \
+              that just started the server the %s talks to)."
+             cmd))
+
+let flight_cmd =
+  let run socket tcp host wait json =
+    let addr = remote_addr ~cmd:"flight" socket tcp host in
+    let fd = connect_retry ~wait addr in
+    let ic = Unix.in_channel_of_descr fd in
+    Fun.protect
+      ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+      (fun () ->
+        fd_send_line fd
+          (Sobs.Json.to_string (Sserver.Protocol.simple "flight"));
+        let line = input_line ic in
+        let j =
+          match Sobs.Json.of_string line with
+          | Ok j -> j
+          | Error e ->
+            failwith (Printf.sprintf "flight: bad reply (%s): %s" e line)
+        in
+        (match Sobs.Json.member "ok" j with
+        | Some (Sobs.Json.Bool true) -> ()
+        | _ -> failwith ("flight: request failed: " ^ line));
+        if json then print_endline line
+        else begin
+          let geti obj name =
+            match
+              Option.bind (Sobs.Json.member name obj) Sobs.Json.to_int_opt
+            with
+            | Some n -> n
+            | None -> 0
+          in
+          Printf.printf "flight recorder: %d/%d entries, %d recorded\n"
+            (geti j "flight") (geti j "capacity") (geti j "total");
+          match Sobs.Json.member "entries" j with
+          | Some (Sobs.Json.List es) ->
+            List.iter
+              (fun e ->
+                let sopt name =
+                  Option.bind (Sobs.Json.member name e) Sobs.Json.to_string_opt
+                in
+                let str name = Option.value ~default:"-" (sopt name) in
+                let lat =
+                  match
+                    Option.bind
+                      (Sobs.Json.member "latency_ms" e)
+                      Sobs.Json.to_float_opt
+                  with
+                  | Some f -> f
+                  | None -> 0.
+                in
+                Printf.printf "%-10s %-10s %-12s %4d  %8.3f ms  %s%s\n"
+                  (str "rid") (str "group") (str "status") (geti e "results")
+                  lat (str "query")
+                  (match sopt "error" with
+                  | Some err -> "  ! " ^ err
+                  | None -> ""))
+              es
+          | _ -> ()
+        end)
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Echo the server's raw flight reply instead.")
+  in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:
+         "Dump a running server's in-memory flight recorder (start it with \
+          --flight N): one line per retained request — rid, group, outcome, \
+          result count, latency, query")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ host_arg $ wait_retry_arg ~cmd:"dump"
+      $ json_arg)
+
+let replay_cmd =
+  let ms_of l p =
+    let a = Array.of_list l in
+    Array.sort Float.compare a;
+    Sobs.Metrics.percentile a p
+  in
+  let run capture_file socket tcp host wait dtd_path root spec_path
+      group_specs docs label json out =
+    let records =
+      match Sobs.Capture.read_file capture_file with
+      | Ok rs -> rs
+      | Error e -> failwith ("replay: " ^ e)
+    in
+    if records = [] then
+      failwith (Printf.sprintf "replay: %s holds no records" capture_file);
+    let remote = socket <> None || tcp <> None in
+    (* replayed: (captured record, replay digest, result count, ms), in
+       capture order *)
+    let replayed =
+      if remote then begin
+        (* one session per captured group, records in capture order
+           within each — rids are re-sent so the replayed request is
+           traceable in the server's audit log and flight recorder *)
+        let group_names =
+          List.fold_left
+            (fun acc (r : Sobs.Capture.record) ->
+              if List.mem r.c_group acc then acc else acc @ [ r.c_group ])
+            [] records
+        in
+        let addr = remote_addr ~cmd:"replay" socket tcp host in
+        List.concat_map
+          (fun g ->
+            let mine =
+              List.filter
+                (fun (r : Sobs.Capture.record) -> r.c_group = g)
+                records
+            in
+            let fd = connect_retry ~wait addr in
+            let ic = Unix.in_channel_of_descr fd in
+            Fun.protect
+              ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+              (fun () ->
+                let send j = fd_send_line fd (Sobs.Json.to_string j) in
+                let recv () =
+                  let line = input_line ic in
+                  match Sobs.Json.of_string line with
+                  | Ok j -> j
+                  | Error e ->
+                    failwith
+                      (Printf.sprintf "replay: bad reply (%s): %s" e line)
+                in
+                send (Sserver.Protocol.hello ~peer:"replay" g);
+                (match Sobs.Json.member "ok" (recv ()) with
+                | Some (Sobs.Json.Bool true) -> ()
+                | _ ->
+                  failwith (Printf.sprintf "replay: hello %S refused" g));
+                List.map
+                  (fun (r : Sobs.Capture.record) ->
+                    let t0 = Sserver.Deadline.now () in
+                    send
+                      (Sserver.Protocol.query_json ~rid:r.c_rid ?doc:r.c_doc
+                         ~bind:r.c_bind ~use_index:r.c_index r.c_query);
+                    let reply = recv () in
+                    let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
+                    match Sobs.Json.member "ok" reply with
+                    | Some (Sobs.Json.Bool true) ->
+                      let results =
+                        match Sobs.Json.member "results" reply with
+                        | Some (Sobs.Json.List rs) ->
+                          List.filter_map Sobs.Json.to_string_opt rs
+                        | _ -> []
+                      in
+                      ( r,
+                        Sobs.Capture.digest results,
+                        List.length results, ms )
+                    | _ ->
+                      let code =
+                        match
+                          Option.bind
+                            (Sobs.Json.member "code" reply)
+                            Sobs.Json.to_string_opt
+                        with
+                        | Some c -> c
+                        | None -> "error"
+                      in
+                      (r, "refused:" ^ code, 0, ms))
+                  mine))
+          group_names
+      end
+      else begin
+        let need what = function
+          | Some v -> v
+          | None ->
+            failwith
+              (Printf.sprintf
+                 "replay: --%s is required unless --socket or --tcp is given"
+                 what)
+        in
+        let dtd = load_dtd root (need "dtd" dtd_path) in
+        let groups = named_groups ~cmd:"replay" dtd spec_path group_specs in
+        if docs = [] then
+          failwith
+            "replay: at least one --doc NAME=FILE is required unless \
+             --socket or --tcp is given";
+        let catalog = Secview.Catalog.create () in
+        List.iter
+          (fun (n, p) -> ignore (Secview.Catalog.add_file catalog ~name:n p))
+          docs;
+        let pipe = Secview.Pipeline.create ~catalog dtd ~groups in
+        let default_doc =
+          match docs with [ (n, _) ] -> Some n | _ -> None
+        in
+        List.map
+          (fun (r : Sobs.Capture.record) ->
+            let doc_name =
+              match (r.c_doc, default_doc) with
+              | Some n, _ | None, Some n -> n
+              | None, None ->
+                failwith
+                  (Printf.sprintf
+                     "replay: record %s names no document and several --doc \
+                      were given"
+                     r.c_rid)
+            in
+            let entry =
+              match Secview.Catalog.find catalog doc_name with
+              | Some e -> e
+              | None ->
+                failwith
+                  (Printf.sprintf "replay: record %s: unknown document %S"
+                     r.c_rid doc_name)
+            in
+            let engine =
+              match Secview.Pipeline.engine_of_string r.c_engine with
+              | Some e -> e
+              | None ->
+                failwith
+                  (Printf.sprintf "replay: record %s: unknown engine %S"
+                     r.c_rid r.c_engine)
+            in
+            let q = Sxpath.Parse.of_string r.c_query in
+            let env = env_of_bindings r.c_bind in
+            let doc = Secview.Catalog.doc entry in
+            let index =
+              if r.c_index then Some (Secview.Catalog.index entry) else None
+            in
+            let t0 = Sserver.Deadline.now () in
+            match
+              Secview.Pipeline.answer pipe ~group:r.c_group ~engine ~env
+                ?index q doc
+            with
+            | Ok nodes ->
+              let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
+              let rendered =
+                List.map (fun n -> Sxml.Print.to_string n) nodes
+              in
+              (r, Sobs.Capture.digest rendered, List.length rendered, ms)
+            | Error e ->
+              let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
+              (r, "error:" ^ Secview.Error.to_code e, 0, ms))
+          records
+      end
+    in
+    let mismatches =
+      List.filter
+        (fun ((r : Sobs.Capture.record), d, _, _) -> d <> r.c_digest)
+        replayed
+    in
+    List.iter
+      (fun ((r : Sobs.Capture.record), d, n, _) ->
+        Printf.eprintf
+          "secview: replay mismatch %s group=%s query=%s: captured %s (%d \
+           results), replayed %s (%d results)\n"
+          r.c_rid r.c_group r.c_query r.c_digest r.c_results d n)
+      mismatches;
+    (* per-cell latency comparison: a cell is one distinct
+       (group, doc, query) the workload exercised *)
+    let cells =
+      List.fold_left
+        (fun acc ((r : Sobs.Capture.record), _, _, ms) ->
+          let key = (r.c_group, r.c_doc, r.c_query) in
+          match List.assoc_opt key acc with
+          | Some _ ->
+            List.map
+              (fun (k, (cap, rep)) ->
+                if k = key then (k, (r.c_latency_ms :: cap, ms :: rep))
+                else (k, (cap, rep)))
+              acc
+          | None -> acc @ [ (key, ([ r.c_latency_ms ], [ ms ])) ])
+        [] replayed
+    in
+    let report =
+      Sobs.Json.Obj
+        [
+          ("bench", Sobs.Json.String "replay");
+          ("label", Sobs.Json.String label);
+          ("source", Sobs.Json.String capture_file);
+          ("mode", Sobs.Json.String (if remote then "live" else "local"));
+          ("records", Sobs.Json.Int (List.length replayed));
+          ("mismatches", Sobs.Json.Int (List.length mismatches));
+          ( "cells",
+            Sobs.Json.List
+              (List.map
+                 (fun ((g, d, q), (cap, rep)) ->
+                   let side l =
+                     Sobs.Json.Obj
+                       [
+                         ("p50_ms", Sobs.Json.Float (ms_of l 50.));
+                         ("p95_ms", Sobs.Json.Float (ms_of l 95.));
+                       ]
+                   in
+                   Sobs.Json.Obj
+                     (("group", Sobs.Json.String g)
+                      :: (match d with
+                         | Some d -> [ ("doc", Sobs.Json.String d) ]
+                         | None -> [])
+                     @ [
+                         ("query", Sobs.Json.String q);
+                         ("n", Sobs.Json.Int (List.length cap));
+                         ("captured", side cap);
+                         ("replayed", side rep);
+                       ]))
+                 cells) );
+        ]
+    in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Sobs.Json.to_string report);
+      output_char oc '\n';
+      close_out oc
+    | None -> ());
+    if json then print_endline (Sobs.Json.to_string report)
+    else begin
+      Printf.printf "replayed %d record(s) from %s — %d mismatch(es)\n"
+        (List.length replayed) capture_file
+        (List.length mismatches);
+      List.iter
+        (fun ((g, d, q), (cap, rep)) ->
+          Printf.printf
+            "  %-10s %-30s n=%-3d captured %7.3f/%7.3f ms  replayed \
+             %7.3f/%7.3f ms\n"
+            g
+            (match d with Some d -> q ^ " @" ^ d | None -> q)
+            (List.length cap) (ms_of cap 50.) (ms_of cap 95.) (ms_of rep 50.)
+            (ms_of rep 95.))
+        cells
+    end;
+    if mismatches <> [] then exit 1
+  in
+  let capture_file_arg =
+    let doc = "Capture file (JSONL, from --capture) to replay." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let dtd_opt_arg =
+    let doc = "Document DTD file (local mode)." in
+    Arg.(value & opt (some file) None & info [ "dtd" ] ~docv:"FILE" ~doc)
+  in
+  let spec_local_arg =
+    let doc =
+      "Access-specification file for group 'user' (local mode; shorthand \
+       for --group user=FILE)."
+    in
+    Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc)
+  in
+  let docs_arg =
+    let doc =
+      "Add document $(i,FILE) to the replay catalog as $(i,NAME) (local \
+       mode, repeatable; a single --doc also serves records that name no \
+       document)."
+    in
+    Arg.(
+      value
+      & opt_all (pair_conv ~what:"NAME=FILE") []
+      & info [ "doc" ] ~docv:"NAME=FILE" ~doc)
+  in
+  let label_arg =
+    Arg.(
+      value & opt string "replay"
+      & info [ "label" ] ~docv:"NAME" ~doc:"Label stamped into the report.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the comparison report as JSON instead of text.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the JSON report to $(docv) (feed two of these to \
+             bench_diff).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a captured workload — against a local pipeline \
+          (--dtd/--spec/--doc) or a live server (--socket/--tcp) — \
+          byte-comparing every answer against its captured digest \
+          (exit 1 on any mismatch) and comparing per-query latency")
+    Term.(
+      const run $ capture_file_arg $ socket_arg $ tcp_arg $ host_arg
+      $ wait_retry_arg ~cmd:"replay" $ dtd_opt_arg $ root_arg $ spec_local_arg
+      $ group_specs_arg $ docs_arg $ label_arg $ json_arg $ out_arg)
 
 let metrics_cmd =
   let inet_of host =
@@ -1571,7 +2089,7 @@ let main =
       analyze_cmd; derive_cmd; graph_cmd; audit_cmd; lint_cmd;
       materialize_cmd; metrics_cmd; rewrite_cmd; query_cmd; explain_cmd;
       optimize_cmd; annotate_cmd; gen_cmd; validate_cmd; serve_cmd;
-      client_cmd;
+      client_cmd; flight_cmd; replay_cmd;
     ]
 
 let () =

@@ -4,6 +4,7 @@ type source =
 
 type entry = {
   name : string option;
+  version : int;
   elock : Mutex.t;
   mutable source : source;
   mutable height : int option;
@@ -29,8 +30,22 @@ let create ?(intern_capacity = 64) () =
     height_walks = Atomic.make 0;
   }
 
+(* Version stamps are process-global and monotonic: re-registering a
+   document under an existing name yields a fresh entry with a higher
+   version, so provenance records (flight recorder, audit) can tell
+   which incarnation of a document answered a request.  The planned
+   update path will rely on the same stamp for cache invalidation. *)
+let next_version = Atomic.make 1
+
 let make_entry ?name source =
-  { name; elock = Mutex.create (); source; height = None; index = None }
+  {
+    name;
+    version = Atomic.fetch_and_add next_version 1;
+    elock = Mutex.create ();
+    source;
+    height = None;
+    index = None;
+  }
 
 let register t ~name entry =
   Mutex.protect t.lock (fun () ->
@@ -47,6 +62,7 @@ let find t name =
 let names t = Mutex.protect t.lock (fun () -> List.rev t.order)
 
 let name e = e.name
+let version e = e.version
 
 let doc e =
   Mutex.protect e.elock (fun () ->

@@ -38,6 +38,13 @@ val entries : t -> entry list
 val name : entry -> string option
 (** [None] for interned entries. *)
 
+val version : entry -> int
+(** Process-global monotonic stamp assigned at entry creation:
+    re-registering a name yields a higher version, so provenance
+    records (flight recorder) can identify which incarnation of a
+    document answered.  Future update support will bump it on
+    mutation. *)
+
 val doc : entry -> Sxml.Tree.t
 (** The document; parses file-backed entries on first call. *)
 

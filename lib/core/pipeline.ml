@@ -7,6 +7,13 @@ type engine =
   | Interp
   | Plan
 
+let engine_label = function Interp -> "interp" | Plan -> "plan"
+
+let engine_of_string = function
+  | "interp" -> Some Interp
+  | "plan" -> Some Plan
+  | _ -> None
+
 (* Cached translation entry: the rewritten+optimized query plus the
    lazily compiled physical plan for it.  [plan] is guarded by the
    owning group's lock. *)

@@ -35,6 +35,13 @@ type engine =
   | Interp
   | Plan
 
+val engine_label : engine -> string
+(** ["plan"] / ["interp"] — the canonical wire spelling (protocol
+    replies, capture records, flight-recorder entries, CLI flags). *)
+
+val engine_of_string : string -> engine option
+(** Inverse of {!engine_label}. *)
+
 (** Per-group cache counters, one lookup = one hit or miss in each
     cache the request consulted.  [plan_compiles + plan_fallbacks]
     equals the number of distinct translated queries the plan engine

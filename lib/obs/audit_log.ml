@@ -82,11 +82,15 @@ let log_diagnostic t ~code ~severity ~subject message =
            ("message", Json.String message);
          ]))
 
-let log_request t ~session ~peer ~group ~doc ~query ~status ~results
+let rid_field = function
+  | Some r -> [ ("rid", Json.String r) ]
+  | None -> []
+
+let log_request t ?rid ~session ~peer ~group ~doc ~query ~status ~results
     ~latency_ms ?error () =
   emit t
     (Json.Obj
-       (base t "request"
+       (base t "request" @ rid_field rid
        @ [
            ("session", Json.Int session);
            ("peer", Json.String peer);
@@ -100,12 +104,13 @@ let log_request t ~session ~peer ~group ~doc ~query ~status ~results
              match error with Some e -> Json.String e | None -> Json.Null );
          ]))
 
-let log_slow_query t ~group ~query ?translated ~latency_ms ~threshold_ms
+let log_slow_query t ?rid ~group ~query ?translated ~latency_ms ~threshold_ms
     ~stages ~counts ?session ?peer ?doc () =
   let opt f = function Some v -> f v | None -> Json.Null in
   let ctx =
     List.concat
       [
+        rid_field rid;
         (match session with
         | Some s -> [ ("session", Json.Int s) ]
         | None -> []);

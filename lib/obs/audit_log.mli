@@ -22,13 +22,19 @@
     {"type":"diagnostic","ts_ns":…,"code":…,"severity":…,"subject":…,
      "message":…}
     {"type":"note","ts_ns":…,"kind":…,"message":…}
-    {"type":"request","ts_ns":…,"session":N,"peer":…,"group":…,"doc":…,
-     "query":…,"status":"ok"|"error"|"timeout"|"late","results":N,
-     "latency_ms":F,"error":S|null}
-    {"type":"slow_query","ts_ns":…,["session":N,"peer":…,"doc":…,]
-     "group":…,"query":…,"translated":S|null,"latency_ms":F,
+    {"type":"request","ts_ns":…,["rid":S,]"session":N,"peer":…,"group":…,
+     "doc":…,"query":…,"status":"ok"|"error"|"timeout"|"late"|
+     "overloaded"|"denied_empty","results":N,"latency_ms":F,
+     "error":S|null}
+    {"type":"slow_query","ts_ns":…,["rid":S,]["session":N,"peer":…,
+     "doc":…,]"group":…,"query":…,"translated":S|null,"latency_ms":F,
      "threshold_ms":F,"stages_ms":{…},"op_counts":{"scanned":N,…}}
     v}
+
+    ["rid"] is the request-correlation id (PR 7): the same id is
+    stamped into the protocol reply, the flight-recorder entry, and
+    any capture record, so one request can be followed across every
+    surface.
 
     ["request"] records are the server's ([Sserver.Server]): one per
     admitted query, stamped with the session's group and peer — the
@@ -73,6 +79,7 @@ val log_note : t -> kind:string -> string -> unit
 
 val log_request :
   t ->
+  ?rid:string ->
   session:int ->
   peer:string ->
   group:string ->
@@ -89,6 +96,7 @@ val log_request :
 
 val log_slow_query :
   t ->
+  ?rid:string ->
   group:string ->
   query:string ->
   ?translated:string ->

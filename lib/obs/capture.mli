@@ -1,0 +1,55 @@
+(** Replayable workload capture: one JSONL record per answered query.
+
+    [secview query --capture] and [secview serve --capture] append one
+    record per request; [secview replay] re-executes them (against
+    {!Secview.Pipeline} or a live server) and byte-compares each
+    answer against the captured [digest].  Schema (version field
+    first, so readers can reject future formats cheaply):
+
+    {v
+    {"v":1,"rid":S,"group":S,"doc":S|null,"query":S,"bind":{…},
+     "index":B,"engine":"plan"|"interp","status":S,"results":N,
+     "digest":S,"latency_ms":F}
+    v}
+
+    [digest] is the MD5 hex of the rendered result lines joined with
+    ["\n"] — the same rendering the CLI prints and the server puts in
+    its ["results"] reply field, so a replay digest match means the
+    byte-identical answer. *)
+
+val schema_version : int
+
+type record = {
+  c_rid : string;
+  c_group : string;
+  c_doc : string option;  (** catalog doc name; [None] = requester default *)
+  c_query : string;
+  c_bind : (string * string) list;
+  c_index : bool;
+  c_engine : string;
+  c_status : string;  (** ["ok"] or ["denied_empty"] *)
+  c_results : int;
+  c_digest : string;
+  c_latency_ms : float;
+}
+
+val digest : string list -> string
+(** MD5 hex of the rendered result lines, joined with ["\n"]. *)
+
+val to_json : record -> Json.t
+val of_json : Json.t -> (record, string) result
+
+(** {2 Writing} *)
+
+type t
+(** A capture sink: an open file plus a mutex serializing concurrent
+    server workers.  Every record is flushed on write. *)
+
+val open_file : string -> t
+val write : t -> record -> unit
+val close : t -> unit
+
+(** {2 Reading} *)
+
+val read_file : string -> (record list, string) result
+(** Parse a capture file; the error carries [file:line]. *)

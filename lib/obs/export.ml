@@ -62,6 +62,10 @@ let chrome_trace spans =
               Json.Obj
                 [
                   ("seq", Json.Int sp.seq);
+                  ( "parent",
+                    match sp.parent with
+                    | Some p -> Json.Int p
+                    | None -> Json.Null );
                   ("trace_id", Json.Int sp.trace_id);
                   ("depth", Json.Int sp.depth);
                 ] );

@@ -1,0 +1,140 @@
+type entry = {
+  rid : string;
+  session : int option;
+  peer : string option;
+  group : string;
+  doc : string option;
+  doc_version : int option;
+  query : string;
+  engine : string;
+  admission : string option;
+  status : string;
+  error : string option;
+  results : int;
+  digest : string option;
+  latency_ms : float;
+  ts_ns : int64;
+  spans : Tracer.span list;
+  counts : (string * int) list;
+}
+
+type t = {
+  lock : Mutex.t;
+  ring : entry option array;
+  mutable head : int;  (* next write slot *)
+  mutable len : int;  (* entries currently retained *)
+  mutable total : int;  (* entries ever recorded; survives [clear] *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Recorder.create: capacity must be > 0";
+  { lock = Mutex.create (); ring = Array.make capacity None; head = 0;
+    len = 0; total = 0 }
+
+let capacity t = Array.length t.ring
+
+let record t e =
+  Mutex.protect t.lock (fun () ->
+      t.ring.(t.head) <- Some e;
+      t.head <- (t.head + 1) mod Array.length t.ring;
+      t.len <- min (t.len + 1) (Array.length t.ring);
+      t.total <- t.total + 1)
+
+let total t = Mutex.protect t.lock (fun () -> t.total)
+
+let entries t =
+  Mutex.protect t.lock (fun () ->
+      let cap = Array.length t.ring in
+      let n = t.len in
+      (* oldest first: the ring wraps at [head] *)
+      List.filter_map
+        (fun i -> t.ring.((t.head - n + i + (2 * cap)) mod cap))
+        (List.init n Fun.id))
+
+let length t = Mutex.protect t.lock (fun () -> t.len)
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      Array.fill t.ring 0 (Array.length t.ring) None;
+      t.head <- 0;
+      t.len <- 0)
+
+(* Process-global hook, mirroring [Secview.Trace]'s probe spine: the
+   CLI installs a recorder here so [Pipeline]-level callers can note
+   requests without threading a value through every signature.  The
+   disabled path must stay allocation-free: [enabled] is a single ref
+   read and callers guard entry construction behind it. *)
+
+let hook : t option ref = ref None
+let set r = hook := Some r
+let unset () = hook := None
+let current () = !hook
+let enabled () = match !hook with None -> false | Some _ -> true
+let note e = match !hook with None -> () | Some t -> record t e
+
+let opt_json f = function Some v -> f v | None -> Json.Null
+
+let span_json (sp : Tracer.span) =
+  Json.Obj
+    [
+      ("name", Json.String sp.Tracer.name);
+      ("seq", Json.Int sp.Tracer.seq);
+      ("parent", opt_json (fun p -> Json.Int p) sp.Tracer.parent);
+      ("depth", Json.Int sp.Tracer.depth);
+      ("ms", Json.Float (Clock.ms sp.Tracer.start_ns sp.Tracer.stop_ns));
+    ]
+
+let entry_json e =
+  Json.Obj
+    [
+      ("rid", Json.String e.rid);
+      ("ts_ns", Json.Int (Int64.to_int e.ts_ns));
+      ("session", opt_json (fun s -> Json.Int s) e.session);
+      ("peer", opt_json (fun p -> Json.String p) e.peer);
+      ("group", Json.String e.group);
+      ("doc", opt_json (fun d -> Json.String d) e.doc);
+      ("doc_version", opt_json (fun v -> Json.Int v) e.doc_version);
+      ("query", Json.String e.query);
+      ("engine", Json.String e.engine);
+      ("admission", opt_json (fun a -> Json.String a) e.admission);
+      ("status", Json.String e.status);
+      ("error", opt_json (fun err -> Json.String err) e.error);
+      ("results", Json.Int e.results);
+      ("digest", opt_json (fun d -> Json.String d) e.digest);
+      ("latency_ms", Json.Float e.latency_ms);
+      ("spans", Json.List (List.map span_json e.spans));
+      ( "op_counts",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counts) );
+    ]
+
+let to_json t =
+  let es = entries t in
+  Json.Obj
+    [
+      ("flight", Json.Int (List.length es));
+      ("capacity", Json.Int (capacity t));
+      ("total", Json.Int (total t));
+      ("entries", Json.List (List.map entry_json es));
+    ]
+
+let dump_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc (to_json t);
+      output_char oc '\n')
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%-8s %-6s %-12s %-6s %5d  %8.3fms  %s" e.rid e.group
+    (match e.doc with Some d -> d | None -> "-")
+    e.status e.results e.latency_ms e.query;
+  match e.error with
+  | Some err -> Format.fprintf ppf "  ! %s" err
+  | None -> ()
+
+let pp ppf t =
+  let es = entries t in
+  Format.fprintf ppf "flight recorder: %d/%d entries (%d recorded)@."
+    (List.length es) (capacity t) (total t);
+  List.iter (fun e -> Format.fprintf ppf "  %a@." pp_entry e) es

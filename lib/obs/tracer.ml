@@ -1,6 +1,7 @@
 type span = {
   name : string;
   seq : int;
+  parent : int option;
   depth : int;
   tid : int;
   trace_id : int;
@@ -11,6 +12,7 @@ type span = {
 type active = {
   id : int;
   aname : string;
+  aparent : int option;
   adepth : int;
   astart : int64;
   atrace : int;
@@ -18,8 +20,8 @@ type active = {
 
 (* Per-thread recording state: each thread has its own span stack and
    completed list, so concurrent requests (server workers) never
-   interleave frames, and [drain_new]/[since] attribute spans to the
-   requests of the calling thread only. *)
+   interleave frames, and [drain_new]/[with_request] attribute spans to
+   the requests of the calling thread only. *)
 type tstate = {
   mutable stack : active list;
   mutable completed : span list;  (* reverse completion order *)
@@ -65,6 +67,7 @@ let finish t tid ts frame =
     {
       name = frame.aname;
       seq = frame.id;
+      parent = frame.aparent;
       depth = frame.adepth;
       tid;
       trace_id = frame.atrace;
@@ -89,8 +92,12 @@ let probe t =
             end;
             let id = t.next_id in
             t.next_id <- id + 1;
+            let parent =
+              match ts.stack with [] -> None | f :: _ -> Some f.id
+            in
             ts.stack <-
-              { id; aname = name; adepth = List.length ts.stack;
+              { id; aname = name; aparent = parent;
+                adepth = List.length ts.stack;
                 astart = t.clock (); atrace = ts.cur_trace }
               :: ts.stack;
             id));
@@ -150,12 +157,26 @@ let drain_new t =
       end;
       fresh)
 
-let mark t = Mutex.protect t.lock (fun () -> t.next_id)
-
-let since t m =
-  Mutex.protect t.lock (fun () ->
-      let _, ts = state t in
-      List.sort by_seq (List.filter (fun sp -> sp.seq >= m) ts.completed))
+let with_request ?(name = "request") t f =
+  let p = probe t in
+  let id = p.Secview.Trace.enter name in
+  let trace =
+    Mutex.protect t.lock (fun () ->
+        let _, ts = state t in
+        ts.cur_trace)
+  in
+  let close () =
+    p.Secview.Trace.leave id;
+    Mutex.protect t.lock (fun () ->
+        let _, ts = state t in
+        List.sort by_seq
+          (List.filter (fun sp -> sp.trace_id = trace) ts.completed))
+  in
+  match f () with
+  | v -> (v, close ())
+  | exception e ->
+    ignore (close ());
+    raise e
 
 let stage_totals spans =
   let tbl = Hashtbl.create 8 in

@@ -8,9 +8,12 @@
 
     Recording is {e per thread}: each thread keeps its own span stack
     and completed list, and every root span (one per request in the
-    server) is stamped with a fresh [trace_id].  {!drain_new} and
-    {!since} read only the calling thread's spans, so concurrent
-    workers never mix each other's stages into one audit record.
+    server) is stamped with a fresh [trace_id].  Spans form a
+    hierarchy: each carries the [seq] of its [parent] span (the frame
+    that was open when it started), [None] at the root.  {!drain_new}
+    and {!with_request} read only the calling thread's spans, so
+    concurrent workers never mix each other's stages into one audit
+    record.
 
     Install one with {!install} and the instrumented pipeline stages
     ([derive], [rewrite], [unfold], [optimize], [translate], [height],
@@ -20,6 +23,9 @@
 type span = {
   name : string;
   seq : int;  (** start order: [seq] of an outer span < its inner spans *)
+  parent : int option;
+      (** [seq] of the enclosing span on the same thread, [None] at the
+          root — the span hierarchy of one request *)
   depth : int;  (** nesting depth at entry, outermost = 0 *)
   tid : int;  (** {!Thread.id} of the recording thread *)
   trace_id : int;  (** request scope: shared by a root span and its children *)
@@ -61,14 +67,17 @@ val drain_new : t -> span list
     just finished on this thread.  With [~retain:false] the drained
     spans are also discarded. *)
 
-val mark : t -> int
-(** A watermark for {!since}: the next span sequence number. *)
-
-val since : t -> int -> span list
-(** The calling thread's completed spans with [seq >=] the given
-    {!mark}, in start order.  Non-destructive — unlike {!drain_new} it
-    does not move the drain watermark, so a slow-query probe can peek
-    at a request's stages without stealing them from the audit log. *)
+val with_request : ?name:string -> t -> (unit -> 'a) -> 'a * span list
+(** [with_request t f] runs [f] inside a synthetic root span (default
+    name ["request"]) on the calling thread and returns [f]'s result
+    together with {e every} span of that request's trace — the root
+    plus all descendants, linked by [parent] and sorted by [seq].
+    Non-destructive: it does not move the {!drain_new} watermark, so a
+    slow-query probe or flight recorder can attribute a request's
+    stages without stealing them from the audit log.  The root span is
+    closed (and the spans still returned) even when [f] raises.  Call
+    it with an empty span stack: nested under another open span the
+    "root" joins the enclosing trace instead of starting one. *)
 
 val stage_totals : span list -> (string * float) list
 (** Total duration in milliseconds per span name, sorted by name. *)

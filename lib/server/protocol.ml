@@ -17,6 +17,7 @@ type request =
   | Analyze of query
   | Stats
   | Metrics
+  | Flight
   | Ping
   | Shutdown
   | Sleep of float
@@ -33,25 +34,38 @@ let draining = "draining"
 let timeout = "timeout"
 let query_error = "query_error"
 
-let ok fields = J.Obj (("ok", J.Bool true) :: ("v", J.Int version) :: fields)
+(* Every reply carries the request-correlation id right after the
+   version field — the same id lands in the audit log and the flight
+   recorder, so one request is traceable across every surface. *)
+let rid_fields = function
+  | Some r -> [ ("rid", J.String r) ]
+  | None -> []
 
-let error ~code msg =
+let ok ?rid fields =
+  J.Obj (("ok", J.Bool true) :: ("v", J.Int version) :: rid_fields rid @ fields)
+
+let error ?rid ~code msg =
   J.Obj
-    [
-      ("ok", J.Bool false);
-      ("v", J.Int version);
-      ("code", J.String code);
-      ("error", J.String msg);
-    ]
+    (("ok", J.Bool false) :: ("v", J.Int version) :: rid_fields rid
+    @ [ ("code", J.String code); ("error", J.String msg) ])
 
-let error_of (e : Secview.Error.t) =
-  error ~code:(Secview.Error.to_code e) (Secview.Error.to_string e)
+let error_of ?rid (e : Secview.Error.t) =
+  error ?rid ~code:(Secview.Error.to_code e) (Secview.Error.to_string e)
 
 let field name obj = J.member name obj
 
 let string_field name obj = Option.bind (field name obj) J.to_string_opt
 
+(* Best-effort client rid recovery for error replies: even a request
+   that fails to parse as a command can still be correlated, as long
+   as the line was a JSON object with a string ["rid"]. *)
+let rid_of_line line =
+  match J.of_string line with
+  | Ok (J.Obj _ as obj) -> string_field "rid" obj
+  | _ -> None
+
 let request_of_line line =
+  let with_rid obj r = Result.map (fun req -> (req, r)) obj in
   match J.of_string line with
   | Error e -> Error ("invalid JSON: " ^ e)
   | Ok (J.Obj _ as obj) when
@@ -60,8 +74,14 @@ let request_of_line line =
     Error
       (Printf.sprintf "unsupported protocol version (this server speaks \"v\":%d)"
          version)
+  | Ok (J.Obj _ as obj) when
+      (match field "rid" obj with
+      | None | Some (J.String _) -> false
+      | Some _ -> true) -> Error "\"rid\" must be a string"
   | Ok (J.Obj _ as obj) -> (
-    match string_field "cmd" obj with
+    let rid = string_field "rid" obj in
+    with_rid
+      (match string_field "cmd" obj with
     | None -> Error "missing string field \"cmd\""
     | Some "hello" -> (
       match string_field "group" obj with
@@ -111,6 +131,7 @@ let request_of_line line =
               | _ -> Query q))))
     | Some "stats" -> Ok Stats
     | Some "metrics" -> Ok Metrics
+    | Some "flight" -> Ok Flight
     | Some "ping" -> Ok Ping
     | Some "shutdown" -> Ok Shutdown
     | Some "sleep" -> (
@@ -119,7 +140,12 @@ let request_of_line line =
       | Some _ -> Error "sleep: \"ms\" must be non-negative"
       | None -> Error "sleep: missing numeric field \"ms\"")
     | Some cmd -> Error (Printf.sprintf "unknown command %S" cmd))
+      rid)
   | Ok _ -> Error "request must be a JSON object"
+
+let client_rid = function
+  | Some r -> [ ("rid", J.String r) ]
+  | None -> []
 
 let hello ?peer group =
   J.Obj
@@ -127,11 +153,12 @@ let hello ?peer group =
      :: ("group", J.String group)
      :: (match peer with Some p -> [ ("peer", J.String p) ] | None -> []))
 
-let query_json ?doc ?(bind = []) ?(use_index = false) text =
+let query_json ?rid ?doc ?(bind = []) ?(use_index = false) text =
   J.Obj
     (("cmd", J.String "query")
-     :: ("query", J.String text)
-     :: (match doc with Some d -> [ ("doc", J.String d) ] | None -> [])
+     :: client_rid rid
+    @ ("query", J.String text)
+      :: (match doc with Some d -> [ ("doc", J.String d) ] | None -> [])
     @ (if bind = [] then []
        else [ ("bind", J.Obj (List.map (fun (k, v) -> (k, J.String v)) bind)) ])
     @ if use_index then [ ("index", J.Bool true) ] else [])

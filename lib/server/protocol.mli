@@ -11,16 +11,22 @@
     {"cmd":"analyze","query":Q}                  static admission verdict only
     {"cmd":"stats"}                              server statistics
     {"cmd":"metrics"}                            metrics dump + OpenMetrics
+    {"cmd":"flight"}                             flight-recorder dump
     {"cmd":"ping"}                               liveness
     {"cmd":"shutdown"}                           reply, then drain
     {"cmd":"sleep","ms":N}                       debug servers only
     v}
 
-    Replies always carry ["ok"] and the protocol version ["v"]:
-    [{"ok":true,"v":1,…}] on success,
-    [{"ok":false,"v":1,"code":C,"error":MSG}] on failure, where [code] is
-    one of the constants below — [overloaded] is the admission-control
-    reply and means "try again", not "goodbye". *)
+    Every request may additionally carry a string ["rid"] — a
+    client-chosen request-correlation id.  Replies always carry
+    ["ok"], the protocol version ["v"], and a ["rid"] (echoing the
+    client's, or server-generated [r<session>-<n>] otherwise):
+    [{"ok":true,"v":1,"rid":R,…}] on success,
+    [{"ok":false,"v":1,"rid":R,"code":C,"error":MSG}] on failure,
+    where [code] is one of the constants below — [overloaded] is the
+    admission-control reply and means "try again", not "goodbye".
+    The same rid is stamped into the server's audit records and
+    flight-recorder entries. *)
 
 type query = {
   doc : string option;  (** catalog name; optional iff one document *)
@@ -42,13 +48,20 @@ type request =
           touched, no evaluation runs *)
   | Stats
   | Metrics
+  | Flight  (** flight-recorder dump; session-less like [Metrics] *)
   | Ping
   | Shutdown
   | Sleep of float  (** seconds; only honoured by [--debug] servers *)
 
-val request_of_line : string -> (request, string) result
-(** Decode one line.  The error string is human-readable and becomes
+val request_of_line : string -> (request * string option, string) result
+(** Decode one line; the second component is the client-supplied
+    ["rid"], if any.  The error string is human-readable and becomes
     the [bad_request] reply's message. *)
+
+val rid_of_line : string -> string option
+(** Best-effort ["rid"] recovery from a line that failed to decode as
+    a command — error replies stay correlatable when the request was
+    at least a JSON object. *)
 
 val version : int
 (** The protocol version, 1.  Every reply carries it as ["v"];
@@ -69,22 +82,27 @@ val query_error : string
 
 (** {1 Reply and request builders} *)
 
-val ok : (string * Sobs.Json.t) list -> Sobs.Json.t
-(** [{"ok":true,"v":1}] plus the given fields. *)
+val ok : ?rid:string -> (string * Sobs.Json.t) list -> Sobs.Json.t
+(** [{"ok":true,"v":1,"rid":R}] plus the given fields (rid omitted
+    when absent — only the CLI's local drivers omit it). *)
 
-val error : code:string -> string -> Sobs.Json.t
+val error : ?rid:string -> code:string -> string -> Sobs.Json.t
 
-val error_of : Secview.Error.t -> Sobs.Json.t
+val error_of : ?rid:string -> Secview.Error.t -> Sobs.Json.t
 (** Error reply for a typed engine error: the code is
     {!Secview.Error.to_code}, the message {!Secview.Error.to_string}. *)
 
 val hello : ?peer:string -> string -> Sobs.Json.t
 val query_json :
+  ?rid:string ->
   ?doc:string ->
   ?bind:(string * string) list ->
   ?use_index:bool ->
   string ->
   Sobs.Json.t
+(** With [rid], the client picks the correlation id ([secview replay]
+    re-sends the captured ids so a replayed request is traceable in
+    both capture and live logs). *)
 
 val simple : string -> Sobs.Json.t
 (** [{"cmd":CMD}] — for [stats], [metrics], [ping], [shutdown]. *)

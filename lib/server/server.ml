@@ -32,7 +32,15 @@ type session = {
   sid : int;
   mutable group : string option;
   mutable peer : string;
+  mutable rseq : int;  (* connection-thread only: per-session rid counter *)
 }
+
+(* Server-generated request-correlation id: deterministic per session
+   ([r<sid>-<n>]), so golden tests and log correlation are stable.  A
+   client-supplied rid takes precedence and does not consume a number. *)
+let next_rid sess =
+  sess.rseq <- sess.rseq + 1;
+  Printf.sprintf "r%d-%d" sess.sid sess.rseq
 
 type work =
   | Answer of Protocol.query
@@ -42,6 +50,7 @@ type work =
 type job = {
   jsession : session;
   jgroup : string;
+  jrid : string;
   work : work;
   submitted : float;
   deadline_at : float option;
@@ -57,6 +66,9 @@ type t = {
   obs_lock : Mutex.t;  (* serializes metrics updates and audit writes *)
   audit : Sobs.Audit_log.t option;
   tracer : Sobs.Tracer.t option;
+  recorder : Sobs.Recorder.t option;
+  flight_snapshot : string option;
+  capture : Sobs.Capture.t option;
   stopping : bool Atomic.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
@@ -68,7 +80,8 @@ type t = {
   mutable conns : Thread.t list;
 }
 
-let create ?(config = default_config) ?audit ?metrics ?tracer pipeline =
+let create ?(config = default_config) ?audit ?metrics ?tracer ?recorder
+    ?flight_snapshot ?capture pipeline =
   let wake_r, wake_w = Unix.pipe () in
   {
     config = { config with workers = max 1 config.workers };
@@ -85,6 +98,9 @@ let create ?(config = default_config) ?audit ?metrics ?tracer pipeline =
       | None -> Mutex.create ());
     audit;
     tracer;
+    recorder;
+    flight_snapshot;
+    capture;
     stopping = Atomic.make false;
     wake_r;
     wake_w;
@@ -104,13 +120,13 @@ let count ?(by = 1) t name =
 let observe t name v =
   Mutex.protect t.obs_lock (fun () -> Sobs.Metrics.observe t.metrics name v)
 
-let audit_request t ~session ~peer ~group ~doc ~query ~status ~results
+let audit_request t ~rid ~session ~peer ~group ~doc ~query ~status ~results
     ~latency_ms ?error () =
   match t.audit with
   | None -> ()
   | Some log ->
     Mutex.protect t.obs_lock (fun () ->
-        Sobs.Audit_log.log_request log ~session ~peer ~group ~doc ~query
+        Sobs.Audit_log.log_request log ~rid ~session ~peer ~group ~doc ~query
           ~status ~results ~latency_ms ?error ())
 
 (* Runtime gauges, sampled on every scrape/metrics verb rather than on
@@ -134,21 +150,33 @@ let openmetrics t =
       sample_gauges t;
       Sobs.Export.openmetrics t.metrics)
 
-let metrics_reply t =
+let metrics_reply t ~rid =
   let om = openmetrics t in
   let text =
     Mutex.protect t.obs_lock (fun () ->
         Format.asprintf "%a" Sobs.Metrics.pp t.metrics)
   in
-  Protocol.ok [ ("openmetrics", J.String om); ("text", J.String text) ]
+  Protocol.ok ~rid [ ("openmetrics", J.String om); ("text", J.String text) ]
 
-let audit_slow t ~session ~peer ~group ~doc ~query ?translated ~latency_ms
-    ~threshold_ms ~stages ~counts () =
+let flight_reply t ~rid =
+  match t.recorder with
+  | None ->
+    Protocol.error_of ~rid
+      (Secview.Error.Bad_request
+         "flight recorder is not enabled (start the server with --flight N)")
+  | Some r -> (
+    (* splice the recorder dump's fields into the reply envelope *)
+    match Sobs.Recorder.to_json r with
+    | J.Obj fields -> Protocol.ok ~rid fields
+    | _ -> assert false)
+
+let audit_slow t ~rid ~session ~peer ~group ~doc ~query ?translated
+    ~latency_ms ~threshold_ms ~stages ~counts () =
   match t.audit with
   | None -> ()
   | Some log ->
     Mutex.protect t.obs_lock (fun () ->
-        Sobs.Audit_log.log_slow_query log ~group ~query ?translated
+        Sobs.Audit_log.log_slow_query log ~rid ~group ~query ?translated
           ~latency_ms ~threshold_ms ~stages ~counts ~session ~peer ~doc ())
 
 let draining t = Atomic.get t.stopping
@@ -209,7 +237,8 @@ let parsed_request t (q : Protocol.query) k =
         Error (Secview.Error.Internal (Printexc.to_string exn))))
 
 (* Ok: (rendered results, translated query, plan operator counts).
-   Counts are only collected when the slow-query log could use them. *)
+   Counts are only collected when the slow-query log or the flight
+   recorder could use them. *)
 let answer_query t ~group (q : Protocol.query) =
   parsed_request t q (fun entry path ->
       let env name = List.assoc_opt name q.bind in
@@ -217,7 +246,8 @@ let answer_query t ~group (q : Protocol.query) =
       let index = if q.use_index then Some (Catalog.index entry) else None in
       match
         Pipeline.answer_outcome t.pipeline ~group ~engine:t.config.engine
-          ~counts:(t.config.slow_ms <> None) ~env ?index path doc
+          ~counts:(t.config.slow_ms <> None || Option.is_some t.recorder)
+          ~env ?index path doc
       with
       | Ok o ->
         Ok
@@ -226,7 +256,7 @@ let answer_query t ~group (q : Protocol.query) =
             o.Pipeline.o_counts )
       | Error _ as e -> e)
 
-let explain_query t ~group (q : Protocol.query) =
+let explain_query t ~rid ~group (q : Protocol.query) =
   parsed_request t q (fun entry path ->
       let env name = List.assoc_opt name q.bind in
       match Pipeline.explain t.pipeline ~group ~env path (Catalog.doc entry)
@@ -234,7 +264,7 @@ let explain_query t ~group (q : Protocol.query) =
       | Error _ as e -> e
       | Ok x ->
         Ok
-          (Protocol.ok
+          (Protocol.ok ~rid
              [
                ("query", J.String q.text);
                ( "admission",
@@ -243,7 +273,9 @@ let explain_query t ~group (q : Protocol.query) =
                  J.String (Sxpath.Print.to_string x.Pipeline.x_translated) );
                ( "engine",
                  J.String
-                   (if x.Pipeline.x_plan <> None then "plan" else "interp") );
+                   (Pipeline.engine_label
+                      (if x.Pipeline.x_plan <> None then Pipeline.Plan
+                       else Pipeline.Interp)) );
                ( "height",
                  match x.Pipeline.x_height with
                  | Some h -> J.Int h
@@ -268,15 +300,60 @@ let doc_label t (q : Protocol.query) =
     (* the single-document default: audit the name it resolved to *)
     match Catalog.names t.catalog with [ n ] -> n | _ -> "-")
 
+let doc_version t (q : Protocol.query) =
+  match resolve_document t q.doc with
+  | Ok entry -> Some (Catalog.version entry)
+  | Error _ -> None
+
+(* One flight-recorder entry per completed Answer/Explain job (and one
+   per fast-path denial, built at that site).  The recorder has its
+   own mutex — never the shared [obs_lock] — so recording can never
+   deadlock against span draining or audit writes. *)
+let record_flight t job ~status ~results ?error ?digest ~latency_ms ~spans
+    ~counts () =
+  match (t.recorder, job.work) with
+  | Some r, (Answer q | Explain_query q) ->
+    Sobs.Recorder.record r
+      {
+        Sobs.Recorder.rid = job.jrid;
+        session = Some job.jsession.sid;
+        peer = Some job.jsession.peer;
+        group = job.jgroup;
+        doc = Some (doc_label t q);
+        doc_version = doc_version t q;
+        query = q.text;
+        engine = Pipeline.engine_label t.config.engine;
+        admission = None;
+        status;
+        error;
+        results;
+        digest;
+        latency_ms;
+        ts_ns = Sobs.Clock.monotonic ();
+        spans;
+        counts;
+      }
+  | _ -> ()
+
+(* Auto-snapshot: dump the whole ring to [--flight-snapshot FILE] the
+   moment a request ends badly (error/timeout/late) or slow — the
+   recorder's raison d'être is exactly that moment's context. *)
+let maybe_snapshot t ~status ~slow =
+  match (t.flight_snapshot, t.recorder) with
+  | Some path, Some r when status <> "ok" || slow -> (
+    try Sobs.Recorder.dump_file r path
+    with Sys_error _ -> count t "server.flight.snapshot_failed")
+  | _ -> ()
+
 let run_job t job =
   let latency () = 1000. *. (Deadline.now () -. job.submitted) in
   let log ~status ~results ?error ~latency_ms () =
     match job.work with
     | Nap _ -> ()
     | Answer q | Explain_query q ->
-      audit_request t ~session:job.jsession.sid ~peer:job.jsession.peer
-        ~group:job.jgroup ~doc:(doc_label t q) ~query:q.text ~status ~results
-        ~latency_ms ?error ()
+      audit_request t ~rid:job.jrid ~session:job.jsession.sid
+        ~peer:job.jsession.peer ~group:job.jgroup ~doc:(doc_label t q)
+        ~query:q.text ~status ~results ~latency_ms ?error ()
   in
   let expired =
     match job.deadline_at with
@@ -288,35 +365,34 @@ let run_job t job =
        don't burn a worker on a reply nobody is waiting for *)
     ignore
       (Deadline.fill job.cell
-         (Protocol.error_of (Secview.Error.Timeout "deadline exceeded in queue")));
+         (Protocol.error_of ~rid:job.jrid
+            (Secview.Error.Timeout "deadline exceeded in queue")));
     count t "server.expired_in_queue";
+    let latency_ms = latency () in
     log ~status:"timeout" ~results:0 ~error:"deadline exceeded in queue"
-      ~latency_ms:(latency ()) ()
+      ~latency_ms ();
+    record_flight t job ~status:"timeout" ~results:0
+      ~error:"deadline exceeded in queue" ~latency_ms ~spans:[] ~counts:[] ();
+    maybe_snapshot t ~status:"timeout" ~slow:false
   end
   else begin
-    (* watermark before the work: [since] then reads exactly the spans
-       this thread recorded for this request (per-thread attribution) *)
-    let mark =
-      match (t.tracer, t.config.slow_ms, job.work) with
-      | Some tr, Some _, Answer _ -> Some (Sobs.Tracer.mark tr)
-      | _ -> None
-    in
-    let reply, status, results, error, slow_info =
+    let rid = job.jrid in
+    let run_work () =
       match job.work with
       | Nap s ->
         Thread.delay s;
-        (Protocol.ok [ ("slept_ms", J.Float (1000. *. s)) ], "ok", 0, None,
-         None)
+        ( Protocol.ok ~rid [ ("slept_ms", J.Float (1000. *. s)) ], "ok", 0,
+          None, None )
       | Explain_query q -> (
-        match explain_query t ~group:job.jgroup q with
+        match explain_query t ~rid ~group:job.jgroup q with
         | Ok reply -> (reply, "ok", 0, None, None)
         | Error e ->
-          ( Protocol.error_of e, "error", 0,
+          ( Protocol.error_of ~rid e, "error", 0,
             Some (Secview.Error.to_string e), None ))
       | Answer q -> (
         match answer_query t ~group:job.jgroup q with
         | Ok (results, translated, counts) ->
-          ( Protocol.ok
+          ( Protocol.ok ~rid
               [
                 ("results", J.List (List.map (fun s -> J.String s) results));
                 ("count", J.Int (List.length results));
@@ -324,30 +400,73 @@ let run_job t job =
             "ok",
             List.length results,
             None,
-            Some (q, Some translated, counts) )
+            Some (q, Some translated, counts, results) )
         | Error e ->
-          ( Protocol.error_of e, "error", 0,
-            Some (Secview.Error.to_string e), Some (q, None, []) ))
+          ( Protocol.error_of ~rid e, "error", 0,
+            Some (Secview.Error.to_string e), Some (q, None, [], []) ))
+    in
+    (* the whole request runs inside a synthetic "request" root span:
+       its children (per-thread) are exactly this request's stages,
+       linked by [parent] — hierarchical attribution instead of the
+       old watermark arithmetic *)
+    let want_spans =
+      (t.config.slow_ms <> None || Option.is_some t.recorder)
+      && (match job.work with Answer _ -> true | _ -> false)
+    in
+    let (reply, status, results, error, detail), spans =
+      match t.tracer with
+      | Some tr when want_spans -> Sobs.Tracer.with_request tr run_work
+      | _ -> (run_work (), [])
     in
     let won = Deadline.fill job.cell reply in
     let latency_ms = latency () in
     let status = if won then status else "late" in
     count t ("server.done." ^ status);
     observe t ("server.latency_ms." ^ job.jgroup) latency_ms;
-    (match (t.config.slow_ms, slow_info) with
-    | Some thr, Some (q, translated, counts) when latency_ms > thr ->
-      let stages =
-        match (t.tracer, mark) with
-        | Some tr, Some m ->
-          Sobs.Tracer.stage_totals (Sobs.Tracer.since tr m)
-        | _ -> []
-      in
+    let slow =
+      match (t.config.slow_ms, detail) with
+      | Some thr, Some _ -> latency_ms > thr
+      | _ -> false
+    in
+    (match detail with
+    | Some (q, translated, counts, _) when slow ->
+      let thr = Option.get t.config.slow_ms in
       count t "server.slow_query";
-      audit_slow t ~session:job.jsession.sid ~peer:job.jsession.peer
+      audit_slow t ~rid ~session:job.jsession.sid ~peer:job.jsession.peer
         ~group:job.jgroup ~doc:(doc_label t q) ~query:q.text ?translated
-        ~latency_ms ~threshold_ms:thr ~stages ~counts ()
+        ~latency_ms ~threshold_ms:thr
+        ~stages:(Sobs.Tracer.stage_totals spans)
+        ~counts ()
     | _ -> ());
     log ~status ~results ?error ~latency_ms ();
+    (if Option.is_some t.recorder then
+       let digest, counts =
+         match detail with
+         | Some (_, _, counts, rendered) when error = None ->
+           (Some (Sobs.Capture.digest rendered), counts)
+         | Some (_, _, counts, _) -> (None, counts)
+         | None -> (None, [])
+       in
+       record_flight t job ~status ~results ?error ?digest ~latency_ms ~spans
+         ~counts ());
+    (match (t.capture, job.work, detail) with
+    | Some cap, Answer q, Some (_, _, _, rendered) when error = None ->
+      Sobs.Capture.write cap
+        {
+          Sobs.Capture.c_rid = rid;
+          c_group = job.jgroup;
+          c_doc = q.doc;
+          c_query = q.text;
+          c_bind = q.bind;
+          c_index = q.use_index;
+          c_engine = Pipeline.engine_label t.config.engine;
+          c_status = "ok";
+          c_results = results;
+          c_digest = Sobs.Capture.digest rendered;
+          c_latency_ms = latency_ms;
+        }
+    | _ -> ());
+    maybe_snapshot t ~status ~slow;
     (* keep a ~retain:false tracer's memory bounded: this thread's
        completed spans have served their purpose.  (The server's audit
        log must NOT itself hold this tracer — its drain would re-enter
@@ -372,7 +491,7 @@ let rec worker_loop t =
           queued request, so fill the cell and keep looping *)
        ignore
          (Deadline.fill job.cell
-            (Protocol.error_of
+            (Protocol.error_of ~rid:job.jrid
                (Secview.Error.Internal
                   ("internal error: " ^ Printexc.to_string exn))));
        count t "server.done.internal_error");
@@ -390,7 +509,7 @@ let write_all fd s =
 
 let send fd json = write_all fd (J.to_string json ^ "\n")
 
-let stats_json t =
+let stats_json t ~rid =
   let counters, latencies =
     Mutex.protect t.obs_lock (fun () ->
         let prefix = "server.latency_ms." in
@@ -410,7 +529,7 @@ let stats_json t =
         in
         (Sobs.Metrics.counters t.metrics, latencies))
   in
-  Protocol.ok
+  Protocol.ok ~rid
     [
       ("uptime_s", J.Float (Deadline.now () -. t.started));
       ("workers", J.Int t.config.workers);
@@ -475,7 +594,7 @@ let stats_json t =
    succeed (document resolves, query parses): errors must keep coming
    from the one [Protocol.error_of] mapping in the worker path.
    Returns [true] when the request was answered here. *)
-let admission_fast_path t sess fd group (q : Protocol.query) =
+let admission_fast_path t sess fd ~rid group (q : Protocol.query) =
   t.config.admission
   &&
   match resolve_document t q.doc with
@@ -488,25 +607,68 @@ let admission_fast_path t sess fd group (q : Protocol.query) =
       match Pipeline.classify t.pipeline ~group path with
       | Ok (Pipeline.Denied_empty witness) ->
         count t "server.admission.denied";
-        send fd (Protocol.ok [ ("results", J.List []); ("count", J.Int 0) ]);
-        audit_request t ~session:sess.sid ~peer:sess.peer ~group
+        send fd
+          (Protocol.ok ~rid [ ("results", J.List []); ("count", J.Int 0) ]);
+        let latency_ms = 1000. *. (Deadline.now () -. started) in
+        audit_request t ~rid ~session:sess.sid ~peer:sess.peer ~group
           ~doc:(doc_label t q) ~query:q.text ~status:"denied_empty"
-          ~results:0
-          ~latency_ms:(1000. *. (Deadline.now () -. started))
-          ~error:witness ();
+          ~results:0 ~latency_ms ~error:witness ();
+        (match t.recorder with
+        | Some r ->
+          Sobs.Recorder.record r
+            {
+              Sobs.Recorder.rid;
+              session = Some sess.sid;
+              peer = Some sess.peer;
+              group;
+              doc = Some (doc_label t q);
+              doc_version = doc_version t q;
+              query = q.text;
+              engine = Pipeline.engine_label t.config.engine;
+              admission = Some "denied";
+              status = "denied_empty";
+              error = Some witness;
+              results = 0;
+              digest = Some (Sobs.Capture.digest []);
+              latency_ms;
+              ts_ns = Sobs.Clock.monotonic ();
+              spans = [];
+              counts = [];
+            }
+        | None -> ());
+        (match t.capture with
+        | Some cap ->
+          (* a denied query replays to the same empty answer, so it
+             belongs in the workload: capture it as such *)
+          Sobs.Capture.write cap
+            {
+              Sobs.Capture.c_rid = rid;
+              c_group = group;
+              c_doc = q.doc;
+              c_query = q.text;
+              c_bind = q.bind;
+              c_index = q.use_index;
+              c_engine = Pipeline.engine_label t.config.engine;
+              c_status = "denied_empty";
+              c_results = 0;
+              c_digest = Sobs.Capture.digest [];
+              c_latency_ms = latency_ms;
+            }
+        | None -> ());
         true
       | Ok (Pipeline.Trivial | Pipeline.Needs_eval) | Error _ -> false
       | exception _ -> false))
 
-let submit t sess fd work =
+let submit t sess fd ~rid work =
   if draining t then
-    send fd (Protocol.error_of Secview.Error.Draining)
+    send fd (Protocol.error_of ~rid Secview.Error.Draining)
   else begin
     let submitted = Deadline.now () in
     let job =
       {
         jsession = sess;
         jgroup = (match sess.group with Some g -> g | None -> "-");
+        jrid = rid;
         work;
         submitted;
         deadline_at = Option.map (fun s -> submitted +. s) t.config.deadline;
@@ -516,14 +678,24 @@ let submit t sess fd work =
     match Bqueue.try_push t.queue job with
     | `Full ->
       count t "server.rejected.overloaded";
-      send fd
-        (Protocol.error_of
-           (Secview.Error.Overloaded
-              (Printf.sprintf "request queue is full (%d deep)"
-                 t.config.queue_capacity)))
+      let msg =
+        Printf.sprintf "request queue is full (%d deep)"
+          t.config.queue_capacity
+      in
+      send fd (Protocol.error_of ~rid (Secview.Error.Overloaded msg));
+      (* overload rejections are audited too: a shed request must stay
+         correlatable by rid, not vanish into a counter *)
+      (match work with
+      | Answer q | Explain_query q ->
+        audit_request t ~rid ~session:sess.sid ~peer:sess.peer
+          ~group:job.jgroup ~doc:(doc_label t q) ~query:q.text
+          ~status:"overloaded" ~results:0
+          ~latency_ms:(1000. *. (Deadline.now () -. submitted))
+          ~error:msg ()
+      | Nap _ -> ())
     | `Closed ->
       count t "server.rejected.draining";
-      send fd (Protocol.error_of Secview.Error.Draining)
+      send fd (Protocol.error_of ~rid Secview.Error.Draining)
     | `Ok -> (
       count t "server.accepted";
       match Deadline.await ?deadline_at:job.deadline_at job.cell with
@@ -531,11 +703,11 @@ let submit t sess fd work =
       | None ->
         let timed_out =
           Deadline.fill job.cell
-            (Protocol.error_of (Secview.Error.Timeout "deadline exceeded"))
+            (Protocol.error_of ~rid (Secview.Error.Timeout "deadline exceeded"))
         in
         if timed_out then count t "server.timeout";
         send fd
-          (Protocol.error_of
+          (Protocol.error_of ~rid
              (Secview.Error.Timeout
                 (Printf.sprintf "deadline of %gs exceeded"
                    (Option.value t.config.deadline ~default:0.)))))
@@ -544,85 +716,98 @@ let submit t sess fd work =
 let handle_line t sess fd line =
   match Protocol.request_of_line line with
   | Error msg ->
+    (* even a request that failed to parse gets a correlatable reply:
+       the client's rid when recoverable, a server-generated one
+       otherwise *)
+    let rid =
+      match Protocol.rid_of_line line with
+      | Some r -> r
+      | None -> next_rid sess
+    in
     count t "server.rejected.bad_request";
-    send fd (Protocol.error_of (Secview.Error.Bad_request msg))
-  | Ok (Hello { group; peer }) ->
-    if List.mem group (group_names t) then begin
-      sess.group <- Some group;
-      (match peer with Some p -> sess.peer <- p | None -> ());
-      count t "server.sessions";
-      send fd
-        (Protocol.ok
-           [ ("session", J.Int sess.sid); ("group", J.String group) ])
-    end
-    else begin
-      count t "server.rejected.unknown_group";
-      send fd
-        (Protocol.error_of
-           (Secview.Error.Unknown_group { group; known = group_names t }))
-    end
-  | Ok Ping -> send fd (Protocol.ok [ ("pong", J.Bool true) ])
-  | Ok Stats -> send fd (stats_json t)
-  | Ok Metrics -> send fd (metrics_reply t)
-  | Ok Shutdown ->
-    send fd (Protocol.ok [ ("draining", J.Bool true) ]);
-    request_drain t
-  | Ok (Sleep _) when not t.config.debug ->
-    send fd
-      (Protocol.error_of
-         (Secview.Error.Bad_request "sleep is only available on --debug servers"))
-  | Ok (Sleep s) -> submit t sess fd (Nap s)
-  | Ok (Query q) -> (
-    match sess.group with
-    | None ->
-      count t "server.rejected.no_session";
-      send fd (Protocol.error_of Secview.Error.No_session)
-    | Some group ->
-      if not (admission_fast_path t sess fd group q) then
-        submit t sess fd (Answer q))
-  | Ok (Analyze q) -> (
-    match sess.group with
-    | None ->
-      count t "server.rejected.no_session";
-      send fd (Protocol.error_of Secview.Error.No_session)
-    | Some group -> (
-      (* classification is schema-level and cached: answer on the
-         connection thread, like [stats] *)
-      match Sxpath.Parse.of_string_result q.text with
-      | Error e ->
+    send fd (Protocol.error_of ~rid (Secview.Error.Bad_request msg))
+  | Ok (req, crid) -> (
+    let rid = match crid with Some r -> r | None -> next_rid sess in
+    match req with
+    | Protocol.Hello { group; peer } ->
+      if List.mem group (group_names t) then begin
+        sess.group <- Some group;
+        (match peer with Some p -> sess.peer <- p | None -> ());
+        count t "server.sessions";
         send fd
-          (Protocol.error_of
-             (Secview.Error.Parse_error
-                {
-                  position = e.Sxpath.Parse.position;
-                  message = e.Sxpath.Parse.message;
-                }))
-      | Ok path -> (
-        match Pipeline.classify t.pipeline ~group path with
-        | Error e -> send fd (Protocol.error_of e)
-        | Ok verdict ->
-          count t "server.admission.analyze";
+          (Protocol.ok ~rid
+             [ ("session", J.Int sess.sid); ("group", J.String group) ])
+      end
+      else begin
+        count t "server.rejected.unknown_group";
+        send fd
+          (Protocol.error_of ~rid
+             (Secview.Error.Unknown_group { group; known = group_names t }))
+      end
+    | Protocol.Ping -> send fd (Protocol.ok ~rid [ ("pong", J.Bool true) ])
+    | Protocol.Stats -> send fd (stats_json t ~rid)
+    | Protocol.Metrics -> send fd (metrics_reply t ~rid)
+    | Protocol.Flight -> send fd (flight_reply t ~rid)
+    | Protocol.Shutdown ->
+      send fd (Protocol.ok ~rid [ ("draining", J.Bool true) ]);
+      request_drain t
+    | Protocol.Sleep _ when not t.config.debug ->
+      send fd
+        (Protocol.error_of ~rid
+           (Secview.Error.Bad_request
+              "sleep is only available on --debug servers"))
+    | Protocol.Sleep s -> submit t sess fd ~rid (Nap s)
+    | Protocol.Query q -> (
+      match sess.group with
+      | None ->
+        count t "server.rejected.no_session";
+        send fd (Protocol.error_of ~rid Secview.Error.No_session)
+      | Some group ->
+        if not (admission_fast_path t sess fd ~rid group q) then
+          submit t sess fd ~rid (Answer q))
+    | Protocol.Analyze q -> (
+      match sess.group with
+      | None ->
+        count t "server.rejected.no_session";
+        send fd (Protocol.error_of ~rid Secview.Error.No_session)
+      | Some group -> (
+        (* classification is schema-level and cached: answer on the
+           connection thread, like [stats] *)
+        match Sxpath.Parse.of_string_result q.text with
+        | Error e ->
           send fd
-            (Protocol.ok
-               [
-                 ("query", J.String q.text);
-                 ( "admission",
-                   J.String (Pipeline.admission_label verdict) );
-                 ( "witness",
-                   match verdict with
-                   | Pipeline.Denied_empty w -> J.String w
-                   | Pipeline.Trivial | Pipeline.Needs_eval -> J.Null );
-               ]))))
-  | Ok (Explain q) -> (
-    match sess.group with
-    | None ->
-      count t "server.rejected.no_session";
-      send fd (Protocol.error_of Secview.Error.No_session)
-    | Some _ -> submit t sess fd (Explain_query q))
+            (Protocol.error_of ~rid
+               (Secview.Error.Parse_error
+                  {
+                    position = e.Sxpath.Parse.position;
+                    message = e.Sxpath.Parse.message;
+                  }))
+        | Ok path -> (
+          match Pipeline.classify t.pipeline ~group path with
+          | Error e -> send fd (Protocol.error_of ~rid e)
+          | Ok verdict ->
+            count t "server.admission.analyze";
+            send fd
+              (Protocol.ok ~rid
+                 [
+                   ("query", J.String q.text);
+                   ( "admission",
+                     J.String (Pipeline.admission_label verdict) );
+                   ( "witness",
+                     match verdict with
+                     | Pipeline.Denied_empty w -> J.String w
+                     | Pipeline.Trivial | Pipeline.Needs_eval -> J.Null );
+                 ]))))
+    | Protocol.Explain q -> (
+      match sess.group with
+      | None ->
+        count t "server.rejected.no_session";
+        send fd (Protocol.error_of ~rid Secview.Error.No_session)
+      | Some _ -> submit t sess fd ~rid (Explain_query q)))
 
 let conn_loop t fd peer =
   let sess =
-    { sid = Atomic.fetch_and_add t.next_sid 1; group = None; peer }
+    { sid = Atomic.fetch_and_add t.next_sid 1; group = None; peer; rseq = 0 }
   in
   let buf = Buffer.create 512 in
   let chunk = Bytes.create 4096 in
@@ -816,5 +1001,6 @@ let serve t listeners =
   let conns = Mutex.protect t.conn_lock (fun () -> t.conns) in
   List.iter Thread.join conns;
   (match t.audit with Some log -> Sobs.Audit_log.close log | None -> ());
+  (match t.capture with Some cap -> Sobs.Capture.close cap | None -> ());
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   try Unix.close t.wake_w with Unix.Unix_error _ -> ()

@@ -34,13 +34,36 @@
     gauges — queue depth/capacity, live connections, busy workers,
     uptime, GC heap figures — are sampled at scrape time.
 
+    {b Request correlation.}  Every request carries a rid — the
+    client's ["rid"] field when supplied, a server-generated
+    [r<session>-<n>] otherwise — stamped into the reply (success and
+    error alike), every audit record ([request], [slow_query],
+    including [late]/[overloaded]/[denied_empty] outcomes), the
+    flight-recorder entry, and any capture record, so one request is
+    traceable across every surface.
+
     {b Slow queries.}  With [slow_ms = Some t] every answered query
     slower than [t] milliseconds (queue wait included) also writes a
     ["slow_query"] audit record carrying the translated query, the
     plan's per-operator work totals, and — when the server was
     created with a [tracer] — per-stage wall-clock totals attributed
-    to exactly that request (the worker thread watermarks the tracer
-    before running it).
+    to exactly that request (the worker runs it inside a synthetic
+    ["request"] root span; see {!Sobs.Tracer.with_request}).
+
+    {b Flight recorder.}  With [recorder] every completed
+    Answer/Explain job (and every fast-path denial) appends a full-
+    fidelity {!Sobs.Recorder.entry} — rid, principal, query, document
+    version, engine, span tree, operator counts, answer digest,
+    outcome — to the fixed-size ring; the session-less [flight] verb
+    dumps it, and with [flight_snapshot] the ring is written to that
+    file whenever a request ends in error/timeout/late or over the
+    slow threshold.
+
+    {b Capture.}  With [capture] every successfully answered query
+    (and every fast-path denial) appends one replayable
+    {!Sobs.Capture} JSONL record — rid, group, query, engine, answer
+    digest, latency — for [secview replay]; the sink is closed on
+    drain.
 
     {b Drain.}  [shutdown] (after replying) and SIGINT (via
     {!install_sigint}) both {!request_drain}: stop accepting, let
@@ -88,6 +111,9 @@ val create :
   ?audit:Sobs.Audit_log.t ->
   ?metrics:Sobs.Metrics.t ->
   ?tracer:Sobs.Tracer.t ->
+  ?recorder:Sobs.Recorder.t ->
+  ?flight_snapshot:string ->
+  ?capture:Sobs.Capture.t ->
   Secview.Pipeline.t ->
   t
 (** The catalog is the pipeline's ({!Secview.Pipeline.catalog}):
@@ -99,7 +125,11 @@ val create :
     serialize on one mutex — create it with [~retain:false] so span
     memory stays bounded, and do {e not} also attach it to [audit]
     (the log's own drain would re-enter the shared lock; stage
-    timings reach the log through slow-query records instead). *)
+    timings reach the log through slow-query records instead).
+    [recorder] enables the flight ring and the [flight] verb (per-
+    request spans additionally require [tracer]); [flight_snapshot]
+    is the auto-snapshot file (only meaningful with [recorder]);
+    [capture] streams the answered workload as replayable JSONL. *)
 
 val serve : t -> listener list -> unit
 (** Bind the listeners and block until a drain completes.  Call from

@@ -19,16 +19,16 @@ qualifier variables bound per request:
 Querying without a session is refused, and the client reports it:
 
   $ secview client --socket ./sv.sock '//patient/name'
-  secview: query "//patient/name" failed: {"ok":false,"v":1,"code":"no_session","error":"no session: send {\"cmd\":\"hello\",\"group\":…} first"}
+  secview: query "//patient/name" failed: {"ok":false,"v":1,"rid":"r3-1","code":"no_session","error":"no session: send {\"cmd\":\"hello\",\"group\":…} first"}
   [1]
 
 Protocol errors are structured replies, never hangups (--send ships a
 raw line and echoes the raw reply):
 
   $ secview client --socket ./sv.sock --send 'not json'
-  {"ok":false,"v":1,"code":"bad_request","error":"invalid JSON: at offset 0: expected null"}
+  {"ok":false,"v":1,"rid":"r4-1","code":"bad_request","error":"invalid JSON: at offset 0: expected null"}
   $ secview client --socket ./sv.sock --send '{"cmd":"hello","group":"nosuch"}'
-  {"ok":false,"v":1,"code":"unknown_group","error":"unknown group \"nosuch\" (have: user)"}
+  {"ok":false,"v":1,"rid":"r5-1","code":"unknown_group","error":"unknown group \"nosuch\" (have: user)"}
 
 Graceful drain: shutdown is acknowledged, the server finishes and
 exits 0, the socket is removed, and the audit log holds exactly one
@@ -65,8 +65,8 @@ for byte:
   $ secview client --socket ./sv2.sock \
   >   --send '{"cmd":"hello","group":"user"}' \
   >   --send '{"cmd":"query","query":"//test"}'
-  {"ok":true,"v":1,"session":2,"group":"user"}
-  {"ok":true,"v":1,"results":[],"count":0}
+  {"ok":true,"v":1,"rid":"r2-1","session":2,"group":"user"}
+  {"ok":true,"v":1,"rid":"r2-2","results":[],"count":0}
 
 The analyze verb returns the verdict (and witness) over the wire:
 
@@ -74,9 +74,9 @@ The analyze verb returns the verdict (and witness) over the wire:
   >   --send '{"cmd":"hello","group":"user"}' \
   >   --send '{"cmd":"analyze","query":"//clinicalTrial"}' \
   >   --send '{"cmd":"analyze","query":"//patient/name"}'
-  {"ok":true,"v":1,"session":3,"group":"user"}
-  {"ok":true,"v":1,"query":"//clinicalTrial","admission":"denied","witness":"step clinicalTrial: clinicalTrial is not an element type of the DTD"}
-  {"ok":true,"v":1,"query":"//patient/name","admission":"eval","witness":null}
+  {"ok":true,"v":1,"rid":"r3-1","session":3,"group":"user"}
+  {"ok":true,"v":1,"rid":"r3-2","query":"//clinicalTrial","admission":"denied","witness":"step clinicalTrial: clinicalTrial is not an element type of the DTD"}
+  {"ok":true,"v":1,"rid":"r3-3","query":"//patient/name","admission":"eval","witness":null}
 
 The stats command counts fast-path denials and per-group verdicts:
 
@@ -93,6 +93,36 @@ The stats command counts fast-path denials and per-group verdicts:
   2 "status":"denied_empty"
   1 "status":"ok"
 
+Flight recorder and capture/replay: --flight N retains the last N
+completed requests in memory (the session-less flight verb dumps
+them, correlated by the same rid the replies carried), and --capture
+writes one replayable JSONL record per answered query:
+
+  $ secview serve --dtd hospital.dtd --spec nurse.spec \
+  >   --doc ward=ward.xml --socket ./sv4.sock --flight 8 \
+  >   --capture cap.jsonl 2>serve4.log &
+  $ secview client --socket ./sv4.sock --wait 5 --group user \
+  >   --bind wardNo=6 '//patient/name' >/dev/null
+  $ secview flight --socket ./sv4.sock | sed -E 's/ +[0-9.]+ ms/ _ ms/'
+  flight recorder: 1/8 entries, 1 recorded
+  r1-2       user       ok              2 _ ms  //patient/name
+
+Replaying the captured workload against the live server re-sends the
+captured rids and byte-compares every answer against its captured
+digest (exit 1 on any mismatch):
+
+  $ secview replay cap.jsonl --socket ./sv4.sock | head -1
+  replayed 1 record(s) from cap.jsonl — 0 mismatch(es)
+  $ secview client --socket ./sv4.sock --shutdown
+  $ wait
+
+The capture is versioned JSONL; the replayed request landed in it
+under the same rid as the original:
+
+  $ sed -E 's/"latency_ms":[0-9.e+-]+/"latency_ms":_/' cap.jsonl
+  {"v":1,"rid":"r1-2","group":"user","doc":null,"query":"//patient/name","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":2,"digest":"24a76603fbb22b9e66dfb6c82c858e49","latency_ms":_}
+  {"v":1,"rid":"r1-2","group":"user","doc":null,"query":"//patient/name","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":2,"digest":"24a76603fbb22b9e66dfb6c82c858e49","latency_ms":_}
+
 With --no-admission the same denied query takes the worker path and
 produces the identical reply:
 
@@ -101,7 +131,7 @@ produces the identical reply:
   $ secview client --socket ./sv3.sock --wait 5 \
   >   --send '{"cmd":"hello","group":"user"}' \
   >   --send '{"cmd":"query","query":"//test"}'
-  {"ok":true,"v":1,"session":1,"group":"user"}
-  {"ok":true,"v":1,"results":[],"count":0}
+  {"ok":true,"v":1,"rid":"r1-1","session":1,"group":"user"}
+  {"ok":true,"v":1,"rid":"r1-2","results":[],"count":0}
   $ secview client --socket ./sv3.sock --shutdown
   $ wait

@@ -268,6 +268,204 @@ let test_pipeline_stats () =
   Alcotest.(check (pair int int)) "billing plan counters" (0, 1)
     (billing.plan_hits, billing.plan_misses)
 
+(* --- request spans --------------------------------------------------- *)
+
+let test_with_request_hierarchy () =
+  let tracer = Tracer.create ~clock:(Clock.fake ()) () in
+  let r, spans =
+    with_probe tracer (fun () ->
+        Tracer.with_request tracer (fun () ->
+            Trace.span "outer" (fun () ->
+                ignore (Trace.span "inner" (fun () -> ()));
+                42)))
+  in
+  Alcotest.(check int) "result carried through" 42 r;
+  Alcotest.(check (list string))
+    "root plus descendants, by seq" [ "request"; "outer"; "inner" ]
+    (List.map (fun s -> s.Tracer.name) spans);
+  (match spans with
+  | [ root; outer; inner ] ->
+    Alcotest.(check (option int)) "root has no parent" None root.Tracer.parent;
+    Alcotest.(check (option int)) "outer's parent is the root"
+      (Some root.Tracer.seq) outer.Tracer.parent;
+    Alcotest.(check (option int)) "inner's parent is outer"
+      (Some outer.Tracer.seq) inner.Tracer.parent;
+    Alcotest.(check bool) "one trace id for the whole request" true
+      (root.Tracer.trace_id = outer.Tracer.trace_id
+      && outer.Tracer.trace_id = inner.Tracer.trace_id)
+  | _ -> Alcotest.fail "expected exactly three spans");
+  (* non-destructive: the drain watermark did not move, so the audit
+     log still gets every span *)
+  Alcotest.(check int) "drain_new still sees all spans" 3
+    (List.length (Tracer.drain_new tracer))
+
+let test_with_request_isolates_traces () =
+  let tracer = Tracer.create ~clock:(Clock.fake ()) () in
+  with_probe tracer (fun () ->
+      let (), first =
+        Tracer.with_request tracer (fun () ->
+            ignore (Trace.span "a" (fun () -> ())))
+      in
+      let (), second =
+        Tracer.with_request tracer (fun () ->
+            ignore (Trace.span "b" (fun () -> ())))
+      in
+      Alcotest.(check (list string)) "first request's spans only"
+        [ "request"; "a" ]
+        (List.map (fun s -> s.Tracer.name) first);
+      Alcotest.(check (list string)) "second request's spans only"
+        [ "request"; "b" ]
+        (List.map (fun s -> s.Tracer.name) second);
+      match (first, second) with
+      | r1 :: _, r2 :: _ ->
+        Alcotest.(check bool) "distinct trace ids" true
+          (r1.Tracer.trace_id <> r2.Tracer.trace_id)
+      | _ -> Alcotest.fail "missing root spans")
+
+(* --- flight recorder -------------------------------------------------- *)
+
+let flight_entry ~rid ?(status = "ok") () =
+  {
+    Sobs.Recorder.rid;
+    session = Some 1;
+    peer = Some "tests";
+    group = "user";
+    doc = Some "d1";
+    doc_version = Some 1;
+    query = "//a";
+    engine = "plan";
+    admission = None;
+    status;
+    error = None;
+    results = 2;
+    digest = Some (Sobs.Capture.digest [ "<a/>"; "<a/>" ]);
+    latency_ms = 0.5;
+    ts_ns = 0L;
+    spans = [];
+    counts = [ ("rows", 2) ];
+  }
+
+let test_recorder_ring () =
+  (match Sobs.Recorder.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be refused");
+  let r = Sobs.Recorder.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Sobs.Recorder.capacity r);
+  Sobs.Recorder.record r (flight_entry ~rid:"a" ());
+  Sobs.Recorder.record r (flight_entry ~rid:"b" ());
+  Sobs.Recorder.record r (flight_entry ~rid:"c" ());
+  Alcotest.(check int) "length caps at capacity" 2 (Sobs.Recorder.length r);
+  Alcotest.(check int) "total keeps counting" 3 (Sobs.Recorder.total r);
+  Alcotest.(check (list string)) "oldest evicted, oldest-first order"
+    [ "b"; "c" ]
+    (List.map (fun e -> e.Sobs.Recorder.rid) (Sobs.Recorder.entries r));
+  let j = Sobs.Recorder.to_json r in
+  Alcotest.(check (option int)) "flight field" (Some 2)
+    (Option.bind (Json.member "flight" j) Json.to_int_opt);
+  Alcotest.(check (option int)) "total field" (Some 3)
+    (Option.bind (Json.member "total" j) Json.to_int_opt);
+  Sobs.Recorder.clear r;
+  Alcotest.(check int) "clear empties the ring" 0 (Sobs.Recorder.length r);
+  Alcotest.(check int) "clear keeps the total" 3 (Sobs.Recorder.total r)
+
+let test_recorder_hook () =
+  let r = Sobs.Recorder.create ~capacity:4 in
+  Alcotest.(check bool) "disabled by default" false (Sobs.Recorder.enabled ());
+  Sobs.Recorder.note (flight_entry ~rid:"dropped" ());
+  Sobs.Recorder.set r;
+  Fun.protect ~finally:Sobs.Recorder.unset (fun () ->
+      Alcotest.(check bool) "enabled once hooked" true
+        (Sobs.Recorder.enabled ());
+      Sobs.Recorder.note (flight_entry ~rid:"kept" ());
+      Alcotest.(check (list string)) "only the hooked note landed" [ "kept" ]
+        (List.map (fun e -> e.Sobs.Recorder.rid) (Sobs.Recorder.entries r)));
+  Alcotest.(check bool) "disabled after unset" false (Sobs.Recorder.enabled ())
+
+let test_recorder_disabled_no_allocation () =
+  Sobs.Recorder.unset ();
+  Alcotest.(check bool) "disabled" false (Sobs.Recorder.enabled ());
+  ignore (Sobs.Recorder.enabled ());
+  let n = 100_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    (* the callers' discipline: the entry is only built behind the
+       guard, so a disabled recorder costs one ref read per request *)
+    if Sobs.Recorder.enabled () then
+      Sobs.Recorder.note (flight_entry ~rid:"hot" ())
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation-free when disabled (delta %.0f words for %d \
+                     calls)"
+       (w1 -. w0) n)
+    true
+    (w1 -. w0 < 128.)
+
+(* --- capture / replay records ----------------------------------------- *)
+
+let capture_record ~rid =
+  {
+    Sobs.Capture.c_rid = rid;
+    c_group = "user";
+    c_doc = Some "d1";
+    c_query = "//a";
+    c_bind = [ ("x", "1") ];
+    c_index = true;
+    c_engine = "plan";
+    c_status = "ok";
+    c_results = 2;
+    c_digest = Sobs.Capture.digest [ "<a/>"; "<a/>" ];
+    c_latency_ms = 1.25;
+  }
+
+let test_capture_digest () =
+  Alcotest.(check string) "empty answer"
+    (Digest.to_hex (Digest.string ""))
+    (Sobs.Capture.digest []);
+  Alcotest.(check string) "lines joined with newline"
+    (Digest.to_hex (Digest.string "a\nb"))
+    (Sobs.Capture.digest [ "a"; "b" ])
+
+let test_capture_roundtrip () =
+  let r = capture_record ~rid:"q1" in
+  (match Sobs.Capture.of_json (Sobs.Capture.to_json r) with
+  | Ok r' -> Alcotest.(check bool) "json round trip" true (r = r')
+  | Error e -> Alcotest.failf "of_json failed: %s" e);
+  (* the version field leads, so readers reject foreign formats cheaply *)
+  check_contains "record json"
+    (Json.to_string (Sobs.Capture.to_json r))
+    "{\"v\":1,";
+  (match Sobs.Capture.of_json (Json.Obj [ ("v", Json.Int 99) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "future schema version accepted");
+  let path = Filename.temp_file "secview-capture" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let w = Sobs.Capture.open_file path in
+      Sobs.Capture.write w (capture_record ~rid:"q1");
+      Sobs.Capture.write w (capture_record ~rid:"q2");
+      Sobs.Capture.close w;
+      match Sobs.Capture.read_file path with
+      | Ok [ a; b ] ->
+        Alcotest.(check string) "first rid" "q1" a.Sobs.Capture.c_rid;
+        Alcotest.(check string) "second rid" "q2" b.Sobs.Capture.c_rid
+      | Ok rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
+      | Error e -> Alcotest.failf "read_file failed: %s" e)
+
+let test_capture_read_errors () =
+  let path = Filename.temp_file "secview-capture" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"v\":1,\"rid\":\"ok\",\"group\":\"g\",\"query\":\"//a\",\"digest\":\"d\"}\nnot json\n";
+      close_out oc;
+      match Sobs.Capture.read_file path with
+      | Error e ->
+        check_contains "error names the line" e ":2:"
+      | Ok _ -> Alcotest.fail "malformed line accepted")
+
 (* --- the zero-overhead default -------------------------------------- *)
 
 let forty_two () = 42 (* non-capturing: statically allocated closure *)
@@ -333,6 +531,27 @@ let () =
           Alcotest.test_case "height memo" `Quick
             test_height_memo_invalidation_and_override;
           Alcotest.test_case "aggregate stats" `Quick test_pipeline_stats;
+        ] );
+      ( "request spans",
+        [
+          Alcotest.test_case "hierarchy under a synthetic root" `Quick
+            test_with_request_hierarchy;
+          Alcotest.test_case "traces stay separate" `Quick
+            test_with_request_isolates_traces;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring semantics" `Quick test_recorder_ring;
+          Alcotest.test_case "global hook" `Quick test_recorder_hook;
+          Alcotest.test_case "disabled recorder allocates nothing" `Quick
+            test_recorder_disabled_no_allocation;
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "digest" `Quick test_capture_digest;
+          Alcotest.test_case "jsonl round trip" `Quick test_capture_roundtrip;
+          Alcotest.test_case "read errors carry file:line" `Quick
+            test_capture_read_errors;
         ] );
       ( "overhead",
         [

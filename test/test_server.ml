@@ -53,7 +53,7 @@ let test_json_errors () =
 let test_protocol_roundtrip () =
   (match Protocol.request_of_line (J.to_string (Protocol.hello ~peer:"p" "g"))
    with
-  | Ok (Protocol.Hello { group = "g"; peer = Some "p" }) -> ()
+  | Ok (Protocol.Hello { group = "g"; peer = Some "p" }, None) -> ()
   | _ -> Alcotest.fail "hello did not round trip");
   (match
      Protocol.request_of_line
@@ -61,16 +61,38 @@ let test_protocol_roundtrip () =
           (Protocol.query_json ~doc:"d" ~bind:[ ("x", "1") ] ~use_index:true
              "//a"))
    with
-  | Ok (Protocol.Query { doc = Some "d"; text = "//a"; bind = [ ("x", "1") ];
-                         use_index = true }) -> ()
+  | Ok
+      ( Protocol.Query
+          { doc = Some "d"; text = "//a"; bind = [ ("x", "1") ];
+            use_index = true },
+        None ) -> ()
   | _ -> Alcotest.fail "query did not round trip");
   List.iter
     (fun (cmd, want) ->
       match Protocol.request_of_line (J.to_string (Protocol.simple cmd)) with
-      | Ok got when got = want -> ()
+      | Ok (got, None) when got = want -> ()
       | _ -> Alcotest.failf "%s did not round trip" cmd)
     [ ("stats", Protocol.Stats); ("ping", Protocol.Ping);
-      ("shutdown", Protocol.Shutdown) ]
+      ("shutdown", Protocol.Shutdown); ("flight", Protocol.Flight) ]
+
+let test_protocol_rid () =
+  (* a client-chosen rid rides along with any command... *)
+  (match
+     Protocol.request_of_line
+       (J.to_string (Protocol.query_json ~rid:"req-7" "//a"))
+   with
+  | Ok (Protocol.Query { text = "//a"; _ }, Some "req-7") -> ()
+  | _ -> Alcotest.fail "query rid did not round trip");
+  (match Protocol.request_of_line "{\"cmd\":\"ping\",\"rid\":\"p9\"}" with
+  | Ok (Protocol.Ping, Some "p9") -> ()
+  | _ -> Alcotest.fail "ping rid did not round trip");
+  (* ...and is recoverable even from a line that is not a command *)
+  Alcotest.(check (option string))
+    "rid_of_line on a broken command" (Some "x1")
+    (Protocol.rid_of_line "{\"cmd\":\"frob\",\"rid\":\"x1\"}");
+  Alcotest.(check (option string))
+    "rid_of_line on junk" None
+    (Protocol.rid_of_line "not json")
 
 let test_protocol_rejects () =
   let bad =
@@ -84,6 +106,7 @@ let test_protocol_rejects () =
       "{\"cmd\":\"query\",\"query\":\"//a\",\"bind\":[1]}";
       "{\"cmd\":\"query\",\"query\":\"//a\",\"index\":\"yes\"}";
       "{\"cmd\":\"sleep\",\"ms\":-5}";
+      "{\"cmd\":\"ping\",\"rid\":7}";
     ]
   in
   List.iter
@@ -140,6 +163,84 @@ let test_bqueue_threads () =
   List.iter Thread.join consumers;
   Alcotest.(check int) "all items popped" !pushed (Atomic.get popped)
 
+let test_bqueue_close_wakes_empty_pop () =
+  (* consumers blocked on an EMPTY queue must all wake with None when
+     the queue closes — the drain path's liveness guarantee *)
+  let q = Bqueue.create ~capacity:2 in
+  let woke = Atomic.make 0 in
+  let consumers =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            match Bqueue.pop q with
+            | None -> Atomic.incr woke
+            | Some _ -> ())
+          ())
+  in
+  Thread.delay 0.05;
+  (* all four are parked in pop *)
+  Bqueue.close q;
+  List.iter Thread.join consumers;
+  Alcotest.(check int) "every blocked consumer woke with None" 4
+    (Atomic.get woke);
+  Alcotest.(check bool) "is_closed" true (Bqueue.is_closed q)
+
+let test_bqueue_close_race () =
+  (* producers hammering try_push while close lands concurrently:
+     every `Ok item must still come out of pop, and nothing after the
+     close is lost half-way *)
+  for _ = 1 to 20 do
+    let q = Bqueue.create ~capacity:4 in
+    let admitted = Atomic.make 0 in
+    let producers =
+      List.init 4 (fun _ ->
+          Thread.create
+            (fun () ->
+              let rec go n =
+                if n = 0 then ()
+                else
+                  match Bqueue.try_push q n with
+                  | `Ok ->
+                    Atomic.incr admitted;
+                    go (n - 1)
+                  | `Full ->
+                    Thread.yield ();
+                    go n
+                  | `Closed -> ()
+              in
+              go 50)
+            ())
+    in
+    let drained = Atomic.make 0 in
+    let consumer =
+      Thread.create
+        (fun () ->
+          let rec go () =
+            match Bqueue.pop q with
+            | Some _ ->
+              Atomic.incr drained;
+              go ()
+            | None -> ()
+          in
+          go ())
+        ()
+    in
+    Thread.yield ();
+    Bqueue.close q;
+    List.iter Thread.join producers;
+    Thread.join consumer;
+    Alcotest.(check int) "admitted = drained under close race"
+      (Atomic.get admitted) (Atomic.get drained)
+  done
+
+let test_bqueue_capacity_clamp () =
+  (* capacity is clamped to at least 1, so a misconfigured server
+     still admits one request at a time instead of livelocking *)
+  let q = Bqueue.create ~capacity:0 in
+  Alcotest.(check bool) "one slot" true (Bqueue.try_push q 1 = `Ok);
+  Alcotest.(check bool) "then full" true (Bqueue.try_push q 2 = `Full);
+  Alcotest.(check (option int)) "delivered" (Some 1) (Bqueue.pop q)
+
 (* ---- deadlines ------------------------------------------------------ *)
 
 let test_deadline_cell () =
@@ -167,6 +268,48 @@ let test_deadline_run () =
   match Deadline.run ~seconds:1. (fun () -> failwith "boom") with
   | exception Failure msg when msg = "boom" -> ()
   | _ -> Alcotest.fail "exceptions should re-raise"
+
+let test_deadline_edges () =
+  (* a deadline already in the past: an empty cell answers None
+     without blocking... *)
+  let empty = Deadline.cell () in
+  let t0 = Deadline.now () in
+  Alcotest.(check (option int))
+    "past deadline, empty cell" None
+    (Deadline.await ~deadline_at:(Deadline.now () -. 1.) empty);
+  Alcotest.(check bool) "and does not block" true (Deadline.now () -. t0 < 0.2);
+  (* ...but a FILLED cell still delivers its value, even past the
+     deadline — the server's "late result still lands" accounting
+     depends on fill winning over the clock *)
+  let filled = Deadline.cell () in
+  ignore (Deadline.fill filled 9);
+  Alcotest.(check (option int))
+    "past deadline, filled cell" (Some 9)
+    (Deadline.await ~deadline_at:(Deadline.now () -. 1.) filled);
+  (* a fill after a timed-out await is the "late" case: it must still
+     win the cell (first fill) and be visible to peek *)
+  Alcotest.(check bool) "late fill wins" true (Deadline.fill empty 5);
+  Alcotest.(check (option int)) "late value lands" (Some 5)
+    (Deadline.peek empty)
+
+let test_deadline_fill_race () =
+  (* many racing fillers: exactly one wins, and every awaiter sees the
+     winner's value *)
+  for _ = 1 to 10 do
+    let c = Deadline.cell () in
+    let wins = Atomic.make 0 in
+    let fillers =
+      List.init 8 (fun i ->
+          Thread.create
+            (fun () -> if Deadline.fill c i then Atomic.incr wins)
+            ())
+    in
+    List.iter Thread.join fillers;
+    Alcotest.(check int) "exactly one fill wins" 1 (Atomic.get wins);
+    match (Deadline.peek c, Deadline.await c) with
+    | Some p, Some a -> Alcotest.(check int) "peek = await" p a
+    | _ -> Alcotest.fail "winner's value must be visible"
+  done
 
 (* ---- catalog -------------------------------------------------------- *)
 
@@ -339,12 +482,12 @@ let check_code what want j =
   if reply_ok j then Alcotest.failf "%s unexpectedly succeeded" what;
   Alcotest.(check (option string)) what (Some want) (reply_code j)
 
-let with_server ?config ?audit ~docs () k =
+let with_server ?config ?audit ?recorder ~docs () k =
   let dtd = Workload.Adex.dtd in
   let catalog = Catalog.create () in
   List.iter (fun (n, d) -> ignore (Catalog.add catalog ~name:n d)) docs;
   let pipe = Pipeline.create ~catalog dtd ~groups:(adex_groups ()) in
-  let server = Server.create ?config ?audit pipe in
+  let server = Server.create ?config ?audit ?recorder pipe in
   let path = Filename.temp_file "secview-test" ".sock" in
   Sys.remove path;
   let th =
@@ -443,6 +586,50 @@ let test_server_timeout () =
   check_code "deadline exceeded" Protocol.timeout (recv ic);
   Unix.close fd
 
+let test_server_rid_and_flight () =
+  let doc = List.hd (adex_docs ()) in
+  let recorder = Sobs.Recorder.create ~capacity:8 in
+  with_server ~recorder ~docs:[ ("d1", doc) ] () @@ fun _server path ->
+  let fd, ic = connect path in
+  let rid_of j = Option.bind (J.member "rid" j) J.to_string_opt in
+  (* a server-generated rid on every reply, r<session>-<n> shaped *)
+  send fd (Protocol.simple "ping");
+  (match rid_of (recv ic) with
+  | Some r when String.length r > 1 && r.[0] = 'r' -> ()
+  | other ->
+    Alcotest.failf "expected a generated rid, got %s"
+      (Option.value ~default:"<none>" other));
+  (* the client's rid wins and is echoed verbatim, on success... *)
+  send_raw fd "{\"cmd\":\"ping\",\"rid\":\"mine-1\"}";
+  Alcotest.(check (option string)) "client rid echoed" (Some "mine-1")
+    (rid_of (recv ic));
+  (* ...and on error replies, even for lines that are not commands *)
+  send_raw fd "{\"cmd\":\"frob\",\"rid\":\"mine-2\"}";
+  let j = recv ic in
+  Alcotest.(check bool) "frob refused" false (reply_ok j);
+  Alcotest.(check (option string)) "rid on error reply" (Some "mine-2")
+    (rid_of j);
+  (* the flight recorder retains the answered query in full fidelity,
+     keyed by the same rid the reply carried *)
+  send fd (Protocol.hello ~peer:"tests" "re");
+  Alcotest.(check bool) "hello" true (reply_ok (recv ic));
+  send fd (Protocol.query_json ~rid:"fq-1" ~doc:"d1" "//house");
+  Alcotest.(check bool) "query ok" true (reply_ok (recv ic));
+  send fd (Protocol.simple "flight");
+  let j = recv ic in
+  Alcotest.(check bool) "flight ok" true (reply_ok j);
+  (match J.member "entries" j with
+  | Some (J.List es) ->
+    Alcotest.(check bool) "recorder holds the query under its rid" true
+      (List.exists
+         (fun e ->
+           rid_of e = Some "fq-1"
+           && Option.is_some
+                (Option.bind (J.member "digest" e) J.to_string_opt))
+         es)
+  | _ -> Alcotest.fail "flight reply has no entries");
+  Unix.close fd
+
 let check_audit buf queries =
   let lines =
     List.filter
@@ -470,7 +657,9 @@ let check_audit buf queries =
         (Option.bind (J.member "peer" j) J.to_string_opt);
       Alcotest.(check (option string))
         "status ok" (Some "ok")
-        (Option.bind (J.member "status" j) J.to_string_opt))
+        (Option.bind (J.member "status" j) J.to_string_opt);
+      Alcotest.(check bool) "rid stamped" true
+        (Option.is_some (Option.bind (J.member "rid" j) J.to_string_opt)))
     requests
 
 let test_server_drain_audit () =
@@ -505,6 +694,7 @@ let () =
       ( "protocol",
         [
           Alcotest.test_case "round trips" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "request ids" `Quick test_protocol_rid;
           Alcotest.test_case "rejects bad requests" `Quick
             test_protocol_rejects;
         ] );
@@ -513,11 +703,19 @@ let () =
           Alcotest.test_case "bounded fifo" `Quick test_bqueue;
           Alcotest.test_case "concurrent producers/consumers" `Quick
             test_bqueue_threads;
+          Alcotest.test_case "close wakes empty pop" `Quick
+            test_bqueue_close_wakes_empty_pop;
+          Alcotest.test_case "close races producers" `Quick
+            test_bqueue_close_race;
+          Alcotest.test_case "capacity clamp" `Quick test_bqueue_capacity_clamp;
         ] );
       ( "deadline",
         [
           Alcotest.test_case "first fill wins" `Quick test_deadline_cell;
           Alcotest.test_case "run with timeout" `Quick test_deadline_run;
+          Alcotest.test_case "past deadlines and late fills" `Quick
+            test_deadline_edges;
+          Alcotest.test_case "racing fills" `Quick test_deadline_fill_race;
         ] );
       ( "catalog",
         [
@@ -534,6 +732,8 @@ let () =
       ( "server",
         [
           Alcotest.test_case "round trips" `Quick test_server_roundtrips;
+          Alcotest.test_case "request ids and flight" `Quick
+            test_server_rid_and_flight;
           Alcotest.test_case "overload" `Quick test_server_overload;
           Alcotest.test_case "deadline" `Quick test_server_timeout;
           Alcotest.test_case "drain flushes audit" `Quick

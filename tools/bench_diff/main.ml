@@ -1,0 +1,215 @@
+(* bench_diff: compare two bench / replay reports and fail CI on a
+   latency regression.
+
+   Both inputs are JSON files (BENCH_*.json from `secview bench`, or
+   the report `secview replay --out` writes).  The tool flattens each
+   to its percentile leaves — numeric fields named `median`, `p50*`
+   or `p95*`, anywhere in the structure — and compares leaves present
+   in both by path.  A leaf regresses when the candidate is both
+   `--threshold` percent above the baseline AND more than
+   `--floor` milliseconds above it (the absolute floor keeps
+   microsecond-scale noise from failing builds).
+
+   Exit status: 0 when no leaf regresses, 1 on any regression, 2 on
+   usage or parse errors. *)
+
+module J = Sobs.Json
+
+let interesting key =
+  let has_prefix p =
+    String.length key >= String.length p && String.sub key 0 (String.length p) = p
+  in
+  key = "median" || has_prefix "p50" || has_prefix "p95"
+
+(* Label a list element by its identifying fields when it has any
+   (bench cells carry "groups"/"label", replay cells "group"/"query"),
+   so paths stay stable when a run adds or reorders cells. *)
+let label_of = function
+  | J.Obj fields ->
+    let s k =
+      match List.assoc_opt k fields with
+      | Some (J.String v) -> Some (k ^ "=" ^ v)
+      | Some (J.Int v) -> Some (k ^ "=" ^ string_of_int v)
+      | _ -> None
+    in
+    let parts = List.filter_map s [ "label"; "group"; "groups"; "query"; "doc" ] in
+    if parts = [] then None else Some (String.concat "," parts)
+  | _ -> None
+
+let rec flatten path acc j =
+  match j with
+  | J.Obj fields ->
+    List.fold_left
+      (fun acc (k, v) ->
+        let p = if path = "" then k else path ^ "." ^ k in
+        match v with
+        | J.Int n when interesting k -> (p, float_of_int n) :: acc
+        | J.Float f when interesting k -> (p, f) :: acc
+        | _ -> flatten p acc v)
+      acc fields
+  | J.List items ->
+    let _, acc =
+      List.fold_left
+        (fun (i, acc) item ->
+          let seg =
+            match label_of item with
+            | Some l -> Printf.sprintf "[%s]" l
+            | None -> Printf.sprintf "[%d]" i
+          in
+          (i + 1, flatten (path ^ seg) acc item))
+        (0, acc) items
+    in
+    acc
+  | _ -> acc
+
+let leaves j = List.rev (flatten "" [] j)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      match J.of_string (String.trim s) with
+      | Ok j -> j
+      | Error e ->
+        Printf.eprintf "bench_diff: %s: %s\n" path e;
+        exit 2)
+
+type verdict = Ok_leaf | Improved | Regressed
+
+let compare_reports ~threshold ~floor base cand =
+  let bl = leaves base and cl = leaves cand in
+  let rows =
+    List.filter_map
+      (fun (path, b) ->
+        match List.assoc_opt path cl with
+        | None -> None
+        | Some c ->
+          let verdict =
+            if c > b *. (1. +. (threshold /. 100.)) && c -. b > floor then
+              Regressed
+            else if b > c *. (1. +. (threshold /. 100.)) && b -. c > floor
+            then Improved
+            else Ok_leaf
+          in
+          Some (path, b, c, verdict))
+      bl
+  in
+  let only_base =
+    List.filter (fun (p, _) -> not (List.mem_assoc p cl)) bl
+  in
+  let only_cand =
+    List.filter (fun (p, _) -> not (List.mem_assoc p bl)) cl
+  in
+  (rows, List.length only_base, List.length only_cand)
+
+let run ~threshold ~floor ~quiet a b =
+  let rows, only_a, only_b =
+    compare_reports ~threshold ~floor (load a) (load b)
+  in
+  if rows = [] then begin
+    Printf.eprintf
+      "bench_diff: no comparable percentile leaves between %s and %s\n" a b;
+    exit 2
+  end;
+  let regressions =
+    List.filter (fun (_, _, _, v) -> v = Regressed) rows
+  in
+  if not quiet then begin
+    Printf.printf "bench_diff: %s -> %s (threshold +%g%%, floor %gms)\n" a b
+      threshold floor;
+    List.iter
+      (fun (path, bv, cv, verdict) ->
+        let tag =
+          match verdict with
+          | Regressed -> "REGRESS"
+          | Improved -> "better "
+          | Ok_leaf -> "ok     "
+        in
+        let pct =
+          if bv = 0. then 0. else (cv -. bv) /. bv *. 100.
+        in
+        Printf.printf "  %s %-50s %10.3f -> %10.3f  (%+.1f%%)\n" tag path bv
+          cv pct)
+      rows;
+    if only_a > 0 then
+      Printf.printf "  (%d leaves only in %s)\n" only_a a;
+    if only_b > 0 then
+      Printf.printf "  (%d leaves only in %s)\n" only_b b;
+    Printf.printf "bench_diff: %d leaf(s) compared, %d regression(s)\n"
+      (List.length rows)
+      (List.length regressions)
+  end;
+  if regressions <> [] then exit 1
+
+let self_test () =
+  let parse s =
+    match J.of_string s with Ok j -> j | Error e -> failwith e
+  in
+  let base =
+    parse
+      "{\"bench\":\"t\",\"cells\":[{\"group\":\"user\",\"query\":\"//a\",\
+       \"replayed\":{\"p50_ms\":1.0,\"p95_ms\":2.0}}],\"ms\":{\"median\":\
+       10.0,\"p95\":12.0}}"
+  in
+  let same = base in
+  let worse =
+    parse
+      "{\"bench\":\"t\",\"cells\":[{\"group\":\"user\",\"query\":\"//a\",\
+       \"replayed\":{\"p50_ms\":1.0,\"p95_ms\":9.0}}],\"ms\":{\"median\":\
+       10.0,\"p95\":12.0}}"
+  in
+  let check what expect got =
+    if expect <> got then failwith (Printf.sprintf "self-test: %s" what)
+  in
+  (* four percentile leaves, labeled paths *)
+  let ls = leaves base in
+  check "leaf count" 4 (List.length ls);
+  check "labeled path" true
+    (List.mem_assoc "cells[group=user,query=//a].replayed.p50_ms" ls);
+  let verdicts ~threshold ~floor a b =
+    let rows, _, _ = compare_reports ~threshold ~floor a b in
+    List.filter (fun (_, _, _, v) -> v = Regressed) rows
+  in
+  check "identical reports never regress" 0
+    (List.length (verdicts ~threshold:10. ~floor:0.05 base same));
+  check "a 4.5x p95 regresses" 1
+    (List.length (verdicts ~threshold:10. ~floor:0.05 base worse));
+  check "the absolute floor silences tiny deltas" 0
+    (List.length (verdicts ~threshold:10. ~floor:10. base worse));
+  check "direction matters: an improvement is not a regression" 0
+    (List.length (verdicts ~threshold:10. ~floor:0.05 worse base));
+  print_endline "bench_diff self-test: OK"
+
+let usage () =
+  prerr_endline
+    "usage: bench_diff [--threshold PCT] [--floor MS] [--quiet] BASE.json \
+     CANDIDATE.json\n       bench_diff --self-test";
+  exit 2
+
+let () =
+  let threshold = ref 10. and floor = ref 0.05 and quiet = ref false in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--self-test" :: _ -> self_test (); exit 0
+    | "--threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f -> threshold := f; parse rest
+      | None -> usage ())
+    | "--floor" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f -> floor := f; parse rest
+      | None -> usage ())
+    | "--quiet" :: rest -> quiet := true; parse rest
+    | f :: rest when String.length f > 0 && f.[0] <> '-' ->
+      files := f :: !files;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ a; b ] -> run ~threshold:!threshold ~floor:!floor ~quiet:!quiet a b
+  | _ -> usage ()

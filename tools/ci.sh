@@ -28,4 +28,26 @@ secview analyze --dtd "$POL/hospital.dtd" --fleet \
   --group nurse2="$POL/nurse2.spec" \
   --group junior="$POL/junior.spec"
 
+# Capture -> replay cycle: record a workload over the example fleet,
+# re-execute it, and require every answer to digest-match its capture.
+echo "== capture -> replay smoke"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+secview gen --dtd "$POL/hospital.dtd" > "$TMP/doc.xml"
+secview query --dtd "$POL/hospital.dtd" --spec "$POL/nurse.spec" \
+  --doc "$TMP/doc.xml" --bind wardNo=6 --capture "$TMP/cap.jsonl" \
+  '//patient/name' '//patient' '//patient/wardNo' > /dev/null
+secview replay "$TMP/cap.jsonl" --dtd "$POL/hospital.dtd" \
+  --spec "$POL/nurse.spec" --doc doc="$TMP/doc.xml" \
+  --out "$TMP/replay.json" | grep -q ' 0 mismatch(es)'
+echo "-- replay: 0 mismatches"
+
+# The regression gate itself is gated: its self-test, then a diff of a
+# report against itself (which must never regress).
+echo "== bench_diff"
+dune exec --no-build tools/bench_diff/main.exe -- --self-test
+dune exec --no-build tools/bench_diff/main.exe -- --quiet \
+  "$TMP/replay.json" "$TMP/replay.json"
+echo "-- bench_diff: self-diff clean"
+
 echo "== ci.sh: all green"
