@@ -34,6 +34,11 @@
    set-at-a-time interpreter on Q1-Q4 x D1-D4, answers byte-compared,
    written to BENCH_PR4.json (or --out FILE).
 
+   --mixed is the PR 8 study: mixed read/write serving at two groups
+   (90/10 and 50/50 splits) plus a read-only pass at the PR 7 paths,
+   written to BENCH_PR8.json (or --out FILE) so bench_diff can hold
+   the read path to its PR 7 percentiles.
+
    --analyze is the PR 6 study: pairwise fleet-analysis cost over
    2/8/32 generated groups, plus an A/B of the server's admission
    fast path on a denied-heavy query mix, written to BENCH_PR6.json
@@ -1268,6 +1273,200 @@ let pr7_bench ~label ~reps ~out () =
   if !mismatches > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* PR 8: mixed read/write serving.  A read-only pass reproduces the
+   PR 7 hot path at the same JSON paths (under recorder.off), so
+   bench_diff can hold the read path to its PR 7 percentiles; then
+   two mixed passes (90/10 and 50/50 read/write) at two groups
+   measure what transactional updates — writer lock, copy-on-write
+   rebuild, snapshot swap, targeted cache invalidation — cost
+   writers while readers keep answering from pinned snapshots. *)
+
+let pr8_bench ~label ~reps ~out () =
+  let dtd = Workload.Hospital.dtd in
+  let scale = 40 in
+  let mix = [ "//patient/name"; "//patient/wardNo"; "//patient" ] in
+  let update_text = "replace //patient//bill with <bill>7</bill>" in
+  let clients = 8 in
+  let rounds = 25 * reps in
+  let bill_grants =
+    [
+      (("trial", "bill"), [ Secview.Spec.Replace ]);
+      (("regular", "bill"), [ Secview.Spec.Replace ]);
+    ]
+  in
+  let fresh_pipeline () =
+    let catalog = Secview.Catalog.create () in
+    let doc = Workload.Hospital.generated_document ~seed:7 ~scale () in
+    ignore (Secview.Catalog.add catalog ~name:"ward" doc);
+    Secview.Pipeline.create ~catalog dtd
+      ~groups:
+        [
+          ("nurse", Workload.Hospital.nurse_spec ~write:bill_grants dtd);
+          ("admin", Secview.Spec.make ~write:bill_grants dtd []);
+        ]
+  in
+  (* one closed-loop pass; every [write_every]-th request is an
+     update (0 = read-only) *)
+  let run_pass ~write_every =
+    let pipeline = fresh_pipeline () in
+    let config = { Sserver.Server.default_config with workers = 4 } in
+    let server = Sserver.Server.create ~config pipeline in
+    let sock = Filename.temp_file "secview-pr8" ".sock" in
+    Sys.remove sock;
+    let server_thread =
+      Thread.create
+        (fun () ->
+          Sserver.Server.serve server [ Sserver.Server.Unix_socket sock ])
+        ()
+    in
+    let lock = Mutex.create () in
+    let reads = ref [] and writes = ref [] in
+    let failures = ref 0 in
+    let qmix = Array.of_list mix in
+    let n = Array.length qmix in
+    let client i () =
+      (* the read-only pass keeps every client on the nurse group so
+         its numbers stay comparable to the PR 7 read benchmark; the
+         mixed passes split clients across both groups (the admin
+         view is the whole document, so its reads return more) *)
+      let group =
+        if write_every > 0 && i land 1 = 1 then "admin" else "nurse"
+      in
+      let fd = connect_retry sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let send j = write_all fd (Sobs.Json.to_string j ^ "\n") in
+      send (Sserver.Protocol.hello ~peer:(Printf.sprintf "pr8-%d" i) group);
+      ignore (input_line ic);
+      let mine_r = ref [] and mine_w = ref [] and mine_f = ref 0 in
+      for k = 0 to (rounds * n) - 1 do
+        let is_write =
+          write_every > 0 && k mod write_every = write_every - 1
+        in
+        let t0 = Unix.gettimeofday () in
+        (if is_write then
+           send
+             (Sserver.Protocol.update_json ~doc:"ward"
+                ~bind:[ ("wardNo", "6") ] update_text)
+         else
+           send
+             (Sserver.Protocol.query_json ~doc:"ward"
+                ~bind:[ ("wardNo", "6") ]
+                qmix.(k mod n)));
+        let line = input_line ic in
+        let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+        (* replies put "ok" first; a prefix check keeps client-side
+           work off this machine's CPU (a full JSON parse of every
+           result list would compete with the server's workers) *)
+        if not (String.length line >= 10 && String.sub line 0 10 = {|{"ok":true|})
+        then incr mine_f;
+        if is_write then mine_w := ms :: !mine_w
+        else mine_r := ms :: !mine_r
+      done;
+      Unix.close fd;
+      Mutex.protect lock (fun () ->
+          reads := !mine_r @ !reads;
+          writes := !mine_w @ !writes;
+          failures := !failures + !mine_f)
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun i -> Thread.create (client i) ()) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let fd = connect_retry sock in
+    write_all fd
+      (Sobs.Json.to_string (Sserver.Protocol.simple "shutdown") ^ "\n");
+    ignore (input_line (Unix.in_channel_of_descr fd));
+    Unix.close fd;
+    Thread.join server_thread;
+    if !failures > 0 then
+      failwith (Printf.sprintf "pr8: %d request(s) failed" !failures);
+    let pct_of l =
+      let a = Array.of_list l in
+      Array.sort compare a;
+      fun p ->
+        if Array.length a = 0 then 0. else Sobs.Metrics.percentile a p
+    in
+    ( clients * rounds * n,
+      List.length !writes,
+      wall,
+      pct_of !reads,
+      pct_of !writes )
+  in
+  let show tag (requests, nwrites, wall, rpct, wpct) =
+    Printf.printf
+      "%-6s %6d req (%5d writes) in %6.2f s (%7.0f req/s) | read p50 %7.3f \
+       ms  p95 %7.3f ms | write p50 %7.3f ms  p95 %7.3f ms\n"
+      tag requests nwrites wall
+      (float_of_int requests /. wall)
+      (rpct 50.) (rpct 95.) (wpct 50.) (wpct 95.)
+  in
+  Printf.printf
+    "## Mixed read/write: %d clients over 2 groups, %d requests each \
+     (serve)\n\n"
+    clients (rounds * List.length mix);
+  let read_only = run_pass ~write_every:0 in
+  show "reads" read_only;
+  let m9010 = run_pass ~write_every:10 in
+  show "90/10" m9010;
+  let m5050 = run_pass ~write_every:2 in
+  show "50/50" m5050;
+  let lat_json pct =
+    Sobs.Json.Obj
+      [
+        ("p50_ms", Sobs.Json.Float (pct 50.));
+        ("p95_ms", Sobs.Json.Float (pct 95.));
+        ("p99_ms", Sobs.Json.Float (pct 99.));
+      ]
+  in
+  let side_json (requests, _, wall, rpct, _) =
+    Sobs.Json.Obj
+      [
+        ("requests", Sobs.Json.Int requests);
+        ("wall_s", Sobs.Json.Float wall);
+        ("throughput_rps", Sobs.Json.Float (float_of_int requests /. wall));
+        ("p50_ms", Sobs.Json.Float (rpct 50.));
+        ("p95_ms", Sobs.Json.Float (rpct 95.));
+        ("p99_ms", Sobs.Json.Float (rpct 99.));
+      ]
+  in
+  let mixed_json lbl (requests, nwrites, wall, rpct, wpct) =
+    Sobs.Json.Obj
+      [
+        ("label", Sobs.Json.String lbl);
+        ("groups", Sobs.Json.Int 2);
+        ("requests", Sobs.Json.Int requests);
+        ("writes", Sobs.Json.Int nwrites);
+        ("wall_s", Sobs.Json.Float wall);
+        ("throughput_rps", Sobs.Json.Float (float_of_int requests /. wall));
+        ("read", lat_json rpct);
+        ("write", lat_json wpct);
+      ]
+  in
+  let doc_json =
+    Sobs.Json.Obj
+      [
+        ("bench", Sobs.Json.String "pr8");
+        ( "meta",
+          meta_json ~label ~scale ~reps
+            [
+              ("clients", Sobs.Json.Int clients);
+              ("rounds", Sobs.Json.Int rounds);
+            ] );
+        (* read-only pass at PR 7's paths, so bench_diff gates the
+           read path against BENCH_PR7.json *)
+        ("recorder", Sobs.Json.Obj [ ("off", side_json read_only) ]);
+        ( "mixed",
+          Sobs.Json.List
+            [ mixed_json "90/10" m9010; mixed_json "50/50" m5050 ] );
+      ]
+  in
+  let oc = open_out out in
+  Sobs.Json.to_channel oc doc_json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n(machine-readable results written to %s)\n\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -1299,7 +1498,7 @@ let () =
     not
       (has "--table1" || has "--forms" || has "--ablations" || has "--approx"
      || has "--index" || has "--xmark" || has "--json" || has "--serve"
-     || has "--engines" || has "--analyze" || has "--pr7")
+     || has "--engines" || has "--analyze" || has "--pr7" || has "--mixed")
   in
   if all || has "--forms" then forms ();
   if all || has "--table1" || has "--json" then
@@ -1320,6 +1519,8 @@ let () =
     analyze_bench ~label ~reps
       ~out:(flag_value "--out" "BENCH_PR6.json")
       ();
+  if has "--mixed" then
+    pr8_bench ~label ~reps ~out:(flag_value "--out" "BENCH_PR8.json") ();
   if has "--pr7" then
     pr7_bench ~label ~reps
       ~out:(flag_value "--out" "BENCH_PR7.json")

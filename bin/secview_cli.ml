@@ -415,6 +415,7 @@ let query_cmd =
                     Sobs.Capture.write c
                       {
                         Sobs.Capture.c_rid = rid;
+                        c_verb = "query";
                         c_group = "user";
                         c_doc = None;
                         c_query = qtext;
@@ -608,6 +609,10 @@ let explain_cmd =
                 | Some r -> Sobs.Json.String r
                 | None -> Sobs.Json.Null );
               ("results", Sobs.Json.Int x.Secview.Pipeline.x_results);
+              ( "doc_version",
+                Sobs.Json.Int x.Secview.Pipeline.x_doc_version );
+              ( "generation",
+                Sobs.Json.Int x.Secview.Pipeline.x_generation );
               ( "plan",
                 match x.Secview.Pipeline.x_plan with
                 | Some (compiled, stats) ->
@@ -632,6 +637,8 @@ let explain_cmd =
         | Some r -> Printf.printf "fallback:   %s\n" r
         | None -> ());
         Printf.printf "results:    %d\n" x.Secview.Pipeline.x_results;
+        Printf.printf "doc version: %d  (plan-cache generation %d)\n"
+          x.Secview.Pipeline.x_doc_version x.Secview.Pipeline.x_generation;
         match x.Secview.Pipeline.x_plan with
         | Some (compiled, stats) ->
           print_newline ();
@@ -999,6 +1006,145 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Check a document against a DTD")
     Term.(const run $ dtd_arg $ root_arg $ doc_arg)
 
+(* ---- secure updates ------------------------------------------------ *)
+
+let update_cmd =
+  let run dtd_path root spec_path group_specs doc_path bindings out audit_log
+      capture json group update_text =
+    let dtd = load_dtd root dtd_path in
+    let groups = named_groups ~cmd:"update" dtd spec_path group_specs in
+    let catalog = Secview.Catalog.create () in
+    let entry = Secview.Catalog.add_file catalog ~name:"doc" doc_path in
+    let pipe = Secview.Pipeline.create ~catalog dtd ~groups in
+    let env = env_of_bindings bindings in
+    let alog = Option.map (fun p -> open_audit_log p) audit_log in
+    let t0 = Sserver.Deadline.now () in
+    let outcome =
+      Supdate.Engine.apply_text pipe ~group ~env ~entry update_text
+    in
+    let latency_ms = 1000. *. (Sserver.Deadline.now () -. t0) in
+    (match alog with
+    | None -> ()
+    | Some a ->
+      (match outcome with
+      | Ok rc ->
+        Sobs.Audit_log.log_update a ~group ~doc:"doc" ~update:update_text
+          ~status:"ok" ~targets:rc.Supdate.Engine.r_targets
+          ~old_version:rc.Supdate.Engine.r_old_version
+          ~new_version:rc.Supdate.Engine.r_new_version ~latency_ms ()
+      | Error e ->
+        Sobs.Audit_log.log_update a ~group ~doc:"doc" ~update:update_text
+          ~status:"error" ~latency_ms ~error:(Secview.Error.to_string e) ());
+      Sobs.Audit_log.close a);
+    match outcome with
+    | Error e -> raise (Secview.Error.E e)
+    | Ok rc ->
+      let serialized = Sxml.Print.to_string rc.Supdate.Engine.r_doc in
+      let digest = Sobs.Capture.digest [ serialized ] in
+      (match capture with
+      | None -> ()
+      | Some path ->
+        let cap = Sobs.Capture.open_file path in
+        Sobs.Capture.write cap
+          {
+            Sobs.Capture.c_rid = "u1";
+            c_verb = "update";
+            c_group = group;
+            c_doc = None;
+            c_query = update_text;
+            c_bind = bindings;
+            c_index = false;
+            c_engine = "interp";
+            c_status = "ok";
+            c_results = rc.Supdate.Engine.r_targets;
+            c_digest = digest;
+            c_latency_ms = latency_ms;
+          };
+        Sobs.Capture.close cap);
+      (match out with
+      | Some path ->
+        Sxml.Print.to_file ~indent:true path rc.Supdate.Engine.r_doc
+      | None -> ());
+      if json then
+        print_endline
+          (Sobs.Json.to_string
+             (Sobs.Json.Obj
+                [
+                  ("op", Sobs.Json.String rc.Supdate.Engine.r_op);
+                  ("targets", Sobs.Json.Int rc.Supdate.Engine.r_targets);
+                  ( "old_version",
+                    Sobs.Json.Int rc.Supdate.Engine.r_old_version );
+                  ( "new_version",
+                    Sobs.Json.Int rc.Supdate.Engine.r_new_version );
+                  ("digest", Sobs.Json.String digest);
+                ]))
+      else begin
+        Printf.printf "op:       %s\n" rc.Supdate.Engine.r_op;
+        Printf.printf "targets:  %d\n" rc.Supdate.Engine.r_targets;
+        Printf.printf "version:  %d -> %d\n" rc.Supdate.Engine.r_old_version
+          rc.Supdate.Engine.r_new_version;
+        Printf.printf "digest:   %s\n" digest
+      end
+  in
+  let group_pos_arg =
+    let doc = "User group attempting the write." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"GROUP" ~doc)
+  in
+  let update_pos_arg =
+    let doc =
+      "The update: 'insert into|before|after PATH CONTENT', 'delete PATH', \
+       or 'replace PATH with CONTENT' (PATH is fragment-C XPath over the \
+       group's view; CONTENT is an XML fragment)."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"UPDATE" ~doc)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the updated document to $(docv) (the input file is never \
+             modified in place).")
+  in
+  let audit_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL update/update_denied record to $(docv) ('-' \
+             for stderr).")
+  in
+  let capture_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "capture" ] ~docv:"FILE"
+          ~doc:
+            "Append a replayable \"v\":2 update record (verb, group, update \
+             text, resulting-document digest) to $(docv) on success.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable receipt: op, target count, version transition \
+             and resulting-document digest as one JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Run a secure view update against a document: the write is \
+          admitted only when the target and every node it touches are \
+          accessible to the group and the group holds the matching write \
+          grant; a rejected update changes nothing")
+    Term.(
+      const run $ dtd_arg $ root_arg $ spec_opt_arg $ group_specs_arg
+      $ doc_arg $ bind_arg $ out_arg $ audit_log_arg $ capture_arg $ json_arg
+      $ group_pos_arg $ update_pos_arg)
+
 (* ---- server and client --------------------------------------------- *)
 
 let socket_arg =
@@ -1238,7 +1384,7 @@ let serve_cmd =
 
 let client_cmd =
   let run socket tcp host wait group peer doc_name bindings indexed ping
-      do_stats shutdown raws queries =
+      do_stats shutdown raws updates queries =
     let addr =
       match (socket, tcp) with
       | Some path, None -> Unix.ADDR_UNIX path
@@ -1309,6 +1455,21 @@ let client_cmd =
       send (Sserver.Protocol.hello ?peer g);
       ignore (check_ok "hello" (recv ()))
     | None -> ());
+    List.iter
+      (fun u ->
+        send (Sserver.Protocol.update_json ?doc:doc_name ~bind:bindings u);
+        let (_, j) as r = recv () in
+        if check_ok (Printf.sprintf "update %S" u) r then
+          let geti name =
+            match
+              Option.bind (Sobs.Json.member name j) Sobs.Json.to_int_opt
+            with
+            | Some n -> n
+            | None -> 0
+          in
+          Printf.printf "update ok: %d target(s), version %d -> %d\n"
+            (geti "targets") (geti "old_version") (geti "new_version"))
+      updates;
     List.iter
       (fun q ->
         send
@@ -1395,6 +1556,16 @@ let client_cmd =
             "Send $(docv) verbatim and echo the reply verbatim \
              (repeatable; for exercising the wire protocol directly).")
   in
+  let updates_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "update" ] ~docv:"UPDATE"
+          ~doc:
+            "Send $(docv) as a transactional update (repeatable; all \
+             updates run before the queries, so a session can write then \
+             read back).")
+  in
   let queries_arg =
     let doc = "View queries to answer, in order." in
     Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
@@ -1407,7 +1578,7 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ host_arg $ wait_arg $ group_arg
       $ peer_arg $ doc_name_arg $ bind_arg $ index_arg $ ping_arg $ stats_arg
-      $ shutdown_arg $ send_arg $ queries_arg)
+      $ shutdown_arg $ send_arg $ updates_arg $ queries_arg)
 
 (* ---- flight recorder and replay ------------------------------------ *)
 
@@ -1507,8 +1678,10 @@ let flight_cmd =
                   | Some f -> f
                   | None -> 0.
                 in
-                Printf.printf "%-10s %-10s %-12s %4d  %8.3f ms  %s%s\n"
-                  (str "rid") (str "group") (str "status") (geti e "results")
+                Printf.printf "%-10s %-8s %-10s %-12s %4d  %8.3f ms  %s%s\n"
+                  (str "rid")
+                  (Option.value ~default:"query" (sopt "verb"))
+                  (str "group") (str "status") (geti e "results")
                   lat (str "query")
                   (match sopt "error" with
                   | Some err -> "  ! " ^ err
@@ -1552,9 +1725,12 @@ let replay_cmd =
        capture order *)
     let replayed =
       if remote then begin
-        (* one session per captured group, records in capture order
-           within each — rids are re-sent so the replayed request is
-           traceable in the server's audit log and flight recorder *)
+        (* one session per captured group, opened up front, and every
+           record re-sent in strict capture order across groups — a
+           mixed read/write workload must interleave exactly as
+           captured, or the writes would rebuild different document
+           versions.  Rids are re-sent so the replayed request is
+           traceable in the server's audit log and flight recorder. *)
         let group_names =
           List.fold_left
             (fun acc (r : Sobs.Capture.record) ->
@@ -1562,64 +1738,92 @@ let replay_cmd =
             [] records
         in
         let addr = remote_addr ~cmd:"replay" socket tcp host in
-        List.concat_map
-          (fun g ->
-            let mine =
-              List.filter
-                (fun (r : Sobs.Capture.record) -> r.c_group = g)
-                records
+        let sessions =
+          List.map
+            (fun g ->
+              let fd = connect_retry ~wait addr in
+              let ic = Unix.in_channel_of_descr fd in
+              (g, (fd, ic)))
+            group_names
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun (_, (_, ic)) -> try close_in ic with Sys_error _ -> ())
+              sessions)
+          (fun () ->
+            let send fd j = fd_send_line fd (Sobs.Json.to_string j) in
+            let recv ic =
+              let line = input_line ic in
+              match Sobs.Json.of_string line with
+              | Ok j -> j
+              | Error e ->
+                failwith (Printf.sprintf "replay: bad reply (%s): %s" e line)
             in
-            let fd = connect_retry ~wait addr in
-            let ic = Unix.in_channel_of_descr fd in
-            Fun.protect
-              ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
-              (fun () ->
-                let send j = fd_send_line fd (Sobs.Json.to_string j) in
-                let recv () =
-                  let line = input_line ic in
-                  match Sobs.Json.of_string line with
-                  | Ok j -> j
-                  | Error e ->
-                    failwith
-                      (Printf.sprintf "replay: bad reply (%s): %s" e line)
-                in
-                send (Sserver.Protocol.hello ~peer:"replay" g);
-                (match Sobs.Json.member "ok" (recv ()) with
+            List.iter
+              (fun (g, (fd, ic)) ->
+                send fd (Sserver.Protocol.hello ~peer:"replay" g);
+                match Sobs.Json.member "ok" (recv ic) with
                 | Some (Sobs.Json.Bool true) -> ()
+                | _ -> failwith (Printf.sprintf "replay: hello %S refused" g))
+              sessions;
+            List.map
+              (fun (r : Sobs.Capture.record) ->
+                let fd, ic = List.assoc r.c_group sessions in
+                let t0 = Sserver.Deadline.now () in
+                send fd
+                  (if r.c_verb = "update" then
+                     Sserver.Protocol.update_json ~rid:r.c_rid ?doc:r.c_doc
+                       ~bind:r.c_bind r.c_query
+                   else
+                     Sserver.Protocol.query_json ~rid:r.c_rid ?doc:r.c_doc
+                       ~bind:r.c_bind ~use_index:r.c_index r.c_query);
+                let reply = recv ic in
+                let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
+                match Sobs.Json.member "ok" reply with
+                | Some (Sobs.Json.Bool true) when r.c_verb = "update" ->
+                  (* the reply digest is of the resulting document: a
+                     match means the replayed write rebuilt the
+                     byte-identical version *)
+                  let digest =
+                    match
+                      Option.bind
+                        (Sobs.Json.member "digest" reply)
+                        Sobs.Json.to_string_opt
+                    with
+                    | Some d -> d
+                    | None -> "-"
+                  in
+                  let targets =
+                    match
+                      Option.bind
+                        (Sobs.Json.member "targets" reply)
+                        Sobs.Json.to_int_opt
+                    with
+                    | Some n -> n
+                    | None -> 0
+                  in
+                  (r, digest, targets, ms)
+                | Some (Sobs.Json.Bool true) ->
+                  let results =
+                    match Sobs.Json.member "results" reply with
+                    | Some (Sobs.Json.List rs) ->
+                      List.filter_map Sobs.Json.to_string_opt rs
+                    | _ -> []
+                  in
+                  (r, Sobs.Capture.digest results, List.length results, ms)
                 | _ ->
-                  failwith (Printf.sprintf "replay: hello %S refused" g));
-                List.map
-                  (fun (r : Sobs.Capture.record) ->
-                    let t0 = Sserver.Deadline.now () in
-                    send
-                      (Sserver.Protocol.query_json ~rid:r.c_rid ?doc:r.c_doc
-                         ~bind:r.c_bind ~use_index:r.c_index r.c_query);
-                    let reply = recv () in
-                    let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
-                    match Sobs.Json.member "ok" reply with
-                    | Some (Sobs.Json.Bool true) ->
-                      let results =
-                        match Sobs.Json.member "results" reply with
-                        | Some (Sobs.Json.List rs) ->
-                          List.filter_map Sobs.Json.to_string_opt rs
-                        | _ -> []
-                      in
-                      ( r,
-                        Sobs.Capture.digest results,
-                        List.length results, ms )
-                    | _ ->
-                      let code =
-                        match
-                          Option.bind
-                            (Sobs.Json.member "code" reply)
-                            Sobs.Json.to_string_opt
-                        with
-                        | Some c -> c
-                        | None -> "error"
-                      in
-                      (r, "refused:" ^ code, 0, ms))
-                  mine))
-          group_names
+                  let code =
+                    match
+                      Option.bind
+                        (Sobs.Json.member "code" reply)
+                        Sobs.Json.to_string_opt
+                    with
+                    | Some c -> c
+                    | None -> "error"
+                  in
+                  (r, "refused:" ^ code, 0, ms))
+              records)
       end
       else begin
         let need what = function
@@ -1672,26 +1876,46 @@ let replay_cmd =
                   (Printf.sprintf "replay: record %s: unknown engine %S"
                      r.c_rid r.c_engine)
             in
-            let q = Sxpath.Parse.of_string r.c_query in
             let env = env_of_bindings r.c_bind in
-            let doc = Secview.Catalog.doc entry in
-            let index =
-              if r.c_index then Some (Secview.Catalog.index entry) else None
-            in
-            let t0 = Sserver.Deadline.now () in
-            match
-              Secview.Pipeline.answer pipe ~group:r.c_group ~engine ~env
-                ?index q doc
-            with
-            | Ok nodes ->
-              let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
-              let rendered =
-                List.map (fun n -> Sxml.Print.to_string n) nodes
+            if r.c_verb = "update" then begin
+              let t0 = Sserver.Deadline.now () in
+              match
+                Supdate.Engine.apply_text pipe ~group:r.c_group ~env ~entry
+                  r.c_query
+              with
+              | Ok rc ->
+                let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
+                ( r,
+                  Sobs.Capture.digest
+                    [ Sxml.Print.to_string rc.Supdate.Engine.r_doc ],
+                  rc.Supdate.Engine.r_targets,
+                  ms )
+              | Error e ->
+                let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
+                (r, "error:" ^ Secview.Error.to_code e, 0, ms)
+            end
+            else begin
+              let q = Sxpath.Parse.of_string r.c_query in
+              let doc = Secview.Catalog.doc entry in
+              let index =
+                if r.c_index then Some (Secview.Catalog.index entry)
+                else None
               in
-              (r, Sobs.Capture.digest rendered, List.length rendered, ms)
-            | Error e ->
-              let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
-              (r, "error:" ^ Secview.Error.to_code e, 0, ms))
+              let t0 = Sserver.Deadline.now () in
+              match
+                Secview.Pipeline.answer pipe ~group:r.c_group ~engine ~env
+                  ?index q doc
+              with
+              | Ok nodes ->
+                let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
+                let rendered =
+                  List.map (fun n -> Sxml.Print.to_string n) nodes
+                in
+                (r, Sobs.Capture.digest rendered, List.length rendered, ms)
+              | Error e ->
+                let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
+                (r, "error:" ^ Secview.Error.to_code e, 0, ms)
+            end)
           records
       end
     in
@@ -2089,7 +2313,7 @@ let main =
       analyze_cmd; derive_cmd; graph_cmd; audit_cmd; lint_cmd;
       materialize_cmd; metrics_cmd; rewrite_cmd; query_cmd; explain_cmd;
       optimize_cmd; annotate_cmd; gen_cmd; validate_cmd; serve_cmd;
-      client_cmd; flight_cmd; replay_cmd;
+      client_cmd; flight_cmd; replay_cmd; update_cmd;
     ]
 
 let () =

@@ -2,13 +2,24 @@ type source =
   | Loaded of Sxml.Tree.t
   | File of string
 
-type entry = {
-  name : string option;
+(* A snapshot is one immutable incarnation of a document plus its
+   lazily-memoized derived facts.  Mutation never touches a snapshot
+   in place: applying an update builds a fresh tree and swaps a fresh
+   snapshot into the entry, so a reader that pinned the old one keeps
+   a consistent {version, doc, height, index} quadruple for as long as
+   it holds the pin — in-flight reads are never torn. *)
+type snapshot = {
   version : int;
-  elock : Mutex.t;
+  slock : Mutex.t;
   mutable source : source;
   mutable height : int option;
   mutable index : Sxml.Index.t option;
+}
+
+type entry = {
+  name : string option;
+  elock : Mutex.t;  (* serializes snapshot swaps *)
+  mutable snap : snapshot;
 }
 
 type t = {
@@ -31,21 +42,23 @@ let create ?(intern_capacity = 64) () =
   }
 
 (* Version stamps are process-global and monotonic: re-registering a
-   document under an existing name yields a fresh entry with a higher
-   version, so provenance records (flight recorder, audit) can tell
-   which incarnation of a document answered a request.  The planned
-   update path will rely on the same stamp for cache invalidation. *)
+   document under an existing name — or applying an update — yields a
+   snapshot with a higher version, so provenance records (flight
+   recorder, audit) can tell which incarnation of a document answered
+   a request, and caches keyed on the stamp invalidate on bump. *)
 let next_version = Atomic.make 1
 
-let make_entry ?name source =
+let make_snapshot source =
   {
-    name;
     version = Atomic.fetch_and_add next_version 1;
-    elock = Mutex.create ();
+    slock = Mutex.create ();
     source;
     height = None;
     index = None;
   }
+
+let make_entry ?name source =
+  { name; elock = Mutex.create (); snap = make_snapshot source }
 
 let register t ~name entry =
   Mutex.protect t.lock (fun () ->
@@ -62,16 +75,24 @@ let find t name =
 let names t = Mutex.protect t.lock (fun () -> List.rev t.order)
 
 let name e = e.name
-let version e = e.version
 
-let doc e =
-  Mutex.protect e.elock (fun () ->
-      match e.source with
+(* Reading [snap] is a single mutable-field load — atomic in the
+   OCaml memory model — so pinning costs nothing and sees either the
+   old or the new snapshot, never a mix. *)
+let pin e = e.snap
+let snapshot_version s = s.version
+let version e = e.snap.version
+
+let snapshot_doc s =
+  Mutex.protect s.slock (fun () ->
+      match s.source with
       | Loaded d -> d
       | File path ->
         let d = Sxml.Parse.of_file path in
-        e.source <- Loaded d;
+        s.source <- Loaded d;
         d)
+
+let doc e = snapshot_doc e.snap
 
 let element_height doc =
   let rec go (n : Sxml.Tree.t) =
@@ -81,28 +102,39 @@ let element_height doc =
   in
   go doc
 
-let memoized_height e = Mutex.protect e.elock (fun () -> e.height)
+let snapshot_memoized_height s = Mutex.protect s.slock (fun () -> s.height)
+let memoized_height e = snapshot_memoized_height e.snap
 
-let height t e =
-  let d = doc e in
-  Mutex.protect e.elock (fun () ->
-      match e.height with
+let snapshot_height t s =
+  let d = snapshot_doc s in
+  Mutex.protect s.slock (fun () ->
+      match s.height with
       | Some h -> h
       | None ->
         let h = element_height d in
         Atomic.incr t.height_walks;
-        e.height <- Some h;
+        s.height <- Some h;
         h)
 
-let index e =
-  let d = doc e in
-  Mutex.protect e.elock (fun () ->
-      match e.index with
+let height t e = snapshot_height t e.snap
+
+let snapshot_index s =
+  let d = snapshot_doc s in
+  Mutex.protect s.slock (fun () ->
+      match s.index with
       | Some i -> i
       | None ->
         let i = Sxml.Index.build d in
-        e.index <- Some i;
+        s.index <- Some i;
         i)
+
+let index e = snapshot_index e.snap
+
+let update e doc =
+  Mutex.protect e.elock (fun () ->
+      let s = make_snapshot (Loaded doc) in
+      e.snap <- s;
+      s.version)
 
 (* Interning looks the document up by physical identity: the named
    table first (a server answers requests over catalog documents it
@@ -114,7 +146,7 @@ let intern t d =
     (* no lock: [source] only ever steps File -> Loaded, and a racing
        reader that misses the update just falls through to a fresh
        anonymous entry with the same memoized-height semantics *)
-    match e.source with Loaded d' -> d' == d | File _ -> false
+    match e.snap.source with Loaded d' -> d' == d | File _ -> false
   in
   Mutex.protect t.lock (fun () ->
       let named =

@@ -11,13 +11,26 @@
     loaded documents never recompute heights (the single-slot memo
     this replaces thrashed on exactly that pattern).
 
+    Entries are {e versioned}: each holds a current {!snapshot} — an
+    immutable incarnation of the document plus its memos, stamped with
+    a process-global monotonic version.  {!update} swaps in a fresh
+    snapshot (new tree, new version, cold memos); a reader that
+    {!pin}ned the old snapshot keeps a consistent
+    [{version; doc; height; index}] view for as long as it holds it,
+    so in-flight reads are never torn by a concurrent update.
+
     All operations are thread-safe; memoized values are computed at
-    most once per entry.  Interned (anonymous) entries are bounded
+    most once per snapshot.  Interned (anonymous) entries are bounded
     ([intern_capacity], default 64, oldest evicted) so streaming
     throwaway documents through a pipeline cannot leak memory. *)
 
 type t
 type entry
+
+type snapshot
+(** One immutable incarnation of a document: tree + version stamp +
+    height/index memos.  Obtained from {!pin}; never mutated in
+    place. *)
 
 val create : ?intern_capacity:int -> unit -> t
 
@@ -39,24 +52,47 @@ val name : entry -> string option
 (** [None] for interned entries. *)
 
 val version : entry -> int
-(** Process-global monotonic stamp assigned at entry creation:
-    re-registering a name yields a higher version, so provenance
-    records (flight recorder) can identify which incarnation of a
-    document answered.  Future update support will bump it on
-    mutation. *)
+(** The current snapshot's version: a process-global monotonic stamp.
+    Re-registering a name or applying an {!update} yields a higher
+    version, so provenance records (flight recorder) can identify
+    which incarnation of a document answered, and caches keyed on the
+    stamp invalidate on bump. *)
 
 val doc : entry -> Sxml.Tree.t
-(** The document; parses file-backed entries on first call. *)
+(** The current snapshot's document; parses file-backed entries on
+    first call. *)
 
 val height : t -> entry -> int
-(** Element-nesting height, computed once and memoized. *)
+(** Element-nesting height of the current snapshot, computed once and
+    memoized per snapshot. *)
 
 val memoized_height : entry -> int option
 (** The memo without forcing a computation (probe for observability
     call sites that count memo hits vs walks). *)
 
 val index : entry -> Sxml.Index.t
-(** Tag index, built once and memoized. *)
+(** Tag index of the current snapshot, built once and memoized per
+    snapshot. *)
+
+(** {2 Snapshots and mutation} *)
+
+val pin : entry -> snapshot
+(** The entry's current snapshot — a single atomic field read.  The
+    pinned snapshot stays valid (tree, version and memos all
+    consistent with each other) however many updates land after the
+    pin; it is simply no longer current. *)
+
+val update : entry -> Sxml.Tree.t -> int
+(** [update e doc] swaps a fresh snapshot holding [doc] into [e] and
+    returns its (new, strictly higher) version.  Swaps serialize per
+    entry; pinned readers are unaffected.  Memos start cold — the next
+    height/index request recomputes against the new tree. *)
+
+val snapshot_version : snapshot -> int
+val snapshot_doc : snapshot -> Sxml.Tree.t
+val snapshot_height : t -> snapshot -> int
+val snapshot_memoized_height : snapshot -> int option
+val snapshot_index : snapshot -> Sxml.Index.t
 
 val intern : t -> Sxml.Tree.t -> entry
 (** Find-or-create the entry for a loaded tree by physical identity. *)

@@ -13,6 +13,8 @@ type t =
       known : string list;
     }
   | Unsupported of string
+  | Update_denied of string
+  | Invalid_update of string
   | Timeout of string
   | Overloaded of string
   | Draining
@@ -38,6 +40,8 @@ let to_string = function
   | Unknown_doc { doc = None; known } ->
     Printf.sprintf "more than one document: pass \"doc\"%s" (have known)
   | Unsupported msg -> msg
+  | Update_denied msg -> msg
+  | Invalid_update msg -> msg
   | Timeout msg -> msg
   | Overloaded msg -> msg
   | Draining -> "server is draining"
@@ -48,6 +52,8 @@ let to_string = function
 let to_code = function
   | Parse_error _ | Unbound_variable _ | Unsupported _ | Internal _ ->
     "query_error"
+  | Update_denied _ -> "update_denied"
+  | Invalid_update _ -> "invalid_update"
   | Unknown_group _ -> "unknown_group"
   | Unknown_doc _ -> "unknown_document"
   | Timeout _ -> "timeout"

@@ -28,6 +28,13 @@ type t =
   | Unsupported of string
       (** the view/query combination is outside the supported
           fragment (e.g. recursive view without a height) *)
+  | Update_denied of string
+      (** an update's target set escapes the group's accessible
+          region, or the group holds no write grant for the edge —
+          rejected atomically, nothing applied *)
+  | Invalid_update of string
+      (** the update is malformed independent of policy: target
+          matches nothing, content violates the DTD, root deletion *)
   | Timeout of string  (** a deadline cut the evaluation off *)
   | Overloaded of string  (** admission queue full — try again *)
   | Draining  (** server is shutting down *)
@@ -44,8 +51,9 @@ val to_string : t -> string
 
 val to_code : t -> string
 (** The wire error code, matching the [Sserver.Protocol] constants
-    ([query_error], [unknown_group], [unknown_document], [timeout],
-    [overloaded], [draining], [no_session], [bad_request]). *)
+    ([query_error], [update_denied], [invalid_update],
+    [unknown_group], [unknown_document], [timeout], [overloaded],
+    [draining], [no_session], [bad_request]). *)
 
 val exit_code : t -> int
 (** CLI exit status: 3 for {!Timeout}, 2 otherwise. *)

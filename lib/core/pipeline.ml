@@ -49,9 +49,14 @@ type admission_stats = {
 
 type group_state = {
   info : group;
+  spec : Spec.t option;  (* None: view-only construction — no writes *)
   recursive : bool;
   lock : Mutex.t;  (* guards [cache] (incl. entry plans) and counters *)
   cache : (Sxpath.Ast.path * int option, centry) Hashtbl.t;
+  (* which cache keys were populated on behalf of which document
+     version, so an update can evict exactly the affected document's
+     translations/plans (see [invalidate_version]) *)
+  byver : (int, (Sxpath.Ast.path * int option) list ref) Hashtbl.t;
   admission_cache : (Sxpath.Ast.path, admission) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
@@ -70,6 +75,7 @@ type t = {
   order : string list;
   catalog : Catalog.t;
   translate_lock : Mutex.t;
+  generation : int Atomic.t;  (* bumped by every cache invalidation *)
 }
 
 let strict_gate :
@@ -116,15 +122,17 @@ let run_strict_gate dtd pairs =
 let of_views ?catalog dtd pairs =
   let states = Hashtbl.create 8 in
   List.iter
-    (fun (name, view) ->
+    (fun (name, view, spec) ->
       if Hashtbl.mem states name then
         invalid_arg (Printf.sprintf "Pipeline: duplicate group %S" name);
       Hashtbl.replace states name
         {
           info = { name; view };
+          spec;
           recursive = Sdtd.Dtd.is_recursive (View.dtd view);
           lock = Mutex.create ();
           cache = Hashtbl.create 32;
+          byver = Hashtbl.create 8;
           admission_cache = Hashtbl.create 32;
           hits = 0;
           misses = 0;
@@ -143,9 +151,10 @@ let of_views ?catalog dtd pairs =
   {
     dtd;
     states;
-    order = List.map fst pairs;
+    order = List.map (fun (name, _, _) -> name) pairs;
     catalog;
     translate_lock = Mutex.create ();
+    generation = Atomic.make 0;
   }
 
 let create ?(strict = false) ?catalog dtd ~groups =
@@ -160,13 +169,15 @@ let create ?(strict = false) ?catalog dtd ~groups =
   if strict then
     run_strict_gate dtd
       (List.map (fun (name, view, spec) -> (name, view, Some spec)) derived);
-  of_views ?catalog dtd (List.map (fun (name, view, _) -> (name, view)) derived)
+  of_views ?catalog dtd
+    (List.map (fun (name, view, spec) -> (name, view, Some spec)) derived)
 
 let create_with_views ?(strict = false) ?catalog dtd ~groups =
   if strict then
     run_strict_gate dtd
       (List.map (fun (name, view) -> (name, view, None)) groups);
-  of_views ?catalog dtd groups
+  of_views ?catalog dtd
+    (List.map (fun (name, view) -> (name, view, None)) groups)
 
 let dtd t = t.dtd
 let catalog t = t.catalog
@@ -180,6 +191,27 @@ let state t name =
   | None -> raise Not_found
 
 let view_dtd t ~group = View.dtd (state t group).info.view
+let view t ~group = (state t group).info.view
+let spec t ~group = (state t group).spec
+let generation t = Atomic.get t.generation
+
+(* Evict every translation (and its attached plan) that was populated
+   on behalf of [version], in every group.  An entry another document
+   still uses is re-translated on its next request — a cold miss, not
+   a wrong answer (translations depend on the document only through
+   the unfolding height, which is part of the cache key). *)
+let invalidate_version t version =
+  Hashtbl.iter
+    (fun _ st ->
+      Mutex.protect st.lock (fun () ->
+          match Hashtbl.find_opt st.byver version with
+          | None -> ()
+          | Some keys ->
+            List.iter (fun k -> Hashtbl.remove st.cache k) !keys;
+            Hashtbl.remove st.byver version))
+    t.states;
+  Atomic.incr t.generation;
+  if Trace.enabled () then Trace.count "pipeline.cache.invalidated" 1
 
 (* Translation under contention: the per-group lock only covers cache
    lookups and counters, so warm requests from many threads never
@@ -191,8 +223,28 @@ let view_dtd t ~group = View.dtd (state t group).info.view
    while evaluation, which runs fully concurrently, is data-sized.
    Exactly one of hits/misses is bumped per call, so per-group
    hits + misses always equals calls issued. *)
-let translate_entry t st ~group ?height q =
+let translate_entry t st ~group ?height ?doc q =
   let key = (q, height) in
+  (* A fresh entry is attributed to the document version it was
+     translated for, so [invalidate_version] can evict it when an
+     update replaces that snapshot.  The attribution interns only on
+     the cold path — warm lookups stay lock-per-group. *)
+  let record_version () =
+    match doc with
+    | None -> ()
+    | Some d ->
+      let v = Catalog.version (Catalog.intern t.catalog d) in
+      Mutex.protect st.lock (fun () ->
+          let keys =
+            match Hashtbl.find_opt st.byver v with
+            | Some r -> r
+            | None ->
+              let r = ref [] in
+              Hashtbl.replace st.byver v r;
+              r
+          in
+          if not (List.mem key !keys) then keys := key :: !keys)
+  in
   let cached =
     Mutex.protect st.lock (fun () ->
         match Hashtbl.find_opt st.cache key with
@@ -231,6 +283,7 @@ let translate_entry t st ~group ?height q =
           in
           let ce = { translated = optimized; plan = Unplanned } in
           Mutex.protect st.lock (fun () -> Hashtbl.replace st.cache key ce);
+          record_version ();
           ce)
 
 let translate t ~group ?height q =
@@ -415,7 +468,7 @@ let answer_observed t st ~group ~engine ~want_stats ?env ?index ?height q doc =
     Trace.audit { Trace.group; query = q; translated; cache_hit; height;
                   results; error }
   in
-  match translate_entry t st ~group ?height q with
+  match translate_entry t st ~group ?height ~doc q with
   | exception e ->
     if Trace.audit_enabled () then finish None 0 (Some (Printexc.to_string e));
     raise e
@@ -457,7 +510,7 @@ let answer_outcome t ~group ?(engine = Plan) ?(counts = false) ?env ?index
           ?height q doc
       else
         let height = request_height t st ?height doc in
-        let ce = translate_entry t st ~group ?height q in
+        let ce = translate_entry t st ~group ?height ~doc q in
         let used, stats, thunk =
           run_engine t st ~group ~engine ~want_stats:counts ?env ?index ce doc
         in
@@ -490,6 +543,8 @@ type explanation = {
   x_plan : (Splan.Compile.t * Splan.Exec.Stats.t) option;
   x_fallback : string option;
   x_results : int;
+  x_doc_version : int;
+  x_generation : int;
 }
 
 (* EXPLAIN: run the request once, preferring the plan engine with
@@ -504,9 +559,11 @@ let explain t ~group ?env ?index ?height q doc =
     Error (Error.Unknown_group { group; known = t.order })
   | st -> (
     let admission = classify_state t st q in
+    let doc_version = Catalog.version (Catalog.intern t.catalog doc) in
+    let generation = Atomic.get t.generation in
     match
       let height = request_height t st ?height doc in
-      let ce = translate_entry t st ~group ?height q in
+      let ce = translate_entry t st ~group ?height ~doc q in
       match exec_index t ?index doc with
       | None ->
         let results = interp ?env ?index ce.translated doc in
@@ -533,6 +590,8 @@ let explain t ~group ?env ?index ?height q doc =
           x_plan = plan;
           x_fallback = fallback;
           x_results = results;
+          x_doc_version = doc_version;
+          x_generation = generation;
         }
     | exception Rewrite.Unsupported msg -> Error (Error.Unsupported msg)
     | exception Sxpath.Eval.Unbound_variable name ->

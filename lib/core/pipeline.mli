@@ -101,6 +101,29 @@ val groups : t -> group list
 val view_dtd : t -> group:string -> Sdtd.Dtd.t
 (** What to publish to that user group.  @raise Not_found. *)
 
+val view : t -> group:string -> View.t
+(** The group's security view.  @raise Not_found. *)
+
+val spec : t -> group:string -> Spec.t option
+(** The access specification the group's view was derived from —
+    [None] when the pipeline was built with {!create_with_views}
+    (stored views carry no policy, so such a group can never hold a
+    write grant: all updates are rejected).  @raise Not_found. *)
+
+val generation : t -> int
+(** The plan/translation-cache generation: starts at 0 and is bumped
+    by every {!invalidate_version} call, so two explain outputs with
+    the same generation are guaranteed to have executed against the
+    same cache contents. *)
+
+val invalidate_version : t -> int -> unit
+(** [invalidate_version t v] evicts, in every group, exactly the
+    translation-cache entries (and their attached plans) that were
+    populated on behalf of document version [v], and bumps
+    {!generation}.  Called by the update engine after swapping a new
+    snapshot into the catalog; unknown versions are a no-op (the
+    generation still bumps). *)
+
 (** Static admission verdict for a (group, query) pair, decided from
     the group's view DTD alone — no document is touched:
     - [Denied_empty]: provably empty on {e every} instance of the view
@@ -239,7 +262,11 @@ val answer_outcome :
     {!Splan.Explain.of_compiled} — or the fallback reason when the
     interpreter had to ([x_plan = None]), and the result count.  A
     [Denied_empty] query is still run (explain shows what evaluation
-    would do; the count is provably 0). *)
+    would do; the count is provably 0).  [x_doc_version] and
+    [x_generation] pin the provenance: which catalog snapshot of the
+    document answered, and which cache generation (see {!generation})
+    the translation/plan came from — a stale-plan bug is diagnosable
+    from two explain outputs alone. *)
 type explanation = {
   x_admission : admission;
   x_translated : Sxpath.Ast.path;
@@ -247,6 +274,8 @@ type explanation = {
   x_plan : (Splan.Compile.t * Splan.Exec.Stats.t) option;
   x_fallback : string option;
   x_results : int;
+  x_doc_version : int;
+  x_generation : int;
 }
 
 val explain :

@@ -3,6 +3,24 @@ type annot =
   | Cond of Sxpath.Ast.qual
   | No
 
+type write_op =
+  | Insert
+  | Delete
+  | Replace
+
+let all_write_ops = [ Insert; Delete; Replace ]
+
+let write_op_to_string = function
+  | Insert -> "insert"
+  | Delete -> "delete"
+  | Replace -> "replace"
+
+let write_op_of_string = function
+  | "insert" -> Some Insert
+  | "delete" -> Some Delete
+  | "replace" -> Some Replace
+  | _ -> None
+
 module PairMap = Map.Make (struct
   type t = string * string
 
@@ -13,9 +31,11 @@ type t = {
   dtd : Sdtd.Dtd.t;
   ann : annot PairMap.t;
   order : ((string * string) * annot) list;
+  write : write_op list PairMap.t;
+  write_order : ((string * string) * write_op list) list;
 }
 
-let make dtd anns =
+let make ?(write = []) dtd anns =
   let check_edge (a, b) =
     match Sdtd.Dtd.production_opt dtd a with
     | None ->
@@ -53,13 +73,31 @@ let make dtd anns =
         PairMap.add (a, b) annot m)
       PairMap.empty anns
   in
-  { dtd; ann; order = anns }
+  let wmap =
+    List.fold_left
+      (fun m ((a, b), ops) ->
+        check_edge (a, b);
+        if PairMap.mem (a, b) m then
+          invalid_arg
+            (Printf.sprintf "Spec.make: write (%s, %s) granted twice" a b);
+        let ops = List.sort_uniq compare ops in
+        PairMap.add (a, b) ops m)
+      PairMap.empty write
+  in
+  { dtd; ann; order = anns; write = wmap; write_order = write }
 
 let dtd spec = spec.dtd
 
 let annotation spec ~parent ~child = PairMap.find_opt (parent, child) spec.ann
 
 let annotations spec = spec.order
+
+let write_grants spec = spec.write_order
+
+let writable spec ~parent ~child op =
+  match PairMap.find_opt (parent, child) spec.write with
+  | None -> false
+  | Some ops -> List.mem op ops
 
 let variables spec =
   let seen = Hashtbl.create 4 in
@@ -84,10 +122,29 @@ let pp_annot ppf = function
   | No -> Format.pp_print_string ppf "N"
   | Cond q -> Format.fprintf ppf "[%a]" Sxpath.Print.pp_qual q
 
-(* Sidecar format: 'parent child Y|N|[qual]' lines.  A line whose
-   first non-blank character is '#' is a comment, as is anything after
+(* Sidecar format: 'parent child Y|N|[qual]' lines, plus write grants
+   as 'write parent child OPS' (OPS a comma-list of
+   insert/delete/replace, or 'all'/'none').  A line whose first
+   non-blank character is '#' is a comment, as is anything after
    " # " — but the bare token "#PCDATA" is a child name, so '#' alone
    does not open a comment. *)
+let parse_write_ops lineno s =
+  match s with
+  | "all" -> all_write_ops
+  | "none" -> []
+  | s ->
+    List.map
+      (fun tok ->
+        match write_op_of_string (String.trim tok) with
+        | Some op -> op
+        | None ->
+          failwith
+            (Printf.sprintf
+               "line %d: expected insert, delete, replace, all or none, \
+                got %S"
+               lineno tok))
+      (String.split_on_char ',' s)
+
 let of_sidecar dtd text =
   let strip_comment line =
     let line =
@@ -108,11 +165,18 @@ let of_sidecar dtd text =
     if line = "" then None
     else
       match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+      | "write" :: parent :: child :: rest ->
+        let ops_text = String.concat "" rest in
+        if ops_text = "" then
+          failwith
+            (Printf.sprintf "line %d: expected 'write parent child ops'"
+               lineno)
+        else Some (`Write ((parent, child), parse_write_ops lineno ops_text))
       | parent :: child :: rest -> (
         let annot_text = String.concat " " rest in
         match annot_text with
-        | "Y" -> Some ((parent, child), Yes)
-        | "N" -> Some ((parent, child), No)
+        | "Y" -> Some (`Ann ((parent, child), Yes))
+        | "N" -> Some (`Ann ((parent, child), No))
         | s
           when String.length s >= 2
                && s.[0] = '['
@@ -121,7 +185,7 @@ let of_sidecar dtd text =
             Sxpath.Parse.qual_of_string
               (String.sub s 1 (String.length s - 2))
           with
-          | q -> Some ((parent, child), Cond q)
+          | q -> Some (`Ann ((parent, child), Cond q))
           | exception Sxpath.Parse.Error e ->
             failwith
               (Printf.sprintf "line %d: bad qualifier: %s" lineno
@@ -136,12 +200,20 @@ let of_sidecar dtd text =
              lineno)
   in
   let lines = String.split_on_char '\n' text in
-  make dtd
-    (List.concat
-       (List.mapi
-          (fun i line ->
-            match parse_line (i + 1) line with Some a -> [ a ] | None -> [])
-          lines))
+  let parsed =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           match parse_line (i + 1) line with Some a -> [ a ] | None -> [])
+         lines)
+  in
+  let anns =
+    List.filter_map (function `Ann a -> Some a | `Write _ -> None) parsed
+  in
+  let write =
+    List.filter_map (function `Write w -> Some w | `Ann _ -> None) parsed
+  in
+  make ~write dtd anns
 
 let of_sidecar_file dtd path =
   let ic = open_in_bin path in
@@ -164,6 +236,17 @@ let to_sidecar spec =
       in
       Buffer.add_string buf (Printf.sprintf "%s %s %s\n" a b value))
     spec.order;
+  List.iter
+    (fun ((a, b), ops) ->
+      let value =
+        match ops with
+        | [] -> "none"
+        | ops ->
+          if List.length ops = List.length all_write_ops then "all"
+          else String.concat "," (List.map write_op_to_string ops)
+      in
+      Buffer.add_string buf (Printf.sprintf "write %s %s %s\n" a b value))
+    spec.write_order;
   Buffer.contents buf
 
 let pp ppf spec =

@@ -26,10 +26,33 @@ type annot =
       (** qualifier over the {e document} DTD, evaluated at the child *)
   | No
 
+(** {2 Write grants}
+
+    Updates are governed separately from read visibility: a group may
+    modify [B] children of [A] elements only when the edge [(A, B)]
+    carries an explicit write grant listing the operation.  The default
+    is {e no write access} — a spec without grants is read-only, which
+    keeps every pre-update policy file semantically unchanged. *)
+
+type write_op =
+  | Insert  (** insert new content into/before/after a target *)
+  | Delete  (** delete a target subtree *)
+  | Replace  (** replace a target subtree with new content *)
+
+val all_write_ops : write_op list
+val write_op_to_string : write_op -> string
+val write_op_of_string : string -> write_op option
+
 type t
 
-val make : Sdtd.Dtd.t -> ((string * string) * annot) list -> t
-(** [make dtd anns] validates and freezes a specification.
+val make :
+  ?write:((string * string) * write_op list) list ->
+  Sdtd.Dtd.t ->
+  ((string * string) * annot) list ->
+  t
+(** [make dtd anns] validates and freezes a specification.  [?write]
+    lists the write grants per DTD edge (validated like annotations;
+    granting an edge twice is an error; default: none).
     @raise Invalid_argument if an annotated pair [(a, b)] is not an
     edge of the DTD graph (with [b] possibly {!Sdtd.Regex.pcdata} when
     [a]'s production mentions PCDATA), if a pair is annotated twice, if
@@ -41,6 +64,13 @@ val dtd : t -> Sdtd.Dtd.t
 val annotation : t -> parent:string -> child:string -> annot option
 val annotations : t -> ((string * string) * annot) list
 (** In the order given to {!make}. *)
+
+val write_grants : t -> ((string * string) * write_op list) list
+(** In the order given to {!make}. *)
+
+val writable : t -> parent:string -> child:string -> write_op -> bool
+(** Whether the group holds a grant for [op] on the edge
+    [(parent, child)] — [false] for any edge without a grant. *)
 
 val variables : t -> string list
 (** The [$parameters] appearing in conditional annotations, each
@@ -55,7 +85,11 @@ val pp : Format.formatter -> t -> unit
 
     One annotation per line — [parent child Y], [parent child N], or
     [parent child \[qualifier\]] — with [#]-comments and blank lines;
-    PCDATA annotations use the literal child name [#PCDATA].  This is
+    PCDATA annotations use the literal child name [#PCDATA].  Write
+    grants are [write parent child OPS] lines, where [OPS] is a
+    comma-list of [insert]/[delete]/[replace], or [all]/[none] (the
+    leading keyword means no element type named [write] can start an
+    annotation line; none of the bundled DTDs declare one).  This is
     what the [secview] command-line tool reads. *)
 
 val of_sidecar : Sdtd.Dtd.t -> string -> t

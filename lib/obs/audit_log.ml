@@ -104,6 +104,39 @@ let log_request t ?rid ~session ~peer ~group ~doc ~query ~status ~results
              match error with Some e -> Json.String e | None -> Json.Null );
          ]))
 
+(* One record per update attempt.  An admitted write is kind "update"
+   with the version transition; a rejected one is "update_denied" with
+   the typed error code and message — distinguishable at a glance from
+   a denied query (kind "request", status "denied_empty"). *)
+let log_update t ?rid ?session ?peer ~group ~doc ~update ~status ?targets
+    ?old_version ?new_version ~latency_ms ?error () =
+  let opt f = function Some v -> f v | None -> Json.Null in
+  let ctx =
+    List.concat
+      [
+        rid_field rid;
+        (match session with
+        | Some s -> [ ("session", Json.Int s) ]
+        | None -> []);
+        (match peer with Some p -> [ ("peer", Json.String p) ] | None -> []);
+      ]
+  in
+  let kind = if error = None then "update" else "update_denied" in
+  emit t
+    (Json.Obj
+       (base t kind @ ctx
+       @ [
+           ("group", Json.String group);
+           ("doc", Json.String doc);
+           ("update", Json.String update);
+           ("status", Json.String status);
+           ("targets", opt (fun n -> Json.Int n) targets);
+           ("old_version", opt (fun v -> Json.Int v) old_version);
+           ("new_version", opt (fun v -> Json.Int v) new_version);
+           ("latency_ms", Json.Float latency_ms);
+           ("error", opt (fun e -> Json.String e) error);
+         ]))
+
 let log_slow_query t ?rid ~group ~query ?translated ~latency_ms ~threshold_ms
     ~stages ~counts ?session ?peer ?doc () =
   let opt f = function Some v -> f v | None -> Json.Null in

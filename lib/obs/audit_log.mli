@@ -29,6 +29,10 @@
     {"type":"slow_query","ts_ns":…,["rid":S,]["session":N,"peer":…,
      "doc":…,]"group":…,"query":…,"translated":S|null,"latency_ms":F,
      "threshold_ms":F,"stages_ms":{…},"op_counts":{"scanned":N,…}}
+    {"type":"update"|"update_denied","ts_ns":…,["rid":S,]["session":N,
+     "peer":…,]"group":…,"doc":…,"update":…,"status":S,"targets":N|null,
+     "old_version":N|null,"new_version":N|null,"latency_ms":F,
+     "error":S|null}
     v}
 
     ["rid"] is the request-correlation id (PR 7): the same id is
@@ -93,6 +97,28 @@ val log_request :
   unit
 (** One server-side ["request"] record ([status] ∈ ok/error/timeout/
     late; [latency_ms] includes queue wait). *)
+
+val log_update :
+  t ->
+  ?rid:string ->
+  ?session:int ->
+  ?peer:string ->
+  group:string ->
+  doc:string ->
+  update:string ->
+  status:string ->
+  ?targets:int ->
+  ?old_version:int ->
+  ?new_version:int ->
+  latency_ms:float ->
+  ?error:string ->
+  unit ->
+  unit
+(** One write-path record: kind ["update"] when [error] is absent
+    (an admitted write, with its [old_version → new_version]
+    transition and target count), ["update_denied"] otherwise (the
+    [error] carries the typed reason) — so a denied write is
+    distinguishable from a denied query. *)
 
 val log_slow_query :
   t ->

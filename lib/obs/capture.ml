@@ -1,7 +1,8 @@
-let schema_version = 1
+let schema_version = 2
 
 type record = {
   c_rid : string;
+  c_verb : string;
   c_group : string;
   c_doc : string option;
   c_query : string;
@@ -21,6 +22,7 @@ let to_json r =
     [
       ("v", Json.Int schema_version);
       ("rid", Json.String r.c_rid);
+      ("verb", Json.String r.c_verb);
       ("group", Json.String r.c_group);
       ( "doc",
         match r.c_doc with Some d -> Json.String d | None -> Json.Null );
@@ -44,7 +46,7 @@ let of_json j =
   in
   match Option.bind (Json.member "v" j) Json.to_int_opt with
   | None -> Error "capture record: missing \"v\""
-  | Some v when v <> schema_version ->
+  | Some v when v <> 1 && v <> schema_version ->
     Error (Printf.sprintf "capture record: unsupported version %d" v)
   | Some _ -> (
     match (req "rid", req "group", req "query", req "digest") with
@@ -63,6 +65,7 @@ let of_json j =
       Ok
         {
           c_rid;
+          c_verb = Option.value ~default:"query" (str "verb");
           c_group;
           c_doc = str "doc";
           c_query;
@@ -91,7 +94,10 @@ let of_json j =
 type t = { oc : out_channel; wlock : Mutex.t }
 
 let open_file path =
-  { oc = open_out path; wlock = Mutex.create () }
+  (* append, so a mixed workload built by several CLI invocations
+     (query, then update, then query again) accumulates in one file *)
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  { oc; wlock = Mutex.create () }
 
 let write t r =
   Mutex.protect t.wlock (fun () ->

@@ -7,23 +7,31 @@
     first, so readers can reject future formats cheaply):
 
     {v
-    {"v":1,"rid":S,"group":S,"doc":S|null,"query":S,"bind":{…},
-     "index":B,"engine":"plan"|"interp","status":S,"results":N,
-     "digest":S,"latency_ms":F}
+    {"v":2,"rid":S,"verb":"query"|"update","group":S,"doc":S|null,
+     "query":S,"bind":{…},"index":B,"engine":"plan"|"interp",
+     "status":S,"results":N,"digest":S,"latency_ms":F}
     v}
 
-    [digest] is the MD5 hex of the rendered result lines joined with
-    ["\n"] — the same rendering the CLI prints and the server puts in
-    its ["results"] reply field, so a replay digest match means the
-    byte-identical answer. *)
+    Version 1 files (no [verb] field — everything was a query) read
+    back fine; the writer always emits version 2.
+
+    For queries, [digest] is the MD5 hex of the rendered result lines
+    joined with ["\n"] — the same rendering the CLI prints and the
+    server puts in its ["results"] reply field, so a replay digest
+    match means the byte-identical answer.  For updates, [query] holds
+    the update's concrete syntax, [results] the target count, and
+    [digest] the MD5 hex of the {e resulting document}'s serialization
+    — a replay digest match means the replayed write produced the
+    byte-identical document version. *)
 
 val schema_version : int
 
 type record = {
   c_rid : string;
+  c_verb : string;  (** ["query"] or ["update"] *)
   c_group : string;
   c_doc : string option;  (** catalog doc name; [None] = requester default *)
-  c_query : string;
+  c_query : string;  (** query text, or the update's concrete syntax *)
   c_bind : (string * string) list;
   c_index : bool;
   c_engine : string;
@@ -46,6 +54,10 @@ type t
     server workers.  Every record is flushed on write. *)
 
 val open_file : string -> t
+(** Opens in append mode (creating the file if needed), so several
+    process runs pointed at the same path build one workload — the
+    way a mixed read/write capture is assembled from the CLI. *)
+
 val write : t -> record -> unit
 val close : t -> unit
 

@@ -1,5 +1,6 @@
 type entry = {
   rid : string;
+  verb : string;
   session : int option;
   peer : string option;
   group : string;
@@ -88,6 +89,7 @@ let entry_json e =
   Json.Obj
     [
       ("rid", Json.String e.rid);
+      ("verb", Json.String e.verb);
       ("ts_ns", Json.Int (Int64.to_int e.ts_ns));
       ("session", opt_json (fun s -> Json.Int s) e.session);
       ("peer", opt_json (fun p -> Json.String p) e.peer);
@@ -126,7 +128,8 @@ let dump_file t path =
       output_char oc '\n')
 
 let pp_entry ppf e =
-  Format.fprintf ppf "%-8s %-6s %-12s %-6s %5d  %8.3fms  %s" e.rid e.group
+  Format.fprintf ppf "%-8s %-6s %-6s %-12s %-6s %5d  %8.3fms  %s" e.rid
+    e.verb e.group
     (match e.doc with Some d -> d | None -> "-")
     e.status e.results e.latency_ms e.query;
   match e.error with

@@ -21,12 +21,14 @@
 
 type entry = {
   rid : string;  (** request-correlation id, as stamped in the reply *)
+  verb : string;  (** ["query"], ["explain"] or ["update"] — a denied
+                      write is distinguishable from a denied read *)
   session : int option;  (** server session, [None] for CLI requests *)
   peer : string option;
   group : string;
   doc : string option;  (** catalog name of the target document *)
   doc_version : int option;  (** {!Secview.Catalog.version} stamp *)
-  query : string;
+  query : string;  (** query text, or the update's concrete syntax *)
   engine : string;  (** ["plan"] or ["interp"] *)
   admission : string option;  (** {!Secview.Pipeline.admission_label} *)
   status : string;  (** ok/error/timeout/late/overloaded/denied_empty *)

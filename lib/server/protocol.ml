@@ -15,6 +15,7 @@ type request =
   | Query of query
   | Explain of query
   | Analyze of query
+  | Update of query  (** [text] is the update's concrete syntax *)
   | Stats
   | Metrics
   | Flight
@@ -33,6 +34,8 @@ let overloaded = "overloaded"
 let draining = "draining"
 let timeout = "timeout"
 let query_error = "query_error"
+let update_denied = "update_denied"
+let invalid_update = "invalid_update"
 
 (* Every reply carries the request-correlation id right after the
    version field — the same id lands in the audit log and the flight
@@ -87,10 +90,14 @@ let request_of_line line =
       match string_field "group" obj with
       | Some group -> Ok (Hello { group; peer = string_field "peer" obj })
       | None -> Error "hello: missing string field \"group\"")
-    | Some ("query" | "explain" | "analyze") -> (
+    | Some ("query" | "explain" | "analyze" | "update") -> (
       let cmd = Option.get (string_field "cmd" obj) in
-      match string_field "query" obj with
-      | None -> Error (cmd ^ ": missing string field \"query\"")
+      (* the update text rides in its own field, so a query named
+         "update" stays expressible and logs read unambiguously *)
+      let text_field = if cmd = "update" then "update" else "query" in
+      match string_field text_field obj with
+      | None ->
+        Error (Printf.sprintf "%s: missing string field %S" cmd text_field)
       | Some text -> (
         let bind =
           match field "bind" obj with
@@ -128,6 +135,7 @@ let request_of_line line =
               (match cmd with
               | "explain" -> Explain q
               | "analyze" -> Analyze q
+              | "update" -> Update q
               | _ -> Query q))))
     | Some "stats" -> Ok Stats
     | Some "metrics" -> Ok Metrics
@@ -162,6 +170,16 @@ let query_json ?rid ?doc ?(bind = []) ?(use_index = false) text =
     @ (if bind = [] then []
        else [ ("bind", J.Obj (List.map (fun (k, v) -> (k, J.String v)) bind)) ])
     @ if use_index then [ ("index", J.Bool true) ] else [])
+
+let update_json ?rid ?doc ?(bind = []) text =
+  J.Obj
+    (("cmd", J.String "update")
+     :: client_rid rid
+    @ ("update", J.String text)
+      :: (match doc with Some d -> [ ("doc", J.String d) ] | None -> [])
+    @
+    if bind = [] then []
+    else [ ("bind", J.Obj (List.map (fun (k, v) -> (k, J.String v)) bind)) ])
 
 let simple cmd = J.Obj [ ("cmd", J.String cmd) ]
 

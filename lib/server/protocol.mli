@@ -9,6 +9,8 @@
     {"cmd":"explain","query":Q,"doc":D?,         EXPLAIN instead of answer
      "bind":{name:value,…}?}                     (same fields as query)
     {"cmd":"analyze","query":Q}                  static admission verdict only
+    {"cmd":"update","update":U,"doc":D?,         run a view update
+     "bind":{name:value,…}?}                     (transactional; see below)
     {"cmd":"stats"}                              server statistics
     {"cmd":"metrics"}                            metrics dump + OpenMetrics
     {"cmd":"flight"}                             flight-recorder dump
@@ -46,6 +48,14 @@ type request =
       (** same shape as a query; answered with the static admission
           verdict ({!Secview.Pipeline.classify}) — no document is
           touched, no evaluation runs *)
+  | Update of query
+      (** [text] holds the update's concrete syntax (the [update]
+          wire field); [use_index] is always [false].  Runs through
+          the worker pool like a query but serialized per document
+          against other writers; an admitted update's reply carries
+          the target count and the [old_version → new_version]
+          transition, a rejected one is an [update_denied] /
+          [invalid_update] error reply with nothing applied *)
   | Stats
   | Metrics
   | Flight  (** flight-recorder dump; session-less like [Metrics] *)
@@ -79,6 +89,8 @@ val overloaded : string
 val draining : string
 val timeout : string
 val query_error : string
+val update_denied : string
+val invalid_update : string
 
 (** {1 Reply and request builders} *)
 
@@ -103,6 +115,14 @@ val query_json :
 (** With [rid], the client picks the correlation id ([secview replay]
     re-sends the captured ids so a replayed request is traceable in
     both capture and live logs). *)
+
+val update_json :
+  ?rid:string ->
+  ?doc:string ->
+  ?bind:(string * string) list ->
+  string ->
+  Sobs.Json.t
+(** An update command carrying the concrete update syntax. *)
 
 val simple : string -> Sobs.Json.t
 (** [{"cmd":CMD}] — for [stats], [metrics], [ping], [shutdown]. *)

@@ -45,7 +45,14 @@ let next_rid sess =
 type work =
   | Answer of Protocol.query
   | Explain_query of Protocol.query
+  | Do_update of Protocol.query  (** [text] is the update's syntax *)
   | Nap of float
+
+let work_verb = function
+  | Answer _ -> "query"
+  | Explain_query _ -> "explain"
+  | Do_update _ -> "update"
+  | Nap _ -> "sleep"
 
 type job = {
   jsession : session;
@@ -78,6 +85,11 @@ type t = {
   busy_workers : int Atomic.t;
   conn_lock : Mutex.t;
   mutable conns : Thread.t list;
+  (* one writer lock per catalog document: updates on the same document
+     are serialized check-to-swap, updates on different documents run
+     concurrently, and readers never take these at all *)
+  write_locks : (string, Mutex.t) Hashtbl.t;
+  write_locks_lock : Mutex.t;
 }
 
 let create ?(config = default_config) ?audit ?metrics ?tracer ?recorder
@@ -110,7 +122,18 @@ let create ?(config = default_config) ?audit ?metrics ?tracer ?recorder
     busy_workers = Atomic.make 0;
     conn_lock = Mutex.create ();
     conns = [];
+    write_locks = Hashtbl.create 7;
+    write_locks_lock = Mutex.create ();
   }
+
+let writer_lock t name =
+  Mutex.protect t.write_locks_lock (fun () ->
+      match Hashtbl.find_opt t.write_locks name with
+      | Some m -> m
+      | None ->
+        let m = Mutex.create () in
+        Hashtbl.add t.write_locks name m;
+        m)
 
 let metrics t = t.metrics
 
@@ -128,6 +151,15 @@ let audit_request t ~rid ~session ~peer ~group ~doc ~query ~status ~results
     Mutex.protect t.obs_lock (fun () ->
         Sobs.Audit_log.log_request log ~rid ~session ~peer ~group ~doc ~query
           ~status ~results ~latency_ms ?error ())
+
+let audit_update t ~rid ~session ~peer ~group ~doc ~update ~status ?targets
+    ?old_version ?new_version ~latency_ms ?error () =
+  match t.audit with
+  | None -> ()
+  | Some log ->
+    Mutex.protect t.obs_lock (fun () ->
+        Sobs.Audit_log.log_update log ~rid ~session ~peer ~group ~doc ~update
+          ~status ?targets ?old_version ?new_version ~latency_ms ?error ())
 
 (* Runtime gauges, sampled on every scrape/metrics verb rather than on
    a timer: the values are cheap to read and a scraper only cares
@@ -285,6 +317,8 @@ let explain_query t ~rid ~group (q : Protocol.query) =
                  | Some r -> J.String r
                  | None -> J.Null );
                ("results", J.Int x.Pipeline.x_results);
+               ("doc_version", J.Int x.Pipeline.x_doc_version);
+               ("generation", J.Int x.Pipeline.x_generation);
                ( "plan",
                  match x.Pipeline.x_plan with
                  | Some (compiled, stats) ->
@@ -292,6 +326,24 @@ let explain_query t ~rid ~group (q : Protocol.query) =
                      (Splan.Explain.of_compiled compiled stats)
                  | None -> J.Null );
              ]))
+
+(* The write path: resolve the document, then run check+swap under the
+   document's writer lock — the check pins a snapshot and the swap
+   publishes a new one, so concurrent readers are never torn, but two
+   writers racing the same entry would lose an update without this. *)
+let run_update t ~group (q : Protocol.query) =
+  match resolve_document t q.doc with
+  | Error _ as e -> e
+  | Ok entry -> (
+    let env name = List.assoc_opt name q.bind in
+    let lock = writer_lock t (Option.value (Catalog.name entry) ~default:"-") in
+    try
+      Mutex.protect lock (fun () ->
+          Supdate.Engine.apply_text t.pipeline ~group ~env ~entry q.text)
+    with
+    | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Error (Secview.Error.Internal msg)
+    | exn -> Error (Secview.Error.Internal (Printexc.to_string exn)))
 
 let doc_label t (q : Protocol.query) =
   match q.doc with
@@ -312,10 +364,11 @@ let doc_version t (q : Protocol.query) =
 let record_flight t job ~status ~results ?error ?digest ~latency_ms ~spans
     ~counts () =
   match (t.recorder, job.work) with
-  | Some r, (Answer q | Explain_query q) ->
+  | Some r, (Answer q | Explain_query q | Do_update q) ->
     Sobs.Recorder.record r
       {
         Sobs.Recorder.rid = job.jrid;
+        verb = work_verb job.work;
         session = Some job.jsession.sid;
         peer = Some job.jsession.peer;
         group = job.jgroup;
@@ -347,9 +400,19 @@ let maybe_snapshot t ~status ~slow =
 
 let run_job t job =
   let latency () = 1000. *. (Deadline.now () -. job.submitted) in
-  let log ~status ~results ?error ~latency_ms () =
+  let log ?receipt ~status ~results ?error ~latency_ms () =
     match job.work with
     | Nap _ -> ()
+    | Do_update q ->
+      ignore results;
+      let field f = Option.map (fun (r, _) -> f r) receipt in
+      audit_update t ~rid:job.jrid ~session:job.jsession.sid
+        ~peer:job.jsession.peer ~group:job.jgroup ~doc:(doc_label t q)
+        ~update:q.text ~status
+        ?targets:(field (fun r -> r.Supdate.Engine.r_targets))
+        ?old_version:(field (fun r -> r.Supdate.Engine.r_old_version))
+        ?new_version:(field (fun r -> r.Supdate.Engine.r_new_version))
+        ~latency_ms ?error ()
     | Answer q | Explain_query q ->
       audit_request t ~rid:job.jrid ~session:job.jsession.sid
         ~peer:job.jsession.peer ~group:job.jgroup ~doc:(doc_label t q)
@@ -382,13 +445,36 @@ let run_job t job =
       | Nap s ->
         Thread.delay s;
         ( Protocol.ok ~rid [ ("slept_ms", J.Float (1000. *. s)) ], "ok", 0,
-          None, None )
+          None, None, None )
       | Explain_query q -> (
         match explain_query t ~rid ~group:job.jgroup q with
-        | Ok reply -> (reply, "ok", 0, None, None)
+        | Ok reply -> (reply, "ok", 0, None, None, None)
         | Error e ->
           ( Protocol.error_of ~rid e, "error", 0,
-            Some (Secview.Error.to_string e), None ))
+            Some (Secview.Error.to_string e), None, None ))
+      | Do_update q -> (
+        match run_update t ~group:job.jgroup q with
+        | Ok r ->
+          let serialized = Sxml.Print.to_string r.Supdate.Engine.r_doc in
+          ( Protocol.ok ~rid
+              [
+                ("op", J.String r.Supdate.Engine.r_op);
+                ("targets", J.Int r.Supdate.Engine.r_targets);
+                ("old_version", J.Int r.Supdate.Engine.r_old_version);
+                ("new_version", J.Int r.Supdate.Engine.r_new_version);
+                ("digest", J.String (Sobs.Capture.digest [ serialized ]));
+              ],
+            "ok",
+            r.Supdate.Engine.r_targets,
+            None,
+            None,
+            Some (r, serialized) )
+        | Error e ->
+          (* the code is the status ("update_denied", "invalid_update"):
+             a denial is the write path's headline outcome, and the
+             flight recorder should say so without the error text *)
+          ( Protocol.error_of ~rid e, Secview.Error.to_code e, 0,
+            Some (Secview.Error.to_string e), None, None ))
       | Answer q -> (
         match answer_query t ~group:job.jgroup q with
         | Ok (results, translated, counts) ->
@@ -400,10 +486,11 @@ let run_job t job =
             "ok",
             List.length results,
             None,
-            Some (q, Some translated, counts, results) )
+            Some (q, Some translated, counts, results),
+            None )
         | Error e ->
           ( Protocol.error_of ~rid e, "error", 0,
-            Some (Secview.Error.to_string e), Some (q, None, [], []) ))
+            Some (Secview.Error.to_string e), Some (q, None, [], []), None ))
     in
     (* the whole request runs inside a synthetic "request" root span:
        its children (per-thread) are exactly this request's stages,
@@ -413,7 +500,7 @@ let run_job t job =
       (t.config.slow_ms <> None || Option.is_some t.recorder)
       && (match job.work with Answer _ -> true | _ -> false)
     in
-    let (reply, status, results, error, detail), spans =
+    let (reply, status, results, error, detail, receipt), spans =
       match t.tracer with
       | Some tr when want_spans -> Sobs.Tracer.with_request tr run_work
       | _ -> (run_work (), [])
@@ -438,14 +525,16 @@ let run_job t job =
         ~stages:(Sobs.Tracer.stage_totals spans)
         ~counts ()
     | _ -> ());
-    log ~status ~results ?error ~latency_ms ();
+    log ?receipt ~status ~results ?error ~latency_ms ();
     (if Option.is_some t.recorder then
        let digest, counts =
-         match detail with
-         | Some (_, _, counts, rendered) when error = None ->
+         match (detail, receipt) with
+         | Some (_, _, counts, rendered), _ when error = None ->
            (Some (Sobs.Capture.digest rendered), counts)
-         | Some (_, _, counts, _) -> (None, counts)
-         | None -> (None, [])
+         | Some (_, _, counts, _), _ -> (None, counts)
+         | None, Some (_, serialized) ->
+           (Some (Sobs.Capture.digest [ serialized ]), [])
+         | None, None -> (None, [])
        in
        record_flight t job ~status ~results ?error ?digest ~latency_ms ~spans
          ~counts ());
@@ -454,6 +543,7 @@ let run_job t job =
       Sobs.Capture.write cap
         {
           Sobs.Capture.c_rid = rid;
+          c_verb = "query";
           c_group = job.jgroup;
           c_doc = q.doc;
           c_query = q.text;
@@ -463,6 +553,27 @@ let run_job t job =
           c_status = "ok";
           c_results = results;
           c_digest = Sobs.Capture.digest rendered;
+          c_latency_ms = latency_ms;
+        }
+    | _ -> ());
+    (match (t.capture, job.work, receipt) with
+    | Some cap, Do_update q, Some (r, serialized) ->
+      (* only admitted writes are captured: a rejected update changed
+         nothing, so replaying the admitted sequence in order rebuilds
+         the same document versions *)
+      Sobs.Capture.write cap
+        {
+          Sobs.Capture.c_rid = rid;
+          c_verb = "update";
+          c_group = job.jgroup;
+          c_doc = q.doc;
+          c_query = q.text;
+          c_bind = q.bind;
+          c_index = false;
+          c_engine = Pipeline.engine_label t.config.engine;
+          c_status = "ok";
+          c_results = r.Supdate.Engine.r_targets;
+          c_digest = Sobs.Capture.digest [ serialized ];
           c_latency_ms = latency_ms;
         }
     | _ -> ());
@@ -618,6 +729,7 @@ let admission_fast_path t sess fd ~rid group (q : Protocol.query) =
           Sobs.Recorder.record r
             {
               Sobs.Recorder.rid;
+              verb = "query";
               session = Some sess.sid;
               peer = Some sess.peer;
               group;
@@ -643,6 +755,7 @@ let admission_fast_path t sess fd ~rid group (q : Protocol.query) =
           Sobs.Capture.write cap
             {
               Sobs.Capture.c_rid = rid;
+              c_verb = "query";
               c_group = group;
               c_doc = q.doc;
               c_query = q.text;
@@ -686,7 +799,7 @@ let submit t sess fd ~rid work =
       (* overload rejections are audited too: a shed request must stay
          correlatable by rid, not vanish into a counter *)
       (match work with
-      | Answer q | Explain_query q ->
+      | Answer q | Explain_query q | Do_update q ->
         audit_request t ~rid ~session:sess.sid ~peer:sess.peer
           ~group:job.jgroup ~doc:(doc_label t q) ~query:q.text
           ~status:"overloaded" ~results:0
@@ -803,7 +916,13 @@ let handle_line t sess fd line =
       | None ->
         count t "server.rejected.no_session";
         send fd (Protocol.error_of ~rid Secview.Error.No_session)
-      | Some _ -> submit t sess fd ~rid (Explain_query q)))
+      | Some _ -> submit t sess fd ~rid (Explain_query q))
+    | Protocol.Update q -> (
+      match sess.group with
+      | None ->
+        count t "server.rejected.no_session";
+        send fd (Protocol.error_of ~rid Secview.Error.No_session)
+      | Some _ -> submit t sess fd ~rid (Do_update q)))
 
 let conn_loop t fd peer =
   let sess =

@@ -1,0 +1,42 @@
+(** Update rewriting and admission: the write-path analogue of query
+    rewriting, with the relational [WITH CHECK OPTION] discipline.
+
+    An update's target path is written over the group's view;
+    {!run} translates it through the view's σ-functions exactly like a
+    read query, evaluates the translation on the document, and admits
+    the update only when every touched node stays inside the group's
+    accessible region:
+
+    - [delete]/[replace]: every node of every target {e subtree} must
+      be accessible (removing a subtree that hides inaccessible data
+      would destroy what the group cannot even see), and the target's
+      parent edge must carry the matching write grant;
+    - [insert]: each target must be accessible, the attachment edge
+      must carry an [insert] grant, and the spliced content must be
+      accessible {e in the resulting document} — a group cannot write
+      data it could not then read back;
+    - the resulting document must conform to the document DTD.
+
+    The check is atomic by construction: it computes a candidate
+    document purely and either returns it or an error — nothing
+    partial ever escapes. *)
+
+val run :
+  dtd:Sdtd.Dtd.t ->
+  spec:Secview.Spec.t ->
+  view:Secview.View.t ->
+  ?env:(string -> string option) ->
+  ?height:int ->
+  Sxml.Tree.t ->
+  Ast.t ->
+  (Sxml.Tree.t * int, Secview.Error.t) result
+(** [run ~dtd ~spec ~view doc u] is [(new_doc, targets)] when the
+    update is admitted: the rebuilt document (fresh dense-preorder
+    identifiers, root id 0) and how many view nodes the target path
+    matched.  [height] is the unfolding bound for recursive views
+    (like {!Secview.Pipeline.translate}).
+
+    Errors: [Update_denied] (missing grant, inaccessible target
+    subtree, inaccessible content), [Invalid_update] (empty target
+    set, root deletion, result violates the DTD), [Unsupported]
+    (rewriting refused the target path), [Unbound_variable]. *)

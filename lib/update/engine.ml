@@ -1,0 +1,59 @@
+module Pipeline = Secview.Pipeline
+module Catalog = Secview.Catalog
+module Error = Secview.Error
+
+type receipt = {
+  r_op : string;
+  r_targets : int;
+  r_old_version : int;
+  r_new_version : int;
+  r_doc : Sxml.Tree.t;
+}
+
+let apply t ~group ?env ~entry update =
+  let ( let* ) = Result.bind in
+  let* spec =
+    match Pipeline.spec t ~group with
+    | Some spec -> Ok spec
+    | None ->
+      Error
+        (Error.Update_denied
+           (Printf.sprintf
+              "group %S was built from a stored view: no access \
+               specification, no write grants"
+              group))
+    | exception Not_found ->
+      Error
+        (Error.Unknown_group
+           {
+             group;
+             known = List.map (fun g -> g.Pipeline.name) (Pipeline.groups t);
+           })
+  in
+  let view = Pipeline.view t ~group in
+  let snapshot = Catalog.pin entry in
+  let doc = Catalog.snapshot_doc snapshot in
+  let height =
+    if Sdtd.Dtd.is_recursive (Secview.View.dtd view) then
+      Some (Catalog.snapshot_height (Pipeline.catalog t) snapshot)
+    else None
+  in
+  let* candidate, targets =
+    Check.run ~dtd:(Pipeline.dtd t) ~spec ~view ?env ?height doc update
+  in
+  let old_version = Catalog.snapshot_version snapshot in
+  let new_version = Catalog.update entry candidate in
+  Pipeline.invalidate_version t old_version;
+  Ok
+    {
+      r_op = Ast.op_label update;
+      r_targets = targets;
+      r_old_version = old_version;
+      r_new_version = new_version;
+      r_doc = candidate;
+    }
+
+let apply_text t ~group ?env ~entry text =
+  match Parse.of_string text with
+  | update -> apply t ~group ?env ~entry update
+  | exception Parse.Error msg -> Error (Error.Invalid_update msg)

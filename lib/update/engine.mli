@@ -1,0 +1,46 @@
+(** The transactional update orchestrator over a {!Secview.Pipeline}.
+
+    [apply] runs the full write path for one update: resolve the
+    group's policy and view, pin the document's current catalog
+    snapshot, admit the update through {!Check.run}, and — only on
+    admission — swap the rebuilt document in as a new snapshot
+    ({!Secview.Catalog.update}) and evict exactly the old version's
+    translation/plan cache entries
+    ({!Secview.Pipeline.invalidate_version}).  A rejected update
+    returns before any of that: document, index, catalog version and
+    caches are bit-for-bit untouched.
+
+    Concurrency: readers pinned on the old snapshot are never torn
+    (snapshots are immutable), but two {e writers} racing on the same
+    entry can lose an update between check and swap — callers must
+    serialize writers per document.  The server holds a per-document
+    writer lock; the CLI is single-threaded. *)
+
+type receipt = {
+  r_op : string;  (** ["insert"] / ["delete"] / ["replace"] *)
+  r_targets : int;  (** view nodes the target path matched *)
+  r_old_version : int;  (** catalog version the check ran against *)
+  r_new_version : int;  (** version of the swapped-in snapshot *)
+  r_doc : Sxml.Tree.t;  (** the new document *)
+}
+
+val apply :
+  Secview.Pipeline.t ->
+  group:string ->
+  ?env:(string -> string option) ->
+  entry:Secview.Catalog.entry ->
+  Ast.t ->
+  (receipt, Secview.Error.t) result
+(** Errors: everything {!Check.run} reports, plus [Unknown_group] and
+    [Update_denied] when the group was built from a stored view — no
+    policy, hence no write grants. *)
+
+val apply_text :
+  Secview.Pipeline.t ->
+  group:string ->
+  ?env:(string -> string option) ->
+  entry:Secview.Catalog.entry ->
+  string ->
+  (receipt, Secview.Error.t) result
+(** [apply] after parsing the concrete syntax; {!Parse.Error} becomes
+    [Invalid_update]. *)

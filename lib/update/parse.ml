@@ -1,0 +1,108 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* The target path and the content element split at the first '<':
+   fragment-C paths contain none (comparisons are [=]-only), so
+   everything before it is keywords + path, everything from it on is
+   one XML element. *)
+let split_content text =
+  match String.index_opt text '<' with
+  | None -> (text, None)
+  | Some i ->
+    (String.sub text 0 i, Some (String.sub text i (String.length text - i)))
+
+let parse_path s =
+  let s = String.trim s in
+  if s = "" then fail "missing target path"
+  else
+    match Sxpath.Parse.of_string_result s with
+    | Ok p -> p
+    | Error e ->
+      fail "bad target path: %s" (Sxpath.Parse.error_to_string e)
+
+let parse_content s =
+  match Sxml.Parse.of_string_result (String.trim s) with
+  | Ok doc -> (
+    match Sxml.Tree.to_spec doc with
+    | Sxml.Tree.E _ as spec -> spec
+    | Sxml.Tree.T _ -> fail "content must be an element, not bare text")
+  | Error e -> fail "bad content: %s" (Sxml.Parse.error_to_string e)
+
+(* First whitespace-delimited token and the rest of the string. *)
+let cut_token s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let of_string text =
+  let text = String.trim text in
+  let keyword, rest = cut_token text in
+  match keyword with
+  | "insert" -> (
+    let pos_kw, rest = cut_token rest in
+    let pos =
+      match pos_kw with
+      | "into" -> Ast.Into
+      | "before" -> Ast.Before
+      | "after" -> Ast.After
+      | "" -> fail "insert: expected into, before or after"
+      | kw -> fail "insert: expected into, before or after, got %S" kw
+    in
+    match split_content rest with
+    | _, None -> fail "insert: missing content element"
+    | path_text, Some content_text ->
+      Ast.Insert
+        {
+          pos;
+          target = parse_path path_text;
+          content = parse_content content_text;
+        })
+  | "delete" ->
+    if String.contains rest '<' then fail "delete takes no content"
+    else Ast.Delete (parse_path rest)
+  | "replace" -> (
+    match split_content rest with
+    | _, None -> fail "replace: missing 'with' content element"
+    | path_text, Some content_text ->
+      let path_text = String.trim path_text in
+      let with_len = String.length "with" in
+      let path_text =
+        if
+          String.length path_text >= with_len
+          && String.sub path_text
+               (String.length path_text - with_len)
+               with_len
+             = "with"
+          && (String.length path_text = with_len
+             || path_text.[String.length path_text - with_len - 1] = ' ')
+        then
+          String.sub path_text 0 (String.length path_text - with_len)
+        else fail "replace: expected 'replace PATH with CONTENT'"
+      in
+      Ast.Replace
+        { target = parse_path path_text; content = parse_content content_text })
+  | "" -> fail "empty update"
+  | kw -> fail "expected insert, delete or replace, got %S" kw
+
+let of_string_result text =
+  match of_string text with
+  | u -> Ok u
+  | exception Error msg -> Error msg
+
+let content_to_string spec = Sxml.Print.to_string (Sxml.Tree.of_spec spec)
+
+let to_string = function
+  | Ast.Insert { pos; target; content } ->
+    Printf.sprintf "insert %s %s %s"
+      (Ast.position_to_string pos)
+      (Sxpath.Print.to_string target)
+      (content_to_string content)
+  | Ast.Delete target ->
+    Printf.sprintf "delete %s" (Sxpath.Print.to_string target)
+  | Ast.Replace { target; content } ->
+    Printf.sprintf "replace %s with %s"
+      (Sxpath.Print.to_string target)
+      (content_to_string content)

@@ -1,0 +1,27 @@
+(** Parser and printer for the update language's concrete syntax.
+
+    {v
+    update  := 'insert' ('into' | 'before' | 'after') path content
+             | 'delete' path
+             | 'replace' path 'with' content
+    content := one well-formed XML element
+    v}
+
+    [path] is the read fragment's syntax ({!Sxpath.Parse}); [content]
+    starts at the first ['<'] of the line — well-formed because paths
+    of the fragment contain no ['<'] (comparisons are [=]-only and a
+    quoted value with a ['<'] in it is out of scope). *)
+
+exception Error of string
+(** Malformed update text; the payload is the human-readable reason.
+    (Library equivalent of {!Secview.Error.Invalid_update} — layers
+    that speak [Secview.Error] convert, see {!Engine}.) *)
+
+val of_string : string -> Ast.t
+(** @raise Error on malformed input. *)
+
+val of_string_result : string -> (Ast.t, string) result
+
+val to_string : Ast.t -> string
+(** Concrete syntax that {!of_string} reads back to an equal
+    update. *)

@@ -28,8 +28,8 @@ let q1 =
   (* [*/patient/wardNo = $wardNo] at dept *)
   Sxpath.Parse.qual_of_string "*/patient/wardNo = $wardNo"
 
-let nurse_spec dtd =
-  Secview.Spec.make dtd
+let nurse_spec ?write dtd =
+  Secview.Spec.make ?write dtd
     [
       (("hospital", "dept"), Secview.Spec.Cond q1);
       (("dept", "clinicalTrial"), Secview.Spec.No);

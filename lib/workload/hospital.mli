@@ -8,11 +8,15 @@
 
 val dtd : Sdtd.Dtd.t
 
-val nurse_spec : Sdtd.Dtd.t -> Secview.Spec.t
+val nurse_spec :
+  ?write:((string * string) * Secview.Spec.write_op list) list ->
+  Sdtd.Dtd.t ->
+  Secview.Spec.t
 (** The Example 3.1 policy parameterized by [$wardNo]: nurses see only
     departments with their ward, never learn which patients are in
     clinical trials, and see bills/medication but not the treatment
-    kind. *)
+    kind.  [write] attaches write grants to the same annotations
+    (default: none — the policy is read-only, as in the paper). *)
 
 val nurse_env : string -> string -> string option
 (** [nurse_env ward]: environment binding [$wardNo] to [ward]. *)

@@ -212,3 +212,38 @@ The explain command now carries the admission verdict:
   >   user "//test" | head -2
   query:      //test
   admission:  denied — step test: test is not an element type of the DTD
+
+Secure updates ride the same view.  Write grants are per DTD edge and
+per operation ('write parent child OPS' sidecar lines); a policy
+without them is read-only:
+
+  $ secview update --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
+  >   --bind wardNo=6 user \
+  >   'replace //patient[name = "Bob"]//bill with <bill>150</bill>'
+  secview: no replace grant on edge (regular, bill)
+  [2]
+
+A granted write is admitted only if every touched node stays inside
+the nurse's accessible region; the rebuilt document goes to --out (the
+input file is never modified in place):
+
+  $ secview update --dtd hospital.dtd --spec nurse_rw.spec --doc ward.xml \
+  >   --bind wardNo=6 --out ward2.xml user \
+  >   'replace //patient[name = "Bob"]//bill with <bill>150</bill>'
+  op:       replace
+  targets:  1
+  version:  1 -> 2
+  digest:   9b852fbd62cf5f5840c35fb1a583d626
+  $ grep -c 150 ward.xml
+  0
+  [1]
+  $ grep -c 150 ward2.xml
+  1
+
+Deleting a patient would also delete the hidden treatment branch
+beneath -- rejected, and nothing changes:
+
+  $ secview update --dtd hospital.dtd --spec nurse_rw.spec --doc ward.xml \
+  >   --bind wardNo=6 user 'delete //patient[name = "Bob"]'
+  secview: target subtree contains an inaccessible node (id 22)
+  [2]

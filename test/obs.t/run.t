@@ -117,6 +117,7 @@ the number of answers:
   translated: dept[patientInfo/patient/wardNo = $wardNo]/(clinicalTrial/patientInfo | patientInfo)/patient/name
   engine:     plan
   results:    2
+  doc version: 1  (plan-cache generation 0)
   seq                            emitted=2
     seq                          emitted=2
       seq                        emitted=2

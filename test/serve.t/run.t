@@ -105,7 +105,7 @@ writes one replayable JSONL record per answered query:
   >   --bind wardNo=6 '//patient/name' >/dev/null
   $ secview flight --socket ./sv4.sock | sed -E 's/ +[0-9.]+ ms/ _ ms/'
   flight recorder: 1/8 entries, 1 recorded
-  r1-2       user       ok              2 _ ms  //patient/name
+  r1-2       query    user       ok              2 _ ms  //patient/name
 
 Replaying the captured workload against the live server re-sends the
 captured rids and byte-compares every answer against its captured
@@ -120,8 +120,8 @@ The capture is versioned JSONL; the replayed request landed in it
 under the same rid as the original:
 
   $ sed -E 's/"latency_ms":[0-9.e+-]+/"latency_ms":_/' cap.jsonl
-  {"v":1,"rid":"r1-2","group":"user","doc":null,"query":"//patient/name","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":2,"digest":"24a76603fbb22b9e66dfb6c82c858e49","latency_ms":_}
-  {"v":1,"rid":"r1-2","group":"user","doc":null,"query":"//patient/name","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":2,"digest":"24a76603fbb22b9e66dfb6c82c858e49","latency_ms":_}
+  {"v":2,"rid":"r1-2","verb":"query","group":"user","doc":null,"query":"//patient/name","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":2,"digest":"24a76603fbb22b9e66dfb6c82c858e49","latency_ms":_}
+  {"v":2,"rid":"r1-2","verb":"query","group":"user","doc":null,"query":"//patient/name","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":2,"digest":"24a76603fbb22b9e66dfb6c82c858e49","latency_ms":_}
 
 With --no-admission the same denied query takes the worker path and
 produces the identical reply:
@@ -135,3 +135,50 @@ produces the identical reply:
   {"ok":true,"v":1,"rid":"r1-2","results":[],"count":0}
   $ secview client --socket ./sv3.sock --shutdown
   $ wait
+
+Transactional updates over the wire: the update verb runs under the
+document's writer lock, bumps its catalog version, and lands in the
+flight recorder, audit log and capture with the "update" verb; a
+query on the same connection sees the new version immediately:
+
+  $ secview serve --dtd hospital.dtd --spec nurse_rw.spec \
+  >   --doc ward=ward.xml --socket ./sv5.sock --flight 8 \
+  >   --audit-log audit5.jsonl --capture cap5.jsonl 2>serve5.log &
+  $ secview client --socket ./sv5.sock --wait 5 --group user \
+  >   --bind wardNo=6 \
+  >   --update 'replace //patient[name = "Bob"]//bill with <bill>150</bill>' \
+  >   '//patient//bill'
+  update ok: 1 target(s), version 1 -> 2
+  <bill>900</bill>
+  <bill>150</bill>
+
+A write the policy cannot admit is a structured refusal and leaves
+the document alone:
+
+  $ secview client --socket ./sv5.sock --group user --bind wardNo=6 \
+  >   --update 'delete //patient[name = "Bob"]'
+  secview: update "delete //patient[name = \"Bob\"]" failed: {"ok":false,"v":1,"rid":"r2-2","code":"update_denied","error":"target subtree contains an inaccessible node (id 22)"}
+  [1]
+
+The flight recorder shows the verb per entry; explain reports the
+document version the next query would run against:
+
+  $ secview flight --socket ./sv5.sock | sed -E 's/ +[0-9.]+ ms/ _ ms/'
+  flight recorder: 3/8 entries, 3 recorded
+  r1-2       update   user       ok              1 _ ms  replace //patient[name = "Bob"]//bill with <bill>150</bill>
+  r1-3       query    user       ok              2 _ ms  //patient//bill
+  r2-2       update   user       update_denied    0 _ ms  delete //patient[name = "Bob"]  ! target subtree contains an inaccessible node (id 22)
+
+  $ secview client --socket ./sv5.sock --shutdown
+  $ wait
+
+The audit log distinguishes admitted writes from denials, and only
+the admitted one reached the capture (a rejected update changes
+nothing, so replaying it would be meaningless):
+
+  $ grep -o '"type":"update[a-z_]*"' audit5.jsonl | sort | uniq -c | sed 's/^ *//'
+  1 "type":"update"
+  1 "type":"update_denied"
+  $ sed -E 's/"latency_ms":[0-9.e+-]+/"latency_ms":_/' cap5.jsonl
+  {"v":2,"rid":"r1-2","verb":"update","group":"user","doc":null,"query":"replace //patient[name = \"Bob\"]//bill with <bill>150</bill>","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":1,"digest":"9b852fbd62cf5f5840c35fb1a583d626","latency_ms":_}
+  {"v":2,"rid":"r1-3","verb":"query","group":"user","doc":null,"query":"//patient//bill","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":2,"digest":"072a8e931d027c1c9794aa200727c8c8","latency_ms":_}

@@ -327,6 +327,7 @@ let test_with_request_isolates_traces () =
 let flight_entry ~rid ?(status = "ok") () =
   {
     Sobs.Recorder.rid;
+    verb = "query";
     session = Some 1;
     peer = Some "tests";
     group = "user";
@@ -406,6 +407,7 @@ let test_recorder_disabled_no_allocation () =
 let capture_record ~rid =
   {
     Sobs.Capture.c_rid = rid;
+    c_verb = "query";
     c_group = "user";
     c_doc = Some "d1";
     c_query = "//a";
@@ -434,10 +436,28 @@ let test_capture_roundtrip () =
   (* the version field leads, so readers reject foreign formats cheaply *)
   check_contains "record json"
     (Json.to_string (Sobs.Capture.to_json r))
-    "{\"v\":1,";
+    "{\"v\":2,";
+  check_contains "record json"
+    (Json.to_string (Sobs.Capture.to_json r))
+    "\"verb\":\"query\"";
   (match Sobs.Capture.of_json (Json.Obj [ ("v", Json.Int 99) ]) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "future schema version accepted");
+  (* version-1 records (no verb field) still read back as queries *)
+  (match
+     Sobs.Capture.of_json
+       (Json.Obj
+          [
+            ("v", Json.Int 1);
+            ("rid", Json.String "old");
+            ("group", Json.String "g");
+            ("query", Json.String "//a");
+            ("digest", Json.String "d");
+          ])
+   with
+  | Ok r1 ->
+    Alcotest.(check string) "v1 verb defaults" "query" r1.Sobs.Capture.c_verb
+  | Error e -> Alcotest.failf "v1 record rejected: %s" e);
   let path = Filename.temp_file "secview-capture" ".jsonl" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())

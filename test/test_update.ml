@@ -1,0 +1,436 @@
+(* The update subsystem: language round-trips, grant semantics
+   (default deny, per-op grants), reject-on-inaccessible-target
+   atomicity, exact cache invalidation, and snapshot isolation under
+   a concurrent writer. *)
+
+module Pipeline = Secview.Pipeline
+module Catalog = Secview.Catalog
+module Spec = Secview.Spec
+module Engine = Supdate.Engine
+module Parse = Supdate.Parse
+
+let parse = Sxpath.Parse.of_string
+
+let eval p doc =
+  Sxpath.Eval.run (Sxpath.Eval.Ctx.make ~root:doc ()) p
+
+let dtd = Workload.Hospital.dtd
+
+(* A group that sees the whole document (no annotations: everything
+   inherits the root's Y), with the given write grants. *)
+let open_spec grants = Spec.make ~write:grants dtd []
+
+(* The nurse policy of [Workload.Hospital], plus write grants — the
+   workload's own [nurse_spec] is read-only by design. *)
+let nurse_spec grants =
+  Spec.make ~write:grants dtd
+    [
+      ( ("hospital", "dept"),
+        Spec.Cond (Sxpath.Parse.qual_of_string "*/patient/wardNo = $wardNo") );
+      (("dept", "clinicalTrial"), Spec.No);
+      (("clinicalTrial", "patientInfo"), Spec.Yes);
+      (("treatment", "trial"), Spec.No);
+      (("treatment", "regular"), Spec.No);
+      (("trial", "bill"), Spec.Yes);
+      (("regular", "bill"), Spec.Yes);
+      (("regular", "medication"), Spec.Yes);
+    ]
+
+let setup spec =
+  let catalog = Catalog.create () in
+  let entry =
+    Catalog.add catalog ~name:"doc" (Workload.Hospital.sample_document ())
+  in
+  let pipe = Pipeline.create ~catalog dtd ~groups:[ ("g", spec) ] in
+  (pipe, entry)
+
+(* Everything a rejected update must leave bit-for-bit unchanged. *)
+let fingerprint pipe entry =
+  let s = Pipeline.cache_stats pipe ~group:"g" in
+  ( Catalog.version entry,
+    Pipeline.generation pipe,
+    Sxml.Print.to_string (Catalog.doc entry),
+    (s.Pipeline.hits, s.Pipeline.misses, s.Pipeline.plan_hits, s.Pipeline.plan_misses) )
+
+let check_rejected ?env ~code pipe entry text =
+  let before = fingerprint pipe entry in
+  let pinned = Catalog.pin entry in
+  (match Engine.apply_text pipe ~group:"g" ?env ~entry text with
+  | Ok _ -> Alcotest.failf "update %S was admitted" text
+  | Error e ->
+      Alcotest.(check string) "error code" code (Secview.Error.to_code e));
+  let after = fingerprint pipe entry in
+  Alcotest.(check bool) "reject leaves everything untouched" true
+    (before = after);
+  let pinned' = Catalog.pin entry in
+  Alcotest.(check int) "current snapshot version unchanged"
+    (Catalog.snapshot_version pinned)
+    (Catalog.snapshot_version pinned');
+  Alcotest.(check bool) "current snapshot tree physically unchanged" true
+    (Catalog.snapshot_doc pinned == Catalog.snapshot_doc pinned')
+
+let count_patients doc = List.length (eval (parse "//patient") doc)
+
+(* --- language ------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      let u = Parse.of_string s in
+      let printed = Parse.to_string u in
+      Alcotest.(check string)
+        (Printf.sprintf "round-trip of %S" s)
+        printed
+        (Parse.to_string (Parse.of_string printed)))
+    [
+      "insert into //patientInfo <patient><name>Zed</name></patient>";
+      "insert before //patient[name = \"Bob\"] <patient><name>A</name></patient>";
+      "insert after //dept/patientInfo/patient <note>x</note>";
+      "delete //patient[name = \"Bob\"]";
+      "replace //patient[name = \"Carol\"]/treatment with <treatment><trial><bill>1</bill></trial></treatment>";
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Parse.of_string_result s with
+      | Ok _ -> Alcotest.failf "parsed malformed update %S" s
+      | Error _ -> ())
+    [
+      "";
+      "delete";
+      "insert //x <a/>";
+      "insert sideways //x <a/>";
+      "insert into //x";
+      "insert into //x not-xml";
+      "replace //x <a/>";
+      "replace //x with";
+      "frobnicate //x";
+    ]
+
+(* --- grants -------------------------------------------------------- *)
+
+let test_default_deny () =
+  (* A spec without grants is read-only: every operation is denied,
+     even for a group that can see the whole document. *)
+  let pipe, entry = setup (open_spec []) in
+  List.iter
+    (fun text -> check_rejected ~code:"update_denied" pipe entry text)
+    [
+      "delete //patient[name = \"Bob\"]";
+      "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>Zed</name><wardNo>6</wardNo><treatment><trial><bill>1</bill></trial></treatment></patient>";
+      "replace //patient[name = \"Bob\"]/treatment/regular/medication with <medication>zzz</medication>";
+    ]
+
+let test_grants_are_per_op () =
+  let pipe, entry =
+    setup (open_spec [ (("patientInfo", "patient"), [ Spec.Delete ]) ])
+  in
+  (* delete is granted on the edge, insert and replace are not *)
+  check_rejected ~code:"update_denied" pipe entry
+    "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>Zed</name><wardNo>6</wardNo><treatment><trial><bill>1</bill></trial></treatment></patient>";
+  check_rejected ~code:"update_denied" pipe entry
+    "replace //patient[name = \"Bob\"] with <patient><name>Rob</name><wardNo>6</wardNo><treatment><trial><bill>1</bill></trial></treatment></patient>";
+  match
+    Engine.apply_text pipe ~group:"g" ~entry "delete //patient[name = \"Bob\"]"
+  with
+  | Error e -> Alcotest.failf "granted delete rejected: %s" (Secview.Error.to_code e)
+  | Ok r ->
+      Alcotest.(check int) "one target" 1 r.Engine.r_targets;
+      Alcotest.(check string) "op" "delete" r.Engine.r_op
+
+let test_ungranted_edge_denied () =
+  (* The grant names one edge; a target attached elsewhere stays
+     unwritable. *)
+  let pipe, entry =
+    setup (open_spec [ (("patientInfo", "patient"), Spec.all_write_ops) ])
+  in
+  check_rejected ~code:"update_denied" pipe entry "delete //staff[nurse/name = \"Nina\"]"
+
+(* --- accepted updates --------------------------------------------- *)
+
+let test_accepted_delete () =
+  let pipe, entry =
+    setup (open_spec [ (("patientInfo", "patient"), [ Spec.Delete ]) ])
+  in
+  let pinned = Catalog.pin entry in
+  let v0 = Catalog.version entry in
+  let g0 = Pipeline.generation pipe in
+  match
+    Engine.apply_text pipe ~group:"g" ~entry "delete //patient[name = \"Bob\"]"
+  with
+  | Error e -> Alcotest.failf "delete rejected: %s" (Secview.Error.to_code e)
+  | Ok r ->
+      Alcotest.(check int) "old version" v0 r.Engine.r_old_version;
+      Alcotest.(check bool) "version bumped" true (r.Engine.r_new_version > v0);
+      Alcotest.(check int) "catalog holds the new version"
+        r.Engine.r_new_version (Catalog.version entry);
+      Alcotest.(check int) "generation bumped once" (g0 + 1)
+        (Pipeline.generation pipe);
+      Alcotest.(check int) "one patient fewer" 4
+        (count_patients (Catalog.doc entry));
+      (* the pinned reader still sees Bob: snapshots are immutable *)
+      Alcotest.(check int) "pinned snapshot untouched" 5
+        (count_patients (Catalog.snapshot_doc pinned));
+      Alcotest.(check bool) "Bob gone from the view" true
+        (eval (parse "//patient[name = \"Bob\"]") (Catalog.doc entry) = [])
+
+let test_accepted_insert_and_replace () =
+  let pipe, entry =
+    setup
+      (open_spec [ (("patientInfo", "patient"), [ Spec.Insert; Spec.Replace ]) ])
+  in
+  (match
+     Engine.apply_text pipe ~group:"g" ~entry
+       "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>Zed</name><wardNo>6</wardNo><treatment><regular><bill>7</bill><medication>ibu</medication></regular></treatment></patient>"
+   with
+  | Error e -> Alcotest.failf "insert rejected: %s" (Secview.Error.to_code e)
+  | Ok r ->
+      Alcotest.(check string) "op" "insert" r.Engine.r_op;
+      Alcotest.(check int) "six patients" 6 (count_patients (Catalog.doc entry)));
+  match
+    Engine.apply_text pipe ~group:"g" ~entry
+      "replace //patient[name = \"Zed\"] with <patient><name>Zed</name><wardNo>6</wardNo><treatment><regular><bill>7</bill><medication>asa</medication></regular></treatment></patient>"
+  with
+  | Error e -> Alcotest.failf "replace rejected: %s" (Secview.Error.to_code e)
+  | Ok _ ->
+      Alcotest.(check bool) "replacement visible" true
+        (eval (parse "//patient[name = \"Zed\"]//medication[. = \"asa\"]")
+           (Catalog.doc entry)
+        <> [])
+
+let test_replace_medication_needs_regular_grant () =
+  (* the medication edge is (regular, medication), not the patient
+     edge the other tests grant *)
+  let pipe, entry =
+    setup (open_spec [ (("regular", "medication"), [ Spec.Replace ]) ])
+  in
+  match
+    Engine.apply_text pipe ~group:"g" ~entry
+      "replace //patient[name = \"Carol\"]/treatment/regular/medication with <medication>new</medication>"
+  with
+  | Error e -> Alcotest.failf "rejected: %s" (Secview.Error.to_code e)
+  | Ok r -> Alcotest.(check int) "one target" 1 r.Engine.r_targets
+
+(* --- DTD conformance and target validity --------------------------- *)
+
+let test_dtd_violation_rejected () =
+  let pipe, entry =
+    setup (open_spec [ (("patient", "name"), Spec.all_write_ops) ])
+  in
+  (* a second <name> breaks patient -> (name, wardNo, treatment) *)
+  check_rejected ~code:"invalid_update" pipe entry
+    "insert into //patient[name = \"Bob\"] <name>Robert</name>";
+  (* deleting a mandatory child breaks the production too *)
+  check_rejected ~code:"invalid_update" pipe entry
+    "delete //patient[name = \"Bob\"]/name"
+
+let test_empty_target_rejected () =
+  let pipe, entry =
+    setup (open_spec [ (("patientInfo", "patient"), Spec.all_write_ops) ])
+  in
+  check_rejected ~code:"invalid_update" pipe entry
+    "delete //patient[name = \"Nobody\"]"
+
+let test_stored_view_group_denied () =
+  (* A stored-view group carries no policy, hence no grants: every
+     update is rejected outright. *)
+  let source, _ = setup (open_spec []) in
+  let view = Pipeline.view source ~group:"g" in
+  let catalog = Catalog.create () in
+  let entry =
+    Catalog.add catalog ~name:"doc" (Workload.Hospital.sample_document ())
+  in
+  let pipe = Pipeline.create_with_views ~catalog dtd ~groups:[ ("g", view) ] in
+  check_rejected ~code:"update_denied" pipe entry
+    "delete //patient[name = \"Bob\"]"
+
+(* --- policy semantics over a restricted view ----------------------- *)
+
+let env = Workload.Hospital.nurse_env "6"
+
+let test_nurse_subtree_with_hidden_nodes () =
+  (* Every ward-6 patient subtree contains a hidden <trial>/<regular>
+     element; deleting one would destroy data the nurse cannot see. *)
+  let pipe, entry =
+    setup (nurse_spec [ (("patientInfo", "patient"), [ Spec.Delete ]) ])
+  in
+  check_rejected ~env ~code:"update_denied" pipe entry
+    "delete //patient[name = \"Bob\"]"
+
+let test_nurse_cannot_write_unreadable_content () =
+  (* An inserted patient's treatment is hidden from the nurse in the
+     resulting document — the group may not write what it could not
+     read back. *)
+  let pipe, entry =
+    setup (nurse_spec [ (("patientInfo", "patient"), [ Spec.Insert ]) ])
+  in
+  check_rejected ~env ~code:"update_denied" pipe entry
+    "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>Zed</name><wardNo>6</wardNo><treatment><regular><bill>7</bill><medication>ibu</medication></regular></treatment></patient>"
+
+let test_nurse_can_update_visible_leaf () =
+  (* bill is visible and its edge granted: the write goes through. *)
+  let pipe, entry =
+    setup (nurse_spec [ (("regular", "bill"), [ Spec.Replace ]) ])
+  in
+  match
+    Engine.apply_text pipe ~group:"g" ~env ~entry
+      "replace //patient[name = \"Carol\"]//bill with <bill>85</bill>"
+  with
+  | Error e -> Alcotest.failf "rejected: %s" (Secview.Error.to_code e)
+  | Ok _ ->
+      Alcotest.(check bool) "new bill visible" true
+        (eval (parse "//patient[name = \"Carol\"]//bill[. = \"85\"]")
+           (Catalog.doc entry)
+        <> [])
+
+let test_nurse_other_ward_out_of_view () =
+  (* Dave is in ward 7: his subtree is simply not in the ward-6 view,
+     so the target set is empty — invalid, not silently zero. *)
+  let pipe, entry =
+    setup (nurse_spec [ (("patientInfo", "patient"), Spec.all_write_ops) ])
+  in
+  check_rejected ~env ~code:"invalid_update" pipe entry
+    "delete //patient[name = \"Dave\"]"
+
+(* --- cache invalidation ------------------------------------------- *)
+
+let test_invalidation_is_per_document () =
+  let catalog = Catalog.create () in
+  let a = Catalog.add catalog ~name:"a" (Workload.Hospital.sample_document ()) in
+  let b = Catalog.add catalog ~name:"b" (Workload.Hospital.sample_document ()) in
+  let pipe =
+    Pipeline.create ~catalog dtd
+      ~groups:
+        [ ("g", open_spec [ (("patientInfo", "patient"), [ Spec.Insert ]) ]) ]
+  in
+  let qa = parse "//patient/name" and qb = parse "//staff" in
+  let run q e = ignore (Pipeline.answer_exn pipe ~group:"g" q (Catalog.doc e)) in
+  run qa a;
+  run qa a;
+  run qb b;
+  run qb b;
+  let s0 = Pipeline.cache_stats pipe ~group:"g" in
+  Alcotest.(check (pair int int)) "warm: one miss then one hit per doc" (2, 2)
+    (s0.Pipeline.hits, s0.Pipeline.misses);
+  (match
+     Engine.apply_text pipe ~group:"g" ~entry:a
+       "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>Zed</name><wardNo>6</wardNo><treatment><trial><bill>1</bill></trial></treatment></patient>"
+   with
+  | Error e -> Alcotest.failf "insert rejected: %s" (Secview.Error.to_code e)
+  | Ok _ -> ());
+  run qb b;
+  let s1 = Pipeline.cache_stats pipe ~group:"g" in
+  Alcotest.(check int) "b's entry survived a's invalidation" (s0.Pipeline.hits + 1)
+    s1.Pipeline.hits;
+  run qa a;
+  let s2 = Pipeline.cache_stats pipe ~group:"g" in
+  Alcotest.(check int) "a's entry was evicted" (s0.Pipeline.misses + 1)
+    s2.Pipeline.misses
+
+(* --- snapshot isolation under concurrency -------------------------- *)
+
+let test_snapshot_isolation_hammer () =
+  let writes = 20 and readers = 4 and reads = 60 in
+  let pipe, entry =
+    setup (open_spec [ (("patientInfo", "patient"), [ Spec.Insert ]) ])
+  in
+  let v0 = Catalog.version entry in
+  let q = parse "//patient" in
+  let failures = ref [] in
+  let flock = Mutex.create () in
+  let fail msg = Mutex.protect flock (fun () -> failures := msg :: !failures) in
+  let writer () =
+    for i = 1 to writes do
+      let text =
+        Printf.sprintf
+          "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>p%d</name><wardNo>6</wardNo><treatment><trial><bill>%d</bill></trial></treatment></patient>"
+          i i
+      in
+      match Engine.apply_text pipe ~group:"g" ~entry text with
+      | Ok _ -> Thread.yield ()
+      | Error e -> fail ("write rejected: " ^ Secview.Error.to_code e)
+    done
+  in
+  let reader () =
+    let last_version = ref 0 in
+    for _ = 1 to reads do
+      let snap = Catalog.pin entry in
+      let v = Catalog.snapshot_version snap in
+      let doc = Catalog.snapshot_doc snap in
+      if v < !last_version then fail "snapshot version went backwards";
+      last_version := v;
+      let c1 = count_patients doc in
+      Thread.yield ();
+      (* the pinned tree must be internally consistent however many
+         writes land after the pin: same count, same serialization,
+         same answer through the full pipeline *)
+      let c2 = count_patients (Catalog.snapshot_doc snap) in
+      if c1 <> c2 then fail "torn read: counts differ within one snapshot";
+      if c1 < 5 || c1 > 5 + writes then
+        fail (Printf.sprintf "impossible patient count %d" c1);
+      let via_pipe =
+        List.length (Pipeline.answer_exn pipe ~group:"g" q doc)
+      in
+      if via_pipe <> c1 then fail "pipeline answer disagrees with snapshot"
+    done
+  in
+  let threads =
+    Thread.create writer ()
+    :: List.init readers (fun _ -> Thread.create reader ())
+  in
+  List.iter Thread.join threads;
+  (match !failures with
+  | [] -> ()
+  | msgs -> Alcotest.failf "hammer failures: %s" (String.concat "; " msgs));
+  Alcotest.(check int) "all writes landed" (5 + writes)
+    (count_patients (Catalog.doc entry));
+  Alcotest.(check bool) "version advanced once per write" true
+    (Catalog.version entry >= v0 + writes)
+
+let () =
+  Alcotest.run "update"
+    [
+      ( "language",
+        [
+          Alcotest.test_case "round-trip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "grants",
+        [
+          Alcotest.test_case "default deny" `Quick test_default_deny;
+          Alcotest.test_case "per-op" `Quick test_grants_are_per_op;
+          Alcotest.test_case "per-edge" `Quick test_ungranted_edge_denied;
+          Alcotest.test_case "stored view" `Quick test_stored_view_group_denied;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "delete" `Quick test_accepted_delete;
+          Alcotest.test_case "insert+replace" `Quick
+            test_accepted_insert_and_replace;
+          Alcotest.test_case "leaf replace" `Quick
+            test_replace_medication_needs_regular_grant;
+          Alcotest.test_case "dtd violation" `Quick test_dtd_violation_rejected;
+          Alcotest.test_case "empty target" `Quick test_empty_target_rejected;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "hidden subtree" `Quick
+            test_nurse_subtree_with_hidden_nodes;
+          Alcotest.test_case "unreadable content" `Quick
+            test_nurse_cannot_write_unreadable_content;
+          Alcotest.test_case "visible leaf" `Quick
+            test_nurse_can_update_visible_leaf;
+          Alcotest.test_case "out of view" `Quick
+            test_nurse_other_ward_out_of_view;
+        ] );
+      ( "caches",
+        [
+          Alcotest.test_case "per-document invalidation" `Quick
+            test_invalidation_is_per_document;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "hammer" `Quick test_snapshot_isolation_hammer;
+        ] );
+    ]

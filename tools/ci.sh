@@ -42,6 +42,29 @@ secview replay "$TMP/cap.jsonl" --dtd "$POL/hospital.dtd" \
   --out "$TMP/replay.json" | grep -q ' 0 mismatch(es)'
 echo "-- replay: 0 mismatches"
 
+# Mixed read/write capture -> replay: a query, an admitted update, and
+# a query over the updated document, accumulated into one capture
+# (open_file appends), then replayed in captured order from the
+# original document — the replayed write must rebuild the
+# byte-identical version for the final query's digest to match.
+echo "== mixed capture -> replay smoke"
+printf 'write regular bill replace\nwrite trial bill replace\n' \
+  > "$TMP/billing_rw.spec"
+secview query --dtd "$POL/hospital.dtd" --spec "$TMP/billing_rw.spec" \
+  --doc "$TMP/doc.xml" --capture "$TMP/mixed.jsonl" \
+  '//patient//bill' > /dev/null
+secview update --dtd "$POL/hospital.dtd" --spec "$TMP/billing_rw.spec" \
+  --doc "$TMP/doc.xml" --capture "$TMP/mixed.jsonl" \
+  --out "$TMP/doc2.xml" user \
+  'replace //patient//bill with <bill>1</bill>' > /dev/null
+secview query --dtd "$POL/hospital.dtd" --spec "$TMP/billing_rw.spec" \
+  --doc "$TMP/doc2.xml" --capture "$TMP/mixed.jsonl" \
+  '//patient//bill' > /dev/null
+secview replay "$TMP/mixed.jsonl" --dtd "$POL/hospital.dtd" \
+  --spec "$TMP/billing_rw.spec" --doc doc="$TMP/doc.xml" \
+  | grep -q ' 0 mismatch(es)'
+echo "-- mixed replay: 0 mismatches"
+
 # The regression gate itself is gated: its self-test, then a diff of a
 # report against itself (which must never regress).
 echo "== bench_diff"
@@ -49,5 +72,17 @@ dune exec --no-build tools/bench_diff/main.exe -- --self-test
 dune exec --no-build tools/bench_diff/main.exe -- --quiet \
   "$TMP/replay.json" "$TMP/replay.json"
 echo "-- bench_diff: self-diff clean"
+
+# The write path must not tax readers: BENCH_PR8.json's read-only pass
+# is recorded at the same JSON paths as BENCH_PR7.json's, so this
+# holds the read path across the update-subsystem PR.  The threshold
+# is generous because the committed files are recorded on whatever
+# machine ran each PR — this gate catches gross regressions, not
+# scheduler noise.
+if [ -f BENCH_PR7.json ] && [ -f BENCH_PR8.json ]; then
+  dune exec --no-build tools/bench_diff/main.exe -- \
+    --threshold 60 --floor 2 BENCH_PR7.json BENCH_PR8.json
+  echo "-- bench_diff: read path held across PR 8"
+fi
 
 echo "== ci.sh: all green"
