@@ -1018,9 +1018,14 @@ let update_cmd =
     let pipe = Secview.Pipeline.create ~catalog dtd ~groups in
     let env = env_of_bindings bindings in
     let alog = Option.map (fun p -> open_audit_log p) audit_log in
+    (* the admission check's id-bearing denial detail belongs in the
+       audit log, never in the error shown to the requesting group *)
+    let detail = ref None in
     let t0 = Sserver.Deadline.now () in
     let outcome =
-      Supdate.Engine.apply_text pipe ~group ~env ~entry update_text
+      Supdate.Engine.apply_text pipe ~group ~env
+        ~audit:(fun d -> detail := Some d)
+        ~entry update_text
     in
     let latency_ms = 1000. *. (Sserver.Deadline.now () -. t0) in
     (match alog with
@@ -1033,14 +1038,18 @@ let update_cmd =
           ~old_version:rc.Supdate.Engine.r_old_version
           ~new_version:rc.Supdate.Engine.r_new_version ~latency_ms ()
       | Error e ->
+        let error =
+          match !detail with
+          | Some d -> Secview.Error.to_string e ^ " [" ^ d ^ "]"
+          | None -> Secview.Error.to_string e
+        in
         Sobs.Audit_log.log_update a ~group ~doc:"doc" ~update:update_text
-          ~status:"error" ~latency_ms ~error:(Secview.Error.to_string e) ());
+          ~status:"error" ~latency_ms ~error ());
       Sobs.Audit_log.close a);
     match outcome with
     | Error e -> raise (Secview.Error.E e)
     | Ok rc ->
-      let serialized = Sxml.Print.to_string rc.Supdate.Engine.r_doc in
-      let digest = Sobs.Capture.digest [ serialized ] in
+      let digest = rc.Supdate.Engine.r_view_digest in
       (match capture with
       | None -> ()
       | Some path ->
@@ -1123,7 +1132,8 @@ let update_cmd =
       & info [ "capture" ] ~docv:"FILE"
           ~doc:
             "Append a replayable \"v\":2 update record (verb, group, update \
-             text, resulting-document digest) to $(docv) on success.")
+             text, digest of the group's view of the result) to $(docv) on \
+             success.")
   in
   let json_arg =
     Arg.(
@@ -1131,7 +1141,8 @@ let update_cmd =
       & info [ "json" ]
           ~doc:
             "Machine-readable receipt: op, target count, version transition \
-             and resulting-document digest as one JSON object.")
+             and the digest of the group's view of the result as one JSON \
+             object.")
   in
   Cmd.v
     (Cmd.info "update"
@@ -1782,9 +1793,9 @@ let replay_cmd =
                 let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
                 match Sobs.Json.member "ok" reply with
                 | Some (Sobs.Json.Bool true) when r.c_verb = "update" ->
-                  (* the reply digest is of the resulting document: a
-                     match means the replayed write rebuilt the
-                     byte-identical version *)
+                  (* the reply digest is of the group's view of the
+                     resulting document: a match means the replayed
+                     write rebuilt the byte-identical view *)
                   let digest =
                     match
                       Option.bind
@@ -1885,11 +1896,7 @@ let replay_cmd =
               with
               | Ok rc ->
                 let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
-                ( r,
-                  Sobs.Capture.digest
-                    [ Sxml.Print.to_string rc.Supdate.Engine.r_doc ],
-                  rc.Supdate.Engine.r_targets,
-                  ms )
+                (r, rc.Supdate.Engine.r_view_digest, rc.Supdate.Engine.r_targets, ms)
               | Error e ->
                 let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
                 (r, "error:" ^ Secview.Error.to_code e, 0, ms)

@@ -268,14 +268,22 @@ let parsed_request t (q : Protocol.query) k =
            the worker must survive *)
         Error (Secview.Error.Internal (Printexc.to_string exn))))
 
-(* Ok: (rendered results, translated query, plan operator counts).
-   Counts are only collected when the slow-query log or the flight
-   recorder could use them. *)
+(* Ok: (rendered results, translated query, plan operator counts,
+   pinned document version).  Counts are only collected when the
+   slow-query log or the flight recorder could use them. *)
 let answer_query t ~group (q : Protocol.query) =
   parsed_request t q (fun entry path ->
       let env name = List.assoc_opt name q.bind in
-      let doc = Catalog.doc entry in
-      let index = if q.use_index then Some (Catalog.index entry) else None in
+      (* Pin once: document and index must come from the same
+         snapshot.  Reading them through the entry as two separate
+         dereferences could straddle a concurrent update's swap, and
+         the new snapshot's index ids (fresh dense preorder) name
+         different nodes in the old tree — a torn read. *)
+      let snap = Catalog.pin entry in
+      let doc = Catalog.snapshot_doc snap in
+      let index =
+        if q.use_index then Some (Catalog.snapshot_index snap) else None
+      in
       match
         Pipeline.answer_outcome t.pipeline ~group ~engine:t.config.engine
           ~counts:(t.config.slow_ms <> None || Option.is_some t.recorder)
@@ -285,7 +293,8 @@ let answer_query t ~group (q : Protocol.query) =
         Ok
           ( List.map (fun n -> Sxml.Print.to_string n) o.Pipeline.o_results,
             Sxpath.Print.to_string o.Pipeline.o_translated,
-            o.Pipeline.o_counts )
+            o.Pipeline.o_counts,
+            Catalog.snapshot_version snap )
       | Error _ as e -> e)
 
 let explain_query t ~rid ~group (q : Protocol.query) =
@@ -330,20 +339,29 @@ let explain_query t ~rid ~group (q : Protocol.query) =
 (* The write path: resolve the document, then run check+swap under the
    document's writer lock — the check pins a snapshot and the swap
    publishes a new one, so concurrent readers are never torn, but two
-   writers racing the same entry would lose an update without this. *)
+   writers racing the same entry would lose an update without this.
+   Returns the outcome plus the admission check's id-bearing denial
+   detail, which goes to the audit log only — the client reply carries
+   the sanitized message. *)
 let run_update t ~group (q : Protocol.query) =
   match resolve_document t q.doc with
-  | Error _ as e -> e
-  | Ok entry -> (
+  | Error _ as e -> (e, None)
+  | Ok entry ->
     let env name = List.assoc_opt name q.bind in
     let lock = writer_lock t (Option.value (Catalog.name entry) ~default:"-") in
-    try
-      Mutex.protect lock (fun () ->
-          Supdate.Engine.apply_text t.pipeline ~group ~env ~entry q.text)
-    with
-    | Failure msg | Invalid_argument msg | Sys_error msg ->
-      Error (Secview.Error.Internal msg)
-    | exn -> Error (Secview.Error.Internal (Printexc.to_string exn)))
+    let detail = ref None in
+    let audit d = detail := Some d in
+    let outcome =
+      try
+        Mutex.protect lock (fun () ->
+            Supdate.Engine.apply_text t.pipeline ~group ~env ~audit ~entry
+              q.text)
+      with
+      | Failure msg | Invalid_argument msg | Sys_error msg ->
+        Error (Secview.Error.Internal msg)
+      | exn -> Error (Secview.Error.Internal (Printexc.to_string exn))
+    in
+    (outcome, !detail)
 
 let doc_label t (q : Protocol.query) =
   match q.doc with
@@ -361,8 +379,8 @@ let doc_version t (q : Protocol.query) =
    per fast-path denial, built at that site).  The recorder has its
    own mutex — never the shared [obs_lock] — so recording can never
    deadlock against span draining or audit writes. *)
-let record_flight t job ~status ~results ?error ?digest ~latency_ms ~spans
-    ~counts () =
+let record_flight t job ~status ~results ?error ?digest ?version ~latency_ms
+    ~spans ~counts () =
   match (t.recorder, job.work) with
   | Some r, (Answer q | Explain_query q | Do_update q) ->
     Sobs.Recorder.record r
@@ -373,7 +391,10 @@ let record_flight t job ~status ~results ?error ?digest ~latency_ms ~spans
         peer = Some job.jsession.peer;
         group = job.jgroup;
         doc = Some (doc_label t q);
-        doc_version = doc_version t q;
+        (* prefer the version the request actually ran against — the
+           entry's current version may already be a later write's *)
+        doc_version =
+          (match version with Some _ -> version | None -> doc_version t q);
         query = q.text;
         engine = Pipeline.engine_label t.config.engine;
         admission = None;
@@ -405,7 +426,7 @@ let run_job t job =
     | Nap _ -> ()
     | Do_update q ->
       ignore results;
-      let field f = Option.map (fun (r, _) -> f r) receipt in
+      let field f = Option.map f receipt in
       audit_update t ~rid:job.jrid ~session:job.jsession.sid
         ~peer:job.jsession.peer ~group:job.jgroup ~doc:(doc_label t q)
         ~update:q.text ~status
@@ -454,30 +475,39 @@ let run_job t job =
             Some (Secview.Error.to_string e), None, None ))
       | Do_update q -> (
         match run_update t ~group:job.jgroup q with
-        | Ok r ->
-          let serialized = Sxml.Print.to_string r.Supdate.Engine.r_doc in
+        | Ok r, _ ->
+          (* the client-visible digest is of the group's view of the
+             new document (Engine computed it) — the raw document's
+             digest would be an equality oracle on hidden regions *)
           ( Protocol.ok ~rid
               [
                 ("op", J.String r.Supdate.Engine.r_op);
                 ("targets", J.Int r.Supdate.Engine.r_targets);
                 ("old_version", J.Int r.Supdate.Engine.r_old_version);
                 ("new_version", J.Int r.Supdate.Engine.r_new_version);
-                ("digest", J.String (Sobs.Capture.digest [ serialized ]));
+                ("digest", J.String r.Supdate.Engine.r_view_digest);
               ],
             "ok",
             r.Supdate.Engine.r_targets,
             None,
             None,
-            Some (r, serialized) )
-        | Error e ->
+            Some r )
+        | Error e, detail ->
           (* the code is the status ("update_denied", "invalid_update"):
              a denial is the write path's headline outcome, and the
-             flight recorder should say so without the error text *)
+             flight recorder should say so without the error text.
+             The audit/recorder error keeps the admission check's
+             id-bearing detail; the reply already went out sanitized. *)
+          let audit_error =
+            match detail with
+            | Some d -> Secview.Error.to_string e ^ " [" ^ d ^ "]"
+            | None -> Secview.Error.to_string e
+          in
           ( Protocol.error_of ~rid e, Secview.Error.to_code e, 0,
-            Some (Secview.Error.to_string e), None, None ))
+            Some audit_error, None, None ))
       | Answer q -> (
         match answer_query t ~group:job.jgroup q with
-        | Ok (results, translated, counts) ->
+        | Ok (results, translated, counts, version) ->
           ( Protocol.ok ~rid
               [
                 ("results", J.List (List.map (fun s -> J.String s) results));
@@ -486,11 +516,12 @@ let run_job t job =
             "ok",
             List.length results,
             None,
-            Some (q, Some translated, counts, results),
+            Some (q, Some translated, counts, results, Some version),
             None )
         | Error e ->
           ( Protocol.error_of ~rid e, "error", 0,
-            Some (Secview.Error.to_string e), Some (q, None, [], []), None ))
+            Some (Secview.Error.to_string e), Some (q, None, [], [], None),
+            None ))
     in
     (* the whole request runs inside a synthetic "request" root span:
        its children (per-thread) are exactly this request's stages,
@@ -516,7 +547,7 @@ let run_job t job =
       | _ -> false
     in
     (match detail with
-    | Some (q, translated, counts, _) when slow ->
+    | Some (q, translated, counts, _, _) when slow ->
       let thr = Option.get t.config.slow_ms in
       count t "server.slow_query";
       audit_slow t ~rid ~session:job.jsession.sid ~peer:job.jsession.peer
@@ -527,19 +558,20 @@ let run_job t job =
     | _ -> ());
     log ?receipt ~status ~results ?error ~latency_ms ();
     (if Option.is_some t.recorder then
-       let digest, counts =
+       let digest, counts, version =
          match (detail, receipt) with
-         | Some (_, _, counts, rendered), _ when error = None ->
-           (Some (Sobs.Capture.digest rendered), counts)
-         | Some (_, _, counts, _), _ -> (None, counts)
-         | None, Some (_, serialized) ->
-           (Some (Sobs.Capture.digest [ serialized ]), [])
-         | None, None -> (None, [])
+         | Some (_, _, counts, rendered, v), _ when error = None ->
+           (Some (Sobs.Capture.digest rendered), counts, v)
+         | Some (_, _, counts, _, v), _ -> (None, counts, v)
+         | None, Some r ->
+           ( Some r.Supdate.Engine.r_view_digest, [],
+             Some r.Supdate.Engine.r_new_version )
+         | None, None -> (None, [], None)
        in
-       record_flight t job ~status ~results ?error ?digest ~latency_ms ~spans
-         ~counts ());
+       record_flight t job ~status ~results ?error ?digest ?version
+         ~latency_ms ~spans ~counts ());
     (match (t.capture, job.work, detail) with
-    | Some cap, Answer q, Some (_, _, _, rendered) when error = None ->
+    | Some cap, Answer q, Some (_, _, _, rendered, _) when error = None ->
       Sobs.Capture.write cap
         {
           Sobs.Capture.c_rid = rid;
@@ -557,10 +589,12 @@ let run_job t job =
         }
     | _ -> ());
     (match (t.capture, job.work, receipt) with
-    | Some cap, Do_update q, Some (r, serialized) ->
+    | Some cap, Do_update q, Some r ->
       (* only admitted writes are captured: a rejected update changed
          nothing, so replaying the admitted sequence in order rebuilds
-         the same document versions *)
+         the same document versions.  The digest is the group's-view
+         digest — the same value replay recomputes, and safe to leave
+         in capture files that travel. *)
       Sobs.Capture.write cap
         {
           Sobs.Capture.c_rid = rid;
@@ -573,7 +607,7 @@ let run_job t job =
           c_engine = Pipeline.engine_label t.config.engine;
           c_status = "ok";
           c_results = r.Supdate.Engine.r_targets;
-          c_digest = Sobs.Capture.digest [ serialized ];
+          c_digest = r.Supdate.Engine.r_view_digest;
           c_latency_ms = latency_ms;
         }
     | _ -> ());

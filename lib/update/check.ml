@@ -15,12 +15,12 @@ let rec spec_size = function
     List.fold_left (fun acc c -> acc + spec_size c) 1 cs
   | Tree.T _ -> 1
 
-let spec_tag = function Tree.E (tag, _, _) -> tag | Tree.T _ -> assert false
-
 (* Rebuild the document with the edit applied, numbering the candidate
    in of_spec's preorder as we go so the spliced content's id
-   intervals in the new document are known without re-finding it.
-   Exactly one of the target sets is non-empty per update. *)
+   intervals in the new document are known without re-finding it, and
+   recording the old id -> new id mapping of every surviving node so
+   accessibility can be compared across the edit.  Exactly one of the
+   target sets is non-empty per update. *)
 type edit = {
   delete : IntSet.t;
   replace : IntSet.t;
@@ -45,6 +45,7 @@ let splice doc edit =
     match edit.content with Some c -> spec_size c | None -> 0
   in
   let intervals = ref [] in
+  let survivors = Hashtbl.create 256 in
   let emit_content pos =
     intervals := (pos, pos + csize) :: !intervals;
     (Option.get edit.content, pos + csize)
@@ -57,8 +58,11 @@ let splice doc edit =
     end
     else
       match n.Tree.desc with
-      | Tree.Text s -> ([ Tree.T s ], pos + 1)
+      | Tree.Text s ->
+        Hashtbl.replace survivors n.Tree.id pos;
+        ([ Tree.T s ], pos + 1)
       | Tree.Element e ->
+        Hashtbl.replace survivors n.Tree.id pos;
         let children_rev, pos =
           List.fold_left
             (fun (acc, pos) (c : Tree.t) ->
@@ -88,14 +92,27 @@ let splice doc edit =
         ([ Tree.E (e.Tree.tag, e.Tree.attrs, List.rev children_rev) ], pos)
   in
   match go doc 0 with
-  | [ root ], _ -> (Tree.of_spec root, List.rev !intervals)
+  | [ root ], _ -> (Tree.of_spec root, List.rev !intervals, survivors)
   | _ -> invalid_arg "Check.splice: the edit removed the document root"
 
 let denied fmt = Printf.ksprintf (fun s -> Error.Update_denied s) fmt
 let invalid fmt = Printf.ksprintf (fun s -> Error.Invalid_update s) fmt
 
-let run ~dtd ~spec ~view ?env ?height doc update =
+(* Every update that carries content needs an element: grants are
+   per-edge tag pairs, so bare text has no edge to grant.  A typed
+   error, not an assertion — library callers can build any [Ast.t]. *)
+let content_tag = function
+  | Tree.E (tag, _, _) -> Ok tag
+  | Tree.T _ -> Error (invalid "update content must be an element")
+
+let run ~dtd ~spec ~view ?env ?height ?(audit = fun _ -> ()) doc update =
   let ( let* ) = Result.bind in
+  let* () =
+    match update with
+    | Ast.Delete _ -> Ok ()
+    | Ast.Insert { content; _ } | Ast.Replace { content; _ } ->
+      Result.map ignore (content_tag content)
+  in
   let* translated =
     match
       match height with
@@ -139,6 +156,12 @@ let run ~dtd ~spec ~view ?env ?height doc update =
     | None ->
       Error (denied "the document root has no parent edge to grant")
   in
+  (* Denial text goes back to the client verbatim, so it must not name
+     node identifiers: ids are dense preorder positions, and echoing
+     the id of a hidden node (or the gap around it) would let a group
+     probe out the size and location of subtrees the view conceals.
+     The precise, id-bearing reason goes to [audit] instead — the
+     server writes it to the operator's audit log only. *)
   let subtree_accessible (t : Tree.t) =
     match
       List.find_opt
@@ -147,13 +170,18 @@ let run ~dtd ~spec ~view ?env ?height doc update =
     with
     | None -> Ok ()
     | Some n ->
-      Error
-        (denied "target subtree contains an inaccessible node (id %d)"
-           n.Tree.id)
+      audit
+        (Printf.sprintf
+           "target subtree at node id %d contains inaccessible node id %d"
+           t.Tree.id n.Tree.id);
+      Error (denied "target subtree contains inaccessible content")
   in
   let target_accessible (t : Tree.t) =
     if IntSet.mem t.Tree.id acc then Ok ()
-    else Error (denied "target node (id %d) is not accessible" t.Tree.id)
+    else begin
+      audit (Printf.sprintf "target node id %d is not accessible" t.Tree.id);
+      Error (denied "target node is not accessible")
+    end
   in
   let check_target (t : Tree.t) =
     let ttag =
@@ -178,12 +206,14 @@ let run ~dtd ~spec ~view ?env ?height doc update =
       let* () = edge_grant ~parent:ptag ~child:ttag in
       subtree_accessible t
     | Ast.Insert { pos = Ast.Into; content; _ } ->
+      let* ctag = content_tag content in
       let* () = target_accessible t in
-      edge_grant ~parent:ttag ~child:(spec_tag content)
+      edge_grant ~parent:ttag ~child:ctag
     | Ast.Insert { pos = Ast.Before | Ast.After; content; _ } ->
+      let* ctag = content_tag content in
       let* () = target_accessible t in
       let* ptag = parent_tag t in
-      edge_grant ~parent:ptag ~child:(spec_tag content)
+      edge_grant ~parent:ptag ~child:ctag
   in
   let* () =
     List.fold_left
@@ -205,7 +235,7 @@ let run ~dtd ~spec ~view ?env ?height doc update =
       | Ast.Before -> { no_edit with insert_before = ids; content }
       | Ast.After -> { no_edit with insert_after = ids; content })
   in
-  let candidate, intervals = splice doc edit in
+  let candidate, intervals, survivors = splice doc edit in
   let* () =
     match Sdtd.Validate.check dtd candidate with
     | [] -> Ok ()
@@ -214,26 +244,47 @@ let run ~dtd ~spec ~view ?env ?height doc update =
         (invalid "result does not conform to the DTD: %s"
            (Format.asprintf "%a" Sdtd.Validate.pp_violation v))
   in
+  let acc' = Secview.Access.accessible_set ?env spec candidate in
   let* () =
     (* A group cannot write data it could not then read back: every
        node of the spliced content must be accessible in the new
        document.  (Deletes have no intervals; their admission was the
        subtree check above.) *)
-    match intervals with
-    | [] -> Ok ()
-    | _ ->
-      let acc' = Secview.Access.accessible_set ?env spec candidate in
-      let bad =
-        List.exists
-          (fun (lo, hi) ->
-            let rec any i =
-              i < hi && ((not (IntSet.mem i acc')) || any (i + 1))
-            in
-            any lo)
-          intervals
-      in
-      if bad then
-        Error (denied "inserted content would not be accessible")
-      else Ok ()
+    let bad =
+      List.exists
+        (fun (lo, hi) ->
+          let rec any i =
+            i < hi && ((not (IntSet.mem i acc')) || any (i + 1))
+          in
+          any lo)
+        intervals
+    in
+    if bad then Error (denied "inserted content would not be accessible")
+    else Ok ()
+  in
+  let* () =
+    (* The other half of WITH CHECK OPTION: the edit must not flip the
+       accessibility of anything it did not touch.  With conditional
+       annotations a narrowly-granted write can otherwise satisfy (or
+       falsify) a qualifier guarding a pre-existing sibling subtree
+       and unlock data the group was never granted — so compare
+       accessibility of every surviving node across the edit. *)
+    let flipped = ref None in
+    Tree.iter
+      (fun (n : Tree.t) ->
+        if !flipped = None then
+          match Hashtbl.find_opt survivors n.Tree.id with
+          | Some nid when IntSet.mem n.Tree.id acc <> IntSet.mem nid acc' ->
+            flipped := Some (n.Tree.id, IntSet.mem nid acc')
+          | _ -> ())
+      doc;
+    match !flipped with
+    | None -> Ok ()
+    | Some (id, now) ->
+      audit
+        (Printf.sprintf
+           "update would make untouched node id %d %s" id
+           (if now then "accessible" else "inaccessible"));
+      Error (denied "update would change the visibility of existing content")
   in
   Ok (candidate, List.length targets)

@@ -15,6 +15,11 @@
       must carry an [insert] grant, and the spliced content must be
       accessible {e in the resulting document} — a group cannot write
       data it could not then read back;
+    - the edit must not change the accessibility of any node it does
+      not touch: with conditional annotations, an otherwise-legal
+      write could satisfy (or falsify) a qualifier guarding an
+      untouched subtree and flip hidden data visible — such updates
+      are denied;
     - the resulting document must conform to the document DTD.
 
     The check is atomic by construction: it computes a candidate
@@ -27,6 +32,7 @@ val run :
   view:Secview.View.t ->
   ?env:(string -> string option) ->
   ?height:int ->
+  ?audit:(string -> unit) ->
   Sxml.Tree.t ->
   Ast.t ->
   (Sxml.Tree.t * int, Secview.Error.t) result
@@ -37,6 +43,14 @@ val run :
     (like {!Secview.Pipeline.translate}).
 
     Errors: [Update_denied] (missing grant, inaccessible target
-    subtree, inaccessible content), [Invalid_update] (empty target
-    set, root deletion, result violates the DTD), [Unsupported]
-    (rewriting refused the target path), [Unbound_variable]. *)
+    subtree, inaccessible content, visibility of untouched content
+    would change), [Invalid_update] (text content, empty target set,
+    root deletion, result violates the DTD), [Unsupported] (rewriting
+    refused the target path), [Unbound_variable].
+
+    Denial messages are deliberately structural-leak free: they never
+    name node identifiers (an id is a dense preorder position, so
+    echoing it would let a group map the hidden regions around its
+    targets).  The precise id-bearing reason is passed to [audit]
+    when given — callers should route it to a server-side audit log,
+    never back to the client. *)

@@ -8,9 +8,27 @@ type receipt = {
   r_old_version : int;
   r_new_version : int;
   r_doc : Sxml.Tree.t;
+  r_view_digest : string;
 }
 
-let apply t ~group ?env ~entry update =
+(* The digest a writer gets back is of the group's *view* of the new
+   document, never the raw document: a full-document digest would hand
+   the writer an equality oracle on regions it cannot read (detect
+   that hidden content changed between versions, or confirm a guessed
+   whole-document value).  MD5 of the serialized materialized view —
+   the same digest function Sobs.Capture uses, so capture/replay can
+   compare it directly. *)
+let view_digest ?env ~spec ~view doc =
+  let rendered =
+    try
+      Sxml.Print.to_string
+        (Secview.Materialize.to_tree
+           (Secview.Materialize.materialize ?env ~spec ~view doc))
+    with Secview.Materialize.Abort _ -> ""
+  in
+  Digest.to_hex (Digest.string rendered)
+
+let apply t ~group ?env ?audit ~entry update =
   let ( let* ) = Result.bind in
   let* spec =
     match Pipeline.spec t ~group with
@@ -39,7 +57,7 @@ let apply t ~group ?env ~entry update =
     else None
   in
   let* candidate, targets =
-    Check.run ~dtd:(Pipeline.dtd t) ~spec ~view ?env ?height doc update
+    Check.run ~dtd:(Pipeline.dtd t) ~spec ~view ?env ?height ?audit doc update
   in
   let old_version = Catalog.snapshot_version snapshot in
   let new_version = Catalog.update entry candidate in
@@ -51,9 +69,10 @@ let apply t ~group ?env ~entry update =
       r_old_version = old_version;
       r_new_version = new_version;
       r_doc = candidate;
+      r_view_digest = view_digest ?env ~spec ~view candidate;
     }
 
-let apply_text t ~group ?env ~entry text =
+let apply_text t ~group ?env ?audit ~entry text =
   match Parse.of_string text with
-  | update -> apply t ~group ?env ~entry update
+  | update -> apply t ~group ?env ?audit ~entry update
   | exception Parse.Error msg -> Error (Error.Invalid_update msg)

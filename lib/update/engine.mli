@@ -22,23 +22,31 @@ type receipt = {
   r_old_version : int;  (** catalog version the check ran against *)
   r_new_version : int;  (** version of the swapped-in snapshot *)
   r_doc : Sxml.Tree.t;  (** the new document *)
+  r_view_digest : string;
+      (** MD5 of the group's materialized view of the new document —
+          the only digest that may be shown to the writer.  A digest
+          of the raw document would be an equality oracle on content
+          the view hides. *)
 }
 
 val apply :
   Secview.Pipeline.t ->
   group:string ->
   ?env:(string -> string option) ->
+  ?audit:(string -> unit) ->
   entry:Secview.Catalog.entry ->
   Ast.t ->
   (receipt, Secview.Error.t) result
 (** Errors: everything {!Check.run} reports, plus [Unknown_group] and
     [Update_denied] when the group was built from a stored view — no
-    policy, hence no write grants. *)
+    policy, hence no write grants.  [audit] receives {!Check.run}'s
+    id-bearing denial detail (server-side logs only). *)
 
 val apply_text :
   Secview.Pipeline.t ->
   group:string ->
   ?env:(string -> string option) ->
+  ?audit:(string -> unit) ->
   entry:Secview.Catalog.entry ->
   string ->
   (receipt, Secview.Error.t) result

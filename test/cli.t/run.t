@@ -233,7 +233,7 @@ input file is never modified in place):
   op:       replace
   targets:  1
   version:  1 -> 2
-  digest:   9b852fbd62cf5f5840c35fb1a583d626
+  digest:   e796b0dcfba4a91472235e9dff0f04cc
   $ grep -c 150 ward.xml
   0
   [1]
@@ -245,5 +245,5 @@ beneath -- rejected, and nothing changes:
 
   $ secview update --dtd hospital.dtd --spec nurse_rw.spec --doc ward.xml \
   >   --bind wardNo=6 user 'delete //patient[name = "Bob"]'
-  secview: target subtree contains an inaccessible node (id 22)
+  secview: target subtree contains inaccessible content
   [2]

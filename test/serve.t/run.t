@@ -157,7 +157,7 @@ the document alone:
 
   $ secview client --socket ./sv5.sock --group user --bind wardNo=6 \
   >   --update 'delete //patient[name = "Bob"]'
-  secview: update "delete //patient[name = \"Bob\"]" failed: {"ok":false,"v":1,"rid":"r2-2","code":"update_denied","error":"target subtree contains an inaccessible node (id 22)"}
+  secview: update "delete //patient[name = \"Bob\"]" failed: {"ok":false,"v":1,"rid":"r2-2","code":"update_denied","error":"target subtree contains inaccessible content"}
   [1]
 
 The flight recorder shows the verb per entry; explain reports the
@@ -167,7 +167,7 @@ document version the next query would run against:
   flight recorder: 3/8 entries, 3 recorded
   r1-2       update   user       ok              1 _ ms  replace //patient[name = "Bob"]//bill with <bill>150</bill>
   r1-3       query    user       ok              2 _ ms  //patient//bill
-  r2-2       update   user       update_denied    0 _ ms  delete //patient[name = "Bob"]  ! target subtree contains an inaccessible node (id 22)
+  r2-2       update   user       update_denied    0 _ ms  delete //patient[name = "Bob"]  ! target subtree contains inaccessible content [target subtree at node id 16 contains inaccessible node id 22]
 
   $ secview client --socket ./sv5.sock --shutdown
   $ wait
@@ -180,5 +180,5 @@ nothing, so replaying it would be meaningless):
   1 "type":"update"
   1 "type":"update_denied"
   $ sed -E 's/"latency_ms":[0-9.e+-]+/"latency_ms":_/' cap5.jsonl
-  {"v":2,"rid":"r1-2","verb":"update","group":"user","doc":null,"query":"replace //patient[name = \"Bob\"]//bill with <bill>150</bill>","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":1,"digest":"9b852fbd62cf5f5840c35fb1a583d626","latency_ms":_}
+  {"v":2,"rid":"r1-2","verb":"update","group":"user","doc":null,"query":"replace //patient[name = \"Bob\"]//bill with <bill>150</bill>","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":1,"digest":"e796b0dcfba4a91472235e9dff0f04cc","latency_ms":_}
   {"v":2,"rid":"r1-3","verb":"query","group":"user","doc":null,"query":"//patient//bill","bind":{"wardNo":"6"},"index":false,"engine":"plan","status":"ok","results":2,"digest":"072a8e931d027c1c9794aa200727c8c8","latency_ms":_}

@@ -284,6 +284,109 @@ let test_nurse_can_update_visible_leaf () =
            (Catalog.doc entry)
         <> [])
 
+(* Only the ward qualifier, everything else inherited: every node of a
+   qualifying dept is visible, so admission comes down to whether the
+   edit preserves the accessibility of what it does not touch. *)
+let ward_cond_spec grants =
+  Spec.make ~write:grants dtd
+    [
+      ( ("hospital", "dept"),
+        Spec.Cond (Sxpath.Parse.qual_of_string "*/patient/wardNo = $wardNo") );
+    ]
+
+let test_qualifier_flip_denied () =
+  let pipe, entry =
+    setup (ward_cond_spec [ (("patientInfo", "patient"), [ Spec.Delete ]) ])
+  in
+  (* deleting one of two qualifying patients flips no qualifier: the
+     dept still qualifies through Carol, so the write is admitted *)
+  (match
+     Engine.apply_text pipe ~group:"g" ~env ~entry
+       "delete //patient[name = \"Bob\"]"
+   with
+  | Error e ->
+    Alcotest.failf "qualifier-preserving delete rejected: %s"
+      (Secview.Error.to_code e)
+  | Ok _ -> ());
+  (* deleting every remaining ward-6 patient falsifies the dept
+     qualifier: staff and trial data the update never touched would
+     flip invisible — WITH CHECK OPTION denies the edit atomically *)
+  check_rejected ~env ~code:"update_denied" pipe entry
+    "delete //patient[wardNo = \"6\"]"
+
+let test_denial_text_is_sanitized () =
+  (* client-facing denial text must not name node ids (dense preorder
+     positions map out hidden subtrees); the id-bearing reason goes to
+     the audit callback only *)
+  let pipe, entry =
+    setup (nurse_spec [ (("patientInfo", "patient"), [ Spec.Delete ]) ])
+  in
+  let detail = ref None in
+  match
+    Engine.apply_text pipe ~group:"g" ~env
+      ~audit:(fun d -> detail := Some d)
+      ~entry "delete //patient[name = \"Bob\"]"
+  with
+  | Ok _ -> Alcotest.fail "hidden-subtree delete admitted"
+  | Error e ->
+    let has_digit s = String.exists (fun c -> c >= '0' && c <= '9') s in
+    Alcotest.(check bool) "no node id in the client text" false
+      (has_digit (Secview.Error.to_string e));
+    (match !detail with
+    | None -> Alcotest.fail "denial produced no audit detail"
+    | Some d ->
+      Alcotest.(check bool) "audit detail names the node id" true
+        (has_digit d))
+
+let test_receipt_digest_is_view_scoped () =
+  (* the receipt digest is of the group's view of the result — a raw
+     document digest would be an equality oracle on hidden regions *)
+  let pipe, entry =
+    setup (nurse_spec [ (("regular", "bill"), [ Spec.Replace ]) ])
+  in
+  match
+    Engine.apply_text pipe ~group:"g" ~env ~entry
+      "replace //patient[name = \"Carol\"]//bill with <bill>85</bill>"
+  with
+  | Error e -> Alcotest.failf "rejected: %s" (Secview.Error.to_code e)
+  | Ok rc ->
+    let full =
+      Digest.to_hex (Digest.string (Sxml.Print.to_string rc.Engine.r_doc))
+    in
+    Alcotest.(check int) "md5 hex" 32 (String.length rc.Engine.r_view_digest);
+    Alcotest.(check bool) "not the raw document's digest" true
+      (rc.Engine.r_view_digest <> full)
+
+let test_text_content_typed_error () =
+  (* a library caller handing Check bare-text content gets a typed
+     Invalid_update, not an assertion failure *)
+  let pipe, entry =
+    setup (open_spec [ (("patientInfo", "patient"), Spec.all_write_ops) ])
+  in
+  List.iter
+    (fun u ->
+      let before = fingerprint pipe entry in
+      (match Engine.apply pipe ~group:"g" ~entry u with
+      | Ok _ -> Alcotest.fail "bare-text content admitted"
+      | Error e ->
+        Alcotest.(check string) "typed error" "invalid_update"
+          (Secview.Error.to_code e));
+      Alcotest.(check bool) "reject leaves everything untouched" true
+        (before = fingerprint pipe entry))
+    [
+      Supdate.Ast.Insert
+        {
+          pos = Supdate.Ast.Into;
+          target = parse "//patientInfo";
+          content = Sxml.Tree.T "boom";
+        };
+      Supdate.Ast.Replace
+        {
+          target = parse "//patient[name = \"Bob\"]";
+          content = Sxml.Tree.T "boom";
+        };
+    ]
+
 let test_nurse_other_ward_out_of_view () =
   (* Dave is in ward 7: his subtree is simply not in the ward-6 view,
      so the target set is empty — invalid, not silently zero. *)
@@ -423,6 +526,14 @@ let () =
             test_nurse_can_update_visible_leaf;
           Alcotest.test_case "out of view" `Quick
             test_nurse_other_ward_out_of_view;
+          Alcotest.test_case "qualifier flip" `Quick
+            test_qualifier_flip_denied;
+          Alcotest.test_case "sanitized denial" `Quick
+            test_denial_text_is_sanitized;
+          Alcotest.test_case "view-scoped digest" `Quick
+            test_receipt_digest_is_view_scoped;
+          Alcotest.test_case "text content" `Quick
+            test_text_content_typed_error;
         ] );
       ( "caches",
         [
