@@ -614,7 +614,9 @@ let serve_bench ~label ~scale ~reps ~clients ~out () =
                  groups re+all\n\n" clients reps;
   (* the byte-exact expected reply for every (group, query, dataset)
      cell, computed single-threaded before the server exists *)
-  let reference = Secview.Pipeline.create dtd ~groups in
+  let reference =
+    Secview.Pipeline.Session.create (Secview.Pipeline.Service.create dtd ~groups)
+  in
   let expected =
     List.concat_map
       (fun (g, _) ->
@@ -623,7 +625,7 @@ let serve_bench ~label ~scale ~reps ~clients ~out () =
             List.map
               (fun (dname, doc) ->
                 let answers =
-                  Secview.Pipeline.answer_exn reference ~group:g q doc
+                  Secview.Pipeline.Session.answer_exn reference ~group:g q doc
                 in
                 ( (g, qname, dname),
                   String.concat "\n"
@@ -636,10 +638,10 @@ let serve_bench ~label ~scale ~reps ~clients ~out () =
   List.iter
     (fun (n, d) -> ignore (Secview.Catalog.add catalog ~name:n d))
     docs;
-  let pipeline = Secview.Pipeline.create ~catalog dtd ~groups in
+  let service = Secview.Pipeline.Service.create ~catalog dtd ~groups in
   let workers = 4 in
-  let config = { Sserver.Server.default_config with workers } in
-  let server = Sserver.Server.create ~config pipeline in
+  let config = { Sserver.Server.default_config with domains = workers } in
+  let server = Sserver.Server.create ~config service in
   let sock = Filename.temp_file "secview-bench" ".sock" in
   Sys.remove sock;
   let server_thread =
@@ -784,7 +786,10 @@ let engines_bench ~label ~scale ~reps ~out () =
     "elements" "results" "Interp" "Plan" "I/P";
   Printf.printf "%s\n" (String.make 66 '-');
   let catalog = Secview.Catalog.create () in
-  let pipe = Secview.Pipeline.create ~catalog dtd ~groups in
+  let pipe =
+    Secview.Pipeline.Session.create
+      (Secview.Pipeline.Service.create ~catalog dtd ~groups)
+  in
   let rows = ref [] in
   let mismatches = ref 0 in
   List.iter
@@ -795,7 +800,8 @@ let engines_bench ~label ~scale ~reps ~out () =
       List.iter
         (fun (qname, q) ->
           let run engine () =
-            Secview.Pipeline.answer_exn pipe ~group:"re" ~engine ~index q doc
+            Secview.Pipeline.Session.answer_exn pipe ~group:"re" ~engine
+              ~index q doc
           in
           let render ns =
             String.concat "\n" (List.map (fun n -> Sxml.Print.to_string n) ns)
@@ -841,7 +847,9 @@ let engines_bench ~label ~scale ~reps ~out () =
         Workload.Adex.queries;
       Printf.printf "%s\n" (String.make 66 '-'))
     (Workload.Datasets.series ~scale ());
-  let stats = Secview.Pipeline.cache_stats pipe ~group:"re" in
+  let stats : Secview.Pipeline.stats =
+    Secview.Pipeline.Session.stats_of pipe ~group:"re"
+  in
   Printf.printf
     "plan cache: %d hit(s) %d miss(es), %d compiled, %d fallback(s)\n\n"
     stats.Secview.Pipeline.plan_hits stats.Secview.Pipeline.plan_misses
@@ -936,14 +944,14 @@ let analyze_bench ~label ~reps ~out () =
     let catalog = Secview.Catalog.create () in
     let doc = Workload.Hospital.generated_document ~seed:7 ~scale:40 () in
     ignore (Secview.Catalog.add catalog ~name:"ward" doc);
-    let pipeline =
-      Secview.Pipeline.create ~catalog dtd
+    let service =
+      Secview.Pipeline.Service.create ~catalog dtd
         ~groups:[ ("nurse", Workload.Hospital.nurse_spec dtd) ]
     in
     let config =
-      { Sserver.Server.default_config with workers = 4; admission }
+      { Sserver.Server.default_config with domains = 4; admission }
     in
-    let server = Sserver.Server.create ~config pipeline in
+    let server = Sserver.Server.create ~config service in
     let sock = Filename.temp_file "secview-bench" ".sock" in
     Sys.remove sock;
     let server_thread =
@@ -1082,7 +1090,7 @@ let pr7_bench ~label ~reps ~out () =
     let catalog = Secview.Catalog.create () in
     let doc = Workload.Hospital.generated_document ~seed:7 ~scale () in
     ignore (Secview.Catalog.add catalog ~name:"ward" doc);
-    ( Secview.Pipeline.create ~catalog dtd
+    ( Secview.Pipeline.Service.create ~catalog dtd
         ~groups:[ ("nurse", Workload.Hospital.nurse_spec dtd) ],
       doc )
   in
@@ -1091,8 +1099,8 @@ let pr7_bench ~label ~reps ~out () =
      256-entry flight recorder, and a capture file recording every
      answered query *)
   let serve_mix ~observed =
-    let pipeline, _ = fresh_pipeline () in
-    let config = { Sserver.Server.default_config with workers = 4 } in
+    let service, _ = fresh_pipeline () in
+    let config = { Sserver.Server.default_config with domains = 4 } in
     let capture_path =
       if observed then Some (Filename.temp_file "secview-pr7" ".jsonl")
       else None
@@ -1110,7 +1118,7 @@ let pr7_bench ~label ~reps ~out () =
     in
     let cap = Option.map Sobs.Capture.open_file capture_path in
     let server =
-      Sserver.Server.create ~config ?tracer ?recorder ?capture:cap pipeline
+      Sserver.Server.create ~config ?tracer ?recorder ?capture:cap service
     in
     let sock = Filename.temp_file "secview-bench" ".sock" in
     Sys.remove sock;
@@ -1198,7 +1206,8 @@ let pr7_bench ~label ~reps ~out () =
       | Error e -> failwith (Printf.sprintf "pr7: %s" e))
     | _ -> []
   in
-  let pipe, doc = fresh_pipeline () in
+  let svc, doc = fresh_pipeline () in
+  let pipe = Secview.Pipeline.Session.create svc in
   let mismatches = ref 0 in
   let cap_ms = ref [] and rep_ms = ref [] in
   List.iter
@@ -1212,7 +1221,8 @@ let pr7_bench ~label ~reps ~out () =
       let env name = List.assoc_opt name r.c_bind in
       let t0 = Unix.gettimeofday () in
       let nodes =
-        Secview.Pipeline.answer_exn pipe ~group:r.c_group ~engine ~env q doc
+        Secview.Pipeline.Session.answer_exn pipe ~group:r.c_group ~engine
+          ~env q doc
       in
       let ms = 1000. *. (Unix.gettimeofday () -. t0) in
       let rendered = List.map (fun n -> Sxml.Print.to_string n) nodes in
@@ -1298,7 +1308,7 @@ let pr8_bench ~label ~reps ~out () =
     let catalog = Secview.Catalog.create () in
     let doc = Workload.Hospital.generated_document ~seed:7 ~scale () in
     ignore (Secview.Catalog.add catalog ~name:"ward" doc);
-    Secview.Pipeline.create ~catalog dtd
+    Secview.Pipeline.Service.create ~catalog dtd
       ~groups:
         [
           ("nurse", Workload.Hospital.nurse_spec ~write:bill_grants dtd);
@@ -1308,9 +1318,9 @@ let pr8_bench ~label ~reps ~out () =
   (* one closed-loop pass; every [write_every]-th request is an
      update (0 = read-only) *)
   let run_pass ~write_every =
-    let pipeline = fresh_pipeline () in
-    let config = { Sserver.Server.default_config with workers = 4 } in
-    let server = Sserver.Server.create ~config pipeline in
+    let service = fresh_pipeline () in
+    let config = { Sserver.Server.default_config with domains = 4 } in
+    let server = Sserver.Server.create ~config service in
     let sock = Filename.temp_file "secview-pr8" ".sock" in
     Sys.remove sock;
     let server_thread =
@@ -1467,6 +1477,327 @@ let pr8_bench ~label ~reps ~out () =
   Printf.printf "\n(machine-readable results written to %s)\n\n" out
 
 (* ------------------------------------------------------------------ *)
+(* PR 9: domain-per-worker scaling sweep.  The PR 8 read workload     *)
+(* (hospital, 8 clients, Q-mix over the nurse view) against servers   *)
+(* with 1/2/4/8 worker domains, every reply byte-compared to a        *)
+(* single-session oracle; the 1-domain pass is written at PR 8's      *)
+(* recorder.off paths so bench_diff holds the single-domain read      *)
+(* path to the threaded server's numbers.  A final 90/10 mixed pass   *)
+(* exercises the update-coordinator domain.  Scaling beyond the       *)
+(* machine's core count cannot show: the meta block stamps            *)
+(* Domain.recommended_domain_count so readers can judge the sweep.    *)
+
+let pr9_bench ~label ~reps ~out () =
+  let dtd = Workload.Hospital.dtd in
+  let scale = 40 in
+  let mix = [ "//patient/name"; "//patient/wardNo"; "//patient" ] in
+  let update_text = "replace //patient//bill with <bill>7</bill>" in
+  let clients = 8 in
+  let rounds = 25 * reps in
+  let cores = Domain.recommended_domain_count () in
+  let bill_grants =
+    [
+      (("trial", "bill"), [ Secview.Spec.Replace ]);
+      (("regular", "bill"), [ Secview.Spec.Replace ]);
+    ]
+  in
+  let fresh_service () =
+    let catalog = Secview.Catalog.create () in
+    let doc = Workload.Hospital.generated_document ~seed:7 ~scale () in
+    ignore (Secview.Catalog.add catalog ~name:"ward" doc);
+    ( Secview.Pipeline.Service.create ~catalog dtd
+        ~groups:
+          [
+            ("nurse", Workload.Hospital.nurse_spec ~write:bill_grants dtd);
+            ("admin", Secview.Spec.make ~write:bill_grants dtd []);
+          ],
+      doc )
+  in
+  (* byte-exact expected answers, computed on one session before any
+     server exists — the sweep's correctness oracle *)
+  let expected =
+    let svc, doc = fresh_service () in
+    let sess = Secview.Pipeline.Session.create svc in
+    let env name = if name = "wardNo" then Some "6" else None in
+    List.map
+      (fun qtext ->
+        let q = Sxpath.Parse.of_string qtext in
+        let nodes =
+          Secview.Pipeline.Session.answer_exn sess ~group:"nurse" ~env q doc
+        in
+        ( qtext,
+          String.concat "\n"
+            (List.map (fun n -> Sxml.Print.to_string n) nodes) ))
+      mix
+  in
+  let qmix = Array.of_list mix in
+  let n = Array.length qmix in
+  (* Replies are deterministic once the rid is pinned client-side
+     ({"ok","v","rid","results","count"} over an immutable document),
+     so the timed loops can verify every reply byte-for-byte at the
+     cost of one string compare: capture each query's reply line from
+     a 1-domain reference server, full-parse it once here, check its
+     results against the session oracle, and hand the raw lines to
+     the sweep.  (A JSON parse per reply inside the timed loop would
+     compete with the server for this machine's cores.) *)
+  let expected_lines = ref [] in
+  (* one closed-loop pass at [domains] workers; [write_every] as in
+     the PR 8 bench (0 = read-only, every reply byte-compared to the
+     reference line; mixed passes only prefix-check replies — the
+     document mutates) *)
+  let run_pass ~domains ~write_every =
+    let service, _ = fresh_service () in
+    let config = { Sserver.Server.default_config with domains } in
+    let server = Sserver.Server.create ~config service in
+    let sock = Filename.temp_file "secview-pr9" ".sock" in
+    Sys.remove sock;
+    let server_thread =
+      Thread.create
+        (fun () ->
+          Sserver.Server.serve server [ Sserver.Server.Unix_socket sock ])
+        ()
+    in
+    let lock = Mutex.create () in
+    let reads = ref [] and writes = ref [] in
+    let failures = ref 0 in
+    let wrong = Atomic.make 0 in
+    let client i () =
+      let group =
+        if write_every > 0 && i land 1 = 1 then "admin" else "nurse"
+      in
+      let fd = connect_retry sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let send j = write_all fd (Sobs.Json.to_string j ^ "\n") in
+      send (Sserver.Protocol.hello ~peer:(Printf.sprintf "pr9-%d" i) group);
+      ignore (input_line ic);
+      let mine_r = ref [] and mine_w = ref [] and mine_f = ref 0 in
+      for k = 0 to (rounds * n) - 1 do
+        let is_write =
+          write_every > 0 && k mod write_every = write_every - 1
+        in
+        let qtext = qmix.(k mod n) in
+        let t0 = Unix.gettimeofday () in
+        (if is_write then
+           send
+             (Sserver.Protocol.update_json ~doc:"ward"
+                ~bind:[ ("wardNo", "6") ] update_text)
+         else
+           send
+             (Sserver.Protocol.query_json ~rid:"o" ~doc:"ward"
+                ~bind:[ ("wardNo", "6") ] qtext));
+        let line = input_line ic in
+        let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+        if not (String.length line >= 10 && String.sub line 0 10 = {|{"ok":true|})
+        then incr mine_f;
+        if (not is_write) && write_every = 0 then begin
+          (* read-only pass: every reply byte-identical to the
+             oracle-checked reference line *)
+          match List.assoc_opt qtext !expected_lines with
+          | Some want when String.equal line want -> ()
+          | _ -> Atomic.incr wrong
+        end;
+        if is_write then mine_w := ms :: !mine_w
+        else mine_r := ms :: !mine_r
+      done;
+      Unix.close fd;
+      Mutex.protect lock (fun () ->
+          reads := !mine_r @ !reads;
+          writes := !mine_w @ !writes;
+          failures := !failures + !mine_f)
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun i -> Thread.create (client i) ()) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let fd = connect_retry sock in
+    write_all fd
+      (Sobs.Json.to_string (Sserver.Protocol.simple "shutdown") ^ "\n");
+    ignore (input_line (Unix.in_channel_of_descr fd));
+    Unix.close fd;
+    Thread.join server_thread;
+    if !failures > 0 then
+      failwith (Printf.sprintf "pr9: %d request(s) failed" !failures);
+    let pct_of l =
+      let a = Array.of_list l in
+      Array.sort compare a;
+      fun p ->
+        if Array.length a = 0 then 0. else Sobs.Metrics.percentile a p
+    in
+    ( clients * rounds * n,
+      List.length !writes,
+      wall,
+      pct_of !reads,
+      pct_of !writes,
+      Atomic.get wrong )
+  in
+  (* capture the reference reply lines and oracle-check them (full
+     JSON parse, off the clock) before any timed pass runs *)
+  let () =
+    let service, _ = fresh_service () in
+    let config = { Sserver.Server.default_config with domains = 1 } in
+    let server = Sserver.Server.create ~config service in
+    let sock = Filename.temp_file "secview-pr9ref" ".sock" in
+    Sys.remove sock;
+    let th =
+      Thread.create
+        (fun () ->
+          Sserver.Server.serve server [ Sserver.Server.Unix_socket sock ])
+        ()
+    in
+    let fd = connect_retry sock in
+    let ic = Unix.in_channel_of_descr fd in
+    let send j = write_all fd (Sobs.Json.to_string j ^ "\n") in
+    send (Sserver.Protocol.hello ~peer:"pr9-ref" "nurse");
+    ignore (input_line ic);
+    List.iter
+      (fun qtext ->
+        send
+          (Sserver.Protocol.query_json ~rid:"o" ~doc:"ward"
+             ~bind:[ ("wardNo", "6") ] qtext);
+        let line = input_line ic in
+        let got =
+          match Sobs.Json.of_string line with
+          | Ok j -> (
+            match Sobs.Json.member "results" j with
+            | Some (Sobs.Json.List rs) ->
+              Some
+                (String.concat "\n"
+                   (List.filter_map Sobs.Json.to_string_opt rs))
+            | _ -> None)
+          | Error _ -> None
+        in
+        (match got with
+        | Some s when String.equal s (List.assoc qtext expected) -> ()
+        | _ ->
+          failwith
+            ("pr9: reference reply diverges from the oracle on " ^ qtext));
+        expected_lines := (qtext, line) :: !expected_lines)
+      mix;
+    send (Sserver.Protocol.simple "shutdown");
+    ignore (input_line ic);
+    Unix.close fd;
+    Thread.join th
+  in
+  Printf.printf
+    "## Domain sweep: %d clients, %d requests each, nurse view reads \
+     (serve; %d core(s) available)\n\n"
+    clients (rounds * n) cores;
+  let sweep =
+    List.map
+      (fun domains ->
+        let ((requests, _, wall, rpct, _, wrong) as r) =
+          run_pass ~domains ~write_every:0
+        in
+        Printf.printf
+          "domains %d  %6d req in %6.2f s (%7.0f req/s) | p50 %7.3f ms  \
+           p95 %7.3f ms | wrong %d\n%!"
+          domains requests wall
+          (float_of_int requests /. wall)
+          (rpct 50.) (rpct 95.) wrong;
+        (domains, r))
+      [ 1; 2; 4; 8 ]
+  in
+  let total_wrong =
+    List.fold_left (fun acc (_, (_, _, _, _, _, w)) -> acc + w) 0 sweep
+  in
+  if total_wrong > 0 then
+    Printf.printf "\n!! %d replies differed from the one-session oracle\n"
+      total_wrong;
+  if cores = 1 then
+    Printf.printf
+      "\n(single-core machine: the sweep measures domain overhead, not \
+       scaling)\n";
+  let requests_m, nwrites_m, wall_m, rpct_m, wpct_m, _ =
+    run_pass ~domains:4 ~write_every:10
+  in
+  Printf.printf
+    "\n90/10  %6d req (%5d writes) in %6.2f s (%7.0f req/s) | read p50 \
+     %7.3f ms | write p50 %7.3f ms (1 coordinator)\n"
+    requests_m nwrites_m wall_m
+    (float_of_int requests_m /. wall_m)
+    (rpct_m 50.) (wpct_m 50.);
+  let side_json (requests, _, wall, rpct, _, _) =
+    Sobs.Json.Obj
+      [
+        ("requests", Sobs.Json.Int requests);
+        ("wall_s", Sobs.Json.Float wall);
+        ("throughput_rps", Sobs.Json.Float (float_of_int requests /. wall));
+        ("p50_ms", Sobs.Json.Float (rpct 50.));
+        ("p95_ms", Sobs.Json.Float (rpct 95.));
+        ("p99_ms", Sobs.Json.Float (rpct 99.));
+      ]
+  in
+  let base_rps =
+    match sweep with
+    | (_, (requests, _, wall, _, _, _)) :: _ ->
+      float_of_int requests /. wall
+    | [] -> 1.
+  in
+  let sweep_json =
+    Sobs.Json.List
+      (List.map
+         (fun (domains, ((requests, _, wall, _, _, wrong) as r)) ->
+           let rps = float_of_int requests /. wall in
+           match side_json r with
+           | Sobs.Json.Obj fields ->
+             Sobs.Json.Obj
+               (("domains", Sobs.Json.Int domains)
+               :: ("wrong", Sobs.Json.Int wrong)
+               :: ("speedup_vs_1", Sobs.Json.Float (rps /. base_rps))
+               :: fields)
+           | j -> j)
+         sweep)
+  in
+  let doc_json =
+    Sobs.Json.Obj
+      [
+        ("bench", Sobs.Json.String "pr9");
+        ( "meta",
+          meta_json ~label ~scale ~reps
+            [
+              ("clients", Sobs.Json.Int clients);
+              ("rounds", Sobs.Json.Int rounds);
+              ("cores", Sobs.Json.Int cores);
+            ] );
+        ("wrong", Sobs.Json.Int total_wrong);
+        (* 1-domain read pass at PR 8's paths: bench_diff gates the
+           single-domain read path against BENCH_PR8.json *)
+        ( "recorder",
+          Sobs.Json.Obj [ ("off", side_json (List.assoc 1 sweep)) ] );
+        ("domains", sweep_json);
+        ( "mixed",
+          Sobs.Json.Obj
+            [
+              ("label", Sobs.Json.String "90/10");
+              ("domains", Sobs.Json.Int 4);
+              ("requests", Sobs.Json.Int requests_m);
+              ("writes", Sobs.Json.Int nwrites_m);
+              ("wall_s", Sobs.Json.Float wall_m);
+              ( "throughput_rps",
+                Sobs.Json.Float (float_of_int requests_m /. wall_m) );
+              ( "read",
+                Sobs.Json.Obj
+                  [
+                    ("p50_ms", Sobs.Json.Float (rpct_m 50.));
+                    ("p95_ms", Sobs.Json.Float (rpct_m 95.));
+                  ] );
+              ( "write",
+                Sobs.Json.Obj
+                  [
+                    ("p50_ms", Sobs.Json.Float (wpct_m 50.));
+                    ("p95_ms", Sobs.Json.Float (wpct_m 95.));
+                  ] );
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  Sobs.Json.to_channel oc doc_json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n(machine-readable results written to %s)\n\n" out;
+  if total_wrong > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -1498,7 +1829,8 @@ let () =
     not
       (has "--table1" || has "--forms" || has "--ablations" || has "--approx"
      || has "--index" || has "--xmark" || has "--json" || has "--serve"
-     || has "--engines" || has "--analyze" || has "--pr7" || has "--mixed")
+     || has "--engines" || has "--analyze" || has "--pr7" || has "--mixed"
+     || has "--domains")
   in
   if all || has "--forms" then forms ();
   if all || has "--table1" || has "--json" then
@@ -1521,6 +1853,8 @@ let () =
       ();
   if has "--mixed" then
     pr8_bench ~label ~reps ~out:(flag_value "--out" "BENCH_PR8.json") ();
+  if has "--domains" then
+    pr9_bench ~label ~reps ~out:(flag_value "--out" "BENCH_PR9.json") ();
   if has "--pr7" then
     pr7_bench ~label ~reps
       ~out:(flag_value "--out" "BENCH_PR7.json")

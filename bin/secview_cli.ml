@@ -360,7 +360,10 @@ let query_cmd =
         (* the full Fig. 3 loop: rewrite + optimize through the
            pipeline's translation cache *)
         let pipe =
-          try Secview.Pipeline.create ~strict dtd ~groups:[ ("user", spec) ]
+          try
+            Secview.Pipeline.Session.create
+              (Secview.Pipeline.Service.create ~strict dtd
+                 ~groups:[ ("user", spec) ])
           with Invalid_argument msg as e ->
             Option.iter
               (fun a ->
@@ -384,8 +387,8 @@ let query_cmd =
               let rid = Printf.sprintf "q%d" !nq in
               let t0 = Sserver.Deadline.now () in
               let answer () =
-                Secview.Pipeline.answer_outcome pipe ~group:"user" ~engine
-                  ~counts:(slow_ms <> None) ~env ?index q doc
+                Secview.Pipeline.Session.answer_outcome pipe ~group:"user"
+                  ~engine ~counts:(slow_ms <> None) ~env ?index q doc
               in
               let outcome, spans =
                 if slow_ms <> None then Sobs.Tracer.with_request tracer answer
@@ -434,7 +437,7 @@ let query_cmd =
         Option.iter Sobs.Capture.close cap;
         if stats then
           List.iter
-            (fun (g, s) ->
+            (fun (g, (s : Secview.Pipeline.stats)) ->
               Printf.eprintf
                 "cache[%s]: translation %d hit(s) %d miss(es); plans %d \
                  hit(s) %d miss(es), %d compiled, %d fallback(s)\n"
@@ -442,7 +445,7 @@ let query_cmd =
                 s.Secview.Pipeline.plan_hits s.Secview.Pipeline.plan_misses
                 s.Secview.Pipeline.plan_compiles
                 s.Secview.Pipeline.plan_fallbacks)
-            (Secview.Pipeline.stats pipe);
+            (Secview.Pipeline.Session.all_stats pipe);
         answers
     in
     List.iter (fun n -> print_endline (Sxml.Print.to_string n)) results;
@@ -572,11 +575,13 @@ let explain_cmd =
       query =
     let dtd = load_dtd root dtd_path in
     let groups = named_groups ~cmd:"explain" dtd spec_path group_specs in
-    let pipe = Secview.Pipeline.create dtd ~groups in
+    let pipe =
+      Secview.Pipeline.Session.create (Secview.Pipeline.Service.create dtd ~groups)
+    in
     let doc = Sxml.Parse.of_file doc_path in
     let env = env_of_bindings bindings in
     let q = Sxpath.Parse.of_string query in
-    match Secview.Pipeline.explain pipe ~group ~env q doc with
+    match Secview.Pipeline.Session.explain pipe ~group ~env q doc with
     | Error e -> raise (Secview.Error.E e)
     | Ok x ->
       let engine_name =
@@ -1015,7 +1020,7 @@ let update_cmd =
     let groups = named_groups ~cmd:"update" dtd spec_path group_specs in
     let catalog = Secview.Catalog.create () in
     let entry = Secview.Catalog.add_file catalog ~name:"doc" doc_path in
-    let pipe = Secview.Pipeline.create ~catalog dtd ~groups in
+    let svc = Secview.Pipeline.Service.create ~catalog dtd ~groups in
     let env = env_of_bindings bindings in
     let alog = Option.map (fun p -> open_audit_log p) audit_log in
     (* the admission check's id-bearing denial detail belongs in the
@@ -1023,7 +1028,7 @@ let update_cmd =
     let detail = ref None in
     let t0 = Sserver.Deadline.now () in
     let outcome =
-      Supdate.Engine.apply_text pipe ~group ~env
+      Supdate.Engine.apply_text svc ~group ~env
         ~audit:(fun d -> detail := Some d)
         ~entry update_text
     in
@@ -1171,7 +1176,7 @@ let host_arg =
   Arg.(value & opt string "" & info [ "host" ] ~docv:"HOST" ~doc)
 
 let serve_cmd =
-  let run dtd_path root spec_path group_specs docs socket tcp host workers
+  let run dtd_path root spec_path group_specs docs socket tcp host domains
       queue deadline engine audit_log debug strict preload slow_ms
       metrics_port no_admission flight flight_snapshot capture =
     let dtd = load_dtd root dtd_path in
@@ -1186,7 +1191,9 @@ let serve_cmd =
       List.iter
         (fun e -> ignore (Secview.Catalog.doc e))
         (Secview.Catalog.entries catalog);
-    let pipe = Secview.Pipeline.create ~strict ~catalog dtd ~groups in
+    let service =
+      Secview.Pipeline.Service.create ~strict ~catalog dtd ~groups
+    in
     (* one registry for everything a scrape should see; the tracer
        (installed only when something consumes stage timings) feeds the
        per-stage latency series into it *)
@@ -1218,12 +1225,12 @@ let serve_cmd =
       | None, None -> None
     in
     let config =
-      { Sserver.Server.workers; queue_capacity = queue; deadline; debug;
+      { Sserver.Server.domains; queue_capacity = queue; deadline; debug;
         engine; slow_ms; admission = not no_admission }
     in
     let server =
       Sserver.Server.create ~config ?audit:alog ~metrics:registry ?tracer
-        ?recorder ?flight_snapshot ?capture:cap pipe
+        ?recorder ?flight_snapshot ?capture:cap service
     in
     let listeners =
       (match socket with
@@ -1267,11 +1274,15 @@ let serve_cmd =
       & opt_all (pair_conv ~what:"NAME=FILE") []
       & info [ "doc" ] ~docv:"NAME=FILE" ~doc)
   in
-  let workers_arg =
+  let domains_arg =
     Arg.(
       value
-      & opt int Sserver.Server.default_config.workers
-      & info [ "workers" ] ~docv:"N" ~doc:"Worker-pool size.")
+      & opt int Sserver.Server.default_config.domains
+      & info [ "domains"; "workers" ] ~docv:"N"
+          ~doc:
+            "Worker pool size: one OCaml domain (runtime-parallel worker) \
+             per unit, each with its own pipeline session.  --workers is an \
+             alias kept from the threaded server.")
   in
   let queue_arg =
     Arg.(
@@ -1388,7 +1399,7 @@ let serve_cmd =
           Unix-domain and/or TCP sockets; SIGINT drains gracefully)")
     Term.(
       const run $ dtd_arg $ root_arg $ spec_opt_arg $ group_specs_arg
-      $ docs_arg $ socket_arg $ tcp_arg $ host_arg $ workers_arg $ queue_arg
+      $ docs_arg $ socket_arg $ tcp_arg $ host_arg $ domains_arg $ queue_arg
       $ deadline_arg $ engine_arg $ audit_log_arg $ debug_arg $ strict_arg
       $ preload_arg $ slow_ms_arg $ metrics_port_arg $ no_admission_arg
       $ flight_arg $ flight_snapshot_arg $ capture_arg)
@@ -1855,7 +1866,8 @@ let replay_cmd =
         List.iter
           (fun (n, p) -> ignore (Secview.Catalog.add_file catalog ~name:n p))
           docs;
-        let pipe = Secview.Pipeline.create ~catalog dtd ~groups in
+        let svc = Secview.Pipeline.Service.create ~catalog dtd ~groups in
+        let pipe = Secview.Pipeline.Session.create svc in
         let default_doc =
           match docs with [ (n, _) ] -> Some n | _ -> None
         in
@@ -1891,7 +1903,7 @@ let replay_cmd =
             if r.c_verb = "update" then begin
               let t0 = Sserver.Deadline.now () in
               match
-                Supdate.Engine.apply_text pipe ~group:r.c_group ~env ~entry
+                Supdate.Engine.apply_text svc ~group:r.c_group ~env ~entry
                   r.c_query
               with
               | Ok rc ->
@@ -1910,8 +1922,8 @@ let replay_cmd =
               in
               let t0 = Sserver.Deadline.now () in
               match
-                Secview.Pipeline.answer pipe ~group:r.c_group ~engine ~env
-                  ?index q doc
+                Secview.Pipeline.Session.answer pipe ~group:r.c_group ~engine
+                  ~env ?index q doc
               with
               | Ok nodes ->
                 let ms = 1000. *. (Sserver.Deadline.now () -. t0) in
@@ -2215,7 +2227,10 @@ let metrics_cmd =
       Sobs.Tracer.install tracer;
       let dtd = load_dtd root (need "dtd" dtd_path) in
       let spec = Secview.Spec.of_sidecar_file dtd (need "spec" spec_path) in
-      let pipe = Secview.Pipeline.create dtd ~groups:[ ("user", spec) ] in
+      let pipe =
+        Secview.Pipeline.Session.create
+          (Secview.Pipeline.Service.create dtd ~groups:[ ("user", spec) ])
+      in
       let doc = Sxml.Parse.of_file (need "doc" doc_path) in
       let env = env_of_bindings bindings in
       List.iter
@@ -2223,8 +2238,8 @@ let metrics_cmd =
           let q = Sxpath.Parse.of_string qs in
           for _ = 1 to repeat do
             ignore
-              (Secview.Pipeline.answer_exn pipe ~group:"user" ~engine ~env q
-                 doc)
+              (Secview.Pipeline.Session.answer_exn pipe ~group:"user" ~engine
+                 ~env q doc)
           done)
         queries;
       Sobs.Tracer.uninstall ();

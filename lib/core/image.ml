@@ -22,42 +22,58 @@ exception Too_large
    analysis and let callers treat overflow as "undecided" (sound in
    every use: qualifiers stay `Unknown, containment is not claimed). *)
 let node_budget = 20_000
-let active = ref false
-let nodes_left = ref node_budget
+
+(* All mutable analysis state — the construction budget, the node-id
+   counter, and the schema-level memo tables — lives in one
+   domain-local record.  Domains never share it, so parallel workers
+   analyze without synchronizing with each other; threads *within* a
+   domain do share it, so the public entry points serialize on
+   [mlock] (the lock is uncontended whenever a domain runs a single
+   worker, which is the server's layout). *)
+type memo = {
+  mlock : Mutex.t;
+  mutable active : bool;
+  mutable nodes_left : int;
+  mutable counter : int;
+  reach_cache : (int * Sxpath.Ast.path * string, string list) Hashtbl.t;
+  dos_cache : (int * string, string list) Hashtbl.t;
+  guaranteed_cache : (int * Sxpath.Ast.path * string, bool) Hashtbl.t;
+  qual_cache :
+    (int * Sxpath.Ast.qual * string, [ `True | `False | `Unknown ]) Hashtbl.t;
+}
+
+let memo_key : memo Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        mlock = Mutex.create ();
+        active = false;
+        nodes_left = node_budget;
+        counter = 0;
+        reach_cache = Hashtbl.create 512;
+        dos_cache = Hashtbl.create 128;
+        guaranteed_cache = Hashtbl.create 512;
+        qual_cache = Hashtbl.create 512;
+      })
+
+let memo () = Domain.DLS.get memo_key
 
 let with_budget f =
-  if !active then f ()
+  let m = memo () in
+  if m.active then f ()
   else begin
-    active := true;
-    nodes_left := node_budget;
-    Fun.protect ~finally:(fun () -> active := false) f
+    m.active <- true;
+    m.nodes_left <- node_budget;
+    Fun.protect ~finally:(fun () -> m.active <- false) f
   end
 
-let counter = ref 0
-
 let fresh label =
-  if !active then begin
-    decr nodes_left;
-    if !nodes_left <= 0 then raise Too_large
+  let m = memo () in
+  if m.active then begin
+    m.nodes_left <- m.nodes_left - 1;
+    if m.nodes_left <= 0 then raise Too_large
   end;
-  incr counter;
-  { id = !counter; label; kids = []; quals = []; ambiguous = false }
-
-(* Memoization of the pure schema-level analyses, keyed by the DTD's
-   stamp: nested descendant steps would otherwise recompute
-   reachability once per closure type per nesting level. *)
-let reach_cache : (int * Sxpath.Ast.path * string, string list) Hashtbl.t =
-  Hashtbl.create 512
-
-let dos_cache : (int * string, string list) Hashtbl.t = Hashtbl.create 128
-
-let guaranteed_cache : (int * Sxpath.Ast.path * string, bool) Hashtbl.t =
-  Hashtbl.create 512
-
-let qual_cache :
-    (int * Sxpath.Ast.qual * string, [ `True | `False | `Unknown ]) Hashtbl.t
-    =
-  Hashtbl.create 512
+  m.counter <- m.counter + 1;
+  { id = m.counter; label; kids = []; quals = []; ambiguous = false }
 
 let children dtd a = Sdtd.Dtd.children_of dtd a
 
@@ -145,8 +161,9 @@ let rec can_match_self = function
 (* Reachability of element types through a path                        *)
 
 let descendant_or_self_types dtd a =
+  let m = memo () in
   let key = (Sdtd.Dtd.stamp dtd, a) in
-  match Hashtbl.find_opt dos_cache key with
+  match Hashtbl.find_opt m.dos_cache key with
   | Some r -> r
   | None ->
     let seen = Hashtbl.create 16 in
@@ -166,16 +183,17 @@ let descendant_or_self_types dtd a =
         (children dtd t)
     done;
     let r = List.rev !out in
-    Hashtbl.replace dos_cache key r;
+    Hashtbl.replace m.dos_cache key r;
     r
 
 let rec reach dtd p a =
+  let m = memo () in
   let key = (Sdtd.Dtd.stamp dtd, p, a) in
-  match Hashtbl.find_opt reach_cache key with
+  match Hashtbl.find_opt m.reach_cache key with
   | Some r -> r
   | None ->
     let r = compute_reach dtd p a in
-    Hashtbl.replace reach_cache key r;
+    Hashtbl.replace m.reach_cache key r;
     r
 
 and compute_reach dtd p a =
@@ -200,12 +218,13 @@ and compute_reach dtd p a =
 (* Guaranteed non-emptiness (co-existence constraints)                 *)
 
 and guaranteed dtd p a =
+  let m = memo () in
   let key = (Sdtd.Dtd.stamp dtd, p, a) in
-  match Hashtbl.find_opt guaranteed_cache key with
+  match Hashtbl.find_opt m.guaranteed_cache key with
   | Some r -> r
   | None ->
     let r = compute_guaranteed dtd p a in
-    Hashtbl.replace guaranteed_cache key r;
+    Hashtbl.replace m.guaranteed_cache key r;
     r
 
 and compute_guaranteed dtd p a =
@@ -324,12 +343,13 @@ and exclusive_violation dtd conjuncts a =
   any_disjoint_pair demands
 
 and bool_of_qual dtd q a : [ `True | `False | `Unknown ] =
+  let m = memo () in
   let key = (Sdtd.Dtd.stamp dtd, q, a) in
-  match Hashtbl.find_opt qual_cache key with
+  match Hashtbl.find_opt m.qual_cache key with
   | Some r -> r
   | None ->
     let r = compute_bool_of_qual dtd q a in
-    Hashtbl.replace qual_cache key r;
+    Hashtbl.replace m.qual_cache key r;
     r
 
 and compute_bool_of_qual dtd q a : [ `True | `False | `Unknown ] =
@@ -381,9 +401,10 @@ and compute_bool_of_qual dtd q a : [ `True | `False | `Unknown ] =
 and qual_nodes dtd q a : node list =
   (* '[]' roots for a qualifier already known to be `Unknown at [a]. *)
   let relabel label g =
-    incr counter;
+    let m = memo () in
+    m.counter <- m.counter + 1;
     {
-      id = !counter;
+      id = m.counter;
       label;
       kids = g.root.kids;
       quals = g.root.quals;
@@ -607,6 +628,23 @@ and prune g =
     all_nodes
 
 (* ------------------------------------------------------------------ *)
+
+(* Public entry points serialize the calling domain's threads over its
+   memo state; the internal recursion above never re-locks.  Pure
+   helpers ([requires_child], [size], [pp]) touch no state and stay
+   unguarded. *)
+let locked f =
+  let m = memo () in
+  Mutex.lock m.mlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.mlock) f
+
+let image dtd p a = locked (fun () -> image dtd p a)
+let bool_of_qual dtd q a = locked (fun () -> bool_of_qual dtd q a)
+let guaranteed dtd p a = locked (fun () -> guaranteed dtd p a)
+let reach dtd p a = locked (fun () -> reach dtd p a)
+
+let descendant_or_self_types dtd a =
+  locked (fun () -> descendant_or_self_types dtd a)
 
 let all_nodes g =
   let seen = Hashtbl.create 32 in

@@ -44,11 +44,13 @@ exception Too_large
 
 (** Implementation note: the pure schema-level analyses ({!reach},
     {!guaranteed}, {!bool_of_qual}, {!descendant_or_self_types}) are
-    memoized process-wide, keyed by {!Sdtd.Dtd.stamp} — nested
-    descendant steps would otherwise recompute reachability once per
-    closure type per nesting level.  Memory grows with the number of
-    distinct DTDs analyzed over the process lifetime (servers typically
-    hold a handful). *)
+    memoized {e per domain} ([Domain.DLS]), keyed by
+    {!Sdtd.Dtd.stamp} — nested descendant steps would otherwise
+    recompute reachability once per closure type per nesting level.
+    Memory grows with the number of distinct DTDs analyzed per domain
+    (servers typically hold a handful).  Each public entry point is
+    guarded by a per-domain mutex, so threads sharing a domain may
+    call concurrently; domains never contend with each other. *)
 
 val image : Sdtd.Dtd.t -> Sxpath.Ast.path -> string -> t option
 (** [image dtd p a]: the image graph of [p] at element type [a], or

@@ -162,6 +162,93 @@ let summaries t =
     (fun (k, h) -> Option.map (fun sum -> (k, sum)) (summarize h))
     (sorted_bindings t.series)
 
+(* Merge [src] into [into]: counters add, gauges take [src]'s value
+   (last writer wins — gauges are instantaneous), histograms add
+   per-bucket.  A series whose bucket ladder differs from the
+   destination's is dropped rather than corrupted — ladders are fixed
+   at creation, so this only happens when two registries configured
+   the same name differently, which is a caller bug. *)
+let absorb ~into src =
+  Hashtbl.iter (fun name r -> incr ~by:!r into name) src.counters;
+  Hashtbl.iter (fun name r -> set_gauge into name !r) src.gauges;
+  Hashtbl.iter
+    (fun name h ->
+      if h.n > 0 then
+        match Hashtbl.find_opt into.series name with
+        | None ->
+          Hashtbl.replace into.series name
+            {
+              bounds = h.bounds;
+              counts = Array.copy h.counts;
+              sum = h.sum;
+              n = h.n;
+              minv = h.minv;
+              maxv = h.maxv;
+            }
+        | Some d ->
+          if d.bounds = h.bounds then begin
+            Array.iteri
+              (fun i c -> d.counts.(i) <- d.counts.(i) + c)
+              h.counts;
+            d.sum <- d.sum +. h.sum;
+            d.n <- d.n + h.n;
+            if h.minv < d.minv then d.minv <- h.minv;
+            if h.maxv > d.maxv then d.maxv <- h.maxv
+          end)
+    src.series
+
+(* Domain-sharded registry: writers land on the shard indexed by their
+   domain id, guarded by that shard's mutex (uncontended unless two
+   domains alias modulo the shard count), and a scrape merges every
+   shard into a fresh snapshot under the same mutexes — so a reader
+   can never observe a half-updated histogram (the torn-read hazard of
+   scraping one shared registry while workers write it). *)
+module Sharded = struct
+  type plain = t
+
+  let plain_create : unit -> plain = create
+
+  type shard = {
+    slock : Mutex.t;
+    reg : plain;
+  }
+
+  let shard_count = 16
+
+  type t = shard array
+
+  let create () =
+    Array.init shard_count (fun _ ->
+        { slock = Mutex.create (); reg = plain_create () })
+
+  let shard t =
+    t.((Domain.self () :> int) land (shard_count - 1))
+
+  let incr ?by t name =
+    let s = shard t in
+    Mutex.protect s.slock (fun () -> incr ?by s.reg name)
+
+  let set_gauge t name v =
+    let s = shard t in
+    Mutex.protect s.slock (fun () -> set_gauge s.reg name v)
+
+  let observe ?buckets t name v =
+    let s = shard t in
+    Mutex.protect s.slock (fun () -> observe ?buckets s.reg name v)
+
+  (* One consistent merged view.  [into] lets the caller overlay the
+     shards onto an externally-fed registry (e.g. the tracer's stage
+     series) without mutating it: absorb that one first, then the
+     shards. *)
+  let snapshot ?into t =
+    let out = plain_create () in
+    (match into with Some r -> absorb ~into:out r | None -> ());
+    Array.iter
+      (fun s -> Mutex.protect s.slock (fun () -> absorb ~into:out s.reg))
+      t;
+    out
+end
+
 let pp ppf t =
   let cs = counters t and gs = gauges t and ss = summaries t in
   if cs <> [] then begin

@@ -82,3 +82,34 @@ val pp : Format.formatter -> t -> unit
     empty registry. *)
 
 val to_json : t -> Json.t
+
+val absorb : into:t -> t -> unit
+(** Merge a registry into another: counters add, gauges take the
+    source's value, histograms add per-bucket.  A series whose bucket
+    ladder differs from the destination's is dropped (ladders are
+    frozen at creation; a mismatch is a caller bug, and corrupting
+    buckets would be worse than losing them).  The source is not
+    modified. *)
+
+(** Domain-sharded writes, consistent reads.  Writers land on the
+    shard indexed by their domain id (one mutex per shard —
+    uncontended unless two domains alias modulo the shard count);
+    {!Sharded.snapshot} merges every shard into a fresh plain registry
+    under those same mutexes, so a scrape can never observe a
+    half-updated histogram — the torn read that sharing one plain
+    registry between writing workers and a scraping reader allows. *)
+module Sharded : sig
+  type plain := t
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val set_gauge : t -> string -> float -> unit
+  val observe : ?buckets:float array -> t -> string -> float -> unit
+
+  val snapshot : ?into:plain -> t -> plain
+  (** A merged copy of every shard (plus, first, a copy of [into] when
+      given — the overlay for an externally-fed registry such as the
+      tracer's stage series; [into] itself is not mutated and must not
+      be written concurrently). *)
+end

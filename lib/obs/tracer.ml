@@ -21,7 +21,11 @@ type active = {
 (* Per-thread recording state: each thread has its own span stack and
    completed list, so concurrent requests (server workers) never
    interleave frames, and [drain_new]/[with_request] attribute spans to
-   the requests of the calling thread only. *)
+   the requests of the calling thread only.  [Thread.id] is unique
+   process-wide in OCaml 5 (every domain's threads — including each
+   domain's initial thread — draw from one counter), so the table needs
+   no domain component in its key, and the single mutex makes the whole
+   tracer domain-safe. *)
 type tstate = {
   mutable stack : active list;
   mutable completed : span list;  (* reverse completion order *)

@@ -3,7 +3,7 @@ module Pipeline = Secview.Pipeline
 module Catalog = Secview.Catalog
 
 type config = {
-  workers : int;
+  domains : int;
   queue_capacity : int;
   deadline : float option;
   debug : bool;
@@ -14,7 +14,7 @@ type config = {
 
 let default_config =
   {
-    workers = 4;
+    domains = 4;
     queue_capacity = 64;
     deadline = None;
     debug = false;
@@ -66,11 +66,20 @@ type job = {
 
 type t = {
   config : config;
-  pipeline : Pipeline.t;
+  slot : Pipeline.Service.slot;
   catalog : Catalog.t;
-  queue : job Bqueue.t;
-  metrics : Sobs.Metrics.t;
-  obs_lock : Mutex.t;  (* serializes metrics updates and audit writes *)
+  queue : job Bqueue.t;  (* read path: popped by the worker domains *)
+  uqueue : job Bqueue.t;  (* write path: popped by the one coordinator *)
+  (* Worker counters/series land on the writer's domain shard; a
+     scrape merges every shard into one consistent snapshot — no
+     shared registry, no torn histograms (see Sobs.Metrics.Sharded). *)
+  shards : Sobs.Metrics.Sharded.t;
+  (* Externally-fed registry overlaid onto every scrape: the tracer
+     feeds its stage series here from worker domains under its own
+     lock — which is [obs_lock], so overlay reads serialize with those
+     writes. *)
+  overlay : Sobs.Metrics.t option;
+  obs_lock : Mutex.t;  (* serializes audit writes and overlay access *)
   audit : Sobs.Audit_log.t option;
   tracer : Sobs.Tracer.t option;
   recorder : Sobs.Recorder.t option;
@@ -85,25 +94,35 @@ type t = {
   busy_workers : int Atomic.t;
   conn_lock : Mutex.t;
   mutable conns : Thread.t list;
-  (* one writer lock per catalog document: updates on the same document
-     are serialized check-to-swap, updates on different documents run
-     concurrently, and readers never take these at all *)
-  write_locks : (string, Mutex.t) Hashtbl.t;
-  write_locks_lock : Mutex.t;
+  (* The connection threads' session (admission fast path and the
+     [analyze] verb run on them, concurrently): a Session is
+     single-owner, so they share this one under its lock. *)
+  adm : Pipeline.Session.t;
+  adm_lock : Mutex.t;
+  (* Every session answering for this server (the adm session plus
+     one per worker/coordinator domain, registered at spawn): the
+     [stats] verb merges their counters — atomics, safe to read while
+     the owners work. *)
+  mutable sessions : Pipeline.Session.t list;
+  sess_lock : Mutex.t;
 }
 
 let create ?(config = default_config) ?audit ?metrics ?tracer ?recorder
-    ?flight_snapshot ?capture pipeline =
+    ?flight_snapshot ?capture service =
   let wake_r, wake_w = Unix.pipe () in
+  let slot = Pipeline.Service.slot service in
+  let adm = Pipeline.Session.of_slot slot in
   {
-    config = { config with workers = max 1 config.workers };
-    pipeline;
-    catalog = Pipeline.catalog pipeline;
+    config = { config with domains = max 1 config.domains };
+    slot;
+    catalog = Pipeline.Service.catalog service;
     queue = Bqueue.create ~capacity:config.queue_capacity;
-    metrics = (match metrics with Some m -> m | None -> Sobs.Metrics.create ());
-    (* With a tracer, share its mutex: worker threads feed stage
-       observations into the registry from inside tracer callbacks, so
-       one lock must guard both or the registry races. *)
+    uqueue = Bqueue.create ~capacity:config.queue_capacity;
+    shards = Sobs.Metrics.Sharded.create ();
+    overlay = metrics;
+    (* With a tracer, share its mutex: worker domains feed stage
+       observations into the overlay registry from inside tracer
+       callbacks, so one lock must guard both or the overlay races. *)
     obs_lock =
       (match tracer with
       | Some tr -> Sobs.Tracer.lock tr
@@ -122,26 +141,17 @@ let create ?(config = default_config) ?audit ?metrics ?tracer ?recorder
     busy_workers = Atomic.make 0;
     conn_lock = Mutex.create ();
     conns = [];
-    write_locks = Hashtbl.create 7;
-    write_locks_lock = Mutex.create ();
+    adm;
+    adm_lock = Mutex.create ();
+    sessions = [ adm ];
+    sess_lock = Mutex.create ();
   }
 
-let writer_lock t name =
-  Mutex.protect t.write_locks_lock (fun () ->
-      match Hashtbl.find_opt t.write_locks name with
-      | Some m -> m
-      | None ->
-        let m = Mutex.create () in
-        Hashtbl.add t.write_locks name m;
-        m)
+let register_session t psess =
+  Mutex.protect t.sess_lock (fun () -> t.sessions <- psess :: t.sessions)
 
-let metrics t = t.metrics
-
-let count ?(by = 1) t name =
-  Mutex.protect t.obs_lock (fun () -> Sobs.Metrics.incr ~by t.metrics name)
-
-let observe t name v =
-  Mutex.protect t.obs_lock (fun () -> Sobs.Metrics.observe t.metrics name v)
+let count ?by t name = Sobs.Metrics.Sharded.incr ?by t.shards name
+let observe t name v = Sobs.Metrics.Sharded.observe t.shards name v
 
 let audit_request t ~rid ~session ~peer ~group ~doc ~query ~status ~results
     ~latency_ms ?error () =
@@ -161,34 +171,76 @@ let audit_update t ~rid ~session ~peer ~group ~doc ~update ~status ?targets
         Sobs.Audit_log.log_update log ~rid ~session ~peer ~group ~doc ~update
           ~status ?targets ?old_version ?new_version ~latency_ms ?error ())
 
+(* The merged per-group pipeline counters: every registered session's
+   record summed with [Pipeline.stats_merge] — the one merge path
+   behind the [stats] verb and the [/metrics] exposition alike. *)
+let merged_stats t =
+  let sessions = Mutex.protect t.sess_lock (fun () -> t.sessions) in
+  let order = Pipeline.Service.order (Pipeline.Service.current t.slot) in
+  List.map
+    (fun gname ->
+      let s =
+        List.fold_left
+          (fun acc psess ->
+            match Pipeline.Session.stats_of psess ~group:gname with
+            | s -> Pipeline.stats_merge acc s
+            | exception Not_found -> acc)
+          Pipeline.stats_zero sessions
+      in
+      (gname, s))
+    order
+
 (* Runtime gauges, sampled on every scrape/metrics verb rather than on
    a timer: the values are cheap to read and a scraper only cares
-   about the instant it asked. *)
-let sample_gauges t =
+   about the instant it asked.  They are written into the scrape's own
+   snapshot, never a shard — no staleness to merge. *)
+let sample_gauges t reg =
   let g = Gc.quick_stat () in
-  let set = Sobs.Metrics.set_gauge t.metrics in
+  let set = Sobs.Metrics.set_gauge reg in
   set "server.queue.depth" (float_of_int (Bqueue.length t.queue));
   set "server.queue.capacity" (float_of_int t.config.queue_capacity);
+  set "server.update_queue.depth" (float_of_int (Bqueue.length t.uqueue));
   set "server.connections.live" (float_of_int (Atomic.get t.live_conns));
   set "server.workers.busy" (float_of_int (Atomic.get t.busy_workers));
-  set "server.workers.total" (float_of_int t.config.workers);
+  set "server.workers.total" (float_of_int t.config.domains);
   set "server.uptime_s" (Deadline.now () -. t.started);
   set "gc.heap_words" (float_of_int g.Gc.heap_words);
   set "gc.minor_words" g.Gc.minor_words;
   set "gc.major_collections" (float_of_int g.Gc.major_collections)
 
-let openmetrics t =
-  Mutex.protect t.obs_lock (fun () ->
-      sample_gauges t;
-      Sobs.Export.openmetrics t.metrics)
+(* One consistent merged view of everything: the overlay (under
+   [obs_lock] — the tracer writes it), every domain shard (under the
+   shard locks), the merged pipeline counters, and gauges sampled
+   now. *)
+let metrics t =
+  let snap =
+    match t.overlay with
+    | Some reg ->
+      Mutex.protect t.obs_lock (fun () ->
+          Sobs.Metrics.Sharded.snapshot ~into:reg t.shards)
+    | None -> Sobs.Metrics.Sharded.snapshot t.shards
+  in
+  List.iter
+    (fun (g, s) ->
+      List.iter
+        (fun (f, v) ->
+          if v > 0 then
+            Sobs.Metrics.incr ~by:v snap
+              (String.concat "." [ "pipeline.stats"; g; f ]))
+        (Pipeline.stats_fields s))
+    (merged_stats t);
+  sample_gauges t snap;
+  snap
+
+let openmetrics t = Sobs.Export.openmetrics (metrics t)
 
 let metrics_reply t ~rid =
-  let om = openmetrics t in
-  let text =
-    Mutex.protect t.obs_lock (fun () ->
-        Format.asprintf "%a" Sobs.Metrics.pp t.metrics)
-  in
-  Protocol.ok ~rid [ ("openmetrics", J.String om); ("text", J.String text) ]
+  let snap = metrics t in
+  Protocol.ok ~rid
+    [
+      ("openmetrics", J.String (Sobs.Export.openmetrics snap));
+      ("text", J.String (Format.asprintf "%a" Sobs.Metrics.pp snap));
+    ]
 
 let flight_reply t ~rid =
   match t.recorder with
@@ -226,7 +278,7 @@ let install_sigint t =
 (* ---- request execution (worker side) ------------------------------- *)
 
 let group_names t =
-  List.map (fun g -> g.Pipeline.name) (Pipeline.groups t.pipeline)
+  Pipeline.Service.order (Pipeline.Service.current t.slot)
 
 let resolve_document t = function
   | Some name -> (
@@ -271,7 +323,7 @@ let parsed_request t (q : Protocol.query) k =
 (* Ok: (rendered results, translated query, plan operator counts,
    pinned document version).  Counts are only collected when the
    slow-query log or the flight recorder could use them. *)
-let answer_query t ~group (q : Protocol.query) =
+let answer_query t psess ~group (q : Protocol.query) =
   parsed_request t q (fun entry path ->
       let env name = List.assoc_opt name q.bind in
       (* Pin once: document and index must come from the same
@@ -285,7 +337,7 @@ let answer_query t ~group (q : Protocol.query) =
         if q.use_index then Some (Catalog.snapshot_index snap) else None
       in
       match
-        Pipeline.answer_outcome t.pipeline ~group ~engine:t.config.engine
+        Pipeline.Session.answer_outcome psess ~group ~engine:t.config.engine
           ~counts:(t.config.slow_ms <> None || Option.is_some t.recorder)
           ~env ?index path doc
       with
@@ -297,10 +349,11 @@ let answer_query t ~group (q : Protocol.query) =
             Catalog.snapshot_version snap )
       | Error _ as e -> e)
 
-let explain_query t ~rid ~group (q : Protocol.query) =
+let explain_query t psess ~rid ~group (q : Protocol.query) =
   parsed_request t q (fun entry path ->
       let env name = List.assoc_opt name q.bind in
-      match Pipeline.explain t.pipeline ~group ~env path (Catalog.doc entry)
+      match
+        Pipeline.Session.explain psess ~group ~env path (Catalog.doc entry)
       with
       | Error _ as e -> e
       | Ok x ->
@@ -336,26 +389,26 @@ let explain_query t ~rid ~group (q : Protocol.query) =
                  | None -> J.Null );
              ]))
 
-(* The write path: resolve the document, then run check+swap under the
-   document's writer lock — the check pins a snapshot and the swap
-   publishes a new one, so concurrent readers are never torn, but two
-   writers racing the same entry would lose an update without this.
-   Returns the outcome plus the admission check's id-bearing denial
-   detail, which goes to the audit log only — the client reply carries
-   the sanitized message. *)
-let run_update t ~group (q : Protocol.query) =
+(* The write path: resolve the document, then run check+swap.  Every
+   update in the process goes through the single coordinator domain
+   (the only consumer of [uqueue]), so writers are already serialized
+   — the per-document lock table the threaded server kept is gone.
+   The check pins a snapshot and the swap publishes a new one, so
+   concurrent readers are never torn.  Returns the outcome plus the
+   admission check's id-bearing denial detail, which goes to the
+   audit log only — the client reply carries the sanitized message. *)
+let run_update psess t ~group (q : Protocol.query) =
   match resolve_document t q.doc with
   | Error _ as e -> (e, None)
   | Ok entry ->
     let env name = List.assoc_opt name q.bind in
-    let lock = writer_lock t (Option.value (Catalog.name entry) ~default:"-") in
     let detail = ref None in
     let audit d = detail := Some d in
     let outcome =
       try
-        Mutex.protect lock (fun () ->
-            Supdate.Engine.apply_text t.pipeline ~group ~env ~audit ~entry
-              q.text)
+        Supdate.Engine.apply_text
+          (Pipeline.Session.service psess)
+          ~group ~env ~audit ~entry q.text
       with
       | Failure msg | Invalid_argument msg | Sys_error msg ->
         Error (Secview.Error.Internal msg)
@@ -419,7 +472,7 @@ let maybe_snapshot t ~status ~slow =
     with Sys_error _ -> count t "server.flight.snapshot_failed")
   | _ -> ()
 
-let run_job t job =
+let run_job t psess job =
   let latency () = 1000. *. (Deadline.now () -. job.submitted) in
   let log ?receipt ~status ~results ?error ~latency_ms () =
     match job.work with
@@ -446,18 +499,19 @@ let run_job t job =
   in
   if expired || Deadline.peek job.cell <> None then begin
     (* the connection thread answered [timeout] (or will, immediately):
-       don't burn a worker on a reply nobody is waiting for *)
-    ignore
-      (Deadline.fill job.cell
-         (Protocol.error_of ~rid:job.jrid
-            (Secview.Error.Timeout "deadline exceeded in queue")));
+       don't burn a worker on a reply nobody is waiting for.  As in
+       the executed path below, observability precedes the fill. *)
     count t "server.expired_in_queue";
     let latency_ms = latency () in
     log ~status:"timeout" ~results:0 ~error:"deadline exceeded in queue"
       ~latency_ms ();
     record_flight t job ~status:"timeout" ~results:0
       ~error:"deadline exceeded in queue" ~latency_ms ~spans:[] ~counts:[] ();
-    maybe_snapshot t ~status:"timeout" ~slow:false
+    maybe_snapshot t ~status:"timeout" ~slow:false;
+    ignore
+      (Deadline.fill job.cell
+         (Protocol.error_of ~rid:job.jrid
+            (Secview.Error.Timeout "deadline exceeded in queue")))
   end
   else begin
     let rid = job.jrid in
@@ -468,13 +522,13 @@ let run_job t job =
         ( Protocol.ok ~rid [ ("slept_ms", J.Float (1000. *. s)) ], "ok", 0,
           None, None, None )
       | Explain_query q -> (
-        match explain_query t ~rid ~group:job.jgroup q with
+        match explain_query t psess ~rid ~group:job.jgroup q with
         | Ok reply -> (reply, "ok", 0, None, None, None)
         | Error e ->
           ( Protocol.error_of ~rid e, "error", 0,
             Some (Secview.Error.to_string e), None, None ))
       | Do_update q -> (
-        match run_update t ~group:job.jgroup q with
+        match run_update psess t ~group:job.jgroup q with
         | Ok r, _ ->
           (* the client-visible digest is of the group's view of the
              new document (Engine computed it) — the raw document's
@@ -506,7 +560,7 @@ let run_job t job =
           ( Protocol.error_of ~rid e, Secview.Error.to_code e, 0,
             Some audit_error, None, None ))
       | Answer q -> (
-        match answer_query t ~group:job.jgroup q with
+        match answer_query t psess ~group:job.jgroup q with
         | Ok (results, translated, counts, version) ->
           ( Protocol.ok ~rid
               [
@@ -536,9 +590,20 @@ let run_job t job =
       | Some tr when want_spans -> Sobs.Tracer.with_request tr run_work
       | _ -> (run_work (), [])
     in
-    let won = Deadline.fill job.cell reply in
+    (* Observability lands BEFORE the reply cell is filled: the
+       moment a client sees its answer, the request must already be
+       in the flight ring, the capture stream and the counters — a
+       domain-parallel worker otherwise races clients that scrape or
+       dump flight right after a reply.  Lateness therefore can't
+       come from the fill outcome; the cell's own deadline decides it
+       (if it has passed, the connection thread has answered
+       [timeout] — or is about to, which loses the same way). *)
     let latency_ms = latency () in
-    let status = if won then status else "late" in
+    let status =
+      match job.deadline_at with
+      | Some d when Deadline.now () > d -> "late"
+      | _ -> status
+    in
     count t ("server.done." ^ status);
     observe t ("server.latency_ms." ^ job.jgroup) latency_ms;
     let slow =
@@ -612,6 +677,7 @@ let run_job t job =
         }
     | _ -> ());
     maybe_snapshot t ~status ~slow;
+    ignore (Deadline.fill job.cell reply : bool);
     (* keep a ~retain:false tracer's memory bounded: this thread's
        completed spans have served their purpose.  (The server's audit
        log must NOT itself hold this tracer — its drain would re-enter
@@ -622,15 +688,20 @@ let run_job t job =
     | None -> ())
   end
 
-let rec worker_loop t =
-  match Bqueue.pop t.queue with
+(* One loop per consuming domain.  Read workers pop [t.queue]; the
+   update coordinator pops [t.uqueue].  Each owns its [psess] — the
+   whole point of the Session split: the hot path probes caches no
+   other domain can touch. *)
+let rec consumer_loop t psess queue ~track_busy =
+  match Bqueue.pop queue with
   | None -> ()
   | Some job ->
-    Atomic.incr t.busy_workers;
+    if track_busy then Atomic.incr t.busy_workers;
     (try
        Fun.protect
-         ~finally:(fun () -> Atomic.decr t.busy_workers)
-         (fun () -> run_job t job)
+         ~finally:(fun () ->
+           if track_busy then Atomic.decr t.busy_workers)
+         (fun () -> run_job t psess job)
      with exn ->
        (* last line of defense: a worker that dies strands every
           queued request, so fill the cell and keep looping *)
@@ -640,7 +711,7 @@ let rec worker_loop t =
                (Secview.Error.Internal
                   ("internal error: " ^ Printexc.to_string exn))));
        count t "server.done.internal_error");
-    worker_loop t
+    consumer_loop t psess queue ~track_busy
 
 (* ---- connection handling ------------------------------------------- *)
 
@@ -654,37 +725,55 @@ let write_all fd s =
 
 let send fd json = write_all fd (J.to_string json ^ "\n")
 
+(* [stats_fields] is the single authority on spelling and order; the
+   wire keeps the historical two-object shape ("cache" with the cache
+   traffic, "admission" with the verdict counts) by partitioning the
+   one merged record. *)
+let admission_field = function
+  | "denied" | "trivial" | "eval" -> true
+  | _ -> false
+
 let stats_json t ~rid =
-  let counters, latencies =
-    Mutex.protect t.obs_lock (fun () ->
-        let prefix = "server.latency_ms." in
-        let latencies =
-          List.filter_map
-            (fun (name, _) ->
-              if String.starts_with ~prefix name then
-                let group =
-                  String.sub name (String.length prefix)
-                    (String.length name - String.length prefix)
-                in
-                Option.map
-                  (fun (s : Sobs.Metrics.summary) -> (group, s))
-                  (Sobs.Metrics.summary t.metrics name)
-              else None)
-            (Sobs.Metrics.summaries t.metrics)
-        in
-        (Sobs.Metrics.counters t.metrics, latencies))
+  let snap = metrics t in
+  let prefix = "server.latency_ms." in
+  let latencies =
+    List.filter_map
+      (fun (name, s) ->
+        if String.starts_with ~prefix name then
+          Some
+            ( String.sub name (String.length prefix)
+                (String.length name - String.length prefix),
+              s )
+        else None)
+      (Sobs.Metrics.summaries snap)
+  in
+  let stats = merged_stats t in
+  let render keep =
+    J.Obj
+      (List.map
+         (fun (group, s) ->
+           ( group,
+             J.Obj
+               (List.filter_map
+                  (fun (f, v) ->
+                    if keep f then Some (f, J.Int v) else None)
+                  (Pipeline.stats_fields s)) ))
+         stats)
   in
   Protocol.ok ~rid
     [
       ("uptime_s", J.Float (Deadline.now () -. t.started));
-      ("workers", J.Int t.config.workers);
+      ("workers", J.Int t.config.domains);
       ( "queue",
         J.Obj
           [
             ("length", J.Int (Bqueue.length t.queue));
             ("capacity", J.Int t.config.queue_capacity);
           ] );
-      ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) counters));
+      ( "counters",
+        J.Obj
+          (List.map (fun (k, v) -> (k, J.Int v)) (Sobs.Metrics.counters snap))
+      );
       ( "latency_ms",
         J.Obj
           (List.map
@@ -698,39 +787,18 @@ let stats_json t ~rid =
                      ("p99", J.Float s.p99);
                    ] ))
              latencies) );
-      ( "cache",
-        J.Obj
-          (List.map
-             (fun (group, (cs : Pipeline.cache_stats)) ->
-               ( group,
-                 J.Obj
-                   [
-                     ("hits", J.Int cs.Pipeline.hits);
-                     ("misses", J.Int cs.Pipeline.misses);
-                     ("plan_hits", J.Int cs.Pipeline.plan_hits);
-                     ("plan_misses", J.Int cs.Pipeline.plan_misses);
-                     ("plan_compiles", J.Int cs.Pipeline.plan_compiles);
-                     ("plan_fallbacks", J.Int cs.Pipeline.plan_fallbacks);
-                   ] ))
-             (Pipeline.stats t.pipeline)) );
-      ( "admission",
-        J.Obj
-          (List.map
-             (fun (g : Pipeline.group) ->
-               let a =
-                 Pipeline.admission_stats t.pipeline ~group:g.Pipeline.name
-               in
-               ( g.Pipeline.name,
-                 J.Obj
-                   [
-                     ("denied", J.Int a.Pipeline.denied);
-                     ("trivial", J.Int a.Pipeline.trivial);
-                     ("eval", J.Int a.Pipeline.eval);
-                   ] ))
-             (Pipeline.groups t.pipeline)) );
+      ("cache", render (fun f -> not (admission_field f)));
+      ("admission", render admission_field);
       ( "documents",
         J.List (List.map (fun n -> J.String n) (Catalog.names t.catalog)) );
     ]
+
+(* Classify on the connection thread: the shared [adm] session under
+   its lock — classification is schema-level and cached, so the
+   critical section is a hash probe on the warm path. *)
+let classify_conn t ~group path =
+  Mutex.protect t.adm_lock (fun () ->
+      Pipeline.Session.classify t.adm ~group path)
 
 (* The admission fast path: answer a provably-empty query on the
    connection thread — no queue slot, no plan, no document touched.
@@ -749,7 +817,7 @@ let admission_fast_path t sess fd ~rid group (q : Protocol.query) =
     | Error _ -> false
     | Ok path -> (
       let started = Deadline.now () in
-      match Pipeline.classify t.pipeline ~group path with
+      match classify_conn t ~group path with
       | Ok (Pipeline.Denied_empty witness) ->
         count t "server.admission.denied";
         send fd
@@ -822,7 +890,12 @@ let submit t sess fd ~rid work =
         cell = Deadline.cell ();
       }
     in
-    match Bqueue.try_push t.queue job with
+    (* writes go to the coordinator's queue; everything else to the
+       read pool *)
+    let queue =
+      match work with Do_update _ -> t.uqueue | _ -> t.queue
+    in
+    match Bqueue.try_push queue job with
     | `Full ->
       count t "server.rejected.overloaded";
       let msg =
@@ -930,7 +1003,7 @@ let handle_line t sess fd line =
                     message = e.Sxpath.Parse.message;
                   }))
         | Ok path -> (
-          match Pipeline.classify t.pipeline ~group path with
+          match classify_conn t ~group path with
           | Error e -> send fd (Protocol.error_of ~rid e)
           | Ok verdict ->
             count t "server.admission.analyze";
@@ -1134,13 +1207,42 @@ let serve t listeners =
       (fun l lfd -> Thread.create (acceptor_loop t (listener_kind l)) lfd)
       listeners lfds
   in
-  let workers =
-    List.init t.config.workers (fun _ -> Thread.create (fun () -> worker_loop t) ())
+  (* One domain per read worker plus one update coordinator, each
+     creating its Session inside the domain it lives on (so Image's
+     domain-local memos are warmed where they are used).  A
+     single-domain server instead keeps both on the runtime's own
+     domain as plain threads — the pre-domain execution model — so
+     [domains = 1] pays no cross-domain hand-off per request. *)
+  let run_consumer queue ~track_busy () =
+    let psess = Pipeline.Session.of_slot t.slot in
+    register_session t psess;
+    consumer_loop t psess queue ~track_busy
+  in
+  let join_consumers =
+    if t.config.domains <= 1 then begin
+      let w = Thread.create (run_consumer t.queue ~track_busy:true) () in
+      let c = Thread.create (run_consumer t.uqueue ~track_busy:false) () in
+      fun () ->
+        Thread.join w;
+        Thread.join c
+    end
+    else begin
+      let workers =
+        List.init t.config.domains (fun _ ->
+            Domain.spawn (run_consumer t.queue ~track_busy:true))
+      in
+      let coordinator =
+        Domain.spawn (run_consumer t.uqueue ~track_busy:false)
+      in
+      fun () ->
+        List.iter Domain.join workers;
+        Domain.join coordinator
+    end
   in
   (* drain sequence: acceptors exit on the stop flag (stop accepting),
-     the queue closes (finish what is admitted, reject the rest),
-     workers drain it and exit, connection threads notice the flag and
-     hang up, and finally the audit log is flushed. *)
+     the queues close (finish what is admitted, reject the rest),
+     worker domains drain them and exit, connection threads notice the
+     flag and hang up, and finally the audit log is flushed. *)
   List.iter Thread.join acceptors;
   List.iter
     (fun (lfd, l) ->
@@ -1150,7 +1252,8 @@ let serve t listeners =
       | Tcp _ | Metrics_http _ -> ())
     (List.combine lfds listeners);
   Bqueue.close t.queue;
-  List.iter Thread.join workers;
+  Bqueue.close t.uqueue;
+  join_consumers ();
   let conns = Mutex.protect t.conn_lock (fun () -> t.conns) in
   List.iter Thread.join conns;
   (match t.audit with Some log -> Sobs.Audit_log.close log | None -> ());

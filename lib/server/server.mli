@@ -1,38 +1,58 @@
 (** The concurrent secure-query server: the paper's Fig. 3
     client/server architecture as a long-lived daemon.
 
-    One server wraps one {!Secview.Pipeline} (a document DTD plus one
-    security view per user group) and a {!Secview.Catalog} of named
-    documents, and speaks {!Protocol} — line-delimited JSON — over any
-    number of Unix-domain and TCP listeners.
+    One server wraps one {!Secview.Pipeline.Service} (a document DTD
+    plus one security view per user group, immutable and shared) and
+    its {!Secview.Catalog} of named documents, and speaks {!Protocol}
+    — line-delimited JSON — over any number of Unix-domain and TCP
+    listeners.
 
-    {b Threading model.}  One acceptor thread per listener, one
-    thread per connection, and a fixed pool of [workers] threads
-    behind one bounded queue ({!Bqueue}).  A connection thread only
-    parses, enforces the session handshake, and performs {e admission
-    control}: if the queue is full the client gets an [overloaded]
-    reply immediately — the server never buffers without bound.
-    Workers run admitted requests through [Pipeline.answer] (safe
-    under concurrency, see {!Secview.Pipeline}) and fill the
-    request's reply cell; the connection thread awaits it up to the
-    per-request [deadline] and answers [timeout] if the cell stays
-    empty — the computation itself is not killed (OCaml threads
-    cannot be), so a stale result is accounted as [late] when it
-    lands.  Requests whose deadline expired while still queued are
-    answered [timeout] without burning a worker.
+    {b Execution model: domain per worker.}  One acceptor {e thread}
+    per listener and one thread per connection (they only parse,
+    enforce the session handshake, and run admission control — I/O
+    bound work that multiplexes fine on one domain), but the request
+    execution pool is [domains] {e OCaml domains}, each spawned with
+    its own {!Secview.Pipeline.Session} — private translation/plan/
+    admission caches, no locks on the hot read path — all popping one
+    bounded queue ({!Bqueue}).  With [domains = 1] the worker and the
+    update coordinator run as plain threads on the calling domain
+    instead — a single-domain server keeps the pre-domain execution
+    model and pays no cross-domain hand-off per request.  If the queue is full the client gets
+    an [overloaded] reply immediately; the server never buffers
+    without bound.  Workers fill the request's reply cell; the
+    connection thread awaits it up to the per-request [deadline] and
+    answers [timeout] if the cell stays empty — the computation
+    itself is not killed, so a stale result is accounted as [late]
+    when it lands.  Requests whose deadline expired while still
+    queued are answered [timeout] without burning a worker.
+
+    {b Writes.}  Updates never enter the read pool: they are routed
+    to a dedicated queue popped by a single {e coordinator} domain,
+    which serializes every check-to-swap in the process — the
+    per-document writer-lock table of the threaded design is gone.
+    Readers pin catalog snapshots and are never torn by a swap;
+    sessions on other domains evict stale cache entries lazily
+    through the service's invalidation log.
 
     {b Observability.}  Counters ([server.accepted],
     [server.rejected.*], [server.timeout], [server.done.*]) and
     per-group latency series ([server.latency_ms.<group>], queue wait
-    included) feed the server's {!Sobs.Metrics} registry — the
-    [stats] and [metrics] commands render them — and every admitted
-    query writes one {!Sobs.Audit_log} ["request"] record stamped
-    with the session's group and peer.  All of it behind one lock, so
-    sinks need no thread-safety of their own.  A {!Metrics_http}
-    listener additionally exposes the registry over HTTP as
-    OpenMetrics text ([GET /metrics], see {!Sobs.Export}); runtime
-    gauges — queue depth/capacity, live connections, busy workers,
-    uptime, GC heap figures — are sampled at scrape time.
+    included) land on per-domain {e shards}
+    ({!Sobs.Metrics.Sharded}); every scrape — the [stats] and
+    [metrics] verbs, [GET /metrics] — merges the shards into one
+    consistent snapshot, so a reader can never observe a
+    half-updated histogram.  The merged per-group {!Secview.Pipeline.stats}
+    of every session (one per domain plus the connection-side
+    admission session) is folded in as [pipeline.stats.<group>.<field>]
+    counters and rendered in the [stats] reply — one merge path for
+    every surface.  Every admitted query writes one
+    {!Sobs.Audit_log} ["request"] record stamped with the session's
+    group and peer (audit writes serialize on one lock; sinks need no
+    thread-safety of their own).  A {!Metrics_http} listener exposes
+    the snapshot over HTTP as OpenMetrics text ([GET /metrics], see
+    {!Sobs.Export}); runtime gauges — queue depths/capacity, live
+    connections, busy workers, uptime, GC heap figures — are sampled
+    at scrape time into the snapshot itself.
 
     {b Request correlation.}  Every request carries a rid — the
     client's ["rid"] field when supplied, a server-generated
@@ -67,12 +87,12 @@
 
     {b Drain.}  [shutdown] (after replying) and SIGINT (via
     {!install_sigint}) both {!request_drain}: stop accepting, let
-    workers finish everything already admitted, answer [draining] to
-    everything else, hang up, flush and close the audit log, return
-    from {!serve}.  *)
+    worker domains finish everything already admitted, answer
+    [draining] to everything else, hang up, flush and close the audit
+    log, return from {!serve}.  *)
 
 type config = {
-  workers : int;  (** worker-pool size (≥ 1) *)
+  domains : int;  (** worker-domain pool size (≥ 1) *)
   queue_capacity : int;  (** admission-control bound (≥ 1) *)
   deadline : float option;  (** per-request seconds, queue wait included *)
   debug : bool;  (** honour the [sleep] test command *)
@@ -82,10 +102,11 @@ type config = {
       (** audit queries slower than this many milliseconds (default
           [None] = off); implies collecting plan operator counts *)
   admission : bool;
-      (** answer provably-empty queries ({!Secview.Pipeline.classify}
-          says [Denied_empty]) on the connection thread with the empty
-          result set — byte-identical to the worker's reply — without
-          queueing, planning or touching the document.  Counted as
+      (** answer provably-empty queries
+          ({!Secview.Pipeline.Session.classify} says [Denied_empty])
+          on the connection thread with the empty result set —
+          byte-identical to the worker's reply — without queueing,
+          planning or touching the document.  Counted as
           [server.admission.denied]; audited with status
           [denied_empty] and the witness explanation.  Default [on];
           only effective when the admission analyzer is linked
@@ -93,16 +114,16 @@ type config = {
 }
 
 val default_config : config
-(** 4 workers, queue of 64, no deadline, no debug, plan engine, no
-    slow-query log, admission fast path on. *)
+(** 4 worker domains, queue of 64, no deadline, no debug, plan
+    engine, no slow-query log, admission fast path on. *)
 
 type listener =
   | Unix_socket of string  (** path; replaced if present, removed on drain *)
   | Tcp of string * int  (** host ([""] = loopback) and port *)
   | Metrics_http of string * int
       (** an HTTP/1.0 scrape endpoint: [GET /metrics] answers the
-          OpenMetrics exposition of the server's registry; every
-          other path is 404.  Host as for {!Tcp}. *)
+          OpenMetrics exposition of the server's merged snapshot;
+          every other path is 404.  Host as for {!Tcp}. *)
 
 type t
 
@@ -114,26 +135,31 @@ val create :
   ?recorder:Sobs.Recorder.t ->
   ?flight_snapshot:string ->
   ?capture:Sobs.Capture.t ->
-  Secview.Pipeline.t ->
+  Secview.Pipeline.Service.t ->
   t
-(** The catalog is the pipeline's ({!Secview.Pipeline.catalog}):
+(** The catalog is the service's ({!Secview.Pipeline.Service.catalog}):
     register documents there.  [audit] is closed (hence flushed) when
-    {!serve} drains.  [tracer] enables per-stage timings in
-    slow-query records; it must be the process's installed tracer
-    (see {!Sobs.Tracer.install}) and the server adopts its lock as
-    the observability lock, so tracer callbacks and server counters
-    serialize on one mutex — create it with [~retain:false] so span
-    memory stays bounded, and do {e not} also attach it to [audit]
-    (the log's own drain would re-enter the shared lock; stage
-    timings reach the log through slow-query records instead).
-    [recorder] enables the flight ring and the [flight] verb (per-
-    request spans additionally require [tracer]); [flight_snapshot]
-    is the auto-snapshot file (only meaningful with [recorder]);
-    [capture] streams the answered workload as replayable JSONL. *)
+    {!serve} drains.  [metrics] is an {e overlay} registry merged
+    into every scrape (server counters themselves live on internal
+    per-domain shards): pass the registry an installed [tracer] feeds
+    its stage series into, and both appear in one exposition.
+    [tracer] enables per-stage timings in slow-query records; it must
+    be the process's installed tracer (see {!Sobs.Tracer.install})
+    and the server adopts its lock as the observability lock, so
+    tracer callbacks, audit writes and overlay reads serialize on one
+    mutex — create it with [~retain:false] so span memory stays
+    bounded, and do {e not} also attach it to [audit] (the log's own
+    drain would re-enter the shared lock; stage timings reach the log
+    through slow-query records instead).  [recorder] enables the
+    flight ring and the [flight] verb (per-request spans additionally
+    require [tracer]); [flight_snapshot] is the auto-snapshot file
+    (only meaningful with [recorder]); [capture] streams the answered
+    workload as replayable JSONL. *)
 
 val serve : t -> listener list -> unit
 (** Bind the listeners and block until a drain completes.  Call from
-    the main thread (or a dedicated one — tests do).
+    the main thread (or a dedicated one — tests do); worker domains
+    are spawned here and joined before returning.
     @raise Invalid_argument on an empty listener list;
     @raise Unix.Unix_error if a listener cannot bind. *)
 
@@ -146,11 +172,12 @@ val install_sigint : t -> unit
     drain with exit status 0. *)
 
 val metrics : t -> Sobs.Metrics.t
-(** The registry the counters and latency series land in (shared
-    with the caller when passed to {!create}). *)
+(** One consistent merged snapshot: the overlay registry, every
+    domain shard, the sessions' merged pipeline counters
+    ([pipeline.stats.<group>.<field>]) and runtime gauges sampled
+    now.  A fresh registry each call — mutating it affects nothing. *)
 
 val openmetrics : t -> string
 (** The OpenMetrics exposition a {!Metrics_http} scrape returns:
-    runtime gauges sampled now, then {!Sobs.Export.openmetrics} of
-    the registry.  Exposed for embedders running their own HTTP
-    stack. *)
+    {!Sobs.Export.openmetrics} of {!metrics}.  Exposed for embedders
+    running their own HTTP stack. *)

@@ -28,10 +28,10 @@ let view_digest ?env ~spec ~view doc =
   in
   Digest.to_hex (Digest.string rendered)
 
-let apply t ~group ?env ?audit ~entry update =
+let apply svc ~group ?env ?audit ~entry update =
   let ( let* ) = Result.bind in
   let* spec =
-    match Pipeline.spec t ~group with
+    match Pipeline.Service.spec svc ~group with
     | Some spec -> Ok spec
     | None ->
       Error
@@ -45,23 +45,24 @@ let apply t ~group ?env ?audit ~entry update =
         (Error.Unknown_group
            {
              group;
-             known = List.map (fun g -> g.Pipeline.name) (Pipeline.groups t);
+             known = Pipeline.Service.order svc;
            })
   in
-  let view = Pipeline.view t ~group in
+  let view = Pipeline.Service.view svc ~group in
   let snapshot = Catalog.pin entry in
   let doc = Catalog.snapshot_doc snapshot in
   let height =
     if Sdtd.Dtd.is_recursive (Secview.View.dtd view) then
-      Some (Catalog.snapshot_height (Pipeline.catalog t) snapshot)
+      Some (Catalog.snapshot_height (Pipeline.Service.catalog svc) snapshot)
     else None
   in
   let* candidate, targets =
-    Check.run ~dtd:(Pipeline.dtd t) ~spec ~view ?env ?height ?audit doc update
+    Check.run ~dtd:(Pipeline.Service.dtd svc) ~spec ~view ?env ?height ?audit
+      doc update
   in
   let old_version = Catalog.snapshot_version snapshot in
   let new_version = Catalog.update entry candidate in
-  Pipeline.invalidate_version t old_version;
+  Pipeline.Service.invalidate_version svc old_version;
   Ok
     {
       r_op = Ast.op_label update;
@@ -72,7 +73,7 @@ let apply t ~group ?env ?audit ~entry update =
       r_view_digest = view_digest ?env ~spec ~view candidate;
     }
 
-let apply_text t ~group ?env ?audit ~entry text =
+let apply_text svc ~group ?env ?audit ~entry text =
   match Parse.of_string text with
-  | update -> apply t ~group ?env ?audit ~entry update
+  | update -> apply svc ~group ?env ?audit ~entry update
   | exception Parse.Error msg -> Error (Error.Invalid_update msg)

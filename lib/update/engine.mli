@@ -1,20 +1,23 @@
-(** The transactional update orchestrator over a {!Secview.Pipeline}.
+(** The transactional update orchestrator over a
+    {!Secview.Pipeline.Service}.
 
     [apply] runs the full write path for one update: resolve the
     group's policy and view, pin the document's current catalog
     snapshot, admit the update through {!Check.run}, and — only on
     admission — swap the rebuilt document in as a new snapshot
-    ({!Secview.Catalog.update}) and evict exactly the old version's
-    translation/plan cache entries
-    ({!Secview.Pipeline.invalidate_version}).  A rejected update
+    ({!Secview.Catalog.update}) and append the old version to the
+    service's invalidation log
+    ({!Secview.Pipeline.Service.invalidate_version}) so every session
+    evicts its stale translations/plans on its next call.  A rejected
+    update
     returns before any of that: document, index, catalog version and
     caches are bit-for-bit untouched.
 
     Concurrency: readers pinned on the old snapshot are never torn
     (snapshots are immutable), but two {e writers} racing on the same
     entry can lose an update between check and swap — callers must
-    serialize writers per document.  The server holds a per-document
-    writer lock; the CLI is single-threaded. *)
+    serialize writers per document.  The server routes every update
+    through one coordinator domain; the CLI is single-threaded. *)
 
 type receipt = {
   r_op : string;  (** ["insert"] / ["delete"] / ["replace"] *)
@@ -30,7 +33,7 @@ type receipt = {
 }
 
 val apply :
-  Secview.Pipeline.t ->
+  Secview.Pipeline.Service.t ->
   group:string ->
   ?env:(string -> string option) ->
   ?audit:(string -> unit) ->
@@ -43,7 +46,7 @@ val apply :
     id-bearing denial detail (server-side logs only). *)
 
 val apply_text :
-  Secview.Pipeline.t ->
+  Secview.Pipeline.Service.t ->
   group:string ->
   ?env:(string -> string option) ->
   ?audit:(string -> unit) ->

@@ -158,8 +158,9 @@ let test_admission_verdicts () =
 
 let test_denied_is_empty_on_instances () =
   let t =
-    Pipeline.create dtd
-      ~groups:[ ("nurse", Workload.Hospital.nurse_spec dtd) ]
+    Pipeline.Session.create
+      (Pipeline.Service.create dtd
+         ~groups:[ ("nurse", Workload.Hospital.nurse_spec dtd) ])
   in
   let env = Workload.Hospital.nurse_env "w1" in
   let docs =
@@ -171,12 +172,12 @@ let test_denied_is_empty_on_instances () =
   List.iter
     (fun q ->
       let p = parse q in
-      (match Pipeline.classify t ~group:"nurse" p with
+      (match Pipeline.Session.classify t ~group:"nurse" p with
       | Ok (Pipeline.Denied_empty _) -> ()
       | _ -> Alcotest.failf "%s: pipeline must classify Denied_empty" q);
       List.iteri
         (fun i doc ->
-          match Pipeline.answer t ~group:"nurse" ~env p doc with
+          match Pipeline.Session.answer t ~group:"nurse" ~env p doc with
           | Ok [] -> ()
           | Ok nodes ->
             Alcotest.failf "%s: %d nodes on document %d — verdict refuted" q
@@ -189,11 +190,12 @@ let test_denied_is_empty_on_instances () =
 
 let test_admission_counters () =
   let t =
-    Pipeline.create dtd
-      ~groups:[ ("nurse", Workload.Hospital.nurse_spec dtd) ]
+    Pipeline.Session.create
+      (Pipeline.Service.create dtd
+         ~groups:[ ("nurse", Workload.Hospital.nurse_spec dtd) ])
   in
   let classify q =
-    match Pipeline.classify t ~group:"nurse" (parse q) with
+    match Pipeline.Session.classify t ~group:"nurse" (parse q) with
     | Ok a -> a
     | Error e -> Alcotest.failf "classify: %s" (Secview.Error.to_string e)
   in
@@ -201,11 +203,11 @@ let test_admission_counters () =
   ignore (classify "//test");
   (* cached verdict, counted again *)
   ignore (classify "//patient/name");
-  let s = Pipeline.admission_stats t ~group:"nurse" in
-  Alcotest.(check int) "denied counted per call" 2 s.Pipeline.denied;
-  Alcotest.(check int) "eval counted" 1 s.Pipeline.eval;
-  Alcotest.(check int) "nothing trivial yet" 0 s.Pipeline.trivial;
-  match Pipeline.classify t ~group:"ghost" (parse "//name") with
+  let s : Pipeline.stats = Pipeline.Session.stats_of t ~group:"nurse" in
+  Alcotest.(check int) "denied counted per call" 2 s.denied;
+  Alcotest.(check int) "eval counted" 1 s.eval;
+  Alcotest.(check int) "nothing trivial yet" 0 s.trivial;
+  match Pipeline.Session.classify t ~group:"ghost" (parse "//name") with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown group must be an error"
 

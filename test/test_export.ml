@@ -164,8 +164,9 @@ let test_chrome_trace_roundtrip () =
    document sizes, with no interpreter fallback. *)
 let test_explain_counts () =
   let pipe =
-    Pipeline.create Workload.Adex.dtd
-      ~groups:[ ("user", Workload.Adex.spec) ]
+    Pipeline.Session.create
+      (Pipeline.Service.create Workload.Adex.dtd
+         ~groups:[ ("user", Workload.Adex.spec) ])
   in
   List.iter
     (fun (ads, buyers) ->
@@ -174,11 +175,11 @@ let test_explain_counts () =
         (fun (name, q) ->
           let label = Printf.sprintf "%s ads=%d" name ads in
           let expected =
-            match Pipeline.answer pipe ~group:"user" q doc with
+            match Pipeline.Session.answer pipe ~group:"user" q doc with
             | Ok rs -> List.length rs
             | Error e -> Alcotest.failf "%s: %s" label (Secview.Error.to_string e)
           in
-          match Pipeline.explain pipe ~group:"user" q doc with
+          match Pipeline.Session.explain pipe ~group:"user" q doc with
           | Error e -> Alcotest.failf "%s: %s" label (Secview.Error.to_string e)
           | Ok x -> (
             Alcotest.(check int) (label ^ " results") expected
@@ -266,15 +267,16 @@ let split_response resp =
   find 0
 
 let test_http_scrape () =
-  let pipe =
-    Pipeline.create Workload.Fig7.dtd ~groups:[ ("u", Workload.Fig7.spec) ]
+  let service =
+    Pipeline.Service.create Workload.Fig7.dtd
+      ~groups:[ ("u", Workload.Fig7.spec) ]
   in
-  let server = Server.create pipe in
-  (* a served query would land here; prime the latency series directly
-     so the scrape carries a histogram without a full client session *)
-  List.iter
-    (Metrics.observe (Server.metrics server) "server.latency_ms.u")
-    [ 0.4; 2.; 31. ];
+  (* a served query's latency would land on the server's own shards;
+     prime the series through the overlay registry instead, so the
+     scrape carries a histogram without a full client session *)
+  let overlay = Metrics.create () in
+  let server = Server.create ~metrics:overlay service in
+  List.iter (Metrics.observe overlay "server.latency_ms.u") [ 0.4; 2.; 31. ];
   let th =
     Thread.create
       (fun () -> Server.serve server [ Server.Metrics_http ("", scrape_port) ])

@@ -160,8 +160,12 @@ let test_sv205_undeclared_attribute () =
 let test_strict_gate_accepts () =
   let dtd = Workload.Hospital.dtd in
   let spec = Workload.Hospital.nurse_spec dtd in
-  let p = Secview.Pipeline.create ~strict:true dtd ~groups:[ ("nurses", spec) ] in
-  Alcotest.(check int) "one group" 1 (List.length (Secview.Pipeline.groups p))
+  let p =
+    Secview.Pipeline.Service.create ~strict:true dtd
+      ~groups:[ ("nurses", spec) ]
+  in
+  Alcotest.(check int) "one group" 1
+    (List.length (Secview.Pipeline.Service.groups p))
 
 let test_strict_gate_rejects_bad_spec () =
   let spec =
@@ -169,7 +173,7 @@ let test_strict_gate_rejects_bad_spec () =
   in
   Alcotest.(check bool) "bad qualifier rejected" true
     (match
-       Secview.Pipeline.create ~strict:true fixture_dtd
+       Secview.Pipeline.Service.create ~strict:true fixture_dtd
          ~groups:[ ("g", spec) ]
      with
     | exception Invalid_argument msg ->
@@ -188,11 +192,12 @@ let test_strict_gate_rejects_stale_view () =
   let stale = view_of (path "zzz") in
   (* non-strict construction still accepts it -- the pre-lint state *)
   let _lenient =
-    Secview.Pipeline.create_with_views fixture_dtd ~groups:[ ("g", stale) ]
+    Secview.Pipeline.Service.create_with_views fixture_dtd
+      ~groups:[ ("g", stale) ]
   in
   Alcotest.(check bool) "stale view rejected" true
     (match
-       Secview.Pipeline.create_with_views ~strict:true fixture_dtd
+       Secview.Pipeline.Service.create_with_views ~strict:true fixture_dtd
          ~groups:[ ("g", stale) ]
      with
     | exception Invalid_argument _ -> true

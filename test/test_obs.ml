@@ -170,8 +170,9 @@ let test_audit_golden () =
 (* --- the instrumented pipeline -------------------------------------- *)
 
 let fig7_pipeline () =
-  Secview.Pipeline.create Workload.Fig7.dtd
-    ~groups:[ ("u", Workload.Fig7.spec) ]
+  Secview.Pipeline.Session.create
+    (Secview.Pipeline.Service.create Workload.Fig7.dtd
+       ~groups:[ ("u", Workload.Fig7.spec) ])
 
 let test_pipeline_spans_and_audit () =
   let metrics = Metrics.create () in
@@ -184,8 +185,8 @@ let test_pipeline_spans_and_audit () =
       let pipe = fig7_pipeline () in
       Audit_log.install log;
       Fun.protect ~finally:Audit_log.uninstall (fun () ->
-          let r1 = Secview.Pipeline.answer_exn pipe ~group:"u" q doc in
-          let r2 = Secview.Pipeline.answer_exn pipe ~group:"u" q doc in
+          let r1 = Secview.Pipeline.Session.answer_exn pipe ~group:"u" q doc in
+          let r2 = Secview.Pipeline.Session.answer_exn pipe ~group:"u" q doc in
           Alcotest.(check int) "same answers" (List.length r1)
             (List.length r2)));
   let names = List.map (fun s -> s.Tracer.name) (Tracer.spans tracer) in
@@ -228,11 +229,11 @@ let test_height_memo_invalidation_and_override () =
   let q = parse "//b" in
   with_probe tracer (fun () ->
       let pipe = fig7_pipeline () in
-      ignore (Secview.Pipeline.answer pipe ~group:"u" q doc1);
-      ignore (Secview.Pipeline.answer pipe ~group:"u" q doc2);
-      ignore (Secview.Pipeline.answer pipe ~group:"u" q doc2);
+      ignore (Secview.Pipeline.Session.answer pipe ~group:"u" q doc1);
+      ignore (Secview.Pipeline.Session.answer pipe ~group:"u" q doc2);
+      ignore (Secview.Pipeline.Session.answer pipe ~group:"u" q doc2);
       (* caller-supplied height bypasses the memo entirely *)
-      ignore (Secview.Pipeline.answer pipe ~group:"u" ~height:9 q doc1));
+      ignore (Secview.Pipeline.Session.answer pipe ~group:"u" ~height:9 q doc1));
   Alcotest.(check int) "recomputed when the document changes" 2
     (Metrics.counter metrics "pipeline.height.computed");
   Alcotest.(check int) "memoized across same-document requests" 1
@@ -242,21 +243,21 @@ let test_pipeline_stats () =
   let dtd = Workload.Hospital.dtd in
   let spec = Workload.Hospital.nurse_spec dtd in
   let pipe =
-    Secview.Pipeline.create dtd
-      ~groups:[ ("nurses", spec); ("billing", spec) ]
+    Secview.Pipeline.Session.create
+      (Secview.Pipeline.Service.create dtd
+         ~groups:[ ("nurses", spec); ("billing", spec) ])
   in
   let doc = Workload.Hospital.sample_document () in
   let env = Workload.Hospital.nurse_env "6" in
-  ignore (Secview.Pipeline.answer pipe ~group:"nurses" ~env (parse "//name") doc);
-  ignore (Secview.Pipeline.answer pipe ~group:"nurses" ~env (parse "//name") doc);
-  ignore (Secview.Pipeline.answer pipe ~group:"billing" ~env (parse "//bill") doc);
-  let per_group = Secview.Pipeline.stats pipe in
+  ignore (Secview.Pipeline.Session.answer pipe ~group:"nurses" ~env (parse "//name") doc);
+  ignore (Secview.Pipeline.Session.answer pipe ~group:"nurses" ~env (parse "//name") doc);
+  ignore (Secview.Pipeline.Session.answer pipe ~group:"billing" ~env (parse "//bill") doc);
+  let per_group = Secview.Pipeline.Session.all_stats pipe in
   Alcotest.(check (list string))
     "per-group stats in construction order" [ "nurses"; "billing" ]
     (List.map fst per_group);
-  let open Secview.Pipeline in
-  let nurses = List.assoc "nurses" per_group in
-  let billing = List.assoc "billing" per_group in
+  let nurses : Secview.Pipeline.stats = List.assoc "nurses" per_group in
+  let billing : Secview.Pipeline.stats = List.assoc "billing" per_group in
   Alcotest.(check (pair int int)) "nurses translation counters" (1, 1)
     (nurses.hits, nurses.misses);
   Alcotest.(check (pair int int)) "billing translation counters" (0, 1)

@@ -1,5 +1,5 @@
-(* The Pipeline façade: multi-group setup, translation caching,
-   recursive-view handling, stored-view loading. *)
+(* The Pipeline Service/Session split: multi-group setup, translation
+   caching, recursive-view handling, stored-view loading. *)
 
 module Pipeline = Secview.Pipeline
 module Spec = Secview.Spec
@@ -10,24 +10,25 @@ let eval ?env ?index p doc =
 
 let parse = Sxpath.Parse.of_string
 
-let hospital_pipeline () =
+let hospital_service () =
   let dtd = Workload.Hospital.dtd in
   let nurses = Workload.Hospital.nurse_spec dtd in
   let billing =
     Spec.of_sidecar dtd
       "dept staffInfo N\ndept clinicalTrial N\nclinicalTrial patientInfo Y\n"
   in
-  Pipeline.create dtd ~groups:[ ("nurses", nurses); ("billing", billing) ]
+  Pipeline.Service.create dtd
+    ~groups:[ ("nurses", nurses); ("billing", billing) ]
 
 let test_groups () =
-  let p = hospital_pipeline () in
+  let p = hospital_service () in
   Alcotest.(check (list string)) "groups in order"
     [ "nurses"; "billing" ]
-    (List.map (fun g -> g.Pipeline.name) (Pipeline.groups p));
+    (List.map (fun g -> g.Pipeline.name) (Pipeline.Service.groups p));
   Alcotest.(check bool) "nurse view DTD hides clinicalTrial" false
-    (Sdtd.Dtd.mem (Pipeline.view_dtd p ~group:"nurses") "clinicalTrial");
+    (Sdtd.Dtd.mem (Pipeline.Service.view_dtd p ~group:"nurses") "clinicalTrial");
   Alcotest.(check bool) "unknown group raises" true
-    (match Pipeline.view_dtd p ~group:"zz" with
+    (match Pipeline.Service.view_dtd p ~group:"zz" with
     | exception Not_found -> true
     | _ -> false)
 
@@ -36,7 +37,7 @@ let test_rejects_foreign_spec () =
   let other_dtd = Workload.Adex.dtd in
   Alcotest.(check bool) "spec over another DTD rejected" true
     (match
-       Pipeline.create dtd
+       Pipeline.Service.create dtd
          ~groups:[ ("x", Workload.Adex.spec) ]
      with
     | exception Invalid_argument _ -> true
@@ -45,31 +46,32 @@ let test_rejects_foreign_spec () =
       false)
 
 let test_translation_and_cache () =
-  let p = hospital_pipeline () in
+  let p = Pipeline.Session.create (hospital_service ()) in
   let q = parse "//patient//bill" in
-  let t1 = Pipeline.translate p ~group:"nurses" q in
-  let t2 = Pipeline.translate p ~group:"nurses" q in
+  let t1 = Pipeline.Session.translate p ~group:"nurses" q in
+  let t2 = Pipeline.Session.translate p ~group:"nurses" q in
   Alcotest.(check bool) "same translation" true (Sxpath.Ast.equal_path t1 t2);
-  let s = Pipeline.cache_stats p ~group:"nurses" in
-  Alcotest.(check int) "one miss" 1 s.Pipeline.misses;
-  Alcotest.(check int) "one hit" 1 s.Pipeline.hits;
+  let s : Pipeline.stats = Pipeline.Session.stats_of p ~group:"nurses" in
+  Alcotest.(check int) "one miss" 1 s.misses;
+  Alcotest.(check int) "one hit" 1 s.hits;
   (* translate alone never touches the plan cache *)
-  Alcotest.(check int) "no plan lookups" 0
-    (s.Pipeline.plan_hits + s.Pipeline.plan_misses);
+  Alcotest.(check int) "no plan lookups" 0 (s.plan_hits + s.plan_misses);
   (* groups have independent caches *)
-  let s' = Pipeline.cache_stats p ~group:"billing" in
-  Alcotest.(check int) "billing untouched" 0 s'.Pipeline.hits
+  let s' : Pipeline.stats = Pipeline.Session.stats_of p ~group:"billing" in
+  Alcotest.(check int) "billing untouched" 0 s'.hits
 
 let test_answers_match_manual_pipeline () =
   let dtd = Workload.Hospital.dtd in
   let spec = Workload.Hospital.nurse_spec dtd in
-  let p = Pipeline.create dtd ~groups:[ ("nurses", spec) ] in
+  let p =
+    Pipeline.Session.create (Pipeline.Service.create dtd ~groups:[ ("nurses", spec) ])
+  in
   let doc = Workload.Hospital.sample_document () in
   let env = Workload.Hospital.nurse_env "6" in
   let q = parse "//patient/name" in
   let via_pipeline =
     List.map Sxml.Tree.string_value
-      (Pipeline.answer_exn p ~group:"nurses" ~env q doc)
+      (Pipeline.Session.answer_exn p ~group:"nurses" ~env q doc)
   in
   let manual =
     let view = Secview.Derive.derive spec in
@@ -80,22 +82,26 @@ let test_answers_match_manual_pipeline () =
 
 let test_recursive_group () =
   let dtd = Workload.Xmark.dtd in
-  let p = Pipeline.create dtd ~groups:[ ("buyers", Workload.Xmark.spec) ] in
+  let p =
+    Pipeline.Session.create
+      (Pipeline.Service.create dtd ~groups:[ ("buyers", Workload.Xmark.spec) ])
+  in
   let doc = Workload.Xmark.document ~seed:3 ~scale:3 () in
   (* answer computes the height itself *)
-  let names = Pipeline.answer_exn p ~group:"buyers" (parse "//person/name") doc in
+  let names =
+    Pipeline.Session.answer_exn p ~group:"buyers" (parse "//person/name") doc
+  in
   Alcotest.(check bool) "answers arrive" true (names <> []);
   (* translate without a height must refuse on a recursive view *)
   Alcotest.(check bool) "translate needs height" true
-    (match Pipeline.translate p ~group:"buyers" (parse "//name") with
+    (match Pipeline.Session.translate p ~group:"buyers" (parse "//name") with
     | exception Secview.Rewrite.Unsupported _ -> true
     | _ -> false);
   (* different heights are cached separately *)
-  ignore (Pipeline.translate p ~group:"buyers" ~height:5 (parse "//name"));
-  ignore (Pipeline.translate p ~group:"buyers" ~height:7 (parse "//name"));
-  let s = Pipeline.cache_stats p ~group:"buyers" in
-  Alcotest.(check bool) "separate cache entries per height" true
-    (s.Pipeline.misses >= 3)
+  ignore (Pipeline.Session.translate p ~group:"buyers" ~height:5 (parse "//name"));
+  ignore (Pipeline.Session.translate p ~group:"buyers" ~height:7 (parse "//name"));
+  let s : Pipeline.stats = Pipeline.Session.stats_of p ~group:"buyers" in
+  Alcotest.(check bool) "separate cache entries per height" true (s.misses >= 3)
 
 let test_with_stored_views () =
   let dtd = Workload.Hospital.dtd in
@@ -104,22 +110,29 @@ let test_with_stored_views () =
   let reloaded =
     Secview.View.of_definition (Secview.View.to_definition view)
   in
-  let p = Pipeline.create_with_views dtd ~groups:[ ("nurses", reloaded) ] in
+  let p =
+    Pipeline.Session.create
+      (Pipeline.Service.create_with_views dtd ~groups:[ ("nurses", reloaded) ])
+  in
   let doc = Workload.Hospital.sample_document () in
   let env = Workload.Hospital.nurse_env "6" in
   Alcotest.(check int) "stored view answers" 3
     (List.length
-       (Pipeline.answer_exn p ~group:"nurses" ~env (parse "//patient/name") doc))
+       (Pipeline.Session.answer_exn p ~group:"nurses" ~env
+          (parse "//patient/name") doc))
 
 let test_indexed_answers () =
   let dtd = Workload.Adex.dtd in
-  let p = Pipeline.create dtd ~groups:[ ("re", Workload.Adex.spec) ] in
+  let p =
+    Pipeline.Session.create
+      (Pipeline.Service.create dtd ~groups:[ ("re", Workload.Adex.spec) ])
+  in
   let doc = Workload.Adex.document ~ads:10 ~buyers:5 () in
   let idx = Sxml.Index.build doc in
   let q = Workload.Adex.q1 in
   Alcotest.(check int) "indexed = plain"
-    (List.length (Pipeline.answer_exn p ~group:"re" q doc))
-    (List.length (Pipeline.answer_exn p ~group:"re" ~index:idx q doc))
+    (List.length (Pipeline.Session.answer_exn p ~group:"re" q doc))
+    (List.length (Pipeline.Session.answer_exn p ~group:"re" ~index:idx q doc))
 
 let () =
   Alcotest.run "pipeline"

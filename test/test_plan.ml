@@ -233,25 +233,27 @@ let test_fuzz () =
 let test_pipeline_engines_agree () =
   let dtd = Workload.Adex.dtd in
   let pipe =
-    Secview.Pipeline.create dtd ~groups:[ ("re", Workload.Adex.spec) ]
+    Secview.Pipeline.Session.create
+      (Secview.Pipeline.Service.create dtd ~groups:[ ("re", Workload.Adex.spec) ])
   in
   let doc = Workload.Adex.document ~seed:7 ~ads:10 ~buyers:5 () in
   List.iter
     (fun (name, q) ->
       let a =
         render
-          (Secview.Pipeline.answer_exn pipe ~group:"re"
+          (Secview.Pipeline.Session.answer_exn pipe ~group:"re"
              ~engine:Secview.Pipeline.Interp q doc)
       in
       let b =
         render
-          (Secview.Pipeline.answer_exn pipe ~group:"re"
+          (Secview.Pipeline.Session.answer_exn pipe ~group:"re"
              ~engine:Secview.Pipeline.Plan q doc)
       in
       Alcotest.(check string) (name ^ ": engines agree") a b)
     Workload.Adex.queries;
-  let s = Secview.Pipeline.cache_stats pipe ~group:"re" in
-  let open Secview.Pipeline in
+  let s : Secview.Pipeline.stats =
+    Secview.Pipeline.Session.stats_of pipe ~group:"re"
+  in
   (* only the Plan calls consult the plan cache *)
   Alcotest.(check int) "one plan lookup per Plan call"
     (List.length Workload.Adex.queries)
@@ -269,15 +271,18 @@ let test_pipeline_fallback_transparent () =
      leave the plan cache untouched. *)
   let dtd = Workload.Hospital.dtd in
   let pipe =
-    Secview.Pipeline.create dtd
-      ~groups:[ ("all", Secview.Spec.make dtd []) ]
+    Secview.Pipeline.Session.create
+      (Secview.Pipeline.Service.create dtd
+         ~groups:[ ("all", Secview.Spec.make dtd []) ])
   in
   let doc = Workload.Hospital.sample_document () in
   List.iter
     (fun q ->
-      ignore (Secview.Pipeline.answer_exn pipe ~group:"all" (parse q) doc))
+      ignore (Secview.Pipeline.Session.answer_exn pipe ~group:"all" (parse q) doc))
     [ "//*"; "//."; "//bill"; "//*[bill]"; "dept[.//bill]" ];
-  let s = Secview.Pipeline.cache_stats pipe ~group:"all" in
+  let s : Secview.Pipeline.stats =
+    Secview.Pipeline.Session.stats_of pipe ~group:"all"
+  in
   let open Secview.Pipeline in
   Alcotest.(check int) "rewritten queries never refused" 0 s.plan_fallbacks;
   Alcotest.(check int) "every miss compiled" s.plan_misses s.plan_compiles;
@@ -288,12 +293,12 @@ let test_pipeline_fallback_transparent () =
      direct interpretation and never consult the plan cache) *)
   let sub = List.hd (interp (parse "dept") doc) in
   let q = parse "dept/patientInfo/patient" in
-  let direct = render (interp (translate pipe ~group:"all" q) sub) in
-  let a = render (answer_exn pipe ~group:"all" ~engine:Interp q sub) in
-  let b = render (answer_exn pipe ~group:"all" ~engine:Plan q sub) in
+  let direct = render (interp (Session.translate pipe ~group:"all" q) sub) in
+  let a = render (Session.answer_exn pipe ~group:"all" ~engine:Interp q sub) in
+  let b = render (Session.answer_exn pipe ~group:"all" ~engine:Plan q sub) in
   Alcotest.(check string) "interp engine = direct interpretation" direct a;
   Alcotest.(check string) "non-root context answers agree" a b;
-  let s' = cache_stats pipe ~group:"all" in
+  let s' : stats = Session.stats_of pipe ~group:"all" in
   Alcotest.(check int) "plan cache not consulted for non-root contexts"
     lookups
     (s'.plan_hits + s'.plan_misses)

@@ -390,38 +390,54 @@ let test_pipeline_hammer () =
   let render ns =
     String.concat "\n" (List.map (fun n -> Sxml.Print.to_string n) ns)
   in
-  let reference = Pipeline.create dtd ~groups in
+  let reference = Pipeline.Session.create (Pipeline.Service.create dtd ~groups) in
   let expected =
     List.map
-      (fun (g, q, d) -> render (Pipeline.answer_exn reference ~group:g q d))
+      (fun (g, q, d) ->
+        render (Pipeline.Session.answer_exn reference ~group:g q d))
       cells
   in
-  let pipe = Pipeline.create dtd ~groups in
+  let service = Pipeline.Service.create dtd ~groups in
   let wrong = Atomic.make 0 in
   let n_threads = 8 and iters = 10 in
-  let worker () =
+  let sessions = Array.make n_threads None in
+  let worker i =
+    let pipe = Pipeline.Session.of_slot (Pipeline.Service.slot service) in
+    sessions.(i) <- Some pipe;
     for _ = 1 to iters do
       List.iter2
         (fun (g, q, d) want ->
-          if not
-               (String.equal (render (Pipeline.answer_exn pipe ~group:g q d)) want)
+          if
+            not
+              (String.equal
+                 (render (Pipeline.Session.answer_exn pipe ~group:g q d))
+                 want)
           then Atomic.incr wrong)
         cells expected
     done
   in
-  let threads = List.init n_threads (fun _ -> Thread.create worker ()) in
+  let threads = List.init n_threads (fun i -> Thread.create worker i) in
   List.iter Thread.join threads;
   Alcotest.(check int) "no wrong answers under contention" 0
     (Atomic.get wrong);
-  (* per group: every answer call translates exactly once, so hits +
-     misses must equal the calls issued, and the cache must have
-     warmed up (misses well below calls) *)
+  (* per group, merged over every session: every answer call consults
+     the translation cache exactly once, so hits + misses must equal
+     the calls issued, and each private cache must have warmed up
+     (misses well below calls) *)
   let calls_per_group =
     n_threads * iters * List.length Workload.Adex.queries * List.length docs
   in
+  let merged g =
+    Array.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some p ->
+          Pipeline.stats_merge acc (Pipeline.Session.stats_of p ~group:g))
+      Pipeline.stats_zero sessions
+  in
   List.iter
-    (fun (g, s) ->
-      let open Pipeline in
+    (fun g ->
+      let s : Pipeline.stats = merged g in
       Alcotest.(check int)
         (Printf.sprintf "hits+misses accounted for (%s)" g)
         calls_per_group (s.hits + s.misses);
@@ -438,7 +454,125 @@ let test_pipeline_hammer () =
         (Printf.sprintf "plan cache warmed (%s)" g)
         true
         (s.plan_misses < calls_per_group && s.plan_hits > 0))
-    (Pipeline.stats pipe)
+    (Pipeline.Service.order service)
+
+(* ---- multi-domain hammer: readers race one writer ------------------- *)
+
+(* N worker domains, each running M sessions over the shared service,
+   answer a fixed query mix against two groups while one coordinator
+   domain applies admitted updates.  Every observation is replayed
+   post-hoc through a fresh single-threaded session against the exact
+   document version the reader pinned: answers must be byte-identical,
+   and no reader may ever see the catalog version move backwards. *)
+let test_multidomain_hammer () =
+  let dtd = Workload.Hospital.dtd in
+  let full =
+    Secview.Spec.make
+      ~write:[ (("patientInfo", "patient"), [ Secview.Spec.Insert ]) ]
+      dtd []
+  in
+  let billing =
+    Secview.Spec.of_sidecar dtd
+      "dept staffInfo N\ndept clinicalTrial N\nclinicalTrial patientInfo Y\n"
+  in
+  let groups = [ ("full", full); ("billing", billing) ] in
+  let catalog = Catalog.create () in
+  let entry =
+    Catalog.add catalog ~name:"doc" (Workload.Hospital.sample_document ())
+  in
+  let svc = Pipeline.Service.create ~catalog dtd ~groups in
+  let queries =
+    List.map Sxpath.Parse.of_string
+      [ "//patient/name"; "//bill"; "//staff"; "//patient" ]
+  in
+  let render ns =
+    String.concat "\n" (List.map (fun n -> Sxml.Print.to_string n) ns)
+  in
+  let writes = 12 and n_domains = 2 and m_sessions = 2 and rounds = 20 in
+  let flock = Mutex.create () in
+  let failures = ref [] in
+  let fail msg = Mutex.protect flock (fun () -> failures := msg :: !failures) in
+  (* the coordinator is the only writer; it retains every version's
+     document (from the receipts) for the post-hoc oracle *)
+  let versions = ref [ (Catalog.version entry, Catalog.doc entry) ] in
+  let coordinator =
+    Domain.spawn (fun () ->
+        for i = 1 to writes do
+          let text =
+            Printf.sprintf
+              "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>p%d</name><wardNo>6</wardNo><treatment><trial><bill>%d</bill></trial></treatment></patient>"
+              i i
+          in
+          (match Supdate.Engine.apply_text svc ~group:"full" ~entry text with
+          | Ok r ->
+            versions :=
+              (r.Supdate.Engine.r_new_version, r.Supdate.Engine.r_doc)
+              :: !versions
+          | Error e -> fail ("write rejected: " ^ Secview.Error.to_code e));
+          Thread.yield ()
+        done)
+  in
+  let readers =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            let sessions =
+              List.init m_sessions (fun _ ->
+                  Pipeline.Session.of_slot (Pipeline.Service.slot svc))
+            in
+            let obs = ref [] in
+            let last_v = ref 0 in
+            for _ = 1 to rounds do
+              List.iter
+                (fun sess ->
+                  List.iter
+                    (fun (g, _) ->
+                      List.iteri
+                        (fun qi q ->
+                          let snap = Catalog.pin entry in
+                          let v = Catalog.snapshot_version snap in
+                          let doc = Catalog.snapshot_doc snap in
+                          if v < !last_v then
+                            fail "snapshot version went backwards";
+                          last_v := v;
+                          let bytes =
+                            render
+                              (Pipeline.Session.answer_exn sess ~group:g q doc)
+                          in
+                          obs := (g, qi, v, bytes) :: !obs)
+                        queries)
+                    groups)
+                sessions
+            done;
+            !obs))
+  in
+  Domain.join coordinator;
+  let all_obs = List.concat_map Domain.join readers in
+  (match !failures with
+  | [] -> ()
+  | msgs -> Alcotest.failf "hammer failures: %s" (String.concat "; " msgs));
+  let vmap = !versions in
+  Alcotest.(check int) "every write admitted" (writes + 1) (List.length vmap);
+  let oracle = Pipeline.Session.create (Pipeline.Service.create dtd ~groups) in
+  List.iter
+    (fun (g, qi, v, bytes) ->
+      match List.assoc_opt v vmap with
+      | None ->
+        Alcotest.failf "version tearing: v%d was never produced by the writer"
+          v
+      | Some doc ->
+        let want =
+          render
+            (Pipeline.Session.answer_exn oracle ~group:g (List.nth queries qi)
+               doc)
+        in
+        if not (String.equal want bytes) then
+          Alcotest.failf "answer diverges from the oracle (group %s, q%d, v%d)"
+            g qi v)
+    all_obs;
+  Alcotest.(check int) "observations recorded"
+    (n_domains * m_sessions * rounds * List.length groups
+   * List.length queries)
+    (List.length all_obs)
 
 (* ---- the server over a real socket ---------------------------------- *)
 
@@ -486,8 +620,8 @@ let with_server ?config ?audit ?recorder ~docs () k =
   let dtd = Workload.Adex.dtd in
   let catalog = Catalog.create () in
   List.iter (fun (n, d) -> ignore (Catalog.add catalog ~name:n d)) docs;
-  let pipe = Pipeline.create ~catalog dtd ~groups:(adex_groups ()) in
-  let server = Server.create ?config ?audit ?recorder pipe in
+  let service = Pipeline.Service.create ~catalog dtd ~groups:(adex_groups ()) in
+  let server = Server.create ?config ?audit ?recorder service in
   let path = Filename.temp_file "secview-test" ".sock" in
   Sys.remove path;
   let th =
@@ -520,11 +654,12 @@ let test_server_roundtrips () =
   (* the answer matches the single-threaded pipeline byte for byte *)
   let expected =
     let reference =
-      Pipeline.create Workload.Adex.dtd ~groups:(adex_groups ())
+      Pipeline.Session.create
+        (Pipeline.Service.create Workload.Adex.dtd ~groups:(adex_groups ()))
     in
     List.map
       (fun n -> Sxml.Print.to_string n)
-      (Pipeline.answer_exn reference ~group:"re"
+      (Pipeline.Session.answer_exn reference ~group:"re"
          (Sxpath.Parse.of_string "//house") doc)
   in
   send fd (Protocol.query_json ~doc:"d1" "//house");
@@ -551,7 +686,7 @@ let test_server_roundtrips () =
 
 let test_server_overload () =
   let config =
-    { Server.default_config with workers = 1; queue_capacity = 1; debug = true }
+    { Server.default_config with domains = 1; queue_capacity = 1; debug = true }
   in
   with_server ~config ~docs:[ ("d1", List.hd (adex_docs ())) ] ()
   @@ fun _server path ->
@@ -576,7 +711,7 @@ let test_server_overload () =
 
 let test_server_timeout () =
   let config =
-    { Server.default_config with workers = 1; deadline = Some 0.05;
+    { Server.default_config with domains = 1; deadline = Some 0.05;
       debug = true }
   in
   with_server ~config ~docs:[ ("d1", List.hd (adex_docs ())) ] ()
@@ -728,6 +863,8 @@ let () =
         [
           Alcotest.test_case "hammer: determinism + stats" `Slow
             test_pipeline_hammer;
+          Alcotest.test_case "hammer: domains + writer vs oracle" `Slow
+            test_multidomain_hammer;
         ] );
       ( "server",
         [

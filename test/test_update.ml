@@ -41,25 +41,26 @@ let setup spec =
   let entry =
     Catalog.add catalog ~name:"doc" (Workload.Hospital.sample_document ())
   in
-  let pipe = Pipeline.create ~catalog dtd ~groups:[ ("g", spec) ] in
-  (pipe, entry)
+  let svc = Pipeline.Service.create ~catalog dtd ~groups:[ ("g", spec) ] in
+  (svc, entry)
 
 (* Everything a rejected update must leave bit-for-bit unchanged. *)
-let fingerprint pipe entry =
-  let s = Pipeline.cache_stats pipe ~group:"g" in
+let fingerprint svc sess entry =
+  let s : Pipeline.stats = Pipeline.Session.stats_of sess ~group:"g" in
   ( Catalog.version entry,
-    Pipeline.generation pipe,
+    Pipeline.Service.generation svc,
     Sxml.Print.to_string (Catalog.doc entry),
-    (s.Pipeline.hits, s.Pipeline.misses, s.Pipeline.plan_hits, s.Pipeline.plan_misses) )
+    (s.hits, s.misses, s.plan_hits, s.plan_misses) )
 
-let check_rejected ?env ~code pipe entry text =
-  let before = fingerprint pipe entry in
+let check_rejected ?env ~code svc entry text =
+  let sess = Pipeline.Session.create svc in
+  let before = fingerprint svc sess entry in
   let pinned = Catalog.pin entry in
-  (match Engine.apply_text pipe ~group:"g" ?env ~entry text with
+  (match Engine.apply_text svc ~group:"g" ?env ~entry text with
   | Ok _ -> Alcotest.failf "update %S was admitted" text
   | Error e ->
       Alcotest.(check string) "error code" code (Secview.Error.to_code e));
-  let after = fingerprint pipe entry in
+  let after = fingerprint svc sess entry in
   Alcotest.(check bool) "reject leaves everything untouched" true
     (before = after);
   let pinned' = Catalog.pin entry in
@@ -113,9 +114,9 @@ let test_parse_errors () =
 let test_default_deny () =
   (* A spec without grants is read-only: every operation is denied,
      even for a group that can see the whole document. *)
-  let pipe, entry = setup (open_spec []) in
+  let svc, entry = setup (open_spec []) in
   List.iter
-    (fun text -> check_rejected ~code:"update_denied" pipe entry text)
+    (fun text -> check_rejected ~code:"update_denied" svc entry text)
     [
       "delete //patient[name = \"Bob\"]";
       "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>Zed</name><wardNo>6</wardNo><treatment><trial><bill>1</bill></trial></treatment></patient>";
@@ -123,16 +124,16 @@ let test_default_deny () =
     ]
 
 let test_grants_are_per_op () =
-  let pipe, entry =
+  let svc, entry =
     setup (open_spec [ (("patientInfo", "patient"), [ Spec.Delete ]) ])
   in
   (* delete is granted on the edge, insert and replace are not *)
-  check_rejected ~code:"update_denied" pipe entry
+  check_rejected ~code:"update_denied" svc entry
     "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>Zed</name><wardNo>6</wardNo><treatment><trial><bill>1</bill></trial></treatment></patient>";
-  check_rejected ~code:"update_denied" pipe entry
+  check_rejected ~code:"update_denied" svc entry
     "replace //patient[name = \"Bob\"] with <patient><name>Rob</name><wardNo>6</wardNo><treatment><trial><bill>1</bill></trial></treatment></patient>";
   match
-    Engine.apply_text pipe ~group:"g" ~entry "delete //patient[name = \"Bob\"]"
+    Engine.apply_text svc ~group:"g" ~entry "delete //patient[name = \"Bob\"]"
   with
   | Error e -> Alcotest.failf "granted delete rejected: %s" (Secview.Error.to_code e)
   | Ok r ->
@@ -142,22 +143,22 @@ let test_grants_are_per_op () =
 let test_ungranted_edge_denied () =
   (* The grant names one edge; a target attached elsewhere stays
      unwritable. *)
-  let pipe, entry =
+  let svc, entry =
     setup (open_spec [ (("patientInfo", "patient"), Spec.all_write_ops) ])
   in
-  check_rejected ~code:"update_denied" pipe entry "delete //staff[nurse/name = \"Nina\"]"
+  check_rejected ~code:"update_denied" svc entry "delete //staff[nurse/name = \"Nina\"]"
 
 (* --- accepted updates --------------------------------------------- *)
 
 let test_accepted_delete () =
-  let pipe, entry =
+  let svc, entry =
     setup (open_spec [ (("patientInfo", "patient"), [ Spec.Delete ]) ])
   in
   let pinned = Catalog.pin entry in
   let v0 = Catalog.version entry in
-  let g0 = Pipeline.generation pipe in
+  let g0 = Pipeline.Service.generation svc in
   match
-    Engine.apply_text pipe ~group:"g" ~entry "delete //patient[name = \"Bob\"]"
+    Engine.apply_text svc ~group:"g" ~entry "delete //patient[name = \"Bob\"]"
   with
   | Error e -> Alcotest.failf "delete rejected: %s" (Secview.Error.to_code e)
   | Ok r ->
@@ -166,7 +167,7 @@ let test_accepted_delete () =
       Alcotest.(check int) "catalog holds the new version"
         r.Engine.r_new_version (Catalog.version entry);
       Alcotest.(check int) "generation bumped once" (g0 + 1)
-        (Pipeline.generation pipe);
+        (Pipeline.Service.generation svc);
       Alcotest.(check int) "one patient fewer" 4
         (count_patients (Catalog.doc entry));
       (* the pinned reader still sees Bob: snapshots are immutable *)
@@ -176,12 +177,12 @@ let test_accepted_delete () =
         (eval (parse "//patient[name = \"Bob\"]") (Catalog.doc entry) = [])
 
 let test_accepted_insert_and_replace () =
-  let pipe, entry =
+  let svc, entry =
     setup
       (open_spec [ (("patientInfo", "patient"), [ Spec.Insert; Spec.Replace ]) ])
   in
   (match
-     Engine.apply_text pipe ~group:"g" ~entry
+     Engine.apply_text svc ~group:"g" ~entry
        "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>Zed</name><wardNo>6</wardNo><treatment><regular><bill>7</bill><medication>ibu</medication></regular></treatment></patient>"
    with
   | Error e -> Alcotest.failf "insert rejected: %s" (Secview.Error.to_code e)
@@ -189,7 +190,7 @@ let test_accepted_insert_and_replace () =
       Alcotest.(check string) "op" "insert" r.Engine.r_op;
       Alcotest.(check int) "six patients" 6 (count_patients (Catalog.doc entry)));
   match
-    Engine.apply_text pipe ~group:"g" ~entry
+    Engine.apply_text svc ~group:"g" ~entry
       "replace //patient[name = \"Zed\"] with <patient><name>Zed</name><wardNo>6</wardNo><treatment><regular><bill>7</bill><medication>asa</medication></regular></treatment></patient>"
   with
   | Error e -> Alcotest.failf "replace rejected: %s" (Secview.Error.to_code e)
@@ -202,11 +203,11 @@ let test_accepted_insert_and_replace () =
 let test_replace_medication_needs_regular_grant () =
   (* the medication edge is (regular, medication), not the patient
      edge the other tests grant *)
-  let pipe, entry =
+  let svc, entry =
     setup (open_spec [ (("regular", "medication"), [ Spec.Replace ]) ])
   in
   match
-    Engine.apply_text pipe ~group:"g" ~entry
+    Engine.apply_text svc ~group:"g" ~entry
       "replace //patient[name = \"Carol\"]/treatment/regular/medication with <medication>new</medication>"
   with
   | Error e -> Alcotest.failf "rejected: %s" (Secview.Error.to_code e)
@@ -215,34 +216,36 @@ let test_replace_medication_needs_regular_grant () =
 (* --- DTD conformance and target validity --------------------------- *)
 
 let test_dtd_violation_rejected () =
-  let pipe, entry =
+  let svc, entry =
     setup (open_spec [ (("patient", "name"), Spec.all_write_ops) ])
   in
   (* a second <name> breaks patient -> (name, wardNo, treatment) *)
-  check_rejected ~code:"invalid_update" pipe entry
+  check_rejected ~code:"invalid_update" svc entry
     "insert into //patient[name = \"Bob\"] <name>Robert</name>";
   (* deleting a mandatory child breaks the production too *)
-  check_rejected ~code:"invalid_update" pipe entry
+  check_rejected ~code:"invalid_update" svc entry
     "delete //patient[name = \"Bob\"]/name"
 
 let test_empty_target_rejected () =
-  let pipe, entry =
+  let svc, entry =
     setup (open_spec [ (("patientInfo", "patient"), Spec.all_write_ops) ])
   in
-  check_rejected ~code:"invalid_update" pipe entry
+  check_rejected ~code:"invalid_update" svc entry
     "delete //patient[name = \"Nobody\"]"
 
 let test_stored_view_group_denied () =
   (* A stored-view group carries no policy, hence no grants: every
      update is rejected outright. *)
   let source, _ = setup (open_spec []) in
-  let view = Pipeline.view source ~group:"g" in
+  let view = Pipeline.Service.view source ~group:"g" in
   let catalog = Catalog.create () in
   let entry =
     Catalog.add catalog ~name:"doc" (Workload.Hospital.sample_document ())
   in
-  let pipe = Pipeline.create_with_views ~catalog dtd ~groups:[ ("g", view) ] in
-  check_rejected ~code:"update_denied" pipe entry
+  let svc =
+    Pipeline.Service.create_with_views ~catalog dtd ~groups:[ ("g", view) ]
+  in
+  check_rejected ~code:"update_denied" svc entry
     "delete //patient[name = \"Bob\"]"
 
 (* --- policy semantics over a restricted view ----------------------- *)
@@ -252,29 +255,29 @@ let env = Workload.Hospital.nurse_env "6"
 let test_nurse_subtree_with_hidden_nodes () =
   (* Every ward-6 patient subtree contains a hidden <trial>/<regular>
      element; deleting one would destroy data the nurse cannot see. *)
-  let pipe, entry =
+  let svc, entry =
     setup (nurse_spec [ (("patientInfo", "patient"), [ Spec.Delete ]) ])
   in
-  check_rejected ~env ~code:"update_denied" pipe entry
+  check_rejected ~env ~code:"update_denied" svc entry
     "delete //patient[name = \"Bob\"]"
 
 let test_nurse_cannot_write_unreadable_content () =
   (* An inserted patient's treatment is hidden from the nurse in the
      resulting document — the group may not write what it could not
      read back. *)
-  let pipe, entry =
+  let svc, entry =
     setup (nurse_spec [ (("patientInfo", "patient"), [ Spec.Insert ]) ])
   in
-  check_rejected ~env ~code:"update_denied" pipe entry
+  check_rejected ~env ~code:"update_denied" svc entry
     "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>Zed</name><wardNo>6</wardNo><treatment><regular><bill>7</bill><medication>ibu</medication></regular></treatment></patient>"
 
 let test_nurse_can_update_visible_leaf () =
   (* bill is visible and its edge granted: the write goes through. *)
-  let pipe, entry =
+  let svc, entry =
     setup (nurse_spec [ (("regular", "bill"), [ Spec.Replace ]) ])
   in
   match
-    Engine.apply_text pipe ~group:"g" ~env ~entry
+    Engine.apply_text svc ~group:"g" ~env ~entry
       "replace //patient[name = \"Carol\"]//bill with <bill>85</bill>"
   with
   | Error e -> Alcotest.failf "rejected: %s" (Secview.Error.to_code e)
@@ -295,13 +298,13 @@ let ward_cond_spec grants =
     ]
 
 let test_qualifier_flip_denied () =
-  let pipe, entry =
+  let svc, entry =
     setup (ward_cond_spec [ (("patientInfo", "patient"), [ Spec.Delete ]) ])
   in
   (* deleting one of two qualifying patients flips no qualifier: the
      dept still qualifies through Carol, so the write is admitted *)
   (match
-     Engine.apply_text pipe ~group:"g" ~env ~entry
+     Engine.apply_text svc ~group:"g" ~env ~entry
        "delete //patient[name = \"Bob\"]"
    with
   | Error e ->
@@ -311,19 +314,19 @@ let test_qualifier_flip_denied () =
   (* deleting every remaining ward-6 patient falsifies the dept
      qualifier: staff and trial data the update never touched would
      flip invisible — WITH CHECK OPTION denies the edit atomically *)
-  check_rejected ~env ~code:"update_denied" pipe entry
+  check_rejected ~env ~code:"update_denied" svc entry
     "delete //patient[wardNo = \"6\"]"
 
 let test_denial_text_is_sanitized () =
   (* client-facing denial text must not name node ids (dense preorder
      positions map out hidden subtrees); the id-bearing reason goes to
      the audit callback only *)
-  let pipe, entry =
+  let svc, entry =
     setup (nurse_spec [ (("patientInfo", "patient"), [ Spec.Delete ]) ])
   in
   let detail = ref None in
   match
-    Engine.apply_text pipe ~group:"g" ~env
+    Engine.apply_text svc ~group:"g" ~env
       ~audit:(fun d -> detail := Some d)
       ~entry "delete //patient[name = \"Bob\"]"
   with
@@ -341,11 +344,11 @@ let test_denial_text_is_sanitized () =
 let test_receipt_digest_is_view_scoped () =
   (* the receipt digest is of the group's view of the result — a raw
      document digest would be an equality oracle on hidden regions *)
-  let pipe, entry =
+  let svc, entry =
     setup (nurse_spec [ (("regular", "bill"), [ Spec.Replace ]) ])
   in
   match
-    Engine.apply_text pipe ~group:"g" ~env ~entry
+    Engine.apply_text svc ~group:"g" ~env ~entry
       "replace //patient[name = \"Carol\"]//bill with <bill>85</bill>"
   with
   | Error e -> Alcotest.failf "rejected: %s" (Secview.Error.to_code e)
@@ -360,19 +363,20 @@ let test_receipt_digest_is_view_scoped () =
 let test_text_content_typed_error () =
   (* a library caller handing Check bare-text content gets a typed
      Invalid_update, not an assertion failure *)
-  let pipe, entry =
+  let svc, entry =
     setup (open_spec [ (("patientInfo", "patient"), Spec.all_write_ops) ])
   in
+  let sess = Pipeline.Session.create svc in
   List.iter
     (fun u ->
-      let before = fingerprint pipe entry in
-      (match Engine.apply pipe ~group:"g" ~entry u with
+      let before = fingerprint svc sess entry in
+      (match Engine.apply svc ~group:"g" ~entry u with
       | Ok _ -> Alcotest.fail "bare-text content admitted"
       | Error e ->
         Alcotest.(check string) "typed error" "invalid_update"
           (Secview.Error.to_code e));
       Alcotest.(check bool) "reject leaves everything untouched" true
-        (before = fingerprint pipe entry))
+        (before = fingerprint svc sess entry))
     [
       Supdate.Ast.Insert
         {
@@ -390,10 +394,10 @@ let test_text_content_typed_error () =
 let test_nurse_other_ward_out_of_view () =
   (* Dave is in ward 7: his subtree is simply not in the ward-6 view,
      so the target set is empty — invalid, not silently zero. *)
-  let pipe, entry =
+  let svc, entry =
     setup (nurse_spec [ (("patientInfo", "patient"), Spec.all_write_ops) ])
   in
-  check_rejected ~env ~code:"invalid_update" pipe entry
+  check_rejected ~env ~code:"invalid_update" svc entry
     "delete //patient[name = \"Dave\"]"
 
 (* --- cache invalidation ------------------------------------------- *)
@@ -402,40 +406,43 @@ let test_invalidation_is_per_document () =
   let catalog = Catalog.create () in
   let a = Catalog.add catalog ~name:"a" (Workload.Hospital.sample_document ()) in
   let b = Catalog.add catalog ~name:"b" (Workload.Hospital.sample_document ()) in
-  let pipe =
-    Pipeline.create ~catalog dtd
+  let svc =
+    Pipeline.Service.create ~catalog dtd
       ~groups:
         [ ("g", open_spec [ (("patientInfo", "patient"), [ Spec.Insert ]) ]) ]
   in
+  let pipe = Pipeline.Session.create svc in
   let qa = parse "//patient/name" and qb = parse "//staff" in
-  let run q e = ignore (Pipeline.answer_exn pipe ~group:"g" q (Catalog.doc e)) in
+  let run q e =
+    ignore (Pipeline.Session.answer_exn pipe ~group:"g" q (Catalog.doc e))
+  in
   run qa a;
   run qa a;
   run qb b;
   run qb b;
-  let s0 = Pipeline.cache_stats pipe ~group:"g" in
+  let s0 : Pipeline.stats = Pipeline.Session.stats_of pipe ~group:"g" in
   Alcotest.(check (pair int int)) "warm: one miss then one hit per doc" (2, 2)
-    (s0.Pipeline.hits, s0.Pipeline.misses);
+    (s0.hits, s0.misses);
   (match
-     Engine.apply_text pipe ~group:"g" ~entry:a
+     Engine.apply_text svc ~group:"g" ~entry:a
        "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>Zed</name><wardNo>6</wardNo><treatment><trial><bill>1</bill></trial></treatment></patient>"
    with
   | Error e -> Alcotest.failf "insert rejected: %s" (Secview.Error.to_code e)
   | Ok _ -> ());
   run qb b;
-  let s1 = Pipeline.cache_stats pipe ~group:"g" in
-  Alcotest.(check int) "b's entry survived a's invalidation" (s0.Pipeline.hits + 1)
-    s1.Pipeline.hits;
+  let s1 : Pipeline.stats = Pipeline.Session.stats_of pipe ~group:"g" in
+  Alcotest.(check int) "b's entry survived a's invalidation" (s0.hits + 1)
+    s1.hits;
   run qa a;
-  let s2 = Pipeline.cache_stats pipe ~group:"g" in
-  Alcotest.(check int) "a's entry was evicted" (s0.Pipeline.misses + 1)
-    s2.Pipeline.misses
+  let s2 : Pipeline.stats = Pipeline.Session.stats_of pipe ~group:"g" in
+  Alcotest.(check int) "a's entry was evicted" (s0.misses + 1)
+    s2.misses
 
 (* --- snapshot isolation under concurrency -------------------------- *)
 
 let test_snapshot_isolation_hammer () =
   let writes = 20 and readers = 4 and reads = 60 in
-  let pipe, entry =
+  let svc, entry =
     setup (open_spec [ (("patientInfo", "patient"), [ Spec.Insert ]) ])
   in
   let v0 = Catalog.version entry in
@@ -450,12 +457,13 @@ let test_snapshot_isolation_hammer () =
           "insert into //patientInfo[patient/name = \"Bob\"] <patient><name>p%d</name><wardNo>6</wardNo><treatment><trial><bill>%d</bill></trial></treatment></patient>"
           i i
       in
-      match Engine.apply_text pipe ~group:"g" ~entry text with
+      match Engine.apply_text svc ~group:"g" ~entry text with
       | Ok _ -> Thread.yield ()
       | Error e -> fail ("write rejected: " ^ Secview.Error.to_code e)
     done
   in
   let reader () =
+    let pipe = Pipeline.Session.of_slot (Pipeline.Service.slot svc) in
     let last_version = ref 0 in
     for _ = 1 to reads do
       let snap = Catalog.pin entry in
@@ -473,7 +481,7 @@ let test_snapshot_isolation_hammer () =
       if c1 < 5 || c1 > 5 + writes then
         fail (Printf.sprintf "impossible patient count %d" c1);
       let via_pipe =
-        List.length (Pipeline.answer_exn pipe ~group:"g" q doc)
+        List.length (Pipeline.Session.answer_exn pipe ~group:"g" q doc)
       in
       if via_pipe <> c1 then fail "pipeline answer disagrees with snapshot"
     done

@@ -65,6 +65,29 @@ secview replay "$TMP/mixed.jsonl" --dtd "$POL/hospital.dtd" \
   | grep -q ' 0 mismatch(es)'
 echo "-- mixed replay: 0 mismatches"
 
+# Domain-parallel serving: a 2-domain server (real OCaml domains, one
+# pipeline session each) must answer exactly what the single-threaded
+# pipeline answers, and the workload captured through it must replay
+# digest-clean against the live server.
+echo "== 2-domain serve smoke"
+secview serve --dtd "$POL/hospital.dtd" --spec "$POL/nurse.spec" \
+  --doc doc="$TMP/doc.xml" --socket "$TMP/ci.sock" --domains 2 \
+  --capture "$TMP/dcap.jsonl" 2> "$TMP/serve.log" &
+SRV=$!
+secview client --socket "$TMP/ci.sock" --wait 5 --group user \
+  --bind wardNo=6 '//patient/name' '//patient/wardNo' '//patient' \
+  > "$TMP/served.out"
+secview query --dtd "$POL/hospital.dtd" --spec "$POL/nurse.spec" \
+  --doc "$TMP/doc.xml" --bind wardNo=6 \
+  '//patient/name' '//patient/wardNo' '//patient' > "$TMP/direct.out"
+cmp "$TMP/served.out" "$TMP/direct.out"
+echo "-- 2-domain answers match the direct pipeline"
+secview replay "$TMP/dcap.jsonl" --socket "$TMP/ci.sock" \
+  | grep -q ' 0 mismatch(es)'
+echo "-- 2-domain capture -> replay: 0 mismatches"
+secview client --socket "$TMP/ci.sock" --shutdown
+wait $SRV
+
 # The regression gate itself is gated: its self-test, then a diff of a
 # report against itself (which must never regress).
 echo "== bench_diff"
@@ -83,6 +106,16 @@ if [ -f BENCH_PR7.json ] && [ -f BENCH_PR8.json ]; then
   dune exec --no-build tools/bench_diff/main.exe -- \
     --threshold 60 --floor 2 BENCH_PR7.json BENCH_PR8.json
   echo "-- bench_diff: read path held across PR 8"
+fi
+
+# Same gate across the domain-parallel PR: BENCH_PR9.json's
+# single-domain read-only pass is recorded at the PR8 paths
+# (recorder.off.*), so the Service/Session split plus the domain
+# execution model must not tax a 1-domain server's read path.
+if [ -f BENCH_PR8.json ] && [ -f BENCH_PR9.json ]; then
+  dune exec --no-build tools/bench_diff/main.exe -- \
+    --threshold 60 --floor 2 BENCH_PR8.json BENCH_PR9.json
+  echo "-- bench_diff: read path held across PR 9"
 fi
 
 echo "== ci.sh: all green"
