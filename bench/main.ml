@@ -1798,6 +1798,262 @@ let pr9_bench ~label ~reps ~out () =
   if total_wrong > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* PR 10: runtime-health overhead.  The PR 9 read workload against a  *)
+(* 4-domain server that already runs the flight recorder and tracer,  *)
+(* with and without the Runtime_events consumer — the added cost of   *)
+(* per-domain GC telemetry plus per-request pause attribution.  Every *)
+(* reply is byte-compared to a one-session oracle, and a monitor      *)
+(* thread polls the stats verb throughout (the [secview top] path),   *)
+(* so the scrape merge runs concurrently with the traffic it reads.   *)
+
+let pr10_bench ~label ~reps ~out () =
+  let dtd = Workload.Hospital.dtd in
+  let scale = 40 in
+  let mix = [ "//patient/name"; "//patient/wardNo"; "//patient" ] in
+  let clients = 8 in
+  let rounds = 25 * reps in
+  let cores = Domain.recommended_domain_count () in
+  let fresh_service () =
+    let catalog = Secview.Catalog.create () in
+    let doc = Workload.Hospital.generated_document ~seed:7 ~scale () in
+    ignore (Secview.Catalog.add catalog ~name:"ward" doc);
+    ( Secview.Pipeline.Service.create ~catalog dtd
+        ~groups:[ ("nurse", Workload.Hospital.nurse_spec dtd) ],
+      doc )
+  in
+  let expected =
+    let svc, doc = fresh_service () in
+    let sess = Secview.Pipeline.Session.create svc in
+    let env name = if name = "wardNo" then Some "6" else None in
+    List.map
+      (fun qtext ->
+        let q = Sxpath.Parse.of_string qtext in
+        let nodes =
+          Secview.Pipeline.Session.answer_exn sess ~group:"nurse" ~env q doc
+        in
+        ( qtext,
+          String.concat "\n"
+            (List.map (fun n -> Sxml.Print.to_string n) nodes) ))
+      mix
+  in
+  let qmix = Array.of_list mix in
+  let n = Array.length qmix in
+  let expected_lines = ref [] in
+  let run_pass ~runtime_on =
+    let service, _ = fresh_service () in
+    let config = { Sserver.Server.default_config with domains = 4 } in
+    let recorder = Sobs.Recorder.create ~capacity:256 in
+    let tracer = Sobs.Tracer.create ~retain:false () in
+    Sobs.Tracer.install tracer;
+    let runtime = if runtime_on then Some (Sobs.Runtime.start ()) else None in
+    let server =
+      Sserver.Server.create ~config ~recorder ~tracer ?runtime service
+    in
+    let sock = Filename.temp_file "secview-pr10" ".sock" in
+    Sys.remove sock;
+    let server_thread =
+      Thread.create
+        (fun () ->
+          Sserver.Server.serve server [ Sserver.Server.Unix_socket sock ])
+        ()
+    in
+    let lock = Mutex.create () in
+    let reads = ref [] in
+    let failures = ref 0 in
+    let wrong = Atomic.make 0 in
+    (* the dashboard path: keep scraping the stats verb while the
+       timed traffic runs (what [secview top --interval] does) *)
+    let monitoring = Atomic.make true in
+    let scrapes = ref 0 and scrape_failures = ref 0 in
+    let monitor () =
+      while Atomic.get monitoring do
+        (try
+           let fd = connect_retry sock in
+           let ic = Unix.in_channel_of_descr fd in
+           write_all fd
+             (Sobs.Json.to_string (Sserver.Protocol.simple "stats") ^ "\n");
+           let line = input_line ic in
+           Unix.close fd;
+           incr scrapes;
+           if
+             not
+               (String.length line >= 10
+               && String.sub line 0 10 = {|{"ok":true|})
+           then incr scrape_failures
+         with _ -> incr scrape_failures);
+        Thread.delay 0.05
+      done
+    in
+    let client i () =
+      let fd = connect_retry sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let send j = write_all fd (Sobs.Json.to_string j ^ "\n") in
+      send (Sserver.Protocol.hello ~peer:(Printf.sprintf "pr10-%d" i) "nurse");
+      ignore (input_line ic);
+      let mine_r = ref [] and mine_f = ref 0 in
+      for k = 0 to (rounds * n) - 1 do
+        let qtext = qmix.(k mod n) in
+        let t0 = Unix.gettimeofday () in
+        send
+          (Sserver.Protocol.query_json ~rid:"o" ~doc:"ward"
+             ~bind:[ ("wardNo", "6") ] qtext);
+        let line = input_line ic in
+        let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+        if not (String.length line >= 10 && String.sub line 0 10 = {|{"ok":true|})
+        then incr mine_f;
+        (match List.assoc_opt qtext !expected_lines with
+        | Some want when String.equal line want -> ()
+        | _ -> Atomic.incr wrong);
+        mine_r := ms :: !mine_r
+      done;
+      Unix.close fd;
+      Mutex.protect lock (fun () ->
+          reads := !mine_r @ !reads;
+          failures := !failures + !mine_f)
+    in
+    let monitor_thread = Thread.create monitor () in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun i -> Thread.create (client i) ()) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    Atomic.set monitoring false;
+    Thread.join monitor_thread;
+    let fd = connect_retry sock in
+    write_all fd
+      (Sobs.Json.to_string (Sserver.Protocol.simple "shutdown") ^ "\n");
+    ignore (input_line (Unix.in_channel_of_descr fd));
+    Unix.close fd;
+    Thread.join server_thread;
+    Sobs.Tracer.uninstall ();
+    if !failures > 0 then
+      failwith (Printf.sprintf "pr10: %d request(s) failed" !failures);
+    if !scrape_failures > 0 then
+      failwith
+        (Printf.sprintf "pr10: %d stats scrape(s) failed" !scrape_failures);
+    let pct_of l =
+      let a = Array.of_list l in
+      Array.sort compare a;
+      fun p ->
+        if Array.length a = 0 then 0. else Sobs.Metrics.percentile a p
+    in
+    ( clients * rounds * n,
+      wall,
+      pct_of !reads,
+      Atomic.get wrong,
+      !scrapes )
+  in
+  (* reference reply lines, oracle-checked off the clock (as in pr9) *)
+  let () =
+    let service, _ = fresh_service () in
+    let config = { Sserver.Server.default_config with domains = 1 } in
+    let server = Sserver.Server.create ~config service in
+    let sock = Filename.temp_file "secview-pr10ref" ".sock" in
+    Sys.remove sock;
+    let th =
+      Thread.create
+        (fun () ->
+          Sserver.Server.serve server [ Sserver.Server.Unix_socket sock ])
+        ()
+    in
+    let fd = connect_retry sock in
+    let ic = Unix.in_channel_of_descr fd in
+    let send j = write_all fd (Sobs.Json.to_string j ^ "\n") in
+    send (Sserver.Protocol.hello ~peer:"pr10-ref" "nurse");
+    ignore (input_line ic);
+    List.iter
+      (fun qtext ->
+        send
+          (Sserver.Protocol.query_json ~rid:"o" ~doc:"ward"
+             ~bind:[ ("wardNo", "6") ] qtext);
+        let line = input_line ic in
+        let got =
+          match Sobs.Json.of_string line with
+          | Ok j -> (
+            match Sobs.Json.member "results" j with
+            | Some (Sobs.Json.List rs) ->
+              Some
+                (String.concat "\n"
+                   (List.filter_map Sobs.Json.to_string_opt rs))
+            | _ -> None)
+          | Error _ -> None
+        in
+        (match got with
+        | Some s when String.equal s (List.assoc qtext expected) -> ()
+        | _ ->
+          failwith
+            ("pr10: reference reply diverges from the oracle on " ^ qtext));
+        expected_lines := (qtext, line) :: !expected_lines)
+      mix;
+    send (Sserver.Protocol.simple "shutdown");
+    ignore (input_line ic);
+    Unix.close fd;
+    Thread.join th
+  in
+  Printf.printf
+    "## Runtime-health overhead: %d clients, %d requests each, recorder + \
+     tracer on (serve; %d core(s) available)\n\n"
+    clients (rounds * n) cores;
+  let show tag (requests, wall, rpct, wrong, scrapes) =
+    Printf.printf
+      "%-12s %6d req in %6.2f s (%7.0f req/s) | p50 %7.3f ms  p95 %7.3f ms \
+       | wrong %d | %d stats scrape(s)\n%!"
+      tag requests wall
+      (float_of_int requests /. wall)
+      (rpct 50.) (rpct 95.) wrong scrapes
+  in
+  let ((_, _, off_pct, off_wrong, _) as off) = run_pass ~runtime_on:false in
+  show "runtime off" off;
+  let ((_, _, on_pct, on_wrong, _) as on_) = run_pass ~runtime_on:true in
+  show "runtime on" on_;
+  let overhead_pct =
+    if off_pct 50. > 0. then
+      (on_pct 50. -. off_pct 50.) /. off_pct 50. *. 100.
+    else 0.
+  in
+  let total_wrong = off_wrong + on_wrong in
+  Printf.printf "\nread p50 overhead with the consumer on: %+.1f%%\n"
+    overhead_pct;
+  if total_wrong > 0 then
+    Printf.printf "!! %d replies differed from the one-session oracle\n"
+      total_wrong;
+  let side_json (requests, wall, rpct, wrong, scrapes) =
+    Sobs.Json.Obj
+      [
+        ("requests", Sobs.Json.Int requests);
+        ("wall_s", Sobs.Json.Float wall);
+        ("throughput_rps", Sobs.Json.Float (float_of_int requests /. wall));
+        ("p50_ms", Sobs.Json.Float (rpct 50.));
+        ("p95_ms", Sobs.Json.Float (rpct 95.));
+        ("p99_ms", Sobs.Json.Float (rpct 99.));
+        ("wrong", Sobs.Json.Int wrong);
+        ("stats_scrapes", Sobs.Json.Int scrapes);
+      ]
+  in
+  let doc_json =
+    Sobs.Json.Obj
+      [
+        ("bench", Sobs.Json.String "pr10");
+        ( "meta",
+          meta_json ~label ~scale ~reps
+            [
+              ("clients", Sobs.Json.Int clients);
+              ("rounds", Sobs.Json.Int rounds);
+              ("cores", Sobs.Json.Int cores);
+            ] );
+        ("wrong", Sobs.Json.Int total_wrong);
+        ( "runtime",
+          Sobs.Json.Obj [ ("off", side_json off); ("on", side_json on_) ] );
+        ("overhead_pct_p50", Sobs.Json.Float overhead_pct);
+      ]
+  in
+  let oc = open_out out in
+  Sobs.Json.to_channel oc doc_json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n(machine-readable results written to %s)\n\n" out;
+  if total_wrong > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -1830,7 +2086,7 @@ let () =
       (has "--table1" || has "--forms" || has "--ablations" || has "--approx"
      || has "--index" || has "--xmark" || has "--json" || has "--serve"
      || has "--engines" || has "--analyze" || has "--pr7" || has "--mixed"
-     || has "--domains")
+     || has "--domains" || has "--runtime")
   in
   if all || has "--forms" then forms ();
   if all || has "--table1" || has "--json" then
@@ -1855,6 +2111,8 @@ let () =
     pr8_bench ~label ~reps ~out:(flag_value "--out" "BENCH_PR8.json") ();
   if has "--domains" then
     pr9_bench ~label ~reps ~out:(flag_value "--out" "BENCH_PR9.json") ();
+  if has "--runtime" then
+    pr10_bench ~label ~reps ~out:(flag_value "--out" "BENCH_PR10.json") ();
   if has "--pr7" then
     pr7_bench ~label ~reps
       ~out:(flag_value "--out" "BENCH_PR7.json")

@@ -296,7 +296,7 @@ let engine_arg =
 let query_cmd =
   let run dtd_path root spec_path doc_path queries bindings approach engine
       indexed stats strict timeout trace trace_out metrics slow_ms audit_log
-      capture =
+      capture runtime_events =
     if queries = [] then failwith "query: at least one QUERY is required";
     let observing =
       trace || metrics || trace_out <> None || slow_ms <> None
@@ -305,6 +305,12 @@ let query_cmd =
     let registry = Sobs.Metrics.create () in
     let tracer = Sobs.Tracer.create ~metrics:registry () in
     if observing then Sobs.Tracer.install tracer;
+    (* the process-wide hook so slow-query stamping below goes through
+       the same Runtime.stamp everything else uses *)
+    let runtime =
+      if runtime_events then Some (Sobs.Runtime.start ()) else None
+    in
+    Option.iter Sobs.Runtime.set runtime;
     let alog = Option.map (open_audit_log ~tracer) audit_log in
     (* slow-query records ride the audit log when there is one and a
        private stderr stream otherwise — --slow-ms alone should not
@@ -400,13 +406,35 @@ let query_cmd =
                 let latency_ms = 1000. *. (Sserver.Deadline.now () -. t0) in
                 (match (slow_ms, slow_log) with
                 | Some thr, Some sl when latency_ms > thr ->
+                  (* GC attribution: pauses overlapping this query's
+                     span window (both sides monotonic ns) *)
+                  let gc =
+                    match spans with
+                    | [] -> None
+                    | _ ->
+                      let start_ns =
+                        List.fold_left
+                          (fun a (s : Sobs.Tracer.span) ->
+                            if s.start_ns < a then s.start_ns else a)
+                          Int64.max_int spans
+                      in
+                      let stop_ns =
+                        List.fold_left
+                          (fun a (s : Sobs.Tracer.span) ->
+                            if s.stop_ns > a then s.stop_ns else a)
+                          Int64.min_int spans
+                      in
+                      Sobs.Runtime.stamp ~start_ns ~stop_ns
+                  in
                   Sobs.Audit_log.log_slow_query sl ~rid ~group:"user"
                     ~query:qtext
                     ~translated:
                       (Sxpath.Print.to_string o.Secview.Pipeline.o_translated)
                     ~latency_ms ~threshold_ms:thr
                     ~stages:(Sobs.Tracer.stage_totals spans)
-                    ~counts:o.Secview.Pipeline.o_counts ()
+                    ~counts:o.Secview.Pipeline.o_counts
+                    ?gc_pause_ms:(Option.map fst gc)
+                    ?gc_pauses:(Option.map snd gc) ()
                 | _ -> ());
                 Option.iter
                   (fun c ->
@@ -453,8 +481,20 @@ let query_cmd =
     if metrics then Format.eprintf "%a%!" Sobs.Metrics.pp registry;
     Option.iter
       (fun path ->
-        Sobs.Export.write_chrome_trace path (Sobs.Tracer.spans tracer))
+        (* GC pause windows become per-domain tracks alongside the
+           request spans *)
+        let gc =
+          match runtime with
+          | None -> []
+          | Some rt -> Sobs.Runtime.pauses rt
+        in
+        Sobs.Export.write_chrome_trace ~gc path (Sobs.Tracer.spans tracer))
       trace_out;
+    Option.iter
+      (fun rt ->
+        Sobs.Runtime.unset ();
+        Sobs.Runtime.stop rt)
+      runtime;
     if slow_owned then
       Option.iter Sobs.Audit_log.close slow_log;
     Option.iter Sobs.Audit_log.close alog;
@@ -562,13 +602,23 @@ let query_cmd =
              engine, answer digest, latency) to $(docv) — feed it to \
              $(b,secview replay); optimize approach only.")
   in
+  let runtime_events_arg =
+    Arg.(
+      value & flag
+      & info [ "runtime-events" ]
+          ~doc:
+            "Consume OCaml runtime events for this run: slow_query records \
+             gain gc_pause_ms/gc_pauses (GC pauses overlapping the query's \
+             span window, needs --slow-ms) and --trace-out gains per-domain \
+             gc:minor / gc:major_slice tracks.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Securely evaluate view queries on a document")
     Term.(
       const run $ dtd_arg $ root_arg $ spec_arg $ doc_arg $ queries_arg
       $ bind_arg $ approach_arg $ engine_arg $ index_arg $ stats_arg
       $ strict_arg $ timeout_arg $ trace_arg $ trace_out_arg $ metrics_arg
-      $ slow_ms_arg $ audit_log_arg $ capture_arg)
+      $ slow_ms_arg $ audit_log_arg $ capture_arg $ runtime_events_arg)
 
 let explain_cmd =
   let run dtd_path root spec_path group_specs doc_path bindings json group
@@ -1178,7 +1228,7 @@ let host_arg =
 let serve_cmd =
   let run dtd_path root spec_path group_specs docs socket tcp host domains
       queue deadline engine audit_log debug strict preload slow_ms
-      metrics_port no_admission flight flight_snapshot capture =
+      metrics_port no_admission flight flight_snapshot capture runtime_events =
     let dtd = load_dtd root dtd_path in
     let groups = named_groups ~cmd:"serve" dtd spec_path group_specs in
     if docs = [] then
@@ -1214,6 +1264,11 @@ let serve_cmd =
     in
     if flight <= 0 && flight_snapshot <> None then
       failwith "serve: --flight-snapshot requires --flight N";
+    (* started here, owned by the server from create on: serve stops
+       it when the drain completes *)
+    let runtime =
+      if runtime_events then Some (Sobs.Runtime.start ()) else None
+    in
     let cap = Option.map Sobs.Capture.open_file capture in
     let alog =
       match (audit_log, slow_ms) with
@@ -1230,7 +1285,7 @@ let serve_cmd =
     in
     let server =
       Sserver.Server.create ~config ?audit:alog ~metrics:registry ?tracer
-        ?recorder ?flight_snapshot ?capture:cap service
+        ?recorder ?runtime ?flight_snapshot ?capture:cap service
     in
     let listeners =
       (match socket with
@@ -1392,6 +1447,19 @@ let serve_cmd =
              group, query, engine, answer digest, latency) to $(docv) — \
              feed it to $(b,secview replay).")
   in
+  let runtime_events_arg =
+    Arg.(
+      value & flag
+      & info [ "runtime-events" ]
+          ~doc:
+            "Consume OCaml runtime events: per-domain GC pause histograms \
+             (gc_pause_seconds), collection/allocation counters and live-\
+             domain gauges in every scrape, a 'runtime' section in the \
+             stats verb, and gc_pause_ms attribution stamped into flight-\
+             recorder entries and slow_query records whose request window \
+             overlapped a pause.  Off by default (a disabled consumer \
+             costs nothing).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1402,7 +1470,7 @@ let serve_cmd =
       $ docs_arg $ socket_arg $ tcp_arg $ host_arg $ domains_arg $ queue_arg
       $ deadline_arg $ engine_arg $ audit_log_arg $ debug_arg $ strict_arg
       $ preload_arg $ slow_ms_arg $ metrics_port_arg $ no_admission_arg
-      $ flight_arg $ flight_snapshot_arg $ capture_arg)
+      $ flight_arg $ flight_snapshot_arg $ capture_arg $ runtime_events_arg)
 
 let client_cmd =
   let run socket tcp host wait group peer doc_name bindings indexed ping
@@ -1652,6 +1720,49 @@ let wait_retry_arg ~cmd =
               that just started the server the %s talks to)."
              cmd))
 
+(* Watch-mode refresh, shared by [metrics --watch] and [top].  On a
+   real terminal each frame repaints in place: home the cursor, paint,
+   then clear whatever the previous (longer) frame left below — a
+   redraw with no flicker and no scrollback spam.  Piped output (cram
+   tests, shell captures) still gets plain concatenation.  SIGINT ends
+   the loop between writes instead of killing the process mid-frame:
+   the handler only flips a flag, the loop notices it at the next
+   check, restores the previous handler and returns — so the command
+   exits 0 with the terminal in a sane state. *)
+let watch_stop = ref false
+
+let watch_loop ~interval ~rounds render =
+  watch_stop := false;
+  let previous =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> watch_stop := true))
+  in
+  let tty = Unix.isatty Unix.stdout in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+    (fun () ->
+      try
+        let i = ref 0 in
+        while (not !watch_stop) && !i < rounds do
+          incr i;
+          let frame = render () in
+          if tty then
+            (* full clear once, then home-paint-clear-to-end *)
+            print_string (if !i = 1 then "\027[2J\027[H" else "\027[H");
+          print_string frame;
+          if tty then print_string "\027[0J";
+          flush stdout;
+          if !i < rounds && not !watch_stop then begin
+            (* sleep in short slices so Ctrl-C is honoured promptly *)
+            let slept = ref 0. in
+            while !slept < interval && not !watch_stop do
+              let d = Float.min 0.1 (interval -. !slept) in
+              Thread.delay d;
+              slept := !slept +. d
+            done
+          end
+        done
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+
 let flight_cmd =
   let run socket tcp host wait json =
     let addr = remote_addr ~cmd:"flight" socket tcp host in
@@ -1726,6 +1837,161 @@ let flight_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ host_arg $ wait_retry_arg ~cmd:"dump"
       $ json_arg)
+
+let top_cmd =
+  (* json probes, all total — a missing field renders as zero rather
+     than tearing the dashboard down mid-refresh *)
+  let geti j name =
+    match Option.bind (Sobs.Json.member name j) Sobs.Json.to_int_opt with
+    | Some n -> n
+    | None -> 0
+  in
+  let getf j name =
+    match Option.bind (Sobs.Json.member name j) Sobs.Json.to_float_opt with
+    | Some f -> f
+    | None -> 0.
+  in
+  let fields = function Some (Sobs.Json.Obj fs) -> fs | _ -> [] in
+  let hms seconds =
+    let s = int_of_float seconds in
+    Printf.sprintf "%d:%02d:%02d" (s / 3600) (s mod 3600 / 60) (s mod 60)
+  in
+  let pct hits misses =
+    let total = hits + misses in
+    if total = 0 then "    -"
+    else Printf.sprintf "%5.1f" (100. *. float_of_int hits /. float_of_int total)
+  in
+  let run socket tcp host wait interval iterations =
+    let addr = remote_addr ~cmd:"top" socket tcp host in
+    (* --wait applies to the first connection only: once the dashboard
+       is up, a vanished server is an error, not something to retry *)
+    let first = ref true in
+    let fetch_stats () =
+      let w = if !first then wait else 0. in
+      first := false;
+      let fd = connect_retry ~wait:w addr in
+      let ic = Unix.in_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+        (fun () ->
+          fd_send_line fd
+            (Sobs.Json.to_string (Sserver.Protocol.simple "stats"));
+          let line = input_line ic in
+          match Sobs.Json.of_string line with
+          | Error e ->
+            failwith (Printf.sprintf "top: bad reply (%s): %s" e line)
+          | Ok j -> (
+            match Sobs.Json.member "ok" j with
+            | Some (Sobs.Json.Bool true) -> j
+            | _ -> failwith ("top: stats failed: " ^ line)))
+    in
+    (* rps is the accepted-counter delta between two refreshes; the
+       first frame falls back to the lifetime average *)
+    let prev = ref None in
+    let render () =
+      let j = fetch_stats () in
+      let now = Sserver.Deadline.now () in
+      let counters = Option.value ~default:Sobs.Json.Null
+          (Sobs.Json.member "counters" j) in
+      let accepted = geti counters "server.accepted" in
+      let uptime = getf j "uptime_s" in
+      let rps =
+        match !prev with
+        | Some (t0, a0) when now > t0 ->
+          float_of_int (accepted - a0) /. (now -. t0)
+        | _ -> if uptime > 0. then float_of_int accepted /. uptime else 0.
+      in
+      prev := Some (now, accepted);
+      let rejected =
+        List.fold_left
+          (fun acc (k, v) ->
+            if String.starts_with ~prefix:"server.rejected." k then
+              acc + Option.value ~default:0 (Sobs.Json.to_int_opt v)
+            else acc)
+          0 (fields (Some counters))
+      in
+      let queue = Option.value ~default:Sobs.Json.Null
+          (Sobs.Json.member "queue" j) in
+      let b = Buffer.create 1024 in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+      line "secview top — up %s   %d worker(s), %d busy   queue %d/%d"
+        (hms uptime) (geti j "workers") (geti j "workers_busy")
+        (geti queue "length") (geti queue "capacity");
+      line "requests: %.1f rps   accepted %d   timeouts %d   rejected %d"
+        rps accepted (geti counters "server.timeout") rejected;
+      line "";
+      (* one row per group: latency quantiles + cache hit rates +
+         admission denials, joined across the reply's sections *)
+      let latency = Sobs.Json.member "latency_ms" j in
+      let cache = Sobs.Json.member "cache" j in
+      let admission = Sobs.Json.member "admission" j in
+      let groups =
+        List.sort_uniq compare
+          (List.map fst (fields latency) @ List.map fst (fields cache))
+      in
+      line "%-12s %8s %9s %9s %7s %6s %7s" "group" "count" "p50ms" "p95ms"
+        "cache%" "plan%" "denied";
+      List.iter
+        (fun g ->
+          let l = Option.value ~default:Sobs.Json.Null
+              (Option.bind latency (Sobs.Json.member g)) in
+          let c = Option.value ~default:Sobs.Json.Null
+              (Option.bind cache (Sobs.Json.member g)) in
+          let a = Option.value ~default:Sobs.Json.Null
+              (Option.bind admission (Sobs.Json.member g)) in
+          line "%-12s %8d %9.3f %9.3f %7s %6s %7d" g (geti l "count")
+            (getf l "p50") (getf l "p95")
+            (pct (geti c "hits") (geti c "misses"))
+            (pct (geti c "plan_hits") (geti c "plan_misses"))
+            (geti a "denied"))
+        groups;
+      line "";
+      (match Sobs.Json.member "runtime" j with
+      | Some rt
+        when Sobs.Json.member "enabled" rt = Some (Sobs.Json.Bool true) ->
+        line "gc: %d domain(s) live   %d pause(s)   %d event(s) lost"
+          (geti rt "domains_live") (geti rt "pauses_total")
+          (geti rt "events_lost");
+        line "%-12s %8s %9s %9s %9s %9s" "domain" "pauses" "p50ms" "p99ms"
+          "maxms" "totalms";
+        List.iter
+          (fun (d, pj) ->
+            line "%-12s %8d %9.3f %9.3f %9.3f %9.3f" d (geti pj "count")
+              (getf pj "p50_ms") (getf pj "p99_ms") (getf pj "max_ms")
+              (getf pj "total_ms"))
+          (fields (Sobs.Json.member "gc_pause_ms" rt))
+      | _ ->
+        line "gc: runtime events off — start the server with \
+              --runtime-events");
+      Buffer.contents b
+    in
+    let rounds = if iterations > 0 then iterations else max_int in
+    watch_loop ~interval ~rounds render
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "interval" ] ~docv:"SECS"
+          ~doc:"Refresh every $(docv) seconds (default 1).")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) refreshes (0 = until killed; Ctrl-C \
+             exits cleanly either way).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard for a running server: rps, per-group \
+          latency quantiles and cache hit rates, queue depth, busy \
+          workers, admission denials, and per-domain GC pause quantiles \
+          when the server runs with --runtime-events")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ host_arg $ wait_retry_arg ~cmd:"top"
+      $ interval_arg $ iterations_arg)
 
 let replay_cmd =
   let ms_of l p =
@@ -2195,21 +2461,13 @@ let metrics_cmd =
           in
           fun () -> remote_metrics addr field
       in
-      let rounds =
-        match watch with
-        | None -> 1
-        | Some _ -> if iterations > 0 then iterations else max_int
-      in
-      (* clear + reprint, but only on a real terminal: piped output
-         (cram tests, shell captures) gets plain concatenation *)
-      let clear = watch <> None && Unix.isatty Unix.stdout in
-      for i = 1 to rounds do
-        if clear then print_string "\027[2J\027[H";
+      match watch with
+      | None ->
         print_string (fetch ());
-        flush stdout;
-        if i < rounds then
-          match watch with Some s -> Thread.delay s | None -> ()
-      done
+        flush stdout
+      | Some interval ->
+        let rounds = if iterations > 0 then iterations else max_int in
+        watch_loop ~interval ~rounds fetch
     end
     else begin
       let need what = function
@@ -2335,7 +2593,7 @@ let main =
       analyze_cmd; derive_cmd; graph_cmd; audit_cmd; lint_cmd;
       materialize_cmd; metrics_cmd; rewrite_cmd; query_cmd; explain_cmd;
       optimize_cmd; annotate_cmd; gen_cmd; validate_cmd; serve_cmd;
-      client_cmd; flight_cmd; replay_cmd; update_cmd;
+      client_cmd; flight_cmd; top_cmd; replay_cmd; update_cmd;
     ]
 
 let () =

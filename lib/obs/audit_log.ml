@@ -138,7 +138,7 @@ let log_update t ?rid ?session ?peer ~group ~doc ~update ~status ?targets
          ]))
 
 let log_slow_query t ?rid ~group ~query ?translated ~latency_ms ~threshold_ms
-    ~stages ~counts ?session ?peer ?doc () =
+    ~stages ~counts ?gc_pause_ms ?gc_pauses ?session ?peer ?doc () =
   let opt f = function Some v -> f v | None -> Json.Null in
   let ctx =
     List.concat
@@ -165,6 +165,8 @@ let log_slow_query t ?rid ~group ~query ?translated ~latency_ms ~threshold_ms
                (List.map (fun (name, ms) -> (name, Json.Float ms)) stages) );
            ( "op_counts",
              Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counts) );
+           ("gc_pause_ms", opt (fun v -> Json.Float v) gc_pause_ms);
+           ("gc_pauses", opt (fun v -> Json.Int v) gc_pauses);
          ]))
 
 let log_note t ~kind message =

@@ -130,6 +130,8 @@ val log_slow_query :
   threshold_ms:float ->
   stages:(string * float) list ->
   counts:(string * int) list ->
+  ?gc_pause_ms:float ->
+  ?gc_pauses:int ->
   ?session:int ->
   ?peer:string ->
   ?doc:string ->
@@ -139,6 +141,8 @@ val log_slow_query :
     [serve --slow-ms] for any request over threshold.  [stages] are
     per-stage millisecond totals (see {!Tracer.stage_totals}) of the
     spans belonging to this request only; [counts] are the plan
-    engine's operator totals (empty for the interpreter).  The
-    optional [session]/[peer]/[doc] triple is the server's request
-    context. *)
+    engine's operator totals (empty for the interpreter).
+    [gc_pause_ms]/[gc_pauses] carry {!Runtime.overlap} attribution
+    when a runtime consumer is installed ([null] otherwise — absent
+    is distinguishable from a measured zero).  The optional
+    [session]/[peer]/[doc] triple is the server's request context. *)

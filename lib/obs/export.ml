@@ -45,7 +45,29 @@ let openmetrics m =
 
 let us_of_ns ns = Int64.to_float ns /. 1e3
 
-let chrome_trace spans =
+(* GC pause slices render as their own per-domain tracks: pid 2
+   ("runtime") with one tid per domain, so Perfetto shows pauses as
+   rows of their own, visibly overlapping the request slices they
+   stole time from. *)
+let gc_events pauses =
+  List.map
+    (fun (p : Runtime.pause) ->
+      Json.Obj
+        [
+          ("name", Json.String ("gc:" ^ Runtime.kind_label p.Runtime.kind));
+          ("cat", Json.String "gc");
+          ("ph", Json.String "X");
+          ("ts", Json.Float (us_of_ns p.Runtime.start_ns));
+          ( "dur",
+            Json.Float
+              (us_of_ns (Int64.sub p.Runtime.stop_ns p.Runtime.start_ns)) );
+          ("pid", Json.Int 2);
+          ("tid", Json.Int p.Runtime.domain);
+          ("args", Json.Obj [ ("domain", Json.Int p.Runtime.domain) ]);
+        ])
+    pauses
+
+let chrome_trace ?(gc = []) spans =
   let events =
     List.map
       (fun (sp : Tracer.span) ->
@@ -74,12 +96,12 @@ let chrome_trace spans =
   in
   Json.Obj
     [
-      ("traceEvents", Json.List events);
+      ("traceEvents", Json.List (events @ gc_events gc));
       ("displayTimeUnit", Json.String "ms");
     ]
 
-let write_chrome_trace path spans =
+let write_chrome_trace ?gc path spans =
   let oc = open_out path in
-  output_string oc (Json.to_string (chrome_trace spans));
+  output_string oc (Json.to_string (chrome_trace ?gc spans));
   output_char oc '\n';
   close_out oc

@@ -22,7 +22,11 @@ val sanitize : string -> string
 
 val openmetrics : Metrics.t -> string
 
-val chrome_trace : Tracer.span list -> Json.t
+val chrome_trace : ?gc:Runtime.pause list -> Tracer.span list -> Json.t
+(** [gc] pause windows render as extra per-domain tracks (pid 2, one
+    tid per domain, names [gc:minor]/[gc:major_slice]) interleaved
+    with the pipeline-stage rows — a pause visibly overlaps the
+    request slice it stole time from. *)
 
-val write_chrome_trace : string -> Tracer.span list -> unit
+val write_chrome_trace : ?gc:Runtime.pause list -> string -> Tracer.span list -> unit
 (** Write [chrome_trace spans] to a file (truncating). *)

@@ -14,6 +14,8 @@ type entry = {
   results : int;
   digest : string option;
   latency_ms : float;
+  gc_pause_ms : float;
+  gc_pauses : int;
   ts_ns : int64;
   spans : Tracer.span list;
   counts : (string * int) list;
@@ -104,6 +106,8 @@ let entry_json e =
       ("results", Json.Int e.results);
       ("digest", opt_json (fun d -> Json.String d) e.digest);
       ("latency_ms", Json.Float e.latency_ms);
+      ("gc_pause_ms", Json.Float e.gc_pause_ms);
+      ("gc_pauses", Json.Int e.gc_pauses);
       ("spans", Json.List (List.map span_json e.spans));
       ( "op_counts",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counts) );

@@ -36,6 +36,10 @@ type entry = {
   results : int;
   digest : string option;  (** MD5 hex of the rendered answer *)
   latency_ms : float;
+  gc_pause_ms : float;
+      (** unioned GC pause time overlapping this request's span window
+          ({!Runtime.overlap}); [0.] when no consumer is running *)
+  gc_pauses : int;  (** pause episodes intersecting the window *)
   ts_ns : int64;
   spans : Tracer.span list;  (** this request's span tree *)
   counts : (string * int) list;  (** plan operator totals *)

@@ -83,6 +83,7 @@ type t = {
   audit : Sobs.Audit_log.t option;
   tracer : Sobs.Tracer.t option;
   recorder : Sobs.Recorder.t option;
+  runtime : Sobs.Runtime.t option;
   flight_snapshot : string option;
   capture : Sobs.Capture.t option;
   stopping : bool Atomic.t;
@@ -108,7 +109,7 @@ type t = {
 }
 
 let create ?(config = default_config) ?audit ?metrics ?tracer ?recorder
-    ?flight_snapshot ?capture service =
+    ?runtime ?flight_snapshot ?capture service =
   let wake_r, wake_w = Unix.pipe () in
   let slot = Pipeline.Service.slot service in
   let adm = Pipeline.Session.of_slot slot in
@@ -130,6 +131,7 @@ let create ?(config = default_config) ?audit ?metrics ?tracer ?recorder
     audit;
     tracer;
     recorder;
+    runtime;
     flight_snapshot;
     capture;
     stopping = Atomic.make false;
@@ -204,9 +206,15 @@ let sample_gauges t reg =
   set "server.workers.busy" (float_of_int (Atomic.get t.busy_workers));
   set "server.workers.total" (float_of_int t.config.domains);
   set "server.uptime_s" (Deadline.now () -. t.started);
-  set "gc.heap_words" (float_of_int g.Gc.heap_words);
-  set "gc.minor_words" g.Gc.minor_words;
-  set "gc.major_collections" (float_of_int g.Gc.major_collections)
+  (* [Gc.quick_stat] sees only the calling domain's counters: under
+     [--domains N] these are the scraping acceptor thread's numbers,
+     not the workers' — label them honestly.  The per-domain truth
+     ([gc.heap_words.d<i>], pause histograms, allocation counters)
+     comes from the [Sobs.Runtime] consumer, absorbed below when the
+     server runs with [--runtime-events]. *)
+  set "gc.heap_words.acceptor" (float_of_int g.Gc.heap_words);
+  set "gc.minor_words.acceptor" g.Gc.minor_words;
+  set "gc.major_collections.acceptor" (float_of_int g.Gc.major_collections)
 
 (* One consistent merged view of everything: the overlay (under
    [obs_lock] — the tracer writes it), every domain shard (under the
@@ -230,6 +238,11 @@ let metrics t =
         (Pipeline.stats_fields s))
     (merged_stats t);
   sample_gauges t snap;
+  (* per-domain runtime telemetry last: absorbed under the consumer's
+     own lock, so pause histograms merge torn-free like the shards *)
+  (match t.runtime with
+  | Some rt -> Sobs.Runtime.absorb_into ~into:snap rt
+  | None -> ());
   snap
 
 let openmetrics t = Sobs.Export.openmetrics (metrics t)
@@ -255,13 +268,14 @@ let flight_reply t ~rid =
     | _ -> assert false)
 
 let audit_slow t ~rid ~session ~peer ~group ~doc ~query ?translated
-    ~latency_ms ~threshold_ms ~stages ~counts () =
+    ~latency_ms ~threshold_ms ~stages ~counts ?gc_pause_ms ?gc_pauses () =
   match t.audit with
   | None -> ()
   | Some log ->
     Mutex.protect t.obs_lock (fun () ->
         Sobs.Audit_log.log_slow_query log ~rid ~group ~query ?translated
-          ~latency_ms ~threshold_ms ~stages ~counts ~session ~peer ~doc ())
+          ~latency_ms ~threshold_ms ~stages ~counts ?gc_pause_ms ?gc_pauses
+          ~session ~peer ~doc ())
 
 let draining t = Atomic.get t.stopping
 
@@ -433,7 +447,7 @@ let doc_version t (q : Protocol.query) =
    own mutex — never the shared [obs_lock] — so recording can never
    deadlock against span draining or audit writes. *)
 let record_flight t job ~status ~results ?error ?digest ?version ~latency_ms
-    ~spans ~counts () =
+    ?(gc_pause_ms = 0.) ?(gc_pauses = 0) ~spans ~counts () =
   match (t.recorder, job.work) with
   | Some r, (Answer q | Explain_query q | Do_update q) ->
     Sobs.Recorder.record r
@@ -456,6 +470,8 @@ let record_flight t job ~status ~results ?error ?digest ?version ~latency_ms
         results;
         digest;
         latency_ms;
+        gc_pause_ms;
+        gc_pauses;
         ts_ns = Sobs.Clock.monotonic ();
         spans;
         counts;
@@ -599,6 +615,29 @@ let run_job t psess job =
        (if it has passed, the connection thread has answered
        [timeout] — or is about to, which loses the same way). *)
     let latency_ms = latency () in
+    (* GC-aware attribution: the union of pause windows intersecting
+       this request's span window.  Span and pause timestamps share
+       the monotonic-clock timebase, so the comparison is direct.
+       Only meaningful when spans were recorded — without them there
+       is no monotonic window to intersect. *)
+    let gc_pause_ms, gc_pauses =
+      match t.runtime with
+      | Some rt when spans <> [] ->
+        let start_ns =
+          List.fold_left
+            (fun a (s : Sobs.Tracer.span) ->
+              if s.start_ns < a then s.start_ns else a)
+            Int64.max_int spans
+        in
+        let stop_ns =
+          List.fold_left
+            (fun a (s : Sobs.Tracer.span) ->
+              if s.stop_ns > a then s.stop_ns else a)
+            Int64.min_int spans
+        in
+        Sobs.Runtime.overlap rt ~start_ns ~stop_ns
+      | _ -> (0., 0)
+    in
     let status =
       match job.deadline_at with
       | Some d when Deadline.now () > d -> "late"
@@ -619,7 +658,11 @@ let run_job t psess job =
         ~group:job.jgroup ~doc:(doc_label t q) ~query:q.text ?translated
         ~latency_ms ~threshold_ms:thr
         ~stages:(Sobs.Tracer.stage_totals spans)
-        ~counts ()
+        ~counts
+        ?gc_pause_ms:
+          (if Option.is_some t.runtime then Some gc_pause_ms else None)
+        ?gc_pauses:(if Option.is_some t.runtime then Some gc_pauses else None)
+        ()
     | _ -> ());
     log ?receipt ~status ~results ?error ~latency_ms ();
     (if Option.is_some t.recorder then
@@ -634,7 +677,7 @@ let run_job t psess job =
          | None, None -> (None, [], None)
        in
        record_flight t job ~status ~results ?error ?digest ?version
-         ~latency_ms ~spans ~counts ());
+         ~latency_ms ~gc_pause_ms ~gc_pauses ~spans ~counts ());
     (match (t.capture, job.work, detail) with
     | Some cap, Answer q, Some (_, _, _, rendered, _) when error = None ->
       Sobs.Capture.write cap
@@ -764,12 +807,17 @@ let stats_json t ~rid =
     [
       ("uptime_s", J.Float (Deadline.now () -. t.started));
       ("workers", J.Int t.config.domains);
+      ("workers_busy", J.Int (Atomic.get t.busy_workers));
       ( "queue",
         J.Obj
           [
             ("length", J.Int (Bqueue.length t.queue));
             ("capacity", J.Int t.config.queue_capacity);
           ] );
+      ( "runtime",
+        match t.runtime with
+        | Some rt -> Sobs.Runtime.to_json rt
+        | None -> J.Obj [ ("enabled", J.Bool false) ] );
       ( "counters",
         J.Obj
           (List.map (fun (k, v) -> (k, J.Int v)) (Sobs.Metrics.counters snap))
@@ -845,6 +893,8 @@ let admission_fast_path t sess fd ~rid group (q : Protocol.query) =
               results = 0;
               digest = Some (Sobs.Capture.digest []);
               latency_ms;
+              gc_pause_ms = 0.;
+              gc_pauses = 0;
               ts_ns = Sobs.Clock.monotonic ();
               spans = [];
               counts = [];
@@ -1216,6 +1266,12 @@ let serve t listeners =
   let run_consumer queue ~track_busy () =
     let psess = Pipeline.Session.of_slot t.slot in
     register_session t psess;
+    (* With the runtime consumer on, force one minor collection on
+       this domain's own ring before serving: every worker domain then
+       has a [gc.pause_seconds.d<i>] series from the first scrape —
+       the CI smoke's "per-domain series exist" assertion never races
+       organic allocation pressure. *)
+    if Option.is_some t.runtime then Gc.minor ();
     consumer_loop t psess queue ~track_busy
   in
   let join_consumers =
@@ -1258,5 +1314,6 @@ let serve t listeners =
   List.iter Thread.join conns;
   (match t.audit with Some log -> Sobs.Audit_log.close log | None -> ());
   (match t.capture with Some cap -> Sobs.Capture.close cap | None -> ());
+  (match t.runtime with Some rt -> Sobs.Runtime.stop rt | None -> ());
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   try Unix.close t.wake_w with Unix.Unix_error _ -> ()

@@ -51,8 +51,22 @@
     thread-safety of their own).  A {!Metrics_http} listener exposes
     the snapshot over HTTP as OpenMetrics text ([GET /metrics], see
     {!Sobs.Export}); runtime gauges — queue depths/capacity, live
-    connections, busy workers, uptime, GC heap figures — are sampled
-    at scrape time into the snapshot itself.
+    connections, busy workers, uptime, the acceptor domain's GC
+    figures — are sampled at scrape time into the snapshot itself.
+
+    {b Runtime health.}  With [runtime] (a started {!Sobs.Runtime}
+    consumer, the CLI's [--runtime-events]) every scrape also absorbs
+    per-domain GC telemetry — [gc.pause_seconds.d<i>] histograms,
+    collection/allocation counters, [runtime.domains_live] — merged
+    under the consumer's lock, torn-free like the shards.  Each
+    answered query whose spans were recorded is stamped with
+    [gc_pause_ms]/[gc_pauses] ({!Sobs.Runtime.overlap} of the pause
+    windows against the request's span window) in its flight-recorder
+    entry and slow-query audit record, and the [stats] verb gains a
+    ["runtime"] section with per-domain pause quantiles.  The
+    consumer is stopped when {!serve} drains.  Runtime telemetry is
+    per domain, never per group — a group cannot learn whether
+    another group's traffic caused GC pressure.
 
     {b Request correlation.}  Every request carries a rid — the
     client's ["rid"] field when supplied, a server-generated
@@ -133,6 +147,7 @@ val create :
   ?metrics:Sobs.Metrics.t ->
   ?tracer:Sobs.Tracer.t ->
   ?recorder:Sobs.Recorder.t ->
+  ?runtime:Sobs.Runtime.t ->
   ?flight_snapshot:string ->
   ?capture:Sobs.Capture.t ->
   Secview.Pipeline.Service.t ->
@@ -152,7 +167,10 @@ val create :
     drain would re-enter the shared lock; stage timings reach the log
     through slow-query records instead).  [recorder] enables the
     flight ring and the [flight] verb (per-request spans additionally
-    require [tracer]); [flight_snapshot] is the auto-snapshot file
+    require [tracer]); [runtime] enables per-domain GC telemetry and
+    GC-aware request attribution (the server owns it from here on and
+    stops it on drain; attribution additionally requires [tracer] —
+    no spans, no window); [flight_snapshot] is the auto-snapshot file
     (only meaningful with [recorder]); [capture] streams the answered
     workload as replayable JSONL. *)
 

@@ -162,7 +162,7 @@ silent:
   $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
   >   --bind wardNo=6 --slow-ms 0 "//patient/name" 2>&1 >/dev/null \
   >   | sed -E 's/"ts_ns":[0-9]+/"ts_ns":_/; s/"latency_ms":[0-9.e+-]+/"latency_ms":_/; s/"stages_ms":\{[^}]*\}/"stages_ms":{_}/'
-  {"type":"slow_query","ts_ns":_,"rid":"q1","group":"user","query":"//patient/name","translated":"dept[patientInfo/patient/wardNo = $wardNo]/(clinicalTrial/patientInfo | patientInfo)/patient/name","latency_ms":_,"threshold_ms":0,"stages_ms":{_},"op_counts":{"scanned":24,"probes":0,"joined":0,"rows":2}}
+  {"type":"slow_query","ts_ns":_,"rid":"q1","group":"user","query":"//patient/name","translated":"dept[patientInfo/patient/wardNo = $wardNo]/(clinicalTrial/patientInfo | patientInfo)/patient/name","latency_ms":_,"threshold_ms":0,"stages_ms":{_},"op_counts":{"scanned":24,"probes":0,"joined":0,"rows":2},"gc_pause_ms":null,"gc_pauses":null}
   $ secview query --dtd hospital.dtd --spec nurse.spec --doc ward.xml \
   >   --bind wardNo=6 --slow-ms 100000 "//patient/name" 2>&1 >/dev/null | wc -l
   0

@@ -7,6 +7,7 @@ module Tracer = Sobs.Tracer
 module Clock = Sobs.Clock
 module Export = Sobs.Export
 module Json = Sobs.Json
+module Runtime = Sobs.Runtime
 module Audit_log = Sobs.Audit_log
 module Server = Sserver.Server
 module Pipeline = Secview.Pipeline
@@ -157,6 +158,52 @@ let test_chrome_trace_roundtrip () =
       Alcotest.(check int) "inner depth" 1 (arg "depth" inner)
     | _ -> Alcotest.fail "traceEvents missing")
 
+(* GC pauses render as their own complete events on pid 2, one tid per
+   domain, so they appear as separate tracks under the request rows. *)
+let test_chrome_trace_gc_tracks () =
+  let gc =
+    [
+      { Runtime.domain = 0; kind = Runtime.Minor; start_ns = 1_000L;
+        stop_ns = 3_000L };
+      { Runtime.domain = 1; kind = Runtime.Major_slice; start_ns = 2_000L;
+        stop_ns = 2_500L };
+    ]
+  in
+  match Json.of_string (Json.to_string (Export.chrome_trace ~gc [])) with
+  | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  | Ok j -> (
+    match Json.member "traceEvents" j with
+    | Some (Json.List [ minor; major ]) ->
+      let str name ev =
+        match Json.member name ev with
+        | Some (Json.String s) -> s
+        | _ -> Alcotest.failf "%s missing" name
+      in
+      let int name ev =
+        match Json.member name ev with
+        | Some (Json.Int i) -> i
+        | _ -> Alcotest.failf "%s missing" name
+      in
+      Alcotest.(check string) "minor name" "gc:minor" (str "name" minor);
+      Alcotest.(check string) "major name" "gc:major_slice"
+        (str "name" major);
+      Alcotest.(check string) "gc category" "gc" (str "cat" minor);
+      (* pid 2 keeps GC rows in their own process group, tid = domain *)
+      Alcotest.(check int) "gc pid" 2 (int "pid" minor);
+      Alcotest.(check int) "minor tid is its domain" 0 (int "tid" minor);
+      Alcotest.(check int) "major tid is its domain" 1 (int "tid" major);
+      let num name ev =
+        match Json.member name ev with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int i) -> float_of_int i
+        | _ -> Alcotest.failf "%s missing" name
+      in
+      (* ns -> us *)
+      Alcotest.(check (float 1e-9)) "minor ts us" 1. (num "ts" minor);
+      Alcotest.(check (float 1e-9)) "minor dur us" 2. (num "dur" minor);
+      Alcotest.(check (float 1e-9)) "major dur us" 0.5 (num "dur" major)
+    | _ -> Alcotest.fail "expected exactly the two gc events")
+
 (* ---- EXPLAIN counters ---------------------------------------------- *)
 
 (* The acceptance invariant: the root operator's rows-emitted equals
@@ -211,13 +258,13 @@ let test_slow_query_record () =
     ~counts:[ ("scanned", 7); ("rows", 2) ]
     ();
   Audit_log.log_slow_query log ~group:"g" ~query:"//b" ~latency_ms:3.
-    ~threshold_ms:1. ~stages:[] ~counts:[] ~session:4 ~peer:"unix" ~doc:"d"
-    ();
+    ~threshold_ms:1. ~stages:[] ~counts:[] ~gc_pause_ms:0.75 ~gc_pauses:2
+    ~session:4 ~peer:"unix" ~doc:"d" ();
   Audit_log.close log;
   let expected =
-    {|{"type":"slow_query","ts_ns":0,"group":"user","query":"//a","translated":"b/a","latency_ms":12.5,"threshold_ms":10,"stages_ms":{"eval":9.25,"translate":1.5},"op_counts":{"scanned":7,"rows":2}}|}
+    {|{"type":"slow_query","ts_ns":0,"group":"user","query":"//a","translated":"b/a","latency_ms":12.5,"threshold_ms":10,"stages_ms":{"eval":9.25,"translate":1.5},"op_counts":{"scanned":7,"rows":2},"gc_pause_ms":null,"gc_pauses":null}|}
     ^ "\n"
-    ^ {|{"type":"slow_query","ts_ns":1000000,"session":4,"peer":"unix","doc":"d","group":"g","query":"//b","translated":null,"latency_ms":3,"threshold_ms":1,"stages_ms":{},"op_counts":{}}|}
+    ^ {|{"type":"slow_query","ts_ns":1000000,"session":4,"peer":"unix","doc":"d","group":"g","query":"//b","translated":null,"latency_ms":3,"threshold_ms":1,"stages_ms":{},"op_counts":{},"gc_pause_ms":0.75,"gc_pauses":2}|}
     ^ "\n"
   in
   Alcotest.(check string) "JSONL records" expected (Buffer.contents buf)
@@ -335,6 +382,7 @@ let () =
       ( "chrome-trace",
         [
           Alcotest.test_case "round trip" `Quick test_chrome_trace_roundtrip;
+          Alcotest.test_case "gc tracks" `Quick test_chrome_trace_gc_tracks;
         ] );
       ( "explain",
         [ Alcotest.test_case "operator counters" `Quick test_explain_counts ]

@@ -342,6 +342,8 @@ let flight_entry ~rid ?(status = "ok") () =
     results = 2;
     digest = Some (Sobs.Capture.digest [ "<a/>"; "<a/>" ]);
     latency_ms = 0.5;
+    gc_pause_ms = 0.;
+    gc_pauses = 0;
     ts_ns = 0L;
     spans = [];
     counts = [ ("rows", 2) ];
@@ -526,6 +528,80 @@ let test_probe_toggling () =
   Alcotest.(check int) "no spans recorded when uninstalled" 0
     (List.length (Tracer.spans tracer))
 
+(* --- runtime health: pause attribution -------------------------------- *)
+
+let test_runtime_overlap_stamping () =
+  let rt = Sobs.Runtime.offline () in
+  Sobs.Runtime.set rt;
+  Fun.protect ~finally:Sobs.Runtime.unset (fun () ->
+      (* a STW minor pause lands on both domains' rings with slightly
+         skewed windows — union, don't sum *)
+      Sobs.Runtime.inject_pause rt ~domain:0 ~kind:Sobs.Runtime.Minor
+        ~start_ns:1_000L ~stop_ns:2_000L;
+      Sobs.Runtime.inject_pause rt ~domain:1 ~kind:Sobs.Runtime.Minor
+        ~start_ns:1_200L ~stop_ns:2_200L;
+      (* a later, disjoint major slice on one domain *)
+      Sobs.Runtime.inject_pause rt ~domain:0 ~kind:Sobs.Runtime.Major_slice
+        ~start_ns:5_000L ~stop_ns:5_500L;
+      Alcotest.(check int) "three pauses retained" 3
+        (List.length (Sobs.Runtime.pauses rt));
+      (* window covering everything: union [1000,2200] + [5000,5500]
+         = 1700 ns = 0.0017 ms across 2 disjoint episodes *)
+      (match Sobs.Runtime.stamp ~start_ns:0L ~stop_ns:10_000L with
+      | Some (ms, episodes) ->
+        Alcotest.(check (float 1e-9)) "unioned, not summed" 0.0017 ms;
+        Alcotest.(check int) "two disjoint episodes" 2 episodes
+      | None -> Alcotest.fail "stamp returned None with a hook installed");
+      (* window overlapping only the tail of the first episode *)
+      (match Sobs.Runtime.stamp ~start_ns:2_100L ~stop_ns:3_000L with
+      | Some (ms, episodes) ->
+        Alcotest.(check (float 1e-9)) "clipped to the window" 0.0001 ms;
+        Alcotest.(check int) "one episode" 1 episodes
+      | None -> Alcotest.fail "stamp returned None with a hook installed");
+      (* window touching no pause stamps a measured zero *)
+      match Sobs.Runtime.stamp ~start_ns:3_000L ~stop_ns:4_000L with
+      | Some (ms, episodes) ->
+        Alcotest.(check (float 1e-9)) "no overlap, zero ms" 0. ms;
+        Alcotest.(check int) "no episodes" 0 episodes
+      | None -> Alcotest.fail "stamp returned None with a hook installed");
+  Alcotest.(check bool) "disabled after unset" false (Sobs.Runtime.enabled ());
+  (* the registry carries the injected pauses per domain *)
+  let snap = Sobs.Metrics.create () in
+  Sobs.Runtime.absorb_into ~into:snap rt;
+  let count name =
+    match
+      List.assoc_opt name
+        (List.map
+           (fun (n, (s : Sobs.Metrics.summary)) -> (n, s.Sobs.Metrics.count))
+           (Sobs.Metrics.summaries snap))
+    with
+    | Some c -> c
+    | None -> 0
+  in
+  Alcotest.(check int) "d0 histogram has both pauses" 2
+    (count "gc.pause_seconds.d0");
+  Alcotest.(check int) "d1 histogram has its pause" 1
+    (count "gc.pause_seconds.d1");
+  Alcotest.(check int) "aggregate sees all three" 3 (count "gc.pause_seconds")
+
+let test_runtime_disabled_no_allocation () =
+  Sobs.Runtime.unset ();
+  Alcotest.(check bool) "disabled" false (Sobs.Runtime.enabled ());
+  (* warm up: any lazy setup happens outside the measured window *)
+  ignore (Sobs.Runtime.stamp ~start_ns:0L ~stop_ns:0L);
+  let n = 100_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    if Sobs.Runtime.enabled () then ignore (Sobs.Runtime.stamp ~start_ns:0L ~stop_ns:0L)
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "allocation-free when disabled (delta %.0f words for %d calls)"
+       (w1 -. w0) n)
+    true
+    (w1 -. w0 < 128.)
+
 let () =
   Alcotest.run "obs"
     [
@@ -573,6 +649,13 @@ let () =
           Alcotest.test_case "jsonl round trip" `Quick test_capture_roundtrip;
           Alcotest.test_case "read errors carry file:line" `Quick
             test_capture_read_errors;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "overlap stamping unions pause windows" `Quick
+            test_runtime_overlap_stamping;
+          Alcotest.test_case "disabled consumer allocates nothing" `Quick
+            test_runtime_disabled_no_allocation;
         ] );
       ( "overhead",
         [

@@ -616,12 +616,12 @@ let check_code what want j =
   if reply_ok j then Alcotest.failf "%s unexpectedly succeeded" what;
   Alcotest.(check (option string)) what (Some want) (reply_code j)
 
-let with_server ?config ?audit ?recorder ~docs () k =
+let with_server ?config ?audit ?recorder ?tracer ?runtime ~docs () k =
   let dtd = Workload.Adex.dtd in
   let catalog = Catalog.create () in
   List.iter (fun (n, d) -> ignore (Catalog.add catalog ~name:n d)) docs;
   let service = Pipeline.Service.create ~catalog dtd ~groups:(adex_groups ()) in
-  let server = Server.create ?config ?audit ?recorder service in
+  let server = Server.create ?config ?audit ?recorder ?tracer ?runtime service in
   let path = Filename.temp_file "secview-test" ".sock" in
   Sys.remove path;
   let th =
@@ -765,6 +765,64 @@ let test_server_rid_and_flight () =
   | _ -> Alcotest.fail "flight reply has no entries");
   Unix.close fd
 
+let test_server_gc_attribution () =
+  let doc = List.hd (adex_docs ()) in
+  let recorder = Sobs.Recorder.create ~capacity:8 in
+  let tracer = Sobs.Tracer.create ~retain:false () in
+  Sobs.Tracer.install tracer;
+  let runtime = Sobs.Runtime.offline () in
+  (* a synthetic pause so wide every request's span window overlaps
+     it: the flight entry must carry a non-zero attribution *)
+  Sobs.Runtime.inject_pause runtime ~domain:0 ~kind:Sobs.Runtime.Minor
+    ~start_ns:0L ~stop_ns:Int64.max_int;
+  Fun.protect ~finally:Sobs.Tracer.uninstall @@ fun () ->
+  with_server ~recorder ~tracer ~runtime ~docs:[ ("d1", doc) ] ()
+  @@ fun _server path ->
+  let fd, ic = connect path in
+  send fd (Protocol.hello ~peer:"tests" "re");
+  Alcotest.(check bool) "hello" true (reply_ok (recv ic));
+  send fd (Protocol.query_json ~rid:"gc-1" ~doc:"d1" "//house");
+  Alcotest.(check bool) "query ok" true (reply_ok (recv ic));
+  send fd (Protocol.simple "flight");
+  let j = recv ic in
+  Alcotest.(check bool) "flight ok" true (reply_ok j);
+  (match J.member "entries" j with
+  | Some (J.List es) -> (
+    match
+      List.find_opt
+        (fun e ->
+          Option.bind (J.member "rid" e) J.to_string_opt = Some "gc-1")
+        es
+    with
+    | Some e ->
+      let ms =
+        Option.value ~default:0.
+          (Option.bind (J.member "gc_pause_ms" e) J.to_float_opt)
+      in
+      let n =
+        Option.value ~default:0
+          (Option.bind (J.member "gc_pauses" e) J.to_int_opt)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "overlapping pause stamped (%g ms)" ms)
+        true (ms > 0.);
+      Alcotest.(check int) "one pause episode" 1 n
+    | None -> Alcotest.fail "no flight entry for gc-1")
+  | _ -> Alcotest.fail "flight reply has no entries");
+  (* the stats verb carries the runtime section with the same pause *)
+  send fd (Protocol.simple "stats");
+  let j = recv ic in
+  Alcotest.(check bool) "stats ok" true (reply_ok j);
+  (match J.member "runtime" j with
+  | Some rt ->
+    Alcotest.(check (option bool)) "runtime enabled" (Some true)
+      (Option.bind (J.member "enabled" rt) J.to_bool_opt);
+    Alcotest.(check int) "one pause total" 1
+      (Option.value ~default:0
+         (Option.bind (J.member "pauses_total" rt) J.to_int_opt))
+  | None -> Alcotest.fail "stats reply has no runtime section");
+  Unix.close fd
+
 let check_audit buf queries =
   let lines =
     List.filter
@@ -871,6 +929,8 @@ let () =
           Alcotest.test_case "round trips" `Quick test_server_roundtrips;
           Alcotest.test_case "request ids and flight" `Quick
             test_server_rid_and_flight;
+          Alcotest.test_case "gc pause attribution" `Quick
+            test_server_gc_attribution;
           Alcotest.test_case "overload" `Quick test_server_overload;
           Alcotest.test_case "deadline" `Quick test_server_timeout;
           Alcotest.test_case "drain flushes audit" `Quick

@@ -77,6 +77,37 @@ let load path =
         Printf.eprintf "bench_diff: %s: %s\n" path e;
         exit 2)
 
+(* The machine's core count shapes every server-side percentile (a
+   1-core run serializes worker domains the paper's architecture
+   expects to run in parallel), so comparing reports recorded at
+   different [meta.cores] says nothing about the code between them. *)
+let cores_of j =
+  match Option.bind (J.member "meta" j) (J.member "cores") with
+  | Some (J.Int n) -> Some n
+  | _ -> None
+
+let check_cores ~allow_core_mismatch ~quiet (a, base) (b, cand) =
+  let show = function Some n -> string_of_int n | None -> "unrecorded" in
+  let ca = cores_of base and cb = cores_of cand in
+  if not quiet then
+    Printf.printf "bench_diff: meta.cores %s=%s %s=%s\n" a (show ca) b
+      (show cb);
+  match (ca, cb) with
+  | Some x, Some y when x <> y ->
+    if allow_core_mismatch then
+      Printf.printf
+        "bench_diff: core counts differ (%d vs %d) — comparing anyway \
+         (--allow-core-mismatch)\n"
+        x y
+    else begin
+      Printf.eprintf
+        "bench_diff: refusing to compare reports recorded on different core \
+         counts (%s: %d, %s: %d); pass --allow-core-mismatch to override\n"
+        a x b y;
+      exit 2
+    end
+  | _ -> ()
+
 type verdict = Ok_leaf | Improved | Regressed
 
 let compare_reports ~threshold ~floor base cand =
@@ -105,10 +136,10 @@ let compare_reports ~threshold ~floor base cand =
   in
   (rows, List.length only_base, List.length only_cand)
 
-let run ~threshold ~floor ~quiet a b =
-  let rows, only_a, only_b =
-    compare_reports ~threshold ~floor (load a) (load b)
-  in
+let run ~threshold ~floor ~quiet ~allow_core_mismatch a b =
+  let base = load a and cand = load b in
+  check_cores ~allow_core_mismatch ~quiet (a, base) (b, cand);
+  let rows, only_a, only_b = compare_reports ~threshold ~floor base cand in
   if rows = [] then begin
     Printf.eprintf
       "bench_diff: no comparable percentile leaves between %s and %s\n" a b;
@@ -181,16 +212,21 @@ let self_test () =
     (List.length (verdicts ~threshold:10. ~floor:10. base worse));
   check "direction matters: an improvement is not a regression" 0
     (List.length (verdicts ~threshold:10. ~floor:0.05 worse base));
+  let meta n = parse (Printf.sprintf "{\"meta\":{\"cores\":%d}}" n) in
+  check "cores extracted" (Some 4) (cores_of (meta 4));
+  check "cores absent on old reports" None (cores_of base);
   print_endline "bench_diff self-test: OK"
 
 let usage () =
   prerr_endline
-    "usage: bench_diff [--threshold PCT] [--floor MS] [--quiet] BASE.json \
-     CANDIDATE.json\n       bench_diff --self-test";
+    "usage: bench_diff [--threshold PCT] [--floor MS] [--quiet] \
+     [--allow-core-mismatch] BASE.json CANDIDATE.json\n\
+    \       bench_diff --self-test";
   exit 2
 
 let () =
   let threshold = ref 10. and floor = ref 0.05 and quiet = ref false in
+  let allow_core_mismatch = ref false in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -204,6 +240,9 @@ let () =
       | Some f -> floor := f; parse rest
       | None -> usage ())
     | "--quiet" :: rest -> quiet := true; parse rest
+    | "--allow-core-mismatch" :: rest ->
+      allow_core_mismatch := true;
+      parse rest
     | f :: rest when String.length f > 0 && f.[0] <> '-' ->
       files := f :: !files;
       parse rest
@@ -211,5 +250,7 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   match List.rev !files with
-  | [ a; b ] -> run ~threshold:!threshold ~floor:!floor ~quiet:!quiet a b
+  | [ a; b ] ->
+    run ~threshold:!threshold ~floor:!floor ~quiet:!quiet
+      ~allow_core_mismatch:!allow_core_mismatch a b
   | _ -> usage ()

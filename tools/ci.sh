@@ -88,6 +88,34 @@ echo "-- 2-domain capture -> replay: 0 mismatches"
 secview client --socket "$TMP/ci.sock" --shutdown
 wait $SRV
 
+# Runtime health: a 2-domain server with the Runtime_events consumer
+# on must expose per-domain gc_pause_seconds series on its HTTP
+# scrape endpoint, answer byte-identically to the direct pipeline,
+# and render the top dashboard's gc section.
+echo "== runtime-events serve smoke"
+secview serve --dtd "$POL/hospital.dtd" --spec "$POL/nurse.spec" \
+  --doc doc="$TMP/doc.xml" --socket "$TMP/rt.sock" --domains 2 \
+  --runtime-events --metrics-port 19384 2> "$TMP/rt.log" &
+RSRV=$!
+secview client --socket "$TMP/rt.sock" --wait 5 --group user \
+  --bind wardNo=6 '//patient/name' '//patient/wardNo' '//patient' \
+  > "$TMP/rt_served.out"
+cmp "$TMP/rt_served.out" "$TMP/direct.out"
+echo "-- runtime-events answers match the direct pipeline"
+secview metrics --scrape 127.0.0.1:19384 > "$TMP/rt_scrape.txt"
+DOMAINS_SEEN=$(grep -o '^secview_gc_pause_seconds_d[0-9]*' "$TMP/rt_scrape.txt" \
+  | sort -u | wc -l)
+if [ "$DOMAINS_SEEN" -lt 2 ]; then
+  echo "runtime smoke: wanted gc_pause_seconds for >= 2 domains, saw $DOMAINS_SEEN" >&2
+  exit 1
+fi
+echo "-- per-domain gc_pause_seconds series for $DOMAINS_SEEN domains"
+secview top --socket "$TMP/rt.sock" --interval 0.2 --iterations 2 \
+  | grep -q 'domain(s) live'
+echo "-- top renders the gc section"
+secview client --socket "$TMP/rt.sock" --shutdown
+wait $RSRV
+
 # The regression gate itself is gated: its self-test, then a diff of a
 # report against itself (which must never regress).
 echo "== bench_diff"
